@@ -1,0 +1,96 @@
+// Shared plumbing for the figure/table benches: flag parsing, the standard
+// workload grid, and experiment-config builders. Every bench prints an
+// aligned table of the series the paper reports (plus CSV with --csv).
+//
+// Flags:  --seeds N   replications per point (default 3)
+//         --quick     coarse grid, 1 seed (CI smoke)
+//         --csv       also emit CSV after the table
+#pragma once
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "metrics/report.hpp"
+#include "runner/experiment.hpp"
+#include "runner/sweep.hpp"
+#include "util/thread_pool.hpp"
+
+namespace marp::bench {
+
+struct Options {
+  std::size_t seeds = 3;
+  bool quick = false;
+  bool csv = false;
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      options.seeds = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      options.quick = true;
+      options.seeds = 1;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      options.csv = true;
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--seeds N] [--quick] [--csv]\n";
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+/// The x-axis of Figures 2-4: mean request inter-arrival time (ms).
+inline std::vector<double> interarrival_grid(bool quick) {
+  if (quick) return {10, 45, 100, 500};
+  return {10, 20, 30, 45, 60, 80, 100, 150, 200, 350, 500};
+}
+
+/// Baseline experiment shape shared by the figure benches: LAN mesh,
+/// single replicated object, write-only Poisson load capped per server so
+/// overload points stay finite, long drain so every request completes.
+inline runner::ExperimentConfig figure_config(std::size_t servers,
+                                              double interarrival_ms,
+                                              std::uint64_t seed_base = 1000) {
+  runner::ExperimentConfig config;
+  config.servers = servers;
+  config.seed = seed_base;
+  config.network = runner::NetworkKind::Lan;
+  // Latency/processing costs modelled on the paper's testbed (switched
+  // workstation LAN + Aglets processing at each server). The contention
+  // crossover of Fig. 4 lands at a ~2x larger inter-arrival time than the
+  // paper's ~45 ms — the shape, not the absolute axis, is the target (see
+  // EXPERIMENTS.md).
+  config.lan_base = sim::SimTime::millis(2);
+  config.marp.visit_service_time = sim::SimTime::millis(2);
+  config.workload.mean_interarrival_ms = interarrival_ms;
+  config.workload.duration = sim::SimTime::seconds(60);
+  config.workload.max_requests_per_server = 50;
+  config.workload.write_fraction = 1.0;
+  config.workload.num_keys = 1;
+  config.drain = sim::SimTime::seconds(300);
+  return config;
+}
+
+inline void print_table(const metrics::Table& table, bool csv) {
+  table.print(std::cout);
+  if (csv) {
+    std::cout << "\nCSV:\n";
+    table.print_csv(std::cout);
+  }
+}
+
+inline void warn_if_inconsistent(const runner::Aggregate& aggregate,
+                                 const std::string& where) {
+  if (!aggregate.all_consistent || aggregate.mutex_violations != 0) {
+    std::cerr << "CONSISTENCY FAILURE at " << where << ": "
+              << (aggregate.problems.empty() ? "mutex violation"
+                                             : aggregate.problems.front())
+              << '\n';
+  }
+}
+
+}  // namespace marp::bench

@@ -1,0 +1,58 @@
+// Comparison sweep — write latency vs. load for MARP and the strict
+// message-passing baselines, on the Fig. 2/3 grid.
+//
+// Table A compares the protocols at one operating point; this bench sweeps
+// the arrival rate so crossovers are visible: where does MARP's
+// sequential-migration cost beat (or lose to) MP-MCV's parallel message
+// rounds, and how do both saturate?
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace marp;
+  const bench::Options options = bench::parse_options(argc, argv);
+  const std::vector<double> grid = bench::interarrival_grid(options.quick);
+  const std::vector<runner::ProtocolKind> protocols{
+      runner::ProtocolKind::Marp, runner::ProtocolKind::MpMcv,
+      runner::ProtocolKind::PrimaryCopy};
+
+  ThreadPool pool;
+  std::vector<runner::ExperimentConfig> configs;
+  for (runner::ProtocolKind protocol : protocols) {
+    for (double interarrival : grid) {
+      runner::ExperimentConfig config = bench::figure_config(5, interarrival, 9000);
+      config.protocol = protocol;
+      configs.push_back(config);
+    }
+  }
+  const auto aggregates = runner::run_sweep(configs, options.seeds, pool);
+
+  std::cout << "Comparison sweep: write latency vs load (N = 5, " << options.seeds
+            << " seed(s)); messages per write in parentheses\n\n";
+  metrics::Table table({"inter-arrival (ms)", "MARP (ms)", "MP-MCV (ms)",
+                        "PrimaryCopy (ms)", "msgs M/MCV/PC"});
+  for (std::size_t g = 0; g < grid.size(); ++g) {
+    std::vector<std::string> row{metrics::Table::num(grid[g], 0)};
+    std::string msgs;
+    for (std::size_t p = 0; p < protocols.size(); ++p) {
+      const auto& aggregate = aggregates[p * grid.size() + g];
+      bench::warn_if_inconsistent(
+          aggregate, std::string(runner::protocol_name(protocols[p])) + " ia=" +
+                         std::to_string(grid[g]));
+      row.push_back(metrics::with_ci(aggregate.client_latency_ms.mean(),
+                                     aggregate.client_latency_ms.ci95_half_width(),
+                                     1));
+      if (!msgs.empty()) msgs += " / ";
+      msgs += metrics::Table::num(aggregate.messages_per_write.mean(), 1);
+    }
+    row.push_back(std::move(msgs));
+    table.add_row(std::move(row));
+  }
+  bench::print_table(table, options.csv);
+  std::cout << "\nReading the curves: all three saturate at high rates (left\n"
+               "rows); uncontended (right rows) the centralized and\n"
+               "message-round protocols answer faster while MARP holds the\n"
+               "lowest message budget — the trade the paper proposes.\n";
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Micro-benchmarks for the substrate (google-benchmark): event queue,
+// RNG, serializer, agent-state round trip, network message delivery, and a
+// whole small MARP simulation as a macro sanity number.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "marp/update_agent.hpp"
+#include "net/latency.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "runner/experiment.hpp"
+#include "serial/byte_buffer.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace marp;
+using namespace marp::sim::literals;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng(1);
+  std::vector<std::int64_t> times(n);
+  for (auto& t : times) t = rng.uniform_int(0, 1'000'000);
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (std::int64_t t : times) queue.push(sim::SimTime::micros(t), [] {});
+    while (!queue.empty()) benchmark::DoNotOptimize(queue.pop().time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 2);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_RngExponential(benchmark::State& state) {
+  sim::Rng rng(7);
+  double acc = 0.0;
+  for (auto _ : state) acc += rng.exponential(45.0);
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_SerializerRoundTrip(benchmark::State& state) {
+  const auto entries = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    serial::Writer w;
+    for (std::size_t i = 0; i < entries; ++i) {
+      w.varint(i * 2654435761u);
+      w.str("key-and-some-value-payload");
+    }
+    serial::Reader r(w.bytes());
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < entries; ++i) {
+      acc += r.varint();
+      acc += r.str().size();
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(entries));
+}
+BENCHMARK(BM_SerializerRoundTrip)->Arg(16)->Arg(256);
+
+void BM_UpdateAgentStateRoundTrip(benchmark::State& state) {
+  // Serialize/deserialize a realistically loaded agent — the per-migration
+  // cost of the platform.
+  std::vector<core::UpdateAgent::PendingWrite> writes;
+  for (int i = 0; i < 4; ++i) {
+    writes.push_back({static_cast<std::uint64_t>(i), "item",
+                      std::string(64, 'x')});
+  }
+  core::UpdateAgent agent(0, writes);
+  serial::Writer seed_writer;
+  agent.serialize(seed_writer);
+  const serial::Bytes bytes = seed_writer.take();
+  for (auto _ : state) {
+    core::UpdateAgent copy;
+    serial::Reader r(bytes);
+    copy.deserialize(r);
+    serial::Writer w;
+    copy.serialize(w);
+    benchmark::DoNotOptimize(w.size());
+  }
+}
+BENCHMARK(BM_UpdateAgentStateRoundTrip);
+
+void BM_NetworkUnicastDelivery(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator simulator(3);
+    net::Topology topo = net::make_lan_mesh(8, 1_ms);
+    net::Network network(simulator, topo,
+                         std::make_unique<net::ConstantLatency>(1_ms));
+    std::uint64_t received = 0;
+    for (net::NodeId node = 0; node < 8; ++node) {
+      network.register_node(node, [&](const net::Message&) { ++received; });
+    }
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      network.send(net::Message{0, static_cast<net::NodeId>(1 + i % 7), 1,
+                                serial::Bytes(64)});
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(received);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_NetworkUnicastDelivery);
+
+void BM_MarpEndToEnd(benchmark::State& state) {
+  // Whole-stack sanity number: one bounded MARP simulation per iteration.
+  for (auto _ : state) {
+    runner::ExperimentConfig config;
+    config.servers = 5;
+    config.seed = 42;
+    config.workload.mean_interarrival_ms = 100.0;
+    config.workload.duration = sim::SimTime::seconds(10);
+    config.workload.max_requests_per_server = 20;
+    config.drain = sim::SimTime::seconds(120);
+    const runner::RunResult result = runner::run_experiment(config);
+    if (!result.consistent) state.SkipWithError("inconsistent run");
+    benchmark::DoNotOptimize(result.att_ms);
+  }
+}
+BENCHMARK(BM_MarpEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Read-dominated Internet workload — the paper's motivating scenario.
+//
+// §1: replication "can improve system performance by locating copies of the
+// data near to their use", and §5 notes MARP's strategy "yields good
+// performance for an object that has a high read-to-update ratio, since a
+// read operation needs only to access the local copy". We model a news feed
+// replicated across three WAN sites: editors post occasionally (writes),
+// readers poll constantly (95% reads), and we split the latency clients see
+// by operation class.
+#include <iostream>
+#include <memory>
+
+#include "marp/protocol.hpp"
+#include "net/latency.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace.hpp"
+
+int main() {
+  using namespace marp;
+  using namespace marp::sim::literals;
+
+  // Six replicas spread over three sites: cheap intra-site links (2 ms),
+  // expensive inter-site links (40 ms), heavy-tailed WAN jitter.
+  sim::Simulator simulator(7);
+  net::Topology topology = net::make_wan_clusters(6, 3, 2_ms, 40_ms);
+  net::Network network(simulator, topology,
+                       std::make_unique<net::WanLatency>(topology.delays,
+                                                         net::WanLatency::Params{}));
+  agent::AgentPlatform platform(network);
+
+  core::MarpConfig marp_config;
+  marp_config.batch_size = 4;  // an editor agent carries up to 4 posts
+  marp_config.batch_period = 200_ms;
+  core::MarpProtocol marp(network, platform, marp_config);
+
+  workload::TraceCollector trace;
+  marp.set_outcome_handler(
+      [&trace](const replica::Outcome& outcome) { trace.record(outcome); });
+
+  // Busy feed: Poisson arrivals every 40 ms per replica, 95% reads, Zipf
+  // popularity over 8 hot articles.
+  workload::WorkloadConfig load;
+  load.mean_interarrival_ms = 40.0;
+  load.write_fraction = 0.05;
+  load.num_keys = 8;
+  load.zipf_s = 1.1;
+  load.duration = sim::SimTime::seconds(30);
+  workload::RequestGenerator generator(
+      simulator, 6, load,
+      [&marp](const replica::Request& request) { marp.submit(request); });
+  generator.start();
+  simulator.run();
+
+  // Split client-observed latency by operation class.
+  double read_sum = 0.0, write_sum = 0.0;
+  std::uint64_t reads = 0, writes = 0;
+  for (const auto& outcome : trace.outcomes()) {
+    if (!outcome.success) continue;
+    if (outcome.kind == replica::RequestKind::Read) {
+      read_sum += outcome.total_latency().as_millis();
+      ++reads;
+    } else {
+      write_sum += outcome.total_latency().as_millis();
+      ++writes;
+    }
+  }
+
+  std::cout << "news_feed: 6 replicas / 3 WAN sites, 95% reads, Zipf(1.1)\n\n";
+  std::cout << "requests:        " << generator.generated() << " generated, "
+            << trace.completed() << " completed\n";
+  std::cout << "reads:           " << reads << ", avg latency "
+            << (reads ? read_sum / static_cast<double>(reads) : 0.0)
+            << " ms (local copy)\n";
+  std::cout << "posts (writes):  " << writes << ", avg latency "
+            << (writes ? write_sum / static_cast<double>(writes) : 0.0)
+            << " ms (majority consensus across sites)\n";
+  std::cout << "ALT / ATT:       " << trace.average_lock_time_ms() << " / "
+            << trace.average_total_time_ms() << " ms\n";
+  std::cout << "messages:        " << network.stats().messages_sent << "\n";
+  std::cout << "migrations:      " << platform.stats().migrations_started
+            << " (" << platform.stats().migration_bytes / 1024 << " KiB)\n";
+  std::cout << "batched commits: " << marp.stats().updates_committed << " for "
+            << writes << " posts\n\n";
+  std::cout << "Takeaway: ~95% of the traffic is served at local cost; only\n"
+               "the rare posts pay the WAN coordination price — the trade\n"
+               "the paper designed MARP around. Batching amortizes agents\n"
+               "over bursts of posts from the same site.\n";
+  return 0;
+}

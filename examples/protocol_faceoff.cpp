@@ -1,0 +1,52 @@
+// Protocol face-off: the same workload through MARP and all four
+// message-passing baselines, printed side by side.
+//
+// A compact version of bench/table_comparison meant for reading code, not
+// producing figures: shows how the common ReplicationProtocol interface
+// lets workloads drive any scheme, and what each costs.
+#include <iostream>
+
+#include "metrics/report.hpp"
+#include "runner/experiment.hpp"
+
+int main() {
+  using namespace marp;
+
+  const std::vector<runner::ProtocolKind> protocols{
+      runner::ProtocolKind::Marp, runner::ProtocolKind::MpMcv,
+      runner::ProtocolKind::WeightedVoting, runner::ProtocolKind::AvailableCopy,
+      runner::ProtocolKind::PrimaryCopy};
+
+  metrics::Table table({"protocol", "writes ok", "avg write (ms)",
+                        "avg client (ms)", "msgs/write", "wire KB/write",
+                        "consistent"});
+
+  for (runner::ProtocolKind protocol : protocols) {
+    runner::ExperimentConfig config;
+    config.protocol = protocol;
+    config.servers = 5;
+    config.seed = 99;  // identical workload for every protocol
+    config.workload.mean_interarrival_ms = 80.0;
+    config.workload.write_fraction = 0.5;
+    config.workload.duration = sim::SimTime::seconds(20);
+    config.workload.max_requests_per_server = 100;
+    config.drain = sim::SimTime::seconds(300);
+
+    const runner::RunResult result = runner::run_experiment(config);
+    table.add_row({result.protocol, std::to_string(result.successful_writes),
+                   metrics::Table::num(result.att_ms, 1),
+                   metrics::Table::num(result.client_latency_ms, 1),
+                   metrics::Table::num(result.messages_per_write(), 1),
+                   metrics::Table::num(result.wire_bytes_per_write() / 1024.0, 1),
+                   result.consistent ? "yes" : "NO"});
+  }
+
+  std::cout << "protocol_faceoff: identical seed-99 workload (N = 5, 50% "
+               "writes) through every protocol\n\n";
+  table.print(std::cout);
+  std::cout << "\nReading the table: MARP trades coordination messages for\n"
+               "agent migrations (visible in wire bytes); available-copy is\n"
+               "cheap but partition-fragile; primary-copy centralizes; the\n"
+               "quorum baselines pay message rounds per write.\n";
+  return 0;
+}

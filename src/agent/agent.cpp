@@ -1,0 +1,53 @@
+#include "agent/agent.hpp"
+
+#include "agent/host.hpp"
+#include "agent/platform.hpp"
+#include "util/assert.hpp"
+
+namespace marp::agent {
+
+AgentContext::AgentContext(AgentHost& host, AgentId self) : host_(host), self_(self) {}
+
+net::NodeId AgentContext::here() const noexcept { return host_.node(); }
+
+sim::SimTime AgentContext::now() const noexcept {
+  return host_.platform().simulator().now();
+}
+
+void AgentContext::dispatch_to(net::NodeId destination) {
+  MARP_REQUIRE_MSG(intent_ == Intent::None, "one intent per callback");
+  MARP_REQUIRE_MSG(destination != host_.node(), "cannot dispatch to current host");
+  intent_ = Intent::Dispatch;
+  destination_ = destination;
+}
+
+void AgentContext::dispose() {
+  MARP_REQUIRE_MSG(intent_ == Intent::None, "one intent per callback");
+  intent_ = Intent::Dispose;
+}
+
+void AgentContext::clone_to(net::NodeId destination) {
+  clones_.push_back(destination);
+}
+
+void AgentContext::send_to_node(net::NodeId dst, net::MessageType type,
+                                serial::Bytes payload) {
+  host_.send_from_here(dst, type, std::move(payload));
+}
+
+void AgentContext::broadcast(net::MessageType type, const serial::Bytes& payload) {
+  auto& network = host_.platform().network();
+  network.broadcast(host_.node(), type, payload);
+}
+
+void AgentContext::set_timer(sim::SimTime delay, std::uint64_t token) {
+  auto it = host_.agents_.find(self_);
+  MARP_REQUIRE_MSG(it != host_.agents_.end(), "set_timer from foreign context");
+  host_.arm_timer(self_, it->second.incarnation, delay, token);
+}
+
+void* AgentContext::service_raw(const std::string& name) const {
+  return host_.service(name);
+}
+
+}  // namespace marp::agent

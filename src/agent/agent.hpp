@@ -1,0 +1,141 @@
+// MobileAgent base class and the context handed to agent callbacks.
+//
+// Agents are autonomous: the platform invokes their lifecycle callbacks and
+// the agent decides (via AgentContext) whether to migrate, send messages,
+// set timers, or dispose itself. State migrates by value: an agent that
+// dispatches is serialized to bytes, destroyed, and reconstructed at the
+// destination — exactly the Aglets model the paper prototypes on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agent/agent_id.hpp"
+#include "net/message.hpp"
+#include "serial/byte_buffer.hpp"
+#include "sim/time.hpp"
+
+namespace marp::agent {
+
+class AgentHost;
+class AgentPlatform;
+
+/// Handle through which an agent interacts with its current host. Valid only
+/// for the duration of one callback.
+class AgentContext {
+ public:
+  AgentContext(AgentHost& host, AgentId self);
+
+  /// Node this agent is currently executing on.
+  net::NodeId here() const noexcept;
+
+  /// Current virtual time.
+  sim::SimTime now() const noexcept;
+
+  /// Request migration to `destination` once the callback returns. At most
+  /// one of dispatch_to()/dispose() may be requested per callback.
+  void dispatch_to(net::NodeId destination);
+
+  /// Request disposal once the callback returns (paper: "dispose").
+  void dispose();
+
+  /// Spawn a copy of this agent (Aglets' "clone") once the callback
+  /// returns. The clone carries the agent's serialized state at that
+  /// moment, gets a fresh identity, and lands on `destination` via a normal
+  /// migration (or locally when destination is the current node, receiving
+  /// on_arrival). May be combined with dispatch_to()/dispose() and called
+  /// several times per callback.
+  void clone_to(net::NodeId destination);
+
+  /// Send an application message from the current node to another node.
+  void send_to_node(net::NodeId dst, net::MessageType type, serial::Bytes payload);
+
+  /// Send the same payload to every node except the current one.
+  void broadcast(net::MessageType type, const serial::Bytes& payload);
+
+  /// Arm a timer; on_timer(token) fires if the agent is still on this host.
+  void set_timer(sim::SimTime delay, std::uint64_t token);
+
+  /// Look up a named service object published by the host (the replica
+  /// server publishes its locking interface this way).
+  template <typename T>
+  T* service(const std::string& name) const {
+    return static_cast<T*>(service_raw(name));
+  }
+
+  AgentHost& host() noexcept { return host_; }
+
+  // --- used by AgentHost when processing the callback's intent ---
+  enum class Intent : std::uint8_t { None, Dispatch, Dispose };
+  Intent intent() const noexcept { return intent_; }
+  net::NodeId intent_destination() const noexcept { return destination_; }
+  const std::vector<net::NodeId>& clone_destinations() const noexcept {
+    return clones_;
+  }
+
+ private:
+  void* service_raw(const std::string& name) const;
+
+  AgentHost& host_;
+  AgentId self_;
+  Intent intent_ = Intent::None;
+  net::NodeId destination_ = net::kInvalidNode;
+  std::vector<net::NodeId> clones_;
+};
+
+class MobileAgent {
+ public:
+  virtual ~MobileAgent() = default;
+
+  const AgentId& id() const noexcept { return id_; }
+
+  /// Registry key; must match the name this type was registered under.
+  virtual std::string type_name() const = 0;
+
+  /// Called once on the creating host, right after creation.
+  virtual void on_created(AgentContext& ctx) { (void)ctx; }
+
+  /// Called on every host the agent lands on after a migration.
+  virtual void on_arrival(AgentContext& ctx) = 0;
+
+  /// A dispatch to `destination` failed (host down / link cut); the agent
+  /// has been revived on the host it tried to leave. Retry accounting is the
+  /// agent's responsibility (it migrates with the agent). Default: dispose.
+  virtual void on_migration_failed(AgentContext& ctx, net::NodeId destination) {
+    (void)destination;
+    ctx.dispose();
+  }
+
+  /// A message addressed to this agent arrived at its current host.
+  virtual void on_message(AgentContext& ctx, net::MessageType type,
+                          const serial::Bytes& payload) {
+    (void)ctx;
+    (void)type;
+    (void)payload;
+  }
+
+  /// The host raised a local signal (e.g. "locking-list head changed").
+  virtual void on_signal(AgentContext& ctx, std::uint32_t signal) {
+    (void)ctx;
+    (void)signal;
+  }
+
+  /// A timer armed via AgentContext::set_timer fired.
+  virtual void on_timer(AgentContext& ctx, std::uint64_t token) {
+    (void)ctx;
+    (void)token;
+  }
+
+  /// Serialize the full migrating state (id is carried by the platform).
+  virtual void serialize(serial::Writer& w) const = 0;
+  virtual void deserialize(serial::Reader& r) = 0;
+
+ private:
+  friend class AgentHost;
+  friend class AgentPlatform;
+  AgentId id_;
+};
+
+}  // namespace marp::agent

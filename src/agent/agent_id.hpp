@@ -1,0 +1,69 @@
+// Agent identity.
+//
+// Per the paper (§3.2): "a unique identifier consisting of the host-name of
+// the replicated server where the mobile agent is created plus the local
+// creation time". We add a per-host sequence number so two agents created in
+// the same microsecond stay distinct. The total order on AgentId is the
+// deterministic tie-break rule of Theorem 2.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "net/message.hpp"
+#include "serial/byte_buffer.hpp"
+#include "sim/time.hpp"
+
+namespace marp::agent {
+
+struct AgentId {
+  net::NodeId origin = net::kInvalidNode;  ///< host the agent was created on
+  std::int64_t created_us = 0;             ///< local creation time
+  std::uint32_t seq = 0;                   ///< per-host creation counter
+
+  constexpr bool valid() const noexcept { return origin != net::kInvalidNode; }
+
+  /// Tie-break order (paper: "the tie is resolved by using the mobile
+  /// agents' identifiers"): earlier creation wins, then lower origin, then
+  /// lower sequence number.
+  friend constexpr auto operator<=>(const AgentId& a, const AgentId& b) noexcept {
+    if (auto c = a.created_us <=> b.created_us; c != 0) return c;
+    if (auto c = a.origin <=> b.origin; c != 0) return c;
+    return a.seq <=> b.seq;
+  }
+  friend constexpr bool operator==(const AgentId&, const AgentId&) noexcept = default;
+
+  std::string to_string() const {
+    std::ostringstream os;
+    os << "agent(" << origin << '@' << created_us << '#' << seq << ')';
+    return os.str();
+  }
+
+  void serialize(serial::Writer& w) const {
+    w.varint(origin);
+    w.svarint(created_us);
+    w.varint(seq);
+  }
+
+  static AgentId deserialize(serial::Reader& r) {
+    AgentId id;
+    id.origin = static_cast<net::NodeId>(r.varint());
+    id.created_us = r.svarint();
+    id.seq = static_cast<std::uint32_t>(r.varint());
+    return id;
+  }
+};
+
+struct AgentIdHash {
+  std::size_t operator()(const AgentId& id) const noexcept {
+    std::uint64_t h = id.origin;
+    h = h * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(id.created_us);
+    h = h * 0x9E3779B97F4A7C15ULL + id.seq;
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+};
+
+}  // namespace marp::agent

@@ -1,0 +1,202 @@
+#include "agent/host.hpp"
+
+#include "agent/platform.hpp"
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace marp::agent {
+
+serial::Bytes AgentEnvelope::encode() const {
+  serial::Writer w;
+  destination.serialize(w);
+  w.varint(inner_type);
+  w.raw(inner_payload);
+  return w.take();
+}
+
+AgentEnvelope AgentEnvelope::decode(const serial::Bytes& payload) {
+  serial::Reader r(payload);
+  AgentEnvelope env;
+  env.destination = AgentId::deserialize(r);
+  env.inner_type = static_cast<net::MessageType>(r.varint());
+  env.inner_payload = r.raw();
+  return env;
+}
+
+AgentHost::AgentHost(AgentPlatform& platform, net::NodeId node)
+    : platform_(platform), node_(node) {}
+
+template <typename Fn>
+void AgentHost::run_callback(const AgentId& id, Fn&& fn) {
+  auto it = agents_.find(id);
+  if (it == agents_.end()) return;
+  AgentContext ctx(*this, id);
+  fn(*it->second.agent, ctx);
+
+  // Clones are taken from the post-callback state, before any dispatch or
+  // disposal removes the original.
+  if (!ctx.clone_destinations().empty()) {
+    auto again = agents_.find(id);
+    MARP_DEBUG_ASSERT(again != agents_.end());
+    for (net::NodeId destination : ctx.clone_destinations()) {
+      spawn_clone(*again->second.agent, destination);
+    }
+  }
+
+  switch (ctx.intent()) {
+    case AgentContext::Intent::None:
+      break;
+    case AgentContext::Intent::Dispose: {
+      agents_.erase(id);
+      platform_.note_disposed();
+      if (auto* observer = platform_.observer()) {
+        observer->on_agent_disposed(id, node_);
+      }
+      break;
+    }
+    case AgentContext::Intent::Dispatch: {
+      // Iterator may have been invalidated if the callback created agents.
+      auto again = agents_.find(id);
+      MARP_DEBUG_ASSERT(again != agents_.end());
+      std::unique_ptr<MobileAgent> agent = std::move(again->second.agent);
+      agents_.erase(again);
+      platform_.begin_migration(std::move(agent), node_, ctx.intent_destination());
+      break;
+    }
+  }
+}
+
+AgentId AgentHost::create(std::unique_ptr<MobileAgent> agent) {
+  MARP_REQUIRE(agent != nullptr);
+  const AgentId id{node_, platform_.simulator().now().as_micros(), next_seq_++};
+  agent->id_ = id;
+  const std::string type = agent->type_name();
+  platform_.note_created();
+  agents_[id] = Hosted{std::move(agent), ++incarnation_counter_};
+  if (auto* observer = platform_.observer()) {
+    observer->on_agent_created(id, type, node_);
+  }
+  run_callback(id, [](MobileAgent& a, AgentContext& ctx) { a.on_created(ctx); });
+  return id;
+}
+
+void AgentHost::spawn_clone(const MobileAgent& original, net::NodeId destination) {
+  serial::Writer state;
+  original.serialize(state);
+  std::unique_ptr<MobileAgent> clone =
+      platform_.registry().create(original.type_name());
+  serial::Reader reader(state.bytes());
+  clone->deserialize(reader);
+  clone->id_ = AgentId{node_, platform_.simulator().now().as_micros(), next_seq_++};
+  platform_.note_created();
+  if (auto* observer = platform_.observer()) {
+    observer->on_agent_created(clone->id(), original.type_name(), node_);
+  }
+  if (destination == node_) {
+    adopt(std::move(clone), /*arrival=*/true, net::kInvalidNode);
+  } else {
+    platform_.begin_migration(std::move(clone), node_, destination);
+  }
+}
+
+void AgentHost::adopt(std::unique_ptr<MobileAgent> agent, bool arrival,
+                      net::NodeId failed_dest) {
+  MARP_REQUIRE(agent != nullptr);
+  const AgentId id = agent->id();
+  MARP_REQUIRE_MSG(!agents_.contains(id), "agent already hosted here");
+  agents_[id] = Hosted{std::move(agent), ++incarnation_counter_};
+  if (arrival) {
+    run_callback(id, [](MobileAgent& a, AgentContext& ctx) { a.on_arrival(ctx); });
+  } else {
+    run_callback(id, [failed_dest](MobileAgent& a, AgentContext& ctx) {
+      a.on_migration_failed(ctx, failed_dest);
+    });
+  }
+}
+
+void AgentHost::deliver_envelope(const AgentEnvelope& envelope) {
+  if (!agents_.contains(envelope.destination)) {
+    ++dropped_agent_messages_;
+    MARP_LOG_DEBUG("agent") << "message for departed "
+                            << envelope.destination.to_string() << " at node "
+                            << node_;
+    return;
+  }
+  run_callback(envelope.destination, [&](MobileAgent& a, AgentContext& ctx) {
+    a.on_message(ctx, envelope.inner_type, envelope.inner_payload);
+  });
+}
+
+void AgentHost::raise_signal(std::uint32_t signal) {
+  std::vector<AgentId> snapshot;
+  snapshot.reserve(agents_.size());
+  for (const auto& [id, hosted] : agents_) snapshot.push_back(id);
+  for (const AgentId& id : snapshot) {
+    run_callback(id, [signal](MobileAgent& a, AgentContext& ctx) {
+      a.on_signal(ctx, signal);
+    });
+  }
+}
+
+std::vector<const MobileAgent*> AgentHost::resident_agents() const {
+  std::vector<const MobileAgent*> out;
+  out.reserve(agents_.size());
+  for (const auto& [id, hosted] : agents_) out.push_back(hosted.agent.get());
+  return out;
+}
+
+std::vector<AgentId> AgentHost::dispose_by_type(const std::string& type_name) {
+  std::vector<AgentId> killed;
+  for (const auto& [id, hosted] : agents_) {
+    if (hosted.agent->type_name() == type_name) killed.push_back(id);
+  }
+  for (const AgentId& id : killed) {
+    agents_.erase(id);
+    platform_.note_disposed();
+    if (auto* observer = platform_.observer()) {
+      observer->on_agent_disposed(id, node_);
+    }
+  }
+  return killed;
+}
+
+std::vector<AgentId> AgentHost::dispose_all() {
+  std::vector<AgentId> killed;
+  killed.reserve(agents_.size());
+  for (const auto& [id, hosted] : agents_) killed.push_back(id);
+  for (const AgentId& id : killed) {
+    platform_.note_disposed();
+    if (auto* observer = platform_.observer()) {
+      observer->on_agent_disposed(id, node_);
+    }
+  }
+  agents_.clear();
+  return killed;
+}
+
+void AgentHost::set_service(const std::string& name, void* service) {
+  services_[name] = service;
+}
+
+void* AgentHost::service(const std::string& name) const {
+  auto it = services_.find(name);
+  return it == services_.end() ? nullptr : it->second;
+}
+
+void AgentHost::send_from_here(net::NodeId dst, net::MessageType type,
+                               serial::Bytes payload) {
+  platform_.network().send(net::Message{node_, dst, type, std::move(payload)});
+}
+
+void AgentHost::arm_timer(const AgentId& id, std::uint64_t incarnation,
+                          sim::SimTime delay, std::uint64_t token) {
+  platform_.simulator().schedule(delay, [this, id, incarnation, token] {
+    auto it = agents_.find(id);
+    if (it == agents_.end() || it->second.incarnation != incarnation) return;
+    run_callback(id, [token](MobileAgent& a, AgentContext& ctx) {
+      a.on_timer(ctx, token);
+    });
+  });
+}
+
+}  // namespace marp::agent

@@ -1,0 +1,115 @@
+// AgentHost: the per-node runtime that hosts agents (the "Tahiti server" of
+// the paper's Aglets prototype).
+//
+// A host executes agent callbacks, carries out their migration/dispose
+// intents, routes agent-addressed messages, publishes named services to
+// visiting agents, and raises local signals (used by the MARP server to wake
+// waiting agents when a locking-list head changes).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "agent/agent.hpp"
+#include "agent/agent_id.hpp"
+#include "net/network.hpp"
+
+namespace marp::agent {
+
+class AgentPlatform;
+
+/// Envelope type for node-to-agent messages (decoded by the host).
+constexpr net::MessageType kAgentMessageType = 0xA0000002;
+
+/// Payload layout of a node-to-agent message.
+struct AgentEnvelope {
+  AgentId destination;
+  net::MessageType inner_type = 0;
+  serial::Bytes inner_payload;
+
+  serial::Bytes encode() const;
+  static AgentEnvelope decode(const serial::Bytes& payload);
+};
+
+class AgentHost {
+ public:
+  AgentHost(AgentPlatform& platform, net::NodeId node);
+
+  AgentHost(const AgentHost&) = delete;
+  AgentHost& operator=(const AgentHost&) = delete;
+
+  net::NodeId node() const noexcept { return node_; }
+  AgentPlatform& platform() noexcept { return platform_; }
+
+  /// Create an agent on this host. Assigns its id (origin = this node,
+  /// creation time = now, per-host sequence) and runs on_created, honouring
+  /// any dispatch/dispose intent it sets. Returns the assigned id.
+  AgentId create(std::unique_ptr<MobileAgent> agent);
+
+  bool has_agent(const AgentId& id) const { return agents_.contains(id); }
+  std::size_t agent_count() const noexcept { return agents_.size(); }
+
+  /// Destroy every hosted agent without callbacks (fail-stop of the host
+  /// process kills the agents executing on it). Returns the ids killed.
+  std::vector<AgentId> dispose_all();
+
+  /// Destroy hosted agents of one registered type (e.g. a rollback aborts
+  /// the in-flight update agents on this host). Returns the ids killed.
+  std::vector<AgentId> dispose_by_type(const std::string& type_name);
+
+  /// Read-only view of the hosted agents (tests / diagnostics).
+  std::vector<const MobileAgent*> resident_agents() const;
+
+  /// Agent-addressed message arriving at this node; dropped (with a count)
+  /// if the agent has already moved on or been disposed.
+  void deliver_envelope(const AgentEnvelope& envelope);
+
+  /// Wake every hosted agent with a local signal (snapshot semantics: agents
+  /// created by a signal handler do not receive this signal).
+  void raise_signal(std::uint32_t signal);
+
+  /// Publish/lookup a named service object for visiting agents.
+  void set_service(const std::string& name, void* service);
+  void* service(const std::string& name) const;
+
+  /// Messages an agent sends through its context originate from this node.
+  void send_from_here(net::NodeId dst, net::MessageType type, serial::Bytes payload);
+
+  std::uint64_t dropped_agent_messages() const noexcept { return dropped_agent_messages_; }
+
+ private:
+  friend class AgentPlatform;
+  friend class AgentContext;
+
+  struct Hosted {
+    std::unique_ptr<MobileAgent> agent;
+    std::uint64_t incarnation = 0;  ///< bumps every time the agent lands here
+  };
+
+  /// Land a reconstructed agent (migration arrival or failure revival).
+  void adopt(std::unique_ptr<MobileAgent> agent, bool arrival, net::NodeId failed_dest);
+
+  /// Materialize a clone of `original` (fresh identity, same state) and
+  /// ship it to `destination` — or host it here when destination == node().
+  void spawn_clone(const MobileAgent& original, net::NodeId destination);
+
+  /// Run one callback and then carry out the context's intent.
+  template <typename Fn>
+  void run_callback(const AgentId& id, Fn&& fn);
+
+  void arm_timer(const AgentId& id, std::uint64_t incarnation, sim::SimTime delay,
+                 std::uint64_t token);
+
+  AgentPlatform& platform_;
+  net::NodeId node_;
+  std::unordered_map<AgentId, Hosted, AgentIdHash> agents_;
+  std::unordered_map<std::string, void*> services_;
+  std::uint32_t next_seq_ = 0;
+  std::uint64_t incarnation_counter_ = 0;
+  std::uint64_t dropped_agent_messages_ = 0;
+};
+
+}  // namespace marp::agent

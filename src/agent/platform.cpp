@@ -1,0 +1,133 @@
+#include "agent/platform.hpp"
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace marp::agent {
+
+AgentPlatform::AgentPlatform(net::Network& network, PlatformConfig config)
+    : network_(network), config_(config), app_handlers_(network.size()) {
+  hosts_.reserve(network.size());
+  for (net::NodeId node = 0; node < network.size(); ++node) {
+    hosts_.push_back(std::make_unique<AgentHost>(*this, node));
+    network_.register_node(node, [this, node](const net::Message& message) {
+      if (message.type == kAgentMessageType) {
+        hosts_[node]->deliver_envelope(AgentEnvelope::decode(message.payload));
+      } else if (app_handlers_[node]) {
+        app_handlers_[node](message);
+      } else {
+        MARP_LOG_WARN("platform") << "no app handler at node " << node
+                                  << " for type " << message.type;
+      }
+    });
+  }
+}
+
+AgentHost& AgentPlatform::host(net::NodeId node) {
+  MARP_REQUIRE(node < hosts_.size());
+  return *hosts_[node];
+}
+
+void AgentPlatform::set_app_handler(net::NodeId node, net::Network::Handler handler) {
+  MARP_REQUIRE(node < app_handlers_.size());
+  app_handlers_[node] = std::move(handler);
+}
+
+void AgentPlatform::send_to_agent(net::NodeId src, net::NodeId dst_node,
+                                  const AgentId& agent, net::MessageType type,
+                                  serial::Bytes payload) {
+  AgentEnvelope envelope{agent, type, std::move(payload)};
+  network_.send(net::Message{src, dst_node, kAgentMessageType, envelope.encode()});
+}
+
+bool AgentPlatform::retract(const AgentId& id, net::NodeId to) {
+  MARP_REQUIRE(to < hosts_.size());
+  for (auto& host : hosts_) {
+    auto it = host->agents_.find(id);
+    if (it == host->agents_.end()) continue;
+    if (host->node() == to) return true;  // already home
+    std::unique_ptr<MobileAgent> agent = std::move(it->second.agent);
+    host->agents_.erase(it);
+    begin_migration(std::move(agent), host->node(), to);
+    return true;
+  }
+  return false;
+}
+
+std::size_t AgentPlatform::live_agents() const {
+  std::size_t count = 0;
+  for (const auto& host : hosts_) count += host->agent_count();
+  return count;
+}
+
+serial::Bytes AgentPlatform::encode_frame(const MobileAgent& agent) const {
+  serial::Writer w;
+  w.str(agent.type_name());
+  agent.id().serialize(w);
+  serial::Writer state;
+  agent.serialize(state);
+  w.raw(state.bytes());
+  return w.take();
+}
+
+std::unique_ptr<MobileAgent> AgentPlatform::decode_frame(const serial::Bytes& bytes) const {
+  serial::Reader r(bytes);
+  const std::string type_name = r.str();
+  const AgentId id = AgentId::deserialize(r);
+  const serial::Bytes state = r.raw();
+  std::unique_ptr<MobileAgent> agent = registry_.create(type_name);
+  serial::Reader state_reader(state);
+  agent->deserialize(state_reader);
+  MARP_ENSURE_MSG(state_reader.at_end(), "agent state not fully consumed: " + type_name);
+  agent->id_ = id;
+  return agent;
+}
+
+void AgentPlatform::begin_migration(std::unique_ptr<MobileAgent> agent,
+                                    net::NodeId src, net::NodeId dest) {
+  MARP_REQUIRE(dest < network_.size());
+  MARP_REQUIRE(dest != src);
+
+  // True serialization round trip: the source-side object dies here and the
+  // destination (or the failure path) reconstructs from bytes.
+  const AgentId id = agent->id();
+  const serial::Bytes frame = encode_frame(*agent);
+  agent.reset();
+
+  const std::size_t wire_bytes = frame.size() + config_.migration_overhead_bytes;
+  ++stats_.migrations_started;
+  stats_.migration_bytes += wire_bytes;
+  if (observer_) observer_->on_migration_started(id, src, dest, wire_bytes);
+
+  auto& simulator = network_.simulator();
+  const bool reachable = network_.node_up(src) && network_.node_up(dest) &&
+                         network_.link_up(src, dest);
+  if (!reachable) {
+    // Connection never establishes; source detects after the timeout.
+    simulator.schedule(config_.migration_timeout, [this, frame, id, src, dest] {
+      ++stats_.migrations_failed;
+      if (observer_) observer_->on_migration_failed(id, src, dest);
+      hosts_[src]->adopt(decode_frame(frame), /*arrival=*/false, dest);
+    });
+    return;
+  }
+
+  const sim::SimTime latency = network_.sample_latency(src, dest, wire_bytes);
+  simulator.schedule(latency, [this, frame, id, src, dest] {
+    if (!network_.node_up(dest)) {
+      // Destination died in flight; source times out and revives the agent.
+      const sim::SimTime remaining = config_.migration_timeout;
+      network_.simulator().schedule(remaining, [this, frame, id, src, dest] {
+        ++stats_.migrations_failed;
+        if (observer_) observer_->on_migration_failed(id, src, dest);
+        hosts_[src]->adopt(decode_frame(frame), /*arrival=*/false, dest);
+      });
+      return;
+    }
+    ++stats_.migrations_completed;
+    if (observer_) observer_->on_migration_completed(id, dest);
+    hosts_[dest]->adopt(decode_frame(frame), /*arrival=*/true, net::kInvalidNode);
+  });
+}
+
+}  // namespace marp::agent

@@ -1,0 +1,137 @@
+// AgentPlatform: the whole-network agent runtime.
+//
+// Owns one AgentHost per node, the type registry, and the migration
+// machinery. Migration is a true serialize → transfer → reconstruct round
+// trip, charged through the network's latency model by frame size. Failure
+// semantics follow the paper (§2): a migration to a down/unreachable host is
+// detected after `migration_timeout` and the agent is revived where it was,
+// with on_migration_failed() letting it retry or skip the replica.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "agent/host.hpp"
+#include "agent/registry.hpp"
+#include "net/network.hpp"
+
+namespace marp::agent {
+
+struct PlatformConfig {
+  /// Time for the source to conclude a migration failed (connection
+  /// timeout). The paper: "If a mobile agent cannot migrate to a replicated
+  /// server host after certain amount of time, the protocol assumes that
+  /// the replica process at the host has temporarily failed."
+  sim::SimTime migration_timeout = sim::SimTime::millis(50);
+
+  /// Fixed per-migration overhead on top of serialized state (class name,
+  /// codebase reference, frame headers — Aglets transfers are not free).
+  std::size_t migration_overhead_bytes = 512;
+};
+
+/// Observer for agent lifecycle events (timeline recording, debugging UIs —
+/// the paper's §4 prototype had "an interface … to visualize the
+/// execution"). All callbacks are optional; default is no-op.
+class PlatformObserver {
+ public:
+  virtual ~PlatformObserver() = default;
+  virtual void on_agent_created(const AgentId& id, const std::string& type,
+                                net::NodeId at) {
+    (void)id, (void)type, (void)at;
+  }
+  virtual void on_agent_disposed(const AgentId& id, net::NodeId at) {
+    (void)id, (void)at;
+  }
+  virtual void on_migration_started(const AgentId& id, net::NodeId from,
+                                    net::NodeId to, std::size_t bytes) {
+    (void)id, (void)from, (void)to, (void)bytes;
+  }
+  virtual void on_migration_completed(const AgentId& id, net::NodeId at) {
+    (void)id, (void)at;
+  }
+  virtual void on_migration_failed(const AgentId& id, net::NodeId from,
+                                   net::NodeId to) {
+    (void)id, (void)from, (void)to;
+  }
+};
+
+struct PlatformStats {
+  std::uint64_t agents_created = 0;
+  std::uint64_t agents_disposed = 0;
+  std::uint64_t migrations_started = 0;
+  std::uint64_t migrations_completed = 0;
+  std::uint64_t migrations_failed = 0;
+  std::uint64_t migration_bytes = 0;
+};
+
+class AgentPlatform {
+ public:
+  AgentPlatform(net::Network& network, PlatformConfig config = {});
+
+  AgentPlatform(const AgentPlatform&) = delete;
+  AgentPlatform& operator=(const AgentPlatform&) = delete;
+
+  net::Network& network() noexcept { return network_; }
+  sim::Simulator& simulator() noexcept { return network_.simulator(); }
+  AgentRegistry& registry() noexcept { return registry_; }
+  const PlatformConfig& config() const noexcept { return config_; }
+
+  AgentHost& host(net::NodeId node);
+  std::size_t size() const noexcept { return hosts_.size(); }
+
+  /// Install the handler for non-agent application messages at `node`.
+  /// (The platform owns the node's network registration and demuxes
+  /// agent envelopes to the host, everything else to this handler.)
+  void set_app_handler(net::NodeId node, net::Network::Handler handler);
+
+  /// Send a message addressed to an agent wherever it currently is — the
+  /// sender names the node it believes hosts the agent (MARP replies to
+  /// the node the request came from).
+  void send_to_agent(net::NodeId src, net::NodeId dst_node, const AgentId& agent,
+                     net::MessageType type, serial::Bytes payload);
+
+  const PlatformStats& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_ = PlatformStats{}; }
+
+  /// Install a lifecycle observer (nullptr to remove). Not owned.
+  void set_observer(PlatformObserver* observer) noexcept { observer_ = observer; }
+  PlatformObserver* observer() const noexcept { return observer_; }
+
+  /// Total number of agents currently hosted anywhere (in-flight excluded).
+  std::size_t live_agents() const;
+
+  /// Aglets' "retract": forcibly pull agent `id` from whichever host holds
+  /// it to `to` (it lands with on_arrival, like any migration). Returns
+  /// false if the agent is not currently hosted anywhere (mid-flight or
+  /// disposed); true if it was moved or is already at `to`.
+  bool retract(const AgentId& id, net::NodeId to);
+
+ private:
+  friend class AgentHost;
+  friend class AgentContext;
+
+  /// Serialize + ship an agent from `src` to `dest`.
+  void begin_migration(std::unique_ptr<MobileAgent> agent, net::NodeId src,
+                       net::NodeId dest);
+
+  void note_disposed() { ++stats_.agents_disposed; }
+  void note_created() { ++stats_.agents_created; }
+
+  struct Frame {
+    std::string type_name;
+    AgentId id;
+    serial::Bytes state;
+  };
+  serial::Bytes encode_frame(const MobileAgent& agent) const;
+  std::unique_ptr<MobileAgent> decode_frame(const serial::Bytes& bytes) const;
+
+  net::Network& network_;
+  PlatformConfig config_;
+  AgentRegistry registry_;
+  std::vector<std::unique_ptr<AgentHost>> hosts_;
+  std::vector<net::Network::Handler> app_handlers_;
+  PlatformStats stats_;
+  PlatformObserver* observer_ = nullptr;
+};
+
+}  // namespace marp::agent

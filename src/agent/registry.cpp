@@ -1,0 +1,19 @@
+#include "agent/registry.hpp"
+
+#include "util/assert.hpp"
+
+namespace marp::agent {
+
+void AgentRegistry::register_type(const std::string& name, Factory factory) {
+  MARP_REQUIRE_MSG(!factories_.contains(name), "agent type registered twice: " + name);
+  MARP_REQUIRE(factory != nullptr);
+  factories_.emplace(name, std::move(factory));
+}
+
+std::unique_ptr<MobileAgent> AgentRegistry::create(const std::string& name) const {
+  auto it = factories_.find(name);
+  MARP_REQUIRE_MSG(it != factories_.end(), "unknown agent type: " + name);
+  return it->second();
+}
+
+}  // namespace marp::agent

@@ -1,0 +1,38 @@
+// Agent type registry.
+//
+// Migration reconstructs agents from bytes; the registry maps the type name
+// in a transfer frame to a factory, playing the role of the class loader in
+// a Java agent platform.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "agent/agent.hpp"
+
+namespace marp::agent {
+
+class AgentRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<MobileAgent>()>;
+
+  /// Register a factory; overwriting an existing name is an error.
+  void register_type(const std::string& name, Factory factory);
+
+  template <typename T>
+  void register_type(const std::string& name) {
+    register_type(name, [] { return std::make_unique<T>(); });
+  }
+
+  bool contains(const std::string& name) const { return factories_.contains(name); }
+
+  /// Instantiate an empty agent of the named type; throws if unknown.
+  std::unique_ptr<MobileAgent> create(const std::string& name) const;
+
+ private:
+  std::unordered_map<std::string, Factory> factories_;
+};
+
+}  // namespace marp::agent

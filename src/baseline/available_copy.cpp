@@ -1,0 +1,254 @@
+#include "baseline/available_copy.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace marp::baseline {
+
+namespace {
+
+serial::Bytes encode_write(std::uint64_t request_id, const std::string& key,
+                           const std::string& value, replica::Version version) {
+  serial::Writer w;
+  w.varint(request_id);
+  w.str(key);
+  w.str(value);
+  version.serialize(w);
+  return w.take();
+}
+
+serial::Bytes encode_id(std::uint64_t request_id) {
+  serial::Writer w;
+  w.varint(request_id);
+  return w.take();
+}
+
+}  // namespace
+
+AvailableCopyServer::AvailableCopyServer(net::Network& network, net::NodeId node,
+                                         const AvailableCopyConfig& config,
+                                         AvailableCopyProtocol& protocol)
+    : replica::ServerBase(network, node), config_(config), protocol_(protocol) {
+  for (net::NodeId peer = 0; peer < network.size(); ++peer) {
+    believed_up_.insert(peer);
+  }
+}
+
+void AvailableCopyServer::submit(const replica::Request& request) {
+  if (!up_) return;
+  if (request.kind == replica::RequestKind::Read) {
+    // Read-once: any single available copy — the local one.
+    simulator().schedule(config_.local_read_time, [this, request] {
+      if (!up_) return;
+      replica::Outcome outcome;
+      outcome.request_id = request.id;
+      outcome.kind = replica::RequestKind::Read;
+      outcome.origin = node_;
+      outcome.submitted = request.submitted;
+      outcome.dispatched = request.submitted;
+      outcome.lock_obtained = request.submitted;
+      outcome.completed = now();
+      outcome.success = true;
+      if (auto value = store_.read(request.key)) outcome.value = value->value;
+      report(outcome);
+    });
+    return;
+  }
+
+  // Write-all-available.
+  Pending pending;
+  pending.request = request;
+  pending.required = believed_up_;
+  pending.required.erase(node_);
+  pending.version = replica::Version{now().as_micros(), node_};
+  store_.apply(request.key, request.value, pending.version);
+  const std::uint64_t id = request.id;
+  pending_.emplace(id, std::move(pending));
+  const Pending& stored = pending_[id];
+  for (net::NodeId peer : stored.required) {
+    network_.send(net::Message{node_, peer, kAcWrite,
+                               encode_write(id, request.key, request.value,
+                                            stored.version)});
+  }
+  maybe_finish(id);
+  arm_retry(id);
+}
+
+void AvailableCopyServer::maybe_finish(std::uint64_t request_id) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  // Completed once every still-required (believed-up) peer has acked.
+  for (net::NodeId peer : pending.required) {
+    if (!pending.acked.contains(peer) && believed_up_.contains(peer)) return;
+  }
+  replica::Outcome outcome;
+  outcome.request_id = pending.request.id;
+  outcome.kind = replica::RequestKind::Write;
+  outcome.origin = node_;
+  outcome.submitted = pending.request.submitted;
+  outcome.dispatched = pending.request.submitted;
+  outcome.lock_obtained = now();
+  outcome.completed = now();
+  outcome.success = true;
+  pending_.erase(it);
+  report(outcome);
+}
+
+void AvailableCopyServer::arm_retry(std::uint64_t request_id) {
+  simulator().schedule(config_.retry_interval, [this, request_id] {
+    if (!up_) return;
+    auto it = pending_.find(request_id);
+    if (it == pending_.end()) return;
+    Pending& pending = it->second;
+    if (++pending.retry_rounds > config_.max_retry_rounds) {
+      replica::Outcome outcome;
+      outcome.request_id = pending.request.id;
+      outcome.kind = replica::RequestKind::Write;
+      outcome.origin = node_;
+      outcome.submitted = pending.request.submitted;
+      outcome.dispatched = pending.request.submitted;
+      outcome.lock_obtained = now();
+      outcome.completed = now();
+      outcome.success = false;
+      pending_.erase(it);
+      report(outcome);
+      return;
+    }
+    for (net::NodeId peer : pending.required) {
+      if (pending.acked.contains(peer) || !believed_up_.contains(peer)) continue;
+      network_.send(net::Message{node_, peer, kAcWrite,
+                                 encode_write(request_id, pending.request.key,
+                                              pending.request.value,
+                                              pending.version)});
+    }
+    arm_retry(request_id);
+  });
+}
+
+void AvailableCopyServer::handle_message(const net::Message& message) {
+  if (!up_) return;
+  serial::Reader r(message.payload);
+  switch (message.type) {
+    case kAcWrite: {
+      const std::uint64_t request_id = r.varint();
+      const std::string key = r.str();
+      const std::string value = r.str();
+      const replica::Version version = replica::Version::deserialize(r);
+      store_.apply(key, value, version);
+      network_.send(net::Message{node_, message.src, kAcAck, encode_id(request_id)});
+      break;
+    }
+    case kAcAck: {
+      const std::uint64_t request_id = r.varint();
+      auto it = pending_.find(request_id);
+      if (it == pending_.end()) break;
+      it->second.acked.insert(message.src);
+      maybe_finish(request_id);
+      break;
+    }
+    case kAcStateReq: {
+      // Send our whole store so the recovering peer catches up.
+      serial::Writer w;
+      const auto keys = store_.keys();
+      w.varint(keys.size());
+      for (const auto& key : keys) {
+        const auto value = store_.read(key);
+        w.str(key);
+        w.str(value->value);
+        value->version.serialize(w);
+      }
+      network_.send(net::Message{node_, message.src, kAcStateRep, w.take()});
+      break;
+    }
+    case kAcStateRep: {
+      const std::uint64_t count = r.varint();
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const std::string key = r.str();
+        const std::string value = r.str();
+        const replica::Version version = replica::Version::deserialize(r);
+        store_.apply(key, value, version);
+      }
+      break;
+    }
+    default:
+      MARP_LOG_WARN("ac") << "unexpected message type " << message.type;
+  }
+}
+
+void AvailableCopyServer::peer_failed(net::NodeId node) {
+  believed_up_.erase(node);
+  // Writes that were only waiting on the dead peer can complete now.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(pending_.size());
+  for (const auto& [id, pending] : pending_) ids.push_back(id);
+  for (std::uint64_t id : ids) maybe_finish(id);
+}
+
+void AvailableCopyServer::peer_recovered(net::NodeId node) {
+  believed_up_.insert(node);
+}
+
+void AvailableCopyServer::on_fail() { pending_.clear(); }
+
+void AvailableCopyServer::on_recover() {
+  // Catch up from the lowest-numbered peer we believe is alive.
+  for (net::NodeId peer : believed_up_) {
+    if (peer != node_) {
+      network_.send(net::Message{node_, peer, kAcStateReq, {}});
+      break;
+    }
+  }
+}
+
+AvailableCopyProtocol::AvailableCopyProtocol(net::Network& network,
+                                             AvailableCopyConfig config)
+    : network_(network), config_(config) {
+  servers_.reserve(network_.size());
+  for (net::NodeId node = 0; node < network_.size(); ++node) {
+    servers_.push_back(
+        std::make_unique<AvailableCopyServer>(network_, node, config_, *this));
+    AvailableCopyServer* server = servers_.back().get();
+    network_.register_node(
+        node, [server](const net::Message& message) { server->handle_message(message); });
+  }
+}
+
+AvailableCopyServer& AvailableCopyProtocol::server(net::NodeId node) {
+  MARP_REQUIRE(node < servers_.size());
+  return *servers_[node];
+}
+
+void AvailableCopyProtocol::submit(const replica::Request& request) {
+  server(request.origin).submit(request);
+}
+
+void AvailableCopyProtocol::set_outcome_handler(replica::OutcomeHandler handler) {
+  for (auto& server : servers_) server->set_outcome_handler(handler);
+}
+
+void AvailableCopyProtocol::fail_server(net::NodeId node) {
+  AvailableCopyServer& failed = server(node);
+  if (!failed.up()) return;
+  failed.fail();
+  network_.simulator().schedule(config_.failure_notice_delay, [this, node] {
+    for (auto& srv : servers_) {
+      if (srv->up()) srv->peer_failed(node);
+    }
+  });
+}
+
+void AvailableCopyProtocol::recover_server(net::NodeId node) {
+  AvailableCopyServer& target = server(node);
+  if (target.up()) return;
+  target.recover();
+  network_.simulator().schedule(config_.failure_notice_delay, [this, node] {
+    for (auto& srv : servers_) {
+      if (srv->up()) srv->peer_recovered(node);
+    }
+  });
+}
+
+}  // namespace marp::baseline

@@ -1,0 +1,90 @@
+// Available Copy ("write-all read-once") — §3.1 cites it as the optimistic
+// scheme that is cheap for read-dominated Internet workloads but vulnerable
+// to partitions: updates go to every *available* replica, reads are local.
+//
+// Availability is tracked through failure/recovery notices (the paper's
+// perfect-failure-detector assumption). A recovering replica first pulls the
+// current state from a live peer before rejoining.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "net/network.hpp"
+#include "replica/request.hpp"
+#include "replica/server.hpp"
+
+namespace marp::baseline {
+
+constexpr net::MessageType kAcWrite = 0x0801;
+constexpr net::MessageType kAcAck = 0x0802;
+constexpr net::MessageType kAcStateReq = 0x0803;
+constexpr net::MessageType kAcStateRep = 0x0804;
+
+struct AvailableCopyConfig {
+  sim::SimTime local_read_time = sim::SimTime::micros(100);
+  sim::SimTime retry_interval = sim::SimTime::millis(100);
+  std::uint32_t max_retry_rounds = 20;
+  sim::SimTime failure_notice_delay = sim::SimTime::millis(100);
+};
+
+class AvailableCopyProtocol;
+
+class AvailableCopyServer : public replica::ServerBase {
+ public:
+  AvailableCopyServer(net::Network& network, net::NodeId node,
+                      const AvailableCopyConfig& config,
+                      AvailableCopyProtocol& protocol);
+
+  void submit(const replica::Request& request);
+  void handle_message(const net::Message& message);
+  void peer_failed(net::NodeId node);
+  void peer_recovered(net::NodeId node);
+
+  const std::set<net::NodeId>& believed_up() const noexcept { return believed_up_; }
+
+ protected:
+  void on_fail() override;
+  void on_recover() override;
+
+ private:
+  struct Pending {
+    replica::Request request;
+    std::set<net::NodeId> required;  ///< believed-up peers at start
+    std::set<net::NodeId> acked;
+    replica::Version version;
+    std::uint32_t retry_rounds = 0;
+  };
+  void maybe_finish(std::uint64_t request_id);
+  void arm_retry(std::uint64_t request_id);
+
+  const AvailableCopyConfig& config_;
+  AvailableCopyProtocol& protocol_;
+  std::set<net::NodeId> believed_up_;
+  std::map<std::uint64_t, Pending> pending_;
+};
+
+class AvailableCopyProtocol final : public replica::ReplicationProtocol {
+ public:
+  AvailableCopyProtocol(net::Network& network, AvailableCopyConfig config = {});
+
+  std::string name() const override { return "AvailableCopy"; }
+  void submit(const replica::Request& request) override;
+  void set_outcome_handler(replica::OutcomeHandler handler) override;
+  void fail_server(net::NodeId node) override;
+  void recover_server(net::NodeId node) override;
+
+  AvailableCopyServer& server(net::NodeId node);
+  std::size_t size() const noexcept { return servers_.size(); }
+  const AvailableCopyConfig& config() const noexcept { return config_; }
+
+ private:
+  net::Network& network_;
+  AvailableCopyConfig config_;
+  std::vector<std::unique_ptr<AvailableCopyServer>> servers_;
+};
+
+}  // namespace marp::baseline

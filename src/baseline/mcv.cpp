@@ -1,0 +1,395 @@
+#include "baseline/mcv.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace marp::baseline {
+
+namespace {
+
+serial::Bytes encode_lock_req(std::uint64_t request_id, std::uint64_t timestamp,
+                              const std::string& key) {
+  serial::Writer w;
+  w.varint(request_id);
+  w.varint(timestamp);
+  w.str(key);
+  return w.take();
+}
+
+serial::Bytes encode_grant(std::uint64_t request_id, replica::Version version) {
+  serial::Writer w;
+  w.varint(request_id);
+  version.serialize(w);
+  return w.take();
+}
+
+serial::Bytes encode_write(std::uint64_t request_id, const std::string& key,
+                           const std::string& value, replica::Version version) {
+  serial::Writer w;
+  w.varint(request_id);
+  w.str(key);
+  w.str(value);
+  version.serialize(w);
+  return w.take();
+}
+
+serial::Bytes encode_id(std::uint64_t request_id) {
+  serial::Writer w;
+  w.varint(request_id);
+  return w.take();
+}
+
+}  // namespace
+
+McvServer::McvServer(net::Network& network, net::NodeId node,
+                     const McvConfig& config, McvProtocol& protocol)
+    : replica::ServerBase(network, node), config_(config), protocol_(protocol) {}
+
+void McvServer::submit(const replica::Request& request) {
+  if (!up_) return;
+  if (request.kind == replica::RequestKind::Read) {
+    simulator().schedule(config_.local_read_time, [this, request] {
+      if (!up_) return;
+      replica::Outcome outcome;
+      outcome.request_id = request.id;
+      outcome.kind = replica::RequestKind::Read;
+      outcome.origin = node_;
+      outcome.submitted = request.submitted;
+      outcome.dispatched = request.submitted;
+      outcome.lock_obtained = request.submitted;
+      outcome.completed = now();
+      outcome.success = true;
+      if (auto value = store_.read(request.key)) outcome.value = value->value;
+      report(outcome);
+    });
+    return;
+  }
+  start_write(request);
+}
+
+void McvServer::start_write(const replica::Request& request) {
+  Coordination coordination;
+  coordination.request = request;
+  coordination.timestamp = lamport_tick();
+  coordinating_.emplace(request.id, std::move(coordination));
+
+  // Queue locally (the coordinator's own replica participates) and at peers.
+  queue_.push_back({coordinating_[request.id].timestamp, node_, request.id});
+  std::sort(queue_.begin(), queue_.end());
+  const serial::Bytes req =
+      encode_lock_req(request.id, coordinating_[request.id].timestamp, request.key);
+  network_.broadcast(node_, kMcvLockReq, req);
+  grant_head_if_new();
+  arm_retry(request.id);
+}
+
+void McvServer::grant_head_if_new() {
+  if (queue_.empty()) return;
+  if (granted_) {
+    // A higher-priority request queued behind an existing grant: ask the
+    // holder to give the grant back (Maekawa-style INQUIRE). Without this,
+    // N concurrent coordinators each grant themselves first and deadlock.
+    if (!preempt_requested_ && queue_.front() < *granted_) {
+      preempt_requested_ = true;
+      if (granted_->coordinator == node_) {
+        handle_preempt(node_, granted_->request_id);
+      } else {
+        network_.send(net::Message{node_, granted_->coordinator, kMcvPreempt,
+                                   encode_id(granted_->request_id)});
+      }
+    }
+    return;
+  }
+  granted_ = queue_.front();
+  preempt_requested_ = false;
+  // Grants report the freshest version this replica holds across keys —
+  // exact for the paper's single-object workloads, conservative (and still
+  // correct) for multi-key ones.
+  replica::Version freshest = replica::Version::none();
+  for (const auto& key : store_.keys()) {
+    freshest = std::max(freshest, store_.version_of(key));
+  }
+  if (granted_->coordinator == node_) {
+    on_grant(granted_->request_id, node_, freshest);
+  } else {
+    network_.send(net::Message{node_, granted_->coordinator, kMcvLockGrant,
+                               encode_grant(granted_->request_id, freshest)});
+  }
+}
+
+void McvServer::release_waiter(net::NodeId coordinator, std::uint64_t request_id) {
+  if (granted_ && granted_->coordinator == coordinator &&
+      granted_->request_id == request_id) {
+    granted_.reset();
+    preempt_requested_ = false;
+  }
+  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                              [&](const LockWaiter& waiter) {
+                                return waiter.coordinator == coordinator &&
+                                       waiter.request_id == request_id;
+                              }),
+               queue_.end());
+  grant_head_if_new();
+}
+
+void McvServer::handle_preempt(net::NodeId replica, std::uint64_t request_id) {
+  auto it = coordinating_.find(request_id);
+  // Only a request still assembling its quorum gives grants back; once in
+  // the update phase it holds them until COMMIT.
+  if (it == coordinating_.end() ||
+      it->second.phase != Coordination::Phase::Locking) {
+    return;
+  }
+  it->second.grants.erase(replica);
+  if (replica == node_) {
+    handle_relinquish(node_, request_id);
+  } else {
+    network_.send(net::Message{node_, replica, kMcvRelinquish,
+                               encode_id(request_id)});
+  }
+}
+
+void McvServer::handle_relinquish(net::NodeId coordinator, std::uint64_t request_id) {
+  if (granted_ && granted_->coordinator == coordinator &&
+      granted_->request_id == request_id) {
+    granted_.reset();
+    preempt_requested_ = false;
+    grant_head_if_new();
+  }
+}
+
+void McvServer::on_grant(std::uint64_t request_id, net::NodeId from,
+                         replica::Version seen) {
+  auto it = coordinating_.find(request_id);
+  if (it == coordinating_.end()) return;
+  Coordination& coordination = it->second;
+  if (coordination.phase != Coordination::Phase::Locking) return;
+  coordination.grants.insert(from);
+  coordination.max_seen = std::max(coordination.max_seen, seen);
+  if (majority(coordination.grants.size())) begin_update_phase(coordination);
+}
+
+void McvServer::begin_update_phase(Coordination& coordination) {
+  coordination.phase = Coordination::Phase::Updating;
+  coordination.retry_rounds = 0;
+  coordination.chosen =
+      replica::Version{std::max(now().as_micros(), coordination.max_seen.time_us + 1),
+                       node_};
+  lock_obtained_[coordination.request.id] = now();
+
+  const serial::Bytes update =
+      encode_write(coordination.request.id, coordination.request.key,
+                   coordination.request.value, coordination.chosen);
+  network_.broadcast(node_, kMcvUpdate, update);
+  // Apply locally and count ourselves as acked.
+  store_.apply(coordination.request.key, coordination.request.value,
+               coordination.chosen);
+  coordination.acks.insert(node_);
+  if (majority(coordination.acks.size())) finish(coordination);
+}
+
+void McvServer::on_ack(std::uint64_t request_id, net::NodeId from) {
+  auto it = coordinating_.find(request_id);
+  if (it == coordinating_.end()) return;
+  Coordination& coordination = it->second;
+  if (coordination.phase != Coordination::Phase::Updating) return;
+  coordination.acks.insert(from);
+  if (majority(coordination.acks.size())) finish(coordination);
+}
+
+void McvServer::finish(Coordination& coordination) {
+  const replica::Request request = coordination.request;
+  const serial::Bytes commit =
+      encode_write(request.id, request.key, request.value, coordination.chosen);
+  network_.broadcast(node_, kMcvCommit, commit);
+  release_waiter(node_, request.id);  // local lock
+
+  replica::Outcome outcome;
+  outcome.request_id = request.id;
+  outcome.kind = replica::RequestKind::Write;
+  outcome.origin = node_;
+  outcome.submitted = request.submitted;
+  outcome.dispatched = request.submitted;
+  auto lock_it = lock_obtained_.find(request.id);
+  outcome.lock_obtained = lock_it == lock_obtained_.end() ? now() : lock_it->second;
+  lock_obtained_.erase(request.id);
+  outcome.completed = now();
+  outcome.success = true;
+  protocol_.note_commit();
+  coordinating_.erase(request.id);
+  report(outcome);
+}
+
+void McvServer::arm_retry(std::uint64_t request_id) {
+  simulator().schedule(config_.retry_interval, [this, request_id] {
+    if (!up_) return;
+    auto it = coordinating_.find(request_id);
+    if (it == coordinating_.end()) return;
+    Coordination& coordination = it->second;
+    if (++coordination.retry_rounds > config_.max_retry_rounds) {
+      // Give up: withdraw the lock request everywhere, fail the client.
+      network_.broadcast(node_, kMcvRelease, encode_id(request_id));
+      release_waiter(node_, request_id);
+      replica::Outcome outcome;
+      outcome.request_id = coordination.request.id;
+      outcome.kind = replica::RequestKind::Write;
+      outcome.origin = node_;
+      outcome.submitted = coordination.request.submitted;
+      outcome.dispatched = coordination.request.submitted;
+      outcome.lock_obtained = now();
+      outcome.completed = now();
+      outcome.success = false;
+      coordinating_.erase(it);
+      report(outcome);
+      return;
+    }
+    if (coordination.phase == Coordination::Phase::Locking) {
+      const serial::Bytes req = encode_lock_req(
+          request_id, coordination.timestamp, coordination.request.key);
+      for (net::NodeId node = 0; node < network_.size(); ++node) {
+        if (node == node_ || coordination.grants.contains(node)) continue;
+        network_.send(net::Message{node_, node, kMcvLockReq, req});
+      }
+    } else {
+      const serial::Bytes update =
+          encode_write(request_id, coordination.request.key,
+                       coordination.request.value, coordination.chosen);
+      for (net::NodeId node = 0; node < network_.size(); ++node) {
+        if (node == node_ || coordination.acks.contains(node)) continue;
+        network_.send(net::Message{node_, node, kMcvUpdate, update});
+      }
+    }
+    arm_retry(request_id);
+  });
+}
+
+void McvServer::handle_message(const net::Message& message) {
+  if (!up_) return;
+  serial::Reader r(message.payload);
+  switch (message.type) {
+    case kMcvLockReq: {
+      const std::uint64_t request_id = r.varint();
+      const std::uint64_t timestamp = r.varint();
+      (void)r.str();  // key — carried for future per-key locking
+      lamport_observe(timestamp);
+      const LockWaiter waiter{timestamp, message.src, request_id};
+      const bool present =
+          std::find(queue_.begin(), queue_.end(), waiter) != queue_.end();
+      if (!present) {
+        queue_.push_back(waiter);
+        std::sort(queue_.begin(), queue_.end());
+        grant_head_if_new();
+      } else if (granted_ && *granted_ == waiter) {
+        // Duplicate request (retry after a lost grant): re-grant.
+        replica::Version freshest = replica::Version::none();
+        for (const auto& key : store_.keys()) {
+          freshest = std::max(freshest, store_.version_of(key));
+        }
+        network_.send(net::Message{node_, message.src, kMcvLockGrant,
+                                   encode_grant(request_id, freshest)});
+      }
+      break;
+    }
+    case kMcvLockGrant: {
+      const std::uint64_t request_id = r.varint();
+      const replica::Version seen = replica::Version::deserialize(r);
+      on_grant(request_id, message.src, seen);
+      break;
+    }
+    case kMcvUpdate: {
+      const std::uint64_t request_id = r.varint();
+      const std::string key = r.str();
+      const std::string value = r.str();
+      const replica::Version version = replica::Version::deserialize(r);
+      store_.apply(key, value, version);
+      network_.send(net::Message{node_, message.src, kMcvAck, encode_id(request_id)});
+      break;
+    }
+    case kMcvAck:
+      on_ack(r.varint(), message.src);
+      break;
+    case kMcvCommit: {
+      const std::uint64_t request_id = r.varint();
+      const std::string key = r.str();
+      const std::string value = r.str();
+      const replica::Version version = replica::Version::deserialize(r);
+      store_.apply(key, value, version);  // idempotent if UPDATE arrived
+      release_waiter(message.src, request_id);
+      break;
+    }
+    case kMcvRelease:
+      release_waiter(message.src, r.varint());
+      break;
+    case kMcvPreempt:
+      handle_preempt(message.src, r.varint());
+      break;
+    case kMcvRelinquish:
+      handle_relinquish(message.src, r.varint());
+      break;
+    default:
+      MARP_LOG_WARN("mcv") << "unexpected message type " << message.type;
+  }
+}
+
+void McvServer::peer_failed(net::NodeId node) {
+  // Drop everything the dead coordinator owned so the queue can progress.
+  if (granted_ && granted_->coordinator == node) {
+    granted_.reset();
+    preempt_requested_ = false;
+  }
+  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                              [&](const LockWaiter& waiter) {
+                                return waiter.coordinator == node;
+                              }),
+               queue_.end());
+  grant_head_if_new();
+}
+
+void McvServer::on_fail() {
+  queue_.clear();
+  granted_.reset();
+  preempt_requested_ = false;
+  coordinating_.clear();
+  lock_obtained_.clear();
+}
+
+McvProtocol::McvProtocol(net::Network& network, McvConfig config)
+    : network_(network), config_(config) {
+  servers_.reserve(network_.size());
+  for (net::NodeId node = 0; node < network_.size(); ++node) {
+    servers_.push_back(std::make_unique<McvServer>(network_, node, config_, *this));
+    McvServer* server = servers_.back().get();
+    network_.register_node(
+        node, [server](const net::Message& message) { server->handle_message(message); });
+  }
+}
+
+McvServer& McvProtocol::server(net::NodeId node) {
+  MARP_REQUIRE(node < servers_.size());
+  return *servers_[node];
+}
+
+void McvProtocol::submit(const replica::Request& request) {
+  server(request.origin).submit(request);
+}
+
+void McvProtocol::set_outcome_handler(replica::OutcomeHandler handler) {
+  for (auto& server : servers_) server->set_outcome_handler(handler);
+}
+
+void McvProtocol::fail_server(net::NodeId node) {
+  McvServer& failed = server(node);
+  if (!failed.up()) return;
+  failed.fail();
+  network_.simulator().schedule(failure_notice_delay, [this, node] {
+    for (auto& srv : servers_) {
+      if (srv->up()) srv->peer_failed(node);
+    }
+  });
+}
+
+void McvProtocol::recover_server(net::NodeId node) { server(node).recover(); }
+
+}  // namespace marp::baseline

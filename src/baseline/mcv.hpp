@@ -1,0 +1,147 @@
+// Message-passing Majority Consensus Voting (after Thomas '79) — the
+// conventional replication protocol MARP is positioned against (§1: "using
+// message passing, conventional replication protocols are expensive because
+// multiple local processes need to participate in sessions of passing
+// messages and waiting for replies").
+//
+// Write path (coordinator = the origin server):
+//   1. LOCK_REQ to every replica, carrying a Lamport timestamp. Each replica
+//      keeps a priority queue ordered by (timestamp, coordinator, request)
+//      and sends LOCK_GRANT when the request heads its queue.
+//   2. With grants from a majority, the coordinator picks a version newer
+//      than any it saw in the grants, sends UPDATE to all replicas, and
+//      collects a majority of ACKs.
+//   3. COMMIT to all replicas applies the write and releases the lock,
+//      letting each replica grant its next queued request.
+// Reads are served from the local copy (same read path as MARP, so the
+// comparison isolates the write-coordination mechanism).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "net/network.hpp"
+#include "replica/request.hpp"
+#include "replica/server.hpp"
+#include "replica/versioned_store.hpp"
+
+namespace marp::baseline {
+
+constexpr net::MessageType kMcvLockReq = 0x0601;
+constexpr net::MessageType kMcvLockGrant = 0x0602;
+constexpr net::MessageType kMcvUpdate = 0x0603;
+constexpr net::MessageType kMcvAck = 0x0604;
+constexpr net::MessageType kMcvCommit = 0x0605;
+constexpr net::MessageType kMcvRelease = 0x0606;
+/// Replica → grant holder's coordinator: a higher-priority request arrived;
+/// give the grant back unless you already hold a majority (Maekawa-style
+/// INQUIRE, required to avoid the everyone-grants-itself deadlock).
+constexpr net::MessageType kMcvPreempt = 0x0607;
+/// Coordinator → replica: grant returned.
+constexpr net::MessageType kMcvRelinquish = 0x0608;
+
+struct McvConfig {
+  sim::SimTime local_read_time = sim::SimTime::micros(100);
+  /// Re-send cadence for lost coordination messages, and the cap before an
+  /// in-flight write is failed back to the client.
+  sim::SimTime retry_interval = sim::SimTime::millis(100);
+  std::uint32_t max_retry_rounds = 20;
+};
+
+class McvProtocol;
+
+class McvServer : public replica::ServerBase {
+ public:
+  McvServer(net::Network& network, net::NodeId node, const McvConfig& config,
+            McvProtocol& protocol);
+
+  void submit(const replica::Request& request);
+  void handle_message(const net::Message& message);
+
+  /// Failure notice about another server (perfect failure detector, §2).
+  void peer_failed(net::NodeId node);
+
+ protected:
+  void on_fail() override;
+
+ private:
+  // --- replica-side lock queue ---
+  struct LockWaiter {
+    std::uint64_t timestamp;  ///< Lamport time of the request
+    net::NodeId coordinator;
+    std::uint64_t request_id;
+    friend auto operator<=>(const LockWaiter&, const LockWaiter&) = default;
+  };
+  void grant_head_if_new();
+  void release_waiter(net::NodeId coordinator, std::uint64_t request_id);
+  void handle_preempt(net::NodeId replica, std::uint64_t request_id);
+  void handle_relinquish(net::NodeId coordinator, std::uint64_t request_id);
+
+  // --- coordinator-side per-request state ---
+  struct Coordination {
+    replica::Request request;
+    std::set<net::NodeId> grants;
+    std::set<net::NodeId> acks;
+    replica::Version max_seen;   ///< freshest version reported in grants
+    replica::Version chosen;     ///< version assigned to this write
+    enum class Phase : std::uint8_t { Locking, Updating } phase = Phase::Locking;
+    std::uint64_t timestamp = 0;
+    std::uint32_t retry_rounds = 0;
+  };
+  void start_write(const replica::Request& request);
+  void on_grant(std::uint64_t request_id, net::NodeId from, replica::Version seen);
+  void on_ack(std::uint64_t request_id, net::NodeId from);
+  void begin_update_phase(Coordination& coordination);
+  void finish(Coordination& coordination);
+  void arm_retry(std::uint64_t request_id);
+  bool majority(std::size_t count) const {
+    return 2 * count > network_.size();
+  }
+
+  std::uint64_t lamport_tick() { return ++lamport_; }
+  void lamport_observe(std::uint64_t ts) { lamport_ = std::max(lamport_, ts) + 1; }
+
+  const McvConfig& config_;
+  McvProtocol& protocol_;
+  std::uint64_t lamport_ = 0;
+
+  std::vector<LockWaiter> queue_;  ///< kept sorted ascending (head = front)
+  std::optional<LockWaiter> granted_;  ///< waiter currently holding the grant
+  bool preempt_requested_ = false;     ///< outstanding PREEMPT for granted_
+
+  std::map<std::uint64_t, Coordination> coordinating_;
+  std::map<std::uint64_t, sim::SimTime> lock_obtained_;  ///< ALT endpoints
+};
+
+class McvProtocol final : public replica::ReplicationProtocol {
+ public:
+  McvProtocol(net::Network& network, McvConfig config = {});
+
+  std::string name() const override { return "MP-MCV"; }
+  void submit(const replica::Request& request) override;
+  void set_outcome_handler(replica::OutcomeHandler handler) override;
+  void fail_server(net::NodeId node) override;
+  void recover_server(net::NodeId node) override;
+
+  McvServer& server(net::NodeId node);
+  std::size_t size() const noexcept { return servers_.size(); }
+  const McvConfig& config() const noexcept { return config_; }
+
+  std::uint64_t writes_committed() const noexcept { return writes_committed_; }
+  void note_commit() { ++writes_committed_; }
+
+  /// Delay before surviving servers learn about a failure.
+  sim::SimTime failure_notice_delay = sim::SimTime::millis(100);
+
+ private:
+  net::Network& network_;
+  McvConfig config_;
+  std::vector<std::unique_ptr<McvServer>> servers_;
+  std::uint64_t writes_committed_ = 0;
+};
+
+}  // namespace marp::baseline

@@ -1,0 +1,309 @@
+#include "baseline/primary_copy.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace marp::baseline {
+
+namespace {
+
+serial::Bytes encode_forward(const replica::Request& request) {
+  serial::Writer w;
+  w.varint(request.id);
+  w.str(request.key);
+  w.str(request.value);
+  w.svarint(request.submitted.as_micros());
+  return w.take();
+}
+
+replica::Request decode_forward(serial::Reader& r, net::NodeId origin) {
+  replica::Request request;
+  request.id = r.varint();
+  request.kind = replica::RequestKind::Write;
+  request.key = r.str();
+  request.value = r.str();
+  request.submitted = sim::SimTime::micros(r.svarint());
+  request.origin = origin;
+  return request;
+}
+
+serial::Bytes encode_apply(std::uint64_t request_id, const std::string& key,
+                           const std::string& value, replica::Version version) {
+  serial::Writer w;
+  w.varint(request_id);
+  w.str(key);
+  w.str(value);
+  version.serialize(w);
+  return w.take();
+}
+
+serial::Bytes encode_done(std::uint64_t request_id, bool success) {
+  serial::Writer w;
+  w.varint(request_id);
+  w.boolean(success);
+  return w.take();
+}
+
+}  // namespace
+
+PrimaryCopyServer::PrimaryCopyServer(net::Network& network, net::NodeId node,
+                                     const PrimaryCopyConfig& config,
+                                     PrimaryCopyProtocol& protocol)
+    : replica::ServerBase(network, node), config_(config), protocol_(protocol) {
+  for (net::NodeId peer = 0; peer < network.size(); ++peer) {
+    believed_up_.insert(peer);
+  }
+}
+
+net::NodeId PrimaryCopyServer::current_primary() const {
+  // Deterministic view: lowest node id believed alive.
+  return believed_up_.empty() ? node_ : *believed_up_.begin();
+}
+
+void PrimaryCopyServer::submit(const replica::Request& request) {
+  if (!up_) return;
+  if (request.kind == replica::RequestKind::Read) {
+    simulator().schedule(config_.local_read_time, [this, request] {
+      if (!up_) return;
+      replica::Outcome outcome;
+      outcome.request_id = request.id;
+      outcome.kind = replica::RequestKind::Read;
+      outcome.origin = node_;
+      outcome.submitted = request.submitted;
+      outcome.dispatched = request.submitted;
+      outcome.lock_obtained = request.submitted;
+      outcome.completed = now();
+      outcome.success = true;
+      if (auto value = store_.read(request.key)) outcome.value = value->value;
+      report(outcome);
+    });
+    return;
+  }
+
+  origin_ops_.emplace(request.id, OriginOp{request, 0});
+  const net::NodeId primary = current_primary();
+  if (primary == node_) {
+    primary_handle_write(request, node_);
+  } else {
+    network_.send(net::Message{node_, primary, kPcForward, encode_forward(request)});
+  }
+  arm_origin_retry(request.id);
+}
+
+void PrimaryCopyServer::primary_handle_write(const replica::Request& request,
+                                             net::NodeId requester) {
+  if (primary_ops_.contains(request.id)) return;  // duplicate forward
+  PrimaryOp op;
+  op.request = request;
+  op.requester = requester;
+  // Primary order doubles as the version: strictly increasing sequence.
+  op.version = replica::Version{++sequence_ + now().as_micros(), node_};
+  store_.apply(request.key, request.value, op.version);
+  op.acks.insert(node_);
+  const std::uint64_t id = request.id;
+  primary_ops_.emplace(id, std::move(op));
+  const PrimaryOp& stored = primary_ops_[id];
+  for (net::NodeId peer : believed_up_) {
+    if (peer == node_) continue;
+    network_.send(net::Message{node_, peer, kPcApply,
+                               encode_apply(id, request.key, request.value,
+                                            stored.version)});
+  }
+  primary_maybe_done(id);
+  arm_primary_retry(id);
+}
+
+void PrimaryCopyServer::primary_maybe_done(std::uint64_t request_id) {
+  auto it = primary_ops_.find(request_id);
+  if (it == primary_ops_.end()) return;
+  PrimaryOp& op = it->second;
+  if (2 * op.acks.size() <= network_.size()) return;  // need a majority durable
+  const net::NodeId requester = op.requester;
+  primary_ops_.erase(it);
+  if (requester == node_) {
+    origin_done(request_id, true);
+  } else {
+    network_.send(net::Message{node_, requester, kPcDone,
+                               encode_done(request_id, true)});
+  }
+}
+
+void PrimaryCopyServer::origin_done(std::uint64_t request_id, bool success) {
+  auto it = origin_ops_.find(request_id);
+  if (it == origin_ops_.end()) return;
+  const replica::Request request = it->second.request;
+  origin_ops_.erase(it);
+  replica::Outcome outcome;
+  outcome.request_id = request.id;
+  outcome.kind = replica::RequestKind::Write;
+  outcome.origin = node_;
+  outcome.submitted = request.submitted;
+  outcome.dispatched = request.submitted;
+  outcome.lock_obtained = now();
+  outcome.completed = now();
+  outcome.success = success;
+  report(outcome);
+}
+
+void PrimaryCopyServer::arm_primary_retry(std::uint64_t request_id) {
+  simulator().schedule(config_.retry_interval, [this, request_id] {
+    if (!up_) return;
+    auto it = primary_ops_.find(request_id);
+    if (it == primary_ops_.end()) return;
+    PrimaryOp& op = it->second;
+    if (++op.retry_rounds > config_.max_retry_rounds) {
+      const net::NodeId requester = op.requester;
+      primary_ops_.erase(it);
+      if (requester == node_) {
+        origin_done(request_id, false);
+      } else {
+        network_.send(net::Message{node_, requester, kPcDone,
+                                   encode_done(request_id, false)});
+      }
+      return;
+    }
+    for (net::NodeId peer : believed_up_) {
+      if (peer == node_ || op.acks.contains(peer)) continue;
+      network_.send(net::Message{node_, peer, kPcApply,
+                                 encode_apply(request_id, op.request.key,
+                                              op.request.value, op.version)});
+    }
+    arm_primary_retry(request_id);
+  });
+}
+
+void PrimaryCopyServer::arm_origin_retry(std::uint64_t request_id) {
+  simulator().schedule(config_.retry_interval, [this, request_id] {
+    if (!up_) return;
+    auto it = origin_ops_.find(request_id);
+    if (it == origin_ops_.end()) return;
+    OriginOp& op = it->second;
+    if (++op.retry_rounds > config_.max_retry_rounds) {
+      origin_done(request_id, false);
+      return;
+    }
+    // Re-forward (handles a primary that died before replying; the new view
+    // routes to the next primary).
+    const net::NodeId primary = current_primary();
+    if (primary == node_) {
+      primary_handle_write(op.request, node_);
+    } else {
+      network_.send(net::Message{node_, primary, kPcForward,
+                                 encode_forward(op.request)});
+    }
+    arm_origin_retry(request_id);
+  });
+}
+
+void PrimaryCopyServer::handle_message(const net::Message& message) {
+  if (!up_) return;
+  serial::Reader r(message.payload);
+  switch (message.type) {
+    case kPcForward: {
+      const replica::Request request = decode_forward(r, message.src);
+      if (is_primary()) {
+        primary_handle_write(request, message.src);
+      }
+      // Not primary (stale view at the sender): drop; the origin's retry
+      // will re-route once its view converges.
+      break;
+    }
+    case kPcApply: {
+      const std::uint64_t request_id = r.varint();
+      const std::string key = r.str();
+      const std::string value = r.str();
+      const replica::Version version = replica::Version::deserialize(r);
+      store_.apply(key, value, version);
+      network_.send(net::Message{node_, message.src, kPcApplyAck,
+                                 encode_done(request_id, true)});
+      break;
+    }
+    case kPcApplyAck: {
+      const std::uint64_t request_id = r.varint();
+      auto it = primary_ops_.find(request_id);
+      if (it == primary_ops_.end()) break;
+      it->second.acks.insert(message.src);
+      primary_maybe_done(request_id);
+      break;
+    }
+    case kPcDone: {
+      const std::uint64_t request_id = r.varint();
+      const bool success = r.boolean();
+      origin_done(request_id, success);
+      break;
+    }
+    default:
+      MARP_LOG_WARN("pc") << "unexpected message type " << message.type;
+  }
+}
+
+void PrimaryCopyServer::peer_failed(net::NodeId node) {
+  believed_up_.erase(node);
+  if (is_primary()) {
+    // Acks from the dead backup will never arrive; recheck quorums.
+    std::vector<std::uint64_t> ids;
+    for (const auto& [id, op] : primary_ops_) ids.push_back(id);
+    for (std::uint64_t id : ids) primary_maybe_done(id);
+  }
+}
+
+void PrimaryCopyServer::peer_recovered(net::NodeId node) {
+  believed_up_.insert(node);
+}
+
+void PrimaryCopyServer::on_fail() {
+  primary_ops_.clear();
+  origin_ops_.clear();
+}
+
+PrimaryCopyProtocol::PrimaryCopyProtocol(net::Network& network,
+                                         PrimaryCopyConfig config)
+    : network_(network), config_(config) {
+  servers_.reserve(network_.size());
+  for (net::NodeId node = 0; node < network_.size(); ++node) {
+    servers_.push_back(
+        std::make_unique<PrimaryCopyServer>(network_, node, config_, *this));
+    PrimaryCopyServer* server = servers_.back().get();
+    network_.register_node(
+        node, [server](const net::Message& message) { server->handle_message(message); });
+  }
+}
+
+PrimaryCopyServer& PrimaryCopyProtocol::server(net::NodeId node) {
+  MARP_REQUIRE(node < servers_.size());
+  return *servers_[node];
+}
+
+void PrimaryCopyProtocol::submit(const replica::Request& request) {
+  server(request.origin).submit(request);
+}
+
+void PrimaryCopyProtocol::set_outcome_handler(replica::OutcomeHandler handler) {
+  for (auto& server : servers_) server->set_outcome_handler(handler);
+}
+
+void PrimaryCopyProtocol::fail_server(net::NodeId node) {
+  PrimaryCopyServer& failed = server(node);
+  if (!failed.up()) return;
+  failed.fail();
+  network_.simulator().schedule(config_.failure_notice_delay, [this, node] {
+    for (auto& srv : servers_) {
+      if (srv->up()) srv->peer_failed(node);
+    }
+  });
+}
+
+void PrimaryCopyProtocol::recover_server(net::NodeId node) {
+  PrimaryCopyServer& target = server(node);
+  if (target.up()) return;
+  target.recover();
+  network_.simulator().schedule(config_.failure_notice_delay, [this, node] {
+    for (auto& srv : servers_) {
+      if (srv->up()) srv->peer_recovered(node);
+    }
+  });
+}
+
+}  // namespace marp::baseline

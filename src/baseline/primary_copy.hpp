@@ -1,0 +1,100 @@
+// Primary-copy replication: the lowest-numbered live server orders all
+// writes; backups apply in primary order. Included as the centralised
+// contrast to MARP's fully-distributed coordination (§5 lists "fully
+// distributed and scalable" as a MARP feature — this baseline quantifies the
+// alternative's behaviour, including its view-change hiccup on failure).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "net/network.hpp"
+#include "replica/request.hpp"
+#include "replica/server.hpp"
+
+namespace marp::baseline {
+
+constexpr net::MessageType kPcForward = 0x0901;
+constexpr net::MessageType kPcApply = 0x0902;
+constexpr net::MessageType kPcApplyAck = 0x0903;
+constexpr net::MessageType kPcDone = 0x0904;
+
+struct PrimaryCopyConfig {
+  sim::SimTime local_read_time = sim::SimTime::micros(100);
+  sim::SimTime retry_interval = sim::SimTime::millis(100);
+  std::uint32_t max_retry_rounds = 20;
+  sim::SimTime failure_notice_delay = sim::SimTime::millis(100);
+};
+
+class PrimaryCopyProtocol;
+
+class PrimaryCopyServer : public replica::ServerBase {
+ public:
+  PrimaryCopyServer(net::Network& network, net::NodeId node,
+                    const PrimaryCopyConfig& config, PrimaryCopyProtocol& protocol);
+
+  void submit(const replica::Request& request);
+  void handle_message(const net::Message& message);
+  void peer_failed(net::NodeId node);
+  void peer_recovered(net::NodeId node);
+
+  net::NodeId current_primary() const;
+  bool is_primary() const { return current_primary() == node_; }
+  const std::set<net::NodeId>& believed_up() const noexcept { return believed_up_; }
+
+ protected:
+  void on_fail() override;
+
+ private:
+  /// Primary-side ordering state for one forwarded write.
+  struct PrimaryOp {
+    replica::Request request;
+    net::NodeId requester;
+    replica::Version version;
+    std::set<net::NodeId> acks;
+    std::uint32_t retry_rounds = 0;
+  };
+  /// Origin-side state while waiting for the primary's DONE.
+  struct OriginOp {
+    replica::Request request;
+    std::uint32_t retry_rounds = 0;
+  };
+
+  void primary_handle_write(const replica::Request& request, net::NodeId requester);
+  void primary_maybe_done(std::uint64_t request_id);
+  void origin_done(std::uint64_t request_id, bool success);
+  void arm_primary_retry(std::uint64_t request_id);
+  void arm_origin_retry(std::uint64_t request_id);
+
+  const PrimaryCopyConfig& config_;
+  PrimaryCopyProtocol& protocol_;
+  std::set<net::NodeId> believed_up_;
+  std::map<std::uint64_t, PrimaryOp> primary_ops_;
+  std::map<std::uint64_t, OriginOp> origin_ops_;
+  std::int64_t sequence_ = 0;  ///< primary's write ordinal
+};
+
+class PrimaryCopyProtocol final : public replica::ReplicationProtocol {
+ public:
+  PrimaryCopyProtocol(net::Network& network, PrimaryCopyConfig config = {});
+
+  std::string name() const override { return "PrimaryCopy"; }
+  void submit(const replica::Request& request) override;
+  void set_outcome_handler(replica::OutcomeHandler handler) override;
+  void fail_server(net::NodeId node) override;
+  void recover_server(net::NodeId node) override;
+
+  PrimaryCopyServer& server(net::NodeId node);
+  std::size_t size() const noexcept { return servers_.size(); }
+  const PrimaryCopyConfig& config() const noexcept { return config_; }
+
+ private:
+  net::Network& network_;
+  PrimaryCopyConfig config_;
+  std::vector<std::unique_ptr<PrimaryCopyServer>> servers_;
+};
+
+}  // namespace marp::baseline

@@ -1,0 +1,114 @@
+// Timestamped anti-entropy (after Golding '92, the paper's ref [6]) — the
+// weak-consistency end of the spectrum §1 discusses: "other replication
+// protocols try to obtain better performance by using weaker consistency
+// semantics, which allow replicated data objects to be temporally
+// inconsistent".
+//
+// Writes apply locally and ack the client immediately (one log append, no
+// coordination); replicas then reconcile pairwise in the background: on an
+// anti-entropy round a server sends its summary vector (latest timestamp it
+// has seen from every origin) to a random partner, the partner replies with
+// the log entries the requester lacks and its own vector, and the requester
+// pushes back what the partner lacks. Updates converge via the Thomas write
+// rule. Reads are local and may be arbitrarily stale until gossip catches
+// up — the trade MARP's strict quorums refuse to make.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "replica/request.hpp"
+#include "replica/server.hpp"
+#include "sim/random.hpp"
+
+namespace marp::baseline {
+
+constexpr net::MessageType kTsaeSummary = 0x0A01;  ///< requester → partner
+constexpr net::MessageType kTsaeReply = 0x0A02;    ///< partner → requester
+constexpr net::MessageType kTsaePush = 0x0A03;     ///< requester → partner
+
+struct TsaeConfig {
+  sim::SimTime local_op_time = sim::SimTime::micros(100);
+  /// Gap between a server's anti-entropy rounds (exponentially jittered).
+  sim::SimTime anti_entropy_interval = sim::SimTime::millis(100);
+  /// Keep at most this many log entries per origin (enough for our runs;
+  /// a production system would checkpoint instead).
+  std::size_t max_log_per_origin = 4096;
+};
+
+/// One replicated update as it travels through the gossip mesh.
+struct TsaeEntry {
+  net::NodeId origin = 0;
+  std::uint64_t seq = 0;  ///< per-origin sequence number
+  std::string key;
+  std::string value;
+  replica::Version version;
+
+  void serialize(serial::Writer& w) const;
+  static TsaeEntry deserialize(serial::Reader& r);
+};
+
+/// Latest per-origin sequence number a server has seen.
+using SummaryVector = std::vector<std::uint64_t>;
+
+class TsaeProtocol;
+
+class TsaeServer : public replica::ServerBase {
+ public:
+  TsaeServer(net::Network& network, net::NodeId node, const TsaeConfig& config,
+             TsaeProtocol& protocol);
+
+  void submit(const replica::Request& request);
+  void handle_message(const net::Message& message);
+
+  /// Start the periodic anti-entropy schedule.
+  void start_gossip();
+
+  const SummaryVector& summary() const noexcept { return summary_; }
+
+ protected:
+  void on_fail() override;
+
+ private:
+  void schedule_round();
+  void run_round();
+  void apply_entries(const std::vector<TsaeEntry>& entries);
+  std::vector<TsaeEntry> entries_missing_from(const SummaryVector& theirs) const;
+
+  const TsaeConfig& config_;
+  TsaeProtocol& protocol_;
+  sim::Rng rng_;
+
+  SummaryVector summary_;                          ///< per-origin high water
+  std::map<net::NodeId, std::vector<TsaeEntry>> log_;  ///< per-origin, seq order
+  std::uint64_t next_seq_ = 0;                     ///< my own write counter
+};
+
+class TsaeProtocol final : public replica::ReplicationProtocol {
+ public:
+  TsaeProtocol(net::Network& network, TsaeConfig config = {});
+
+  std::string name() const override { return "TSAE"; }
+  void submit(const replica::Request& request) override;
+  void set_outcome_handler(replica::OutcomeHandler handler) override;
+  void fail_server(net::NodeId node) override;
+  void recover_server(net::NodeId node) override;
+
+  TsaeServer& server(net::NodeId node);
+  std::size_t size() const noexcept { return servers_.size(); }
+  const TsaeConfig& config() const noexcept { return config_; }
+
+  std::uint64_t gossip_rounds() const noexcept { return gossip_rounds_; }
+  void note_round() { ++gossip_rounds_; }
+
+ private:
+  net::Network& network_;
+  TsaeConfig config_;
+  std::vector<std::unique_ptr<TsaeServer>> servers_;
+  std::uint64_t gossip_rounds_ = 0;
+};
+
+}  // namespace marp::baseline

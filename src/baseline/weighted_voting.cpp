@@ -1,0 +1,302 @@
+#include "baseline/weighted_voting.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace marp::baseline {
+
+namespace {
+
+serial::Bytes encode_key_req(std::uint64_t request_id, const std::string& key) {
+  serial::Writer w;
+  w.varint(request_id);
+  w.str(key);
+  return w.take();
+}
+
+serial::Bytes encode_version_rep(std::uint64_t request_id, replica::Version version,
+                                 const std::string& value) {
+  serial::Writer w;
+  w.varint(request_id);
+  version.serialize(w);
+  w.str(value);
+  return w.take();
+}
+
+serial::Bytes encode_write(std::uint64_t request_id, const std::string& key,
+                           const std::string& value, replica::Version version) {
+  serial::Writer w;
+  w.varint(request_id);
+  w.str(key);
+  w.str(value);
+  version.serialize(w);
+  return w.take();
+}
+
+serial::Bytes encode_id(std::uint64_t request_id) {
+  serial::Writer w;
+  w.varint(request_id);
+  return w.take();
+}
+
+}  // namespace
+
+WeightedVotingServer::WeightedVotingServer(net::Network& network, net::NodeId node,
+                                           WeightedVotingProtocol& protocol)
+    : replica::ServerBase(network, node), protocol_(protocol) {}
+
+void WeightedVotingServer::submit(const replica::Request& request) {
+  if (!up_) return;
+  start(request);
+}
+
+void WeightedVotingServer::start(const replica::Request& request) {
+  Op op;
+  op.request = request;
+  ops_.emplace(request.id, std::move(op));
+  Op& stored = ops_[request.id];
+
+  const net::MessageType poll_type =
+      request.kind == replica::RequestKind::Read ? kWvReadReq : kWvVersionReq;
+  network_.broadcast(node_, poll_type, encode_key_req(request.id, request.key));
+
+  // This replica votes for itself immediately.
+  if (auto local = store_.read(request.key)) {
+    if (local->version > stored.max_seen) {
+      stored.max_seen = local->version;
+      stored.best_value = local->value;
+    }
+  }
+  add_vote(stored, node_);
+  maybe_advance(request.id);
+  arm_retry(request.id);
+}
+
+void WeightedVotingServer::add_vote(Op& op, net::NodeId from) {
+  if (op.repliers.insert(from).second) {
+    op.votes_gathered += protocol_.votes_of(from);
+  }
+}
+
+void WeightedVotingServer::maybe_advance(std::uint64_t request_id) {
+  auto it = ops_.find(request_id);
+  if (it == ops_.end()) return;
+  Op& op = it->second;
+  const bool is_read = op.request.kind == replica::RequestKind::Read;
+  if (op.phase == Op::Phase::VersionPoll) {
+    const std::uint32_t needed =
+        is_read ? protocol_.read_quorum() : protocol_.write_quorum();
+    if (op.votes_gathered < needed) return;
+    quorum_at_[request_id] = now();
+    if (is_read) {
+      complete_read(op);
+    } else {
+      begin_write_phase(op);
+    }
+    return;
+  }
+  if (op.phase == Op::Phase::Writing &&
+      op.votes_gathered >= protocol_.write_quorum()) {
+    complete_write(op);
+  }
+}
+
+void WeightedVotingServer::complete_read(Op& op) {
+  replica::Outcome outcome;
+  outcome.request_id = op.request.id;
+  outcome.kind = replica::RequestKind::Read;
+  outcome.origin = node_;
+  outcome.submitted = op.request.submitted;
+  outcome.dispatched = op.request.submitted;
+  outcome.lock_obtained = now();
+  outcome.completed = now();
+  outcome.success = true;
+  outcome.value = op.best_value;
+  ops_.erase(op.request.id);
+  quorum_at_.erase(outcome.request_id);
+  report(outcome);
+}
+
+void WeightedVotingServer::begin_write_phase(Op& op) {
+  op.phase = Op::Phase::Writing;
+  op.retry_rounds = 0;
+  op.repliers.clear();
+  op.votes_gathered = 0;
+  op.chosen = replica::Version{std::max(now().as_micros(), op.max_seen.time_us + 1),
+                               node_};
+  network_.broadcast(node_, kWvWrite,
+                     encode_write(op.request.id, op.request.key, op.request.value,
+                                  op.chosen));
+  store_.apply(op.request.key, op.request.value, op.chosen);
+  add_vote(op, node_);
+  maybe_advance(op.request.id);
+}
+
+void WeightedVotingServer::complete_write(Op& op) {
+  replica::Outcome outcome;
+  outcome.request_id = op.request.id;
+  outcome.kind = replica::RequestKind::Write;
+  outcome.origin = node_;
+  outcome.submitted = op.request.submitted;
+  outcome.dispatched = op.request.submitted;
+  auto it = quorum_at_.find(op.request.id);
+  outcome.lock_obtained = it == quorum_at_.end() ? now() : it->second;
+  outcome.completed = now();
+  outcome.success = true;
+  ops_.erase(op.request.id);
+  quorum_at_.erase(outcome.request_id);
+  report(outcome);
+}
+
+void WeightedVotingServer::fail_request(Op& op) {
+  replica::Outcome outcome;
+  outcome.request_id = op.request.id;
+  outcome.kind = op.request.kind;
+  outcome.origin = node_;
+  outcome.submitted = op.request.submitted;
+  outcome.dispatched = op.request.submitted;
+  outcome.lock_obtained = now();
+  outcome.completed = now();
+  outcome.success = false;
+  ops_.erase(op.request.id);
+  quorum_at_.erase(outcome.request_id);
+  report(outcome);
+}
+
+void WeightedVotingServer::arm_retry(std::uint64_t request_id) {
+  simulator().schedule(protocol_.config().retry_interval, [this, request_id] {
+    if (!up_) return;
+    auto it = ops_.find(request_id);
+    if (it == ops_.end()) return;
+    Op& op = it->second;
+    if (++op.retry_rounds > protocol_.config().max_retry_rounds) {
+      fail_request(op);
+      return;
+    }
+    const bool is_read = op.request.kind == replica::RequestKind::Read;
+    serial::Bytes payload;
+    net::MessageType type;
+    if (op.phase == Op::Phase::VersionPoll) {
+      type = is_read ? kWvReadReq : kWvVersionReq;
+      payload = encode_key_req(request_id, op.request.key);
+    } else {
+      type = kWvWrite;
+      payload = encode_write(request_id, op.request.key, op.request.value, op.chosen);
+    }
+    for (net::NodeId node = 0; node < network_.size(); ++node) {
+      if (node == node_ || op.repliers.contains(node)) continue;
+      network_.send(net::Message{node_, node, type, payload});
+    }
+    arm_retry(request_id);
+  });
+}
+
+void WeightedVotingServer::handle_message(const net::Message& message) {
+  if (!up_) return;
+  serial::Reader r(message.payload);
+  switch (message.type) {
+    case kWvVersionReq:
+    case kWvReadReq: {
+      const std::uint64_t request_id = r.varint();
+      const std::string key = r.str();
+      replica::Version version = replica::Version::none();
+      std::string value;
+      if (auto local = store_.read(key)) {
+        version = local->version;
+        value = local->value;
+      }
+      // Read replies carry the value; version polls only need the version
+      // but reuse the same reply format for simplicity (small values).
+      network_.send(net::Message{node_, message.src, kWvVersionRep,
+                                 encode_version_rep(request_id, version,
+                                                    message.type == kWvReadReq
+                                                        ? value
+                                                        : std::string{})});
+      break;
+    }
+    case kWvVersionRep: {
+      const std::uint64_t request_id = r.varint();
+      const replica::Version version = replica::Version::deserialize(r);
+      std::string value = r.str();
+      auto it = ops_.find(request_id);
+      if (it == ops_.end() || it->second.phase != Op::Phase::VersionPoll) break;
+      Op& op = it->second;
+      if (version > op.max_seen) {
+        op.max_seen = version;
+        if (!value.empty()) op.best_value = std::move(value);
+      }
+      add_vote(op, message.src);
+      maybe_advance(request_id);
+      break;
+    }
+    case kWvWrite: {
+      const std::uint64_t request_id = r.varint();
+      const std::string key = r.str();
+      const std::string value = r.str();
+      const replica::Version version = replica::Version::deserialize(r);
+      store_.apply(key, value, version);
+      network_.send(net::Message{node_, message.src, kWvWriteAck, encode_id(request_id)});
+      break;
+    }
+    case kWvWriteAck: {
+      const std::uint64_t request_id = r.varint();
+      auto it = ops_.find(request_id);
+      if (it == ops_.end() || it->second.phase != Op::Phase::Writing) break;
+      add_vote(it->second, message.src);
+      maybe_advance(request_id);
+      break;
+    }
+    default:
+      MARP_LOG_WARN("wv") << "unexpected message type " << message.type;
+  }
+}
+
+void WeightedVotingServer::on_fail() {
+  ops_.clear();
+  quorum_at_.clear();
+}
+
+WeightedVotingProtocol::WeightedVotingProtocol(net::Network& network,
+                                               WeightedVotingConfig config)
+    : network_(network), config_(std::move(config)) {
+  votes_ = config_.votes;
+  if (votes_.empty()) votes_.assign(network_.size(), 1);
+  MARP_REQUIRE(votes_.size() == network_.size());
+  for (std::uint32_t v : votes_) total_votes_ += v;
+  write_quorum_ = config_.write_quorum != 0 ? config_.write_quorum
+                                            : total_votes_ / 2 + 1;
+  read_quorum_ = config_.read_quorum != 0 ? config_.read_quorum
+                                          : total_votes_ - write_quorum_ + 1;
+  MARP_REQUIRE_MSG(read_quorum_ + write_quorum_ > total_votes_,
+                   "r + w must exceed total votes");
+  servers_.reserve(network_.size());
+  for (net::NodeId node = 0; node < network_.size(); ++node) {
+    servers_.push_back(std::make_unique<WeightedVotingServer>(network_, node, *this));
+    WeightedVotingServer* server = servers_.back().get();
+    network_.register_node(
+        node, [server](const net::Message& message) { server->handle_message(message); });
+  }
+}
+
+WeightedVotingServer& WeightedVotingProtocol::server(net::NodeId node) {
+  MARP_REQUIRE(node < servers_.size());
+  return *servers_[node];
+}
+
+void WeightedVotingProtocol::submit(const replica::Request& request) {
+  server(request.origin).submit(request);
+}
+
+void WeightedVotingProtocol::set_outcome_handler(replica::OutcomeHandler handler) {
+  for (auto& server : servers_) server->set_outcome_handler(handler);
+}
+
+void WeightedVotingProtocol::fail_server(net::NodeId node) { server(node).fail(); }
+
+void WeightedVotingProtocol::recover_server(net::NodeId node) {
+  server(node).recover();
+}
+
+}  // namespace marp::baseline

@@ -1,0 +1,112 @@
+// Gifford-style weighted voting (SOSP '79), cited by the paper as the
+// classic quorum scheme MARP's majority rule descends from.
+//
+// Each replica holds a number of votes. A read gathers version replies worth
+// at least `r` votes and returns the freshest value; a write first gathers a
+// version quorum worth `w` votes, then pushes a dominating version to the
+// repliers and completes when acks worth `w` votes are in. r + w > V ensures
+// every read quorum intersects every write quorum. Unlike MARP and MP-MCV,
+// reads here pay network messages — the contrast the comparison bench shows.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "net/network.hpp"
+#include "replica/request.hpp"
+#include "replica/server.hpp"
+#include "replica/versioned_store.hpp"
+
+namespace marp::baseline {
+
+constexpr net::MessageType kWvVersionReq = 0x0701;
+constexpr net::MessageType kWvVersionRep = 0x0702;
+constexpr net::MessageType kWvWrite = 0x0703;
+constexpr net::MessageType kWvWriteAck = 0x0704;
+constexpr net::MessageType kWvReadReq = 0x0705;
+constexpr net::MessageType kWvReadRep = 0x0706;
+
+struct WeightedVotingConfig {
+  /// Votes per replica; empty = one vote each.
+  std::vector<std::uint32_t> votes;
+  /// Read / write quorum sizes in votes. 0 = derive: w = majority of total
+  /// votes, r = total − w + 1 (the minimal intersecting read quorum).
+  std::uint32_t read_quorum = 0;
+  std::uint32_t write_quorum = 0;
+
+  sim::SimTime retry_interval = sim::SimTime::millis(100);
+  std::uint32_t max_retry_rounds = 20;
+};
+
+class WeightedVotingProtocol;
+
+class WeightedVotingServer : public replica::ServerBase {
+ public:
+  WeightedVotingServer(net::Network& network, net::NodeId node,
+                       WeightedVotingProtocol& protocol);
+
+  void submit(const replica::Request& request);
+  void handle_message(const net::Message& message);
+
+ protected:
+  void on_fail() override;
+
+ private:
+  struct Op {
+    replica::Request request;
+    std::set<net::NodeId> repliers;
+    std::uint32_t votes_gathered = 0;
+    replica::Version max_seen;
+    std::string best_value;       ///< reads: value paired with max_seen
+    replica::Version chosen;      ///< writes: version being installed
+    enum class Phase : std::uint8_t { VersionPoll, Writing } phase = Phase::VersionPoll;
+    std::uint32_t retry_rounds = 0;
+  };
+
+  void start(const replica::Request& request);
+  void add_vote(Op& op, net::NodeId from);
+  void maybe_advance(std::uint64_t request_id);
+  void complete_read(Op& op);
+  void begin_write_phase(Op& op);
+  void complete_write(Op& op);
+  void fail_request(Op& op);
+  void arm_retry(std::uint64_t request_id);
+
+  WeightedVotingProtocol& protocol_;
+  std::map<std::uint64_t, Op> ops_;
+  std::map<std::uint64_t, sim::SimTime> quorum_at_;
+};
+
+class WeightedVotingProtocol final : public replica::ReplicationProtocol {
+ public:
+  WeightedVotingProtocol(net::Network& network, WeightedVotingConfig config = {});
+
+  std::string name() const override { return "WeightedVoting"; }
+  void submit(const replica::Request& request) override;
+  void set_outcome_handler(replica::OutcomeHandler handler) override;
+  void fail_server(net::NodeId node) override;
+  void recover_server(net::NodeId node) override;
+
+  WeightedVotingServer& server(net::NodeId node);
+  std::size_t size() const noexcept { return servers_.size(); }
+
+  std::uint32_t votes_of(net::NodeId node) const { return votes_.at(node); }
+  std::uint32_t total_votes() const noexcept { return total_votes_; }
+  std::uint32_t read_quorum() const noexcept { return read_quorum_; }
+  std::uint32_t write_quorum() const noexcept { return write_quorum_; }
+  const WeightedVotingConfig& config() const noexcept { return config_; }
+
+ private:
+  net::Network& network_;
+  WeightedVotingConfig config_;
+  std::vector<std::uint32_t> votes_;
+  std::uint32_t total_votes_ = 0;
+  std::uint32_t read_quorum_ = 0;
+  std::uint32_t write_quorum_ = 0;
+  std::vector<std::unique_ptr<WeightedVotingServer>> servers_;
+};
+
+}  // namespace marp::baseline

@@ -1,0 +1,158 @@
+// Checkpointing and rollback with cooperating mobile agents.
+//
+// The paper's experiment interface (§4) was shared with the authors'
+// companion MAW work on "checkpointing and rollback of wide-area
+// distributed applications using mobile agents" (their ref [3]); this
+// module brings that capability to the replicated store:
+//
+//  * CheckpointAgent — tours every reachable server, saving each replica's
+//    local snapshot and accumulating the freshest committed copy per key
+//    (the *manifest*); a second sealing tour writes the manifest to every
+//    server's CheckpointStore so a rollback can start anywhere; finally it
+//    returns home and reports.
+//  * RollbackAgent — tours every reachable server, restoring the manifest
+//    into the store, resetting MARP's coordination state, and killing the
+//    in-flight UpdateAgents hosted there (aborting uncommitted sessions);
+//    returns home and reports.
+//
+// Rollback is quiescent-consistent: updates racing with the rollback tour
+// may commit after it and move replicas forward again — consistently,
+// since commits broadcast everywhere — but the guarantee "all replicas
+// equal the manifest at completion" holds only without concurrent writes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "agent/agent.hpp"
+#include "agent/platform.hpp"
+#include "marp/protocol.hpp"
+#include "replica/versioned_store.hpp"
+
+namespace marp::checkpoint {
+
+inline constexpr const char* kCheckpointAgentType = "marp.checkpoint";
+inline constexpr const char* kRollbackAgentType = "marp.rollback";
+/// Host service names.
+inline constexpr const char* kStoreServiceName = "checkpoint-store";
+inline constexpr const char* kManagerServiceName = "checkpoint-manager";
+
+/// A consistent cut of the replicated data: key → freshest committed copy.
+using Manifest = std::map<std::string, replica::VersionedValue>;
+
+void serialize_manifest(serial::Writer& w, const Manifest& manifest);
+Manifest deserialize_manifest(serial::Reader& r);
+
+/// Per-server checkpoint storage: local snapshots taken during the
+/// collection tour plus sealed cluster-wide manifests.
+class CheckpointStore {
+ public:
+  void save_local(std::uint64_t id, Manifest snapshot);
+  void seal(std::uint64_t id, Manifest manifest);
+
+  bool has_sealed(std::uint64_t id) const { return sealed_.contains(id); }
+  const Manifest* sealed(std::uint64_t id) const;
+  const Manifest* local(std::uint64_t id) const;
+  std::vector<std::uint64_t> sealed_ids() const;
+
+ private:
+  std::map<std::uint64_t, Manifest> local_;
+  std::map<std::uint64_t, Manifest> sealed_;
+};
+
+/// Orchestrates checkpoint/rollback over an existing MARP deployment.
+class CheckpointManager {
+ public:
+  using Callback = std::function<void(std::uint64_t id, bool ok)>;
+
+  CheckpointManager(core::MarpProtocol& protocol, agent::AgentPlatform& platform);
+
+  CheckpointManager(const CheckpointManager&) = delete;
+  CheckpointManager& operator=(const CheckpointManager&) = delete;
+
+  /// Launch a checkpoint agent from `origin`. `done` fires at completion
+  /// (ok = manifest sealed at every reachable server).
+  void checkpoint(std::uint64_t id, net::NodeId origin, Callback done = {});
+
+  /// Launch a rollback agent from `origin` for a sealed checkpoint.
+  void rollback(std::uint64_t id, net::NodeId origin, Callback done = {});
+
+  CheckpointStore& store(net::NodeId node);
+  core::MarpProtocol& protocol() noexcept { return protocol_; }
+
+  // Called by the agents when they return home.
+  void notify(std::uint64_t id, bool ok);
+
+  std::uint64_t checkpoints_completed() const noexcept { return completed_; }
+  std::uint64_t rollbacks_completed() const noexcept { return rollbacks_; }
+
+ private:
+  core::MarpProtocol& protocol_;
+  agent::AgentPlatform& platform_;
+  std::vector<std::unique_ptr<CheckpointStore>> stores_;
+  std::map<std::uint64_t, Callback> callbacks_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t rollbacks_ = 0;
+};
+
+/// Collection + sealing tour (see file comment).
+class CheckpointAgent final : public agent::MobileAgent {
+ public:
+  enum class Phase : std::uint8_t { Collecting = 0, Sealing = 1, Returning = 2 };
+
+  CheckpointAgent() = default;
+  CheckpointAgent(std::uint64_t checkpoint_id, net::NodeId origin);
+
+  std::string type_name() const override { return kCheckpointAgentType; }
+  void on_created(agent::AgentContext& ctx) override;
+  void on_arrival(agent::AgentContext& ctx) override;
+  void on_migration_failed(agent::AgentContext& ctx, net::NodeId destination) override;
+  void serialize(serial::Writer& w) const override;
+  void deserialize(serial::Reader& r) override;
+
+  Phase phase() const noexcept { return phase_; }
+
+ private:
+  void step(agent::AgentContext& ctx);
+  void finish(agent::AgentContext& ctx, bool ok);
+
+  std::uint64_t checkpoint_id_ = 0;
+  net::NodeId origin_ = net::kInvalidNode;
+  Phase phase_ = Phase::Collecting;
+  Manifest manifest_;
+  std::vector<net::NodeId> pending_;      ///< remaining stops of this phase
+  std::vector<net::NodeId> unavailable_;
+  std::uint32_t migration_retries_ = 0;
+};
+
+/// Restore tour (see file comment).
+class RollbackAgent final : public agent::MobileAgent {
+ public:
+  RollbackAgent() = default;
+  RollbackAgent(std::uint64_t checkpoint_id, net::NodeId origin);
+
+  std::string type_name() const override { return kRollbackAgentType; }
+  void on_created(agent::AgentContext& ctx) override;
+  void on_arrival(agent::AgentContext& ctx) override;
+  void on_migration_failed(agent::AgentContext& ctx, net::NodeId destination) override;
+  void serialize(serial::Writer& w) const override;
+  void deserialize(serial::Reader& r) override;
+
+ private:
+  void step(agent::AgentContext& ctx);
+  void restore_here(agent::AgentContext& ctx);
+  void finish(agent::AgentContext& ctx, bool ok);
+
+  std::uint64_t checkpoint_id_ = 0;
+  net::NodeId origin_ = net::kInvalidNode;
+  Manifest manifest_;       ///< loaded from the origin's sealed copy
+  bool have_manifest_ = false;
+  std::vector<net::NodeId> pending_;
+  std::vector<net::NodeId> unavailable_;
+  std::uint32_t migration_retries_ = 0;
+};
+
+}  // namespace marp::checkpoint

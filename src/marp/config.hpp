@@ -1,0 +1,108 @@
+// MARP protocol configuration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace marp::core {
+
+/// How MARP serves reads.
+enum class ReadMode : std::uint8_t {
+  /// The paper's design choice (§3.1): "a read operation may be executed on
+  /// an arbitrary copy" — serve the local replica, possibly stale.
+  LocalCopy,
+  /// Extension in the spirit of §5 ("the MAW approach is a generic
+  /// method"): a read agent tours servers until it has gathered a read
+  /// quorum of votes and returns the freshest copy — Gifford-consistent
+  /// reads, paid for with migrations.
+  QuorumAgent
+};
+
+/// How an agent picks the next server from its Un-visited Servers List.
+enum class RoutingPolicy : std::uint8_t {
+  CostAware,  ///< cheapest from current location (paper §3.2, routing tables)
+  Random,     ///< uniform random among unvisited (ablation)
+  ByServerId  ///< fixed ascending-id order (ablation)
+};
+
+/// How the paper's tie rule is applied once an agent has full information
+/// and nobody holds a majority of locking-list heads.
+enum class TieBreakMode : std::uint8_t {
+  /// The literal condition from Algorithm 1: resolve by agent id only when
+  /// M agents top S servers each and S + (N − M·S) < N/2. As published this
+  /// leaves reachable deadlocks (e.g. head counts {2,2,1} with N=5) — kept
+  /// for fidelity experiments.
+  PaperLiteral,
+  /// The extension §3.3 sketches ("determine not only the first agent …"):
+  /// with heads known for all N servers and no majority holder, the winner
+  /// is the agent with (max head count, then smallest id). Always live.
+  TotalOrder
+};
+
+struct MarpConfig {
+  /// Requests buffered at a server before an agent is dispatched (§3.2:
+  /// "after a pre-defined number of requests … or periodically").
+  std::size_t batch_size = 1;
+  /// Dispatch a partial batch this long after its first request.
+  sim::SimTime batch_period = sim::SimTime::millis(50);
+
+  /// Migration retries before a replica is declared unavailable (§2).
+  std::uint32_t max_migration_retries = 2;
+
+  /// Agents leave/merge locking info at servers (§3.3 information sharing).
+  bool gossip = true;
+
+  RoutingPolicy routing = RoutingPolicy::CostAware;
+  TieBreakMode tie_break = TieBreakMode::TotalOrder;
+
+  /// Per-server vote weights; empty = one vote each (the paper's plain
+  /// majority). Non-empty generalizes MARP to weighted voting: an agent
+  /// wins once it heads locking lists worth more than half the votes.
+  std::vector<std::uint32_t> votes;
+
+  ReadMode read_mode = ReadMode::LocalCopy;
+  /// Votes a QuorumAgent read must gather; 0 derives the minimal quorum
+  /// intersecting every write majority: total − ⌊total/2⌋.
+  std::uint32_t read_quorum_votes = 0;
+
+  /// A recovering server pulls the current store from a live peer before
+  /// serving again (extension; the paper leaves recovery state transfer
+  /// unspecified — without it a replica only catches up via later commits).
+  bool recovery_sync = true;
+
+  /// Processing time an agent spends at each server it visits (lock request,
+  /// bookkeeping) — the "average time a mobile agent spent at a server"
+  /// factor in the paper's ALT metric.
+  sim::SimTime visit_service_time = sim::SimTime::millis(2);
+
+  /// Local processing time for the read path (read local copy).
+  sim::SimTime local_read_time = sim::SimTime::micros(100);
+
+  /// UPDATE re-broadcast cadence while waiting for a majority of acks, and
+  /// the number of rounds before the update is aborted.
+  sim::SimTime ack_retry_interval = sim::SimTime::millis(100);
+  std::uint32_t max_ack_rounds = 20;
+
+  /// A blocked (waiting) agent re-visits its stalest server at this cadence
+  /// so information can never go permanently stale.
+  sim::SimTime patrol_interval = sim::SimTime::millis(250);
+
+  /// A claimant that lost the grant race to a *larger*-id holder retries
+  /// after this delay (plus per-agent jitter); smaller-id holders are
+  /// deferred to until their commit is observed.
+  sim::SimTime claim_retry_delay = sim::SimTime::millis(4);
+
+  /// Upper bound on deferring to a holder that never commits (it may itself
+  /// have been demoted and concluded somebody else should win). Safety does
+  /// not depend on this — the per-server grants are exclusive — it only
+  /// bounds the mutual-waiting stall.
+  sim::SimTime defer_timeout = sim::SimTime::millis(150);
+
+  /// Delay until all servers are informed of a fail-stop (§2: "all other
+  /// processes are informed of the failure in a finite time").
+  sim::SimTime failure_notice_delay = sim::SimTime::millis(100);
+};
+
+}  // namespace marp::core

@@ -1,0 +1,182 @@
+#include "marp/priority.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace marp::core {
+
+void LockSnapshot::serialize(serial::Writer& w) const {
+  w.seq(agents, [](serial::Writer& ww, const agent::AgentId& id) { id.serialize(ww); });
+  w.svarint(observed_us);
+}
+
+LockSnapshot LockSnapshot::deserialize(serial::Reader& r) {
+  LockSnapshot s;
+  s.agents = r.seq<agent::AgentId>(
+      [](serial::Reader& rr) { return agent::AgentId::deserialize(rr); });
+  s.observed_us = r.svarint();
+  return s;
+}
+
+std::optional<agent::AgentId> filtered_head(
+    const std::vector<agent::AgentId>& snapshot, const DoneSet& done) {
+  for (const agent::AgentId& id : snapshot) {
+    if (!done.contains(id)) return id;
+  }
+  return std::nullopt;
+}
+
+std::uint32_t vote_of(const VoteWeights& votes, net::NodeId node) {
+  if (votes.empty()) return 1;
+  MARP_REQUIRE(node < votes.size());
+  return votes[node];
+}
+
+std::uint32_t total_votes(const VoteWeights& votes, std::size_t n_servers) {
+  if (votes.empty()) return static_cast<std::uint32_t>(n_servers);
+  MARP_REQUIRE(votes.size() == n_servers);
+  std::uint32_t total = 0;
+  for (std::uint32_t v : votes) total += v;
+  return total;
+}
+
+std::map<agent::AgentId, std::uint32_t> top_counts(const LockTable& table,
+                                                   const DoneSet& done,
+                                                   const VoteWeights& votes) {
+  std::map<agent::AgentId, std::uint32_t> counts;
+  for (const auto& [node, snapshot] : table) {
+    if (!snapshot.known()) continue;
+    if (auto head = filtered_head(snapshot.agents, done)) {
+      counts[*head] += vote_of(votes, node);
+    }
+  }
+  return counts;
+}
+
+bool paper_tie_condition(std::uint32_t s, std::uint32_t m, std::size_t n) {
+  // S + (N − M·S) < N/2, evaluated without integer truncation.
+  const std::int64_t lhs =
+      static_cast<std::int64_t>(s) +
+      (static_cast<std::int64_t>(n) - static_cast<std::int64_t>(m) * s);
+  return 2 * lhs < static_cast<std::int64_t>(n);
+}
+
+Decision decide(const LockTable& table, const DoneSet& done,
+                const agent::AgentId& self, std::size_t n_servers,
+                TieBreakMode mode, const VoteWeights& votes) {
+  MARP_REQUIRE(n_servers >= 1);
+  const auto counts = top_counts(table, done, votes);
+  const std::uint32_t all_votes = total_votes(votes, n_servers);
+
+  // Majority rule: heading lists worth more than half the votes wins.
+  for (const auto& [id, count] : counts) {
+    if (2 * count > all_votes) {
+      return {id == self ? Decision::Kind::Win : Decision::Kind::Lose, id};
+    }
+  }
+
+  // Tie handling needs the head of every list to be known and non-empty.
+  std::size_t known_heads = 0;
+  for (const auto& [node, snapshot] : table) {
+    if (snapshot.known() && filtered_head(snapshot.agents, done)) ++known_heads;
+  }
+  if (known_heads < n_servers || counts.empty()) return {};
+
+  std::uint32_t max_count = 0;
+  for (const auto& [id, count] : counts) max_count = std::max(max_count, count);
+  std::vector<agent::AgentId> tied;
+  for (const auto& [id, count] : counts) {
+    if (count == max_count) tied.push_back(id);
+  }
+  // std::map iterates ids in ascending order, so tied is sorted; the winner
+  // by identifier is the front (Theorem 2's deterministic rule).
+  const agent::AgentId by_id = tied.front();
+
+  switch (mode) {
+    case TieBreakMode::PaperLiteral:
+      // With weights, S and N are measured in votes rather than servers.
+      if (!paper_tie_condition(max_count, static_cast<std::uint32_t>(tied.size()),
+                               all_votes)) {
+        return {};  // paper says "further processing is possible" — keep going
+      }
+      break;
+    case TieBreakMode::TotalOrder:
+      break;  // always resolvable with full information
+  }
+  return {by_id == self ? Decision::Kind::Win : Decision::Kind::Lose, by_id};
+}
+
+std::vector<agent::AgentId> predicted_order(const LockTable& table,
+                                            const DoneSet& done,
+                                            std::size_t n_servers,
+                                            const VoteWeights& votes,
+                                            std::size_t limit) {
+  std::vector<agent::AgentId> order;
+  DoneSet simulated = done;
+  for (;;) {
+    if (limit != 0 && order.size() >= limit) break;
+    // The next winner under TotalOrder, with everyone ranked so far
+    // treated as committed (their queue entries logically removed).
+    const auto counts = top_counts(table, simulated, votes);
+    if (counts.empty()) break;
+    const std::uint32_t all_votes = total_votes(votes, n_servers);
+    std::optional<agent::AgentId> winner;
+    std::uint32_t best_count = 0;
+    for (const auto& [id, count] : counts) {
+      if (2 * count > all_votes) {
+        winner = id;
+        break;
+      }
+      if (count > best_count) best_count = count;
+    }
+    if (!winner) {
+      // Tie path needs every head known; otherwise the prediction stops.
+      std::size_t known_heads = 0;
+      for (const auto& [node, snapshot] : table) {
+        if (snapshot.known() && filtered_head(snapshot.agents, simulated)) {
+          ++known_heads;
+        }
+      }
+      if (known_heads < n_servers) break;
+      for (const auto& [id, count] : counts) {  // ascending id: first max wins
+        if (count == best_count) {
+          winner = id;
+          break;
+        }
+      }
+    }
+    if (!winner) break;
+    order.push_back(*winner);
+    simulated.insert(*winner);
+  }
+  return order;
+}
+
+void merge_lock_tables(LockTable& table, const LockTable& incoming) {
+  for (const auto& [node, snapshot] : incoming) {
+    if (!snapshot.known()) continue;
+    auto& slot = table[node];
+    if (snapshot.observed_us > slot.observed_us) slot = snapshot;
+  }
+}
+
+void serialize_lock_table(serial::Writer& w, const LockTable& table) {
+  w.varint(table.size());
+  for (const auto& [node, snapshot] : table) {
+    w.varint(node);
+    snapshot.serialize(w);
+  }
+}
+
+LockTable deserialize_lock_table(serial::Reader& r) {
+  LockTable table;
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto node = static_cast<net::NodeId>(r.varint());
+    table.emplace(node, LockSnapshot::deserialize(r));
+  }
+  return table;
+}
+
+}  // namespace marp::core

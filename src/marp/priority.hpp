@@ -1,0 +1,105 @@
+// Pure priority-calculation functions for Algorithm 1.
+//
+// "The calculation of priority is done in a fully distributed manner by
+// individual mobile agents" (§3.3): every agent applies these same functions
+// to its Locking Table, so agreement (Theorem 1/2) reduces to the functions
+// being deterministic — which also makes them directly property-testable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "agent/agent_id.hpp"
+#include "marp/config.hpp"
+#include "net/message.hpp"
+#include "serial/byte_buffer.hpp"
+#include "sim/time.hpp"
+
+namespace marp::core {
+
+/// One server's locking-list snapshot as known to an agent, stamped with
+/// when it was observed (gossip carries older stamps than personal visits).
+struct LockSnapshot {
+  std::vector<agent::AgentId> agents;
+  std::int64_t observed_us = -1;  ///< -1 = never observed
+
+  bool known() const noexcept { return observed_us >= 0; }
+
+  void serialize(serial::Writer& w) const;
+  static LockSnapshot deserialize(serial::Reader& r);
+};
+
+/// The agent's Locking Table (LT, §3.2): per-server snapshots.
+using LockTable = std::map<net::NodeId, LockSnapshot>;
+
+/// Set of agents known to have finished (the agent's UAL, §3.2).
+using DoneSet = std::set<agent::AgentId>;
+
+/// Effective head of a snapshot once finished agents are filtered out.
+/// Entries ahead of a live agent can only disappear by finishing, so the
+/// filtered head of a (possibly stale) snapshot is never *behind* the true
+/// head — the staleness-safety property the update rule relies on.
+std::optional<agent::AgentId> filtered_head(const std::vector<agent::AgentId>& snapshot,
+                                            const DoneSet& done);
+
+/// Per-server vote weights. Empty means one vote per server — the paper's
+/// simplification ("a quorum … is simply any majority of its copies",
+/// §3.1); non-empty generalizes MARP to Gifford-style weighted voting.
+using VoteWeights = std::vector<std::uint32_t>;
+
+std::uint32_t vote_of(const VoteWeights& votes, net::NodeId node);
+std::uint32_t total_votes(const VoteWeights& votes, std::size_t n_servers);
+
+/// Head counts across all known servers ("Top-Count" of Algorithm 1),
+/// weighted by each server's votes.
+std::map<agent::AgentId, std::uint32_t> top_counts(const LockTable& table,
+                                                   const DoneSet& done,
+                                                   const VoteWeights& votes = {});
+
+struct Decision {
+  enum class Kind : std::uint8_t {
+    Win,     ///< self holds the highest priority — proceed to update
+    Lose,    ///< another specific agent wins — wait for its commit
+    Unknown  ///< not enough information / nobody decided yet
+  };
+  Kind kind = Kind::Unknown;
+  std::optional<agent::AgentId> winner;  ///< set for Win and Lose
+};
+
+/// Decide the highest-priority agent from `table` as seen by `self`.
+///
+/// * Any agent heading lists worth more than half the total votes wins
+///   outright (majority; with default weights, > N/2 lists).
+/// * Otherwise, once the filtered head of *every* one of the `n_servers`
+///   lists is known, the tie rule of `mode` applies (see TieBreakMode).
+Decision decide(const LockTable& table, const DoneSet& done,
+                const agent::AgentId& self, std::size_t n_servers,
+                TieBreakMode mode, const VoteWeights& votes = {});
+
+/// The paper's literal tie condition: M agents top S servers each, and
+/// S + (N − M·S) < N/2. Exposed for direct unit testing.
+bool paper_tie_condition(std::uint32_t s, std::uint32_t m, std::size_t n);
+
+/// §3.3's full extension: "mobile agents can determine not only the first
+/// mobile agent who will obtain the lock next, but also the second agent,
+/// the third agent, etc." Simulates successive winners on the given view:
+/// rank k+1 is the TotalOrder winner once ranks 1..k are treated as done.
+/// Every agent applying this to the same information computes the same
+/// ranking (tested), which is what makes the prediction usable for
+/// scheduling. Returns at most `limit` ranks (0 = all live agents).
+std::vector<agent::AgentId> predicted_order(const LockTable& table,
+                                            const DoneSet& done,
+                                            std::size_t n_servers,
+                                            const VoteWeights& votes = {},
+                                            std::size_t limit = 0);
+
+/// Merge `incoming` into `table`, keeping the fresher snapshot per server.
+void merge_lock_tables(LockTable& table, const LockTable& incoming);
+
+void serialize_lock_table(serial::Writer& w, const LockTable& table);
+LockTable deserialize_lock_table(serial::Reader& r);
+
+}  // namespace marp::core

@@ -1,0 +1,104 @@
+#include "marp/protocol.hpp"
+
+#include "marp/priority.hpp"
+#include "marp/read_agent.hpp"
+#include "marp/update_agent.hpp"
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace marp::core {
+
+MarpProtocol::MarpProtocol(net::Network& network, agent::AgentPlatform& platform,
+                           MarpConfig config)
+    : network_(network), platform_(platform), config_(std::move(config)) {
+  MARP_REQUIRE_MSG(config_.votes.empty() || config_.votes.size() == network_.size(),
+                   "votes must be empty or have one entry per server");
+  if (!platform_.registry().contains(kUpdateAgentType)) {
+    platform_.registry().register_type<UpdateAgent>(kUpdateAgentType);
+  }
+  if (!platform_.registry().contains(kReadAgentType)) {
+    platform_.registry().register_type<ReadAgent>(kReadAgentType);
+  }
+  servers_.reserve(network_.size());
+  for (net::NodeId node = 0; node < network_.size(); ++node) {
+    servers_.push_back(
+        std::make_unique<MarpServer>(network_, platform_, node, config_, *this));
+    MarpServer* server = servers_.back().get();
+    platform_.set_app_handler(
+        node, [server](const net::Message& message) { server->handle_message(message); });
+  }
+}
+
+MarpServer& MarpProtocol::server(net::NodeId node) {
+  MARP_REQUIRE(node < servers_.size());
+  return *servers_[node];
+}
+
+void MarpProtocol::submit(const replica::Request& request) {
+  server(request.origin).submit(request);
+}
+
+void MarpProtocol::set_outcome_handler(replica::OutcomeHandler handler) {
+  for (auto& server : servers_) server->set_outcome_handler(handler);
+}
+
+void MarpProtocol::fail_server(net::NodeId node) {
+  MarpServer& failed = server(node);
+  if (!failed.up()) return;
+  // The process halts: the agents executing on it die with it.
+  const std::vector<agent::AgentId> dead = platform_.host(node).dispose_all();
+  failed.fail();
+
+  // §2: "When a process fails, all other processes are informed of the
+  // failure in a finite time" — after the notice delay, every live server
+  // purges locking state owned by the dead agents so waiters can progress.
+  network_.simulator().schedule(config_.failure_notice_delay, [this, dead] {
+    for (auto& srv : servers_) {
+      if (srv->up()) srv->purge_agents(dead);
+    }
+  });
+}
+
+void MarpProtocol::recover_server(net::NodeId node) { server(node).recover(); }
+
+void MarpProtocol::note_update_attempt(const agent::AgentId& agent) {
+  (void)agent;
+  ++stats_.update_attempts;
+}
+
+void MarpProtocol::note_update_quorum(const agent::AgentId& agent) {
+  // Count grant holders across live servers; a *different* agent holding a
+  // majority at the same instant would break Theorem 2.
+  std::map<agent::AgentId, std::size_t> held;
+  for (const auto& server : servers_) {
+    if (server->up() && server->update_holder()) {
+      ++held[*server->update_holder()];
+    }
+  }
+  for (const auto& [holder, count] : held) {
+    if (holder != agent && 2 * count > servers_.size()) {
+      ++stats_.mutex_violations;
+      MARP_LOG_ERROR("marp") << "mutual exclusion violated: "
+                             << holder.to_string() << " and "
+                             << agent.to_string() << " both hold majorities";
+    }
+  }
+}
+
+void MarpProtocol::note_update_commit(const agent::AgentId& agent,
+                                      const std::vector<WriteOp>& ops) {
+  ++stats_.updates_committed;
+  CommitRecord record;
+  record.agent = agent;
+  record.committed = network_.simulator().now();
+  record.versions.reserve(ops.size());
+  for (const WriteOp& op : ops) record.versions.push_back(op.version);
+  commit_log_.push_back(std::move(record));
+}
+
+void MarpProtocol::note_update_abort(const agent::AgentId& agent) {
+  (void)agent;
+  ++stats_.updates_aborted;
+}
+
+}  // namespace marp::core

@@ -1,0 +1,74 @@
+// MarpProtocol — the facade that assembles a full MARP deployment: one
+// MarpServer per node, the UpdateAgent type registration, outcome routing,
+// the fail-stop/notification machinery, and the mutual-exclusion monitor
+// that checks Theorem 2 on every run.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "agent/platform.hpp"
+#include "marp/config.hpp"
+#include "marp/server.hpp"
+#include "replica/request.hpp"
+
+namespace marp::core {
+
+struct MarpStats {
+  std::uint64_t updates_committed = 0;
+  std::uint64_t updates_aborted = 0;
+  std::uint64_t update_attempts = 0;  ///< begin_update calls (incl. demoted)
+  std::uint64_t reads_served = 0;
+  /// Times an agent reached a majority of update grants while another agent
+  /// also held a majority. Theorem 2 says this stays 0; tests assert it.
+  std::uint64_t mutex_violations = 0;
+};
+
+/// One committed update session, in global commit order (test oracle).
+struct CommitRecord {
+  agent::AgentId agent;
+  sim::SimTime committed;
+  std::vector<replica::Version> versions;
+};
+
+class MarpProtocol final : public replica::ReplicationProtocol {
+ public:
+  /// Builds servers for every node of `network` and wires them into
+  /// `platform` (app handlers, services, agent type registration).
+  MarpProtocol(net::Network& network, agent::AgentPlatform& platform,
+               MarpConfig config = {});
+
+  std::string name() const override { return "MARP"; }
+  void submit(const replica::Request& request) override;
+  void set_outcome_handler(replica::OutcomeHandler handler) override;
+  void fail_server(net::NodeId node) override;
+  void recover_server(net::NodeId node) override;
+
+  MarpServer& server(net::NodeId node);
+  std::size_t size() const noexcept { return servers_.size(); }
+  const MarpConfig& config() const noexcept { return config_; }
+
+  const MarpStats& stats() const noexcept { return stats_; }
+  const std::vector<CommitRecord>& commit_log() const noexcept { return commit_log_; }
+
+  // ---- called by agents/servers ----
+  void note_update_attempt(const agent::AgentId& agent);
+  /// Called when `agent` has collected a majority of grants; audits the
+  /// per-server grant holders for a competing majority (Theorem 2 monitor).
+  void note_update_quorum(const agent::AgentId& agent);
+  void note_update_commit(const agent::AgentId& agent,
+                          const std::vector<WriteOp>& ops);
+  void note_update_abort(const agent::AgentId& agent);
+  void note_read() { ++stats_.reads_served; }
+
+ private:
+  net::Network& network_;
+  agent::AgentPlatform& platform_;
+  MarpConfig config_;
+  std::vector<std::unique_ptr<MarpServer>> servers_;
+  MarpStats stats_;
+  std::vector<CommitRecord> commit_log_;
+};
+
+}  // namespace marp::core

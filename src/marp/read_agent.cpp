@@ -1,0 +1,167 @@
+#include "marp/read_agent.hpp"
+
+#include <algorithm>
+
+#include "marp/priority.hpp"
+#include "marp/server.hpp"
+#include "marp/wire.hpp"
+#include "util/assert.hpp"
+
+namespace marp::core {
+
+namespace {
+
+/// Default read quorum: the minimal vote count intersecting every write
+/// majority — r = V − ⌊V/2⌋ (so r + w > V with w = ⌊V/2⌋ + 1).
+std::uint32_t read_quorum_for(const MarpConfig& config, std::size_t n_servers) {
+  if (config.read_quorum_votes != 0) return config.read_quorum_votes;
+  const std::uint32_t total = total_votes(config.votes, n_servers);
+  return total - total / 2;
+}
+
+}  // namespace
+
+ReadAgent::ReadAgent(net::NodeId origin, std::uint64_t request_id, std::string key)
+    : origin_(origin), request_id_(request_id), key_(std::move(key)) {}
+
+MarpServer& ReadAgent::server_here(agent::AgentContext& ctx) const {
+  auto* server = ctx.service<MarpServer>(kMarpServiceName);
+  MARP_REQUIRE_MSG(server != nullptr, "no MARP server on this host");
+  return *server;
+}
+
+void ReadAgent::on_created(agent::AgentContext& ctx) {
+  MarpServer& server = server_here(ctx);
+  needed_votes_ = read_quorum_for(server.config(), server.cluster_size());
+  for (net::NodeId node = 0; node < server.cluster_size(); ++node) {
+    usl_.push_back(node);
+  }
+  do_visit(ctx);
+}
+
+void ReadAgent::on_arrival(agent::AgentContext& ctx) {
+  migration_retries_ = 0;
+  do_visit(ctx);
+}
+
+void ReadAgent::do_visit(agent::AgentContext& ctx) {
+  MarpServer& server = server_here(ctx);
+  if (auto local = server.store().read(key_)) {
+    if (local->version > best_.version) best_ = *local;
+  }
+  gathered_votes_ += vote_of(server.config().votes, ctx.here());
+  routing_costs_ = server.routing_costs();
+  visited_.push_back(ctx.here());
+  usl_.erase(std::remove(usl_.begin(), usl_.end(), ctx.here()), usl_.end());
+
+  if (gathered_votes_ >= needed_votes_) {
+    finish(ctx, /*success=*/true);
+    return;
+  }
+  const net::NodeId next = pick_next(ctx);
+  if (next == net::kInvalidNode) {
+    finish(ctx, /*success=*/false);  // quorum unreachable
+    return;
+  }
+  ctx.dispatch_to(next);
+}
+
+net::NodeId ReadAgent::pick_next(agent::AgentContext& ctx) const {
+  net::NodeId best = net::kInvalidNode;
+  std::int64_t best_cost = 0;
+  for (net::NodeId node : usl_) {
+    if (node == ctx.here()) continue;
+    if (std::find(unavailable_.begin(), unavailable_.end(), node) !=
+        unavailable_.end()) {
+      continue;
+    }
+    const std::int64_t cost = node < routing_costs_.size() ? routing_costs_[node] : 0;
+    if (best == net::kInvalidNode || cost < best_cost ||
+        (cost == best_cost && node < best)) {
+      best = node;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+void ReadAgent::on_migration_failed(agent::AgentContext& ctx,
+                                    net::NodeId destination) {
+  MarpServer& server = server_here(ctx);
+  if (++migration_retries_ <= server.config().max_migration_retries) {
+    ctx.dispatch_to(destination);
+    return;
+  }
+  unavailable_.push_back(destination);
+  usl_.erase(std::remove(usl_.begin(), usl_.end(), destination), usl_.end());
+  migration_retries_ = 0;
+  const net::NodeId next = pick_next(ctx);
+  if (next == net::kInvalidNode) {
+    finish(ctx, /*success=*/false);
+    return;
+  }
+  ctx.dispatch_to(next);
+}
+
+void ReadAgent::finish(agent::AgentContext& ctx, bool success) {
+  ReadReportPayload report;
+  report.request_id = request_id_;
+  report.success = success;
+  report.value = best_.value;
+  report.version = best_.version;
+  report.servers_visited = servers_visited();
+  if (origin_ == ctx.here()) {
+    server_here(ctx).handle_read_report_local(report);
+  } else {
+    ctx.send_to_node(origin_, kMsgReadReport, report.encode());
+  }
+  ctx.dispose();
+}
+
+void ReadAgent::serialize(serial::Writer& w) const {
+  w.varint(origin_);
+  w.varint(request_id_);
+  w.str(key_);
+  w.varint(needed_votes_);
+  w.varint(gathered_votes_);
+  w.str(best_.value);
+  best_.version.serialize(w);
+  auto write_nodes = [](serial::Writer& ww, const std::vector<net::NodeId>& nodes) {
+    ww.varint(nodes.size());
+    for (net::NodeId node : nodes) ww.varint(node);
+  };
+  write_nodes(w, usl_);
+  write_nodes(w, visited_);
+  write_nodes(w, unavailable_);
+  w.varint(routing_costs_.size());
+  for (std::int64_t cost : routing_costs_) w.svarint(cost);
+  w.varint(migration_retries_);
+}
+
+void ReadAgent::deserialize(serial::Reader& r) {
+  origin_ = static_cast<net::NodeId>(r.varint());
+  request_id_ = r.varint();
+  key_ = r.str();
+  needed_votes_ = static_cast<std::uint32_t>(r.varint());
+  gathered_votes_ = static_cast<std::uint32_t>(r.varint());
+  best_.value = r.str();
+  best_.version = replica::Version::deserialize(r);
+  auto read_nodes = [](serial::Reader& rr) {
+    const std::uint64_t n = rr.varint();
+    std::vector<net::NodeId> nodes;
+    nodes.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      nodes.push_back(static_cast<net::NodeId>(rr.varint()));
+    }
+    return nodes;
+  };
+  usl_ = read_nodes(r);
+  visited_ = read_nodes(r);
+  unavailable_ = read_nodes(r);
+  routing_costs_.clear();
+  const std::uint64_t costs = r.varint();
+  for (std::uint64_t i = 0; i < costs; ++i) routing_costs_.push_back(r.svarint());
+  migration_retries_ = static_cast<std::uint32_t>(r.varint());
+}
+
+}  // namespace marp::core

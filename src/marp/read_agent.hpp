@@ -1,0 +1,63 @@
+// ReadAgent — quorum reads, the mobile-agent way.
+//
+// An extension in the spirit of §5 ("the MAW approach is a generic method,
+// which can be used to implement different kinds of replication control
+// algorithms"): instead of reading the possibly-stale local copy, a read
+// agent tours servers — cheapest first, like the UpdateAgent — collecting
+// (version, value) pairs until the votes it has gathered form a read quorum
+// that must intersect every write majority. It then reports the freshest
+// copy to its origin server and disposes. No locks are taken: reads never
+// block writes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "agent/agent.hpp"
+#include "replica/versioned_store.hpp"
+
+namespace marp::core {
+
+class MarpServer;
+
+/// Registry name for this agent type.
+inline constexpr const char* kReadAgentType = "marp.read";
+
+class ReadAgent final : public agent::MobileAgent {
+ public:
+  ReadAgent() = default;  ///< for the registry
+  ReadAgent(net::NodeId origin, std::uint64_t request_id, std::string key);
+
+  std::string type_name() const override { return kReadAgentType; }
+
+  void on_created(agent::AgentContext& ctx) override;
+  void on_arrival(agent::AgentContext& ctx) override;
+  void on_migration_failed(agent::AgentContext& ctx, net::NodeId destination) override;
+
+  void serialize(serial::Writer& w) const override;
+  void deserialize(serial::Reader& r) override;
+
+  std::uint32_t servers_visited() const noexcept {
+    return static_cast<std::uint32_t>(visited_.size());
+  }
+
+ private:
+  MarpServer& server_here(agent::AgentContext& ctx) const;
+  void do_visit(agent::AgentContext& ctx);
+  void finish(agent::AgentContext& ctx, bool success);
+  net::NodeId pick_next(agent::AgentContext& ctx) const;
+
+  net::NodeId origin_ = net::kInvalidNode;
+  std::uint64_t request_id_ = 0;
+  std::string key_;
+  std::uint32_t needed_votes_ = 0;
+  std::uint32_t gathered_votes_ = 0;
+  replica::VersionedValue best_;
+  std::vector<net::NodeId> usl_;
+  std::vector<net::NodeId> visited_;
+  std::vector<net::NodeId> unavailable_;
+  std::vector<std::int64_t> routing_costs_;
+  std::uint32_t migration_retries_ = 0;
+};
+
+}  // namespace marp::core

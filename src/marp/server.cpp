@@ -1,0 +1,326 @@
+#include "marp/server.hpp"
+
+#include "marp/protocol.hpp"
+#include "marp/read_agent.hpp"
+#include "marp/update_agent.hpp"
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace marp::core {
+
+MarpServer::MarpServer(net::Network& network, agent::AgentPlatform& platform,
+                       net::NodeId node, const MarpConfig& config,
+                       MarpProtocol& protocol)
+    : replica::ServerBase(network, node),
+      platform_(platform),
+      config_(config),
+      protocol_(protocol) {
+  platform_.host(node).set_service(kMarpServiceName, this);
+}
+
+void MarpServer::submit(const replica::Request& request) {
+  if (!up_) return;  // a dead server accepts nothing
+
+  if (request.kind == replica::RequestKind::Read) {
+    if (config_.read_mode == ReadMode::QuorumAgent) {
+      // Extension: a read agent tours a read quorum (see ReadAgent).
+      outstanding_[request.id] = request;
+      platform_.host(node_).create(
+          std::make_unique<ReadAgent>(node_, request.id, request.key));
+      return;
+    }
+    // Paper §3.1: "a read operation may be executed on an arbitrary copy"
+    // — serve the local replica after a small processing delay.
+    simulator().schedule(config_.local_read_time, [this, request] {
+      if (!up_) return;
+      replica::Outcome outcome;
+      outcome.request_id = request.id;
+      outcome.kind = replica::RequestKind::Read;
+      outcome.origin = node_;
+      outcome.submitted = request.submitted;
+      outcome.dispatched = request.submitted;
+      outcome.lock_obtained = request.submitted;
+      outcome.completed = now();
+      outcome.success = true;
+      if (auto value = store_.read(request.key)) {
+        outcome.value = value->value;
+        outcome.read_version = value->version;
+      }
+      protocol_.note_read();
+      report(outcome);
+    });
+    return;
+  }
+
+  outstanding_[request.id] = request;
+  pending_.push_back(request);
+  if (pending_.size() >= config_.batch_size) {
+    dispatch_agent();
+  } else {
+    arm_batch_timer();
+  }
+}
+
+void MarpServer::arm_batch_timer() {
+  if (batch_timer_) return;
+  batch_timer_ = simulator().schedule(config_.batch_period, [this] {
+    batch_timer_.reset();
+    if (up_ && !pending_.empty()) dispatch_agent();
+  });
+}
+
+void MarpServer::dispatch_agent() {
+  if (batch_timer_) {
+    simulator().cancel(*batch_timer_);
+    batch_timer_.reset();
+  }
+  std::vector<UpdateAgent::PendingWrite> writes;
+  writes.reserve(pending_.size());
+  for (const auto& request : pending_) {
+    writes.push_back({request.id, request.key, request.value});
+  }
+  pending_.clear();
+  platform_.host(node_).create(std::make_unique<UpdateAgent>(node_, std::move(writes)));
+}
+
+VisitResult MarpServer::visit(const agent::AgentId& visitor,
+                              const std::vector<std::string>& keys,
+                              const LockTable& carried_gossip) {
+  MARP_REQUIRE_MSG(up_, "visit() on a failed server");
+  // Algorithm 2: "create an entry for the mobile agent and append it to LL"
+  // (idempotent on re-visits — the agent keeps its queue position).
+  ll_.append(visitor, now());
+
+  VisitResult result;
+  result.locking_list = LockSnapshot{ll_.snapshot(), now().as_micros()};
+  result.updated_list = ul_.snapshot();
+  result.routing_costs = routing_costs();
+  for (const std::string& key : keys) {
+    if (auto value = store_.read(key)) result.data.emplace(key, *value);
+  }
+
+  if (config_.gossip) {
+    // "Mobile agents can exchange their locking information by leaving the
+    // information at the servers they visited" (§3.3).
+    merge_lock_tables(gossip_cache_, carried_gossip);
+    result.gossip = gossip_cache_;
+    // The agent also leaves this server's own fresh snapshot for others.
+    gossip_cache_[node_] = result.locking_list;
+  }
+  return result;
+}
+
+MarpServer::RefreshResult MarpServer::refresh(const agent::AgentId& visitor) {
+  MARP_REQUIRE_MSG(up_, "refresh() on a failed server");
+  ll_.append(visitor, now());  // no-op when already queued
+  return RefreshResult{LockSnapshot{ll_.snapshot(), now().as_micros()},
+                       ul_.snapshot()};
+}
+
+MarpServer::GrantResult MarpServer::handle_update_local(const UpdatePayload& payload) {
+  // A finished agent's delayed UPDATE must not take a grant nobody will
+  // ever release, and neither may an attempt the agent already withdrew.
+  if (ul_.contains(payload.agent)) return GrantResult::Stale;
+  if (auto it = unlocked_attempts_.find(payload.agent);
+      it != unlocked_attempts_.end() && payload.attempt <= it->second) {
+    return GrantResult::Stale;
+  }
+  if (update_holder_ && *update_holder_ != payload.agent) return GrantResult::Held;
+  if (update_holder_ == payload.agent && payload.attempt < holder_attempt_) {
+    return GrantResult::Stale;
+  }
+  update_holder_ = payload.agent;
+  holder_attempt_ = payload.attempt;
+  staged_[payload.agent] = payload.ops;
+  return GrantResult::Granted;
+}
+
+void MarpServer::handle_commit_local(const CommitPayload& payload) {
+  for (const WriteOp& op : payload.ops) {
+    store_.apply(op.key, op.value, op.version);
+  }
+  staged_.erase(payload.agent);
+  if (update_holder_ == payload.agent) update_holder_.reset();
+  unlocked_attempts_.erase(payload.agent);
+  ll_.remove(payload.agent);
+  ul_.add(payload.agent);
+  // Wake local waiters even if the winner never queued here: the UL entry
+  // alone changes filtered heads everywhere.
+  signal_lock_changed();
+}
+
+void MarpServer::handle_release_local(const ReleasePayload& payload) {
+  staged_.erase(payload.agent);
+  if (update_holder_ == payload.agent) update_holder_.reset();
+  unlocked_attempts_.erase(payload.agent);
+  if (ll_.remove(payload.agent)) signal_lock_changed();
+}
+
+void MarpServer::handle_unlock_local(const agent::AgentId& agent,
+                                     std::uint32_t attempt) {
+  auto& high_water = unlocked_attempts_[agent];
+  high_water = std::max(high_water, attempt);
+  if (update_holder_ == agent && holder_attempt_ <= attempt) {
+    staged_.erase(agent);
+    update_holder_.reset();
+  }
+}
+
+void MarpServer::handle_report_local(const ReportPayload& payload) {
+  for (std::uint64_t request_id : payload.request_ids) {
+    auto it = outstanding_.find(request_id);
+    if (it == outstanding_.end()) continue;  // lost to a crash; ignore
+    const replica::Request& request = it->second;
+    replica::Outcome outcome;
+    outcome.request_id = request.id;
+    outcome.kind = replica::RequestKind::Write;
+    outcome.origin = node_;
+    outcome.submitted = request.submitted;
+    outcome.success = payload.success;
+    outcome.dispatched = sim::SimTime::micros(payload.dispatched_us);
+    outcome.lock_obtained = sim::SimTime::micros(payload.lock_obtained_us);
+    outcome.completed = now();
+    outcome.servers_visited = payload.servers_visited;
+    report(outcome);
+    outstanding_.erase(it);
+  }
+}
+
+void MarpServer::handle_read_report_local(const ReadReportPayload& payload) {
+  auto it = outstanding_.find(payload.request_id);
+  if (it == outstanding_.end()) return;
+  const replica::Request& request = it->second;
+  replica::Outcome outcome;
+  outcome.request_id = request.id;
+  outcome.kind = replica::RequestKind::Read;
+  outcome.origin = node_;
+  outcome.submitted = request.submitted;
+  outcome.dispatched = request.submitted;
+  outcome.lock_obtained = request.submitted;
+  outcome.completed = now();
+  outcome.success = payload.success;
+  outcome.value = payload.value;
+  outcome.read_version = payload.version;
+  outcome.servers_visited = payload.servers_visited;
+  protocol_.note_read();
+  report(outcome);
+  outstanding_.erase(it);
+}
+
+void MarpServer::handle_message(const net::Message& message) {
+  if (!up_) return;
+  switch (message.type) {
+    case kMsgUpdate: {
+      const UpdatePayload payload = UpdatePayload::decode(message.payload);
+      switch (handle_update_local(payload)) {
+        case GrantResult::Granted:
+          platform_.send_to_agent(node_, payload.reply_to, payload.agent,
+                                  kMsgAck,
+                                  AckPayload{node_, payload.attempt}.encode());
+          break;
+        case GrantResult::Held:
+          platform_.send_to_agent(
+              node_, payload.reply_to, payload.agent, kMsgNack,
+              NackPayload{node_, payload.attempt, *update_holder_}.encode());
+          break;
+        case GrantResult::Stale:
+          break;  // the sender has moved on; any reply would be ignored
+      }
+      break;
+    }
+    case kMsgCommit:
+      handle_commit_local(CommitPayload::decode(message.payload));
+      break;
+    case kMsgRelease:
+      handle_release_local(ReleasePayload::decode(message.payload));
+      break;
+    case kMsgUnlock: {
+      const UnlockPayload payload = UnlockPayload::decode(message.payload);
+      handle_unlock_local(payload.agent, payload.attempt);
+      break;
+    }
+    case kMsgReport:
+      handle_report_local(ReportPayload::decode(message.payload));
+      break;
+    case kMsgReadReport:
+      handle_read_report_local(ReadReportPayload::decode(message.payload));
+      break;
+    case kMsgSyncReq: {
+      SyncPayload dump;
+      for (const auto& key : store_.keys()) {
+        const auto value = store_.read(key);
+        dump.items.push_back({key, value->value, value->version});
+      }
+      network_.send(net::Message{node_, message.src, kMsgSyncRep, dump.encode()});
+      break;
+    }
+    case kMsgSyncRep: {
+      const SyncPayload dump = SyncPayload::decode(message.payload);
+      for (const auto& item : dump.items) {
+        store_.apply(item.key, item.value, item.version);
+      }
+      break;
+    }
+    default:
+      MARP_LOG_WARN("marp") << "server " << node_ << ": unexpected message type "
+                            << message.type;
+  }
+}
+
+void MarpServer::purge_agents(const std::vector<agent::AgentId>& dead) {
+  bool changed = false;
+  for (const agent::AgentId& id : dead) {
+    staged_.erase(id);
+    if (update_holder_ == id) update_holder_.reset();
+    unlocked_attempts_.erase(id);
+    changed = ll_.remove(id) || changed;
+  }
+  if (changed) signal_lock_changed();
+}
+
+void MarpServer::reset_coordination() {
+  ll_ = replica::LockingList{};
+  ul_ = replica::UpdatedList{};
+  gossip_cache_.clear();
+  staged_.clear();
+  update_holder_.reset();
+  unlocked_attempts_.clear();
+  signal_lock_changed();
+}
+
+void MarpServer::signal_lock_changed() {
+  platform_.host(node_).raise_signal(kSignalLockChanged);
+}
+
+void MarpServer::on_fail() {
+  // The process halts: volatile coordination state is gone; buffered client
+  // requests are lost. The versioned store survives on stable storage.
+  ll_ = replica::LockingList{};
+  ul_ = replica::UpdatedList{};
+  gossip_cache_.clear();
+  staged_.clear();
+  update_holder_.reset();
+  unlocked_attempts_.clear();
+  pending_.clear();
+  outstanding_.clear();
+  if (batch_timer_) {
+    simulator().cancel(*batch_timer_);
+    batch_timer_.reset();
+  }
+}
+
+void MarpServer::on_recover() {
+  // Locking state restarts empty; the store catches up through future
+  // COMMITs regardless (versions make re-application safe). With recovery
+  // sync enabled we additionally pull the current store from a live peer so
+  // keys that are never written again still converge.
+  if (!config_.recovery_sync) return;
+  for (net::NodeId peer = 0; peer < network_.size(); ++peer) {
+    if (peer != node_ && network_.node_up(peer)) {
+      network_.send(net::Message{node_, peer, kMsgSyncReq, {}});
+      break;
+    }
+  }
+}
+
+}  // namespace marp::core

@@ -1,0 +1,143 @@
+// MarpServer — the replicated-server side of the protocol (Algorithm 2).
+//
+// A MarpServer buffers client requests and dispatches UpdateAgents (§3.2),
+// serves visiting agents locally (lock request, LL/UL snapshots, routing
+// table, data versions, gossip cache), and handles the UPDATE / COMMIT /
+// RELEASE / REPORT coordination messages.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "agent/platform.hpp"
+#include "marp/config.hpp"
+#include "marp/priority.hpp"
+#include "marp/wire.hpp"
+#include "replica/locking.hpp"
+#include "replica/request.hpp"
+#include "replica/server.hpp"
+
+namespace marp::core {
+
+class MarpProtocol;
+
+/// Name under which the server publishes itself to visiting agents.
+inline constexpr const char* kMarpServiceName = "marp";
+
+/// What a visiting agent takes away from one local interaction (§3.3): the
+/// locking list (with itself appended), the updated list, the routing table,
+/// the freshest local copies of the keys it will write, and any gossip left
+/// by earlier visitors.
+struct VisitResult {
+  LockSnapshot locking_list;
+  std::vector<agent::AgentId> updated_list;
+  std::vector<std::int64_t> routing_costs;
+  std::map<std::string, replica::VersionedValue> data;
+  LockTable gossip;
+};
+
+class MarpServer : public replica::ServerBase {
+ public:
+  MarpServer(net::Network& network, agent::AgentPlatform& platform,
+             net::NodeId node, const MarpConfig& config, MarpProtocol& protocol);
+
+  const MarpConfig& config() const noexcept { return config_; }
+  MarpProtocol& protocol() noexcept { return protocol_; }
+  std::size_t cluster_size() const noexcept { return network_.size(); }
+  agent::AgentPlatform& platform() noexcept { return platform_; }
+
+  /// Client entry point: reads answer from the local copy; writes are
+  /// buffered and shipped with the next UpdateAgent.
+  void submit(const replica::Request& request);
+
+  // ---- local interface used by agents hosted on this node ----
+
+  /// One visit: append `visitor` to the LL (idempotent), exchange gossip,
+  /// and return everything the agent records in its data structures.
+  VisitResult visit(const agent::AgentId& visitor,
+                    const std::vector<std::string>& keys,
+                    const LockTable& carried_gossip);
+
+  /// Cheap local refresh for an agent already resident here (used on
+  /// lock-change signals): fresh LL snapshot + UL only, no gossip exchange,
+  /// no data reads — a waiting agent only needs the head information.
+  struct RefreshResult {
+    LockSnapshot locking_list;
+    std::vector<agent::AgentId> updated_list;
+  };
+  RefreshResult refresh(const agent::AgentId& visitor);
+
+  /// Outcome of an UPDATE at this server.
+  enum class GrantResult : std::uint8_t {
+    Granted,  ///< ops staged, grant (re)taken — ACK
+    Held,     ///< another session holds the grant — NACK with the holder
+    Stale     ///< from a committed agent or a withdrawn attempt — drop
+  };
+
+  /// Stage the ops and take the update grant. `Held` is the structural
+  /// enforcement of Theorem 2: two agents can never both assemble > N/2
+  /// grants, because each server grants one session at a time. `Stale`
+  /// rejects reordered UPDATEs that would otherwise resurrect dead grants.
+  GrantResult handle_update_local(const UpdatePayload& payload);
+  void handle_commit_local(const CommitPayload& payload);
+  void handle_release_local(const ReleasePayload& payload);
+  /// Release only the update grant/staged ops, keeping the LL entry — used
+  /// by a claimant demoted by a NACK. Records the attempt so a delayed
+  /// UPDATE of that attempt cannot re-take the grant afterwards.
+  void handle_unlock_local(const agent::AgentId& agent, std::uint32_t attempt);
+  void handle_report_local(const ReportPayload& payload);
+  void handle_read_report_local(const ReadReportPayload& payload);
+
+  /// Agent currently holding this server's update grant (tests/monitor).
+  const std::optional<agent::AgentId>& update_holder() const noexcept {
+    return update_holder_;
+  }
+
+  /// Network message entry point (registered as the node's app handler).
+  void handle_message(const net::Message& message);
+
+  /// Failure notification (§2): drop all state owned by `dead` agents.
+  void purge_agents(const std::vector<agent::AgentId>& dead);
+
+  /// Drop every piece of coordination state (locking list, updated list,
+  /// staged ops, grants, gossip) without touching the store — used by a
+  /// rollback to abort all in-flight update sessions at this server.
+  void reset_coordination();
+
+  const replica::LockingList& locking_list() const noexcept { return ll_; }
+  const replica::UpdatedList& updated_list() const noexcept { return ul_; }
+  std::size_t pending_requests() const noexcept { return pending_.size(); }
+
+ protected:
+  void on_fail() override;
+  /// With config().recovery_sync, pulls the current store from a live peer
+  /// (extension — otherwise the replica only catches up via later commits).
+  void on_recover() override;
+
+ private:
+  void dispatch_agent();
+  void arm_batch_timer();
+  void signal_lock_changed();
+
+  agent::AgentPlatform& platform_;
+  const MarpConfig& config_;
+  MarpProtocol& protocol_;
+
+  replica::LockingList ll_;
+  replica::UpdatedList ul_;
+  LockTable gossip_cache_;
+  std::map<agent::AgentId, std::vector<WriteOp>> staged_;
+  std::optional<agent::AgentId> update_holder_;
+  std::uint32_t holder_attempt_ = 0;
+  /// Highest attempt each live agent has withdrawn (entries die with the
+  /// agent's commit/purge). Guards against reordered stale UPDATEs.
+  std::map<agent::AgentId, std::uint32_t> unlocked_attempts_;
+
+  std::vector<replica::Request> pending_;
+  std::unordered_map<std::uint64_t, replica::Request> outstanding_;
+  std::optional<sim::EventId> batch_timer_;
+};
+
+}  // namespace marp::core

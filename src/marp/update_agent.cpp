@@ -1,0 +1,502 @@
+#include "marp/update_agent.hpp"
+
+#include <algorithm>
+
+#include "marp/protocol.hpp"
+#include "marp/server.hpp"
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace marp::core {
+
+UpdateAgent::UpdateAgent(net::NodeId origin, std::vector<PendingWrite> writes)
+    : origin_(origin), writes_(std::move(writes)) {
+  MARP_REQUIRE(!writes_.empty());
+}
+
+MarpServer& UpdateAgent::server_here(agent::AgentContext& ctx) const {
+  auto* server = ctx.service<MarpServer>(kMarpServiceName);
+  MARP_REQUIRE_MSG(server != nullptr, "no MARP server on this host");
+  return *server;
+}
+
+std::vector<std::string> UpdateAgent::keys() const {
+  std::vector<std::string> out;
+  out.reserve(writes_.size());
+  for (const PendingWrite& write : writes_) {
+    if (std::find(out.begin(), out.end(), write.key) == out.end()) {
+      out.push_back(write.key);
+    }
+  }
+  return out;
+}
+
+bool UpdateAgent::is_unavailable(net::NodeId node) const {
+  return std::find(unavailable_.begin(), unavailable_.end(), node) !=
+         unavailable_.end();
+}
+
+void UpdateAgent::on_created(agent::AgentContext& ctx) {
+  dispatched_us_ = ctx.now().as_micros();
+  const std::size_t n = server_here(ctx).cluster_size();
+  usl_.clear();
+  // §3.2: "Initially, this list contains all the replicated servers in the
+  // system" — the creation server is visited first, without migrating.
+  for (net::NodeId node = 0; node < n; ++node) usl_.push_back(node);
+  ctx.set_timer(server_here(ctx).config().visit_service_time, kTokenVisit);
+}
+
+void UpdateAgent::on_arrival(agent::AgentContext& ctx) {
+  migration_retries_ = 0;
+  current_target_ = net::kInvalidNode;
+  patrol_armed_ = false;  // timers died with the previous incarnation
+  ctx.set_timer(server_here(ctx).config().visit_service_time, kTokenVisit);
+}
+
+void UpdateAgent::arm_patrol(agent::AgentContext& ctx) {
+  if (patrol_armed_) return;
+  patrol_armed_ = true;
+  ctx.set_timer(server_here(ctx).config().patrol_interval, kTokenPatrol);
+}
+
+void UpdateAgent::on_timer(agent::AgentContext& ctx, std::uint64_t token) {
+  switch (token) {
+    case kTokenVisit:
+      do_visit(ctx);
+      break;
+    case kTokenPatrol: {
+      patrol_armed_ = false;
+      if (phase_ != Phase::Waiting) break;
+      const net::NodeId target = pick_stalest(ctx);
+      if (target != net::kInvalidNode) {
+        phase_ = Phase::Traveling;
+        current_target_ = target;
+        migration_retries_ = 0;
+        ctx.dispatch_to(target);
+      } else {
+        arm_patrol(ctx);
+      }
+      break;
+    }
+    case kTokenClaimRetry: {
+      if (phase_ != Phase::Waiting) break;
+      evaluate(ctx);  // evaluate() itself decides whether defer still holds
+      break;
+    }
+    case kTokenAckRetry: {
+      if (phase_ != Phase::Updating) break;
+      const MarpConfig& config = server_here(ctx).config();
+      if (++ack_rounds_ > config.max_ack_rounds) {
+        abort(ctx);
+        break;
+      }
+      // Re-send UPDATE to servers that have not acked (idempotent staging).
+      const UpdatePayload payload{id(), ctx.here(), attempt_seq_, ops_};
+      const serial::Bytes bytes = payload.encode();
+      const std::size_t n = server_here(ctx).cluster_size();
+      for (net::NodeId node = 0; node < n; ++node) {
+        if (node == ctx.here() || acks_.contains(node)) continue;
+        ctx.send_to_node(node, kMsgUpdate, bytes);
+      }
+      ctx.set_timer(config.ack_retry_interval, kTokenAckRetry);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void UpdateAgent::do_visit(agent::AgentContext& ctx) {
+  if (phase_ == Phase::Done || phase_ == Phase::Updating) return;
+  MarpServer& server = server_here(ctx);
+  const MarpConfig& config = server.config();
+
+  const VisitResult result =
+      server.visit(id(), keys(), config.gossip ? lt_ : LockTable{});
+
+  lt_[ctx.here()] = result.locking_list;
+  if (config.gossip) merge_lock_tables(lt_, result.gossip);
+  for (const agent::AgentId& done : result.updated_list) ual_.insert(done);
+  for (const auto& [key, value] : result.data) {
+    auto& best = freshest_[key];
+    if (value.version > best.version) best = value;
+  }
+  routing_costs_ = result.routing_costs;
+
+  if (std::find(visited_.begin(), visited_.end(), ctx.here()) == visited_.end()) {
+    visited_.push_back(ctx.here());
+  }
+  usl_.erase(std::remove(usl_.begin(), usl_.end(), ctx.here()), usl_.end());
+
+  phase_ = Phase::Traveling;
+  evaluate(ctx);
+}
+
+void UpdateAgent::evaluate(agent::AgentContext& ctx) {
+  MarpServer& server = server_here(ctx);
+  const std::size_t n = server.cluster_size();
+  const Decision decision = decide(lt_, ual_, id(), n,
+                                   server.config().tie_break,
+                                   server.config().votes);
+
+  // A deferred claimant re-attempts once the higher-priority holder it lost
+  // the ack race to is known to have finished — or after the defer timeout,
+  // in case that holder was itself demoted and is now waiting on us.
+  if (defer_ && (ual_.contains(defer_to_) ||
+                 ctx.now().as_micros() - defer_since_us_ >=
+                     server.config().defer_timeout.as_micros())) {
+    defer_ = false;
+  }
+
+  if (decision.kind == Decision::Kind::Win && !defer_) {
+    begin_update(ctx);
+    return;
+  }
+
+  // Not (yet) the winner: keep collecting locks while servers remain.
+  const net::NodeId next = pick_next_target(ctx);
+  if (next != net::kInvalidNode) {
+    current_target_ = next;
+    migration_retries_ = 0;
+    ctx.dispatch_to(next);
+    return;
+  }
+
+  // USL exhausted. Park here; lock-change signals and the patrol timer
+  // (stale-info refresh) guarantee re-evaluation.
+  phase_ = Phase::Waiting;
+  arm_patrol(ctx);
+}
+
+net::NodeId UpdateAgent::pick_next_target(agent::AgentContext& ctx) const {
+  std::vector<net::NodeId> candidates;
+  for (net::NodeId node : usl_) {
+    if (node != ctx.here() && !is_unavailable(node)) candidates.push_back(node);
+  }
+  if (candidates.empty()) return net::kInvalidNode;
+
+  const RoutingPolicy policy = server_here(ctx).config().routing;
+  switch (policy) {
+    case RoutingPolicy::CostAware: {
+      // Cheapest next hop per the routing table taken from the last server.
+      net::NodeId best = candidates.front();
+      for (net::NodeId node : candidates) {
+        const std::int64_t cost =
+            node < routing_costs_.size() ? routing_costs_[node] : 0;
+        const std::int64_t best_cost =
+            best < routing_costs_.size() ? routing_costs_[best] : 0;
+        if (cost < best_cost || (cost == best_cost && node < best)) best = node;
+      }
+      return best;
+    }
+    case RoutingPolicy::Random: {
+      // Deterministic per (agent, hop): independent of global RNG state.
+      std::uint64_t seed = agent::AgentIdHash{}(id());
+      seed ^= (visited_.size() + 1) * 0x9E3779B97F4A7C15ULL;
+      sim::Rng rng(seed);
+      return candidates[rng.bounded(candidates.size())];
+    }
+    case RoutingPolicy::ByServerId:
+      return *std::min_element(candidates.begin(), candidates.end());
+  }
+  return net::kInvalidNode;
+}
+
+net::NodeId UpdateAgent::pick_stalest(agent::AgentContext& ctx) const {
+  net::NodeId stalest = net::kInvalidNode;
+  std::int64_t oldest = std::numeric_limits<std::int64_t>::max();
+  const std::size_t n = server_here(ctx).cluster_size();
+  for (net::NodeId node = 0; node < n; ++node) {
+    if (node == ctx.here() || is_unavailable(node)) continue;
+    auto it = lt_.find(node);
+    const std::int64_t stamp = it == lt_.end() ? -1 : it->second.observed_us;
+    if (stamp < oldest) {
+      oldest = stamp;
+      stalest = node;
+    }
+  }
+  return stalest;
+}
+
+void UpdateAgent::on_migration_failed(agent::AgentContext& ctx,
+                                      net::NodeId destination) {
+  MarpServer& server = server_here(ctx);
+  const MarpConfig& config = server.config();
+  if (++migration_retries_ <= config.max_migration_retries) {
+    ctx.dispatch_to(destination);
+    return;
+  }
+  // §2: after repeated failures, declare the replica unavailable and do not
+  // attempt to visit it again this round.
+  unavailable_.push_back(destination);
+  usl_.erase(std::remove(usl_.begin(), usl_.end(), destination), usl_.end());
+  migration_retries_ = 0;
+  current_target_ = net::kInvalidNode;
+
+  const std::uint32_t all_votes =
+      total_votes(config.votes, server.cluster_size());
+  std::uint32_t lost_votes = 0;
+  for (net::NodeId node : unavailable_) lost_votes += vote_of(config.votes, node);
+  if (2 * (all_votes - lost_votes) <= all_votes) {
+    // A majority of votes can no longer answer: consistency requires
+    // giving up rather than writing a minority.
+    abort(ctx);
+    return;
+  }
+  evaluate(ctx);
+}
+
+void UpdateAgent::begin_update(agent::AgentContext& ctx) {
+  MarpServer& server = server_here(ctx);
+  phase_ = Phase::Updating;
+  lock_obtained_us_ = ctx.now().as_micros();
+  server.protocol().note_update_attempt(id());
+
+  // "It checks the time of last update of all the quorum members and uses
+  // the most recent copy" (§3.1): new versions must dominate everything any
+  // quorum member has seen.
+  std::int64_t base = lock_obtained_us_;
+  for (const auto& [key, value] : freshest_) {
+    base = std::max(base, value.version.time_us + 1);
+  }
+  ops_.clear();
+  ops_.reserve(writes_.size());
+  for (std::size_t i = 0; i < writes_.size(); ++i) {
+    ops_.push_back({writes_[i].key, writes_[i].value,
+                    replica::Version{base + static_cast<std::int64_t>(i),
+                                     origin_}});
+  }
+
+  ++attempt_seq_;
+  const UpdatePayload payload{id(), ctx.here(), attempt_seq_, ops_};
+  // Take the local grant first: if even the local server is held by another
+  // session, back off without spending any messages. (A fresh attempt from
+  // a live agent can never be Stale here.)
+  if (server.handle_update_local(payload) != MarpServer::GrantResult::Granted) {
+    demote(ctx, *server.update_holder(), /*broadcast_unlock=*/false);
+    return;
+  }
+  ctx.broadcast(kMsgUpdate, payload.encode());
+
+  acks_.clear();
+  acks_.insert(ctx.here());
+  ack_rounds_ = 0;
+  if (ack_votes(ctx) * 2 > total_votes(server.config().votes, server.cluster_size())) {
+    finish_update(ctx);  // degenerate N = 1 (or a dominating local vote)
+    return;
+  }
+  ctx.set_timer(server.config().ack_retry_interval, kTokenAckRetry);
+}
+
+std::uint32_t UpdateAgent::ack_votes(agent::AgentContext& ctx) const {
+  const auto& votes = server_here(ctx).config().votes;
+  std::uint32_t sum = 0;
+  for (net::NodeId node : acks_) sum += vote_of(votes, node);
+  return sum;
+}
+
+void UpdateAgent::on_message(agent::AgentContext& ctx, net::MessageType type,
+                             const serial::Bytes& payload) {
+  if (phase_ != Phase::Updating) return;
+  if (type == kMsgAck) {
+    const AckPayload ack = AckPayload::decode(payload);
+    if (ack.attempt != attempt_seq_) return;  // echo of a withdrawn attempt
+    acks_.insert(ack.server);
+    MarpServer& server = server_here(ctx);
+    if (2 * ack_votes(ctx) >
+        total_votes(server.config().votes, server.cluster_size())) {
+      finish_update(ctx);
+    }
+    return;
+  }
+  if (type == kMsgNack) {
+    // Another session holds a grant we need: withdraw this attempt and let
+    // the holder proceed (defer if it outranks us by id).
+    const NackPayload nack = NackPayload::decode(payload);
+    if (nack.attempt != attempt_seq_) return;
+    demote(ctx, nack.holder, /*broadcast_unlock=*/true);
+  }
+}
+
+void UpdateAgent::demote(agent::AgentContext& ctx, const agent::AgentId& holder,
+                         bool broadcast_unlock) {
+  MarpServer& server = server_here(ctx);
+  if (broadcast_unlock) {
+    ctx.broadcast(kMsgUnlock, UnlockPayload{id(), attempt_seq_}.encode());
+    server.handle_unlock_local(id(), attempt_seq_);
+  }
+  acks_.clear();
+  phase_ = Phase::Waiting;
+  if (holder < id() && !ual_.contains(holder)) {
+    // The holder outranks us: wait until its commit is observed (via the
+    // lock-change signal merging it into our UAL) before trying again.
+    defer_ = true;
+    defer_to_ = holder;
+    defer_since_us_ = ctx.now().as_micros();
+    // The defer timeout is only checked inside evaluate(); make sure an
+    // evaluation happens once it expires even if no signal arrives.
+    ctx.set_timer(server.config().defer_timeout + sim::SimTime::micros(1),
+                  kTokenClaimRetry);
+    arm_patrol(ctx);
+    return;
+  }
+  // We outrank the holder: it will defer to us once it sees our grants, so
+  // retry shortly (per-agent jitter avoids lock-step collisions).
+  const std::uint64_t jitter_us =
+      agent::AgentIdHash{}(id()) % 2000;  // 0..2ms
+  ctx.set_timer(server.config().claim_retry_delay +
+                    sim::SimTime::micros(static_cast<std::int64_t>(jitter_us)),
+                kTokenClaimRetry);
+  arm_patrol(ctx);
+}
+
+void UpdateAgent::finish_update(agent::AgentContext& ctx) {
+  MarpServer& server = server_here(ctx);
+  // Theorem 2 monitor: holding a majority of grants must be exclusive.
+  server.protocol().note_update_quorum(id());
+  const CommitPayload commit{id(), ops_};
+  ctx.broadcast(kMsgCommit, commit.encode());
+  server.handle_commit_local(commit);
+  server.protocol().note_update_commit(id(), ops_);
+  phase_ = Phase::Done;
+  send_report(ctx, /*success=*/true);
+  ctx.dispose();
+}
+
+void UpdateAgent::abort(agent::AgentContext& ctx) {
+  MarpServer& server = server_here(ctx);
+  server.protocol().note_update_abort(id());
+  const ReleasePayload release{id()};
+  ctx.broadcast(kMsgRelease, release.encode());
+  server.handle_release_local(release);
+  phase_ = Phase::Done;
+  send_report(ctx, /*success=*/false);
+  ctx.dispose();
+}
+
+void UpdateAgent::send_report(agent::AgentContext& ctx, bool success) {
+  ReportPayload report;
+  report.agent = id();
+  report.request_ids.reserve(writes_.size());
+  for (const PendingWrite& write : writes_) report.request_ids.push_back(write.request_id);
+  report.success = success;
+  report.dispatched_us = dispatched_us_;
+  report.lock_obtained_us = success ? lock_obtained_us_ : ctx.now().as_micros();
+  report.committed_us = ctx.now().as_micros();
+  report.servers_visited = servers_visited();
+
+  if (origin_ == ctx.here()) {
+    server_here(ctx).handle_report_local(report);
+  } else {
+    ctx.send_to_node(origin_, kMsgReport, report.encode());
+  }
+}
+
+void UpdateAgent::on_signal(agent::AgentContext& ctx, std::uint32_t signal) {
+  if (signal != kSignalLockChanged || phase_ != Phase::Waiting) return;
+  // Cheap local refresh (the agent is resident; no gossip copying) and
+  // re-decide — under contention every waiter is signalled per commit, so
+  // this path must stay light.
+  MarpServer& server = server_here(ctx);
+  const MarpServer::RefreshResult result = server.refresh(id());
+  lt_[ctx.here()] = result.locking_list;
+  for (const agent::AgentId& done : result.updated_list) ual_.insert(done);
+  evaluate(ctx);
+}
+
+void UpdateAgent::serialize(serial::Writer& w) const {
+  w.varint(origin_);
+  w.seq(writes_, [](serial::Writer& ww, const PendingWrite& write) {
+    ww.varint(write.request_id);
+    ww.str(write.key);
+    ww.str(write.value);
+  });
+  w.u8(static_cast<std::uint8_t>(phase_));
+  w.svarint(dispatched_us_);
+  w.svarint(lock_obtained_us_);
+  auto write_nodes = [](serial::Writer& ww, const std::vector<net::NodeId>& nodes) {
+    ww.varint(nodes.size());
+    for (net::NodeId node : nodes) ww.varint(node);
+  };
+  write_nodes(w, usl_);
+  write_nodes(w, visited_);
+  write_nodes(w, unavailable_);
+  serialize_lock_table(w, lt_);
+  w.varint(ual_.size());
+  for (const agent::AgentId& done : ual_) done.serialize(w);
+  w.varint(freshest_.size());
+  for (const auto& [key, value] : freshest_) {
+    w.str(key);
+    w.str(value.value);
+    value.version.serialize(w);
+  }
+  w.varint(routing_costs_.size());
+  for (std::int64_t cost : routing_costs_) w.svarint(cost);
+  w.varint(current_target_);
+  w.varint(migration_retries_);
+  w.seq(ops_, [](serial::Writer& ww, const WriteOp& op) { op.serialize(ww); });
+  w.varint(acks_.size());
+  for (net::NodeId node : acks_) w.varint(node);
+  w.varint(ack_rounds_);
+  w.boolean(defer_);
+  defer_to_.serialize(w);
+  w.svarint(defer_since_us_);
+  w.varint(attempt_seq_);
+}
+
+void UpdateAgent::deserialize(serial::Reader& r) {
+  origin_ = static_cast<net::NodeId>(r.varint());
+  writes_ = r.seq<PendingWrite>([](serial::Reader& rr) {
+    PendingWrite write;
+    write.request_id = rr.varint();
+    write.key = rr.str();
+    write.value = rr.str();
+    return write;
+  });
+  phase_ = static_cast<Phase>(r.u8());
+  dispatched_us_ = r.svarint();
+  lock_obtained_us_ = r.svarint();
+  auto read_nodes = [](serial::Reader& rr) {
+    const std::uint64_t n = rr.varint();
+    std::vector<net::NodeId> nodes;
+    nodes.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      nodes.push_back(static_cast<net::NodeId>(rr.varint()));
+    }
+    return nodes;
+  };
+  usl_ = read_nodes(r);
+  visited_ = read_nodes(r);
+  unavailable_ = read_nodes(r);
+  lt_ = deserialize_lock_table(r);
+  ual_.clear();
+  const std::uint64_t ual_size = r.varint();
+  for (std::uint64_t i = 0; i < ual_size; ++i) ual_.insert(agent::AgentId::deserialize(r));
+  freshest_.clear();
+  const std::uint64_t fresh_size = r.varint();
+  for (std::uint64_t i = 0; i < fresh_size; ++i) {
+    std::string key = r.str();
+    replica::VersionedValue value;
+    value.value = r.str();
+    value.version = replica::Version::deserialize(r);
+    freshest_.emplace(std::move(key), std::move(value));
+  }
+  routing_costs_.clear();
+  const std::uint64_t cost_size = r.varint();
+  for (std::uint64_t i = 0; i < cost_size; ++i) routing_costs_.push_back(r.svarint());
+  current_target_ = static_cast<net::NodeId>(r.varint());
+  migration_retries_ = static_cast<std::uint32_t>(r.varint());
+  ops_ = r.seq<WriteOp>([](serial::Reader& rr) { return WriteOp::deserialize(rr); });
+  acks_.clear();
+  const std::uint64_t ack_size = r.varint();
+  for (std::uint64_t i = 0; i < ack_size; ++i) {
+    acks_.insert(static_cast<net::NodeId>(r.varint()));
+  }
+  ack_rounds_ = static_cast<std::uint32_t>(r.varint());
+  defer_ = r.boolean();
+  defer_to_ = agent::AgentId::deserialize(r);
+  defer_since_us_ = r.svarint();
+  attempt_seq_ = static_cast<std::uint32_t>(r.varint());
+}
+
+}  // namespace marp::core

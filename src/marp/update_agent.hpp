@@ -1,0 +1,131 @@
+// UpdateAgent — the mobile agent of Algorithm 1.
+//
+// Carries a batch of write requests from its origin server, travels the
+// replicated servers appending itself to their locking lists, accumulates
+// locking information (LT) and finished-agent information (UAL), and — once
+// it holds the highest priority — synchronises to the freshest copy,
+// broadcasts UPDATE, collects a majority of acks, multicasts COMMIT, reports
+// to its origin, and disposes.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "agent/agent.hpp"
+#include "marp/priority.hpp"
+#include "marp/wire.hpp"
+#include "replica/versioned_store.hpp"
+
+namespace marp::core {
+
+class MarpServer;
+
+/// Registry name for this agent type.
+inline constexpr const char* kUpdateAgentType = "marp.update";
+
+class UpdateAgent final : public agent::MobileAgent {
+ public:
+  struct PendingWrite {
+    std::uint64_t request_id = 0;
+    std::string key;
+    std::string value;
+  };
+
+  enum class Phase : std::uint8_t {
+    Traveling = 0,  ///< collecting locks / migrating
+    Waiting = 1,    ///< USL exhausted, not highest priority — parked
+    Updating = 2,   ///< winner: UPDATE broadcast out, gathering acks
+    Done = 3
+  };
+
+  UpdateAgent() = default;  ///< for the registry (state set by deserialize)
+  UpdateAgent(net::NodeId origin, std::vector<PendingWrite> writes);
+
+  std::string type_name() const override { return kUpdateAgentType; }
+
+  void on_created(agent::AgentContext& ctx) override;
+  void on_arrival(agent::AgentContext& ctx) override;
+  void on_migration_failed(agent::AgentContext& ctx, net::NodeId destination) override;
+  void on_message(agent::AgentContext& ctx, net::MessageType type,
+                  const serial::Bytes& payload) override;
+  void on_signal(agent::AgentContext& ctx, std::uint32_t signal) override;
+  void on_timer(agent::AgentContext& ctx, std::uint64_t token) override;
+
+  void serialize(serial::Writer& w) const override;
+  void deserialize(serial::Reader& r) override;
+
+  // Introspection (tests).
+  Phase phase() const noexcept { return phase_; }
+  const LockTable& lock_table() const noexcept { return lt_; }
+  const DoneSet& updated_agents() const noexcept { return ual_; }
+  std::uint32_t servers_visited() const noexcept {
+    return static_cast<std::uint32_t>(visited_.size());
+  }
+
+ private:
+  static constexpr std::uint64_t kTokenVisit = 1;
+  static constexpr std::uint64_t kTokenPatrol = 2;
+  static constexpr std::uint64_t kTokenAckRetry = 3;
+  static constexpr std::uint64_t kTokenClaimRetry = 4;
+
+  void arm_patrol(agent::AgentContext& ctx);
+
+  MarpServer& server_here(agent::AgentContext& ctx) const;
+  std::vector<std::string> keys() const;
+
+  void do_visit(agent::AgentContext& ctx);
+  void evaluate(agent::AgentContext& ctx);
+  void begin_update(agent::AgentContext& ctx);
+  /// Withdraw a losing update attempt and park until `holder` finishes.
+  void demote(agent::AgentContext& ctx, const agent::AgentId& holder,
+              bool broadcast_unlock);
+  void finish_update(agent::AgentContext& ctx);
+  void abort(agent::AgentContext& ctx);
+  void send_report(agent::AgentContext& ctx, bool success);
+
+  /// Votes held by the servers that have acked the current attempt.
+  std::uint32_t ack_votes(agent::AgentContext& ctx) const;
+
+  /// Next migration target per the routing policy, or kInvalidNode.
+  net::NodeId pick_next_target(agent::AgentContext& ctx) const;
+  /// Known server with the oldest LT stamp (patrol target).
+  net::NodeId pick_stalest(agent::AgentContext& ctx) const;
+
+  bool is_unavailable(net::NodeId node) const;
+
+  // --- migrating state (all serialized) ---
+  net::NodeId origin_ = net::kInvalidNode;
+  std::vector<PendingWrite> writes_;
+  Phase phase_ = Phase::Traveling;
+  std::int64_t dispatched_us_ = 0;
+  std::int64_t lock_obtained_us_ = 0;
+  std::vector<net::NodeId> usl_;          ///< Un-visited Servers List (§3.2)
+  std::vector<net::NodeId> visited_;      ///< servers where a lock was requested
+  std::vector<net::NodeId> unavailable_;  ///< declared failed this round (§2)
+  LockTable lt_;                          ///< Locking Table (§3.2)
+  DoneSet ual_;                           ///< Updated Agents List (§3.2)
+  std::map<std::string, replica::VersionedValue> freshest_;
+  std::vector<std::int64_t> routing_costs_;  ///< from the last visited server
+  net::NodeId current_target_ = net::kInvalidNode;
+  std::uint32_t migration_retries_ = 0;
+  std::vector<WriteOp> ops_;              ///< built at begin_update
+  std::set<net::NodeId> acks_;
+  std::uint32_t ack_rounds_ = 0;
+  /// Set after losing an ack race to a smaller-id (higher-priority) holder:
+  /// do not re-attempt the update until that holder is seen to have
+  /// finished (prevents claim livelock).
+  bool defer_ = false;
+  agent::AgentId defer_to_;
+  std::int64_t defer_since_us_ = 0;
+  /// Sequences update attempts; stale ACK/NACKs from withdrawn attempts are
+  /// ignored by comparing against this.
+  std::uint32_t attempt_seq_ = 0;
+
+  // Not serialized: timers do not survive migration, so arming state resets
+  // with each hop.
+  bool patrol_armed_ = false;
+};
+
+}  // namespace marp::core

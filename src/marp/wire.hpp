@@ -1,0 +1,283 @@
+// Wire formats for MARP's coordination messages (Algorithm 1/2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "agent/agent_id.hpp"
+#include "net/message.hpp"
+#include "replica/versioned_store.hpp"
+#include "serial/byte_buffer.hpp"
+
+namespace marp::core {
+
+// Message types (application channel, except Ack which rides the agent
+// envelope back to the waiting agent).
+constexpr net::MessageType kMsgUpdate = 0x0501;  ///< winner → all servers
+constexpr net::MessageType kMsgAck = 0x0502;     ///< server → winning agent
+constexpr net::MessageType kMsgCommit = 0x0503;  ///< winner → all servers
+constexpr net::MessageType kMsgRelease = 0x0504; ///< aborting agent → servers
+constexpr net::MessageType kMsgReport = 0x0505;  ///< winner → origin server
+/// Server → claiming agent: another update session already holds this
+/// server's ack; carries the holder's id so the loser can defer to it.
+constexpr net::MessageType kMsgNack = 0x0506;
+/// Demoted claimant → servers: release the ack-grant (keep my LL entry).
+constexpr net::MessageType kMsgUnlock = 0x0507;
+/// Read agent → origin server: result of a quorum read.
+constexpr net::MessageType kMsgReadReport = 0x0509;
+/// Recovering server → live peer: send me your store (recovery sync).
+constexpr net::MessageType kMsgSyncReq = 0x050A;
+/// Live peer → recovering server: full store dump.
+constexpr net::MessageType kMsgSyncRep = 0x050B;
+
+/// Host-local signal raised when a locking list shrinks (commit/release/
+/// purge) so waiting agents re-evaluate their priority.
+constexpr std::uint32_t kSignalLockChanged = 1;
+
+struct WriteOp {
+  std::string key;
+  std::string value;
+  replica::Version version;
+
+  void serialize(serial::Writer& w) const {
+    w.str(key);
+    w.str(value);
+    version.serialize(w);
+  }
+  static WriteOp deserialize(serial::Reader& r) {
+    WriteOp op;
+    op.key = r.str();
+    op.value = r.str();
+    op.version = replica::Version::deserialize(r);
+    return op;
+  }
+};
+
+/// UPDATE: stage these writes and acknowledge to the agent at `reply_to`.
+/// `attempt` sequences the agent's update attempts so stale ACK/NACKs from a
+/// withdrawn attempt cannot confuse a newer one.
+struct UpdatePayload {
+  agent::AgentId agent;
+  net::NodeId reply_to = 0;
+  std::uint32_t attempt = 0;
+  std::vector<WriteOp> ops;
+
+  serial::Bytes encode() const {
+    serial::Writer w;
+    agent.serialize(w);
+    w.varint(reply_to);
+    w.varint(attempt);
+    w.seq(ops, [](serial::Writer& ww, const WriteOp& op) { op.serialize(ww); });
+    return w.take();
+  }
+  static UpdatePayload decode(const serial::Bytes& bytes) {
+    serial::Reader r(bytes);
+    UpdatePayload p;
+    p.agent = agent::AgentId::deserialize(r);
+    p.reply_to = static_cast<net::NodeId>(r.varint());
+    p.attempt = static_cast<std::uint32_t>(r.varint());
+    p.ops = r.seq<WriteOp>([](serial::Reader& rr) { return WriteOp::deserialize(rr); });
+    return p;
+  }
+};
+
+/// ACK: `server` staged the winner's update (for attempt `attempt`).
+struct AckPayload {
+  net::NodeId server = 0;
+  std::uint32_t attempt = 0;
+
+  serial::Bytes encode() const {
+    serial::Writer w;
+    w.varint(server);
+    w.varint(attempt);
+    return w.take();
+  }
+  static AckPayload decode(const serial::Bytes& bytes) {
+    serial::Reader r(bytes);
+    AckPayload p;
+    p.server = static_cast<net::NodeId>(r.varint());
+    p.attempt = static_cast<std::uint32_t>(r.varint());
+    return p;
+  }
+};
+
+/// COMMIT: apply the writes, drop the winner's locks, record it in the UL.
+/// Carries the ops so a server that missed the UPDATE still converges.
+struct CommitPayload {
+  agent::AgentId agent;
+  std::vector<WriteOp> ops;
+
+  serial::Bytes encode() const {
+    serial::Writer w;
+    agent.serialize(w);
+    w.seq(ops, [](serial::Writer& ww, const WriteOp& op) { op.serialize(ww); });
+    return w.take();
+  }
+  static CommitPayload decode(const serial::Bytes& bytes) {
+    serial::Reader r(bytes);
+    CommitPayload p;
+    p.agent = agent::AgentId::deserialize(r);
+    p.ops = r.seq<WriteOp>([](serial::Reader& rr) { return WriteOp::deserialize(rr); });
+    return p;
+  }
+};
+
+/// UNLOCK: a demoted claimant returns the grants of a specific attempt.
+/// Carrying the attempt lets servers reject UPDATEs reordered after their
+/// own withdrawal (a delayed UPDATE must not resurrect a dead grant).
+struct UnlockPayload {
+  agent::AgentId agent;
+  std::uint32_t attempt = 0;
+
+  serial::Bytes encode() const {
+    serial::Writer w;
+    agent.serialize(w);
+    w.varint(attempt);
+    return w.take();
+  }
+  static UnlockPayload decode(const serial::Bytes& bytes) {
+    serial::Reader r(bytes);
+    UnlockPayload p;
+    p.agent = agent::AgentId::deserialize(r);
+    p.attempt = static_cast<std::uint32_t>(r.varint());
+    return p;
+  }
+};
+
+/// RELEASE: an aborting agent withdraws its lock requests.
+struct ReleasePayload {
+  agent::AgentId agent;
+
+  serial::Bytes encode() const {
+    serial::Writer w;
+    agent.serialize(w);
+    return w.take();
+  }
+  static ReleasePayload decode(const serial::Bytes& bytes) {
+    serial::Reader r(bytes);
+    return ReleasePayload{agent::AgentId::deserialize(r)};
+  }
+};
+
+/// NACK: the server's update grant is held by `holder`.
+struct NackPayload {
+  net::NodeId server = 0;
+  std::uint32_t attempt = 0;
+  agent::AgentId holder;
+
+  serial::Bytes encode() const {
+    serial::Writer w;
+    w.varint(server);
+    w.varint(attempt);
+    holder.serialize(w);
+    return w.take();
+  }
+  static NackPayload decode(const serial::Bytes& bytes) {
+    serial::Reader r(bytes);
+    NackPayload p;
+    p.server = static_cast<net::NodeId>(r.varint());
+    p.attempt = static_cast<std::uint32_t>(r.varint());
+    p.holder = agent::AgentId::deserialize(r);
+    return p;
+  }
+};
+
+/// REPORT: the agent tells its origin server how its batch fared.
+struct ReportPayload {
+  agent::AgentId agent;
+  std::vector<std::uint64_t> request_ids;
+  bool success = false;
+  std::int64_t dispatched_us = 0;
+  std::int64_t lock_obtained_us = 0;
+  std::int64_t committed_us = 0;
+  std::uint32_t servers_visited = 0;
+
+  serial::Bytes encode() const {
+    serial::Writer w;
+    agent.serialize(w);
+    w.seq(request_ids, [](serial::Writer& ww, std::uint64_t id) { ww.varint(id); });
+    w.boolean(success);
+    w.svarint(dispatched_us);
+    w.svarint(lock_obtained_us);
+    w.svarint(committed_us);
+    w.varint(servers_visited);
+    return w.take();
+  }
+  static ReportPayload decode(const serial::Bytes& bytes) {
+    serial::Reader r(bytes);
+    ReportPayload p;
+    p.agent = agent::AgentId::deserialize(r);
+    p.request_ids =
+        r.seq<std::uint64_t>([](serial::Reader& rr) { return rr.varint(); });
+    p.success = r.boolean();
+    p.dispatched_us = r.svarint();
+    p.lock_obtained_us = r.svarint();
+    p.committed_us = r.svarint();
+    p.servers_visited = static_cast<std::uint32_t>(r.varint());
+    return p;
+  }
+};
+
+/// READ-REPORT: outcome of a quorum read (freshest copy seen by the quorum).
+struct ReadReportPayload {
+  std::uint64_t request_id = 0;
+  bool success = false;
+  std::string value;
+  replica::Version version;
+  std::uint32_t servers_visited = 0;
+
+  serial::Bytes encode() const {
+    serial::Writer w;
+    w.varint(request_id);
+    w.boolean(success);
+    w.str(value);
+    version.serialize(w);
+    w.varint(servers_visited);
+    return w.take();
+  }
+  static ReadReportPayload decode(const serial::Bytes& bytes) {
+    serial::Reader r(bytes);
+    ReadReportPayload p;
+    p.request_id = r.varint();
+    p.success = r.boolean();
+    p.value = r.str();
+    p.version = replica::Version::deserialize(r);
+    p.servers_visited = static_cast<std::uint32_t>(r.varint());
+    return p;
+  }
+};
+
+/// SYNC-REP: full store transfer to a recovering replica.
+struct SyncPayload {
+  struct Item {
+    std::string key;
+    std::string value;
+    replica::Version version;
+  };
+  std::vector<Item> items;
+
+  serial::Bytes encode() const {
+    serial::Writer w;
+    w.seq(items, [](serial::Writer& ww, const Item& item) {
+      ww.str(item.key);
+      ww.str(item.value);
+      item.version.serialize(ww);
+    });
+    return w.take();
+  }
+  static SyncPayload decode(const serial::Bytes& bytes) {
+    serial::Reader r(bytes);
+    SyncPayload p;
+    p.items = r.seq<Item>([](serial::Reader& rr) {
+      Item item;
+      item.key = rr.str();
+      item.value = rr.str();
+      item.version = replica::Version::deserialize(rr);
+      return item;
+    });
+    return p;
+  }
+};
+
+}  // namespace marp::core

@@ -1,0 +1,73 @@
+#include "metrics/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace marp::metrics {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  MARP_REQUIRE(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  MARP_REQUIRE_MSG(cells.size() == headers_.size(), "row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[c])) << cells[c]
+         << " |";
+    }
+    os << '\n';
+  };
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string with_ci(double mean, double ci_half, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << mean << " ± " << ci_half;
+  return os.str();
+}
+
+}  // namespace marp::metrics

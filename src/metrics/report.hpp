@@ -1,0 +1,38 @@
+// Table / CSV rendering for the benchmark harnesses. Every figure bench
+// prints an aligned human-readable table of the paper's series plus an
+// optional CSV block for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace marp::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with `precision` decimals.
+  static std::string num(double value, int precision = 2);
+
+  /// Aligned, boxed plain-text rendering.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (no quoting needed for our numeric content).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12.3 ± 0.4" helper for mean/CI cells.
+std::string with_ci(double mean, double ci_half, int precision = 2);
+
+}  // namespace marp::metrics

@@ -1,0 +1,119 @@
+#include "metrics/timeline.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace marp::metrics {
+
+void Timeline::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+void Timeline::record(Event event) {
+  if (capacity_ != 0 && events_.size() >= capacity_) {
+    events_.erase(events_.begin());
+    ++dropped_;
+  }
+  events_.push_back(std::move(event));
+}
+
+void Timeline::on_agent_created(const agent::AgentId& id, const std::string& type,
+                                net::NodeId at) {
+  record({sim_.now(), EventKind::Created, id, type, at, net::kInvalidNode, 0});
+}
+
+void Timeline::on_agent_disposed(const agent::AgentId& id, net::NodeId at) {
+  record({sim_.now(), EventKind::Disposed, id, {}, at, net::kInvalidNode, 0});
+}
+
+void Timeline::on_migration_started(const agent::AgentId& id, net::NodeId from,
+                                    net::NodeId to, std::size_t bytes) {
+  record({sim_.now(), EventKind::MigrationStarted, id, {}, to, from, bytes});
+}
+
+void Timeline::on_migration_completed(const agent::AgentId& id, net::NodeId at) {
+  record({sim_.now(), EventKind::MigrationCompleted, id, {}, at, net::kInvalidNode, 0});
+}
+
+void Timeline::on_migration_failed(const agent::AgentId& id, net::NodeId from,
+                                   net::NodeId to) {
+  record({sim_.now(), EventKind::MigrationFailed, id, {}, to, from, 0});
+}
+
+void Timeline::print(std::ostream& os) const {
+  os << std::fixed << std::setprecision(3);
+  for (const Event& event : events_) {
+    os << std::setw(10) << event.at.as_millis() << "ms  ";
+    switch (event.kind) {
+      case EventKind::Created:
+        os << "created   " << event.agent.to_string() << " [" << event.type
+           << "] at node " << event.node;
+        break;
+      case EventKind::Disposed:
+        os << "disposed  " << event.agent.to_string() << " at node " << event.node;
+        break;
+      case EventKind::MigrationStarted:
+        os << "migrate   " << event.agent.to_string() << "  " << event.from
+           << " -> " << event.node << " (" << event.bytes << " B)";
+        break;
+      case EventKind::MigrationCompleted:
+        os << "arrived   " << event.agent.to_string() << " at node " << event.node;
+        break;
+      case EventKind::MigrationFailed:
+        os << "mig-FAIL  " << event.agent.to_string() << "  " << event.from
+           << " -> " << event.node;
+        break;
+    }
+    os << '\n';
+  }
+  if (dropped_ != 0) os << "(" << dropped_ << " earlier events dropped)\n";
+}
+
+void Timeline::print_itineraries(std::ostream& os) const {
+  struct Life {
+    std::string type;
+    sim::SimTime created;
+    sim::SimTime ended;
+    bool done = false;
+    std::string hops;
+    std::uint32_t failures = 0;
+  };
+  std::map<agent::AgentId, Life> lives;
+  for (const Event& event : events_) {
+    Life& life = lives[event.agent];
+    switch (event.kind) {
+      case EventKind::Created:
+        life.type = event.type;
+        life.created = event.at;
+        life.hops = std::to_string(event.node);
+        break;
+      case EventKind::MigrationCompleted:
+        life.hops += " -> " + std::to_string(event.node);
+        break;
+      case EventKind::MigrationFailed:
+        ++life.failures;
+        break;
+      case EventKind::Disposed:
+        life.ended = event.at;
+        life.done = true;
+        break;
+      case EventKind::MigrationStarted:
+        break;
+    }
+  }
+  os << std::fixed << std::setprecision(3);
+  for (const auto& [id, life] : lives) {
+    os << (life.type.empty() ? "?" : life.type) << ' ' << id.to_string() << ": "
+       << life.hops;
+    if (life.failures != 0) os << "  (+" << life.failures << " failed hops)";
+    if (life.done) {
+      os << "  [" << (life.ended - life.created).as_millis() << " ms]";
+    } else {
+      os << "  [still live]";
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace marp::metrics

@@ -1,0 +1,79 @@
+// Timeline — records agent lifecycle events into a structured log and
+// renders them as text (the library counterpart of the paper's §4
+// "interface … to visualize the execution").
+//
+//   metrics::Timeline timeline(simulator);
+//   platform.set_observer(&timeline);
+//   ... run ...
+//   timeline.print(std::cout);          // chronological event log
+//   timeline.print_itineraries(std::cout);  // per-agent hop chains
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "agent/platform.hpp"
+#include "sim/simulator.hpp"
+
+namespace marp::metrics {
+
+class Timeline final : public agent::PlatformObserver {
+ public:
+  enum class EventKind : std::uint8_t {
+    Created,
+    Disposed,
+    MigrationStarted,
+    MigrationCompleted,
+    MigrationFailed
+  };
+
+  struct Event {
+    sim::SimTime at;
+    EventKind kind;
+    agent::AgentId agent;
+    std::string type;        ///< Created only
+    net::NodeId node = 0;    ///< where it happened (destination for hops)
+    net::NodeId from = net::kInvalidNode;  ///< migrations only
+    std::size_t bytes = 0;   ///< MigrationStarted only
+  };
+
+  explicit Timeline(sim::Simulator& simulator) : sim_(simulator) {}
+
+  /// Cap on retained events; older entries are dropped (0 = unlimited).
+  void set_capacity(std::size_t capacity) noexcept { capacity_ = capacity; }
+
+  const std::vector<Event>& events() const noexcept { return events_; }
+  std::size_t size() const noexcept { return events_.size(); }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  void clear();
+
+  /// Chronological one-line-per-event log.
+  void print(std::ostream& os) const;
+
+  /// Per-agent summaries: type, lifetime, and the chain of hops, e.g.
+  ///   marp.update agent(0@1200#0): 0 → 2 → 1 ✕4 → 3 (committed home)
+  void print_itineraries(std::ostream& os) const;
+
+  // PlatformObserver:
+  void on_agent_created(const agent::AgentId& id, const std::string& type,
+                        net::NodeId at) override;
+  void on_agent_disposed(const agent::AgentId& id, net::NodeId at) override;
+  void on_migration_started(const agent::AgentId& id, net::NodeId from,
+                            net::NodeId to, std::size_t bytes) override;
+  void on_migration_completed(const agent::AgentId& id, net::NodeId at) override;
+  void on_migration_failed(const agent::AgentId& id, net::NodeId from,
+                           net::NodeId to) override;
+
+ private:
+  void record(Event event);
+
+  sim::Simulator& sim_;
+  std::vector<Event> events_;
+  std::size_t capacity_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace marp::metrics

@@ -1,0 +1,44 @@
+#include "net/latency.hpp"
+
+#include "util/assert.hpp"
+
+namespace marp::net {
+
+sim::SimTime UniformLatency::sample(NodeId, NodeId, std::size_t, sim::Rng& rng) const {
+  const double us = rng.uniform(static_cast<double>(lo_.as_micros()),
+                                static_cast<double>(hi_.as_micros()));
+  return sim::SimTime::micros(static_cast<std::int64_t>(us));
+}
+
+LanLatency::LanLatency(DelayMatrix base, double jitter_mean_us, double bytes_per_us)
+    : base_(std::move(base)), jitter_mean_us_(jitter_mean_us), bytes_per_us_(bytes_per_us) {
+  MARP_REQUIRE(bytes_per_us_ > 0.0);
+}
+
+sim::SimTime LanLatency::sample(NodeId src, NodeId dst, std::size_t bytes,
+                                sim::Rng& rng) const {
+  double us = static_cast<double>(base_.at(src, dst));
+  us += rng.exponential(jitter_mean_us_);
+  us += static_cast<double>(bytes) / bytes_per_us_;
+  return sim::SimTime::micros(static_cast<std::int64_t>(us));
+}
+
+WanLatency::WanLatency(DelayMatrix base, Params params)
+    : base_(std::move(base)), params_(params) {
+  MARP_REQUIRE(params_.bytes_per_us > 0.0);
+  MARP_REQUIRE(params_.jitter_alpha > 1.0);  // finite mean
+}
+
+sim::SimTime WanLatency::sample(NodeId src, NodeId dst, std::size_t bytes,
+                                sim::Rng& rng) const {
+  double us = static_cast<double>(base_.at(src, dst));
+  // Pareto minus its scale so the base delay is the floor, jitter the excess.
+  us += rng.pareto(params_.jitter_alpha, params_.jitter_scale_us) - params_.jitter_scale_us;
+  us += static_cast<double>(bytes) / params_.bytes_per_us;
+  if (rng.bernoulli(params_.spike_probability)) {
+    us += rng.exponential(params_.spike_mean_us);
+  }
+  return sim::SimTime::micros(static_cast<std::int64_t>(us));
+}
+
+}  // namespace marp::net

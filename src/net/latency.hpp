@@ -1,0 +1,103 @@
+// Link latency models.
+//
+// The paper evaluates on a workstation LAN and argues results would degrade
+// on the Internet; we make both regimes pluggable. A sample combines a
+// per-pair propagation base (from the topology), random jitter, a
+// bandwidth-proportional serialization term, and (for the WAN model)
+// occasional transient spikes standing in for the "frequent short transient
+// failures" of Golding's Internet characterization cited by the paper.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/message.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace marp::net {
+
+/// Per-pair propagation delays in microseconds (row = src, col = dst).
+class DelayMatrix {
+ public:
+  DelayMatrix() = default;
+  DelayMatrix(std::size_t n, std::int64_t fill_us) : n_(n), us_(n * n, fill_us) {}
+
+  std::size_t size() const noexcept { return n_; }
+  std::int64_t at(NodeId src, NodeId dst) const { return us_.at(index(src, dst)); }
+  void set(NodeId src, NodeId dst, std::int64_t us) { us_.at(index(src, dst)) = us; }
+
+ private:
+  std::size_t index(NodeId src, NodeId dst) const { return static_cast<std::size_t>(src) * n_ + dst; }
+  std::size_t n_ = 0;
+  std::vector<std::int64_t> us_;
+};
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  /// One-way delay for `bytes` from `src` to `dst`.
+  virtual sim::SimTime sample(NodeId src, NodeId dst, std::size_t bytes,
+                              sim::Rng& rng) const = 0;
+};
+
+/// Fixed delay regardless of pair and size (unit tests, analytic checks).
+class ConstantLatency final : public LatencyModel {
+ public:
+  explicit ConstantLatency(sim::SimTime delay) : delay_(delay) {}
+  sim::SimTime sample(NodeId, NodeId, std::size_t, sim::Rng&) const override {
+    return delay_;
+  }
+
+ private:
+  sim::SimTime delay_;
+};
+
+/// Uniform in [lo, hi], size-independent.
+class UniformLatency final : public LatencyModel {
+ public:
+  UniformLatency(sim::SimTime lo, sim::SimTime hi) : lo_(lo), hi_(hi) {}
+  sim::SimTime sample(NodeId, NodeId, std::size_t, sim::Rng& rng) const override;
+
+ private:
+  sim::SimTime lo_;
+  sim::SimTime hi_;
+};
+
+/// LAN: per-pair base + exponential jitter + bandwidth term.
+class LanLatency final : public LatencyModel {
+ public:
+  LanLatency(DelayMatrix base, double jitter_mean_us, double bytes_per_us);
+  sim::SimTime sample(NodeId src, NodeId dst, std::size_t bytes,
+                      sim::Rng& rng) const override;
+
+ private:
+  DelayMatrix base_;
+  double jitter_mean_us_;
+  double bytes_per_us_;
+};
+
+/// WAN: per-pair base + Pareto jitter (heavy tail) + bandwidth term +
+/// Bernoulli transient spike adding a large extra delay.
+class WanLatency final : public LatencyModel {
+ public:
+  struct Params {
+    double jitter_alpha = 2.5;      ///< Pareto shape (smaller = heavier tail)
+    double jitter_scale_us = 2000;  ///< Pareto scale (minimum jitter)
+    double bytes_per_us = 1.25;     ///< ~10 Mbit/s effective path bandwidth
+    double spike_probability = 0.01;
+    double spike_mean_us = 250'000;  ///< short transient outage, exp-distributed
+  };
+
+  WanLatency(DelayMatrix base, Params params);
+  sim::SimTime sample(NodeId src, NodeId dst, std::size_t bytes,
+                      sim::Rng& rng) const override;
+
+ private:
+  DelayMatrix base_;
+  Params params_;
+};
+
+}  // namespace marp::net

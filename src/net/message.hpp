@@ -1,0 +1,35 @@
+// Network message representation.
+//
+// Protocols define their own message-type enums (cast to MessageType); the
+// network layer treats types opaquely but keeps per-type traffic counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serial/byte_buffer.hpp"
+#include "sim/time.hpp"
+
+namespace marp::net {
+
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+using MessageType = std::uint32_t;
+
+/// Reserved type range for the agent platform (agent transfer frames).
+constexpr MessageType kAgentTransferType = 0xA0000001;
+
+struct Message {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  MessageType type = 0;
+  serial::Bytes payload;
+
+  /// Fixed per-message framing overhead charged on the wire (header bytes).
+  static constexpr std::size_t kHeaderBytes = 48;
+
+  std::size_t wire_size() const noexcept { return kHeaderBytes + payload.size(); }
+};
+
+}  // namespace marp::net

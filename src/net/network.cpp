@@ -1,0 +1,130 @@
+#include "net/network.hpp"
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace marp::net {
+
+Network::Network(sim::Simulator& simulator, Topology topology,
+                 std::unique_ptr<LatencyModel> latency)
+    : sim_(simulator),
+      topology_(std::move(topology)),
+      latency_(std::move(latency)),
+      rng_(simulator.rng_factory().stream("network")),
+      handlers_(topology_.size()),
+      node_up_(topology_.size(), true) {
+  MARP_REQUIRE(latency_ != nullptr);
+  MARP_REQUIRE(topology_.size() >= 1);
+}
+
+void Network::register_node(NodeId node, Handler handler) {
+  MARP_REQUIRE(node < size());
+  MARP_REQUIRE_MSG(!handlers_[node], "node handler already registered");
+  handlers_[node] = std::move(handler);
+}
+
+void Network::set_node_up(NodeId node, bool up) {
+  MARP_REQUIRE(node < size());
+  node_up_[node] = up;
+}
+
+bool Network::node_up(NodeId node) const {
+  MARP_REQUIRE(node < size());
+  return node_up_[node];
+}
+
+void Network::set_link_up(NodeId src, NodeId dst, bool up) {
+  MARP_REQUIRE(src < size() && dst < size());
+  if (up) {
+    cut_links_.erase(link_key(src, dst));
+  } else {
+    cut_links_.insert(link_key(src, dst));
+  }
+}
+
+bool Network::link_up(NodeId src, NodeId dst) const {
+  return !cut_links_.contains(link_key(src, dst));
+}
+
+void Network::partition(const std::vector<NodeId>& group) {
+  std::vector<bool> in_group(size(), false);
+  for (NodeId node : group) {
+    MARP_REQUIRE(node < size());
+    in_group[node] = true;
+  }
+  for (NodeId a = 0; a < size(); ++a) {
+    for (NodeId b = 0; b < size(); ++b) {
+      if (a != b && in_group[a] != in_group[b]) {
+        cut_links_.insert(link_key(a, b));
+      }
+    }
+  }
+}
+
+void Network::heal_partition() { cut_links_.clear(); }
+
+sim::SimTime Network::sample_latency(NodeId src, NodeId dst, std::size_t bytes) {
+  return latency_->sample(src, dst, bytes, rng_);
+}
+
+void Network::send(Message message) {
+  MARP_REQUIRE(message.src < size() && message.dst < size());
+  ++stats_.messages_sent;
+  stats_.bytes_sent += message.wire_size();
+  ++stats_.sent_by_type[message.type];
+  stats_.bytes_by_type[message.type] += message.wire_size();
+
+  if (!node_up_[message.src] || !link_up(message.src, message.dst)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  if (drop_probability_ > 0.0 && rng_.bernoulli(drop_probability_)) {
+    ++stats_.messages_dropped;
+    if (loss_mode_ == LossMode::Retransmit) {
+      // Transport-level retry: the copy re-enters send() after the RTO (and
+      // may be lost again — delays stay finite with probability 1).
+      sim_.schedule(retransmit_timeout_, [this, msg = std::move(message)]() mutable {
+        send(std::move(msg));
+      });
+    }
+    return;
+  }
+
+  const sim::SimTime latency =
+      latency_->sample(message.src, message.dst, message.wire_size(), rng_);
+  sim_.schedule(latency, [this, msg = std::move(message)]() mutable {
+    deliver(std::move(msg));
+  });
+}
+
+void Network::multicast(NodeId src, const std::vector<NodeId>& dsts,
+                        MessageType type, const serial::Bytes& payload) {
+  for (NodeId dst : dsts) {
+    if (dst == src) continue;
+    send(Message{src, dst, type, payload});
+  }
+}
+
+void Network::broadcast(NodeId src, MessageType type, const serial::Bytes& payload) {
+  for (NodeId dst = 0; dst < size(); ++dst) {
+    if (dst == src) continue;
+    send(Message{src, dst, type, payload});
+  }
+}
+
+void Network::deliver(Message message) {
+  if (!node_up_[message.dst]) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  if (!handlers_[message.dst]) {
+    MARP_LOG_WARN("net") << "message type " << message.type << " to node "
+                         << message.dst << " has no handler";
+    ++stats_.messages_dropped;
+    return;
+  }
+  ++stats_.messages_delivered;
+  handlers_[message.dst](message);
+}
+
+}  // namespace marp::net

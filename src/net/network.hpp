@@ -1,0 +1,118 @@
+// Message-level network simulation.
+//
+// The network owns the topology and a latency model, delivers messages by
+// scheduling simulator events, and tracks traffic statistics. Nodes register
+// a handler; a node can also be marked down (fail-stop, §2 of the paper):
+// messages to or from a down node are silently dropped, matching the paper's
+// assumption that a failed process halts without malicious behaviour.
+// Partitions cut the links between two groups while both stay alive.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/latency.hpp"
+#include "net/message.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace marp::net {
+
+struct TrafficStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t bytes_sent = 0;
+  std::unordered_map<MessageType, std::uint64_t> sent_by_type;
+  std::unordered_map<MessageType, std::uint64_t> bytes_by_type;
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  Network(sim::Simulator& simulator, Topology topology,
+          std::unique_ptr<LatencyModel> latency);
+
+  std::size_t size() const noexcept { return topology_.size(); }
+  const Topology& topology() const noexcept { return topology_; }
+  sim::Simulator& simulator() noexcept { return sim_; }
+
+  /// Install the delivery handler for `node`. One handler per node.
+  void register_node(NodeId node, Handler handler);
+
+  /// Fail-stop / recover a node. While down, a node neither sends nor
+  /// receives; messages in flight to it at delivery time are dropped.
+  void set_node_up(NodeId node, bool up);
+  bool node_up(NodeId node) const;
+
+  /// Cut (or restore) the directed link src→dst.
+  void set_link_up(NodeId src, NodeId dst, bool up);
+  bool link_up(NodeId src, NodeId dst) const;
+
+  /// Partition: cut every link between `group` and its complement.
+  void partition(const std::vector<NodeId>& group);
+  /// Restore all cut links (does not revive down nodes).
+  void heal_partition();
+
+  /// What happens to a message hit by `drop_probability`.
+  enum class LossMode : std::uint8_t {
+    /// The message is gone (UDP-like). Protocols need their own retries.
+    Drop,
+    /// The transport retransmits after `retransmit_timeout` until the loss
+    /// die stops coming up — the paper's §2 model: "reliable logical
+    /// communication channels whose transmission delays are unpredictable
+    /// but finite". Loss adds latency, never silence (unless an endpoint
+    /// is down, which still drops: fail-stop beats reliability).
+    Retransmit
+  };
+
+  /// Probability that any message is lost in flight (default 0).
+  void set_drop_probability(double p) { drop_probability_ = p; }
+  void set_loss_mode(LossMode mode) { loss_mode_ = mode; }
+  void set_retransmit_timeout(sim::SimTime timeout) { retransmit_timeout_ = timeout; }
+
+  /// Send one message. Delivery is scheduled after a sampled latency; the
+  /// message is dropped if the source is down, the link is cut, or the
+  /// destination is down at delivery time.
+  void send(Message message);
+
+  /// Send the same payload to several destinations (independent latencies,
+  /// as with N unicasts — the paper's "broadcast" is implemented this way
+  /// by Aglets-style messaging).
+  void multicast(NodeId src, const std::vector<NodeId>& dsts, MessageType type,
+                 const serial::Bytes& payload);
+
+  /// Multicast to every node except `src`.
+  void broadcast(NodeId src, MessageType type, const serial::Bytes& payload);
+
+  /// One-way latency sample for `bytes` between two nodes; exposed so the
+  /// agent platform can charge migrations through the same model.
+  sim::SimTime sample_latency(NodeId src, NodeId dst, std::size_t bytes);
+
+  const TrafficStats& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_ = TrafficStats{}; }
+
+ private:
+  void deliver(Message message);
+  std::uint64_t link_key(NodeId src, NodeId dst) const {
+    return (static_cast<std::uint64_t>(src) << 32) | dst;
+  }
+
+  sim::Simulator& sim_;
+  Topology topology_;
+  std::unique_ptr<LatencyModel> latency_;
+  sim::Rng rng_;
+  std::vector<Handler> handlers_;
+  std::vector<bool> node_up_;
+  std::unordered_set<std::uint64_t> cut_links_;
+  double drop_probability_ = 0.0;
+  LossMode loss_mode_ = LossMode::Drop;
+  sim::SimTime retransmit_timeout_ = sim::SimTime::millis(200);
+  TrafficStats stats_;
+};
+
+}  // namespace marp::net

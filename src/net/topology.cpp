@@ -1,0 +1,84 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace marp::net {
+
+std::vector<NodeId> Topology::nearest_first(NodeId src) const {
+  std::vector<NodeId> order;
+  order.reserve(size() - 1);
+  for (NodeId node = 0; node < size(); ++node) {
+    if (node != src) order.push_back(node);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return cost(src, a) < cost(src, b);
+  });
+  return order;
+}
+
+Topology make_lan_mesh(std::size_t n, sim::SimTime base_delay) {
+  MARP_REQUIRE(n >= 1);
+  Topology topo{DelayMatrix(n, base_delay.as_micros())};
+  for (NodeId i = 0; i < n; ++i) topo.delays.set(i, i, 0);
+  return topo;
+}
+
+Topology make_wan_clusters(std::size_t n, std::size_t clusters,
+                           sim::SimTime intra_delay, sim::SimTime inter_delay) {
+  MARP_REQUIRE(n >= 1);
+  MARP_REQUIRE(clusters >= 1);
+  Topology topo{DelayMatrix(n, 0)};
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const bool same_site = (i % clusters) == (j % clusters);
+      topo.delays.set(i, j, (same_site ? intra_delay : inter_delay).as_micros());
+    }
+  }
+  return topo;
+}
+
+Topology make_star(std::size_t n, sim::SimTime spoke_delay) {
+  MARP_REQUIRE(n >= 1);
+  Topology topo{DelayMatrix(n, 0)};
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const bool involves_hub = (i == 0 || j == 0);
+      topo.delays.set(i, j, (involves_hub ? spoke_delay : spoke_delay * 2).as_micros());
+    }
+  }
+  return topo;
+}
+
+Topology make_ring(std::size_t n, sim::SimTime hop_delay) {
+  MARP_REQUIRE(n >= 1);
+  Topology topo{DelayMatrix(n, 0)};
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const std::size_t forward = (j + n - i) % n;
+      const std::size_t hops = std::min(forward, n - forward);
+      topo.delays.set(i, j, hop_delay.as_micros() * static_cast<std::int64_t>(hops));
+    }
+  }
+  return topo;
+}
+
+Topology make_random(std::size_t n, sim::SimTime lo, sim::SimTime hi, sim::Rng& rng) {
+  MARP_REQUIRE(n >= 1);
+  MARP_REQUIRE(lo <= hi);
+  Topology topo{DelayMatrix(n, 0)};
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      topo.delays.set(i, j, rng.uniform_int(lo.as_micros(), hi.as_micros()));
+    }
+  }
+  return topo;
+}
+
+}  // namespace marp::net

@@ -1,0 +1,48 @@
+// Topology builders.
+//
+// A Topology is a per-pair propagation-delay matrix plus a routing-cost
+// matrix. The paper assumes each replicated server keeps "a routing table
+// containing the cost of transferring a mobile agent from the local server
+// to another server" (§3.2); agents sort their Un-visited Server List by
+// that cost. We derive routing costs directly from propagation delays.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/latency.hpp"
+
+namespace marp::net {
+
+struct Topology {
+  DelayMatrix delays;  ///< one-way propagation, microseconds
+
+  std::size_t size() const noexcept { return delays.size(); }
+
+  /// Routing cost of moving an agent from `src` to `dst` (µs). Matches the
+  /// propagation delay — the information the paper's routing tables carry.
+  std::int64_t cost(NodeId src, NodeId dst) const { return delays.at(src, dst); }
+
+  /// Nodes sorted by ascending cost from `src`, excluding `src` itself.
+  std::vector<NodeId> nearest_first(NodeId src) const;
+};
+
+/// Full mesh with a uniform base delay (the paper's workstation LAN).
+Topology make_lan_mesh(std::size_t n, sim::SimTime base_delay);
+
+/// Nodes spread across `clusters` sites: cheap intra-site links, expensive
+/// inter-site links (Internet-like). Nodes are assigned round-robin.
+Topology make_wan_clusters(std::size_t n, std::size_t clusters,
+                           sim::SimTime intra_delay, sim::SimTime inter_delay);
+
+/// Star: node 0 is a hub; spoke-to-spoke traffic pays twice the spoke delay.
+Topology make_star(std::size_t n, sim::SimTime spoke_delay);
+
+/// Ring: delay proportional to hop distance along the shorter direction.
+Topology make_ring(std::size_t n, sim::SimTime hop_delay);
+
+/// Random asymmetric delays in [lo, hi] (stress tests / property sweeps).
+Topology make_random(std::size_t n, sim::SimTime lo, sim::SimTime hi, sim::Rng& rng);
+
+}  // namespace marp::net

@@ -1,0 +1,67 @@
+// Client request / outcome types and the protocol-facing interface every
+// replication scheme in this repo implements (MARP and the message-passing
+// baselines), so workloads and benches drive them interchangeably.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/message.hpp"
+#include "replica/versioned_store.hpp"
+#include "sim/time.hpp"
+
+namespace marp::replica {
+
+enum class RequestKind : std::uint8_t { Read, Write };
+
+struct Request {
+  std::uint64_t id = 0;
+  RequestKind kind = RequestKind::Write;
+  std::string key;
+  std::string value;           ///< writes only
+  net::NodeId origin = 0;      ///< server that received the client request
+  sim::SimTime submitted;      ///< client submission time
+};
+
+struct Outcome {
+  std::uint64_t request_id = 0;
+  RequestKind kind = RequestKind::Write;
+  net::NodeId origin = 0;
+  bool success = false;
+  std::string value;           ///< reads: the value returned
+  Version read_version;        ///< reads: version of the returned value
+  sim::SimTime submitted;
+  sim::SimTime completed;
+
+  // Write-path detail (MARP semantics; baselines fill what applies):
+  sim::SimTime dispatched;     ///< agent dispatched / coordination started
+  sim::SimTime lock_obtained;  ///< consensus/lock achieved (ALT endpoint)
+  std::uint32_t servers_visited = 0;  ///< migrations made before the lock (PRK)
+
+  sim::SimTime total_latency() const { return completed - submitted; }
+  sim::SimTime lock_latency() const { return lock_obtained - dispatched; }
+  sim::SimTime update_latency() const { return completed - dispatched; }
+};
+
+using OutcomeHandler = std::function<void(const Outcome&)>;
+
+/// A replication protocol instance spanning all N servers of a simulation.
+class ReplicationProtocol {
+ public:
+  virtual ~ReplicationProtocol() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Hand a client request to its origin server.
+  virtual void submit(const Request& request) = 0;
+
+  /// Invoked exactly once per finished request.
+  virtual void set_outcome_handler(OutcomeHandler handler) = 0;
+
+  /// Fail-stop / recover a server (also flips network reachability).
+  virtual void fail_server(net::NodeId node) = 0;
+  virtual void recover_server(net::NodeId node) = 0;
+};
+
+}  // namespace marp::replica

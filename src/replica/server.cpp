@@ -1,0 +1,31 @@
+#include "replica/server.hpp"
+
+namespace marp::replica {
+
+ServerBase::ServerBase(net::Network& network, net::NodeId node)
+    : network_(network), node_(node) {}
+
+void ServerBase::fail() {
+  if (!up_) return;
+  up_ = false;
+  network_.set_node_up(node_, false);
+  on_fail();
+}
+
+void ServerBase::recover() {
+  if (up_) return;
+  up_ = true;
+  network_.set_node_up(node_, true);
+  on_recover();
+}
+
+std::vector<std::int64_t> ServerBase::routing_costs() const {
+  const auto& topo = network_.topology();
+  std::vector<std::int64_t> costs(topo.size(), 0);
+  for (net::NodeId dst = 0; dst < topo.size(); ++dst) {
+    if (dst != node_) costs[dst] = topo.cost(node_, dst);
+  }
+  return costs;
+}
+
+}  // namespace marp::replica

@@ -1,0 +1,60 @@
+// Replica server base: the pieces shared by MARP servers and the
+// message-passing baselines — the versioned store, liveness state, routing
+// table of migration/transfer costs (§3.2), and outcome reporting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+#include "replica/request.hpp"
+#include "replica/versioned_store.hpp"
+
+namespace marp::replica {
+
+class ServerBase {
+ public:
+  ServerBase(net::Network& network, net::NodeId node);
+  virtual ~ServerBase() = default;
+
+  ServerBase(const ServerBase&) = delete;
+  ServerBase& operator=(const ServerBase&) = delete;
+
+  net::NodeId node() const noexcept { return node_; }
+  net::Network& network() noexcept { return network_; }
+  sim::Simulator& simulator() noexcept { return network_.simulator(); }
+  sim::SimTime now() const noexcept { return network_.simulator().now(); }
+
+  VersionedStore& store() noexcept { return store_; }
+  const VersionedStore& store() const noexcept { return store_; }
+
+  bool up() const noexcept { return up_; }
+
+  /// Fail-stop: drop in-memory coordination state, go unreachable. The
+  /// durable store survives (stable storage), matching fail-recover.
+  virtual void fail();
+  virtual void recover();
+
+  void set_outcome_handler(OutcomeHandler handler) { outcome_handler_ = std::move(handler); }
+
+  /// Routing table: cost (µs) of moving an agent / opening a connection from
+  /// this server to each other server — provided to visiting agents (§3.2).
+  std::vector<std::int64_t> routing_costs() const;
+
+ protected:
+  void report(const Outcome& outcome) {
+    if (outcome_handler_) outcome_handler_(outcome);
+  }
+
+  /// Hook for subclasses to clear volatile state on fail().
+  virtual void on_fail() {}
+  virtual void on_recover() {}
+
+  net::Network& network_;
+  net::NodeId node_;
+  VersionedStore store_;
+  bool up_ = true;
+  OutcomeHandler outcome_handler_;
+};
+
+}  // namespace marp::replica

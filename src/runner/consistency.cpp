@@ -1,0 +1,95 @@
+#include "runner/consistency.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace marp::runner {
+
+ConsistencyReport check_convergence(
+    const std::vector<const replica::VersionedStore*>& stores,
+    const std::vector<bool>& eligible) {
+  MARP_REQUIRE(stores.size() == eligible.size());
+  ConsistencyReport report;
+
+  // Union of keys across eligible replicas.
+  std::map<std::string, bool> keys;
+  for (std::size_t i = 0; i < stores.size(); ++i) {
+    if (!eligible[i]) continue;
+    for (const auto& key : stores[i]->keys()) keys[key] = true;
+  }
+
+  for (const auto& [key, unused] : keys) {
+    (void)unused;
+    bool have_reference = false;
+    replica::VersionedValue reference;
+    std::size_t reference_index = 0;
+    for (std::size_t i = 0; i < stores.size(); ++i) {
+      if (!eligible[i]) continue;
+      const auto value = stores[i]->read(key);
+      if (!value) {
+        std::ostringstream os;
+        os << "replica " << i << " is missing key '" << key << '\'';
+        report.fail(os.str());
+        continue;
+      }
+      if (!have_reference) {
+        reference = *value;
+        reference_index = i;
+        have_reference = true;
+        continue;
+      }
+      if (value->version != reference.version || value->value != reference.value) {
+        std::ostringstream os;
+        os << "key '" << key << "' diverged: replica " << reference_index
+           << " has version (" << reference.version.time_us << ','
+           << reference.version.writer << ") but replica " << i
+           << " has version (" << value->version.time_us << ','
+           << value->version.writer << ')';
+        report.fail(os.str());
+      }
+    }
+  }
+  return report;
+}
+
+ConsistencyReport check_commit_order(const std::vector<core::CommitRecord>& log) {
+  ConsistencyReport report;
+  replica::Version previous = replica::Version::none();
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    for (const replica::Version& version : log[i].versions) {
+      if (!(version > previous)) {
+        std::ostringstream os;
+        os << "commit log entry " << i << " (" << log[i].agent.to_string()
+           << ") has version (" << version.time_us << ',' << version.writer
+           << ") not after its predecessor (" << previous.time_us << ','
+           << previous.writer << ')';
+        report.fail(os.str());
+      }
+      previous = version;
+    }
+  }
+  return report;
+}
+
+ConsistencyReport check_monotonic_history(const replica::VersionedStore& store,
+                                          std::size_t replica_index) {
+  ConsistencyReport report;
+  std::map<std::string, replica::Version> last;
+  const auto& history = store.history();
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    const auto& record = history[i];
+    auto it = last.find(record.key);
+    if (it != last.end() && !(record.version > it->second)) {
+      std::ostringstream os;
+      os << "replica " << replica_index << " applied key '" << record.key
+         << "' out of version order at history index " << i;
+      report.fail(os.str());
+    }
+    last[record.key] = record.version;
+  }
+  return report;
+}
+
+}  // namespace marp::runner

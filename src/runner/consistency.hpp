@@ -1,0 +1,43 @@
+// Consistency auditing: checks run after every experiment.
+//
+// * Convergence — replicas that never failed must end with identical
+//   (value, version) for every key (single-copy illusion).
+// * Commit-order — the protocol-level commit log must be strictly ordered
+//   by version (updates serialized: the paper's order-preservation claim).
+// * Monotonicity — every replica's applied history must be per-key
+//   version-monotone (the Thomas write rule actually held).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "marp/protocol.hpp"
+#include "replica/versioned_store.hpp"
+
+namespace marp::runner {
+
+struct ConsistencyReport {
+  bool ok = true;
+  std::vector<std::string> problems;
+
+  void fail(std::string problem) {
+    ok = false;
+    problems.push_back(std::move(problem));
+  }
+  void merge(const ConsistencyReport& other) {
+    ok = ok && other.ok;
+    problems.insert(problems.end(), other.problems.begin(), other.problems.end());
+  }
+};
+
+/// `eligible[i]` marks stores whose server stayed up for the whole run.
+ConsistencyReport check_convergence(
+    const std::vector<const replica::VersionedStore*>& stores,
+    const std::vector<bool>& eligible);
+
+ConsistencyReport check_commit_order(const std::vector<core::CommitRecord>& log);
+
+ConsistencyReport check_monotonic_history(const replica::VersionedStore& store,
+                                          std::size_t replica_index);
+
+}  // namespace marp::runner

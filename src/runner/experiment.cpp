@@ -1,0 +1,192 @@
+#include "runner/experiment.hpp"
+
+#include <memory>
+
+#include "baseline/available_copy.hpp"
+#include "baseline/mcv.hpp"
+#include "baseline/primary_copy.hpp"
+#include "baseline/tsae.hpp"
+#include "baseline/weighted_voting.hpp"
+#include "marp/protocol.hpp"
+#include "runner/consistency.hpp"
+#include "util/assert.hpp"
+#include "workload/trace.hpp"
+
+namespace marp::runner {
+
+const char* protocol_name(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::Marp: return "MARP";
+    case ProtocolKind::MpMcv: return "MP-MCV";
+    case ProtocolKind::WeightedVoting: return "WeightedVoting";
+    case ProtocolKind::AvailableCopy: return "AvailableCopy";
+    case ProtocolKind::PrimaryCopy: return "PrimaryCopy";
+    case ProtocolKind::Tsae: return "TSAE";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<net::LatencyModel> make_latency(const ExperimentConfig& config,
+                                                const net::Topology& topology) {
+  if (config.network == NetworkKind::Lan) {
+    return std::make_unique<net::LanLatency>(topology.delays,
+                                             config.lan_jitter_mean_us,
+                                             config.lan_bytes_per_us);
+  }
+  return std::make_unique<net::WanLatency>(topology.delays, config.wan_params);
+}
+
+net::Topology make_topology(const ExperimentConfig& config) {
+  if (config.network == NetworkKind::Lan) {
+    return net::make_lan_mesh(config.servers, config.lan_base);
+  }
+  return net::make_wan_clusters(config.servers, config.wan_clusters,
+                                config.wan_intra, config.wan_inter);
+}
+
+}  // namespace
+
+RunResult run_experiment(const ExperimentConfig& config) {
+  MARP_REQUIRE(config.servers >= 1);
+  sim::Simulator simulator(config.seed);
+  net::Topology topology = make_topology(config);
+  net::Network network(simulator, topology, make_latency(config, topology));
+
+  // The MARP stack needs the agent platform; message-passing baselines
+  // register directly with the network.
+  std::unique_ptr<agent::AgentPlatform> platform;
+  std::unique_ptr<replica::ReplicationProtocol> protocol;
+  core::MarpProtocol* marp = nullptr;
+
+  std::vector<const replica::VersionedStore*> stores;
+  core::MarpConfig marp_config = config.marp;
+  if (config.network == NetworkKind::Wan && config.scale_marp_timers_for_wan) {
+    // LAN defaults assume millisecond round trips; on the WAN a waiting
+    // agent that patrols every 250 ms migrates several times per update
+    // session, which is pure churn. Scale the reactive timers to the
+    // inter-site delay.
+    const std::int64_t rtt_us = 2 * config.wan_inter.as_micros();
+    auto at_least = [](sim::SimTime current, std::int64_t us) {
+      return std::max(current, sim::SimTime::micros(us));
+    };
+    marp_config.patrol_interval = at_least(marp_config.patrol_interval, 10 * rtt_us);
+    marp_config.ack_retry_interval = at_least(marp_config.ack_retry_interval, 4 * rtt_us);
+    marp_config.defer_timeout = at_least(marp_config.defer_timeout, 4 * rtt_us);
+    marp_config.claim_retry_delay = at_least(marp_config.claim_retry_delay, rtt_us / 4);
+  }
+
+  switch (config.protocol) {
+    case ProtocolKind::Marp: {
+      platform = std::make_unique<agent::AgentPlatform>(network);
+      auto owned = std::make_unique<core::MarpProtocol>(network, *platform,
+                                                        marp_config);
+      marp = owned.get();
+      for (net::NodeId node = 0; node < config.servers; ++node) {
+        stores.push_back(&owned->server(node).store());
+      }
+      protocol = std::move(owned);
+      break;
+    }
+    case ProtocolKind::MpMcv: {
+      auto owned = std::make_unique<baseline::McvProtocol>(network);
+      for (net::NodeId node = 0; node < config.servers; ++node) {
+        stores.push_back(&owned->server(node).store());
+      }
+      protocol = std::move(owned);
+      break;
+    }
+    case ProtocolKind::WeightedVoting: {
+      auto owned = std::make_unique<baseline::WeightedVotingProtocol>(network);
+      for (net::NodeId node = 0; node < config.servers; ++node) {
+        stores.push_back(&owned->server(node).store());
+      }
+      protocol = std::move(owned);
+      break;
+    }
+    case ProtocolKind::AvailableCopy: {
+      auto owned = std::make_unique<baseline::AvailableCopyProtocol>(network);
+      for (net::NodeId node = 0; node < config.servers; ++node) {
+        stores.push_back(&owned->server(node).store());
+      }
+      protocol = std::move(owned);
+      break;
+    }
+    case ProtocolKind::PrimaryCopy: {
+      auto owned = std::make_unique<baseline::PrimaryCopyProtocol>(network);
+      for (net::NodeId node = 0; node < config.servers; ++node) {
+        stores.push_back(&owned->server(node).store());
+      }
+      protocol = std::move(owned);
+      break;
+    }
+    case ProtocolKind::Tsae: {
+      auto owned = std::make_unique<baseline::TsaeProtocol>(network);
+      for (net::NodeId node = 0; node < config.servers; ++node) {
+        stores.push_back(&owned->server(node).store());
+      }
+      protocol = std::move(owned);
+      break;
+    }
+  }
+
+  workload::TraceCollector trace;
+  protocol->set_outcome_handler(
+      [&trace](const replica::Outcome& outcome) { trace.record(outcome); });
+
+  workload::RequestGenerator generator(
+      simulator, config.servers, config.workload,
+      [&protocol](const replica::Request& request) { protocol->submit(request); });
+  generator.start();
+
+  std::vector<bool> stayed_up(config.servers, true);
+  for (const FailureEvent& event : config.failures) {
+    MARP_REQUIRE(event.node < config.servers);
+    stayed_up[event.node] = false;  // touched by the failure schedule
+    simulator.schedule_at(event.at, [&protocol, event] {
+      if (event.fail) {
+        protocol->fail_server(event.node);
+      } else {
+        protocol->recover_server(event.node);
+      }
+    });
+  }
+
+  simulator.run(config.workload.duration + config.drain);
+
+  RunResult result;
+  result.protocol = protocol->name();
+  result.seed = config.seed;
+  result.generated = generator.generated();
+  result.completed = trace.completed();
+  result.successful_writes = trace.successful_writes();
+  result.failed_writes = trace.failed_writes();
+  result.reads = trace.reads();
+  result.alt_ms = trace.average_lock_time_ms();
+  result.att_ms = trace.average_total_time_ms();
+  result.client_latency_ms = trace.average_client_latency_ms();
+  result.att_p99_ms = trace.total_time_percentile_ms(99.0);
+  result.prk = trace.prk();
+  result.net_stats = network.stats();
+  if (platform) result.agent_stats = platform->stats();
+  if (marp) result.mutex_violations = marp->stats().mutex_violations;
+
+  // Consistency audit.
+  ConsistencyReport audit = check_convergence(stores, stayed_up);
+  for (std::size_t i = 0; i < stores.size(); ++i) {
+    audit.merge(check_monotonic_history(*stores[i], i));
+  }
+  if (marp) {
+    audit.merge(check_commit_order(marp->commit_log()));
+    if (marp->stats().mutex_violations != 0) {
+      audit.fail("Theorem 2 monitor observed concurrent updaters");
+    }
+  }
+  result.consistent = audit.ok;
+  result.consistency_problems = std::move(audit.problems);
+  if (config.keep_outcomes) result.outcomes = trace.outcomes();
+  return result;
+}
+
+}  // namespace marp::runner

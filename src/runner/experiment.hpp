@@ -1,0 +1,126 @@
+// Single-experiment driver: builds a simulator + network + protocol stack
+// from a declarative config, runs the workload to completion, and returns
+// the paper's metrics together with traffic accounting and the result of
+// the consistency audit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "agent/platform.hpp"
+#include "marp/config.hpp"
+#include "net/network.hpp"
+#include "workload/generator.hpp"
+
+namespace marp::runner {
+
+enum class ProtocolKind : std::uint8_t {
+  Marp,
+  MpMcv,
+  WeightedVoting,
+  AvailableCopy,
+  PrimaryCopy,
+  Tsae  ///< weak consistency (timestamped anti-entropy, Golding '92)
+};
+
+const char* protocol_name(ProtocolKind kind);
+
+enum class NetworkKind : std::uint8_t { Lan, Wan };
+
+struct FailureEvent {
+  sim::SimTime at;
+  net::NodeId node = 0;
+  bool fail = true;  ///< false = recover
+};
+
+struct ExperimentConfig {
+  std::size_t servers = 5;
+  ProtocolKind protocol = ProtocolKind::Marp;
+  std::uint64_t seed = 1;
+
+  NetworkKind network = NetworkKind::Lan;
+  /// LAN: one-way base propagation + exponential jitter + bandwidth.
+  sim::SimTime lan_base = sim::SimTime::millis(2);
+  double lan_jitter_mean_us = 500.0;
+  double lan_bytes_per_us = 12.5;  ///< ~100 Mbit/s
+  /// WAN: clustered topology + heavy-tailed jitter + transient spikes.
+  std::size_t wan_clusters = 3;
+  sim::SimTime wan_intra = sim::SimTime::millis(2);
+  sim::SimTime wan_inter = sim::SimTime::millis(40);
+  net::WanLatency::Params wan_params;
+
+  workload::WorkloadConfig workload;
+  core::MarpConfig marp;
+  /// WAN runs scale MARP's reactive timers (patrol, ack retry, claim retry,
+  /// defer timeout) to the inter-site round-trip so waiting agents do not
+  /// thrash; set false to use `marp`'s timers verbatim.
+  bool scale_marp_timers_for_wan = true;
+
+  std::vector<FailureEvent> failures;
+
+  /// Extra virtual time after generation stops, letting in-flight requests
+  /// finish before metrics are read.
+  sim::SimTime drain = sim::SimTime::seconds(20);
+
+  /// Keep every per-request Outcome in RunResult::outcomes (off by default;
+  /// sweeps only need the aggregates).
+  bool keep_outcomes = false;
+};
+
+struct RunResult {
+  std::string protocol;
+  std::uint64_t seed = 0;
+
+  // Workload accounting.
+  std::uint64_t generated = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t successful_writes = 0;
+  std::uint64_t failed_writes = 0;
+  std::uint64_t reads = 0;
+
+  // Paper metrics (§4).
+  double alt_ms = 0.0;                 ///< avg time to obtain the lock
+  double att_ms = 0.0;                 ///< avg total update time
+  double client_latency_ms = 0.0;      ///< submission → completion
+  double att_p99_ms = 0.0;
+  std::map<std::uint32_t, double> prk; ///< visits → % of requests
+
+  // Cost accounting.
+  net::TrafficStats net_stats;
+  agent::PlatformStats agent_stats;    ///< zeros for message-passing runs
+  std::uint64_t mutex_violations = 0;  ///< MARP runs: Theorem 2 monitor
+
+  // Consistency audit.
+  bool consistent = true;
+  std::vector<std::string> consistency_problems;
+
+  /// Per-request outcomes; populated only with config.keep_outcomes.
+  std::vector<replica::Outcome> outcomes;
+
+  double messages_per_write() const {
+    return successful_writes == 0
+               ? 0.0
+               : static_cast<double>(net_stats.messages_sent) /
+                     static_cast<double>(successful_writes);
+  }
+  double migrations_per_write() const {
+    return successful_writes == 0
+               ? 0.0
+               : static_cast<double>(agent_stats.migrations_started) /
+                     static_cast<double>(successful_writes);
+  }
+  double wire_bytes_per_write() const {
+    return successful_writes == 0
+               ? 0.0
+               : static_cast<double>(net_stats.bytes_sent +
+                                     agent_stats.migration_bytes) /
+                     static_cast<double>(successful_writes);
+  }
+};
+
+/// Build, run, audit. Deterministic in `config` (including its seed).
+RunResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace marp::runner

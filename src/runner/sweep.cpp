@@ -1,0 +1,57 @@
+#include "runner/sweep.hpp"
+
+#include <mutex>
+
+namespace marp::runner {
+
+void Aggregate::add(const RunResult& run) {
+  alt_ms.add(run.alt_ms);
+  att_ms.add(run.att_ms);
+  client_latency_ms.add(run.client_latency_ms);
+  messages_per_write.add(run.messages_per_write());
+  migrations_per_write.add(run.migrations_per_write());
+  wire_bytes_per_write.add(run.wire_bytes_per_write());
+  for (const auto& [visits, percent] : run.prk) prk[visits].add(percent);
+  generated += run.generated;
+  successful_writes += run.successful_writes;
+  failed_writes += run.failed_writes;
+  mutex_violations += run.mutex_violations;
+  if (!run.consistent) {
+    all_consistent = false;
+    problems.insert(problems.end(), run.consistency_problems.begin(),
+                    run.consistency_problems.end());
+  }
+}
+
+Aggregate run_replicated(const ExperimentConfig& base, std::size_t seeds,
+                         ThreadPool& pool) {
+  std::vector<RunResult> runs(seeds);
+  parallel_for(pool, seeds, [&](std::size_t i) {
+    ExperimentConfig config = base;
+    config.seed = base.seed + i;
+    runs[i] = run_experiment(config);
+  });
+  Aggregate aggregate;
+  for (const RunResult& run : runs) aggregate.add(run);
+  return aggregate;
+}
+
+std::vector<Aggregate> run_sweep(const std::vector<ExperimentConfig>& configs,
+                                 std::size_t seeds, ThreadPool& pool) {
+  std::vector<Aggregate> aggregates(configs.size());
+  std::vector<std::vector<RunResult>> runs(configs.size(),
+                                           std::vector<RunResult>(seeds));
+  parallel_for(pool, configs.size() * seeds, [&](std::size_t flat) {
+    const std::size_t point = flat / seeds;
+    const std::size_t replicate = flat % seeds;
+    ExperimentConfig config = configs[point];
+    config.seed = config.seed + replicate;
+    runs[point][replicate] = run_experiment(config);
+  });
+  for (std::size_t point = 0; point < configs.size(); ++point) {
+    for (const RunResult& run : runs[point]) aggregates[point].add(run);
+  }
+  return aggregates;
+}
+
+}  // namespace marp::runner

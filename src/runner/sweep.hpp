@@ -1,0 +1,45 @@
+// Multi-seed replication and parallel sweep execution. Each figure point is
+// the mean over independent seeds with a 95% CI; points and seeds run
+// concurrently on a thread pool (runs are independent simulations, so this
+// parallelism cannot perturb results).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "metrics/stats.hpp"
+#include "runner/experiment.hpp"
+#include "util/thread_pool.hpp"
+
+namespace marp::runner {
+
+struct Aggregate {
+  metrics::Running alt_ms;
+  metrics::Running att_ms;
+  metrics::Running client_latency_ms;
+  metrics::Running messages_per_write;
+  metrics::Running migrations_per_write;
+  metrics::Running wire_bytes_per_write;
+  std::map<std::uint32_t, metrics::Running> prk;
+
+  std::uint64_t generated = 0;
+  std::uint64_t successful_writes = 0;
+  std::uint64_t failed_writes = 0;
+  std::uint64_t mutex_violations = 0;
+  bool all_consistent = true;
+  std::vector<std::string> problems;
+
+  void add(const RunResult& run);
+};
+
+/// Run `base` under `seeds` different seeds (base.seed, base.seed+1, …) on
+/// `pool`, aggregating the per-run metrics.
+Aggregate run_replicated(const ExperimentConfig& base, std::size_t seeds,
+                         ThreadPool& pool);
+
+/// Run many independent configs concurrently; results align with `configs`.
+std::vector<Aggregate> run_sweep(const std::vector<ExperimentConfig>& configs,
+                                 std::size_t seeds, ThreadPool& pool);
+
+}  // namespace marp::runner

@@ -1,0 +1,9 @@
+// Header-only implementation; this TU anchors the library target and keeps a
+// non-inline definition of the exception vtable.
+#include "serial/byte_buffer.hpp"
+
+namespace marp::serial {
+
+// Intentionally empty — see file comment.
+
+}  // namespace marp::serial

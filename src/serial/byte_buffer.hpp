@@ -1,0 +1,199 @@
+// Byte-level serialization for agent state and message payloads.
+//
+// Agents migrate by round-tripping their state through these buffers, the
+// same way a Java agent platform serializes an object graph — so migration
+// cost can be charged per byte and state that fails to round-trip is caught
+// immediately. Encoding: little-endian fixed width for floats, LEB128
+// varints for integers, length-prefixed containers.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace marp::serial {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Thrown when a reader runs past the end of its buffer or sees malformed
+/// data; indicates a serialize/deserialize mismatch (a real bug).
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Zig-zag maps signed to unsigned so small negatives stay small varints.
+constexpr std::uint64_t zigzag_encode(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+}
+constexpr std::int64_t zigzag_decode(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+class Writer {
+ public:
+  Writer() = default;
+
+  const Bytes& bytes() const noexcept { return buffer_; }
+  Bytes take() noexcept { return std::move(buffer_); }
+  std::size_t size() const noexcept { return buffer_.size(); }
+
+  void u8(std::uint8_t v) { buffer_.push_back(v); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// Unsigned LEB128.
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buffer_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buffer_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void svarint(std::int64_t v) { varint(zigzag_encode(v)); }
+
+  void f64(double v) {
+    static_assert(sizeof(double) == 8);
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    for (int i = 0; i < 8; ++i) buffer_.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+  }
+
+  void str(std::string_view s) {
+    varint(s.size());
+    buffer_.insert(buffer_.end(), s.begin(), s.end());
+  }
+
+  void raw(const Bytes& b) {
+    varint(b.size());
+    buffer_.insert(buffer_.end(), b.begin(), b.end());
+  }
+
+  template <typename T, typename Fn>
+  void seq(const std::vector<T>& v, Fn&& write_elem) {
+    varint(v.size());
+    for (const auto& e : v) write_elem(*this, e);
+  }
+
+  template <typename K, typename V, typename FnK, typename FnV>
+  void map(const std::map<K, V>& m, FnK&& write_key, FnV&& write_value) {
+    varint(m.size());
+    for (const auto& [k, v] : m) {
+      write_key(*this, k);
+      write_value(*this, v);
+    }
+  }
+
+  template <typename T, typename Fn>
+  void optional(const std::optional<T>& o, Fn&& write_elem) {
+    boolean(o.has_value());
+    if (o) write_elem(*this, *o);
+  }
+
+ private:
+  Bytes buffer_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const Bytes& buffer) noexcept : data_(buffer.data()), size_(buffer.size()) {}
+  Reader(const std::uint8_t* data, std::size_t size) noexcept : data_(data), size_(size) {}
+
+  std::size_t remaining() const noexcept { return size_ - pos_; }
+  bool at_end() const noexcept { return pos_ == size_; }
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  bool boolean() { return u8() != 0; }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      if (shift >= 64) throw DecodeError("varint too long");
+      const std::uint8_t byte = u8();
+      v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    return v;
+  }
+
+  std::int64_t svarint() { return zigzag_decode(varint()); }
+
+  double f64() {
+    need(8);
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) bits |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+
+  std::string str() {
+    const std::uint64_t n = varint();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  Bytes raw() {
+    const std::uint64_t n = varint();
+    need(n);
+    Bytes b(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return b;
+  }
+
+  template <typename T, typename Fn>
+  std::vector<T> seq(Fn&& read_elem) {
+    const std::uint64_t n = varint();
+    if (n > remaining()) throw DecodeError("sequence length exceeds buffer");
+    std::vector<T> v;
+    v.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) v.push_back(read_elem(*this));
+    return v;
+  }
+
+  template <typename K, typename V, typename FnK, typename FnV>
+  std::map<K, V> map(FnK&& read_key, FnV&& read_value) {
+    const std::uint64_t n = varint();
+    if (n > remaining()) throw DecodeError("map length exceeds buffer");
+    std::map<K, V> m;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      K k = read_key(*this);
+      V v = read_value(*this);
+      m.emplace(std::move(k), std::move(v));
+    }
+    return m;
+  }
+
+  template <typename T, typename Fn>
+  std::optional<T> optional(Fn&& read_elem) {
+    if (!boolean()) return std::nullopt;
+    return read_elem(*this);
+  }
+
+ private:
+  void need(std::uint64_t n) const {
+    if (n > remaining()) throw DecodeError("read past end of buffer");
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace marp::serial

@@ -1,0 +1,133 @@
+// Pending-event set for the simulator.
+//
+// A 4-ary implicit heap ordered by (time, sequence). The sequence number is a
+// monotonically increasing tie-break so same-time events fire in scheduling
+// order — this is what makes runs deterministic. 4-ary beats binary here
+// because sift-down touches one cache line of children per level.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/assert.hpp"
+
+namespace marp::sim {
+
+using EventId = std::uint64_t;
+
+struct Event {
+  SimTime time;
+  EventId id = 0;  // scheduling order; doubles as cancellation handle
+  std::function<void()> action;
+
+  /// Strict-weak ordering: earlier time first, then earlier schedule order.
+  friend bool event_before(const Event& a, const Event& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.id < b.id;
+  }
+};
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  bool empty() const noexcept { return heap_.size() == cancelled_in_heap_; }
+  std::size_t size() const noexcept { return heap_.size() - cancelled_in_heap_; }
+
+  /// Insert an event; returns its id (usable with cancel()).
+  EventId push(SimTime time, std::function<void()> action) {
+    const EventId id = next_id_++;
+    heap_.push_back(Event{time, id, std::move(action)});
+    sift_up(heap_.size() - 1);
+    return id;
+  }
+
+  /// Lazily cancel a pending event. Returns false if already fired/cancelled.
+  bool cancel(EventId id) {
+    auto [it, inserted] = cancelled_.insert(id);
+    (void)it;
+    if (inserted) ++cancelled_in_heap_;
+    return inserted;
+  }
+
+  /// Time of the earliest live event. Queue must be non-empty.
+  SimTime next_time() {
+    drop_cancelled_top();
+    MARP_REQUIRE(!heap_.empty());
+    return heap_.front().time;
+  }
+
+  /// Remove and return the earliest live event. Queue must be non-empty.
+  Event pop() {
+    drop_cancelled_top();
+    MARP_REQUIRE(!heap_.empty());
+    return pop_top();
+  }
+
+  void clear() {
+    heap_.clear();
+    cancelled_.clear();
+    cancelled_in_heap_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t kArity = 4;
+
+  Event pop_top() {
+    Event top = std::move(heap_.front());
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    return top;
+  }
+
+  void drop_cancelled_top() {
+    while (!heap_.empty() && cancelled_.contains(heap_.front().id)) {
+      cancelled_.erase(heap_.front().id);
+      --cancelled_in_heap_;
+      (void)pop_top();
+    }
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!event_before(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first_child = i * kArity + 1;
+      if (first_child >= n) break;
+      std::size_t best = first_child;
+      const std::size_t last_child = std::min(first_child + kArity, n);
+      for (std::size_t c = first_child + 1; c < last_child; ++c) {
+        if (event_before(heap_[c], heap_[best])) best = c;
+      }
+      if (!event_before(heap_[best], heap_[i])) break;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+
+  std::vector<Event> heap_;
+  // Lazy cancellation: ids are dropped when they reach the top.
+  // (hash set; expected handful of live cancellations at a time)
+  struct IdentityHash {
+    std::size_t operator()(EventId id) const noexcept { return id * 0x9E3779B97F4A7C15ULL; }
+  };
+  std::unordered_set<EventId, IdentityHash> cancelled_;
+  std::size_t cancelled_in_heap_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace marp::sim

@@ -1,0 +1,131 @@
+// Deterministic random number generation.
+//
+// xoshiro256** core seeded via splitmix64 (both implemented here so results
+// do not depend on standard-library internals). Named sub-streams let every
+// component of a simulation draw from an independent sequence derived from
+// the single run seed — adding a component never perturbs another
+// component's stream.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace marp::sim {
+
+/// splitmix64 step; used for seeding and hashing stream names.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna), public-domain algorithm.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853C49E6748FEA9BULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t bounded(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+  /// Exponential with the given mean (= 1/rate). mean <= 0 returns 0.
+  double exponential(double mean) noexcept;
+
+  /// Standard normal via Box–Muller (no cached spare; keeps state minimal).
+  double normal(double mu = 0.0, double sigma = 1.0) noexcept;
+
+  /// Pareto with shape `alpha` and scale `xm` (heavy-tailed WAN delays).
+  double pareto(double alpha, double xm) noexcept;
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(bounded(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Zipf(s) sampler over {0, .., n-1} using precomputed CDF (inversion).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double s);
+  std::size_t operator()(Rng& rng) const noexcept;
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Derives independent named sub-streams from one run seed.
+///
+///   RngFactory f(run_seed);
+///   Rng arrivals = f.stream("arrivals", server_id);
+class RngFactory {
+ public:
+  explicit RngFactory(std::uint64_t run_seed) noexcept : run_seed_(run_seed) {}
+
+  Rng stream(std::string_view name, std::uint64_t index = 0) const noexcept {
+    std::uint64_t h = run_seed_ ^ 0x2545F4914F6CDD1DULL;
+    for (char c : name) {
+      h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+      std::uint64_t s = h;
+      h = splitmix64(s);
+    }
+    h ^= index * 0x9E3779B97F4A7C15ULL;
+    std::uint64_t s = h;
+    return Rng(splitmix64(s));
+  }
+
+ private:
+  std::uint64_t run_seed_;
+};
+
+}  // namespace marp::sim

@@ -1,0 +1,39 @@
+#include "sim/simulator.hpp"
+
+namespace marp::sim {
+
+std::uint64_t Simulator::run(SimTime deadline) {
+  stop_requested_ = false;
+  std::uint64_t count = 0;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.next_time() > deadline) break;
+    Event event = queue_.pop();
+    MARP_DEBUG_ASSERT(event.time >= now_);
+    now_ = event.time;
+    event.action();
+    ++count;
+    ++executed_;
+  }
+  if (!stop_requested_ && now_ < deadline && deadline != SimTime::max()) {
+    // Advance the clock to the deadline so repeated bounded runs compose
+    // (events beyond the deadline stay queued for the next run call).
+    now_ = deadline;
+  }
+  return count;
+}
+
+std::uint64_t Simulator::run_events(std::uint64_t max_events) {
+  stop_requested_ = false;
+  std::uint64_t count = 0;
+  while (!queue_.empty() && !stop_requested_ && count < max_events) {
+    Event event = queue_.pop();
+    MARP_DEBUG_ASSERT(event.time >= now_);
+    now_ = event.time;
+    event.action();
+    ++count;
+    ++executed_;
+  }
+  return count;
+}
+
+}  // namespace marp::sim

@@ -1,0 +1,67 @@
+// Discrete-event simulator.
+//
+// Single-threaded, deterministic: events execute in (time, schedule-order)
+// sequence, advancing the virtual clock. Components schedule closures via
+// schedule()/schedule_at() and may cancel them; the run loop drains the
+// queue until empty, a deadline, or an explicit stop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace marp::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_factory_(seed), seed_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const noexcept { return now_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+  const RngFactory& rng_factory() const noexcept { return rng_factory_; }
+
+  /// Schedule `action` to run `delay` after the current time.
+  EventId schedule(SimTime delay, std::function<void()> action) {
+    return schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Schedule `action` at an absolute virtual time (must not be in the past).
+  EventId schedule_at(SimTime when, std::function<void()> action) {
+    MARP_REQUIRE_MSG(when >= now_, "cannot schedule into the past");
+    return queue_.push(when, std::move(action));
+  }
+
+  /// Cancel a pending event; returns false if it already fired.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Run until the queue is empty or `deadline` is passed. Returns the
+  /// number of events executed. Events scheduled exactly at the deadline
+  /// still run; later ones stay queued.
+  std::uint64_t run(SimTime deadline = SimTime::max());
+
+  /// Run at most `max_events` events (for step-debugging and tests).
+  std::uint64_t run_events(std::uint64_t max_events);
+
+  /// Request the run loop to return after the current event.
+  void stop() noexcept { stop_requested_ = true; }
+
+  bool idle() const noexcept { return queue_.empty(); }
+  std::size_t pending_events() const noexcept { return queue_.size(); }
+  std::uint64_t executed_events() const noexcept { return executed_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = SimTime::zero();
+  RngFactory rng_factory_;
+  std::uint64_t seed_;
+  std::uint64_t executed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace marp::sim

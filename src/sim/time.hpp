@@ -1,0 +1,80 @@
+// Virtual time for the discrete-event simulator.
+//
+// SimTime is a strongly-typed count of microseconds since simulation start.
+// Integer microseconds keep event ordering exact and runs bit-reproducible;
+// the paper's figures are in milliseconds, so ms conversions are provided.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace marp::sim {
+
+class SimTime {
+ public:
+  constexpr SimTime() noexcept = default;
+
+  static constexpr SimTime zero() noexcept { return SimTime{0}; }
+  static constexpr SimTime max() noexcept {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  static constexpr SimTime micros(std::int64_t us) noexcept { return SimTime{us}; }
+  static constexpr SimTime millis(double ms) noexcept {
+    return SimTime{static_cast<std::int64_t>(ms * 1000.0)};
+  }
+  static constexpr SimTime seconds(double s) noexcept {
+    return SimTime{static_cast<std::int64_t>(s * 1'000'000.0)};
+  }
+
+  constexpr std::int64_t as_micros() const noexcept { return us_; }
+  constexpr double as_millis() const noexcept { return static_cast<double>(us_) / 1000.0; }
+  constexpr double as_seconds() const noexcept {
+    return static_cast<double>(us_) / 1'000'000.0;
+  }
+
+  constexpr auto operator<=>(const SimTime&) const noexcept = default;
+
+  constexpr SimTime operator+(SimTime other) const noexcept {
+    return SimTime{us_ + other.us_};
+  }
+  constexpr SimTime operator-(SimTime other) const noexcept {
+    return SimTime{us_ - other.us_};
+  }
+  constexpr SimTime& operator+=(SimTime other) noexcept {
+    us_ += other.us_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime other) noexcept {
+    us_ -= other.us_;
+    return *this;
+  }
+  constexpr SimTime operator*(std::int64_t k) const noexcept { return SimTime{us_ * k}; }
+
+ private:
+  constexpr explicit SimTime(std::int64_t us) noexcept : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, SimTime t) {
+  return os << t.as_millis() << "ms";
+}
+
+namespace literals {
+constexpr SimTime operator""_us(unsigned long long v) {
+  return SimTime::micros(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_ms(unsigned long long v) {
+  return SimTime::micros(static_cast<std::int64_t>(v) * 1000);
+}
+constexpr SimTime operator""_ms(long double v) {
+  return SimTime::millis(static_cast<double>(v));
+}
+constexpr SimTime operator""_s(unsigned long long v) {
+  return SimTime::micros(static_cast<std::int64_t>(v) * 1'000'000);
+}
+}  // namespace literals
+
+}  // namespace marp::sim

@@ -1,0 +1,70 @@
+// Lightweight contract checks.
+//
+// MARP_REQUIRE / MARP_ENSURE are always-on (they guard protocol invariants
+// whose violation would silently corrupt a simulation), MARP_DEBUG_ASSERT
+// compiles out in NDEBUG builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace marp {
+
+/// Thrown when a contract annotated with MARP_REQUIRE/MARP_ENSURE fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace marp
+
+#define MARP_REQUIRE(expr)                                                     \
+  do {                                                                         \
+    if (!(expr))                                                               \
+      ::marp::detail::contract_fail("precondition", #expr, __FILE__, __LINE__, \
+                                    {});                                       \
+  } while (0)
+
+#define MARP_REQUIRE_MSG(expr, msg)                                            \
+  do {                                                                         \
+    if (!(expr))                                                               \
+      ::marp::detail::contract_fail("precondition", #expr, __FILE__, __LINE__, \
+                                    (msg));                                    \
+  } while (0)
+
+#define MARP_ENSURE(expr)                                                       \
+  do {                                                                          \
+    if (!(expr))                                                                \
+      ::marp::detail::contract_fail("postcondition", #expr, __FILE__, __LINE__, \
+                                    {});                                        \
+  } while (0)
+
+#define MARP_ENSURE_MSG(expr, msg)                                              \
+  do {                                                                          \
+    if (!(expr))                                                                \
+      ::marp::detail::contract_fail("postcondition", #expr, __FILE__, __LINE__, \
+                                    (msg));                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define MARP_DEBUG_ASSERT(expr) ((void)0)
+#else
+#define MARP_DEBUG_ASSERT(expr)                                            \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::marp::detail::contract_fail("assertion", #expr, __FILE__, __LINE__, \
+                                    {});                                   \
+  } while (0)
+#endif

@@ -1,0 +1,37 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace marp::log {
+
+namespace {
+std::atomic<Level> g_threshold{Level::Warn};
+std::mutex g_sink_mutex;
+}  // namespace
+
+Level threshold() noexcept { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_threshold(Level level) noexcept {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+const char* level_name(Level level) noexcept {
+  switch (level) {
+    case Level::Trace: return "TRACE";
+    case Level::Debug: return "DEBUG";
+    case Level::Info: return "INFO";
+    case Level::Warn: return "WARN";
+    case Level::Error: return "ERROR";
+    case Level::Off: return "OFF";
+  }
+  return "?";
+}
+
+void write(Level level, const std::string& tag, const std::string& message) {
+  if (threshold() > level) return;
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::cerr << '[' << level_name(level) << "] " << tag << ": " << message << '\n';
+}
+
+}  // namespace marp::log

@@ -1,0 +1,88 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace marp::workload {
+
+void TraceCollector::record(const replica::Outcome& outcome) {
+  if (outcome.kind == replica::RequestKind::Read) {
+    ++reads_;
+  } else if (outcome.success) {
+    ++successful_writes_;
+  } else {
+    ++failed_writes_;
+  }
+  outcomes_.push_back(outcome);
+}
+
+double TraceCollector::average_lock_time_ms() const {
+  double sum = 0.0;
+  std::uint64_t count = 0;
+  for (const auto& o : outcomes_) {
+    if (o.kind != replica::RequestKind::Write || !o.success) continue;
+    sum += o.lock_latency().as_millis();
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double TraceCollector::average_total_time_ms() const {
+  double sum = 0.0;
+  std::uint64_t count = 0;
+  for (const auto& o : outcomes_) {
+    if (o.kind != replica::RequestKind::Write || !o.success) continue;
+    sum += o.update_latency().as_millis();
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double TraceCollector::average_client_latency_ms() const {
+  double sum = 0.0;
+  std::uint64_t count = 0;
+  for (const auto& o : outcomes_) {
+    if (!o.success) continue;
+    sum += o.total_latency().as_millis();
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+std::map<std::uint32_t, double> TraceCollector::prk() const {
+  std::map<std::uint32_t, std::uint64_t> counts;
+  std::uint64_t total = 0;
+  for (const auto& o : outcomes_) {
+    if (o.kind != replica::RequestKind::Write || !o.success) continue;
+    ++counts[o.servers_visited];
+    ++total;
+  }
+  std::map<std::uint32_t, double> out;
+  if (total == 0) return out;
+  for (const auto& [visits, count] : counts) {
+    out[visits] = 100.0 * static_cast<double>(count) / static_cast<double>(total);
+  }
+  return out;
+}
+
+double TraceCollector::total_time_percentile_ms(double p) const {
+  std::vector<double> samples;
+  for (const auto& o : outcomes_) {
+    if (o.kind != replica::RequestKind::Write || !o.success) continue;
+    samples.push_back(o.update_latency().as_millis());
+  }
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+void TraceCollector::clear() {
+  outcomes_.clear();
+  successful_writes_ = failed_writes_ = reads_ = 0;
+}
+
+}  // namespace marp::workload

@@ -1,0 +1,51 @@
+// Outcome collection and the paper's three metrics.
+//
+// §4 defines: ALT — average time for a mobile agent to obtain the lock;
+// ATT — average total time to process an update request (including the
+// UPDATE/COMMIT messaging); PRK — percentage of requests whose lock was
+// obtained by visiting K servers. TraceCollector computes all three plus
+// general latency statistics from the stream of Outcomes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "replica/request.hpp"
+
+namespace marp::workload {
+
+class TraceCollector {
+ public:
+  /// Record one finished request (install via protocol's outcome handler).
+  void record(const replica::Outcome& outcome);
+
+  std::size_t completed() const noexcept { return outcomes_.size(); }
+  std::uint64_t successful_writes() const noexcept { return successful_writes_; }
+  std::uint64_t failed_writes() const noexcept { return failed_writes_; }
+  std::uint64_t reads() const noexcept { return reads_; }
+
+  /// ALT in milliseconds (mean over successful writes).
+  double average_lock_time_ms() const;
+  /// ATT in milliseconds (mean over successful writes; dispatch → commit).
+  double average_total_time_ms() const;
+  /// Client-perceived latency (submission → completion), milliseconds.
+  double average_client_latency_ms() const;
+
+  /// PRK: visits-count → percentage of successful writes (sums to ~100).
+  std::map<std::uint32_t, double> prk() const;
+
+  /// p-th percentile (0..100) of total update time, milliseconds.
+  double total_time_percentile_ms(double p) const;
+
+  const std::vector<replica::Outcome>& outcomes() const noexcept { return outcomes_; }
+  void clear();
+
+ private:
+  std::vector<replica::Outcome> outcomes_;
+  std::uint64_t successful_writes_ = 0;
+  std::uint64_t failed_writes_ = 0;
+  std::uint64_t reads_ = 0;
+};
+
+}  // namespace marp::workload

@@ -1,0 +1,398 @@
+// Mobile-agent platform tests: identity ordering, registry, migration as a
+// serialize→reconstruct round trip, failure/retry semantics, agent
+// messaging, signals, timers, and services.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agent/platform.hpp"
+#include "net/latency.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace marp::agent {
+namespace {
+
+using namespace marp::sim::literals;
+
+TEST(AgentId, TieBreakOrder) {
+  const AgentId early{2, 100, 0};
+  const AgentId late{1, 200, 0};
+  const AgentId same_time_lower_origin{1, 100, 0};
+  const AgentId same_all_higher_seq{2, 100, 1};
+  EXPECT_LT(early, late);                      // earlier creation wins
+  EXPECT_LT(same_time_lower_origin, early);    // then lower origin
+  EXPECT_LT(early, same_all_higher_seq);       // then lower sequence
+  EXPECT_EQ(early, (AgentId{2, 100, 0}));
+}
+
+TEST(AgentId, SerializationRoundTrip) {
+  const AgentId id{7, 123456789, 42};
+  serial::Writer w;
+  id.serialize(w);
+  serial::Reader r(w.bytes());
+  EXPECT_EQ(AgentId::deserialize(r), id);
+}
+
+TEST(AgentId, HashDistinguishesFields) {
+  AgentIdHash hash;
+  EXPECT_NE(hash({1, 2, 3}), hash({1, 2, 4}));
+  EXPECT_NE(hash({1, 2, 3}), hash({2, 2, 3}));
+}
+
+/// Test agent: walks a fixed itinerary, counting hops; optionally records
+/// everything that happens to it in a shared journal.
+struct Journal {
+  std::vector<std::string> entries;
+};
+
+class WalkerAgent final : public MobileAgent {
+ public:
+  static Journal* journal;
+  static constexpr const char* kType = "test.walker";
+
+  WalkerAgent() = default;
+  explicit WalkerAgent(std::vector<net::NodeId> itinerary)
+      : itinerary_(std::move(itinerary)) {}
+
+  std::string type_name() const override { return kType; }
+
+  void on_created(AgentContext& ctx) override {
+    if (journal) journal->entries.push_back("created@" + std::to_string(ctx.here()));
+    step(ctx);
+  }
+
+  void on_arrival(AgentContext& ctx) override {
+    if (journal) journal->entries.push_back("arrived@" + std::to_string(ctx.here()));
+    step(ctx);
+  }
+
+  void on_migration_failed(AgentContext& ctx, net::NodeId destination) override {
+    if (journal) {
+      journal->entries.push_back("failed->" + std::to_string(destination));
+    }
+    ++failures_;
+    if (failures_ < 2) {
+      ctx.dispatch_to(destination);  // one retry
+    } else {
+      ctx.dispose();
+    }
+  }
+
+  void on_message(AgentContext& ctx, net::MessageType type,
+                  const serial::Bytes& payload) override {
+    (void)ctx;
+    if (journal) {
+      journal->entries.push_back("msg:" + std::to_string(type) + ":" +
+                                 std::to_string(payload.size()));
+    }
+  }
+
+  void on_signal(AgentContext& ctx, std::uint32_t signal) override {
+    (void)ctx;
+    if (journal) journal->entries.push_back("signal:" + std::to_string(signal));
+  }
+
+  void on_timer(AgentContext& ctx, std::uint64_t token) override {
+    (void)ctx;
+    if (journal) journal->entries.push_back("timer:" + std::to_string(token));
+  }
+
+  void serialize(serial::Writer& w) const override {
+    w.varint(itinerary_.size());
+    for (net::NodeId node : itinerary_) w.varint(node);
+    w.varint(position_);
+    w.varint(failures_);
+  }
+
+  void deserialize(serial::Reader& r) override {
+    itinerary_.clear();
+    const std::uint64_t n = r.varint();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      itinerary_.push_back(static_cast<net::NodeId>(r.varint()));
+    }
+    position_ = r.varint();
+    failures_ = static_cast<std::uint32_t>(r.varint());
+  }
+
+ private:
+  void step(AgentContext& ctx) {
+    if (position_ < itinerary_.size()) {
+      ctx.dispatch_to(itinerary_[position_++]);
+    } else {
+      if (journal) journal->entries.push_back("done@" + std::to_string(ctx.here()));
+      ctx.dispose();
+    }
+  }
+
+  std::vector<net::NodeId> itinerary_;
+  std::size_t position_ = 0;
+  std::uint32_t failures_ = 0;
+};
+
+Journal* WalkerAgent::journal = nullptr;
+
+class PlatformFixture : public ::testing::Test {
+ protected:
+  PlatformFixture()
+      : simulator_(11),
+        network_(simulator_, net::make_lan_mesh(4, 1_ms),
+                 std::make_unique<net::ConstantLatency>(1_ms)),
+        platform_(network_) {
+    platform_.registry().register_type<WalkerAgent>(WalkerAgent::kType);
+    WalkerAgent::journal = &journal_;
+  }
+  ~PlatformFixture() override { WalkerAgent::journal = nullptr; }
+
+  sim::Simulator simulator_;
+  net::Network network_;
+  AgentPlatform platform_;
+  Journal journal_;
+};
+
+TEST_F(PlatformFixture, WalksItineraryThroughSerialization) {
+  platform_.host(0).create(
+      std::make_unique<WalkerAgent>(std::vector<net::NodeId>{1, 2, 3}));
+  simulator_.run();
+  EXPECT_EQ(journal_.entries,
+            (std::vector<std::string>{"created@0", "arrived@1", "arrived@2",
+                                      "arrived@3", "done@3"}));
+  EXPECT_EQ(platform_.stats().migrations_started, 3u);
+  EXPECT_EQ(platform_.stats().migrations_completed, 3u);
+  EXPECT_EQ(platform_.stats().agents_created, 1u);
+  EXPECT_EQ(platform_.stats().agents_disposed, 1u);
+  EXPECT_EQ(platform_.live_agents(), 0u);
+  EXPECT_GT(platform_.stats().migration_bytes,
+            3 * platform_.config().migration_overhead_bytes);
+}
+
+TEST_F(PlatformFixture, MigrationToDownHostFailsAfterTimeoutAndRetries) {
+  network_.set_node_up(2, false);
+  platform_.host(0).create(
+      std::make_unique<WalkerAgent>(std::vector<net::NodeId>{2}));
+  simulator_.run();
+  // One initial attempt + one retry, both failing, then dispose.
+  EXPECT_EQ(journal_.entries,
+            (std::vector<std::string>{"created@0", "failed->2", "failed->2"}));
+  EXPECT_EQ(platform_.stats().migrations_failed, 2u);
+  EXPECT_EQ(platform_.live_agents(), 0u);
+  // Failure is detected after the configured timeout, not instantly.
+  EXPECT_GE(simulator_.now(), platform_.config().migration_timeout * 2);
+}
+
+TEST_F(PlatformFixture, AgentReceivesEnvelopeMessages) {
+  // Empty itinerary: the agent completes instantly on node 0... instead give
+  // it an unreachable-later plan: create and keep it resident via no-op. Use
+  // an agent that stays: itinerary empty means dispose, so park it at 1 by
+  // checking messages before it leaves — easiest is to send to an agent that
+  // has already arrived somewhere and waits. WalkerAgent never waits, so
+  // instead deliver the envelope while the agent is mid-flight and verify
+  // the miss counter.
+  const AgentId id = platform_.host(0).create(
+      std::make_unique<WalkerAgent>(std::vector<net::NodeId>{1}));
+  // Agent is now in flight to 1; an envelope sent to node 0 misses it.
+  platform_.send_to_agent(2, 0, id, 55, {9, 9});
+  simulator_.run();
+  EXPECT_EQ(platform_.host(0).dropped_agent_messages(), 1u);
+}
+
+TEST_F(PlatformFixture, SignalsReachHostedAgents) {
+  // Build a resident agent: itinerary {1}, then it finishes at 1 and
+  // disposes — so raise the signal while it is still at the origin, before
+  // the simulator runs (on_created already executed and set a dispatch
+  // intent, which is processed after the callback... by then it has left).
+  // Cover the reverse instead: signals on an empty host are a no-op.
+  platform_.host(3).raise_signal(99);
+  EXPECT_TRUE(journal_.entries.empty());
+}
+
+TEST_F(PlatformFixture, ServicesArePerHost) {
+  int marker = 7;
+  platform_.host(1).set_service("thing", &marker);
+  EXPECT_EQ(platform_.host(1).service("thing"), &marker);
+  EXPECT_EQ(platform_.host(0).service("thing"), nullptr);
+  EXPECT_EQ(platform_.host(1).service("other"), nullptr);
+}
+
+
+TEST_F(PlatformFixture, RegistryRejectsUnknownAndDuplicates) {
+  EXPECT_THROW(platform_.registry().create("no.such.type"), ContractViolation);
+  EXPECT_THROW(platform_.registry().register_type<WalkerAgent>(WalkerAgent::kType),
+               ContractViolation);
+}
+
+TEST_F(PlatformFixture, AppHandlerReceivesNonAgentMessages) {
+  int app_messages = 0;
+  platform_.set_app_handler(2, [&](const net::Message& message) {
+    EXPECT_EQ(message.type, 77u);
+    ++app_messages;
+  });
+  network_.send(net::Message{0, 2, 77, {}});
+  simulator_.run();
+  EXPECT_EQ(app_messages, 1);
+}
+
+/// An agent that parks forever and records messages/signals/timers — used
+/// for stationary-behaviour tests.
+class ParkedAgent final : public MobileAgent {
+ public:
+  static constexpr const char* kType = "test.parked";
+  static Journal* journal;
+
+  std::string type_name() const override { return kType; }
+  void on_created(AgentContext& ctx) override { ctx.set_timer(5_ms, 17); }
+  void on_arrival(AgentContext&) override {}
+  void on_message(AgentContext&, net::MessageType type,
+                  const serial::Bytes&) override {
+    if (journal) journal->entries.push_back("pmsg:" + std::to_string(type));
+  }
+  void on_signal(AgentContext&, std::uint32_t signal) override {
+    if (journal) journal->entries.push_back("psig:" + std::to_string(signal));
+  }
+  void on_timer(AgentContext&, std::uint64_t token) override {
+    if (journal) journal->entries.push_back("ptimer:" + std::to_string(token));
+  }
+  void serialize(serial::Writer&) const override {}
+  void deserialize(serial::Reader&) override {}
+};
+
+Journal* ParkedAgent::journal = nullptr;
+
+class ParkedFixture : public PlatformFixture {
+ protected:
+  ParkedFixture() {
+    platform_.registry().register_type<ParkedAgent>(ParkedAgent::kType);
+    ParkedAgent::journal = &journal_;
+  }
+  ~ParkedFixture() override { ParkedAgent::journal = nullptr; }
+};
+
+TEST_F(ParkedFixture, TimerFiresForResidentAgent) {
+  platform_.host(1).create(std::make_unique<ParkedAgent>());
+  simulator_.run();
+  EXPECT_EQ(journal_.entries, (std::vector<std::string>{"ptimer:17"}));
+}
+
+TEST_F(ParkedFixture, EnvelopeDeliveredToResidentAgent) {
+  const AgentId id = platform_.host(1).create(std::make_unique<ParkedAgent>());
+  platform_.send_to_agent(0, 1, id, 123, {1, 2, 3});
+  simulator_.run();
+  ASSERT_EQ(journal_.entries.size(), 2u);
+  EXPECT_EQ(journal_.entries[0], "pmsg:123");  // envelope before the 5ms timer
+  EXPECT_EQ(journal_.entries[1], "ptimer:17");
+}
+
+TEST_F(ParkedFixture, SignalReachesResidentAgent) {
+  platform_.host(2).create(std::make_unique<ParkedAgent>());
+  platform_.host(2).raise_signal(31);
+  ASSERT_FALSE(journal_.entries.empty());
+  EXPECT_EQ(journal_.entries[0], "psig:31");
+}
+
+/// Clones itself to each target on creation, then parks; records arrivals.
+class ClonerAgent final : public MobileAgent {
+ public:
+  static constexpr const char* kType = "test.cloner";
+  static Journal* journal;
+
+  ClonerAgent() = default;
+  explicit ClonerAgent(std::vector<net::NodeId> targets)
+      : targets_(std::move(targets)) {}
+
+  std::string type_name() const override { return kType; }
+  void on_created(AgentContext& ctx) override {
+    for (net::NodeId target : targets_) ctx.clone_to(target);
+    targets_.clear();  // clones must not clone again on their own arrival
+  }
+  void on_arrival(AgentContext& ctx) override {
+    if (journal) journal->entries.push_back("clone@" + std::to_string(ctx.here()));
+  }
+  void serialize(serial::Writer& w) const override {
+    w.varint(targets_.size());
+    for (net::NodeId node : targets_) w.varint(node);
+  }
+  void deserialize(serial::Reader& r) override {
+    targets_.clear();
+    const std::uint64_t n = r.varint();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      targets_.push_back(static_cast<net::NodeId>(r.varint()));
+    }
+  }
+
+ private:
+  std::vector<net::NodeId> targets_;
+};
+
+Journal* ClonerAgent::journal = nullptr;
+
+class ClonerFixture : public PlatformFixture {
+ protected:
+  ClonerFixture() {
+    platform_.registry().register_type<ClonerAgent>(ClonerAgent::kType);
+    ClonerAgent::journal = &journal_;
+  }
+  ~ClonerFixture() override { ClonerAgent::journal = nullptr; }
+};
+
+TEST_F(ClonerFixture, CloneToSpawnsIndependentCopies) {
+  const AgentId original = platform_.host(0).create(
+      std::make_unique<ClonerAgent>(std::vector<net::NodeId>{1, 2, 3}));
+  simulator_.run();
+  // Original parks at 0; three clones arrive at 1, 2, 3.
+  EXPECT_EQ(platform_.live_agents(), 4u);
+  EXPECT_TRUE(platform_.host(0).has_agent(original));
+  std::sort(journal_.entries.begin(), journal_.entries.end());
+  EXPECT_EQ(journal_.entries,
+            (std::vector<std::string>{"clone@1", "clone@2", "clone@3"}));
+  EXPECT_EQ(platform_.stats().agents_created, 4u);
+  EXPECT_EQ(platform_.stats().migrations_started, 3u);
+  // Clones have distinct, fresh identities.
+  for (net::NodeId node = 1; node <= 3; ++node) {
+    EXPECT_EQ(platform_.host(node).agent_count(), 1u);
+    EXPECT_FALSE(platform_.host(node).has_agent(original));
+  }
+}
+
+TEST_F(ClonerFixture, LocalCloneLandsOnTheSameHost) {
+  platform_.host(2).create(
+      std::make_unique<ClonerAgent>(std::vector<net::NodeId>{2}));
+  simulator_.run();
+  EXPECT_EQ(platform_.host(2).agent_count(), 2u);
+  EXPECT_EQ(journal_.entries, (std::vector<std::string>{"clone@2"}));
+  EXPECT_EQ(platform_.stats().migrations_started, 0u);  // no network hop
+}
+
+TEST_F(ClonerFixture, RetractPullsAnAgentHome) {
+  const AgentId id = platform_.host(3).create(
+      std::make_unique<ClonerAgent>(std::vector<net::NodeId>{}));
+  ASSERT_TRUE(platform_.host(3).has_agent(id));
+
+  EXPECT_TRUE(platform_.retract(id, 0));
+  simulator_.run();
+  EXPECT_TRUE(platform_.host(0).has_agent(id));
+  EXPECT_FALSE(platform_.host(3).has_agent(id));
+  EXPECT_EQ(journal_.entries, (std::vector<std::string>{"clone@0"}));
+
+  // Already home: no-op success. Unknown agent: failure.
+  EXPECT_TRUE(platform_.retract(id, 0));
+  EXPECT_FALSE(platform_.retract(AgentId{9, 9, 9}, 0));
+}
+
+TEST_F(ParkedFixture, DisposeAllKillsResidentAgents) {
+  platform_.host(2).create(std::make_unique<ParkedAgent>());
+  platform_.host(2).create(std::make_unique<ParkedAgent>());
+  ASSERT_EQ(platform_.host(2).agent_count(), 2u);
+  const auto killed = platform_.host(2).dispose_all();
+  EXPECT_EQ(killed.size(), 2u);
+  EXPECT_EQ(platform_.host(2).agent_count(), 0u);
+  EXPECT_EQ(platform_.live_agents(), 0u);
+  EXPECT_EQ(platform_.stats().agents_disposed, 2u);
+  // Their pending timers must be inert after disposal.
+  simulator_.run();
+  EXPECT_TRUE(journal_.entries.empty());
+}
+
+}  // namespace
+}  // namespace marp::agent

@@ -1,0 +1,172 @@
+// Coverage for the remaining corners: available-copy availability
+// tracking, primary-copy stale-view forwarding, WAN latency tails, event
+// queue cancellation stress, and MARP under bursty arrivals.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/available_copy.hpp"
+#include "baseline/primary_copy.hpp"
+#include "marp/protocol.hpp"
+#include "net/latency.hpp"
+#include "net/topology.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace.hpp"
+
+namespace marp {
+namespace {
+
+using namespace marp::sim::literals;
+
+TEST(AvailableCopyTracking, BelievedUpFollowsNotices) {
+  sim::Simulator simulator(1);
+  net::Network network(simulator, net::make_lan_mesh(4, 1_ms),
+                       std::make_unique<net::ConstantLatency>(1_ms));
+  baseline::AvailableCopyProtocol protocol(network);
+  EXPECT_EQ(protocol.server(0).believed_up().size(), 4u);
+
+  protocol.fail_server(2);
+  // Notice has a delay: immediately after the fail, survivors still
+  // believe 2 is up.
+  EXPECT_TRUE(protocol.server(0).believed_up().contains(2));
+  simulator.run();
+  EXPECT_FALSE(protocol.server(0).believed_up().contains(2));
+  EXPECT_FALSE(protocol.server(3).believed_up().contains(2));
+
+  protocol.recover_server(2);
+  simulator.run();
+  EXPECT_TRUE(protocol.server(0).believed_up().contains(2));
+}
+
+TEST(AvailableCopyTracking, WriteStartedBeforeFailureStillCompletes) {
+  sim::Simulator simulator(2);
+  net::Network network(simulator, net::make_lan_mesh(5, 2_ms),
+                       std::make_unique<net::ConstantLatency>(2_ms));
+  baseline::AvailableCopyProtocol protocol(network);
+  workload::TraceCollector trace;
+  protocol.set_outcome_handler(
+      [&trace](const replica::Outcome& outcome) { trace.record(outcome); });
+
+  replica::Request request;
+  request.id = 1;
+  request.kind = replica::RequestKind::Write;
+  request.key = "item";
+  request.value = "racing-failure";
+  request.origin = 0;
+  request.submitted = simulator.now();
+  protocol.submit(request);
+  // Replica 3 dies while the write is in flight; once the failure notice
+  // arrives, the coordinator stops waiting for its ack.
+  simulator.schedule(sim::SimTime::micros(500),
+                     [&protocol] { protocol.fail_server(3); });
+  simulator.run(30_s);
+  EXPECT_EQ(trace.successful_writes(), 1u);
+}
+
+TEST(PrimaryCopyViews, StaleForwardIsRecoveredByRetry) {
+  sim::Simulator simulator(3);
+  net::Network network(simulator, net::make_lan_mesh(5, 2_ms),
+                       std::make_unique<net::ConstantLatency>(2_ms));
+  baseline::PrimaryCopyProtocol protocol(network);
+  workload::TraceCollector trace;
+  protocol.set_outcome_handler(
+      [&trace](const replica::Outcome& outcome) { trace.record(outcome); });
+
+  // Kill the primary, then submit from a server whose view is still stale
+  // (the notice is in flight): the first forward goes to the dead node and
+  // the origin's retry re-routes to the new primary.
+  protocol.fail_server(0);
+  replica::Request request;
+  request.id = 1;
+  request.kind = replica::RequestKind::Write;
+  request.key = "item";
+  request.value = "re-routed";
+  request.origin = 4;
+  request.submitted = simulator.now();
+  EXPECT_TRUE(protocol.server(4).believed_up().empty() == false);
+  protocol.submit(request);
+  simulator.run(30_s);
+  ASSERT_EQ(trace.successful_writes(), 1u);
+  // The write took at least one retry interval (stale first forward).
+  EXPECT_GE(trace.outcomes()[0].total_latency().as_millis(), 90.0);
+  for (net::NodeId node = 1; node < 5; ++node) {
+    EXPECT_EQ(protocol.server(node).store().read("item")->value, "re-routed");
+  }
+}
+
+TEST(WanLatencyTail, SpikesProduceAHeavyTail) {
+  const net::Topology topo = net::make_wan_clusters(2, 2, 2_ms, 40_ms);
+  net::WanLatency::Params params;
+  params.spike_probability = 0.05;
+  params.spike_mean_us = 250'000;
+  net::WanLatency model(topo.delays, params);
+  sim::Rng rng(9);
+  int spikes = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (model.sample(0, 1, 0, rng) > 150_ms) ++spikes;
+  }
+  // ~5% spike probability, exponential severity: a solid fraction exceeds
+  // 150 ms while the base path is 40 ms.
+  EXPECT_GT(spikes, kSamples * 0.02);
+  EXPECT_LT(spikes, kSamples * 0.06);
+}
+
+TEST(EventQueueStress, RandomCancellationsNeverCorruptOrder) {
+  sim::Rng rng(77);
+  sim::EventQueue queue;
+  std::vector<sim::EventId> live;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 200; ++i) {
+      live.push_back(
+          queue.push(sim::SimTime::micros(rng.uniform_int(0, 1000)), [] {}));
+    }
+    // Cancel a random half.
+    rng.shuffle(live);
+    for (std::size_t i = 0; i < live.size() / 2; ++i) queue.cancel(live[i]);
+    live.clear();
+    sim::SimTime previous = sim::SimTime::zero();
+    while (!queue.empty()) {
+      const sim::Event event = queue.pop();
+      ASSERT_GE(event.time, previous);
+      previous = event.time;
+    }
+  }
+}
+
+TEST(BurstyLoad, MarpAbsorbsBurstsWithBatching) {
+  sim::Simulator simulator(8);
+  net::Topology topo = net::make_lan_mesh(5, 2_ms);
+  net::Network network(simulator, topo,
+                       std::make_unique<net::LanLatency>(topo.delays, 500.0, 12.5));
+  agent::AgentPlatform platform(network);
+  core::MarpConfig config;
+  config.batch_size = 8;
+  config.batch_period = 20_ms;
+  core::MarpProtocol protocol(network, platform, config);
+  workload::TraceCollector trace;
+  protocol.set_outcome_handler(
+      [&trace](const replica::Outcome& outcome) { trace.record(outcome); });
+
+  workload::WorkloadConfig load;
+  load.arrivals = workload::ArrivalProcess::Bursty;
+  load.burst_size = 8;
+  load.mean_interarrival_ms = 60.0;
+  load.duration = sim::SimTime::seconds(10);
+  load.max_requests_per_server = 48;
+  workload::RequestGenerator generator(
+      simulator, 5, load,
+      [&protocol](const replica::Request& request) { protocol.submit(request); });
+  generator.start();
+  simulator.run(sim::SimTime::seconds(120));
+
+  EXPECT_EQ(trace.successful_writes(), generator.generated());
+  EXPECT_EQ(protocol.stats().mutex_violations, 0u);
+  // Batching folds bursts into far fewer commit sessions than writes.
+  EXPECT_LT(protocol.stats().updates_committed, generator.generated() / 2);
+}
+
+}  // namespace
+}  // namespace marp

@@ -1,0 +1,199 @@
+// Unit tests for MarpServer's local agent interface (Algorithm 2's
+// server-side data structures): visit semantics, gossip exchange, cheap
+// refresh, batching timers, and runs over star/ring topologies.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "marp/protocol.hpp"
+#include "net/latency.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "workload/trace.hpp"
+
+namespace marp::core {
+namespace {
+
+using namespace marp::sim::literals;
+
+struct Stack {
+  explicit Stack(std::size_t n, MarpConfig config = {}, std::uint64_t seed = 1)
+      : simulator(seed),
+        network(simulator, net::make_lan_mesh(n, 2_ms),
+                std::make_unique<net::ConstantLatency>(2_ms)),
+        platform(network),
+        protocol(network, platform, std::move(config)) {}
+
+  sim::Simulator simulator;
+  net::Network network;
+  agent::AgentPlatform platform;
+  MarpProtocol protocol;
+};
+
+agent::AgentId aid(std::uint32_t n) { return agent::AgentId{n, n * 100, 0}; }
+
+TEST(MarpServerVisit, AppendsAndSnapshotsInArrivalOrder) {
+  Stack stack(3);
+  MarpServer& server = stack.protocol.server(0);
+  const auto first = server.visit(aid(1), {"item"}, {});
+  const auto second = server.visit(aid(2), {"item"}, {});
+  EXPECT_EQ(first.locking_list.agents, (std::vector<agent::AgentId>{aid(1)}));
+  EXPECT_EQ(second.locking_list.agents,
+            (std::vector<agent::AgentId>{aid(1), aid(2)}));
+  // Re-visit keeps the queue position.
+  const auto again = server.visit(aid(1), {"item"}, {});
+  EXPECT_EQ(again.locking_list.agents,
+            (std::vector<agent::AgentId>{aid(1), aid(2)}));
+}
+
+TEST(MarpServerVisit, ReturnsRoutingCostsAndData) {
+  Stack stack(4);
+  MarpServer& server = stack.protocol.server(1);
+  server.store().force("item", "local-copy", {5, 1});
+  const auto result = server.visit(aid(1), {"item", "absent"}, {});
+  ASSERT_EQ(result.routing_costs.size(), 4u);
+  EXPECT_EQ(result.routing_costs[1], 0);
+  EXPECT_EQ(result.routing_costs[0], 2000);  // 2 ms mesh
+  ASSERT_TRUE(result.data.contains("item"));
+  EXPECT_EQ(result.data.at("item").value, "local-copy");
+  EXPECT_FALSE(result.data.contains("absent"));  // never written
+}
+
+TEST(MarpServerVisit, GossipIsStoredAndReturnedFresher) {
+  Stack stack(3);
+  MarpServer& server = stack.protocol.server(0);
+
+  // Visitor 1 leaves a snapshot of server 2 in the cache.
+  LockTable carried;
+  carried[2] = LockSnapshot{{aid(9)}, 50};
+  server.visit(aid(1), {}, carried);
+
+  // Visitor 2 receives it back...
+  const auto result = server.visit(aid(2), {}, {});
+  ASSERT_TRUE(result.gossip.contains(2));
+  EXPECT_EQ(result.gossip.at(2).agents.front(), aid(9));
+  // ...plus this server's own fresh snapshot left by visitor 1's visit.
+  ASSERT_TRUE(result.gossip.contains(0));
+
+  // A staler carried snapshot does not overwrite the cache.
+  LockTable stale;
+  stale[2] = LockSnapshot{{aid(8)}, 10};
+  const auto after_stale = server.visit(aid(3), {}, stale);
+  EXPECT_EQ(after_stale.gossip.at(2).agents.front(), aid(9));
+  // A fresher one does.
+  LockTable fresher;
+  fresher[2] = LockSnapshot{{aid(7)}, 90};
+  const auto after_fresh = server.visit(aid(4), {}, fresher);
+  EXPECT_EQ(after_fresh.gossip.at(2).agents.front(), aid(7));
+}
+
+TEST(MarpServerVisit, GossipDisabledReturnsNothing) {
+  MarpConfig config;
+  config.gossip = false;
+  Stack stack(3, config);
+  MarpServer& server = stack.protocol.server(0);
+  LockTable carried;
+  carried[2] = LockSnapshot{{aid(9)}, 50};
+  const auto result = server.visit(aid(1), {}, carried);
+  EXPECT_TRUE(result.gossip.empty());
+  const auto second = server.visit(aid(2), {}, {});
+  EXPECT_TRUE(second.gossip.empty());
+}
+
+TEST(MarpServerVisit, RefreshIsAppendingButLight) {
+  Stack stack(3);
+  MarpServer& server = stack.protocol.server(0);
+  const auto refresh = server.refresh(aid(5));
+  EXPECT_EQ(refresh.locking_list.agents, (std::vector<agent::AgentId>{aid(5)}));
+  EXPECT_TRUE(refresh.updated_list.empty());
+  // Refresh did not pollute the gossip cache.
+  const auto visit = server.visit(aid(6), {}, {});
+  EXPECT_FALSE(visit.gossip.contains(2));
+}
+
+TEST(MarpServerVisit, VisitOnFailedServerIsAContractViolation) {
+  Stack stack(3);
+  stack.protocol.server(1).fail();
+  EXPECT_THROW(stack.protocol.server(1).visit(aid(1), {}, {}), ContractViolation);
+}
+
+TEST(MarpServerBatching, PendingCountAndTimerFlush) {
+  MarpConfig config;
+  config.batch_size = 3;
+  config.batch_period = 10_ms;
+  Stack stack(3, config);
+  workload::TraceCollector trace;
+  stack.protocol.set_outcome_handler(
+      [&trace](const replica::Outcome& outcome) { trace.record(outcome); });
+
+  replica::Request request;
+  request.id = 1;
+  request.kind = replica::RequestKind::Write;
+  request.key = "item";
+  request.value = "v";
+  request.origin = 0;
+  request.submitted = stack.simulator.now();
+  stack.protocol.submit(request);
+  EXPECT_EQ(stack.protocol.server(0).pending_requests(), 1u);
+  EXPECT_EQ(stack.platform.live_agents(), 0u);  // batch not full: no agent yet
+
+  stack.simulator.run(5_ms);
+  EXPECT_EQ(stack.protocol.server(0).pending_requests(), 1u);
+  stack.simulator.run(60_s);  // period fires at 10 ms, then the write runs
+  EXPECT_EQ(stack.protocol.server(0).pending_requests(), 0u);
+  EXPECT_EQ(trace.successful_writes(), 1u);
+}
+
+// ---------- star / ring topology end-to-end ----------
+
+template <typename MakeTopology>
+void run_on_topology(MakeTopology&& make) {
+  sim::Simulator simulator(17);
+  net::Topology topology = make();
+  net::Network network(simulator, topology,
+                       std::make_unique<net::LanLatency>(topology.delays, 200.0,
+                                                         12.5));
+  agent::AgentPlatform platform(network);
+  MarpProtocol protocol(network, platform);
+  workload::TraceCollector trace;
+  protocol.set_outcome_handler(
+      [&trace](const replica::Outcome& outcome) { trace.record(outcome); });
+  for (net::NodeId node = 0; node < topology.size(); ++node) {
+    replica::Request request;
+    request.id = 1 + node;
+    request.kind = replica::RequestKind::Write;
+    request.key = "item";
+    request.value = "t" + std::to_string(node);
+    request.origin = node;
+    request.submitted = simulator.now();
+    protocol.submit(request);
+  }
+  simulator.run(60_s);
+  EXPECT_EQ(trace.successful_writes(), topology.size());
+  EXPECT_EQ(protocol.stats().mutex_violations, 0u);
+  const auto reference = protocol.server(0).store().read("item");
+  ASSERT_TRUE(reference.has_value());
+  for (net::NodeId node = 1; node < topology.size(); ++node) {
+    const auto value = protocol.server(node).store().read("item");
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(value->value, reference->value);
+  }
+}
+
+TEST(MarpTopologies, StarConverges) {
+  run_on_topology([] { return net::make_star(5, 3_ms); });
+}
+
+TEST(MarpTopologies, RingConverges) {
+  run_on_topology([] { return net::make_ring(6, 2_ms); });
+}
+
+TEST(MarpTopologies, RandomAsymmetricConverges) {
+  run_on_topology([] {
+    sim::Rng rng(23);
+    return net::make_random(5, 1_ms, 20_ms, rng);
+  });
+}
+
+}  // namespace
+}  // namespace marp::core

@@ -1,0 +1,241 @@
+// Network substrate tests: topologies, latency models, delivery semantics,
+// failures, partitions, and traffic accounting.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/latency.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace marp::net {
+namespace {
+
+using namespace marp::sim::literals;
+using sim::SimTime;
+
+TEST(Topology, LanMeshUniformOffDiagonal) {
+  const Topology topo = make_lan_mesh(4, 3_ms);
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = 0; j < 4; ++j) {
+      EXPECT_EQ(topo.cost(i, j), i == j ? 0 : 3000);
+    }
+  }
+}
+
+TEST(Topology, WanClustersDistinguishIntraAndInter) {
+  const Topology topo = make_wan_clusters(6, 3, 2_ms, 40_ms);
+  // Round-robin assignment: nodes 0 and 3 share cluster 0.
+  EXPECT_EQ(topo.cost(0, 3), 2000);
+  EXPECT_EQ(topo.cost(0, 1), 40000);
+  EXPECT_EQ(topo.cost(1, 4), 2000);
+}
+
+TEST(Topology, StarChargesDoubleForSpokeToSpoke) {
+  const Topology topo = make_star(4, 5_ms);
+  EXPECT_EQ(topo.cost(0, 2), 5000);
+  EXPECT_EQ(topo.cost(2, 0), 5000);
+  EXPECT_EQ(topo.cost(1, 3), 10000);
+}
+
+TEST(Topology, RingUsesShorterDirection) {
+  const Topology topo = make_ring(6, 1_ms);
+  EXPECT_EQ(topo.cost(0, 1), 1000);
+  EXPECT_EQ(topo.cost(0, 3), 3000);
+  EXPECT_EQ(topo.cost(0, 5), 1000);  // shorter the other way round
+  EXPECT_EQ(topo.cost(0, 4), 2000);
+}
+
+TEST(Topology, NearestFirstSortsByCost) {
+  sim::Rng rng(5);
+  const Topology topo = make_random(6, 1_ms, 50_ms, rng);
+  const auto order = topo.nearest_first(2);
+  ASSERT_EQ(order.size(), 5u);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(topo.cost(2, order[i - 1]), topo.cost(2, order[i]));
+  }
+  for (NodeId node : order) EXPECT_NE(node, 2u);
+}
+
+TEST(Latency, ConstantIsConstant) {
+  ConstantLatency model(4_ms);
+  sim::Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(model.sample(0, 1, 1000, rng), 4_ms);
+  }
+}
+
+TEST(Latency, UniformStaysInBounds) {
+  UniformLatency model(2_ms, 6_ms);
+  sim::Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const SimTime s = model.sample(0, 1, 0, rng);
+    EXPECT_GE(s, 2_ms);
+    EXPECT_LE(s, 6_ms);
+  }
+}
+
+TEST(Latency, LanAddsBaseJitterAndBandwidth) {
+  const Topology topo = make_lan_mesh(2, 3_ms);
+  LanLatency model(topo.delays, /*jitter_mean_us=*/0.0, /*bytes_per_us=*/1.0);
+  sim::Rng rng(3);
+  // Zero jitter: exactly base + bytes/bandwidth.
+  EXPECT_EQ(model.sample(0, 1, 500, rng).as_micros(), 3500);
+}
+
+TEST(Latency, WanTailIsHeavierThanFloor) {
+  const Topology topo = make_wan_clusters(2, 2, 1_ms, 30_ms);
+  WanLatency::Params params;
+  params.spike_probability = 0.0;
+  WanLatency model(topo.delays, params);
+  sim::Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(model.sample(0, 1, 0, rng), 30_ms);  // base is the floor
+  }
+}
+
+class NetworkFixture : public ::testing::Test {
+ protected:
+  NetworkFixture()
+      : simulator_(7),
+        network_(simulator_, make_lan_mesh(4, 2_ms),
+                 std::make_unique<ConstantLatency>(2_ms)) {}
+
+  sim::Simulator simulator_;
+  Network network_;
+};
+
+TEST_F(NetworkFixture, DeliversAfterLatency) {
+  std::vector<std::int64_t> delivery_times;
+  network_.register_node(1, [&](const Message&) {
+    delivery_times.push_back(simulator_.now().as_micros());
+  });
+  network_.send(Message{0, 1, 42, {1, 2, 3}});
+  simulator_.run();
+  ASSERT_EQ(delivery_times.size(), 1u);
+  EXPECT_EQ(delivery_times[0], 2000);
+  EXPECT_EQ(network_.stats().messages_sent, 1u);
+  EXPECT_EQ(network_.stats().messages_delivered, 1u);
+  EXPECT_EQ(network_.stats().bytes_sent, Message::kHeaderBytes + 3);
+}
+
+TEST_F(NetworkFixture, BroadcastReachesEveryoneElse) {
+  int received = 0;
+  for (NodeId node = 0; node < 4; ++node) {
+    network_.register_node(node, [&](const Message&) { ++received; });
+  }
+  network_.broadcast(2, 7, {});
+  simulator_.run();
+  EXPECT_EQ(received, 3);
+}
+
+TEST_F(NetworkFixture, MulticastSkipsSelf) {
+  int received = 0;
+  for (NodeId node = 0; node < 4; ++node) {
+    network_.register_node(node, [&](const Message&) { ++received; });
+  }
+  network_.multicast(1, {0, 1, 3}, 7, {});
+  simulator_.run();
+  EXPECT_EQ(received, 2);
+}
+
+TEST_F(NetworkFixture, DownDestinationDropsInFlight) {
+  int received = 0;
+  network_.register_node(1, [&](const Message&) { ++received; });
+  network_.send(Message{0, 1, 1, {}});
+  network_.set_node_up(1, false);  // dies before delivery
+  simulator_.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(network_.stats().messages_dropped, 1u);
+}
+
+TEST_F(NetworkFixture, DownSourceCannotSend) {
+  int received = 0;
+  network_.register_node(1, [&](const Message&) { ++received; });
+  network_.set_node_up(0, false);
+  network_.send(Message{0, 1, 1, {}});
+  simulator_.run();
+  EXPECT_EQ(received, 0);
+}
+
+TEST_F(NetworkFixture, CutLinkIsDirectional) {
+  int received_at_1 = 0, received_at_0 = 0;
+  network_.register_node(1, [&](const Message&) { ++received_at_1; });
+  network_.register_node(0, [&](const Message&) { ++received_at_0; });
+  network_.set_link_up(0, 1, false);
+  network_.send(Message{0, 1, 1, {}});
+  network_.send(Message{1, 0, 1, {}});
+  simulator_.run();
+  EXPECT_EQ(received_at_1, 0);
+  EXPECT_EQ(received_at_0, 1);
+}
+
+TEST_F(NetworkFixture, PartitionAndHeal) {
+  int crossings = 0;
+  for (NodeId node = 0; node < 4; ++node) {
+    network_.register_node(node, [&](const Message&) { ++crossings; });
+  }
+  network_.partition({0, 1});
+  network_.send(Message{0, 2, 1, {}});  // crosses the cut: dropped
+  network_.send(Message{0, 1, 1, {}});  // same side: delivered
+  simulator_.run();
+  EXPECT_EQ(crossings, 1);
+  network_.heal_partition();
+  network_.send(Message{0, 2, 1, {}});
+  simulator_.run();
+  EXPECT_EQ(crossings, 2);
+}
+
+TEST_F(NetworkFixture, DropProbabilityOneLosesEverything) {
+  int received = 0;
+  network_.register_node(1, [&](const Message&) { ++received; });
+  network_.set_drop_probability(1.0);
+  for (int i = 0; i < 20; ++i) network_.send(Message{0, 1, 1, {}});
+  simulator_.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(network_.stats().messages_dropped, 20u);
+}
+
+TEST_F(NetworkFixture, RetransmitModeEventuallyDelivers) {
+  int received = 0;
+  network_.register_node(1, [&](const Message&) { ++received; });
+  network_.set_drop_probability(0.5);
+  network_.set_loss_mode(Network::LossMode::Retransmit);
+  for (int i = 0; i < 50; ++i) network_.send(Message{0, 1, 1, {}});
+  simulator_.run();
+  EXPECT_EQ(received, 50);  // every message delivered, just later
+  EXPECT_GT(network_.stats().messages_dropped, 0u);
+}
+
+TEST_F(NetworkFixture, RetransmitModeStillRespectsFailStop) {
+  int received = 0;
+  network_.register_node(1, [&](const Message&) { ++received; });
+  network_.set_drop_probability(1.0);
+  network_.set_loss_mode(Network::LossMode::Retransmit);
+  network_.send(Message{0, 1, 1, {}});
+  network_.set_node_up(0, false);  // sender dies; retransmits must stop
+  simulator_.run(sim::SimTime::seconds(5));
+  EXPECT_EQ(received, 0);
+}
+
+TEST_F(NetworkFixture, PerTypeAccounting) {
+  network_.register_node(1, [](const Message&) {});
+  network_.send(Message{0, 1, 100, {1}});
+  network_.send(Message{0, 1, 100, {1, 2}});
+  network_.send(Message{0, 1, 200, {}});
+  simulator_.run();
+  EXPECT_EQ(network_.stats().sent_by_type.at(100), 2u);
+  EXPECT_EQ(network_.stats().sent_by_type.at(200), 1u);
+  EXPECT_EQ(network_.stats().bytes_by_type.at(100),
+            2 * Message::kHeaderBytes + 3);
+}
+
+TEST_F(NetworkFixture, DuplicateRegistrationRejected) {
+  network_.register_node(0, [](const Message&) {});
+  EXPECT_THROW(network_.register_node(0, [](const Message&) {}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace marp::net

@@ -1,0 +1,289 @@
+// Tests for Algorithm 1's priority calculation — the pure functions behind
+// Theorems 1 and 2 — including a randomized agreement property: every agent
+// applying `decide` to the same information must name the same winner.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "marp/priority.hpp"
+#include "sim/random.hpp"
+
+namespace marp::core {
+namespace {
+
+agent::AgentId aid(std::uint32_t n) { return agent::AgentId{n, n * 100, 0}; }
+
+LockSnapshot snap(std::vector<agent::AgentId> agents, std::int64_t at = 1) {
+  return LockSnapshot{std::move(agents), at};
+}
+
+TEST(FilteredHead, SkipsFinishedAgents) {
+  const DoneSet done{aid(1)};
+  EXPECT_EQ(*filtered_head({aid(1), aid(2), aid(3)}, done), aid(2));
+  EXPECT_EQ(*filtered_head({aid(2), aid(1)}, done), aid(2));
+  EXPECT_FALSE(filtered_head({aid(1)}, done).has_value());
+  EXPECT_FALSE(filtered_head({}, {}).has_value());
+}
+
+TEST(TopCounts, CountsHeadsAcrossServers) {
+  LockTable table;
+  table[0] = snap({aid(1), aid(2)});
+  table[1] = snap({aid(1)});
+  table[2] = snap({aid(2), aid(1)});
+  table[3] = LockSnapshot{};  // unknown server contributes nothing
+  const auto counts = top_counts(table, {});
+  EXPECT_EQ(counts.at(aid(1)), 2u);
+  EXPECT_EQ(counts.at(aid(2)), 1u);
+}
+
+TEST(Decide, MajorityWinsWithPartialInformation) {
+  LockTable table;
+  table[0] = snap({aid(1)});
+  table[1] = snap({aid(1)});
+  table[2] = snap({aid(1), aid(2)});
+  // 3 of 5 heads known and all belong to agent 1 → majority of N=5.
+  const Decision mine = decide(table, {}, aid(1), 5, TieBreakMode::TotalOrder);
+  EXPECT_EQ(mine.kind, Decision::Kind::Win);
+  const Decision theirs = decide(table, {}, aid(2), 5, TieBreakMode::TotalOrder);
+  EXPECT_EQ(theirs.kind, Decision::Kind::Lose);
+  EXPECT_EQ(*theirs.winner, aid(1));
+}
+
+TEST(Decide, UnknownWithoutFullInformationAndNoMajority) {
+  LockTable table;
+  table[0] = snap({aid(1)});
+  table[1] = snap({aid(2)});
+  const Decision d = decide(table, {}, aid(1), 5, TieBreakMode::TotalOrder);
+  EXPECT_EQ(d.kind, Decision::Kind::Unknown);
+}
+
+TEST(Decide, TotalOrderBreaksDeadlockedHeads) {
+  // The {2,2,1} split that deadlocks the paper's literal rule (N = 5).
+  LockTable table;
+  table[0] = snap({aid(1)});
+  table[1] = snap({aid(1)});
+  table[2] = snap({aid(2)});
+  table[3] = snap({aid(2)});
+  table[4] = snap({aid(3)});
+  const Decision d = decide(table, {}, aid(1), 5, TieBreakMode::TotalOrder);
+  EXPECT_EQ(d.kind, Decision::Kind::Win);  // aid(1) < aid(2): smallest id wins
+  const Decision d2 = decide(table, {}, aid(2), 5, TieBreakMode::TotalOrder);
+  EXPECT_EQ(d2.kind, Decision::Kind::Lose);
+  EXPECT_EQ(*d2.winner, aid(1));
+
+  // The literal rule declines: S=2, M=2 → 2 + (5−4) = 3, and 2·3 < 5 fails.
+  const Decision literal = decide(table, {}, aid(1), 5, TieBreakMode::PaperLiteral);
+  EXPECT_EQ(literal.kind, Decision::Kind::Unknown);
+}
+
+TEST(Decide, PaperLiteralFiresWhenConditionHolds) {
+  // N = 7, M = 3 agents each topping S = 2 servers, 1 leftover head:
+  // S + (N − M·S) = 2 + 1 = 3 and 2·3 < 7 → tie-break by id applies.
+  LockTable table;
+  table[0] = snap({aid(1)});
+  table[1] = snap({aid(1)});
+  table[2] = snap({aid(2)});
+  table[3] = snap({aid(2)});
+  table[4] = snap({aid(3)});
+  table[5] = snap({aid(3)});
+  table[6] = snap({aid(4)});
+  const Decision d = decide(table, {}, aid(1), 7, TieBreakMode::PaperLiteral);
+  EXPECT_EQ(d.kind, Decision::Kind::Win);
+  EXPECT_EQ(*d.winner, aid(1));
+}
+
+TEST(PaperTieCondition, MatchesFormula) {
+  // S + (N − M·S) < N/2, with exact halves.
+  EXPECT_TRUE(paper_tie_condition(2, 3, 7));   // 2+1=3 < 3.5
+  EXPECT_FALSE(paper_tie_condition(2, 2, 5));  // 2+1=3 !< 2.5
+  EXPECT_FALSE(paper_tie_condition(1, 2, 5));  // 1+3=4 !< 2.5
+  EXPECT_TRUE(paper_tie_condition(3, 3, 9));   // 3+0=3 < 4.5
+}
+
+TEST(Decide, DoneAgentsAreInvisible) {
+  LockTable table;
+  table[0] = snap({aid(9), aid(1)});
+  table[1] = snap({aid(9), aid(1)});
+  table[2] = snap({aid(1)});
+  const DoneSet done{aid(9)};
+  const Decision d = decide(table, done, aid(1), 5, TieBreakMode::TotalOrder);
+  EXPECT_EQ(d.kind, Decision::Kind::Win);  // 9 committed → 1 heads 3 of 5
+}
+
+TEST(MergeLockTables, KeepsFresherSnapshots) {
+  LockTable mine;
+  mine[0] = snap({aid(1)}, 100);
+  mine[1] = snap({aid(2)}, 50);
+  LockTable theirs;
+  theirs[0] = snap({aid(3)}, 60);   // staler: ignored
+  theirs[1] = snap({aid(4)}, 70);   // fresher: adopted
+  theirs[2] = snap({aid(5)}, 10);   // new server: adopted
+  merge_lock_tables(mine, theirs);
+  EXPECT_EQ(mine[0].agents.front(), aid(1));
+  EXPECT_EQ(mine[1].agents.front(), aid(4));
+  EXPECT_EQ(mine[2].agents.front(), aid(5));
+}
+
+TEST(LockTableSerialization, RoundTrips) {
+  LockTable table;
+  table[0] = snap({aid(1), aid(2)}, 111);
+  table[3] = snap({}, 222);
+  serial::Writer w;
+  serialize_lock_table(w, table);
+  serial::Reader r(w.bytes());
+  const LockTable copy = deserialize_lock_table(r);
+  ASSERT_EQ(copy.size(), 2u);
+  EXPECT_EQ(copy.at(0).agents, table.at(0).agents);
+  EXPECT_EQ(copy.at(0).observed_us, 111);
+  EXPECT_TRUE(copy.at(3).agents.empty());
+  EXPECT_EQ(copy.at(3).observed_us, 222);
+}
+
+// ---- §3.3 extension: predicting the full lock order ----
+
+TEST(PredictedOrder, SimulatesSuccessiveWinners) {
+  // Queues: s0 [1,2], s1 [1,3], s2 [2,1], s3 [2,3], s4 [3,1].
+  LockTable table;
+  table[0] = snap({aid(1), aid(2)});
+  table[1] = snap({aid(1), aid(3)});
+  table[2] = snap({aid(2), aid(1)});
+  table[3] = snap({aid(2), aid(3)});
+  table[4] = snap({aid(3), aid(1)});
+  // Heads {1:2, 2:2, 3:1}: tie-break gives 1; with 1 done, heads become
+  // {2:3, 3:2} → 2 wins by majority; then 3 remains.
+  const auto order = predicted_order(table, {}, 5);
+  EXPECT_EQ(order, (std::vector<agent::AgentId>{aid(1), aid(2), aid(3)}));
+}
+
+TEST(PredictedOrder, LimitAndDoneFiltering) {
+  LockTable table;
+  table[0] = snap({aid(1), aid(2)});
+  table[1] = snap({aid(1), aid(2)});
+  table[2] = snap({aid(1), aid(2)});
+  const auto top1 = predicted_order(table, {}, 3, {}, 1);
+  EXPECT_EQ(top1, (std::vector<agent::AgentId>{aid(1)}));
+  // With agent 1 already done, agent 2 is next.
+  const auto after = predicted_order(table, {aid(1)}, 3);
+  EXPECT_EQ(after, (std::vector<agent::AgentId>{aid(2)}));
+}
+
+TEST(PredictedOrder, StopsWhenHeadsUnknown) {
+  LockTable table;
+  table[0] = snap({aid(1)});
+  table[1] = snap({aid(2)});  // only 2 of 5 heads known: no tie-break
+  const auto order = predicted_order(table, {}, 5);
+  EXPECT_TRUE(order.empty());
+}
+
+TEST(PredictedOrder, RespectsVoteWeights) {
+  LockTable table;
+  table[0] = snap({aid(2), aid(1)});
+  table[1] = snap({aid(1)});
+  table[2] = snap({aid(1)});
+  // Unweighted: agent 1 heads 2 of 3 → majority → first.
+  EXPECT_EQ(predicted_order(table, {}, 3).front(), aid(1));
+  // Node 0 carries 5 of 7 votes: agent 2's single heavy head wins.
+  EXPECT_EQ(predicted_order(table, {}, 3, {5, 1, 1}).front(), aid(2));
+}
+
+class PredictedOrderAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PredictedOrderAgreement, RankingIsCompleteAndConsistentWithDecide) {
+  sim::Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 3 + rng.bounded(5);
+    const std::size_t agents = 2 + rng.bounded(5);
+    std::vector<agent::AgentId> ids;
+    for (std::uint32_t a = 0; a < agents; ++a) ids.push_back(aid(a + 1));
+    LockTable table;
+    for (net::NodeId s = 0; s < n; ++s) {
+      std::vector<agent::AgentId> queue = ids;
+      rng.shuffle(queue);
+      queue.resize(1 + rng.bounded(queue.size()));
+      table[s] = snap(std::move(queue), trial);
+    }
+    std::set<agent::AgentId> queued;
+    for (const auto& [node, snapshot] : table) {
+      for (const auto& id : snapshot.agents) queued.insert(id);
+    }
+
+    const auto order = predicted_order(table, {}, n);
+    ASSERT_FALSE(order.empty());  // rank 1 always exists with full heads
+    // Every rank k must be exactly decide()'s winner once ranks 1..k−1 are
+    // treated as done — the prediction is a faithful simulation of the
+    // successive-winner process.
+    DoneSet done;
+    std::set<agent::AgentId> ranked;
+    for (const agent::AgentId& predicted : order) {
+      EXPECT_TRUE(queued.contains(predicted));
+      EXPECT_TRUE(ranked.insert(predicted).second);  // no duplicates
+      const Decision expected =
+          decide(table, done, predicted, n, TieBreakMode::TotalOrder);
+      ASSERT_EQ(expected.kind, Decision::Kind::Win)
+          << "prediction disagrees with decide() at rank " << ranked.size();
+      done.insert(predicted);
+    }
+    // The prediction stops exactly where decide() becomes undecidable for
+    // everyone remaining (no majority and some head unknown).
+    if (ranked.size() < queued.size()) {
+      for (const agent::AgentId& remaining : queued) {
+        if (ranked.contains(remaining)) continue;
+        const Decision stuck =
+            decide(table, done, remaining, n, TieBreakMode::TotalOrder);
+        EXPECT_NE(stuck.kind, Decision::Kind::Win);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredictedOrderAgreement,
+                         ::testing::Values(7, 77, 777));
+
+// ---- Theorem 1/2 property: agreement under a shared view ----
+
+class DecideAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DecideAgreement, AllAgentsNameTheSameWinner) {
+  sim::Rng rng(GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t n = 3 + rng.bounded(6);        // 3..8 servers
+    const std::size_t agents = 1 + rng.bounded(6);   // 1..6 agents
+    std::vector<agent::AgentId> ids;
+    for (std::uint32_t a = 0; a < agents; ++a) ids.push_back(aid(a + 1));
+
+    // Random full-information lock table: every server has a queue that is a
+    // random permutation of a random non-empty subset of the agents.
+    LockTable table;
+    for (net::NodeId s = 0; s < n; ++s) {
+      std::vector<agent::AgentId> queue = ids;
+      rng.shuffle(queue);
+      queue.resize(1 + rng.bounded(queue.size()));
+      table[s] = snap(std::move(queue), trial);
+    }
+
+    std::set<agent::AgentId> winners;
+    std::size_t win_count = 0;
+    for (const auto& self : ids) {
+      const Decision d = decide(table, {}, self, n, TieBreakMode::TotalOrder);
+      // Full information + TotalOrder: never Unknown.
+      EXPECT_NE(d.kind, Decision::Kind::Unknown);
+      ASSERT_TRUE(d.winner.has_value());
+      winners.insert(*d.winner);
+      if (d.kind == Decision::Kind::Win) {
+        ++win_count;
+        EXPECT_EQ(*d.winner, self);
+      }
+    }
+    // Theorem 1/2: everyone agrees, and at most one self-declared winner.
+    EXPECT_EQ(winners.size(), 1u);
+    EXPECT_LE(win_count, 1u);
+    // The agreed winner must actually be one of the competing agents.
+    EXPECT_TRUE(std::find(ids.begin(), ids.end(), *winners.begin()) != ids.end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecideAgreement,
+                         ::testing::Values(1, 17, 23, 901, 4242));
+
+}  // namespace
+}  // namespace marp::core

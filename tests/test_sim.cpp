@@ -1,0 +1,285 @@
+// Unit and property tests for the simulation kernel: virtual time, the
+// event queue's (time, sequence) determinism, the run loop, and the RNG.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace marp::sim {
+namespace {
+
+using namespace marp::sim::literals;
+
+TEST(SimTime, ConversionsRoundTrip) {
+  EXPECT_EQ(SimTime::millis(1.5).as_micros(), 1500);
+  EXPECT_DOUBLE_EQ(SimTime::micros(2500).as_millis(), 2.5);
+  EXPECT_DOUBLE_EQ(SimTime::seconds(0.25).as_seconds(), 0.25);
+  EXPECT_EQ((3_ms).as_micros(), 3000);
+  EXPECT_EQ((2_s).as_micros(), 2'000'000);
+  EXPECT_EQ((7_us).as_micros(), 7);
+}
+
+TEST(SimTime, Arithmetic) {
+  SimTime t = 10_ms;
+  t += 5_ms;
+  EXPECT_EQ(t, 15_ms);
+  t -= 3_ms;
+  EXPECT_EQ(t, 12_ms);
+  EXPECT_EQ(2_ms * 4, 8_ms);
+  EXPECT_LT(1_ms, 2_ms);
+  EXPECT_EQ(SimTime::zero().as_micros(), 0);
+}
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.push(30_ms, [&] { fired.push_back(3); });
+  queue.push(10_ms, [&] { fired.push_back(1); });
+  queue.push(20_ms, [&] { fired.push_back(2); });
+  while (!queue.empty()) queue.pop().action();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeFiresInScheduleOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  for (int i = 0; i < 100; ++i) {
+    queue.push(5_ms, [&fired, i] { fired.push_back(i); });
+  }
+  while (!queue.empty()) queue.pop().action();
+  ASSERT_EQ(fired.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue queue;
+  int fired = 0;
+  const EventId keep = queue.push(1_ms, [&] { ++fired; });
+  const EventId cancel = queue.push(2_ms, [&] { ++fired; });
+  (void)keep;
+  EXPECT_TRUE(queue.cancel(cancel));
+  EXPECT_FALSE(queue.cancel(cancel));  // double cancel is a no-op
+  EXPECT_EQ(queue.size(), 1u);
+  while (!queue.empty()) queue.pop().action();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelHeadAdvancesNextTime) {
+  EventQueue queue;
+  const EventId head = queue.push(1_ms, [] {});
+  queue.push(9_ms, [] {});
+  queue.cancel(head);
+  EXPECT_EQ(queue.next_time(), 9_ms);
+}
+
+class EventQueueRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueRandomized, PopsInNondecreasingTimeOrder) {
+  Rng rng(GetParam());
+  EventQueue queue;
+  for (int i = 0; i < 2000; ++i) {
+    queue.push(SimTime::micros(rng.uniform_int(0, 1'000'000)), [] {});
+  }
+  SimTime previous = SimTime::zero();
+  while (!queue.empty()) {
+    const Event event = queue.pop();
+    EXPECT_GE(event.time, previous);
+    previous = event.time;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueRandomized,
+                         ::testing::Values(1, 2, 3, 42, 1234, 99999));
+
+TEST(Simulator, AdvancesClockMonotonically) {
+  Simulator simulator;
+  std::vector<std::int64_t> times;
+  simulator.schedule(5_ms, [&] { times.push_back(simulator.now().as_micros()); });
+  simulator.schedule(1_ms, [&] {
+    times.push_back(simulator.now().as_micros());
+    simulator.schedule(1_ms, [&] { times.push_back(simulator.now().as_micros()); });
+  });
+  simulator.run();
+  EXPECT_EQ(times, (std::vector<std::int64_t>{1000, 2000, 5000}));
+  EXPECT_EQ(simulator.executed_events(), 3u);
+}
+
+TEST(Simulator, DeadlineStopsAndAdvancesClock) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.schedule(1_ms, [&] { ++fired; });
+  simulator.schedule(100_ms, [&] { ++fired; });
+  simulator.run(10_ms);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(simulator.now(), 10_ms);  // clock advanced to the deadline
+  simulator.run(200_ms);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventAtDeadlineStillRuns) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.schedule(10_ms, [&] { ++fired; });
+  simulator.run(10_ms);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, StopAbortsRunLoop) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.schedule(1_ms, [&] {
+    ++fired;
+    simulator.stop();
+  });
+  simulator.schedule(2_ms, [&] { ++fired; });
+  simulator.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(simulator.pending_events(), 1u);
+}
+
+TEST(Simulator, SchedulingIntoPastThrows) {
+  Simulator simulator;
+  simulator.schedule(5_ms, [&] {
+    EXPECT_THROW(simulator.schedule_at(1_ms, [] {}), ContractViolation);
+  });
+  simulator.run();
+}
+
+TEST(Simulator, CancelledEventDoesNotRun) {
+  Simulator simulator;
+  int fired = 0;
+  const EventId id = simulator.schedule(1_ms, [&] { ++fired; });
+  EXPECT_TRUE(simulator.cancel(id));
+  simulator.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) {
+    if (a2() != c()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BoundedIsInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+  EXPECT_EQ(rng.bounded(0), 0u);
+  EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+class ExponentialMean : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExponentialMean, SampleMeanMatches) {
+  const double mean = GetParam();
+  Rng rng(static_cast<std::uint64_t>(mean * 1000) + 5);
+  double sum = 0.0;
+  constexpr int kSamples = 200'000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.exponential(mean);
+  const double sample_mean = sum / kSamples;
+  EXPECT_NEAR(sample_mean, mean, mean * 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, ExponentialMean,
+                         ::testing::Values(0.5, 1.0, 5.0, 45.0, 500.0));
+
+TEST(Rng, NormalMoments) {
+  Rng rng(21);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kSamples = 200'000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kSamples;
+  const double var = sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, ParetoRespectsScaleFloor) {
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.pareto(2.5, 7.0), 7.0);
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(41);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(Zipf, SkewPrefersLowRanks) {
+  ZipfDistribution zipf(100, 1.2);
+  Rng rng(51);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100'000; ++i) ++counts[zipf(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+}
+
+TEST(Zipf, ZeroSkewIsRoughlyUniform) {
+  ZipfDistribution zipf(10, 0.0);
+  Rng rng(61);
+  std::vector<int> counts(10, 0);
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf(rng)];
+  for (int count : counts) {
+    EXPECT_NEAR(count, kSamples / 10, kSamples / 10 * 0.1);
+  }
+}
+
+TEST(RngFactory, StreamsAreIndependentAndStable) {
+  RngFactory factory(99);
+  Rng a1 = factory.stream("alpha", 0);
+  Rng a2 = factory.stream("alpha", 0);
+  Rng b = factory.stream("beta", 0);
+  Rng a_idx = factory.stream("alpha", 1);
+  EXPECT_EQ(a1(), a2());            // same name+index → same stream
+  Rng a3 = factory.stream("alpha", 0);
+  EXPECT_NE(a3(), b());             // different names diverge
+  EXPECT_NE(a3(), a_idx());         // different indices diverge
+}
+
+}  // namespace
+}  // namespace marp::sim

@@ -1,0 +1,191 @@
+// marp_sim — command-line experiment driver.
+//
+// Runs one experiment from flags and prints a summary (or CSV / per-request
+// trace), so sweeps can be scripted without writing C++:
+//
+//   marp_sim --protocol marp --servers 5 --interarrival 45 --seed 7
+//   marp_sim --protocol mcv --network wan --writes 0.3 --duration 30
+//   marp_sim --protocol marp --batch 4 --quorum-reads --csv
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "metrics/report.hpp"
+#include "runner/experiment.hpp"
+
+namespace {
+
+using namespace marp;
+
+[[noreturn]] void usage(const char* argv0, int code) {
+  std::ostream& os = code == 0 ? std::cout : std::cerr;
+  os << "usage: " << argv0 << " [flags]\n"
+     << "  --protocol marp|mcv|wv|ac|pc|tsae  replication protocol (default marp)\n"
+     << "  --servers N                    replicas (default 5)\n"
+     << "  --network lan|wan              topology/latency model (default lan)\n"
+     << "  --interarrival MS              mean request gap per server (default 100)\n"
+     << "  --writes F                     write fraction 0..1 (default 1.0)\n"
+     << "  --keys N                       key-space size (default 1)\n"
+     << "  --zipf S                       key skew (default 0 = uniform)\n"
+     << "  --duration S                   workload duration, seconds (default 10)\n"
+     << "  --max-requests N               cap per server (default unlimited)\n"
+     << "  --seed N                       run seed (default 1)\n"
+     << "  --batch N                      MARP batch size (default 1)\n"
+     << "  --votes a,b,c,...              MARP weighted votes (default uniform)\n"
+     << "  --quorum-reads                 MARP agent-based quorum reads\n"
+     << "  --no-gossip                    disable MARP information sharing\n"
+     << "  --fail NODE@SEC [repeatable]   fail-stop a server at a time\n"
+     << "  --recover NODE@SEC             recover a server at a time\n"
+     << "  --csv                          one CSV row instead of the summary\n"
+     << "  --trace                        per-request CSV trace\n";
+  std::exit(code);
+}
+
+runner::ProtocolKind parse_protocol(const std::string& name, const char* argv0) {
+  if (name == "marp") return runner::ProtocolKind::Marp;
+  if (name == "mcv") return runner::ProtocolKind::MpMcv;
+  if (name == "wv") return runner::ProtocolKind::WeightedVoting;
+  if (name == "ac") return runner::ProtocolKind::AvailableCopy;
+  if (name == "pc") return runner::ProtocolKind::PrimaryCopy;
+  if (name == "tsae") return runner::ProtocolKind::Tsae;
+  std::cerr << "unknown protocol: " << name << "\n";
+  usage(argv0, 2);
+}
+
+std::vector<std::uint32_t> parse_votes(const std::string& spec) {
+  std::vector<std::uint32_t> votes;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string token = spec.substr(pos, comma - pos);
+    votes.push_back(static_cast<std::uint32_t>(std::stoul(token)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return votes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  runner::ExperimentConfig config;
+  config.workload.mean_interarrival_ms = 100.0;
+  bool csv = false;
+  bool trace_csv = false;
+
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0], 2);
+    return argv[++i];
+  };
+  auto parse_event = [&](const char* spec, bool fail) {
+    const char* at = std::strchr(spec, '@');
+    if (!at) usage(argv[0], 2);
+    runner::FailureEvent event;
+    event.node = static_cast<net::NodeId>(std::stoul(std::string(spec, at)));
+    event.at = sim::SimTime::seconds(std::stod(at + 1));
+    event.fail = fail;
+    config.failures.push_back(event);
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") usage(argv[0], 0);
+    else if (flag == "--protocol") config.protocol = parse_protocol(need_value(i), argv[0]);
+    else if (flag == "--servers") config.servers = std::stoul(need_value(i));
+    else if (flag == "--network") {
+      const std::string name = need_value(i);
+      if (name == "lan") config.network = runner::NetworkKind::Lan;
+      else if (name == "wan") config.network = runner::NetworkKind::Wan;
+      else usage(argv[0], 2);
+    }
+    else if (flag == "--interarrival") config.workload.mean_interarrival_ms = std::stod(need_value(i));
+    else if (flag == "--writes") config.workload.write_fraction = std::stod(need_value(i));
+    else if (flag == "--keys") config.workload.num_keys = std::stoul(need_value(i));
+    else if (flag == "--zipf") config.workload.zipf_s = std::stod(need_value(i));
+    else if (flag == "--duration") config.workload.duration = sim::SimTime::seconds(std::stod(need_value(i)));
+    else if (flag == "--max-requests") config.workload.max_requests_per_server = std::stoull(need_value(i));
+    else if (flag == "--seed") config.seed = std::stoull(need_value(i));
+    else if (flag == "--batch") config.marp.batch_size = std::stoul(need_value(i));
+    else if (flag == "--votes") config.marp.votes = parse_votes(need_value(i));
+    else if (flag == "--quorum-reads") config.marp.read_mode = core::ReadMode::QuorumAgent;
+    else if (flag == "--no-gossip") config.marp.gossip = false;
+    else if (flag == "--fail") parse_event(need_value(i), true);
+    else if (flag == "--recover") parse_event(need_value(i), false);
+    else if (flag == "--csv") csv = true;
+    else if (flag == "--trace") trace_csv = true;
+    else {
+      std::cerr << "unknown flag: " << flag << "\n";
+      usage(argv[0], 2);
+    }
+  }
+
+  config.keep_outcomes = trace_csv;
+  const runner::RunResult result = runner::run_experiment(config);
+
+  if (trace_csv) {
+    std::cout << "request_id,kind,origin,success,submitted_ms,dispatched_ms,"
+                 "lock_ms,completed_ms,visits\n";
+    for (const auto& outcome : result.outcomes) {
+      std::cout << outcome.request_id << ','
+                << (outcome.kind == replica::RequestKind::Read ? "read" : "write")
+                << ',' << outcome.origin << ',' << (outcome.success ? 1 : 0) << ','
+                << metrics::Table::num(outcome.submitted.as_millis(), 3) << ','
+                << metrics::Table::num(outcome.dispatched.as_millis(), 3) << ','
+                << metrics::Table::num(outcome.lock_obtained.as_millis(), 3) << ','
+                << metrics::Table::num(outcome.completed.as_millis(), 3) << ','
+                << outcome.servers_visited << '\n';
+    }
+    return result.consistent ? 0 : 1;
+  }
+  if (csv) {
+    std::cout << "protocol,seed,generated,completed,ok_writes,failed_writes,"
+                 "reads,alt_ms,att_ms,client_ms,att_p99_ms,msgs_per_write,"
+                 "migrations_per_write,wire_bytes_per_write,consistent\n"
+              << result.protocol << ',' << result.seed << ',' << result.generated
+              << ',' << result.completed << ',' << result.successful_writes << ','
+              << result.failed_writes << ',' << result.reads << ','
+              << metrics::Table::num(result.alt_ms, 3) << ','
+              << metrics::Table::num(result.att_ms, 3) << ','
+              << metrics::Table::num(result.client_latency_ms, 3) << ','
+              << metrics::Table::num(result.att_p99_ms, 3) << ','
+              << metrics::Table::num(result.messages_per_write(), 2) << ','
+              << metrics::Table::num(result.migrations_per_write(), 2) << ','
+              << metrics::Table::num(result.wire_bytes_per_write(), 1) << ','
+              << (result.consistent ? "yes" : "NO") << '\n';
+    return result.consistent ? 0 : 1;
+  }
+
+  std::cout << "protocol:            " << result.protocol << " (seed "
+            << result.seed << ")\n";
+  std::cout << "requests:            " << result.generated << " generated, "
+            << result.completed << " completed (" << result.successful_writes
+            << " writes ok, " << result.failed_writes << " failed, "
+            << result.reads << " reads)\n";
+  std::cout << "ALT / ATT:           " << metrics::Table::num(result.alt_ms, 2)
+            << " / " << metrics::Table::num(result.att_ms, 2) << " ms (p99 "
+            << metrics::Table::num(result.att_p99_ms, 2) << ")\n";
+  std::cout << "client latency:      "
+            << metrics::Table::num(result.client_latency_ms, 2) << " ms\n";
+  if (!result.prk.empty()) {
+    std::cout << "PRK:                 ";
+    for (const auto& [visits, pct] : result.prk) {
+      std::cout << "K=" << visits << ": " << metrics::Table::num(pct, 1) << "%  ";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "messages:            " << result.net_stats.messages_sent << " ("
+            << metrics::Table::num(result.messages_per_write(), 1)
+            << " per write)\n";
+  if (result.agent_stats.migrations_started != 0) {
+    std::cout << "agent migrations:    " << result.agent_stats.migrations_started
+              << " (" << metrics::Table::num(result.migrations_per_write(), 2)
+              << " per write, "
+              << result.agent_stats.migration_bytes / 1024 << " KiB)\n";
+  }
+  std::cout << "consistent:          " << (result.consistent ? "yes" : "NO");
+  for (const auto& problem : result.consistency_problems) {
+    std::cout << "\n  ! " << problem;
+  }
+  std::cout << "\n";
+  return result.consistent ? 0 : 1;
+}
