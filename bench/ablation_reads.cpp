@@ -78,7 +78,7 @@ ReadStats run_mode(core::ReadMode mode, std::uint64_t seed) {
     replica::Version latest = replica::Version::none();
     for (const auto& record : commits) {
       if (record.committed >= outcome.submitted) break;
-      latest = record.versions.back();
+      latest = record.entries.back().version;
     }
     if (outcome.read_version < latest) ++stale;
   }

@@ -1,0 +1,213 @@
+// Ablation 6 — lock-space sharding (extension): committed-update throughput
+// as a function of `num_lock_groups`, crossed with key skew.
+//
+// The paper serialises *all* updates through one logical lock (§3.2), so
+// update throughput is bounded by one consensus round at a time no matter
+// how many distinct objects the workload touches. Sharding the lock space
+// runs one independent Locking-List race per key group: with uniform keys,
+// non-conflicting updates commit in parallel and throughput scales with the
+// group count until the network saturates; under heavy Zipf skew the hot
+// keys collapse into few groups and the benefit shrinks — which is exactly
+// the shape this ablation exists to demonstrate.
+//
+// A second table covers multi-key write-sets (2 keys per update): each
+// agent must win every group its keys route to, so cross-group coupling
+// (hold-and-wait at the Locking-List level, resolved by the requeue rule)
+// eats part of the parallelism. The gap between the two tables is the price
+// of atomic multi-object updates.
+//
+// Every cell also re-runs the full consistency audit (convergence, per-group
+// commit order, per-key order) and the per-group Theorem-2 monitor; any
+// violation fails the binary.
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace marp;
+
+struct Cell {
+  std::size_t groups = 1;
+  double zipf = 0.0;
+  std::size_t writes_per_update = 1;
+  double throughput = 0.0;   ///< committed updates per second of makespan
+  double alt_ms = 0.0;
+  double att_ms = 0.0;
+  double makespan_s = 0.0;
+  std::uint64_t committed_updates = 0;
+  std::uint64_t mutex_violations = 0;
+  bool consistent = true;
+  std::string first_problem;
+};
+
+runner::ExperimentConfig cell_config(std::size_t groups, double zipf,
+                                     std::size_t writes_per_update,
+                                     std::uint64_t seed) {
+  // Acceptance geometry from the issue: 8 servers, 64 keys, write-only load
+  // pushed hard enough that the single global lock is the bottleneck.
+  runner::ExperimentConfig config;
+  config.protocol = runner::ProtocolKind::Marp;
+  config.servers = 8;
+  config.seed = seed;
+  config.network = runner::NetworkKind::Lan;
+  config.lan_base = sim::SimTime::millis(2);
+  config.marp.visit_service_time = sim::SimTime::millis(2);
+  config.marp.num_lock_groups = groups;
+  // One agent per logical update: multi-key updates ride in one write-set.
+  config.marp.batch_size = writes_per_update;
+  config.workload.mean_interarrival_ms = 10.0;
+  config.workload.write_fraction = 1.0;
+  config.workload.num_keys = 64;
+  config.workload.zipf_s = zipf;
+  config.workload.writes_per_update = writes_per_update;
+  config.workload.duration = sim::SimTime::seconds(60);
+  config.workload.max_requests_per_server = 80;
+  config.drain = sim::SimTime::seconds(600);
+  config.keep_outcomes = true;  // throughput needs the makespan
+  return config;
+}
+
+Cell run_cell(std::size_t groups, double zipf, std::size_t writes_per_update,
+              std::size_t seeds) {
+  Cell cell;
+  cell.groups = groups;
+  cell.zipf = zipf;
+  cell.writes_per_update = writes_per_update;
+  metrics::Running throughput, alt, att, makespan;
+  for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+    const runner::RunResult result = runner::run_experiment(
+        cell_config(groups, zipf, writes_per_update, 9000 + seed));
+    cell.mutex_violations += result.mutex_violations;
+    if (!result.consistent && cell.first_problem.empty()) {
+      cell.consistent = false;
+      cell.first_problem = result.consistency_problems.empty()
+                               ? "unspecified"
+                               : result.consistency_problems.front();
+    }
+    // Makespan: first submission to last commit, over write outcomes only.
+    sim::SimTime first = sim::SimTime::seconds(1e9), last;
+    for (const auto& outcome : result.outcomes) {
+      if (!outcome.success) continue;
+      first = std::min(first, outcome.submitted);
+      last = std::max(last, outcome.completed);
+    }
+    const double span_s = (last - first).as_millis() / 1000.0;
+    const double updates = static_cast<double>(result.successful_writes) /
+                           static_cast<double>(writes_per_update);
+    cell.committed_updates += static_cast<std::uint64_t>(updates);
+    if (span_s > 0) throughput.add(updates / span_s);
+    alt.add(result.alt_ms);
+    att.add(result.att_ms);
+    makespan.add(span_s);
+  }
+  cell.throughput = throughput.mean();
+  cell.alt_ms = alt.mean();
+  cell.att_ms = att.mean();
+  cell.makespan_s = makespan.mean();
+  return cell;
+}
+
+std::string fmt_zipf(double zipf) {
+  return zipf == 0.0 ? std::string("uniform") : "zipf " + metrics::Table::num(zipf, 2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options options = bench::parse_options(argc, argv);
+
+  const std::vector<std::size_t> group_grid =
+      options.quick ? std::vector<std::size_t>{1, 8}
+                    : std::vector<std::size_t>{1, 2, 4, 8, 16};
+  const std::vector<double> zipf_grid =
+      options.quick ? std::vector<double>{0.0} : std::vector<double>{0.0, 0.99};
+
+  std::cout << "Ablation 6: lock-space sharding (N = 8, 64 keys, "
+            << options.seeds << " seed(s))\n\n";
+
+  std::vector<Cell> cells;
+  bool failed = false;
+  auto sweep = [&](std::size_t writes_per_update, metrics::Table& table) {
+    for (const double zipf : zipf_grid) {
+      double baseline = 0.0;
+      for (const std::size_t groups : group_grid) {
+        const Cell cell = run_cell(groups, zipf, writes_per_update, options.seeds);
+        if (groups == 1) baseline = cell.throughput;
+        const double speedup = baseline > 0 ? cell.throughput / baseline : 0.0;
+        table.add_row({fmt_zipf(zipf), std::to_string(groups),
+                       metrics::Table::num(cell.throughput, 1),
+                       metrics::Table::num(speedup, 2) + "x",
+                       metrics::Table::num(cell.alt_ms, 1),
+                       metrics::Table::num(cell.att_ms, 1),
+                       metrics::Table::num(cell.makespan_s, 2),
+                       cell.consistent && cell.mutex_violations == 0 ? "yes" : "NO"});
+        if (!cell.consistent || cell.mutex_violations != 0) {
+          failed = true;
+          std::cerr << "FAIL: groups=" << groups << " zipf=" << zipf
+                    << " writes_per_update=" << writes_per_update
+                    << " mutex_violations=" << cell.mutex_violations
+                    << (cell.first_problem.empty()
+                            ? ""
+                            : " problem: " + cell.first_problem)
+                    << "\n";
+        }
+        cells.push_back(cell);
+      }
+    }
+  };
+
+  const std::vector<std::string> header = {
+      "key skew",  "lock groups", "throughput (upd/s)", "speedup vs 1",
+      "ALT (ms)",  "ATT (ms)",    "makespan (s)",       "consistent"};
+
+  std::cout << "Single-key updates (pure per-object locking):\n";
+  metrics::Table single(header);
+  sweep(1, single);
+  bench::print_table(single, options.csv);
+
+  std::cout << "\nMulti-key write-sets (2 keys/update, atomic commit — agents\n"
+               "must win every group their keys route to):\n";
+  metrics::Table multi(header);
+  sweep(2, multi);
+  bench::print_table(multi, options.csv);
+
+  // Machine-readable record for the plots / acceptance gate.
+  std::cout << "\nJSON: {\"bench\":\"ablation_sharding\",\"servers\":8,"
+            << "\"num_keys\":64,\"seeds\":" << options.seeds << ",\"cells\":[";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    std::cout << (i ? "," : "") << "{\"groups\":" << cell.groups
+              << ",\"zipf\":" << cell.zipf
+              << ",\"writes_per_update\":" << cell.writes_per_update
+              << ",\"throughput_per_s\":" << metrics::Table::num(cell.throughput, 3)
+              << ",\"alt_ms\":" << metrics::Table::num(cell.alt_ms, 3)
+              << ",\"att_ms\":" << metrics::Table::num(cell.att_ms, 3)
+              << ",\"makespan_s\":" << metrics::Table::num(cell.makespan_s, 3)
+              << ",\"committed_updates\":" << cell.committed_updates
+              << ",\"mutex_violations\":" << cell.mutex_violations
+              << ",\"consistent\":" << (cell.consistent ? "true" : "false") << "}";
+  }
+  std::cout << "]}\n";
+
+  // Headline ratio the issue gates on: uniform single-key, 8 groups vs 1.
+  double uniform_1 = 0.0, uniform_8 = 0.0;
+  for (const Cell& cell : cells) {
+    if (cell.zipf != 0.0 || cell.writes_per_update != 1) continue;
+    if (cell.groups == 1) uniform_1 = cell.throughput;
+    if (cell.groups == 8) uniform_8 = cell.throughput;
+  }
+  if (uniform_1 > 0 && uniform_8 > 0) {
+    std::cout << "\nuniform 8-group speedup over the paper's single lock: "
+              << metrics::Table::num(uniform_8 / uniform_1, 2) << "x\n";
+  }
+  std::cout << "Shape check: throughput climbs with the group count under\n"
+               "uniform keys (independent consensus races run in parallel),\n"
+               "flattens under zipf 0.99 (hot keys share few groups), and\n"
+               "multi-key write-sets give part of the gain back to\n"
+               "cross-group coupling.\n";
+  return failed ? 1 : 0;
+}

@@ -42,6 +42,12 @@ enum class TieBreakMode : std::uint8_t {
 };
 
 struct MarpConfig {
+  /// Lock groups the keyspace is sharded into (see shard/router.hpp). Each
+  /// group is an independent instance of the paper's Locking-List consensus,
+  /// so updates touching disjoint groups commit in parallel. 1 (default)
+  /// keeps the paper's single replica-wide lock, bit-for-bit.
+  std::size_t num_lock_groups = 1;
+
   /// Requests buffered at a server before an agent is dispatched (§3.2:
   /// "after a pre-defined number of requests … or periodically").
   std::size_t batch_size = 1;
@@ -99,6 +105,19 @@ struct MarpConfig {
   /// not depend on this — the per-server grants are exclusive — it only
   /// bounds the mutual-waiting stall.
   sim::SimTime defer_timeout = sim::SimTime::millis(150);
+
+  /// Multi-group claims only: how long a parked agent tolerates an unchanged
+  /// wait — heading some of its lock groups while a *younger* agent heads
+  /// another — before it withdraws from every Locking List and re-queues at
+  /// the tails. Per-group winner selection is by queue position, so agents
+  /// with overlapping group sets can wait on each other in a cycle; in any
+  /// such cycle at least one member waits on a younger winner, so this rule
+  /// always breaks it. Single-group agents (the paper's protocol) never
+  /// trigger it.
+  /// The clock only runs while the losing view is static (any change to the
+  /// set of winners we are losing to resets it), so this can sit close to
+  /// defer_timeout without triggering on healthy waits.
+  sim::SimTime requeue_timeout = sim::SimTime::millis(200);
 
   /// Delay until all servers are informed of a fail-stop (§2: "all other
   /// processes are informed of the failure in a finite time").

@@ -161,6 +161,12 @@ void merge_lock_tables(LockTable& table, const LockTable& incoming) {
   }
 }
 
+void merge_group_lock_tables(GroupLockTable& table, const GroupLockTable& incoming) {
+  for (const auto& [group, tables] : incoming) {
+    merge_lock_tables(table[group], tables);
+  }
+}
+
 void serialize_lock_table(serial::Writer& w, const LockTable& table) {
   w.varint(table.size());
   for (const auto& [node, snapshot] : table) {
@@ -175,6 +181,24 @@ LockTable deserialize_lock_table(serial::Reader& r) {
   for (std::uint64_t i = 0; i < n; ++i) {
     const auto node = static_cast<net::NodeId>(r.varint());
     table.emplace(node, LockSnapshot::deserialize(r));
+  }
+  return table;
+}
+
+void serialize_group_lock_table(serial::Writer& w, const GroupLockTable& table) {
+  w.varint(table.size());
+  for (const auto& [group, tables] : table) {
+    w.varint(group);
+    serialize_lock_table(w, tables);
+  }
+}
+
+GroupLockTable deserialize_group_lock_table(serial::Reader& r) {
+  GroupLockTable table;
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto group = static_cast<shard::GroupId>(r.varint());
+    table.emplace(group, deserialize_lock_table(r));
   }
   return table;
 }

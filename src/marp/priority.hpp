@@ -16,6 +16,7 @@
 #include "marp/config.hpp"
 #include "net/message.hpp"
 #include "serial/byte_buffer.hpp"
+#include "shard/router.hpp"
 #include "sim/time.hpp"
 
 namespace marp::core {
@@ -32,8 +33,14 @@ struct LockSnapshot {
   static LockSnapshot deserialize(serial::Reader& r);
 };
 
-/// The agent's Locking Table (LT, §3.2): per-server snapshots.
+/// The agent's Locking Table (LT, §3.2): per-server snapshots. With lock
+/// groups, each group has its own independent LT (see GroupLockTable).
 using LockTable = std::map<net::NodeId, LockSnapshot>;
+
+/// Per-group locking tables — the sharded generalisation of the LT. An
+/// agent only carries entries for the groups its write-set touches, so the
+/// migrating state stays proportional to the write-set, not the shard count.
+using GroupLockTable = std::map<shard::GroupId, LockTable>;
 
 /// Set of agents known to have finished (the agent's UAL, §3.2).
 using DoneSet = std::set<agent::AgentId>;
@@ -99,7 +106,13 @@ std::vector<agent::AgentId> predicted_order(const LockTable& table,
 /// Merge `incoming` into `table`, keeping the fresher snapshot per server.
 void merge_lock_tables(LockTable& table, const LockTable& incoming);
 
+/// Group-wise merge: per (group, server), the fresher snapshot wins.
+void merge_group_lock_tables(GroupLockTable& table, const GroupLockTable& incoming);
+
 void serialize_lock_table(serial::Writer& w, const LockTable& table);
 LockTable deserialize_lock_table(serial::Reader& r);
+
+void serialize_group_lock_table(serial::Writer& w, const GroupLockTable& table);
+GroupLockTable deserialize_group_lock_table(serial::Reader& r);
 
 }  // namespace marp::core

@@ -10,7 +10,10 @@ namespace marp::core {
 
 MarpProtocol::MarpProtocol(net::Network& network, agent::AgentPlatform& platform,
                            MarpConfig config)
-    : network_(network), platform_(platform), config_(std::move(config)) {
+    : network_(network),
+      platform_(platform),
+      config_(std::move(config)),
+      router_(config_.num_lock_groups) {
   MARP_REQUIRE_MSG(config_.votes.empty() || config_.votes.size() == network_.size(),
                    "votes must be empty or have one entry per server");
   if (!platform_.registry().contains(kUpdateAgentType)) {
@@ -66,21 +69,28 @@ void MarpProtocol::note_update_attempt(const agent::AgentId& agent) {
   ++stats_.update_attempts;
 }
 
-void MarpProtocol::note_update_quorum(const agent::AgentId& agent) {
-  // Count grant holders across live servers; a *different* agent holding a
-  // majority at the same instant would break Theorem 2.
-  std::map<agent::AgentId, std::size_t> held;
-  for (const auto& server : servers_) {
-    if (server->up() && server->update_holder()) {
-      ++held[*server->update_holder()];
+void MarpProtocol::note_update_quorum(const agent::AgentId& agent,
+                                      const std::vector<shard::GroupId>& groups) {
+  // Per group: count its grant holders across live servers; a *different*
+  // agent holding a majority of the same group at the same instant would
+  // break Theorem 2 (groups are independent, so only same-group holders
+  // compete).
+  const std::vector<shard::GroupId> checked =
+      groups.empty() ? std::vector<shard::GroupId>{0} : groups;
+  for (const shard::GroupId g : checked) {
+    std::map<agent::AgentId, std::size_t> held;
+    for (const auto& server : servers_) {
+      if (server->up() && server->update_holder(g)) {
+        ++held[*server->update_holder(g)];
+      }
     }
-  }
-  for (const auto& [holder, count] : held) {
-    if (holder != agent && 2 * count > servers_.size()) {
-      ++stats_.mutex_violations;
-      MARP_LOG_ERROR("marp") << "mutual exclusion violated: "
-                             << holder.to_string() << " and "
-                             << agent.to_string() << " both hold majorities";
+    for (const auto& [holder, count] : held) {
+      if (holder != agent && 2 * count > servers_.size()) {
+        ++stats_.mutex_violations;
+        MARP_LOG_ERROR("marp") << "mutual exclusion violated in group " << g
+                               << ": " << holder.to_string() << " and "
+                               << agent.to_string() << " both hold majorities";
+      }
     }
   }
 }
@@ -91,14 +101,21 @@ void MarpProtocol::note_update_commit(const agent::AgentId& agent,
   CommitRecord record;
   record.agent = agent;
   record.committed = network_.simulator().now();
-  record.versions.reserve(ops.size());
-  for (const WriteOp& op : ops) record.versions.push_back(op.version);
+  record.entries.reserve(ops.size());
+  for (const WriteOp& op : ops) {
+    record.entries.push_back({op.key, router_.group_of(op.key), op.version});
+  }
   commit_log_.push_back(std::move(record));
 }
 
 void MarpProtocol::note_update_abort(const agent::AgentId& agent) {
   (void)agent;
   ++stats_.updates_aborted;
+}
+
+void MarpProtocol::note_update_requeue(const agent::AgentId& agent) {
+  (void)agent;
+  ++stats_.lock_requeues;
 }
 
 }  // namespace marp::core

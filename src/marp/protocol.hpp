@@ -20,16 +20,27 @@ struct MarpStats {
   std::uint64_t updates_aborted = 0;
   std::uint64_t update_attempts = 0;  ///< begin_update calls (incl. demoted)
   std::uint64_t reads_served = 0;
+  /// Times a multi-group agent broke a cross-group wait cycle by leaving
+  /// every Locking List and re-queuing at the tails (see requeue_timeout).
+  std::uint64_t lock_requeues = 0;
   /// Times an agent reached a majority of update grants while another agent
   /// also held a majority. Theorem 2 says this stays 0; tests assert it.
   std::uint64_t mutex_violations = 0;
+};
+
+/// One write of a committed update session, tagged with the lock group its
+/// key routes to (the consistency checker orders commits per group).
+struct CommitEntry {
+  std::string key;
+  shard::GroupId group = 0;
+  replica::Version version;
 };
 
 /// One committed update session, in global commit order (test oracle).
 struct CommitRecord {
   agent::AgentId agent;
   sim::SimTime committed;
-  std::vector<replica::Version> versions;
+  std::vector<CommitEntry> entries;
 };
 
 class MarpProtocol final : public replica::ReplicationProtocol {
@@ -54,18 +65,22 @@ class MarpProtocol final : public replica::ReplicationProtocol {
 
   // ---- called by agents/servers ----
   void note_update_attempt(const agent::AgentId& agent);
-  /// Called when `agent` has collected a majority of grants; audits the
-  /// per-server grant holders for a competing majority (Theorem 2 monitor).
-  void note_update_quorum(const agent::AgentId& agent);
+  /// Called when `agent` has collected a majority of grants in each of
+  /// `groups` (empty = group 0); audits every group's per-server grant
+  /// holders for a competing majority (per-group Theorem 2 monitor).
+  void note_update_quorum(const agent::AgentId& agent,
+                          const std::vector<shard::GroupId>& groups = {});
   void note_update_commit(const agent::AgentId& agent,
                           const std::vector<WriteOp>& ops);
   void note_update_abort(const agent::AgentId& agent);
+  void note_update_requeue(const agent::AgentId& agent);
   void note_read() { ++stats_.reads_served; }
 
  private:
   net::Network& network_;
   agent::AgentPlatform& platform_;
   MarpConfig config_;
+  shard::ShardRouter router_;
   std::vector<std::unique_ptr<MarpServer>> servers_;
   MarpStats stats_;
   std::vector<CommitRecord> commit_log_;

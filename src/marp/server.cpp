@@ -1,5 +1,7 @@
 #include "marp/server.hpp"
 
+#include <limits>
+
 #include "marp/protocol.hpp"
 #include "marp/read_agent.hpp"
 #include "marp/update_agent.hpp"
@@ -8,13 +10,28 @@
 
 namespace marp::core {
 
+namespace {
+
+/// Coordination payloads use an empty group set as the degenerate
+/// single-group space (pre-sharding senders and tests).
+std::vector<shard::GroupId> effective_groups(const std::vector<shard::GroupId>& groups) {
+  if (groups.empty()) return {shard::GroupId{0}};
+  return groups;
+}
+
+constexpr std::uint32_t kAnyAttempt = std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace
+
 MarpServer::MarpServer(net::Network& network, agent::AgentPlatform& platform,
                        net::NodeId node, const MarpConfig& config,
                        MarpProtocol& protocol)
     : replica::ServerBase(network, node),
       platform_(platform),
       config_(config),
-      protocol_(protocol) {
+      protocol_(protocol),
+      router_(config.num_lock_groups),
+      lock_space_(config.num_lock_groups) {
   platform_.host(node).set_service(kMarpServiceName, this);
 }
 
@@ -85,14 +102,21 @@ void MarpServer::dispatch_agent() {
 
 VisitResult MarpServer::visit(const agent::AgentId& visitor,
                               const std::vector<std::string>& keys,
-                              const LockTable& carried_gossip) {
+                              const GroupLockTable& carried_gossip) {
   MARP_REQUIRE_MSG(up_, "visit() on a failed server");
-  // Algorithm 2: "create an entry for the mobile agent and append it to LL"
-  // (idempotent on re-visits — the agent keeps its queue position).
-  ll_.append(visitor, now());
+  std::vector<shard::GroupId> groups = router_.groups_of(keys);
+  if (groups.empty()) groups.push_back(0);
 
   VisitResult result;
-  result.locking_list = LockSnapshot{ll_.snapshot(), now().as_micros()};
+  // Algorithm 2: "create an entry for the mobile agent and append it to LL"
+  // (idempotent on re-visits — the agent keeps its queue position), once per
+  // lock group the write-set routes to.
+  for (const shard::GroupId g : groups) {
+    auto& grp = lock_space_.group(g);
+    grp.ll.append(visitor, now());
+    result.locking_lists.emplace(
+        g, LockSnapshot{grp.ll.snapshot(), now().as_micros()});
+  }
   result.updated_list = ul_.snapshot();
   result.routing_costs = routing_costs();
   for (const std::string& key : keys) {
@@ -101,36 +125,65 @@ VisitResult MarpServer::visit(const agent::AgentId& visitor,
 
   if (config_.gossip) {
     // "Mobile agents can exchange their locking information by leaving the
-    // information at the servers they visited" (§3.3).
-    merge_lock_tables(gossip_cache_, carried_gossip);
-    result.gossip = gossip_cache_;
-    // The agent also leaves this server's own fresh snapshot for others.
-    gossip_cache_[node_] = result.locking_list;
+    // information at the servers they visited" (§3.3). Only the visitor's
+    // own groups are exchanged — gossip stays proportional to the write-set.
+    merge_group_lock_tables(gossip_cache_, carried_gossip);
+    for (const shard::GroupId g : groups) {
+      if (auto it = gossip_cache_.find(g); it != gossip_cache_.end()) {
+        result.gossip.emplace(g, it->second);
+      }
+    }
+    // The agent also leaves this server's own fresh snapshots for others.
+    for (const shard::GroupId g : groups) {
+      gossip_cache_[g][node_] = result.locking_lists.at(g);
+    }
   }
   return result;
 }
 
-MarpServer::RefreshResult MarpServer::refresh(const agent::AgentId& visitor) {
+MarpServer::RefreshResult MarpServer::refresh(
+    const agent::AgentId& visitor, const std::vector<shard::GroupId>& groups) {
   MARP_REQUIRE_MSG(up_, "refresh() on a failed server");
-  ll_.append(visitor, now());  // no-op when already queued
-  return RefreshResult{LockSnapshot{ll_.snapshot(), now().as_micros()},
-                       ul_.snapshot()};
+  RefreshResult result;
+  for (const shard::GroupId g : effective_groups(groups)) {
+    auto& grp = lock_space_.group(g);
+    grp.ll.append(visitor, now());  // no-op when already queued
+    result.locking_lists.emplace(
+        g, LockSnapshot{grp.ll.snapshot(), now().as_micros()});
+  }
+  result.updated_list = ul_.snapshot();
+  return result;
 }
 
-MarpServer::GrantResult MarpServer::handle_update_local(const UpdatePayload& payload) {
-  // A finished agent's delayed UPDATE must not take a grant nobody will
+MarpServer::GrantResult MarpServer::handle_update_local(
+    const UpdatePayload& payload, shard::GroupId* conflict_group) {
+  // A finished agent's delayed UPDATE must not take grants nobody will
   // ever release, and neither may an attempt the agent already withdrew.
   if (ul_.contains(payload.agent)) return GrantResult::Stale;
   if (auto it = unlocked_attempts_.find(payload.agent);
       it != unlocked_attempts_.end() && payload.attempt <= it->second) {
     return GrantResult::Stale;
   }
-  if (update_holder_ && *update_holder_ != payload.agent) return GrantResult::Held;
-  if (update_holder_ == payload.agent && payload.attempt < holder_attempt_) {
-    return GrantResult::Stale;
+  const std::vector<shard::GroupId> groups = effective_groups(payload.groups);
+  // All-or-nothing, checked in ascending group order: either every requested
+  // grant is free (or already this agent's), or nothing is taken and the
+  // first conflict is reported. Never holding a partial set means a losing
+  // claimant cannot wedge other groups while it waits (no hold-and-wait).
+  for (const shard::GroupId g : groups) {
+    const auto& grp = lock_space_.group(g);
+    if (grp.holder && *grp.holder != payload.agent) {
+      if (conflict_group != nullptr) *conflict_group = g;
+      return GrantResult::Held;
+    }
+    if (grp.holder == payload.agent && payload.attempt < grp.holder_attempt) {
+      return GrantResult::Stale;
+    }
   }
-  update_holder_ = payload.agent;
-  holder_attempt_ = payload.attempt;
+  for (const shard::GroupId g : groups) {
+    auto& grp = lock_space_.group(g);
+    grp.holder = payload.agent;
+    grp.holder_attempt = payload.attempt;
+  }
   staged_[payload.agent] = payload.ops;
   return GrantResult::Granted;
 }
@@ -140,9 +193,9 @@ void MarpServer::handle_commit_local(const CommitPayload& payload) {
     store_.apply(op.key, op.value, op.version);
   }
   staged_.erase(payload.agent);
-  if (update_holder_ == payload.agent) update_holder_.reset();
+  lock_space_.release_grants(payload.agent, kAnyAttempt);
   unlocked_attempts_.erase(payload.agent);
-  ll_.remove(payload.agent);
+  lock_space_.remove_from_lists(payload.agent, payload.groups);
   ul_.add(payload.agent);
   // Wake local waiters even if the winner never queued here: the UL entry
   // alone changes filtered heads everywhere.
@@ -151,19 +204,20 @@ void MarpServer::handle_commit_local(const CommitPayload& payload) {
 
 void MarpServer::handle_release_local(const ReleasePayload& payload) {
   staged_.erase(payload.agent);
-  if (update_holder_ == payload.agent) update_holder_.reset();
+  lock_space_.release_grants(payload.agent, kAnyAttempt);
   unlocked_attempts_.erase(payload.agent);
-  if (ll_.remove(payload.agent)) signal_lock_changed();
+  if (lock_space_.remove_from_lists(payload.agent, payload.groups)) {
+    signal_lock_changed();
+  }
 }
 
 void MarpServer::handle_unlock_local(const agent::AgentId& agent,
                                      std::uint32_t attempt) {
   auto& high_water = unlocked_attempts_[agent];
   high_water = std::max(high_water, attempt);
-  if (update_holder_ == agent && holder_attempt_ <= attempt) {
-    staged_.erase(agent);
-    update_holder_.reset();
-  }
+  // Grants are taken atomically at one attempt, so if any group released,
+  // the staged ops of that attempt are dead too.
+  if (lock_space_.release_grants(agent, attempt)) staged_.erase(agent);
 }
 
 void MarpServer::handle_report_local(const ReportPayload& payload) {
@@ -212,7 +266,8 @@ void MarpServer::handle_message(const net::Message& message) {
   switch (message.type) {
     case kMsgUpdate: {
       const UpdatePayload payload = UpdatePayload::decode(message.payload);
-      switch (handle_update_local(payload)) {
+      shard::GroupId conflict = 0;
+      switch (handle_update_local(payload, &conflict)) {
         case GrantResult::Granted:
           platform_.send_to_agent(node_, payload.reply_to, payload.agent,
                                   kMsgAck,
@@ -221,7 +276,9 @@ void MarpServer::handle_message(const net::Message& message) {
         case GrantResult::Held:
           platform_.send_to_agent(
               node_, payload.reply_to, payload.agent, kMsgNack,
-              NackPayload{node_, payload.attempt, *update_holder_}.encode());
+              NackPayload{node_, payload.attempt,
+                          *lock_space_.group(conflict).holder, conflict}
+                  .encode());
           break;
         case GrantResult::Stale:
           break;  // the sender has moved on; any reply would be ignored
@@ -271,19 +328,17 @@ void MarpServer::purge_agents(const std::vector<agent::AgentId>& dead) {
   bool changed = false;
   for (const agent::AgentId& id : dead) {
     staged_.erase(id);
-    if (update_holder_ == id) update_holder_.reset();
     unlocked_attempts_.erase(id);
-    changed = ll_.remove(id) || changed;
+    changed = lock_space_.purge(id) || changed;
   }
   if (changed) signal_lock_changed();
 }
 
 void MarpServer::reset_coordination() {
-  ll_ = replica::LockingList{};
+  lock_space_.clear();
   ul_ = replica::UpdatedList{};
   gossip_cache_.clear();
   staged_.clear();
-  update_holder_.reset();
   unlocked_attempts_.clear();
   signal_lock_changed();
 }
@@ -295,11 +350,10 @@ void MarpServer::signal_lock_changed() {
 void MarpServer::on_fail() {
   // The process halts: volatile coordination state is gone; buffered client
   // requests are lost. The versioned store survives on stable storage.
-  ll_ = replica::LockingList{};
+  lock_space_.clear();
   ul_ = replica::UpdatedList{};
   gossip_cache_.clear();
   staged_.clear();
-  update_holder_.reset();
   unlocked_attempts_.clear();
   pending_.clear();
   outstanding_.clear();

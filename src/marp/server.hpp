@@ -4,6 +4,12 @@
 // serves visiting agents locally (lock request, LL/UL snapshots, routing
 // table, data versions, gossip cache), and handles the UPDATE / COMMIT /
 // RELEASE / REPORT coordination messages.
+//
+// The keyspace is sharded into `config.num_lock_groups` lock groups (see
+// shard/lock_space.hpp): every group runs an independent instance of the
+// paper's Locking-List machinery, so updates whose write-sets land in
+// disjoint groups never contend. With the default of one group this is
+// exactly the paper's single replica-wide lock.
 #pragma once
 
 #include <map>
@@ -18,6 +24,8 @@
 #include "replica/locking.hpp"
 #include "replica/request.hpp"
 #include "replica/server.hpp"
+#include "shard/lock_space.hpp"
+#include "shard/router.hpp"
 
 namespace marp::core {
 
@@ -27,15 +35,15 @@ class MarpProtocol;
 inline constexpr const char* kMarpServiceName = "marp";
 
 /// What a visiting agent takes away from one local interaction (§3.3): the
-/// locking list (with itself appended), the updated list, the routing table,
-/// the freshest local copies of the keys it will write, and any gossip left
-/// by earlier visitors.
+/// locking lists of the groups its write-set touches (with itself appended),
+/// the updated list, the routing table, the freshest local copies of the
+/// keys it will write, and any gossip left by earlier visitors.
 struct VisitResult {
-  LockSnapshot locking_list;
+  std::map<shard::GroupId, LockSnapshot> locking_lists;
   std::vector<agent::AgentId> updated_list;
   std::vector<std::int64_t> routing_costs;
   std::map<std::string, replica::VersionedValue> data;
-  LockTable gossip;
+  GroupLockTable gossip;
 };
 
 class MarpServer : public replica::ServerBase {
@@ -54,45 +62,52 @@ class MarpServer : public replica::ServerBase {
 
   // ---- local interface used by agents hosted on this node ----
 
-  /// One visit: append `visitor` to the LL (idempotent), exchange gossip,
-  /// and return everything the agent records in its data structures.
+  /// One visit: append `visitor` to the LL of every group its keys route to
+  /// (idempotent), exchange gossip, and return everything the agent records
+  /// in its data structures. An empty key set queues in group 0 only.
   VisitResult visit(const agent::AgentId& visitor,
                     const std::vector<std::string>& keys,
-                    const LockTable& carried_gossip);
+                    const GroupLockTable& carried_gossip);
 
   /// Cheap local refresh for an agent already resident here (used on
-  /// lock-change signals): fresh LL snapshot + UL only, no gossip exchange,
+  /// lock-change signals): fresh LL snapshots + UL only, no gossip exchange,
   /// no data reads — a waiting agent only needs the head information.
+  /// Empty `groups` means group 0.
   struct RefreshResult {
-    LockSnapshot locking_list;
+    std::map<shard::GroupId, LockSnapshot> locking_lists;
     std::vector<agent::AgentId> updated_list;
   };
-  RefreshResult refresh(const agent::AgentId& visitor);
+  RefreshResult refresh(const agent::AgentId& visitor,
+                        const std::vector<shard::GroupId>& groups = {});
 
   /// Outcome of an UPDATE at this server.
   enum class GrantResult : std::uint8_t {
-    Granted,  ///< ops staged, grant (re)taken — ACK
-    Held,     ///< another session holds the grant — NACK with the holder
+    Granted,  ///< ops staged, every requested grant (re)taken — ACK
+    Held,     ///< some requested group's grant is held — NACK with the holder
     Stale     ///< from a committed agent or a withdrawn attempt — drop
   };
 
-  /// Stage the ops and take the update grant. `Held` is the structural
-  /// enforcement of Theorem 2: two agents can never both assemble > N/2
-  /// grants, because each server grants one session at a time. `Stale`
-  /// rejects reordered UPDATEs that would otherwise resurrect dead grants.
-  GrantResult handle_update_local(const UpdatePayload& payload);
+  /// Stage the ops and take the update grants of `payload.groups`,
+  /// all-or-nothing in ascending group order. `Held` is the structural
+  /// enforcement of Theorem 2 per group: two agents can never both assemble
+  /// > N/2 grants of the same group, because each server grants a group to
+  /// one session at a time. On Held, nothing is taken and `*conflict_group`
+  /// (when non-null) names the first conflicting group. `Stale` rejects
+  /// reordered UPDATEs that would otherwise resurrect dead grants.
+  GrantResult handle_update_local(const UpdatePayload& payload,
+                                  shard::GroupId* conflict_group = nullptr);
   void handle_commit_local(const CommitPayload& payload);
   void handle_release_local(const ReleasePayload& payload);
-  /// Release only the update grant/staged ops, keeping the LL entry — used
-  /// by a claimant demoted by a NACK. Records the attempt so a delayed
-  /// UPDATE of that attempt cannot re-take the grant afterwards.
+  /// Release only the update grants/staged ops, keeping the LL entries —
+  /// used by a claimant demoted by a NACK. Records the attempt so a delayed
+  /// UPDATE of that attempt cannot re-take the grants afterwards.
   void handle_unlock_local(const agent::AgentId& agent, std::uint32_t attempt);
   void handle_report_local(const ReportPayload& payload);
   void handle_read_report_local(const ReadReportPayload& payload);
 
-  /// Agent currently holding this server's update grant (tests/monitor).
-  const std::optional<agent::AgentId>& update_holder() const noexcept {
-    return update_holder_;
+  /// Agent currently holding group `g`'s update grant (tests/monitor).
+  const std::optional<agent::AgentId>& update_holder(shard::GroupId g = 0) const {
+    return lock_space_.group(g).holder;
   }
 
   /// Network message entry point (registered as the node's app handler).
@@ -101,12 +116,16 @@ class MarpServer : public replica::ServerBase {
   /// Failure notification (§2): drop all state owned by `dead` agents.
   void purge_agents(const std::vector<agent::AgentId>& dead);
 
-  /// Drop every piece of coordination state (locking list, updated list,
+  /// Drop every piece of coordination state (locking lists, updated list,
   /// staged ops, grants, gossip) without touching the store — used by a
   /// rollback to abort all in-flight update sessions at this server.
   void reset_coordination();
 
-  const replica::LockingList& locking_list() const noexcept { return ll_; }
+  const replica::LockingList& locking_list(shard::GroupId g = 0) const {
+    return lock_space_.group(g).ll;
+  }
+  const shard::LockSpace& lock_space() const noexcept { return lock_space_; }
+  const shard::ShardRouter& router() const noexcept { return router_; }
   const replica::UpdatedList& updated_list() const noexcept { return ul_; }
   std::size_t pending_requests() const noexcept { return pending_.size(); }
 
@@ -125,12 +144,13 @@ class MarpServer : public replica::ServerBase {
   const MarpConfig& config_;
   MarpProtocol& protocol_;
 
-  replica::LockingList ll_;
+  shard::ShardRouter router_;
+  /// Per-group locking lists and grant holders.
+  shard::LockSpace lock_space_;
+  /// The UL stays global: an agent finishes all its groups atomically.
   replica::UpdatedList ul_;
-  LockTable gossip_cache_;
+  GroupLockTable gossip_cache_;
   std::map<agent::AgentId, std::vector<WriteOp>> staged_;
-  std::optional<agent::AgentId> update_holder_;
-  std::uint32_t holder_attempt_ = 0;
   /// Highest attempt each live agent has withdrawn (entries die with the
   /// agent's commit/purge). Guards against reordered stale UPDATEs.
   std::map<agent::AgentId, std::uint32_t> unlocked_attempts_;

@@ -38,12 +38,17 @@ bool UpdateAgent::is_unavailable(net::NodeId node) const {
 
 void UpdateAgent::on_created(agent::AgentContext& ctx) {
   dispatched_us_ = ctx.now().as_micros();
-  const std::size_t n = server_here(ctx).cluster_size();
+  MarpServer& server = server_here(ctx);
+  const std::size_t n = server.cluster_size();
   usl_.clear();
   // §3.2: "Initially, this list contains all the replicated servers in the
   // system" — the creation server is visited first, without migrating.
   for (net::NodeId node = 0; node < n; ++node) usl_.push_back(node);
-  ctx.set_timer(server_here(ctx).config().visit_service_time, kTokenVisit);
+  // The write-set's lock groups, ascending — the fixed acquisition order
+  // every agent uses, which is what makes multi-group claims deadlock-free.
+  groups_ = server.router().groups_of(keys());
+  if (groups_.empty()) groups_.push_back(0);
+  ctx.set_timer(server.config().visit_service_time, kTokenVisit);
 }
 
 void UpdateAgent::on_arrival(agent::AgentContext& ctx) {
@@ -91,7 +96,7 @@ void UpdateAgent::on_timer(agent::AgentContext& ctx, std::uint64_t token) {
         break;
       }
       // Re-send UPDATE to servers that have not acked (idempotent staging).
-      const UpdatePayload payload{id(), ctx.here(), attempt_seq_, ops_};
+      const UpdatePayload payload{id(), ctx.here(), attempt_seq_, ops_, groups_};
       const serial::Bytes bytes = payload.encode();
       const std::size_t n = server_here(ctx).cluster_size();
       for (net::NodeId node = 0; node < n; ++node) {
@@ -112,10 +117,12 @@ void UpdateAgent::do_visit(agent::AgentContext& ctx) {
   const MarpConfig& config = server.config();
 
   const VisitResult result =
-      server.visit(id(), keys(), config.gossip ? lt_ : LockTable{});
+      server.visit(id(), keys(), config.gossip ? lt_ : GroupLockTable{});
 
-  lt_[ctx.here()] = result.locking_list;
-  if (config.gossip) merge_lock_tables(lt_, result.gossip);
+  for (const auto& [group, snapshot] : result.locking_lists) {
+    lt_[group][ctx.here()] = snapshot;
+  }
+  if (config.gossip) merge_group_lock_tables(lt_, result.gossip);
   for (const agent::AgentId& done : result.updated_list) ual_.insert(done);
   for (const auto& [key, value] : result.data) {
     auto& best = freshest_[key];
@@ -135,9 +142,56 @@ void UpdateAgent::do_visit(agent::AgentContext& ctx) {
 void UpdateAgent::evaluate(agent::AgentContext& ctx) {
   MarpServer& server = server_here(ctx);
   const std::size_t n = server.cluster_size();
-  const Decision decision = decide(lt_, ual_, id(), n,
-                                   server.config().tie_break,
-                                   server.config().votes);
+  // §3.2's priority rule, applied independently per lock group (ascending):
+  // the agent proceeds only when it wins *every* group its write-set
+  // touches. A miss in any group means keep collecting locks / wait.
+  Decision decision{Decision::Kind::Win, id()};
+  std::vector<shard::GroupId> headed;
+  std::vector<agent::AgentId> losing_to;
+  bool loses_to_younger = false;
+  std::uint64_t losing_fingerprint = 0xCBF29CE484222325ULL;
+  for (const shard::GroupId g : groups_) {
+    const auto it = lt_.find(g);
+    const Decision verdict =
+        decide(it == lt_.end() ? LockTable{} : it->second, ual_, id(), n,
+               server.config().tie_break, server.config().votes);
+    if (verdict.kind == Decision::Kind::Win) headed.push_back(g);
+    if (verdict.kind == Decision::Kind::Lose) {
+      losing_to.push_back(*verdict.winner);
+      if (id() < *verdict.winner) loses_to_younger = true;
+      losing_fingerprint ^= (g + 1) * agent::AgentIdHash{}(*verdict.winner);
+      losing_fingerprint *= 0x100000001B3ULL;
+    }
+    if (decision.kind == Decision::Kind::Win) decision = verdict;
+  }
+  // A two-cycle is visible from here: we lose some group to W while W is
+  // itself queued (behind us) in a group we head — W cannot commit before
+  // us, nor we before it. When the partner is the *older* agent, we are the
+  // one the younger-yields rule elects: withdraw right away.
+  bool yield_to_partner = false;
+  for (const agent::AgentId& winner : losing_to) {
+    if (id() < winner) continue;  // we are older; the partner yields instead
+    for (const shard::GroupId h : headed) {
+      const auto it = lt_.find(h);
+      if (it == lt_.end()) continue;
+      for (const auto& [node, snapshot] : it->second) {
+        if (std::find(snapshot.agents.begin(), snapshot.agents.end(), winner) !=
+            snapshot.agents.end()) {
+          yield_to_partner = true;
+        }
+      }
+    }
+  }
+  // Per-group winners are picked by Locking-List position, so agents with
+  // overlapping multi-group write-sets can wait on each other in a cycle
+  // (A heads group 1 queued behind B in group 2, B the reverse). Any cycle
+  // contains an agent losing to a *younger* winner; if that is us and the
+  // losing view has not budged for requeue_timeout, leave every list and
+  // re-queue at the tails — everyone we were blocking proceeds.
+  if (losing_fingerprint != stall_fingerprint_) {
+    stall_fingerprint_ = losing_fingerprint;
+    stall_since_us_ = ctx.now().as_micros();
+  }
 
   // A deferred claimant re-attempts once the higher-priority holder it lost
   // the ack race to is known to have finished — or after the defer timeout,
@@ -162,10 +216,58 @@ void UpdateAgent::evaluate(agent::AgentContext& ctx) {
     return;
   }
 
-  // USL exhausted. Park here; lock-change signals and the patrol timer
-  // (stale-info refresh) guarantee re-evaluation.
+  // USL exhausted, so the view is as complete as it gets. A confirmed
+  // two-cycle with an older partner is broken immediately; anything that
+  // smells like a longer cycle — heading a group while losing another to a
+  // younger agent, with nothing changing — is broken after the patience
+  // window (per-agent jitter staggers withdrawals in longer cycles).
+  if (yield_to_partner) {
+    withdraw_and_requeue(ctx);
+    return;
+  }
+  if (groups_.size() > 1 && !headed.empty() && loses_to_younger) {
+    const std::int64_t patience =
+        server.config().requeue_timeout.as_micros() +
+        static_cast<std::int64_t>(agent::AgentIdHash{}(id()) % 100'000);
+    if (ctx.now().as_micros() - stall_since_us_ >= patience) {
+      withdraw_and_requeue(ctx);
+      return;
+    }
+  }
+
+  // Park here; lock-change signals and the patrol timer (stale-info
+  // refresh) guarantee re-evaluation.
   phase_ = Phase::Waiting;
   arm_patrol(ctx);
+}
+
+void UpdateAgent::withdraw_and_requeue(agent::AgentContext& ctx) {
+  MarpServer& server = server_here(ctx);
+  server.protocol().note_update_requeue(id());
+  // Reset our own race state FIRST: handle_release_local() below raises the
+  // lock-changed signal synchronously, which re-enters on_signal()/evaluate()
+  // for every Waiting agent on this host — including us unless the phase
+  // already says Traveling.
+  lt_.clear();  // every queue position just became void
+  defer_ = false;
+  visited_.clear();
+  usl_.clear();
+  const std::size_t n = server.cluster_size();
+  for (net::NodeId node = 0; node < n; ++node) {
+    if (!is_unavailable(node)) usl_.push_back(node);
+  }
+  phase_ = Phase::Traveling;
+  stall_since_us_ = ctx.now().as_micros();
+
+  // Leave every Locking List (no grants are held while parked — those are
+  // only taken in begin_update). The fresh tour below re-appends this agent
+  // at the tails, behind everything it was blocking. Should a re-appended
+  // entry race a still-in-flight RELEASE and get swallowed, refresh()
+  // re-inserts the parked waiter on the next signal or patrol visit.
+  const ReleasePayload release{id(), groups_};
+  ctx.broadcast(kMsgRelease, release.encode());
+  server.handle_release_local(release);
+  do_visit(ctx);
 }
 
 net::NodeId UpdateAgent::pick_next_target(agent::AgentContext& ctx) const {
@@ -208,8 +310,17 @@ net::NodeId UpdateAgent::pick_stalest(agent::AgentContext& ctx) const {
   const std::size_t n = server_here(ctx).cluster_size();
   for (net::NodeId node = 0; node < n; ++node) {
     if (node == ctx.here() || is_unavailable(node)) continue;
-    auto it = lt_.find(node);
-    const std::int64_t stamp = it == lt_.end() ? -1 : it->second.observed_us;
+    // A server is as stale as its least-recently-observed group snapshot.
+    std::int64_t stamp = std::numeric_limits<std::int64_t>::max();
+    for (const shard::GroupId g : groups_) {
+      std::int64_t group_stamp = -1;
+      if (auto git = lt_.find(g); git != lt_.end()) {
+        if (auto nit = git->second.find(node); nit != git->second.end()) {
+          group_stamp = nit->second.observed_us;
+        }
+      }
+      stamp = std::min(stamp, group_stamp);
+    }
     if (stamp < oldest) {
       oldest = stamp;
       stalest = node;
@@ -268,12 +379,14 @@ void UpdateAgent::begin_update(agent::AgentContext& ctx) {
   }
 
   ++attempt_seq_;
-  const UpdatePayload payload{id(), ctx.here(), attempt_seq_, ops_};
-  // Take the local grant first: if even the local server is held by another
-  // session, back off without spending any messages. (A fresh attempt from
-  // a live agent can never be Stale here.)
-  if (server.handle_update_local(payload) != MarpServer::GrantResult::Granted) {
-    demote(ctx, *server.update_holder(), /*broadcast_unlock=*/false);
+  const UpdatePayload payload{id(), ctx.here(), attempt_seq_, ops_, groups_};
+  // Take the local grants first: if even the local server holds one of our
+  // groups for another session, back off without spending any messages.
+  // (A fresh attempt from a live agent can never be Stale here.)
+  shard::GroupId conflict = 0;
+  if (server.handle_update_local(payload, &conflict) !=
+      MarpServer::GrantResult::Granted) {
+    demote(ctx, *server.update_holder(conflict), /*broadcast_unlock=*/false);
     return;
   }
   ctx.broadcast(kMsgUpdate, payload.encode());
@@ -352,9 +465,9 @@ void UpdateAgent::demote(agent::AgentContext& ctx, const agent::AgentId& holder,
 
 void UpdateAgent::finish_update(agent::AgentContext& ctx) {
   MarpServer& server = server_here(ctx);
-  // Theorem 2 monitor: holding a majority of grants must be exclusive.
-  server.protocol().note_update_quorum(id());
-  const CommitPayload commit{id(), ops_};
+  // Theorem 2 monitor: holding a majority of a group's grants is exclusive.
+  server.protocol().note_update_quorum(id(), groups_);
+  const CommitPayload commit{id(), ops_, groups_};
   ctx.broadcast(kMsgCommit, commit.encode());
   server.handle_commit_local(commit);
   server.protocol().note_update_commit(id(), ops_);
@@ -366,7 +479,7 @@ void UpdateAgent::finish_update(agent::AgentContext& ctx) {
 void UpdateAgent::abort(agent::AgentContext& ctx) {
   MarpServer& server = server_here(ctx);
   server.protocol().note_update_abort(id());
-  const ReleasePayload release{id()};
+  const ReleasePayload release{id(), groups_};
   ctx.broadcast(kMsgRelease, release.encode());
   server.handle_release_local(release);
   phase_ = Phase::Done;
@@ -398,8 +511,10 @@ void UpdateAgent::on_signal(agent::AgentContext& ctx, std::uint32_t signal) {
   // re-decide — under contention every waiter is signalled per commit, so
   // this path must stay light.
   MarpServer& server = server_here(ctx);
-  const MarpServer::RefreshResult result = server.refresh(id());
-  lt_[ctx.here()] = result.locking_list;
+  const MarpServer::RefreshResult result = server.refresh(id(), groups_);
+  for (const auto& [group, snapshot] : result.locking_lists) {
+    lt_[group][ctx.here()] = snapshot;
+  }
   for (const agent::AgentId& done : result.updated_list) ual_.insert(done);
   evaluate(ctx);
 }
@@ -421,7 +536,9 @@ void UpdateAgent::serialize(serial::Writer& w) const {
   write_nodes(w, usl_);
   write_nodes(w, visited_);
   write_nodes(w, unavailable_);
-  serialize_lock_table(w, lt_);
+  w.varint(groups_.size());
+  for (const shard::GroupId g : groups_) w.varint(g);
+  serialize_group_lock_table(w, lt_);
   w.varint(ual_.size());
   for (const agent::AgentId& done : ual_) done.serialize(w);
   w.varint(freshest_.size());
@@ -442,6 +559,8 @@ void UpdateAgent::serialize(serial::Writer& w) const {
   defer_to_.serialize(w);
   w.svarint(defer_since_us_);
   w.varint(attempt_seq_);
+  w.svarint(stall_since_us_);
+  w.varint(stall_fingerprint_);
 }
 
 void UpdateAgent::deserialize(serial::Reader& r) {
@@ -468,7 +587,12 @@ void UpdateAgent::deserialize(serial::Reader& r) {
   usl_ = read_nodes(r);
   visited_ = read_nodes(r);
   unavailable_ = read_nodes(r);
-  lt_ = deserialize_lock_table(r);
+  groups_.clear();
+  const std::uint64_t group_count = r.varint();
+  for (std::uint64_t i = 0; i < group_count; ++i) {
+    groups_.push_back(static_cast<shard::GroupId>(r.varint()));
+  }
+  lt_ = deserialize_group_lock_table(r);
   ual_.clear();
   const std::uint64_t ual_size = r.varint();
   for (std::uint64_t i = 0; i < ual_size; ++i) ual_.insert(agent::AgentId::deserialize(r));
@@ -497,6 +621,8 @@ void UpdateAgent::deserialize(serial::Reader& r) {
   defer_to_ = agent::AgentId::deserialize(r);
   defer_since_us_ = r.svarint();
   attempt_seq_ = static_cast<std::uint32_t>(r.varint());
+  stall_since_us_ = r.svarint();
+  stall_fingerprint_ = r.varint();
 }
 
 }  // namespace marp::core

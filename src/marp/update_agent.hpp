@@ -58,7 +58,8 @@ class UpdateAgent final : public agent::MobileAgent {
 
   // Introspection (tests).
   Phase phase() const noexcept { return phase_; }
-  const LockTable& lock_table() const noexcept { return lt_; }
+  const GroupLockTable& lock_tables() const noexcept { return lt_; }
+  const std::vector<shard::GroupId>& lock_groups() const noexcept { return groups_; }
   const DoneSet& updated_agents() const noexcept { return ual_; }
   std::uint32_t servers_visited() const noexcept {
     return static_cast<std::uint32_t>(visited_.size());
@@ -77,6 +78,7 @@ class UpdateAgent final : public agent::MobileAgent {
 
   void do_visit(agent::AgentContext& ctx);
   void evaluate(agent::AgentContext& ctx);
+  void withdraw_and_requeue(agent::AgentContext& ctx);
   void begin_update(agent::AgentContext& ctx);
   /// Withdraw a losing update attempt and park until `holder` finishes.
   void demote(agent::AgentContext& ctx, const agent::AgentId& holder,
@@ -104,7 +106,10 @@ class UpdateAgent final : public agent::MobileAgent {
   std::vector<net::NodeId> usl_;          ///< Un-visited Servers List (§3.2)
   std::vector<net::NodeId> visited_;      ///< servers where a lock was requested
   std::vector<net::NodeId> unavailable_;  ///< declared failed this round (§2)
-  LockTable lt_;                          ///< Locking Table (§3.2)
+  /// Lock groups the write-set routes to, ascending (set at creation — the
+  /// acquisition order that keeps multi-group claims deadlock-free).
+  std::vector<shard::GroupId> groups_;
+  GroupLockTable lt_;                     ///< per-group Locking Tables (§3.2)
   DoneSet ual_;                           ///< Updated Agents List (§3.2)
   std::map<std::string, replica::VersionedValue> freshest_;
   std::vector<std::int64_t> routing_costs_;  ///< from the last visited server
@@ -122,6 +127,13 @@ class UpdateAgent final : public agent::MobileAgent {
   /// Sequences update attempts; stale ACK/NACKs from withdrawn attempts are
   /// ignored by comparing against this.
   std::uint32_t attempt_seq_ = 0;
+  /// Cross-group stall detection (multi-group claims only): when the set of
+  /// per-group winners this agent is losing to last changed, and its
+  /// fingerprint. An unchanged losing view for `requeue_timeout` — while
+  /// heading some group and losing another to a younger agent — means a
+  /// probable wait cycle, answered by withdraw_and_requeue().
+  std::int64_t stall_since_us_ = 0;
+  std::uint64_t stall_fingerprint_ = 0;
 
   // Not serialized: timers do not survive migration, so arming state resets
   // with each hop.

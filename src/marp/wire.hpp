@@ -9,8 +9,25 @@
 #include "net/message.hpp"
 #include "replica/versioned_store.hpp"
 #include "serial/byte_buffer.hpp"
+#include "shard/router.hpp"
 
 namespace marp::core {
+
+namespace wire_detail {
+inline void write_groups(serial::Writer& w, const std::vector<shard::GroupId>& groups) {
+  w.varint(groups.size());
+  for (const shard::GroupId g : groups) w.varint(g);
+}
+inline std::vector<shard::GroupId> read_groups(serial::Reader& r) {
+  const std::uint64_t n = r.varint();
+  std::vector<shard::GroupId> groups;
+  groups.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    groups.push_back(static_cast<shard::GroupId>(r.varint()));
+  }
+  return groups;
+}
+}  // namespace wire_detail
 
 // Message types (application channel, except Ack which rides the agent
 // envelope back to the waiting agent).
@@ -54,14 +71,17 @@ struct WriteOp {
   }
 };
 
-/// UPDATE: stage these writes and acknowledge to the agent at `reply_to`.
-/// `attempt` sequences the agent's update attempts so stale ACK/NACKs from a
-/// withdrawn attempt cannot confuse a newer one.
+/// UPDATE: stage these writes, take the grants of `groups`, and acknowledge
+/// to the agent at `reply_to`. `attempt` sequences the agent's update
+/// attempts so stale ACK/NACKs from a withdrawn attempt cannot confuse a
+/// newer one. `groups` is the write-set's lock-group set, ascending; empty
+/// means the degenerate single-group space {0}.
 struct UpdatePayload {
   agent::AgentId agent;
   net::NodeId reply_to = 0;
   std::uint32_t attempt = 0;
   std::vector<WriteOp> ops;
+  std::vector<shard::GroupId> groups;
 
   serial::Bytes encode() const {
     serial::Writer w;
@@ -69,6 +89,7 @@ struct UpdatePayload {
     w.varint(reply_to);
     w.varint(attempt);
     w.seq(ops, [](serial::Writer& ww, const WriteOp& op) { op.serialize(ww); });
+    wire_detail::write_groups(w, groups);
     return w.take();
   }
   static UpdatePayload decode(const serial::Bytes& bytes) {
@@ -78,6 +99,7 @@ struct UpdatePayload {
     p.reply_to = static_cast<net::NodeId>(r.varint());
     p.attempt = static_cast<std::uint32_t>(r.varint());
     p.ops = r.seq<WriteOp>([](serial::Reader& rr) { return WriteOp::deserialize(rr); });
+    p.groups = wire_detail::read_groups(r);
     return p;
   }
 };
@@ -102,16 +124,20 @@ struct AckPayload {
   }
 };
 
-/// COMMIT: apply the writes, drop the winner's locks, record it in the UL.
-/// Carries the ops so a server that missed the UPDATE still converges.
+/// COMMIT: apply the writes, drop the winner's locks in `groups`, record it
+/// in the UL. Carries the ops so a server that missed the UPDATE still
+/// converges. Empty `groups` means "sweep every group" (degenerate /
+/// compatibility path).
 struct CommitPayload {
   agent::AgentId agent;
   std::vector<WriteOp> ops;
+  std::vector<shard::GroupId> groups;
 
   serial::Bytes encode() const {
     serial::Writer w;
     agent.serialize(w);
     w.seq(ops, [](serial::Writer& ww, const WriteOp& op) { op.serialize(ww); });
+    wire_detail::write_groups(w, groups);
     return w.take();
   }
   static CommitPayload decode(const serial::Bytes& bytes) {
@@ -119,6 +145,7 @@ struct CommitPayload {
     CommitPayload p;
     p.agent = agent::AgentId::deserialize(r);
     p.ops = r.seq<WriteOp>([](serial::Reader& rr) { return WriteOp::deserialize(rr); });
+    p.groups = wire_detail::read_groups(r);
     return p;
   }
 };
@@ -145,32 +172,41 @@ struct UnlockPayload {
   }
 };
 
-/// RELEASE: an aborting agent withdraws its lock requests.
+/// RELEASE: an aborting agent withdraws its lock requests from `groups`
+/// (every group when empty).
 struct ReleasePayload {
   agent::AgentId agent;
+  std::vector<shard::GroupId> groups;
 
   serial::Bytes encode() const {
     serial::Writer w;
     agent.serialize(w);
+    wire_detail::write_groups(w, groups);
     return w.take();
   }
   static ReleasePayload decode(const serial::Bytes& bytes) {
     serial::Reader r(bytes);
-    return ReleasePayload{agent::AgentId::deserialize(r)};
+    ReleasePayload p;
+    p.agent = agent::AgentId::deserialize(r);
+    p.groups = wire_detail::read_groups(r);
+    return p;
   }
 };
 
-/// NACK: the server's update grant is held by `holder`.
+/// NACK: the grant of lock group `group` at this server is held by
+/// `holder` — the first conflicting group in ascending order.
 struct NackPayload {
   net::NodeId server = 0;
   std::uint32_t attempt = 0;
   agent::AgentId holder;
+  shard::GroupId group = 0;
 
   serial::Bytes encode() const {
     serial::Writer w;
     w.varint(server);
     w.varint(attempt);
     holder.serialize(w);
+    w.varint(group);
     return w.take();
   }
   static NackPayload decode(const serial::Bytes& bytes) {
@@ -179,6 +215,7 @@ struct NackPayload {
     p.server = static_cast<net::NodeId>(r.varint());
     p.attempt = static_cast<std::uint32_t>(r.varint());
     p.holder = agent::AgentId::deserialize(r);
+    p.group = static_cast<shard::GroupId>(r.varint());
     return p;
   }
 };

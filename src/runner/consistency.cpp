@@ -54,20 +54,52 @@ ConsistencyReport check_convergence(
   return report;
 }
 
-ConsistencyReport check_commit_order(const std::vector<core::CommitRecord>& log) {
+ConsistencyReport check_commit_order(const std::vector<core::CommitRecord>& log,
+                                     std::size_t num_lock_groups) {
   ConsistencyReport report;
-  replica::Version previous = replica::Version::none();
+  std::map<shard::GroupId, replica::Version> previous;
   for (std::size_t i = 0; i < log.size(); ++i) {
-    for (const replica::Version& version : log[i].versions) {
-      if (!(version > previous)) {
+    for (const core::CommitEntry& entry : log[i].entries) {
+      if (entry.group >= num_lock_groups) {
         std::ostringstream os;
-        os << "commit log entry " << i << " (" << log[i].agent.to_string()
-           << ") has version (" << version.time_us << ',' << version.writer
-           << ") not after its predecessor (" << previous.time_us << ','
-           << previous.writer << ')';
+        os << "commit log entry " << i << " routed key '" << entry.key
+           << "' to group " << entry.group << " but only " << num_lock_groups
+           << " lock groups exist";
         report.fail(os.str());
       }
-      previous = version;
+      auto [it, inserted] =
+          previous.try_emplace(entry.group, replica::Version::none());
+      if (!inserted && !(entry.version > it->second)) {
+        std::ostringstream os;
+        os << "commit log entry " << i << " (" << log[i].agent.to_string()
+           << "), group " << entry.group << ", has version ("
+           << entry.version.time_us << ',' << entry.version.writer
+           << ") not after the group's predecessor (" << it->second.time_us
+           << ',' << it->second.writer << ')';
+        report.fail(os.str());
+      }
+      it->second = entry.version;
+    }
+  }
+  return report;
+}
+
+ConsistencyReport check_per_key_order(const std::vector<core::CommitRecord>& log) {
+  ConsistencyReport report;
+  std::map<std::string, replica::Version> previous;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    for (const core::CommitEntry& entry : log[i].entries) {
+      auto it = previous.find(entry.key);
+      if (it != previous.end() && !(entry.version > it->second)) {
+        std::ostringstream os;
+        os << "commit log entry " << i << " (" << log[i].agent.to_string()
+           << ") writes key '" << entry.key << "' with version ("
+           << entry.version.time_us << ',' << entry.version.writer
+           << ") not after the key's predecessor (" << it->second.time_us
+           << ',' << it->second.writer << ')';
+        report.fail(os.str());
+      }
+      previous[entry.key] = entry.version;
     }
   }
   return report;

@@ -3,7 +3,11 @@
 // * Convergence — replicas that never failed must end with identical
 //   (value, version) for every key (single-copy illusion).
 // * Commit-order — the protocol-level commit log must be strictly ordered
-//   by version (updates serialized: the paper's order-preservation claim).
+//   by version within each lock group (updates touching a group serialize:
+//   the paper's order-preservation claim, per independent consensus
+//   instance; with one group this is a global total order).
+// * Per-key order — commits to any single key must be version-ordered no
+//   matter how the keyspace is sharded (what clients actually observe).
 // * Monotonicity — every replica's applied history must be per-key
 //   version-monotone (the Thomas write rule actually held).
 #pragma once
@@ -35,7 +39,15 @@ ConsistencyReport check_convergence(
     const std::vector<const replica::VersionedStore*>& stores,
     const std::vector<bool>& eligible);
 
-ConsistencyReport check_commit_order(const std::vector<core::CommitRecord>& log);
+/// Strict version order over the commit log, per lock group. With
+/// `num_lock_groups` == 1 every entry lands in group 0, so this degrades to
+/// the original global-total-order check.
+ConsistencyReport check_commit_order(const std::vector<core::CommitRecord>& log,
+                                     std::size_t num_lock_groups = 1);
+
+/// Strict version order per key across the whole log — the client-visible
+/// guarantee, independent of how keys are assigned to lock groups.
+ConsistencyReport check_per_key_order(const std::vector<core::CommitRecord>& log);
 
 ConsistencyReport check_monotonic_history(const replica::VersionedStore& store,
                                           std::size_t replica_index);

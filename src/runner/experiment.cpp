@@ -178,7 +178,9 @@ RunResult run_experiment(const ExperimentConfig& config) {
     audit.merge(check_monotonic_history(*stores[i], i));
   }
   if (marp) {
-    audit.merge(check_commit_order(marp->commit_log()));
+    audit.merge(check_commit_order(marp->commit_log(),
+                                   marp_config.num_lock_groups));
+    audit.merge(check_per_key_order(marp->commit_log()));
     if (marp->stats().mutex_violations != 0) {
       audit.fail("Theorem 2 monitor observed concurrent updaters");
     }

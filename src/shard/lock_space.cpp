@@ -1,0 +1,73 @@
+#include "shard/lock_space.hpp"
+
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace marp::shard {
+
+LockSpace::LockSpace(std::size_t num_groups) : groups_(num_groups) {
+  MARP_REQUIRE_MSG(num_groups >= 1, "a lock space needs at least one group");
+}
+
+LockSpace::Group& LockSpace::group(GroupId g) {
+  MARP_REQUIRE_MSG(g < groups_.size(), "lock group id out of range");
+  return groups_[g];
+}
+
+const LockSpace::Group& LockSpace::group(GroupId g) const {
+  MARP_REQUIRE_MSG(g < groups_.size(), "lock group id out of range");
+  return groups_[g];
+}
+
+std::vector<GroupId> LockSpace::all_groups() const {
+  std::vector<GroupId> ids(groups_.size());
+  std::iota(ids.begin(), ids.end(), GroupId{0});
+  return ids;
+}
+
+bool LockSpace::remove_from_lists(const agent::AgentId& agent,
+                                  const std::vector<GroupId>& groups) {
+  bool changed = false;
+  if (groups.empty()) {
+    for (Group& g : groups_) changed = g.ll.remove(agent) || changed;
+    return changed;
+  }
+  for (const GroupId g : groups) changed = group(g).ll.remove(agent) || changed;
+  return changed;
+}
+
+bool LockSpace::release_grants(const agent::AgentId& agent, std::uint32_t attempt) {
+  bool changed = false;
+  for (Group& g : groups_) {
+    if (g.holder == agent && g.holder_attempt <= attempt) {
+      g.holder.reset();
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+bool LockSpace::purge(const agent::AgentId& agent) {
+  bool changed = false;
+  for (Group& g : groups_) {
+    changed = g.ll.remove(agent) || changed;
+    if (g.holder == agent) {
+      g.holder.reset();
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+std::size_t LockSpace::total_queued() const {
+  std::size_t total = 0;
+  for (const Group& g : groups_) total += g.ll.size();
+  return total;
+}
+
+void LockSpace::clear() {
+  for (Group& g : groups_) g = Group{};
+}
+
+}  // namespace marp::shard

@@ -1,0 +1,66 @@
+// LockSpace — a server's sharded locking state: one independent Locking
+// List plus update-grant holder per lock group.
+//
+// Each group is a complete instance of the paper's per-server coordination
+// state (§3.2): the arrival-ordered lock queue and the exclusive update
+// grant that structurally enforces Theorem 2. Groups never interact; an
+// update session that spans several groups simply holds several grants,
+// acquired all-or-nothing per server in ascending group-id order.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "agent/agent_id.hpp"
+#include "replica/locking.hpp"
+#include "shard/router.hpp"
+
+namespace marp::shard {
+
+class LockSpace {
+ public:
+  /// One lock group's server-side state.
+  struct Group {
+    replica::LockingList ll;
+    /// Agent holding this group's update grant, if any (exclusive — the
+    /// structural Theorem-2 enforcement, now per group).
+    std::optional<agent::AgentId> holder;
+    /// Attempt number the grant was taken under (stale-attempt fencing).
+    std::uint32_t holder_attempt = 0;
+  };
+
+  explicit LockSpace(std::size_t num_groups = 1);
+
+  std::size_t num_groups() const noexcept { return groups_.size(); }
+
+  Group& group(GroupId g);
+  const Group& group(GroupId g) const;
+
+  /// Every group id, ascending — for "applies to all groups" operations.
+  std::vector<GroupId> all_groups() const;
+
+  /// Remove `agent` from the locking lists of `groups` (all groups when
+  /// empty). Returns true if any entry was removed.
+  bool remove_from_lists(const agent::AgentId& agent,
+                         const std::vector<GroupId>& groups);
+
+  /// Release every grant `agent` holds with holder_attempt <= `attempt`
+  /// (an UNLOCK withdraws an attempt wholesale). Returns true if any grant
+  /// was released.
+  bool release_grants(const agent::AgentId& agent, std::uint32_t attempt);
+
+  /// Drop every trace of `agent` — lock entries and grants in all groups
+  /// (failure purge). Returns true if anything changed.
+  bool purge(const agent::AgentId& agent);
+
+  /// Sum of queued lock requests across all groups (introspection).
+  std::size_t total_queued() const;
+
+  /// Reset to empty (fail-stop / rollback): all lists and grants dropped.
+  void clear();
+
+ private:
+  std::vector<Group> groups_;
+};
+
+}  // namespace marp::shard

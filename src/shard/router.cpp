@@ -1,0 +1,39 @@
+#include "shard/router.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace marp::shard {
+
+ShardRouter::ShardRouter(std::size_t num_groups) : num_groups_(num_groups) {
+  MARP_REQUIRE_MSG(num_groups_ >= 1, "a lock space needs at least one group");
+}
+
+std::uint64_t ShardRouter::stable_hash(std::string_view bytes) noexcept {
+  // FNV-1a, 64-bit. Chosen for determinism across platforms, not speed:
+  // keys are short and group_of is far off the simulation's hot path.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+GroupId ShardRouter::group_of(std::string_view key) const noexcept {
+  if (num_groups_ == 1) return 0;
+  return static_cast<GroupId>(stable_hash(key) % num_groups_);
+}
+
+std::vector<GroupId> ShardRouter::groups_of(
+    const std::vector<std::string>& keys) const {
+  std::vector<GroupId> groups;
+  groups.reserve(keys.size());
+  for (const std::string& key : keys) groups.push_back(group_of(key));
+  std::sort(groups.begin(), groups.end());
+  groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+  return groups;
+}
+
+}  // namespace marp::shard

@@ -1,0 +1,48 @@
+// Lock-space sharding: the stable key → lock-group router.
+//
+// The paper keeps one Locking List per server, so every update — to any key
+// — funnels through a single replica-wide lock. Partitioning the keyspace
+// into `num_groups` lock groups lets non-conflicting updates run the §3.2
+// majority-consensus race independently and commit in parallel; Theorems
+// 1–3 hold within each group because each group is a complete, unmodified
+// instance of the paper's locking machinery. `num_groups = 1` reproduces
+// the paper bit-for-bit.
+//
+// The router must be a pure function of (key, num_groups): every server and
+// every agent computes group membership independently, so any disagreement
+// would silently break mutual exclusion. Hence a fixed hash (FNV-1a),
+// never std::hash (implementation-defined) nor anything seeded.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace marp::shard {
+
+/// Identifies one lock group (one independent Locking-List instance).
+using GroupId = std::uint32_t;
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(std::size_t num_groups = 1);
+
+  std::size_t num_groups() const noexcept { return num_groups_; }
+
+  /// Lock group responsible for `key`. Deterministic across processes.
+  GroupId group_of(std::string_view key) const noexcept;
+
+  /// Group set of a write-set: sorted ascending, deduplicated. Agents
+  /// acquire groups in exactly this order (ascending group id), which keeps
+  /// multi-group write-sets deadlock-free.
+  std::vector<GroupId> groups_of(const std::vector<std::string>& keys) const;
+
+  /// 64-bit FNV-1a — the stable hash behind group_of, exposed for tests.
+  static std::uint64_t stable_hash(std::string_view bytes) noexcept;
+
+ private:
+  std::size_t num_groups_;
+};
+
+}  // namespace marp::shard

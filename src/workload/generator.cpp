@@ -15,6 +15,7 @@ RequestGenerator::RequestGenerator(sim::Simulator& simulator, std::size_t server
   MARP_REQUIRE(servers_ >= 1);
   MARP_REQUIRE(config_.mean_interarrival_ms > 0.0);
   MARP_REQUIRE(config_.num_keys >= 1);
+  MARP_REQUIRE(config_.writes_per_update >= 1);
   MARP_REQUIRE(submit_ != nullptr);
   arrival_rng_.reserve(servers_);
   mix_rng_.reserve(servers_);
@@ -74,25 +75,34 @@ std::string RequestGenerator::pick_key(std::uint32_t server) {
 }
 
 void RequestGenerator::emit(std::uint32_t server) {
-  replica::Request request;
-  request.id = next_id_++;
-  request.origin = server;
-  request.submitted = sim_.now();
-  request.key = pick_key(server);
+  // Draw order (key first, then mix) matches the original single-request
+  // emitter so seeded runs with writes_per_update == 1 replay identically.
+  const std::string first_key = pick_key(server);
   const bool is_write = mix_rng_[server].bernoulli(config_.write_fraction);
-  if (is_write) {
-    request.kind = replica::RequestKind::Write;
-    request.value = "v" + std::to_string(request.id);
-    if (request.value.size() < config_.value_bytes) {
-      request.value.resize(config_.value_bytes, 'x');
+  // A write arrival stands for one logical update; with writes_per_update
+  // > 1 it expands into a multi-key write-set submitted at the same instant
+  // (keys drawn independently, so they may repeat).
+  const std::size_t fan_out = is_write ? config_.writes_per_update : 1;
+  for (std::size_t i = 0; i < fan_out; ++i) {
+    replica::Request request;
+    request.id = next_id_++;
+    request.origin = server;
+    request.submitted = sim_.now();
+    request.key = i == 0 ? first_key : pick_key(server);
+    if (is_write) {
+      request.kind = replica::RequestKind::Write;
+      request.value = "v" + std::to_string(request.id);
+      if (request.value.size() < config_.value_bytes) {
+        request.value.resize(config_.value_bytes, 'x');
+      }
+      ++generated_writes_;
+    } else {
+      request.kind = replica::RequestKind::Read;
     }
-    ++generated_writes_;
-  } else {
-    request.kind = replica::RequestKind::Read;
+    ++generated_;
+    ++per_server_count_[server];
+    submit_(request);
   }
-  ++generated_;
-  ++per_server_count_[server];
-  submit_(request);
   schedule_next(server);
 }
 

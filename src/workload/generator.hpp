@@ -38,6 +38,11 @@ struct WorkloadConfig {
   std::size_t burst_size = 8;
   /// Fraction of requests that are writes (paper's figures use writes only).
   double write_fraction = 1.0;
+  /// Write requests emitted per write arrival, each with an independently
+  /// drawn key and the same submission time. Paired with an equal
+  /// `MarpConfig::batch_size` they ride one UpdateAgent as a multi-key
+  /// write-set — the workload that exercises lock-group sharding.
+  std::size_t writes_per_update = 1;
   /// Key space size; 1 reproduces the paper's single replicated object.
   std::size_t num_keys = 1;
   /// Zipf skew for key selection; 0 = uniform.

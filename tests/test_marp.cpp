@@ -249,8 +249,8 @@ TEST(Marp, FreshestCopyWinsAcrossSessions) {
   stack.simulator.run();
   stack.expect_converged("item", "second");
   ASSERT_EQ(stack.protocol.commit_log().size(), 2u);
-  EXPECT_LT(stack.protocol.commit_log()[0].versions.back(),
-            stack.protocol.commit_log()[1].versions.front());
+  EXPECT_LT(stack.protocol.commit_log()[0].entries.back().version,
+            stack.protocol.commit_log()[1].entries.front().version);
 }
 
 TEST(Marp, MultiKeyBatchesKeepPerKeyConsistency) {

@@ -37,12 +37,13 @@ TEST(MarpServerVisit, AppendsAndSnapshotsInArrivalOrder) {
   MarpServer& server = stack.protocol.server(0);
   const auto first = server.visit(aid(1), {"item"}, {});
   const auto second = server.visit(aid(2), {"item"}, {});
-  EXPECT_EQ(first.locking_list.agents, (std::vector<agent::AgentId>{aid(1)}));
-  EXPECT_EQ(second.locking_list.agents,
+  EXPECT_EQ(first.locking_lists.at(0).agents,
+            (std::vector<agent::AgentId>{aid(1)}));
+  EXPECT_EQ(second.locking_lists.at(0).agents,
             (std::vector<agent::AgentId>{aid(1), aid(2)}));
   // Re-visit keeps the queue position.
   const auto again = server.visit(aid(1), {"item"}, {});
-  EXPECT_EQ(again.locking_list.agents,
+  EXPECT_EQ(again.locking_lists.at(0).agents,
             (std::vector<agent::AgentId>{aid(1), aid(2)}));
 }
 
@@ -63,28 +64,29 @@ TEST(MarpServerVisit, GossipIsStoredAndReturnedFresher) {
   Stack stack(3);
   MarpServer& server = stack.protocol.server(0);
 
-  // Visitor 1 leaves a snapshot of server 2 in the cache.
-  LockTable carried;
-  carried[2] = LockSnapshot{{aid(9)}, 50};
+  // Visitor 1 leaves a group-0 snapshot of server 2 in the cache.
+  GroupLockTable carried;
+  carried[0][2] = LockSnapshot{{aid(9)}, 50};
   server.visit(aid(1), {}, carried);
 
   // Visitor 2 receives it back...
   const auto result = server.visit(aid(2), {}, {});
-  ASSERT_TRUE(result.gossip.contains(2));
-  EXPECT_EQ(result.gossip.at(2).agents.front(), aid(9));
-  // ...plus this server's own fresh snapshot left by visitor 1's visit.
   ASSERT_TRUE(result.gossip.contains(0));
+  ASSERT_TRUE(result.gossip.at(0).contains(2));
+  EXPECT_EQ(result.gossip.at(0).at(2).agents.front(), aid(9));
+  // ...plus this server's own fresh snapshot left by visitor 1's visit.
+  ASSERT_TRUE(result.gossip.at(0).contains(0));
 
   // A staler carried snapshot does not overwrite the cache.
-  LockTable stale;
-  stale[2] = LockSnapshot{{aid(8)}, 10};
+  GroupLockTable stale;
+  stale[0][2] = LockSnapshot{{aid(8)}, 10};
   const auto after_stale = server.visit(aid(3), {}, stale);
-  EXPECT_EQ(after_stale.gossip.at(2).agents.front(), aid(9));
+  EXPECT_EQ(after_stale.gossip.at(0).at(2).agents.front(), aid(9));
   // A fresher one does.
-  LockTable fresher;
-  fresher[2] = LockSnapshot{{aid(7)}, 90};
+  GroupLockTable fresher;
+  fresher[0][2] = LockSnapshot{{aid(7)}, 90};
   const auto after_fresh = server.visit(aid(4), {}, fresher);
-  EXPECT_EQ(after_fresh.gossip.at(2).agents.front(), aid(7));
+  EXPECT_EQ(after_fresh.gossip.at(0).at(2).agents.front(), aid(7));
 }
 
 TEST(MarpServerVisit, GossipDisabledReturnsNothing) {
@@ -92,8 +94,8 @@ TEST(MarpServerVisit, GossipDisabledReturnsNothing) {
   config.gossip = false;
   Stack stack(3, config);
   MarpServer& server = stack.protocol.server(0);
-  LockTable carried;
-  carried[2] = LockSnapshot{{aid(9)}, 50};
+  GroupLockTable carried;
+  carried[0][2] = LockSnapshot{{aid(9)}, 50};
   const auto result = server.visit(aid(1), {}, carried);
   EXPECT_TRUE(result.gossip.empty());
   const auto second = server.visit(aid(2), {}, {});
@@ -104,11 +106,12 @@ TEST(MarpServerVisit, RefreshIsAppendingButLight) {
   Stack stack(3);
   MarpServer& server = stack.protocol.server(0);
   const auto refresh = server.refresh(aid(5));
-  EXPECT_EQ(refresh.locking_list.agents, (std::vector<agent::AgentId>{aid(5)}));
+  EXPECT_EQ(refresh.locking_lists.at(0).agents,
+            (std::vector<agent::AgentId>{aid(5)}));
   EXPECT_TRUE(refresh.updated_list.empty());
   // Refresh did not pollute the gossip cache.
   const auto visit = server.visit(aid(6), {}, {});
-  EXPECT_FALSE(visit.gossip.contains(2));
+  EXPECT_TRUE(visit.gossip.empty());
 }
 
 TEST(MarpServerVisit, VisitOnFailedServerIsAContractViolation) {

@@ -182,13 +182,31 @@ TEST(Consistency, AcceptsIdenticalStores) {
 
 TEST(Consistency, CommitOrderViolationDetected) {
   std::vector<core::CommitRecord> log;
-  log.push_back({agent::AgentId{0, 1, 0}, sim::SimTime::millis(1), {{10, 0}}});
-  log.push_back({agent::AgentId{0, 2, 0}, sim::SimTime::millis(2), {{5, 0}}});
+  log.push_back(
+      {agent::AgentId{0, 1, 0}, sim::SimTime::millis(1), {{"k", 0, {10, 0}}}});
+  log.push_back(
+      {agent::AgentId{0, 2, 0}, sim::SimTime::millis(2), {{"k", 0, {5, 0}}}});
   EXPECT_FALSE(check_commit_order(log).ok);
+  EXPECT_FALSE(check_per_key_order(log).ok);
   std::vector<core::CommitRecord> good;
-  good.push_back({agent::AgentId{0, 1, 0}, sim::SimTime::millis(1), {{5, 0}}});
-  good.push_back({agent::AgentId{0, 2, 0}, sim::SimTime::millis(2), {{10, 0}}});
+  good.push_back(
+      {agent::AgentId{0, 1, 0}, sim::SimTime::millis(1), {{"k", 0, {5, 0}}}});
+  good.push_back(
+      {agent::AgentId{0, 2, 0}, sim::SimTime::millis(2), {{"k", 0, {10, 0}}}});
   EXPECT_TRUE(check_commit_order(good).ok);
+  EXPECT_TRUE(check_per_key_order(good).ok);
+
+  // Version regressions across *different* groups are legal (independent
+  // consensus instances)…
+  std::vector<core::CommitRecord> cross_group;
+  cross_group.push_back(
+      {agent::AgentId{0, 1, 0}, sim::SimTime::millis(1), {{"a", 0, {10, 0}}}});
+  cross_group.push_back(
+      {agent::AgentId{0, 2, 0}, sim::SimTime::millis(2), {{"b", 1, {5, 0}}}});
+  EXPECT_TRUE(check_commit_order(cross_group, 2).ok);
+  EXPECT_TRUE(check_per_key_order(cross_group).ok);
+  // …but a group id outside the configured shard count is flagged.
+  EXPECT_FALSE(check_commit_order(cross_group, 1).ok);
 }
 
 TEST(Consistency, MonotonicHistoryChecker) {

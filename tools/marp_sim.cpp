@@ -27,10 +27,12 @@ using namespace marp;
      << "  --writes F                     write fraction 0..1 (default 1.0)\n"
      << "  --keys N                       key-space size (default 1)\n"
      << "  --zipf S                       key skew (default 0 = uniform)\n"
+     << "  --writes-per-update N          keys per write-set (default 1)\n"
      << "  --duration S                   workload duration, seconds (default 10)\n"
      << "  --max-requests N               cap per server (default unlimited)\n"
      << "  --seed N                       run seed (default 1)\n"
      << "  --batch N                      MARP batch size (default 1)\n"
+     << "  --lock-groups N                MARP lock groups (default 1)\n"
      << "  --votes a,b,c,...              MARP weighted votes (default uniform)\n"
      << "  --quorum-reads                 MARP agent-based quorum reads\n"
      << "  --no-gossip                    disable MARP information sharing\n"
@@ -102,10 +104,12 @@ int main(int argc, char** argv) {
     else if (flag == "--writes") config.workload.write_fraction = std::stod(need_value(i));
     else if (flag == "--keys") config.workload.num_keys = std::stoul(need_value(i));
     else if (flag == "--zipf") config.workload.zipf_s = std::stod(need_value(i));
+    else if (flag == "--writes-per-update") config.workload.writes_per_update = std::stoul(need_value(i));
     else if (flag == "--duration") config.workload.duration = sim::SimTime::seconds(std::stod(need_value(i)));
     else if (flag == "--max-requests") config.workload.max_requests_per_server = std::stoull(need_value(i));
     else if (flag == "--seed") config.seed = std::stoull(need_value(i));
     else if (flag == "--batch") config.marp.batch_size = std::stoul(need_value(i));
+    else if (flag == "--lock-groups") config.marp.num_lock_groups = std::stoul(need_value(i));
     else if (flag == "--votes") config.marp.votes = parse_votes(need_value(i));
     else if (flag == "--quorum-reads") config.marp.read_mode = core::ReadMode::QuorumAgent;
     else if (flag == "--no-gossip") config.marp.gossip = false;
