@@ -100,8 +100,12 @@ void AgentPlatform::begin_migration(std::unique_ptr<MobileAgent> agent,
   if (observer_) observer_->on_migration_started(id, src, dest, wire_bytes);
 
   auto& simulator = network_.simulator();
+  // A transfer across a chaos-lossy link can lose the frame even when both
+  // endpoints are live: the source detects it exactly like an unreachable
+  // destination (connection timeout) and the agent retries from where it was.
   const bool reachable = network_.node_up(src) && network_.node_up(dest) &&
-                         network_.link_up(src, dest);
+                         network_.link_up(src, dest) &&
+                         !network_.roll_transfer_loss(src, dest);
   if (!reachable) {
     // Connection never establishes; source detects after the timeout.
     simulator.schedule(config_.migration_timeout, [this, frame, id, src, dest] {

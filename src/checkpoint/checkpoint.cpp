@@ -219,7 +219,7 @@ void CheckpointAgent::step(agent::AgentContext& ctx) {
 void CheckpointAgent::on_migration_failed(agent::AgentContext& ctx,
                                           net::NodeId destination) {
   auto* server = ctx.service<core::MarpServer>(core::kMarpServiceName);
-  if (++migration_retries_ <= server->config().max_migration_retries) {
+  if (++migration_retries_ <= server->config().migration_retry_limit) {
     ctx.dispatch_to(destination);
     return;
   }
@@ -319,7 +319,7 @@ void RollbackAgent::step(agent::AgentContext& ctx) {
 void RollbackAgent::on_migration_failed(agent::AgentContext& ctx,
                                         net::NodeId destination) {
   auto* server = ctx.service<core::MarpServer>(core::kMarpServiceName);
-  if (++migration_retries_ <= server->config().max_migration_retries) {
+  if (++migration_retries_ <= server->config().migration_retry_limit) {
     ctx.dispatch_to(destination);
     return;
   }

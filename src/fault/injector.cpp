@@ -1,0 +1,149 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+
+#include "marp/update_agent.hpp"
+#include "util/logging.hpp"
+
+namespace marp::fault {
+
+FaultInjector::FaultInjector(net::Network& network,
+                             agent::AgentPlatform& platform,
+                             core::MarpProtocol& protocol, FaultPlan plan)
+    : network_(network),
+      platform_(platform),
+      protocol_(protocol),
+      plan_(std::move(plan)),
+      crashed_(network.size(), false),
+      phase_counts_(4, 0) {}
+
+void FaultInjector::arm() {
+  sim::Simulator& simulator = network_.simulator();
+  for (std::size_t i = 0; i < plan_.actions.size(); ++i) {
+    const Action& action = plan_.actions[i];
+    if (action.on_phase) {
+      pending_phase_.push_back(i);
+      continue;
+    }
+    simulator.schedule_at(action.at, [this, i] {
+      fire(plan_.actions[i], net::kInvalidNode, /*in_probe=*/false);
+    });
+  }
+  if (!pending_phase_.empty()) {
+    protocol_.set_phase_probe(
+        [this](const core::PhaseEvent& event) { on_phase_event(event); });
+  }
+}
+
+void FaultInjector::on_phase_event(const core::PhaseEvent& event) {
+  const std::uint32_t count = ++phase_counts_[static_cast<std::size_t>(event.phase)];
+  for (auto it = pending_phase_.begin(); it != pending_phase_.end();) {
+    const Action& action = plan_.actions[*it];
+    if (action.on_phase->phase == event.phase &&
+        action.on_phase->occurrence == count) {
+      ++stats_.phase_triggers_fired;
+      fire(action, event.node, /*in_probe=*/true);
+      it = pending_phase_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FaultInjector::fire(const Action& action, net::NodeId event_node,
+                         bool in_probe) {
+  const net::NodeId target =
+      action.node != net::kInvalidNode ? action.node : event_node;
+  switch (action.kind) {
+    case ActionKind::CrashServer:
+    case ActionKind::KillAgents: {
+      if (target == net::kInvalidNode || target >= network_.size()) return;
+      if (in_probe) {
+        // The probe runs inside an agent callback on the target host;
+        // destroying that agent under its own feet is not survivable.
+        // Re-fire at +0 virtual time — same instant, after the current
+        // event unwinds. (For a quorum-phase crash this means the COMMIT
+        // broadcast is already in flight: exactly what a real crash
+        // straddling the decision looks like.)
+        Action deferred = action;
+        deferred.node = target;
+        network_.simulator().schedule(sim::SimTime::zero(), [this, deferred] {
+          fire(deferred, net::kInvalidNode, /*in_probe=*/false);
+        });
+        return;
+      }
+      if (action.kind == ActionKind::CrashServer) {
+        crashed_[target] = true;
+        ++stats_.crashes;
+        protocol_.fail_server(target);
+      } else {
+        std::vector<agent::AgentId> killed =
+            platform_.host(target).dispose_by_type(core::kUpdateAgentType);
+        stats_.agents_killed += killed.size();
+        if (!killed.empty()) {
+          // Dead-agent notices go out exactly as for a host crash, so the
+          // victims' locking state is purged everywhere after the §2 delay.
+          protocol_.announce_agent_deaths(std::move(killed));
+        }
+      }
+      return;
+    }
+    case ActionKind::RecoverServer: {
+      if (target == net::kInvalidNode) {
+        // No explicit target: revive whichever nodes this plan crashed —
+        // the only sane pairing for a phase-resolved crash, whose victim
+        // is not known when the plan is written.
+        // crashed_ stays set: it records "ever crashed" for the
+        // convergence audit, not current liveness.
+        for (net::NodeId node = 0; node < crashed_.size(); ++node) {
+          if (!crashed_[node]) continue;
+          ++stats_.recoveries;
+          protocol_.recover_server(node);
+        }
+        return;
+      }
+      if (target >= network_.size()) return;
+      ++stats_.recoveries;
+      protocol_.recover_server(target);
+      return;
+    }
+    case ActionKind::Partition: {
+      std::vector<net::NodeId> group = action.group;
+      if (group.empty()) {
+        // Build a group of auto_group_size consecutive ids around the
+        // resolved node (the phase event's winner when triggered there).
+        const net::NodeId anchor =
+            target != net::kInvalidNode ? target : net::NodeId{0};
+        const std::size_t size =
+            std::max<std::size_t>(1, std::min(action.auto_group_size,
+                                              network_.size() - 1));
+        for (std::size_t i = 0; i < size; ++i) {
+          group.push_back(static_cast<net::NodeId>((anchor + i) % network_.size()));
+        }
+      }
+      ++stats_.partitions;
+      network_.partition(group);
+      if (action.heal_after > sim::SimTime::zero()) {
+        network_.simulator().schedule(action.heal_after, [this] {
+          ++stats_.heals;
+          network_.heal_partition();
+        });
+      }
+      return;
+    }
+    case ActionKind::Heal:
+      ++stats_.heals;
+      network_.heal_partition();
+      return;
+    case ActionKind::SetLinkFaults:
+      ++stats_.link_fault_changes;
+      network_.set_default_link_faults(action.faults);
+      return;
+    case ActionKind::ClearLinkFaults:
+      ++stats_.link_fault_changes;
+      network_.clear_link_faults();
+      return;
+  }
+}
+
+}  // namespace marp::fault

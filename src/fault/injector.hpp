@@ -1,0 +1,64 @@
+// FaultInjector — executes a FaultPlan against a live MARP deployment.
+//
+// Time-triggered actions become simulator events; phase-triggered actions
+// ride the protocol's phase probe and fire at the exact protocol instant
+// (an UpdateQuorum trigger acts after the Theorem-2 audit and *before* the
+// COMMIT broadcast leaves the winner). Every roll the injector or the plan
+// builder makes comes from the run seed's named streams, so a failing chaos
+// scenario replays bit-for-bit from its seed.
+#pragma once
+
+#include <vector>
+
+#include "agent/platform.hpp"
+#include "fault/plan.hpp"
+#include "marp/protocol.hpp"
+#include "net/network.hpp"
+
+namespace marp::fault {
+
+struct InjectorStats {
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t partitions = 0;
+  std::uint64_t heals = 0;
+  std::uint64_t link_fault_changes = 0;
+  std::uint64_t agents_killed = 0;
+  std::uint64_t phase_triggers_fired = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(net::Network& network, agent::AgentPlatform& platform,
+                core::MarpProtocol& protocol, FaultPlan plan);
+
+  /// Install the phase probe and schedule every time-triggered action.
+  /// Call once, before the simulator runs.
+  void arm();
+
+  const InjectorStats& stats() const noexcept { return stats_; }
+  const FaultPlan& plan() const noexcept { return plan_; }
+  /// Per-node: was it ever crashed by the plan? (Convergence audits exempt
+  /// crashed replicas; partitioned-but-live ones stay on the hook.)
+  const std::vector<bool>& crashed() const noexcept { return crashed_; }
+
+ private:
+  /// Process-level actions (crash, kill) cannot destroy the agent whose
+  /// callback the phase probe is running inside; when `deferred` they are
+  /// re-scheduled at +0 virtual time (after the current event completes).
+  void fire(const Action& action, net::NodeId event_node, bool in_probe);
+  void on_phase_event(const core::PhaseEvent& event);
+
+  net::Network& network_;
+  agent::AgentPlatform& platform_;
+  core::MarpProtocol& protocol_;
+  FaultPlan plan_;
+  InjectorStats stats_;
+  std::vector<bool> crashed_;
+  /// Occurrence counter per ProtocolPhase value.
+  std::vector<std::uint32_t> phase_counts_;
+  /// Indices into plan_.actions of phase-triggered actions not yet fired.
+  std::vector<std::size_t> pending_phase_;
+};
+
+}  // namespace marp::fault

@@ -1,0 +1,165 @@
+#include "fault/plan.hpp"
+
+#include <sstream>
+
+#include "sim/random.hpp"
+
+namespace marp::fault {
+
+namespace {
+
+const char* kind_name(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::CrashServer: return "crash";
+    case ActionKind::RecoverServer: return "recover";
+    case ActionKind::Partition: return "partition";
+    case ActionKind::Heal: return "heal";
+    case ActionKind::SetLinkFaults: return "link-faults";
+    case ActionKind::ClearLinkFaults: return "clear-link-faults";
+    case ActionKind::KillAgents: return "kill-agents";
+  }
+  return "?";
+}
+
+const char* phase_name(core::ProtocolPhase phase) {
+  switch (phase) {
+    case core::ProtocolPhase::UpdateAttempt: return "update-attempt";
+    case core::ProtocolPhase::UpdateQuorum: return "update-quorum";
+    case core::ProtocolPhase::UpdateCommit: return "update-commit";
+    case core::ProtocolPhase::UpdateAbort: return "update-abort";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Action::describe() const {
+  std::ostringstream out;
+  out << kind_name(kind);
+  if (on_phase) {
+    out << " @" << phase_name(on_phase->phase) << "#" << on_phase->occurrence;
+  } else {
+    out << " @" << at.as_micros() << "us";
+  }
+  if (node != net::kInvalidNode) out << " node=" << node;
+  if (!group.empty()) {
+    out << " group={";
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      out << (i ? "," : "") << group[i];
+    }
+    out << "}";
+  } else if (auto_group_size > 0) {
+    out << " auto_group=" << auto_group_size;
+  }
+  if (kind == ActionKind::SetLinkFaults) {
+    out << " drop=" << faults.drop << " dup=" << faults.duplicate
+        << " reorder=" << faults.reorder;
+  }
+  return out.str();
+}
+
+bool FaultPlan::lossy() const noexcept {
+  for (const Action& action : actions) {
+    if (action.kind == ActionKind::CrashServer ||
+        action.kind == ActionKind::KillAgents) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    out << (i ? "; " : "") << actions[i].describe();
+  }
+  return out.str();
+}
+
+FaultPlan make_random_plan(std::uint64_t seed, std::size_t servers,
+                           sim::SimTime duration) {
+  FaultPlan plan;
+  sim::RngFactory factory(seed);
+  sim::Rng rng = factory.stream("fault-plan");
+  const std::int64_t d = duration.as_micros();
+  // Everything destructive is undone by 0.8·duration: the tail is the quiet
+  // window in which retransmits, recovery sync and anti-entropy must close
+  // every gap the faults opened.
+  auto frac = [&](double lo, double hi) {
+    return sim::SimTime::micros(
+        static_cast<std::int64_t>(rng.uniform(lo, hi) * static_cast<double>(d)));
+  };
+  auto random_node = [&] {
+    return static_cast<net::NodeId>(rng.bounded(servers));
+  };
+  const std::size_t minority = servers / 2;  // strict minority for majority N
+
+  // Crash + recover one random server (never the whole majority).
+  if (rng.bernoulli(0.5) && servers > 2) {
+    Action crash;
+    crash.kind = ActionKind::CrashServer;
+    crash.at = frac(0.05, 0.45);
+    crash.node = random_node();
+    Action recover;
+    recover.kind = ActionKind::RecoverServer;
+    recover.at = crash.at + frac(0.05, 0.30);
+    recover.node = crash.node;
+    plan.actions.push_back(crash);
+    plan.actions.push_back(recover);
+  }
+
+  // A partition window: timed, or sprung on a winner the moment it has its
+  // quorum (the hardest instant — UPDATE acked, COMMIT not yet out).
+  if (rng.bernoulli(0.6) && minority >= 1) {
+    Action cut;
+    cut.kind = ActionKind::Partition;
+    cut.auto_group_size = 1 + rng.bounded(minority);
+    if (rng.bernoulli(0.5)) {
+      cut.on_phase = PhaseTrigger{core::ProtocolPhase::UpdateQuorum,
+                                  1 + static_cast<std::uint32_t>(rng.bounded(4))};
+      // The fire time is decided by the protocol, not the plan, so the cut
+      // carries its own bounded heal instead of a timed Heal action.
+      cut.heal_after = frac(0.10, 0.30);
+      plan.actions.push_back(cut);
+    } else {
+      cut.at = frac(0.05, 0.45);
+      cut.node = random_node();
+      Action heal;
+      heal.kind = ActionKind::Heal;
+      heal.at = frac(0.55, 0.78);
+      plan.actions.push_back(cut);
+      plan.actions.push_back(heal);
+    }
+  }
+
+  // Message faults on live links, either for a window or the whole run
+  // (they are survivable, unlike an unhealed partition).
+  if (rng.bernoulli(0.7)) {
+    Action set;
+    set.kind = ActionKind::SetLinkFaults;
+    set.at = frac(0.0, 0.2);
+    set.faults.drop = rng.bernoulli(0.8) ? rng.uniform(0.005, 0.08) : 0.0;
+    set.faults.duplicate = rng.bernoulli(0.5) ? rng.uniform(0.01, 0.10) : 0.0;
+    set.faults.reorder = rng.bernoulli(0.5) ? rng.uniform(0.02, 0.20) : 0.0;
+    plan.actions.push_back(set);
+    if (rng.bernoulli(0.4)) {
+      Action clear;
+      clear.kind = ActionKind::ClearLinkFaults;
+      clear.at = frac(0.5, 0.78);
+      plan.actions.push_back(clear);
+    }
+  }
+
+  // Kill in-flight agents at a random server, mid-tour.
+  if (rng.bernoulli(0.3)) {
+    Action kill;
+    kill.kind = ActionKind::KillAgents;
+    kill.at = frac(0.10, 0.70);
+    kill.node = random_node();
+    plan.actions.push_back(kill);
+  }
+
+  return plan;
+}
+
+}  // namespace marp::fault

@@ -1,0 +1,88 @@
+// Scripted fault schedules for chaos experiments.
+//
+// A FaultPlan is a list of actions — crash/recover a server, partition or
+// heal the network, dial message faults onto live links, kill in-flight
+// agents — each fired either at a virtual time or when the protocol reaches
+// a named phase (e.g. "the 2nd time any agent assembles an update quorum").
+// Plans are plain data: deterministic to build (make_random_plan is a pure
+// function of its seed), cheap to print, and replayable bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "marp/protocol.hpp"
+#include "net/network.hpp"
+#include "sim/time.hpp"
+
+namespace marp::fault {
+
+enum class ActionKind : std::uint8_t {
+  CrashServer,      ///< fail-stop `node` (its agents die with it)
+  RecoverServer,    ///< bring `node` back (recovery sync applies); with no
+                    ///< target, revives every node the plan crashed —
+                    ///< pairs with a phase-resolved crash whose victim is
+                    ///< unknown when the plan is written
+  Partition,        ///< cut `group` (or an auto group) from the rest
+  Heal,             ///< restore every cut link
+  SetLinkFaults,    ///< apply `faults` to every link (drop/dup/reorder)
+  ClearLinkFaults,  ///< back to clean links
+  KillAgents        ///< dispose in-flight UpdateAgents at `node`, mid-tour
+};
+
+/// Phase trigger: fire on the `occurrence`-th protocol event of `phase`
+/// (1-based), wherever it happens. The fired action resolves kInvalidNode
+/// targets to the event's node — "partition the winner" needs no foresight
+/// about who wins.
+struct PhaseTrigger {
+  core::ProtocolPhase phase = core::ProtocolPhase::UpdateQuorum;
+  std::uint32_t occurrence = 1;
+};
+
+struct Action {
+  ActionKind kind = ActionKind::CrashServer;
+  /// Virtual fire time; ignored when `on_phase` is set.
+  sim::SimTime at = sim::SimTime::zero();
+  std::optional<PhaseTrigger> on_phase;
+
+  /// Crash/Recover/KillAgents target; kInvalidNode under a phase trigger
+  /// means "the node the phase event happened at".
+  net::NodeId node = net::kInvalidNode;
+  /// Partition group. Empty means: build one of `auto_group_size` nodes
+  /// around the resolved target node (consecutive ids, wrapping).
+  std::vector<net::NodeId> group;
+  std::size_t auto_group_size = 0;
+  /// Partition only: when non-zero, the injector schedules heal_partition()
+  /// this long after the cut fires. Phase-triggered partitions need this —
+  /// their fire time is unknown when the plan is written, so a timed Heal
+  /// could land before the cut.
+  sim::SimTime heal_after = sim::SimTime::zero();
+  /// SetLinkFaults payload.
+  net::LinkFaults faults;
+
+  std::string describe() const;
+};
+
+struct FaultPlan {
+  std::vector<Action> actions;
+
+  bool empty() const noexcept { return actions.empty(); }
+  /// True when the plan can lose client answers outright (a crash clears
+  /// buffered requests; a kill loses the agent's report): completeness
+  /// accounting must then tolerate never-answered writes.
+  bool lossy() const noexcept;
+  std::string describe() const;
+};
+
+/// Deterministic randomized plan: a pure function of (seed, servers,
+/// duration). Draws a scenario from the full action vocabulary — crash +
+/// recover pairs, timed and phase-triggered partitions with heals, link
+/// fault windows, agent kills — with every destructive action scheduled to
+/// be undone by 0.8 × duration, so runs get a quiet tail in which the
+/// hardened protocol must reconverge.
+FaultPlan make_random_plan(std::uint64_t seed, std::size_t servers,
+                           sim::SimTime duration);
+
+}  // namespace marp::fault

@@ -55,7 +55,16 @@ struct MarpConfig {
   sim::SimTime batch_period = sim::SimTime::millis(50);
 
   /// Migration retries before a replica is declared unavailable (§2).
-  std::uint32_t max_migration_retries = 2;
+  /// Plumbed through marp_sim as --migration-retries.
+  std::uint32_t migration_retry_limit = 2;
+
+  /// Base wait before re-dispatching a failed migration; doubles with every
+  /// consecutive failure to the same destination (exponential backoff).
+  /// Zero (default) retries immediately — the seed behaviour, suited to
+  /// fail-stop detection. Non-zero spaces retries out so a *transiently*
+  /// lossy link (chaos drop faults) gets time to deliver before the replica
+  /// is written off as unavailable.
+  sim::SimTime migration_retry_backoff = sim::SimTime::zero();
 
   /// Agents leave/merge locking info at servers (§3.3 information sharing).
   bool gossip = true;
@@ -90,6 +99,29 @@ struct MarpConfig {
   /// the number of rounds before the update is aborted.
   sim::SimTime ack_retry_interval = sim::SimTime::millis(100);
   std::uint32_t max_ack_rounds = 20;
+
+  /// Acknowledged COMMIT/REPORT delivery: every server acks each COMMIT
+  /// copy, the origin acks the REPORT, and the winner lingers (without
+  /// blocking the decided outcome) re-sending COMMIT to silent servers and
+  /// REPORT to a silent origin until both are covered or
+  /// `max_commit_rounds` expires. This is what makes a commit immune to
+  /// drops and duplication on live links; servers silent past the rounds
+  /// (crashed, long partition) catch up via recovery sync or anti-entropy.
+  /// Off (default) keeps the paper's fire-and-forget message budget —
+  /// chaos and lossy-link experiments turn it on.
+  bool reliable_commit = false;
+  sim::SimTime commit_retry_interval = sim::SimTime::millis(100);
+  std::uint32_t max_commit_rounds = 50;
+
+  /// Background store reconciliation: every interval each live server asks
+  /// one random live peer for its store and merges it under the Thomas
+  /// write rule (reusing the recovery-sync messages). Zero (default)
+  /// disables it. This closes the last convergence gap — a replica that
+  /// missed a COMMIT whose sender died before retransmitting — without
+  /// which a partition + crash combination can strand a divergent replica.
+  /// NOTE: while enabled the simulator's event queue never drains; run with
+  /// a deadline.
+  sim::SimTime anti_entropy_interval = sim::SimTime::zero();
 
   /// A blocked (waiting) agent re-visits its stalest server at this cadence
   /// so information can never go permanently stale.

@@ -49,13 +49,18 @@ void MarpProtocol::fail_server(net::NodeId node) {
   MarpServer& failed = server(node);
   if (!failed.up()) return;
   // The process halts: the agents executing on it die with it.
-  const std::vector<agent::AgentId> dead = platform_.host(node).dispose_all();
+  std::vector<agent::AgentId> dead = platform_.host(node).dispose_all();
   failed.fail();
+  announce_agent_deaths(std::move(dead));
+}
 
+void MarpProtocol::announce_agent_deaths(std::vector<agent::AgentId> dead) {
+  if (dead.empty()) return;
   // §2: "When a process fails, all other processes are informed of the
   // failure in a finite time" — after the notice delay, every live server
   // purges locking state owned by the dead agents so waiters can progress.
-  network_.simulator().schedule(config_.failure_notice_delay, [this, dead] {
+  network_.simulator().schedule(config_.failure_notice_delay,
+                                [this, dead = std::move(dead)] {
     for (auto& srv : servers_) {
       if (srv->up()) srv->purge_agents(dead);
     }
@@ -64,13 +69,30 @@ void MarpProtocol::fail_server(net::NodeId node) {
 
 void MarpProtocol::recover_server(net::NodeId node) { server(node).recover(); }
 
-void MarpProtocol::note_update_attempt(const agent::AgentId& agent) {
-  (void)agent;
+void MarpProtocol::note_update_attempt(const agent::AgentId& agent,
+                                       net::NodeId node) {
   ++stats_.update_attempts;
+  if (phase_probe_) phase_probe_({ProtocolPhase::UpdateAttempt, agent, node});
+}
+
+void MarpProtocol::note_anomaly(Anomaly kind) {
+  ProtocolAnomalies& a = stats_.anomalies;
+  switch (kind) {
+    case Anomaly::StaleAck: ++a.stale_acks; break;
+    case Anomaly::StaleUpdate: ++a.stale_updates; break;
+    case Anomaly::DuplicateUpdate: ++a.duplicate_updates; break;
+    case Anomaly::DuplicateCommit: ++a.duplicate_commits; break;
+    case Anomaly::DuplicateReport: ++a.duplicate_reports; break;
+    case Anomaly::OrphanedReport: ++a.orphaned_reports; break;
+    case Anomaly::CommitRetransmit: ++a.commit_retransmits; break;
+    case Anomaly::ReportRetransmit: ++a.report_retransmits; break;
+    case Anomaly::ReleaseRetransmit: ++a.release_retransmits; break;
+  }
 }
 
 void MarpProtocol::note_update_quorum(const agent::AgentId& agent,
-                                      const std::vector<shard::GroupId>& groups) {
+                                      const std::vector<shard::GroupId>& groups,
+                                      net::NodeId node) {
   // Per group: count its grant holders across live servers; a *different*
   // agent holding a majority of the same group at the same instant would
   // break Theorem 2 (groups are independent, so only same-group holders
@@ -93,10 +115,12 @@ void MarpProtocol::note_update_quorum(const agent::AgentId& agent,
       }
     }
   }
+  if (phase_probe_) phase_probe_({ProtocolPhase::UpdateQuorum, agent, node});
 }
 
 void MarpProtocol::note_update_commit(const agent::AgentId& agent,
-                                      const std::vector<WriteOp>& ops) {
+                                      const std::vector<WriteOp>& ops,
+                                      net::NodeId node) {
   ++stats_.updates_committed;
   CommitRecord record;
   record.agent = agent;
@@ -106,11 +130,13 @@ void MarpProtocol::note_update_commit(const agent::AgentId& agent,
     record.entries.push_back({op.key, router_.group_of(op.key), op.version});
   }
   commit_log_.push_back(std::move(record));
+  if (phase_probe_) phase_probe_({ProtocolPhase::UpdateCommit, agent, node});
 }
 
-void MarpProtocol::note_update_abort(const agent::AgentId& agent) {
-  (void)agent;
+void MarpProtocol::note_update_abort(const agent::AgentId& agent,
+                                     net::NodeId node) {
   ++stats_.updates_aborted;
+  if (phase_probe_) phase_probe_({ProtocolPhase::UpdateAbort, agent, node});
 }
 
 void MarpProtocol::note_update_requeue(const agent::AgentId& agent) {

@@ -4,6 +4,7 @@
 // that checks Theorem 2 on every run.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -14,6 +15,41 @@
 #include "replica/request.hpp"
 
 namespace marp::core {
+
+/// Protocol-level anomalies: duplicated, reordered, or orphaned coordination
+/// messages that the hardened handlers absorb idempotently instead of
+/// ignoring silently. All benign by design — the counters exist so chaos
+/// runs can show the defence actually fired (and metrics reports can surface
+/// a lossy deployment).
+struct ProtocolAnomalies {
+  std::uint64_t stale_acks = 0;        ///< ACK/NACK for a withdrawn or finished attempt
+  std::uint64_t stale_updates = 0;     ///< UPDATE from a finished agent / withdrawn attempt
+  std::uint64_t duplicate_updates = 0; ///< re-delivered UPDATE re-granted idempotently
+  std::uint64_t duplicate_commits = 0; ///< COMMIT for an agent already in the UL
+  std::uint64_t duplicate_reports = 0; ///< re-delivered REPORT deduplicated at the origin
+  std::uint64_t orphaned_reports = 0;  ///< REPORT for a request lost to an origin crash
+  std::uint64_t commit_retransmits = 0;///< COMMIT copies re-sent to silent servers
+  std::uint64_t report_retransmits = 0;///< REPORT copies re-sent to a silent origin
+  std::uint64_t release_retransmits = 0;///< RELEASE copies re-sent by an aborter
+
+  std::uint64_t total() const noexcept {
+    return stale_acks + stale_updates + duplicate_updates + duplicate_commits +
+           duplicate_reports + orphaned_reports + commit_retransmits +
+           report_retransmits + release_retransmits;
+  }
+};
+
+enum class Anomaly : std::uint8_t {
+  StaleAck,
+  StaleUpdate,
+  DuplicateUpdate,
+  DuplicateCommit,
+  DuplicateReport,
+  OrphanedReport,
+  CommitRetransmit,
+  ReportRetransmit,
+  ReleaseRetransmit
+};
 
 struct MarpStats {
   std::uint64_t updates_committed = 0;
@@ -26,6 +62,25 @@ struct MarpStats {
   /// Times an agent reached a majority of update grants while another agent
   /// also held a majority. Theorem 2 says this stays 0; tests assert it.
   std::uint64_t mutex_violations = 0;
+  /// Absorbed message-level faults (see ProtocolAnomalies).
+  ProtocolAnomalies anomalies;
+};
+
+/// Protocol milestones surfaced to an observer (the fault injector uses
+/// these to fire scripted faults at a named phase, e.g. "partition the
+/// winner away right after it assembled its quorum, before COMMIT").
+enum class ProtocolPhase : std::uint8_t {
+  UpdateAttempt,  ///< an agent broadcast UPDATE (begin_update)
+  UpdateQuorum,   ///< a majority of grants assembled, COMMIT not yet sent
+  UpdateCommit,   ///< COMMIT broadcast
+  UpdateAbort     ///< the agent gave up
+};
+
+struct PhaseEvent {
+  ProtocolPhase phase = ProtocolPhase::UpdateAttempt;
+  agent::AgentId agent;
+  /// Node where the event happened; kInvalidNode when unknown.
+  net::NodeId node = net::kInvalidNode;
 };
 
 /// One write of a committed update session, tagged with the lock group its
@@ -63,18 +118,35 @@ class MarpProtocol final : public replica::ReplicationProtocol {
   const MarpStats& stats() const noexcept { return stats_; }
   const std::vector<CommitRecord>& commit_log() const noexcept { return commit_log_; }
 
+  /// Observer for protocol milestones (fault injection, tracing). Called
+  /// synchronously at the milestone — a probe that cuts links inside
+  /// UpdateQuorum acts before the COMMIT broadcast goes out.
+  using PhaseProbe = std::function<void(const PhaseEvent&)>;
+  void set_phase_probe(PhaseProbe probe) { phase_probe_ = std::move(probe); }
+
+  /// Kill notification for agents that died *without* their host failing
+  /// (e.g. a chaos kill of an in-flight agent): after the §2 failure-notice
+  /// delay every live server purges state owned by the dead agents, exactly
+  /// as for agents lost to a server crash.
+  void announce_agent_deaths(std::vector<agent::AgentId> dead);
+
   // ---- called by agents/servers ----
-  void note_update_attempt(const agent::AgentId& agent);
+  void note_update_attempt(const agent::AgentId& agent,
+                           net::NodeId node = net::kInvalidNode);
   /// Called when `agent` has collected a majority of grants in each of
   /// `groups` (empty = group 0); audits every group's per-server grant
   /// holders for a competing majority (per-group Theorem 2 monitor).
   void note_update_quorum(const agent::AgentId& agent,
-                          const std::vector<shard::GroupId>& groups = {});
+                          const std::vector<shard::GroupId>& groups = {},
+                          net::NodeId node = net::kInvalidNode);
   void note_update_commit(const agent::AgentId& agent,
-                          const std::vector<WriteOp>& ops);
-  void note_update_abort(const agent::AgentId& agent);
+                          const std::vector<WriteOp>& ops,
+                          net::NodeId node = net::kInvalidNode);
+  void note_update_abort(const agent::AgentId& agent,
+                         net::NodeId node = net::kInvalidNode);
   void note_update_requeue(const agent::AgentId& agent);
   void note_read() { ++stats_.reads_served; }
+  void note_anomaly(Anomaly kind);
 
  private:
   net::Network& network_;
@@ -84,6 +156,7 @@ class MarpProtocol final : public replica::ReplicationProtocol {
   std::vector<std::unique_ptr<MarpServer>> servers_;
   MarpStats stats_;
   std::vector<CommitRecord> commit_log_;
+  PhaseProbe phase_probe_;
 };
 
 }  // namespace marp::core

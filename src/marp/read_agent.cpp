@@ -88,7 +88,7 @@ net::NodeId ReadAgent::pick_next(agent::AgentContext& ctx) const {
 void ReadAgent::on_migration_failed(agent::AgentContext& ctx,
                                     net::NodeId destination) {
   MarpServer& server = server_here(ctx);
-  if (++migration_retries_ <= server.config().max_migration_retries) {
+  if (++migration_retries_ <= server.config().migration_retry_limit) {
     ctx.dispatch_to(destination);
     return;
   }

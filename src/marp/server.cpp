@@ -1,5 +1,6 @@
 #include "marp/server.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "marp/protocol.hpp"
@@ -31,8 +32,35 @@ MarpServer::MarpServer(net::Network& network, agent::AgentPlatform& platform,
       config_(config),
       protocol_(protocol),
       router_(config.num_lock_groups),
-      lock_space_(config.num_lock_groups) {
+      lock_space_(config.num_lock_groups),
+      anti_entropy_rng_(
+          network.simulator().rng_factory().stream("anti-entropy", node)) {
   platform_.host(node).set_service(kMarpServiceName, this);
+  if (config_.anti_entropy_interval.as_micros() > 0) {
+    // Per-node phase offset so the fleet does not sync in lock-step.
+    const sim::SimTime jitter = sim::SimTime::micros(static_cast<std::int64_t>(
+        anti_entropy_rng_.bounded(static_cast<std::uint64_t>(
+            std::max<std::int64_t>(1, config_.anti_entropy_interval.as_micros())))));
+    simulator().schedule(config_.anti_entropy_interval + jitter,
+                         [this] { anti_entropy_tick(); });
+  }
+}
+
+void MarpServer::anti_entropy_tick() {
+  if (up_ && network_.size() > 1) {
+    // One random live peer per tick; the reply merges via the Thomas rule,
+    // so repeated/duplicated dumps are harmless.
+    net::NodeId peer = node_;
+    for (int tries = 0; tries < 8 && (peer == node_ || !network_.node_up(peer));
+         ++tries) {
+      peer = static_cast<net::NodeId>(anti_entropy_rng_.bounded(network_.size()));
+    }
+    if (peer != node_ && network_.node_up(peer)) {
+      network_.send(net::Message{node_, peer, kMsgSyncReq, {}});
+    }
+  }
+  simulator().schedule(config_.anti_entropy_interval,
+                       [this] { anti_entropy_tick(); });
 }
 
 void MarpServer::submit(const replica::Request& request) {
@@ -169,6 +197,7 @@ MarpServer::GrantResult MarpServer::handle_update_local(
   // grant is free (or already this agent's), or nothing is taken and the
   // first conflict is reported. Never holding a partial set means a losing
   // claimant cannot wedge other groups while it waits (no hold-and-wait).
+  bool regrant = true;
   for (const shard::GroupId g : groups) {
     const auto& grp = lock_space_.group(g);
     if (grp.holder && *grp.holder != payload.agent) {
@@ -178,6 +207,14 @@ MarpServer::GrantResult MarpServer::handle_update_local(
     if (grp.holder == payload.agent && payload.attempt < grp.holder_attempt) {
       return GrantResult::Stale;
     }
+    regrant = regrant && grp.holder == payload.agent &&
+              grp.holder_attempt == payload.attempt;
+  }
+  // Re-delivered copy of an UPDATE whose grants this server already gave:
+  // idempotent (the re-ACK below is exactly what a sender missing our first
+  // ACK needs), but worth counting.
+  if (regrant && staged_.contains(payload.agent)) {
+    protocol_.note_anomaly(Anomaly::DuplicateUpdate);
   }
   for (const shard::GroupId g : groups) {
     auto& grp = lock_space_.group(g);
@@ -189,8 +226,16 @@ MarpServer::GrantResult MarpServer::handle_update_local(
 }
 
 void MarpServer::handle_commit_local(const CommitPayload& payload) {
+  // Re-applying is always safe (Thomas write rule), so ops go first — a
+  // replica that missed the original COMMIT converges off any copy.
   for (const WriteOp& op : payload.ops) {
     store_.apply(op.key, op.value, op.version);
+  }
+  if (ul_.contains(payload.agent)) {
+    // Duplicated or reordered redelivery: the locks were already swept and
+    // waiters signalled; doing it again would only churn. Count and stop.
+    protocol_.note_anomaly(Anomaly::DuplicateCommit);
+    return;
   }
   staged_.erase(payload.agent);
   lock_space_.release_grants(payload.agent, kAnyAttempt);
@@ -220,10 +265,29 @@ void MarpServer::handle_unlock_local(const agent::AgentId& agent,
   if (lock_space_.release_grants(agent, attempt)) staged_.erase(agent);
 }
 
-void MarpServer::handle_report_local(const ReportPayload& payload) {
+void MarpServer::handle_report_local(const ReportPayload& payload,
+                                     net::NodeId from) {
+  // Ack first: whether this copy is fresh or a retransmit, the reporting
+  // agent only needs to know the origin has the outcome.
+  if (from != net::kInvalidNode) {
+    platform_.send_to_agent(node_, from, payload.agent, kMsgReportAck,
+                            CommitAckPayload{node_}.encode());
+  }
+  if (reported_.contains(payload.agent)) {
+    // Retransmitted REPORT (the first ack was lost): already accounted.
+    protocol_.note_anomaly(Anomaly::DuplicateReport);
+    return;
+  }
+  reported_.add(payload.agent);
   for (std::uint64_t request_id : payload.request_ids) {
     auto it = outstanding_.find(request_id);
-    if (it == outstanding_.end()) continue;  // lost to a crash; ignore
+    if (it == outstanding_.end()) {
+      // The request this outcome answers is gone — this origin crashed after
+      // dispatching the agent and lost its outstanding table. Not silent any
+      // more: the counter is the evidence the crash ate a client answer.
+      protocol_.note_anomaly(Anomaly::OrphanedReport);
+      continue;
+    }
     const replica::Request& request = it->second;
     replica::Outcome outcome;
     outcome.request_id = request.id;
@@ -281,23 +345,43 @@ void MarpServer::handle_message(const net::Message& message) {
                   .encode());
           break;
         case GrantResult::Stale:
-          break;  // the sender has moved on; any reply would be ignored
+          // The sender has moved on; any reply would be ignored.
+          protocol_.note_anomaly(Anomaly::StaleUpdate);
+          break;
       }
       break;
     }
-    case kMsgCommit:
-      handle_commit_local(CommitPayload::decode(message.payload));
+    case kMsgCommit: {
+      const CommitPayload payload = CommitPayload::decode(message.payload);
+      handle_commit_local(payload);
+      // Hardened senders ask for an ack so they can stop retransmitting;
+      // legacy senders leave reply_to invalid and get the seed behaviour.
+      if (payload.reply_to != net::kInvalidNode) {
+        platform_.send_to_agent(node_, payload.reply_to, payload.agent,
+                                kMsgCommitAck, CommitAckPayload{node_}.encode());
+      }
       break;
-    case kMsgRelease:
-      handle_release_local(ReleasePayload::decode(message.payload));
+    }
+    case kMsgRelease: {
+      const ReleasePayload payload = ReleasePayload::decode(message.payload);
+      handle_release_local(payload);
+      // Symmetric with COMMIT: a hardened aborter asks for an ack so it can
+      // stop retransmitting. A lost RELEASE would otherwise leave a dead LL
+      // head (the aborter never reaches any UL, so filtered heads can never
+      // skip it) and a stuck grant — wedging this server permanently.
+      if (payload.reply_to != net::kInvalidNode) {
+        platform_.send_to_agent(node_, payload.reply_to, payload.agent,
+                                kMsgCommitAck, CommitAckPayload{node_}.encode());
+      }
       break;
+    }
     case kMsgUnlock: {
       const UnlockPayload payload = UnlockPayload::decode(message.payload);
       handle_unlock_local(payload.agent, payload.attempt);
       break;
     }
     case kMsgReport:
-      handle_report_local(ReportPayload::decode(message.payload));
+      handle_report_local(ReportPayload::decode(message.payload), message.src);
       break;
     case kMsgReadReport:
       handle_read_report_local(ReadReportPayload::decode(message.payload));
@@ -355,6 +439,7 @@ void MarpServer::on_fail() {
   gossip_cache_.clear();
   staged_.clear();
   unlocked_attempts_.clear();
+  reported_ = replica::UpdatedList{};
   pending_.clear();
   outstanding_.clear();
   if (batch_timer_) {

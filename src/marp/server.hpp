@@ -96,13 +96,23 @@ class MarpServer : public replica::ServerBase {
   /// reordered UPDATEs that would otherwise resurrect dead grants.
   GrantResult handle_update_local(const UpdatePayload& payload,
                                   shard::GroupId* conflict_group = nullptr);
+  /// Idempotent: a duplicated or reordered COMMIT (agent already in the UL)
+  /// re-applies the ops under the Thomas write rule — no double version
+  /// bump, no lock churn — and is counted as a DuplicateCommit anomaly.
   void handle_commit_local(const CommitPayload& payload);
   void handle_release_local(const ReleasePayload& payload);
   /// Release only the update grants/staged ops, keeping the LL entries —
   /// used by a claimant demoted by a NACK. Records the attempt so a delayed
   /// UPDATE of that attempt cannot re-take the grants afterwards.
   void handle_unlock_local(const agent::AgentId& agent, std::uint32_t attempt);
-  void handle_report_local(const ReportPayload& payload);
+  /// Deduplicated on the reporting agent's id: a retransmitted REPORT is
+  /// counted (DuplicateReport) and re-acknowledged, never double-reported.
+  /// Request ids that are unknown *and* not a duplicate are counted as
+  /// OrphanedReport — the origin crashed and lost its outstanding table.
+  /// `from` (when valid) names the node hosting the agent, which gets a
+  /// kMsgReportAck so it can stop retransmitting.
+  void handle_report_local(const ReportPayload& payload,
+                           net::NodeId from = net::kInvalidNode);
   void handle_read_report_local(const ReadReportPayload& payload);
 
   /// Agent currently holding group `g`'s update grant (tests/monitor).
@@ -139,6 +149,9 @@ class MarpServer : public replica::ServerBase {
   void dispatch_agent();
   void arm_batch_timer();
   void signal_lock_changed();
+  /// Recurring anti-entropy tick (config.anti_entropy_interval > 0): ask a
+  /// random live peer for its store, merge under the Thomas write rule.
+  void anti_entropy_tick();
 
   agent::AgentPlatform& platform_;
   const MarpConfig& config_;
@@ -154,10 +167,14 @@ class MarpServer : public replica::ServerBase {
   /// Highest attempt each live agent has withdrawn (entries die with the
   /// agent's commit/purge). Guards against reordered stale UPDATEs.
   std::map<agent::AgentId, std::uint32_t> unlocked_attempts_;
+  /// Agents whose REPORT this origin has already processed (bounded, like
+  /// the UL) — retransmitted reports are re-acked but not double-counted.
+  replica::UpdatedList reported_;
 
   std::vector<replica::Request> pending_;
   std::unordered_map<std::uint64_t, replica::Request> outstanding_;
   std::optional<sim::EventId> batch_timer_;
+  sim::Rng anti_entropy_rng_;
 };
 
 }  // namespace marp::core

@@ -106,13 +106,66 @@ void UpdateAgent::on_timer(agent::AgentContext& ctx, std::uint64_t token) {
       ctx.set_timer(config.ack_retry_interval, kTokenAckRetry);
       break;
     }
+    case kTokenCommitRetry: {
+      if (phase_ != Phase::Committing) break;
+      MarpServer& server = server_here(ctx);
+      const MarpConfig& config = server.config();
+      if (++commit_rounds_ > config.max_commit_rounds) {
+        // Stragglers are down or partitioned beyond the retransmit window;
+        // they catch up via recovery sync / anti-entropy. The decision
+        // itself was final the moment COMMIT first went out.
+        phase_ = Phase::Done;
+        ctx.dispose();
+        break;
+      }
+      if (committed_) {
+        const CommitPayload commit{id(), ops_, groups_, ctx.here()};
+        const serial::Bytes bytes = commit.encode();
+        const std::size_t n = server.cluster_size();
+        for (net::NodeId node = 0; node < n; ++node) {
+          if (node == ctx.here() || commit_acks_.contains(node)) continue;
+          ctx.send_to_node(node, kMsgCommit, bytes);
+          server.protocol().note_anomaly(Anomaly::CommitRetransmit);
+        }
+      } else {
+        const ReleasePayload release{id(), groups_, ctx.here()};
+        const serial::Bytes bytes = release.encode();
+        const std::size_t n = server.cluster_size();
+        for (net::NodeId node = 0; node < n; ++node) {
+          if (node == ctx.here() || commit_acks_.contains(node)) continue;
+          ctx.send_to_node(node, kMsgRelease, bytes);
+          server.protocol().note_anomaly(Anomaly::ReleaseRetransmit);
+        }
+      }
+      if (!report_acked_) {
+        send_report(ctx, committed_);
+        server.protocol().note_anomaly(Anomaly::ReportRetransmit);
+      }
+      maybe_finish_commit(ctx);
+      if (phase_ == Phase::Committing) {
+        ctx.set_timer(config.commit_retry_interval, kTokenCommitRetry);
+      }
+      break;
+    }
+    case kTokenMigrationRetry: {
+      // Backoff expired: re-attempt the dispatch that failed (transient
+      // loss may have cleared). Moot if the agent has moved on meanwhile.
+      if (phase_ != Phase::Traveling || current_target_ == net::kInvalidNode) {
+        break;
+      }
+      ctx.dispatch_to(current_target_);
+      break;
+    }
     default:
       break;
   }
 }
 
 void UpdateAgent::do_visit(agent::AgentContext& ctx) {
-  if (phase_ == Phase::Done || phase_ == Phase::Updating) return;
+  if (phase_ == Phase::Done || phase_ == Phase::Updating ||
+      phase_ == Phase::Committing) {
+    return;
+  }
   MarpServer& server = server_here(ctx);
   const MarpConfig& config = server.config();
 
@@ -333,7 +386,18 @@ void UpdateAgent::on_migration_failed(agent::AgentContext& ctx,
                                       net::NodeId destination) {
   MarpServer& server = server_here(ctx);
   const MarpConfig& config = server.config();
-  if (++migration_retries_ <= config.max_migration_retries) {
+  if (++migration_retries_ <= config.migration_retry_limit) {
+    if (config.migration_retry_backoff > sim::SimTime::zero()) {
+      // Transient-loss mode: space the retries out exponentially so a lossy
+      // (but live) link gets a chance to deliver, instead of burning every
+      // retry back-to-back and declaring a healthy replica unavailable.
+      current_target_ = destination;
+      const std::uint32_t shift = std::min(migration_retries_ - 1u, 16u);
+      ctx.set_timer(sim::SimTime::micros(config.migration_retry_backoff.as_micros()
+                                         << shift),
+                    kTokenMigrationRetry);
+      return;
+    }
     ctx.dispatch_to(destination);
     return;
   }
@@ -361,7 +425,7 @@ void UpdateAgent::begin_update(agent::AgentContext& ctx) {
   MarpServer& server = server_here(ctx);
   phase_ = Phase::Updating;
   lock_obtained_us_ = ctx.now().as_micros();
-  server.protocol().note_update_attempt(id());
+  server.protocol().note_update_attempt(id(), ctx.here());
 
   // "It checks the time of last update of all the quorum members and uses
   // the most recent copy" (§3.1): new versions must dominate everything any
@@ -410,10 +474,32 @@ std::uint32_t UpdateAgent::ack_votes(agent::AgentContext& ctx) const {
 
 void UpdateAgent::on_message(agent::AgentContext& ctx, net::MessageType type,
                              const serial::Bytes& payload) {
-  if (phase_ != Phase::Updating) return;
+  if (type == kMsgCommitAck) {
+    if (phase_ != Phase::Committing) return;
+    commit_acks_.insert(CommitAckPayload::decode(payload).server);
+    maybe_finish_commit(ctx);
+    return;
+  }
+  if (type == kMsgReportAck) {
+    if (phase_ != Phase::Committing) return;
+    report_acked_ = true;
+    maybe_finish_commit(ctx);
+    return;
+  }
+  if (phase_ != Phase::Updating) {
+    // ACK/NACK echoes of an attempt this agent already resolved (dup copy,
+    // or a reply delayed past the decision) — absorbed, but counted.
+    if (type == kMsgAck || type == kMsgNack) {
+      server_here(ctx).protocol().note_anomaly(Anomaly::StaleAck);
+    }
+    return;
+  }
   if (type == kMsgAck) {
     const AckPayload ack = AckPayload::decode(payload);
-    if (ack.attempt != attempt_seq_) return;  // echo of a withdrawn attempt
+    if (ack.attempt != attempt_seq_) {  // echo of a withdrawn attempt
+      server_here(ctx).protocol().note_anomaly(Anomaly::StaleAck);
+      return;
+    }
     acks_.insert(ack.server);
     MarpServer& server = server_here(ctx);
     if (2 * ack_votes(ctx) >
@@ -426,7 +512,10 @@ void UpdateAgent::on_message(agent::AgentContext& ctx, net::MessageType type,
     // Another session holds a grant we need: withdraw this attempt and let
     // the holder proceed (defer if it outranks us by id).
     const NackPayload nack = NackPayload::decode(payload);
-    if (nack.attempt != attempt_seq_) return;
+    if (nack.attempt != attempt_seq_) {
+      server_here(ctx).protocol().note_anomaly(Anomaly::StaleAck);
+      return;
+    }
     demote(ctx, nack.holder, /*broadcast_unlock=*/true);
   }
 }
@@ -466,25 +555,69 @@ void UpdateAgent::demote(agent::AgentContext& ctx, const agent::AgentId& holder,
 void UpdateAgent::finish_update(agent::AgentContext& ctx) {
   MarpServer& server = server_here(ctx);
   // Theorem 2 monitor: holding a majority of a group's grants is exclusive.
-  server.protocol().note_update_quorum(id(), groups_);
-  const CommitPayload commit{id(), ops_, groups_};
+  // (The quorum probe fires here, synchronously — a fault injector acting on
+  // it cuts links *between* quorum assembly and the COMMIT broadcast.)
+  server.protocol().note_update_quorum(id(), groups_, ctx.here());
+  const bool reliable = server.config().reliable_commit;
+  const CommitPayload commit{id(), ops_, groups_,
+                             reliable ? ctx.here() : net::kInvalidNode};
   ctx.broadcast(kMsgCommit, commit.encode());
   server.handle_commit_local(commit);
-  server.protocol().note_update_commit(id(), ops_);
-  phase_ = Phase::Done;
+  server.protocol().note_update_commit(id(), ops_, ctx.here());
+  if (!reliable) {
+    // Fire-and-forget (the paper's Algorithm 1): a COMMIT copy lost on the
+    // wire is only repaired by recovery sync / anti-entropy.
+    phase_ = Phase::Done;
+    send_report(ctx, /*success=*/true);
+    ctx.dispose();
+    return;
+  }
+  // The decision is final; linger in Committing re-sending COMMIT/REPORT
+  // until every reachable server and the origin confirmed, so a dropped
+  // COMMIT cannot leave the update half-applied.
+  phase_ = Phase::Committing;
+  committed_ = true;
+  commit_acks_.clear();
+  commit_acks_.insert(ctx.here());
+  commit_rounds_ = 0;
+  report_acked_ = false;
   send_report(ctx, /*success=*/true);
-  ctx.dispose();
+  maybe_finish_commit(ctx);
+  if (phase_ == Phase::Committing) {
+    ctx.set_timer(server.config().commit_retry_interval, kTokenCommitRetry);
+  }
 }
 
 void UpdateAgent::abort(agent::AgentContext& ctx) {
   MarpServer& server = server_here(ctx);
-  server.protocol().note_update_abort(id());
-  const ReleasePayload release{id(), groups_};
+  server.protocol().note_update_abort(id(), ctx.here());
+  const bool reliable = server.config().reliable_commit;
+  const ReleasePayload release{id(), groups_,
+                               reliable ? ctx.here() : net::kInvalidNode};
   ctx.broadcast(kMsgRelease, release.encode());
   server.handle_release_local(release);
-  phase_ = Phase::Done;
+  if (!reliable) {
+    phase_ = Phase::Done;
+    send_report(ctx, /*success=*/false);
+    ctx.dispose();
+    return;
+  }
+  // A lost RELEASE is as fatal as a lost COMMIT: the aborter never enters
+  // any Updated List, so filtered heads can never skip its dead LL entry,
+  // and the stuck grant wedges the server for good. Linger exactly like
+  // the commit path — retransmit RELEASE to silent servers and the failure
+  // REPORT to the origin until both are covered.
+  phase_ = Phase::Committing;
+  committed_ = false;
+  commit_acks_.clear();
+  commit_acks_.insert(ctx.here());
+  commit_rounds_ = 0;
+  report_acked_ = false;
   send_report(ctx, /*success=*/false);
-  ctx.dispose();
+  maybe_finish_commit(ctx);
+  if (phase_ == Phase::Committing) {
+    ctx.set_timer(server.config().commit_retry_interval, kTokenCommitRetry);
+  }
 }
 
 void UpdateAgent::send_report(agent::AgentContext& ctx, bool success) {
@@ -500,9 +633,25 @@ void UpdateAgent::send_report(agent::AgentContext& ctx, bool success) {
 
   if (origin_ == ctx.here()) {
     server_here(ctx).handle_report_local(report);
+    report_acked_ = true;  // delivered in-process; nothing to retransmit
   } else {
     ctx.send_to_node(origin_, kMsgReport, report.encode());
   }
+}
+
+void UpdateAgent::maybe_finish_commit(agent::AgentContext& ctx) {
+  if (phase_ != Phase::Committing || !report_acked_) return;
+  // Full ack coverage, commit and abort alike — and no unavailable-node
+  // exemption: a node marked unreachable mid-tour may be back within the
+  // retransmit window (the linger is bounded by max_commit_rounds either
+  // way, and genuinely dead servers are repaired by recovery sync).
+  const std::size_t n = server_here(ctx).cluster_size();
+  for (net::NodeId node = 0; node < n; ++node) {
+    if (commit_acks_.contains(node)) continue;
+    return;  // a server has not confirmed the COMMIT/RELEASE yet
+  }
+  phase_ = Phase::Done;
+  ctx.dispose();
 }
 
 void UpdateAgent::on_signal(agent::AgentContext& ctx, std::uint32_t signal) {
@@ -555,6 +704,11 @@ void UpdateAgent::serialize(serial::Writer& w) const {
   w.varint(acks_.size());
   for (net::NodeId node : acks_) w.varint(node);
   w.varint(ack_rounds_);
+  w.boolean(committed_);
+  w.varint(commit_acks_.size());
+  for (net::NodeId node : commit_acks_) w.varint(node);
+  w.varint(commit_rounds_);
+  w.boolean(report_acked_);
   w.boolean(defer_);
   defer_to_.serialize(w);
   w.svarint(defer_since_us_);
@@ -617,6 +771,14 @@ void UpdateAgent::deserialize(serial::Reader& r) {
     acks_.insert(static_cast<net::NodeId>(r.varint()));
   }
   ack_rounds_ = static_cast<std::uint32_t>(r.varint());
+  committed_ = r.boolean();
+  commit_acks_.clear();
+  const std::uint64_t commit_ack_size = r.varint();
+  for (std::uint64_t i = 0; i < commit_ack_size; ++i) {
+    commit_acks_.insert(static_cast<net::NodeId>(r.varint()));
+  }
+  commit_rounds_ = static_cast<std::uint32_t>(r.varint());
+  report_acked_ = r.boolean();
   defer_ = r.boolean();
   defer_to_ = agent::AgentId::deserialize(r);
   defer_since_us_ = r.svarint();

@@ -37,7 +37,12 @@ class UpdateAgent final : public agent::MobileAgent {
     Traveling = 0,  ///< collecting locks / migrating
     Waiting = 1,    ///< USL exhausted, not highest priority — parked
     Updating = 2,   ///< winner: UPDATE broadcast out, gathering acks
-    Done = 3
+    Done = 3,
+    /// Decision made (COMMIT broadcast / abort released): lingering only to
+    /// retransmit COMMIT to unacked servers and REPORT to the origin until
+    /// both are covered or max_commit_rounds expires. The outcome is final —
+    /// this phase exists so transient loss cannot half-apply a commit.
+    Committing = 4
   };
 
   UpdateAgent() = default;  ///< for the registry (state set by deserialize)
@@ -70,6 +75,8 @@ class UpdateAgent final : public agent::MobileAgent {
   static constexpr std::uint64_t kTokenPatrol = 2;
   static constexpr std::uint64_t kTokenAckRetry = 3;
   static constexpr std::uint64_t kTokenClaimRetry = 4;
+  static constexpr std::uint64_t kTokenCommitRetry = 5;
+  static constexpr std::uint64_t kTokenMigrationRetry = 6;
 
   void arm_patrol(agent::AgentContext& ctx);
 
@@ -86,6 +93,9 @@ class UpdateAgent final : public agent::MobileAgent {
   void finish_update(agent::AgentContext& ctx);
   void abort(agent::AgentContext& ctx);
   void send_report(agent::AgentContext& ctx, bool success);
+  /// Dispose once the COMMIT (when one went out) reached every reachable
+  /// server and the origin acked the REPORT.
+  void maybe_finish_commit(agent::AgentContext& ctx);
 
   /// Votes held by the servers that have acked the current attempt.
   std::uint32_t ack_votes(agent::AgentContext& ctx) const;
@@ -118,6 +128,14 @@ class UpdateAgent final : public agent::MobileAgent {
   std::vector<WriteOp> ops_;              ///< built at begin_update
   std::set<net::NodeId> acks_;
   std::uint32_t ack_rounds_ = 0;
+  /// Committing-phase linger state: whether a COMMIT went out (false for an
+  /// abort, which only lingers for the report ack), which servers confirmed
+  /// it, how many retransmit rounds have elapsed, and whether the origin
+  /// acknowledged the REPORT.
+  bool committed_ = false;
+  std::set<net::NodeId> commit_acks_;
+  std::uint32_t commit_rounds_ = 0;
+  bool report_acked_ = false;
   /// Set after losing an ack race to a smaller-id (higher-priority) holder:
   /// do not re-attempt the update until that holder is seen to have
   /// finished (prevents claim livelock).

@@ -47,6 +47,14 @@ constexpr net::MessageType kMsgReadReport = 0x0509;
 constexpr net::MessageType kMsgSyncReq = 0x050A;
 /// Live peer → recovering server: full store dump.
 constexpr net::MessageType kMsgSyncRep = 0x050B;
+/// Server → committing agent: COMMIT applied here. The agent retransmits
+/// COMMIT to servers that have not acknowledged, so a commit is never
+/// half-applied under message loss (crashed servers catch up via recovery
+/// sync / anti-entropy instead).
+constexpr net::MessageType kMsgCommitAck = 0x050C;
+/// Origin server → reporting agent: REPORT received (stops report
+/// retransmission; duplicates are deduplicated at the origin).
+constexpr net::MessageType kMsgReportAck = 0x050D;
 
 /// Host-local signal raised when a locking list shrinks (commit/release/
 /// purge) so waiting agents re-evaluate their priority.
@@ -127,17 +135,23 @@ struct AckPayload {
 /// COMMIT: apply the writes, drop the winner's locks in `groups`, record it
 /// in the UL. Carries the ops so a server that missed the UPDATE still
 /// converges. Empty `groups` means "sweep every group" (degenerate /
-/// compatibility path).
+/// compatibility path). Delivery is idempotent: a duplicated or reordered
+/// COMMIT re-applies under the Thomas write rule (no double version bump)
+/// and is counted as a protocol anomaly. `reply_to` names the node hosting
+/// the committing agent so receivers can acknowledge (kMsgCommitAck);
+/// kInvalidNode suppresses the ack (legacy senders/tests).
 struct CommitPayload {
   agent::AgentId agent;
   std::vector<WriteOp> ops;
   std::vector<shard::GroupId> groups;
+  net::NodeId reply_to = net::kInvalidNode;
 
   serial::Bytes encode() const {
     serial::Writer w;
     agent.serialize(w);
     w.seq(ops, [](serial::Writer& ww, const WriteOp& op) { op.serialize(ww); });
     wire_detail::write_groups(w, groups);
+    w.varint(reply_to);
     return w.take();
   }
   static CommitPayload decode(const serial::Bytes& bytes) {
@@ -146,6 +160,24 @@ struct CommitPayload {
     p.agent = agent::AgentId::deserialize(r);
     p.ops = r.seq<WriteOp>([](serial::Reader& rr) { return WriteOp::deserialize(rr); });
     p.groups = wire_detail::read_groups(r);
+    p.reply_to = static_cast<net::NodeId>(r.varint());
+    return p;
+  }
+};
+
+/// COMMIT-ACK: `server` has applied (or already had) the agent's commit.
+struct CommitAckPayload {
+  net::NodeId server = 0;
+
+  serial::Bytes encode() const {
+    serial::Writer w;
+    w.varint(server);
+    return w.take();
+  }
+  static CommitAckPayload decode(const serial::Bytes& bytes) {
+    serial::Reader r(bytes);
+    CommitAckPayload p;
+    p.server = static_cast<net::NodeId>(r.varint());
     return p;
   }
 };
@@ -177,11 +209,17 @@ struct UnlockPayload {
 struct ReleasePayload {
   agent::AgentId agent;
   std::vector<shard::GroupId> groups;
+  /// Node hosting the releasing agent; valid only when the sender wants an
+  /// ack (kMsgCommitAck) so it can stop retransmitting. A RELEASE lost on
+  /// the wire is otherwise fatal: the dead entry stays at the head of the
+  /// Locking List forever and wedges the server.
+  net::NodeId reply_to = net::kInvalidNode;
 
   serial::Bytes encode() const {
     serial::Writer w;
     agent.serialize(w);
     wire_detail::write_groups(w, groups);
+    w.varint(reply_to);
     return w.take();
   }
   static ReleasePayload decode(const serial::Bytes& bytes) {
@@ -189,6 +227,7 @@ struct ReleasePayload {
     ReleasePayload p;
     p.agent = agent::AgentId::deserialize(r);
     p.groups = wire_detail::read_groups(r);
+    p.reply_to = static_cast<net::NodeId>(r.varint());
     return p;
   }
 };

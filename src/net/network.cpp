@@ -63,6 +63,26 @@ void Network::partition(const std::vector<NodeId>& group) {
 
 void Network::heal_partition() { cut_links_.clear(); }
 
+void Network::set_link_faults(NodeId src, NodeId dst, const LinkFaults& faults) {
+  MARP_REQUIRE(src < size() && dst < size());
+  link_faults_[link_key(src, dst)] = faults;
+}
+
+void Network::clear_link_faults() {
+  link_faults_.clear();
+  default_faults_ = LinkFaults{};
+}
+
+const LinkFaults& Network::link_faults(NodeId src, NodeId dst) const {
+  const auto it = link_faults_.find(link_key(src, dst));
+  return it == link_faults_.end() ? default_faults_ : it->second;
+}
+
+bool Network::roll_transfer_loss(NodeId src, NodeId dst) {
+  const LinkFaults& faults = link_faults(src, dst);
+  return faults.drop > 0.0 && rng_.bernoulli(faults.drop);
+}
+
 sim::SimTime Network::sample_latency(NodeId src, NodeId dst, std::size_t bytes) {
   return latency_->sample(src, dst, bytes, rng_);
 }
@@ -90,9 +110,34 @@ void Network::send(Message message) {
     return;
   }
 
-  const sim::SimTime latency =
+  const LinkFaults& faults = link_faults(message.src, message.dst);
+  if (faults.any()) {
+    // Chaos faults model an adversarial live channel: a fault drop is final
+    // (protocols must carry their own retries), duplication delivers an
+    // extra copy with its own latency, reordering spikes one copy's delay.
+    if (faults.drop > 0.0 && rng_.bernoulli(faults.drop)) {
+      ++stats_.messages_dropped;
+      ++stats_.fault_drops;
+      return;
+    }
+    if (faults.duplicate > 0.0 && rng_.bernoulli(faults.duplicate)) {
+      ++stats_.fault_duplicates;
+      schedule_delivery(message, faults);
+    }
+  }
+  schedule_delivery(message, faults);
+}
+
+void Network::schedule_delivery(const Message& message, const LinkFaults& faults) {
+  sim::SimTime latency =
       latency_->sample(message.src, message.dst, message.wire_size(), rng_);
-  sim_.schedule(latency, [this, msg = std::move(message)]() mutable {
+  if (faults.reorder > 0.0 && rng_.bernoulli(faults.reorder)) {
+    ++stats_.fault_reorders;
+    latency = latency + sim::SimTime::micros(static_cast<std::int64_t>(
+                            rng_.uniform(1.0, static_cast<double>(
+                                                  faults.reorder_delay.as_micros()))));
+  }
+  sim_.schedule(latency, [this, msg = message]() mutable {
     deliver(std::move(msg));
   });
 }

@@ -26,8 +26,31 @@ struct TrafficStats {
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;
   std::uint64_t bytes_sent = 0;
+  /// Link-fault accounting (chaos injection; see LinkFaults).
+  std::uint64_t fault_drops = 0;
+  std::uint64_t fault_duplicates = 0;
+  std::uint64_t fault_reorders = 0;
   std::unordered_map<MessageType, std::uint64_t> sent_by_type;
   std::unordered_map<MessageType, std::uint64_t> bytes_by_type;
+};
+
+/// Probabilistic faults on a live link (chaos injection). Unlike the global
+/// `drop_probability`, these model an adversarial-but-live channel: a
+/// fault-dropped message is gone for good (never transport-retransmitted),
+/// a duplicated one is delivered twice with independent latencies, and a
+/// reordered one takes an extra delay spike so it can overtake or be
+/// overtaken by later traffic. All rolls come from the network's seeded
+/// stream, so a run replays bit-for-bit from its seed.
+struct LinkFaults {
+  double drop = 0.0;       ///< probability a message is silently lost
+  double duplicate = 0.0;  ///< probability a second copy is delivered
+  double reorder = 0.0;    ///< probability a copy takes a latency spike
+  /// Upper bound of the reorder spike (uniform in (0, reorder_delay]).
+  sim::SimTime reorder_delay = sim::SimTime::millis(20);
+
+  bool any() const noexcept {
+    return drop > 0.0 || duplicate > 0.0 || reorder > 0.0;
+  }
 };
 
 class Network {
@@ -75,6 +98,21 @@ class Network {
   void set_loss_mode(LossMode mode) { loss_mode_ = mode; }
   void set_retransmit_timeout(sim::SimTime timeout) { retransmit_timeout_ = timeout; }
 
+  /// Chaos faults applied to every link without a per-link override.
+  void set_default_link_faults(const LinkFaults& faults) { default_faults_ = faults; }
+  /// Per-link (directed) fault override; wins over the default.
+  void set_link_faults(NodeId src, NodeId dst, const LinkFaults& faults);
+  /// Drop all per-link overrides and reset the default to fault-free.
+  void clear_link_faults();
+  /// Faults in effect on src→dst (override if present, else the default).
+  const LinkFaults& link_faults(NodeId src, NodeId dst) const;
+
+  /// One seeded loss roll for a non-message transfer (agent migration
+  /// frames) crossing src→dst; true = the frame is lost in flight. Uses the
+  /// link's `drop` fault probability so migrations and messages see the
+  /// same loss regime.
+  bool roll_transfer_loss(NodeId src, NodeId dst);
+
   /// Send one message. Delivery is scheduled after a sampled latency; the
   /// message is dropped if the source is down, the link is cut, or the
   /// destination is down at delivery time.
@@ -98,6 +136,9 @@ class Network {
 
  private:
   void deliver(Message message);
+  /// Schedule one delivery of `message` after the sampled latency, applying
+  /// the link's reorder fault to this copy.
+  void schedule_delivery(const Message& message, const LinkFaults& faults);
   std::uint64_t link_key(NodeId src, NodeId dst) const {
     return (static_cast<std::uint64_t>(src) << 32) | dst;
   }
@@ -112,6 +153,8 @@ class Network {
   double drop_probability_ = 0.0;
   LossMode loss_mode_ = LossMode::Drop;
   sim::SimTime retransmit_timeout_ = sim::SimTime::millis(200);
+  LinkFaults default_faults_;
+  std::unordered_map<std::uint64_t, LinkFaults> link_faults_;
   TrafficStats stats_;
 };
 

@@ -1,6 +1,7 @@
 #include "runner/experiment.hpp"
 
 #include <memory>
+#include <optional>
 
 #include "baseline/available_copy.hpp"
 #include "baseline/mcv.hpp"
@@ -131,6 +132,17 @@ RunResult run_experiment(const ExperimentConfig& config) {
     }
   }
 
+  if (config.link_faults.any()) {
+    network.set_default_link_faults(config.link_faults);
+  }
+  std::optional<fault::FaultInjector> injector;
+  if (!config.fault_plan.empty()) {
+    MARP_REQUIRE_MSG(marp != nullptr && platform != nullptr,
+                     "fault plans require the MARP stack");
+    injector.emplace(network, *platform, *marp, config.fault_plan);
+    injector->arm();
+  }
+
   workload::TraceCollector trace;
   protocol->set_outcome_handler(
       [&trace](const replica::Outcome& outcome) { trace.record(outcome); });
@@ -170,7 +182,19 @@ RunResult run_experiment(const ExperimentConfig& config) {
   result.prk = trace.prk();
   result.net_stats = network.stats();
   if (platform) result.agent_stats = platform->stats();
-  if (marp) result.mutex_violations = marp->stats().mutex_violations;
+  if (marp) {
+    result.mutex_violations = marp->stats().mutex_violations;
+    result.marp_stats = marp->stats();
+  }
+  if (injector) {
+    result.fault_stats = injector->stats();
+    // Crashed replicas are exempt from the convergence audit (their agents
+    // and buffered requests died with them); partitioned-but-live replicas
+    // stay on the hook — the hardened protocol must bring them back.
+    for (std::size_t i = 0; i < config.servers; ++i) {
+      if (injector->crashed()[i]) stayed_up[i] = false;
+    }
+  }
 
   // Consistency audit.
   ConsistencyReport audit = check_convergence(stores, stayed_up);

@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "agent/platform.hpp"
+#include "fault/injector.hpp"
 #include "marp/config.hpp"
+#include "marp/protocol.hpp"
 #include "net/network.hpp"
 #include "workload/generator.hpp"
 
@@ -60,6 +62,15 @@ struct ExperimentConfig {
 
   std::vector<FailureEvent> failures;
 
+  /// Chaos schedule (MARP only): crash/recover, partitions, link-fault
+  /// windows, agent kills — timed or phase-triggered, executed by a
+  /// FaultInjector. Replaces nothing: `failures` above still works and the
+  /// two compose.
+  fault::FaultPlan fault_plan;
+  /// Message faults on every live link from t = 0 (drop/duplicate/reorder);
+  /// the plan can override them mid-run via SetLinkFaults.
+  net::LinkFaults link_faults;
+
   /// Extra virtual time after generation stops, letting in-flight requests
   /// finish before metrics are read.
   sim::SimTime drain = sim::SimTime::seconds(20);
@@ -91,6 +102,8 @@ struct RunResult {
   net::TrafficStats net_stats;
   agent::PlatformStats agent_stats;    ///< zeros for message-passing runs
   std::uint64_t mutex_violations = 0;  ///< MARP runs: Theorem 2 monitor
+  core::MarpStats marp_stats;          ///< MARP runs: incl. anomaly counters
+  fault::InjectorStats fault_stats;    ///< what the fault plan actually did
 
   // Consistency audit.
   bool consistent = true;

@@ -36,6 +36,10 @@ using namespace marp;
      << "  --votes a,b,c,...              MARP weighted votes (default uniform)\n"
      << "  --quorum-reads                 MARP agent-based quorum reads\n"
      << "  --no-gossip                    disable MARP information sharing\n"
+     << "  --migration-retries N          retries before a replica is declared\n"
+     << "                                 unavailable (default 2)\n"
+     << "  --reliable-commit              acked COMMIT/REPORT with retransmits\n"
+     << "  --drop P                       per-link message drop probability\n"
      << "  --fail NODE@SEC [repeatable]   fail-stop a server at a time\n"
      << "  --recover NODE@SEC             recover a server at a time\n"
      << "  --csv                          one CSV row instead of the summary\n"
@@ -113,6 +117,9 @@ int main(int argc, char** argv) {
     else if (flag == "--votes") config.marp.votes = parse_votes(need_value(i));
     else if (flag == "--quorum-reads") config.marp.read_mode = core::ReadMode::QuorumAgent;
     else if (flag == "--no-gossip") config.marp.gossip = false;
+    else if (flag == "--migration-retries") config.marp.migration_retry_limit = static_cast<std::uint32_t>(std::stoul(need_value(i)));
+    else if (flag == "--reliable-commit") config.marp.reliable_commit = true;
+    else if (flag == "--drop") config.link_faults.drop = std::stod(need_value(i));
     else if (flag == "--fail") parse_event(need_value(i), true);
     else if (flag == "--recover") parse_event(need_value(i), false);
     else if (flag == "--csv") csv = true;
@@ -185,6 +192,17 @@ int main(int argc, char** argv) {
               << " (" << metrics::Table::num(result.migrations_per_write(), 2)
               << " per write, "
               << result.agent_stats.migration_bytes / 1024 << " KiB)\n";
+  }
+  if (result.marp_stats.anomalies.total() != 0) {
+    const auto& a = result.marp_stats.anomalies;
+    std::cout << "protocol anomalies:  " << a.total() << " absorbed ("
+              << a.stale_acks << " stale acks, " << a.stale_updates
+              << " stale updates, " << a.duplicate_updates << " dup updates, "
+              << a.duplicate_commits << " dup commits, " << a.duplicate_reports
+              << " dup reports, " << a.orphaned_reports << " orphaned reports, "
+              << a.commit_retransmits << " commit rexmit, "
+              << a.report_retransmits << " report rexmit, "
+              << a.release_retransmits << " release rexmit)\n";
   }
   std::cout << "consistent:          " << (result.consistent ? "yes" : "NO");
   for (const auto& problem : result.consistency_problems) {
