@@ -196,7 +196,7 @@ void AgentHost::arm_timer(const AgentId& id, std::uint64_t incarnation,
     run_callback(id, [token](MobileAgent& a, AgentContext& ctx) {
       a.on_timer(ctx, token);
     });
-  });
+  }, static_cast<sim::ActorId>(node_));
 }
 
 }  // namespace marp::agent

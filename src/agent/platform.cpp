@@ -112,7 +112,7 @@ void AgentPlatform::begin_migration(std::unique_ptr<MobileAgent> agent,
       ++stats_.migrations_failed;
       if (observer_) observer_->on_migration_failed(id, src, dest);
       hosts_[src]->adopt(decode_frame(frame), /*arrival=*/false, dest);
-    });
+    }, static_cast<sim::ActorId>(src));
     return;
   }
 
@@ -125,13 +125,13 @@ void AgentPlatform::begin_migration(std::unique_ptr<MobileAgent> agent,
         ++stats_.migrations_failed;
         if (observer_) observer_->on_migration_failed(id, src, dest);
         hosts_[src]->adopt(decode_frame(frame), /*arrival=*/false, dest);
-      });
+      }, static_cast<sim::ActorId>(src));
       return;
     }
     ++stats_.migrations_completed;
     if (observer_) observer_->on_migration_completed(id, dest);
     hosts_[dest]->adopt(decode_frame(frame), /*arrival=*/true, net::kInvalidNode);
-  });
+  }, static_cast<sim::ActorId>(dest));
 }
 
 }  // namespace marp::agent

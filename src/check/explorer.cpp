@@ -1,0 +1,259 @@
+#include "check/explorer.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace marp::check {
+
+namespace {
+
+bool independent(const sim::EventChoice& a, const sim::EventChoice& b) {
+  return a.actor != sim::kNoActor && b.actor != sim::kNoActor &&
+         a.actor != b.actor;
+}
+
+bool contains_id(const std::vector<sim::EventChoice>& set, sim::EventId id) {
+  for (const sim::EventChoice& c : set) {
+    if (c.id == id) return true;
+  }
+  return false;
+}
+
+/// One decision point on the DFS stack. `frontier` is recorded so a replayed
+/// prefix can assert the run really is deterministic; `done[i]` marks
+/// alternatives that need no (further) exploration — already explored, or
+/// asleep on entry.
+struct BranchPoint {
+  std::vector<sim::EventChoice> frontier;
+  std::vector<sim::EventChoice> entry_sleep;
+  std::size_t chosen = 0;
+  std::vector<char> done;
+};
+
+class DfsController final : public sim::ScheduleController {
+ public:
+  DfsController(std::vector<BranchPoint>& stack, const ExploreLimits& limits)
+      : stack_(stack), limits_(limits) {}
+
+  std::size_t choose(const std::vector<sim::EventChoice>& runnable) override {
+    max_frontier_ = std::max(max_frontier_, runnable.size());
+    if (runnable.size() == 1) {
+      // Deterministic step — no decision, but the sleep set still evolves:
+      // a singleton that is itself asleep proves the whole continuation is
+      // covered by an already-explored order.
+      if (limits_.sleep_sets && contains_id(sleep_, runnable[0].id)) {
+        blocked_ = true;
+      }
+      propagate(runnable[0]);
+      return 0;
+    }
+
+    const std::size_t d = decision_index_++;
+    std::size_t pick = 0;
+    if (d < stack_.size()) {
+      // Replaying the DFS prefix.
+      BranchPoint& bp = stack_[d];
+      if (!same_frontier(bp.frontier, runnable)) {
+        determinism_error_ = true;
+        blocked_ = true;
+        pick = bp.chosen < runnable.size() ? bp.chosen : 0;
+      } else {
+        pick = bp.chosen;
+        // Sleep-set semantics: alternatives already explored at this point
+        // go to sleep for the chosen subtree.
+        sleep_ = bp.entry_sleep;
+        for (std::size_t i = 0; i < bp.frontier.size(); ++i) {
+          if (bp.done[i] && i != pick) sleep_.push_back(bp.frontier[i]);
+        }
+      }
+      propagate(runnable[pick]);
+    } else {
+      // New decision point: first candidate not asleep.
+      std::optional<std::size_t> viable;
+      for (std::size_t i = 0; i < runnable.size(); ++i) {
+        if (!limits_.sleep_sets || !contains_id(sleep_, runnable[i].id)) {
+          viable = i;
+          break;
+        }
+      }
+      if (!viable) {
+        blocked_ = true;
+        trace_.push_back(0);
+        return 0;
+      }
+      pick = *viable;
+      if (stack_.size() < limits_.max_branch_points) {
+        BranchPoint bp;
+        bp.frontier = runnable;
+        bp.entry_sleep = sleep_;
+        bp.chosen = pick;
+        bp.done.assign(runnable.size(), 0);
+        if (limits_.sleep_sets) {
+          for (std::size_t i = 0; i < runnable.size(); ++i) {
+            if (contains_id(sleep_, runnable[i].id)) bp.done[i] = 1;
+          }
+        }
+        stack_.push_back(std::move(bp));
+      } else {
+        ++branch_capped_;
+      }
+      propagate(runnable[pick]);
+    }
+    trace_.push_back(pick);
+    return pick;
+  }
+
+  bool blocked() const noexcept { return blocked_; }
+  bool determinism_error() const noexcept { return determinism_error_; }
+  std::uint64_t branch_capped() const noexcept { return branch_capped_; }
+  std::size_t max_frontier() const noexcept { return max_frontier_; }
+  const std::vector<std::size_t>& trace() const noexcept { return trace_; }
+
+ private:
+  static bool same_frontier(const std::vector<sim::EventChoice>& a,
+                            const std::vector<sim::EventChoice>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i].id != b[i].id) return false;
+    }
+    return true;
+  }
+
+  /// After firing `chosen`, only events independent of it stay asleep.
+  void propagate(const sim::EventChoice& chosen) {
+    std::vector<sim::EventChoice> kept;
+    kept.reserve(sleep_.size());
+    for (const sim::EventChoice& z : sleep_) {
+      if (z.id != chosen.id && independent(z, chosen)) kept.push_back(z);
+    }
+    sleep_ = std::move(kept);
+  }
+
+  std::vector<BranchPoint>& stack_;
+  const ExploreLimits& limits_;
+  std::vector<sim::EventChoice> sleep_;
+  std::vector<std::size_t> trace_;
+  std::size_t decision_index_ = 0;
+  std::uint64_t branch_capped_ = 0;
+  std::size_t max_frontier_ = 0;
+  bool blocked_ = false;
+  bool determinism_error_ = false;
+};
+
+/// Backtrack: mark the deepest choice explored and move it to its next
+/// unexplored alternative, popping exhausted points. False = space drained.
+bool advance(std::vector<BranchPoint>& stack) {
+  while (!stack.empty()) {
+    BranchPoint& bp = stack.back();
+    bp.done[bp.chosen] = 1;
+    std::optional<std::size_t> next;
+    for (std::size_t i = 0; i < bp.frontier.size(); ++i) {
+      if (!bp.done[i]) {
+        next = i;
+        break;
+      }
+    }
+    if (next) {
+      bp.chosen = *next;
+      return true;
+    }
+    stack.pop_back();
+  }
+  return false;
+}
+
+class ReplayController final : public sim::ScheduleController {
+ public:
+  explicit ReplayController(const std::vector<std::size_t>& schedule)
+      : schedule_(schedule) {}
+
+  std::size_t choose(const std::vector<sim::EventChoice>& runnable) override {
+    if (runnable.size() == 1) return 0;
+    const std::size_t d = decision_index_++;
+    std::size_t pick = d < schedule_.size() ? schedule_[d] : 0;
+    if (pick >= runnable.size()) pick = 0;
+    std::ostringstream os;
+    os << "decision " << d << " @" << runnable.front().time.as_micros()
+       << "us: frontier {";
+    for (std::size_t i = 0; i < runnable.size(); ++i) {
+      if (i) os << ", ";
+      os << "#" << runnable[i].id << "/n" << runnable[i].actor;
+    }
+    os << "} -> pick " << pick;
+    decisions_.push_back(os.str());
+    return pick;
+  }
+
+  std::vector<std::string>& decisions() noexcept { return decisions_; }
+
+ private:
+  const std::vector<std::size_t>& schedule_;
+  std::size_t decision_index_ = 0;
+  std::vector<std::string> decisions_;
+};
+
+}  // namespace
+
+ExploreReport explore(const ScenarioConfig& scenario,
+                      const ExploreLimits& limits) {
+  ExploreReport report;
+  std::vector<BranchPoint> stack;
+
+  for (;;) {
+    CheckScenario run_instance(scenario);
+    DfsController controller(stack, limits);
+    const RunOutcome outcome = run_instance.run(
+        &controller, [&controller] { return controller.blocked(); },
+        limits.max_steps_per_run);
+
+    ++report.schedules_explored;
+    report.total_steps += outcome.steps;
+    report.max_frontier = std::max(report.max_frontier, controller.max_frontier());
+    report.max_decision_points =
+        std::max(report.max_decision_points, controller.trace().size());
+    report.branch_capped += controller.branch_capped();
+
+    MARP_REQUIRE_MSG(!controller.determinism_error(),
+                     "schedule replay diverged: the scenario is not a pure "
+                     "function of its choice sequence");
+
+    if (outcome.violation) {
+      // A violation on a pruned path is still a reachable state: record it.
+      if (report.violations.size() < limits.max_violations) {
+        report.violations.push_back(ViolationRecord{
+            controller.trace(), outcome.problem, outcome.violation_step,
+            outcome.violation_time_us});
+      }
+      if (limits.fail_fast ||
+          report.violations.size() >= limits.max_violations) {
+        break;
+      }
+    } else if (outcome.aborted) {
+      ++report.sleep_blocked;
+    }
+
+    if (!advance(stack)) {
+      report.complete = true;
+      break;
+    }
+    if (report.schedules_explored >= limits.max_schedules) break;
+  }
+
+  report.exhaustive = report.complete && report.branch_capped == 0;
+  return report;
+}
+
+ReplayResult replay(const ScenarioConfig& scenario,
+                    const std::vector<std::size_t>& schedule) {
+  CheckScenario run_instance(scenario);
+  ReplayController controller(schedule);
+  ReplayResult result;
+  result.outcome = run_instance.run(&controller);
+  result.decisions = std::move(controller.decisions());
+  return result;
+}
+
+}  // namespace marp::check

@@ -1,0 +1,75 @@
+// Bounded stateless model checking over CheckScenario.
+//
+// A *schedule* is the vector of choice indices taken at successive decision
+// points (frontiers with ≥ 2 same-time events); because the scenario is a
+// deterministic function of those choices, a schedule is a complete,
+// replayable name for an execution — a violation prefix replays bit-for-bit
+// exactly like a chaos seed. The explorer runs depth-first: re-execute the
+// scenario from scratch following the current stack prefix, extend it with
+// first-choice defaults to the end of the run, then backtrack the deepest
+// decision point with unexplored alternatives.
+//
+// Partial-order reduction (sleep sets, Godefroid-style) prunes schedules
+// that only permute independent events. Independence is static and
+// conservative: two events commute iff both carry a known actor tag (the
+// node whose state the handler mutates — see sim::ActorId) and the tags
+// differ; untagged events are dependent on everything. Handlers at
+// different nodes do share a few commutative global counters and append to
+// the commit log, so independence is a heuristic, not a proof — which is
+// why `sleep_sets` can be switched off to cross-check any result on the
+// full, unreduced space.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/scenario.hpp"
+#include "sim/simulator.hpp"
+
+namespace marp::check {
+
+struct ExploreLimits {
+  std::uint64_t max_schedules = 200000;
+  /// Decision points allowed to branch; deeper ones take the first viable
+  /// choice (reported, and disqualifying the run from "exhaustive").
+  std::size_t max_branch_points = 256;
+  std::uint64_t max_steps_per_run = 50000;
+  bool sleep_sets = true;
+  std::size_t max_violations = 8;  ///< stop once this many are recorded
+  bool fail_fast = false;          ///< stop at the first violation
+};
+
+struct ViolationRecord {
+  std::vector<std::size_t> schedule;  ///< full decision-index vector
+  std::string problem;
+  std::uint64_t step = 0;
+  std::int64_t time_us = 0;
+};
+
+struct ExploreReport {
+  std::uint64_t schedules_explored = 0;
+  std::uint64_t sleep_blocked = 0;  ///< runs pruned: every candidate slept
+  std::uint64_t branch_capped = 0;  ///< decision points beyond the cap
+  std::uint64_t total_steps = 0;
+  std::size_t max_frontier = 0;
+  std::size_t max_decision_points = 0;
+  bool complete = false;    ///< DFS drained the stack
+  bool exhaustive = false;  ///< complete with no cap ever hit
+  std::vector<ViolationRecord> violations;
+};
+
+/// Explore `scenario` within `limits`.
+ExploreReport explore(const ScenarioConfig& scenario,
+                      const ExploreLimits& limits);
+
+/// One verbose re-execution of `schedule` (indices past the run's decision
+/// points are ignored; missing ones default to choice 0).
+struct ReplayResult {
+  RunOutcome outcome;
+  std::vector<std::string> decisions;  ///< human-readable per-decision log
+};
+ReplayResult replay(const ScenarioConfig& scenario,
+                    const std::vector<std::size_t>& schedule);
+
+}  // namespace marp::check

@@ -27,6 +27,22 @@ enum class RoutingPolicy : std::uint8_t {
   ByServerId  ///< fixed ascending-id order (ablation)
 };
 
+/// Deliberately broken variants of the §3.2 priority rule, used ONLY to
+/// self-validate the model checker (src/check/): a checker that cannot
+/// catch these within its bounded schedule space is not checking anything.
+/// Agents apply the mutant when deciding; every monitor/oracle always
+/// evaluates the unmutated rule, so the divergence is observable.
+enum class ProtocolMutant : std::uint8_t {
+  None,
+  /// Majority threshold off by one: an agent claims victory from locking
+  /// lists worth half-minus-one of the votes (⌈(V−1)/2⌉ instead of ⌊V/2⌋+1),
+  /// so with N=3 heading a single list "wins".
+  MajorityOffByOne,
+  /// Tie resolved by the LARGEST agent id instead of the smallest —
+  /// deterministic but diverging from Theorem 2's published rule.
+  TieBreakLargestId
+};
+
 /// How the paper's tie rule is applied once an agent has full information
 /// and nobody holds a majority of locking-list heads.
 enum class TieBreakMode : std::uint8_t {
@@ -71,6 +87,8 @@ struct MarpConfig {
 
   RoutingPolicy routing = RoutingPolicy::CostAware;
   TieBreakMode tie_break = TieBreakMode::TotalOrder;
+  /// Seeded fault for checker self-validation; None in every real config.
+  ProtocolMutant mutant = ProtocolMutant::None;
 
   /// Per-server vote weights; empty = one vote each (the paper's plain
   /// majority). Non-empty generalizes MARP to weighted voting: an agent

@@ -64,14 +64,20 @@ bool paper_tie_condition(std::uint32_t s, std::uint32_t m, std::size_t n) {
 
 Decision decide(const LockTable& table, const DoneSet& done,
                 const agent::AgentId& self, std::size_t n_servers,
-                TieBreakMode mode, const VoteWeights& votes) {
+                TieBreakMode mode, const VoteWeights& votes,
+                ProtocolMutant mutant) {
   MARP_REQUIRE(n_servers >= 1);
   const auto counts = top_counts(table, done, votes);
   const std::uint32_t all_votes = total_votes(votes, n_servers);
 
   // Majority rule: heading lists worth more than half the votes wins.
+  // The MajorityOffByOne mutant lowers the bar to ⌈(V−1)/2⌉ — with three
+  // one-vote servers a single list head "wins" (checker must catch this).
   for (const auto& [id, count] : counts) {
-    if (2 * count > all_votes) {
+    const bool wins = mutant == ProtocolMutant::MajorityOffByOne
+                          ? 2 * count >= all_votes - 1
+                          : 2 * count > all_votes;
+    if (wins) {
       return {id == self ? Decision::Kind::Win : Decision::Kind::Lose, id};
     }
   }
@@ -90,8 +96,11 @@ Decision decide(const LockTable& table, const DoneSet& done,
     if (count == max_count) tied.push_back(id);
   }
   // std::map iterates ids in ascending order, so tied is sorted; the winner
-  // by identifier is the front (Theorem 2's deterministic rule).
-  const agent::AgentId by_id = tied.front();
+  // by identifier is the front (Theorem 2's deterministic rule). The
+  // TieBreakLargestId mutant takes the back instead.
+  const agent::AgentId by_id = mutant == ProtocolMutant::TieBreakLargestId
+                                   ? tied.back()
+                                   : tied.front();
 
   switch (mode) {
     case TieBreakMode::PaperLiteral:

@@ -82,9 +82,13 @@ struct Decision {
 ///   outright (majority; with default weights, > N/2 lists).
 /// * Otherwise, once the filtered head of *every* one of the `n_servers`
 ///   lists is known, the tie rule of `mode` applies (see TieBreakMode).
+///
+/// `mutant` deliberately corrupts the rule for model-checker
+/// self-validation (see ProtocolMutant); oracles always pass None.
 Decision decide(const LockTable& table, const DoneSet& done,
                 const agent::AgentId& self, std::size_t n_servers,
-                TieBreakMode mode, const VoteWeights& votes = {});
+                TieBreakMode mode, const VoteWeights& votes = {},
+                ProtocolMutant mutant = ProtocolMutant::None);
 
 /// The paper's literal tie condition: M agents top S servers each, and
 /// S + (N − M·S) < N/2. Exposed for direct unit testing.

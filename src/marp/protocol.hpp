@@ -123,6 +123,10 @@ class MarpProtocol final : public replica::ReplicationProtocol {
   /// UpdateQuorum acts before the COMMIT broadcast goes out.
   using PhaseProbe = std::function<void(const PhaseEvent&)>;
   void set_phase_probe(PhaseProbe probe) { phase_probe_ = std::move(probe); }
+  /// Current probe — lets a second observer (e.g. the model checker's
+  /// invariant monitor) wrap an already-installed one instead of
+  /// silently displacing it.
+  const PhaseProbe& phase_probe() const noexcept { return phase_probe_; }
 
   /// Kill notification for agents that died *without* their host failing
   /// (e.g. a chaos kill of an in-flight agent): after the §2 failure-notice

@@ -42,7 +42,8 @@ MarpServer::MarpServer(net::Network& network, agent::AgentPlatform& platform,
         anti_entropy_rng_.bounded(static_cast<std::uint64_t>(
             std::max<std::int64_t>(1, config_.anti_entropy_interval.as_micros())))));
     simulator().schedule(config_.anti_entropy_interval + jitter,
-                         [this] { anti_entropy_tick(); });
+                         [this] { anti_entropy_tick(); },
+                         static_cast<sim::ActorId>(node_));
   }
 }
 
@@ -60,7 +61,8 @@ void MarpServer::anti_entropy_tick() {
     }
   }
   simulator().schedule(config_.anti_entropy_interval,
-                       [this] { anti_entropy_tick(); });
+                       [this] { anti_entropy_tick(); },
+                       static_cast<sim::ActorId>(node_));
 }
 
 void MarpServer::submit(const replica::Request& request) {
@@ -93,7 +95,7 @@ void MarpServer::submit(const replica::Request& request) {
       }
       protocol_.note_read();
       report(outcome);
-    });
+    }, static_cast<sim::ActorId>(node_));
     return;
   }
 
@@ -111,7 +113,7 @@ void MarpServer::arm_batch_timer() {
   batch_timer_ = simulator().schedule(config_.batch_period, [this] {
     batch_timer_.reset();
     if (up_ && !pending_.empty()) dispatch_agent();
-  });
+  }, static_cast<sim::ActorId>(node_));
 }
 
 void MarpServer::dispatch_agent() {

@@ -207,7 +207,8 @@ void UpdateAgent::evaluate(agent::AgentContext& ctx) {
     const auto it = lt_.find(g);
     const Decision verdict =
         decide(it == lt_.end() ? LockTable{} : it->second, ual_, id(), n,
-               server.config().tie_break, server.config().votes);
+               server.config().tie_break, server.config().votes,
+               server.config().mutant);
     if (verdict.kind == Decision::Kind::Win) headed.push_back(g);
     if (verdict.kind == Decision::Kind::Lose) {
       losing_to.push_back(*verdict.winner);

@@ -137,9 +137,10 @@ void Network::schedule_delivery(const Message& message, const LinkFaults& faults
                             rng_.uniform(1.0, static_cast<double>(
                                                   faults.reorder_delay.as_micros()))));
   }
-  sim_.schedule(latency, [this, msg = message]() mutable {
-    deliver(std::move(msg));
-  });
+  // Actor tag: delivery mutates the destination's state (see simulator.hpp).
+  sim_.schedule(
+      latency, [this, msg = message]() mutable { deliver(std::move(msg)); },
+      static_cast<sim::ActorId>(message.dst));
 }
 
 void Network::multicast(NodeId src, const std::vector<NodeId>& dsts,

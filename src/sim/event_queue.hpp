@@ -4,6 +4,12 @@
 // monotonically increasing tie-break so same-time events fire in scheduling
 // order — this is what makes runs deterministic. 4-ary beats binary here
 // because sift-down touches one cache line of children per level.
+//
+// Same-time events are exactly the nondeterminism points of a real
+// deployment collapsed to one canonical order. The frontier()/pop_specific()
+// pair exposes those points so a ScheduleController (see simulator.hpp) can
+// enumerate the other orders; without a controller the canonical
+// (time, sequence) order is untouched.
 #pragma once
 
 #include <algorithm>
@@ -20,9 +26,16 @@ namespace marp::sim {
 
 using EventId = std::uint64_t;
 
+/// Coarse ownership tag for schedule exploration: the node whose local state
+/// an event's handler mutates. kNoActor means "unknown / global" — such an
+/// event is conservatively treated as dependent on everything.
+using ActorId = std::int32_t;
+inline constexpr ActorId kNoActor = -1;
+
 struct Event {
   SimTime time;
   EventId id = 0;  // scheduling order; doubles as cancellation handle
+  ActorId actor = kNoActor;
   std::function<void()> action;
 
   /// Strict-weak ordering: earlier time first, then earlier schedule order.
@@ -30,6 +43,13 @@ struct Event {
     if (a.time != b.time) return a.time < b.time;
     return a.id < b.id;
   }
+};
+
+/// One runnable alternative at the earliest pending time (see frontier()).
+struct EventChoice {
+  SimTime time;
+  EventId id = 0;
+  ActorId actor = kNoActor;
 };
 
 class EventQueue {
@@ -40,19 +60,23 @@ class EventQueue {
   std::size_t size() const noexcept { return heap_.size() - cancelled_in_heap_; }
 
   /// Insert an event; returns its id (usable with cancel()).
-  EventId push(SimTime time, std::function<void()> action) {
+  EventId push(SimTime time, std::function<void()> action,
+               ActorId actor = kNoActor) {
     const EventId id = next_id_++;
-    heap_.push_back(Event{time, id, std::move(action)});
+    heap_.push_back(Event{time, id, actor, std::move(action)});
+    live_.insert(id);
     sift_up(heap_.size() - 1);
     return id;
   }
 
-  /// Lazily cancel a pending event. Returns false if already fired/cancelled.
+  /// Lazily cancel a pending event. Returns false — and changes nothing —
+  /// if `id` already fired or was already cancelled. Ids are never reused,
+  /// so a stale handle can never cancel a later event by accident.
   bool cancel(EventId id) {
-    auto [it, inserted] = cancelled_.insert(id);
-    (void)it;
-    if (inserted) ++cancelled_in_heap_;
-    return inserted;
+    if (live_.erase(id) == 0) return false;  // fired or already cancelled
+    cancelled_.insert(id);
+    ++cancelled_in_heap_;
+    return true;
   }
 
   /// Time of the earliest live event. Queue must be non-empty.
@@ -62,6 +86,23 @@ class EventQueue {
     return heap_.front().time;
   }
 
+  /// All live events sharing the earliest pending time, ascending id (the
+  /// canonical firing order). Empty queue yields an empty frontier. O(heap)
+  /// — only paid when a ScheduleController is installed.
+  void frontier(std::vector<EventChoice>& out) {
+    out.clear();
+    drop_cancelled_top();
+    if (heap_.empty()) return;
+    const SimTime t = heap_.front().time;
+    for (const Event& e : heap_) {
+      if (e.time == t && !cancelled_.contains(e.id)) {
+        out.push_back(EventChoice{e.time, e.id, e.actor});
+      }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const EventChoice& a, const EventChoice& b) { return a.id < b.id; });
+  }
+
   /// Remove and return the earliest live event. Queue must be non-empty.
   Event pop() {
     drop_cancelled_top();
@@ -69,9 +110,31 @@ class EventQueue {
     return pop_top();
   }
 
+  /// Remove and return the live event `id` (must be pending, e.g. taken
+  /// from frontier()). O(heap) scan; controller-only path.
+  Event pop_specific(EventId id) {
+    MARP_REQUIRE_MSG(live_.contains(id), "pop_specific: event not pending");
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+      if (heap_[i].id != id) continue;
+      Event out = std::move(heap_[i]);
+      live_.erase(id);
+      heap_[i] = std::move(heap_.back());
+      heap_.pop_back();
+      if (i < heap_.size()) {
+        // The replacement came from the bottom; it may need to move either way.
+        sift_down(i);
+        sift_up(i);
+      }
+      return out;
+    }
+    MARP_REQUIRE_MSG(false, "pop_specific: live id missing from heap");
+    return {};
+  }
+
   void clear() {
     heap_.clear();
     cancelled_.clear();
+    live_.clear();
     cancelled_in_heap_ = 0;
   }
 
@@ -80,6 +143,7 @@ class EventQueue {
 
   Event pop_top() {
     Event top = std::move(heap_.front());
+    live_.erase(top.id);
     heap_.front() = std::move(heap_.back());
     heap_.pop_back();
     if (!heap_.empty()) sift_down(0);
@@ -119,13 +183,17 @@ class EventQueue {
     }
   }
 
-  std::vector<Event> heap_;
-  // Lazy cancellation: ids are dropped when they reach the top.
-  // (hash set; expected handful of live cancellations at a time)
   struct IdentityHash {
     std::size_t operator()(EventId id) const noexcept { return id * 0x9E3779B97F4A7C15ULL; }
   };
+
+  std::vector<Event> heap_;
+  // Lazy cancellation: ids are dropped when they reach the top.
+  // (hash set; expected handful of live cancellations at a time)
   std::unordered_set<EventId, IdentityHash> cancelled_;
+  // Ids currently pending (in the heap and not cancelled). Guards cancel()
+  // against already-fired handles, which previously corrupted size().
+  std::unordered_set<EventId, IdentityHash> live_;
   std::size_t cancelled_in_heap_ = 0;
   EventId next_id_ = 1;
 };

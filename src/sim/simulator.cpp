@@ -2,12 +2,24 @@
 
 namespace marp::sim {
 
+Event Simulator::next_event() {
+  if (controller_ != nullptr) {
+    queue_.frontier(frontier_scratch_);
+    MARP_DEBUG_ASSERT(!frontier_scratch_.empty());
+    const std::size_t pick = controller_->choose(frontier_scratch_);
+    MARP_REQUIRE_MSG(pick < frontier_scratch_.size(),
+                     "schedule controller picked an out-of-range event");
+    return queue_.pop_specific(frontier_scratch_[pick].id);
+  }
+  return queue_.pop();
+}
+
 std::uint64_t Simulator::run(SimTime deadline) {
   stop_requested_ = false;
   std::uint64_t count = 0;
   while (!queue_.empty() && !stop_requested_) {
     if (queue_.next_time() > deadline) break;
-    Event event = queue_.pop();
+    Event event = next_event();
     MARP_DEBUG_ASSERT(event.time >= now_);
     now_ = event.time;
     event.action();
@@ -26,7 +38,7 @@ std::uint64_t Simulator::run_events(std::uint64_t max_events) {
   stop_requested_ = false;
   std::uint64_t count = 0;
   while (!queue_.empty() && !stop_requested_ && count < max_events) {
-    Event event = queue_.pop();
+    Event event = next_event();
     MARP_DEBUG_ASSERT(event.time >= now_);
     now_ = event.time;
     event.action();

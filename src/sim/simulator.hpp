@@ -8,12 +8,28 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
 
 namespace marp::sim {
+
+/// Hook for systematic schedule exploration (src/check/). When installed,
+/// the run loop stops picking same-time events in canonical schedule order:
+/// before every step it hands the controller the full frontier — every live
+/// event at the earliest pending time, ascending id — and fires the one the
+/// controller picks. Each frontier of size ≥ 2 is one real nondeterminism
+/// point of a distributed execution; enumerating the picks enumerates the
+/// interleavings. Called for singleton frontiers too, so a controller can
+/// observe every transition (sleep-set bookkeeping needs that).
+class ScheduleController {
+ public:
+  virtual ~ScheduleController() = default;
+  /// Return the index into `runnable` of the event to fire next.
+  virtual std::size_t choose(const std::vector<EventChoice>& runnable) = 0;
+};
 
 class Simulator {
  public:
@@ -26,19 +42,29 @@ class Simulator {
   std::uint64_t seed() const noexcept { return seed_; }
   const RngFactory& rng_factory() const noexcept { return rng_factory_; }
 
-  /// Schedule `action` to run `delay` after the current time.
-  EventId schedule(SimTime delay, std::function<void()> action) {
-    return schedule_at(now_ + delay, std::move(action));
+  /// Schedule `action` to run `delay` after the current time. `actor` tags
+  /// the event with the node whose state the action mutates (kNoActor =
+  /// global); the tag only matters to schedule exploration.
+  EventId schedule(SimTime delay, std::function<void()> action,
+                   ActorId actor = kNoActor) {
+    return schedule_at(now_ + delay, std::move(action), actor);
   }
 
   /// Schedule `action` at an absolute virtual time (must not be in the past).
-  EventId schedule_at(SimTime when, std::function<void()> action) {
+  EventId schedule_at(SimTime when, std::function<void()> action,
+                      ActorId actor = kNoActor) {
     MARP_REQUIRE_MSG(when >= now_, "cannot schedule into the past");
-    return queue_.push(when, std::move(action));
+    return queue_.push(when, std::move(action), actor);
   }
 
   /// Cancel a pending event; returns false if it already fired.
   bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Install (or with nullptr remove) a schedule controller. Without one the
+  /// run loops behave exactly as before — canonical order, zero overhead.
+  void set_schedule_controller(ScheduleController* controller) noexcept {
+    controller_ = controller;
+  }
 
   /// Run until the queue is empty or `deadline` is passed. Returns the
   /// number of events executed. Events scheduled exactly at the deadline
@@ -55,13 +81,20 @@ class Simulator {
   std::size_t pending_events() const noexcept { return queue_.size(); }
   std::uint64_t executed_events() const noexcept { return executed_; }
 
+  /// Time of the earliest pending event (queue must be non-empty).
+  SimTime next_event_time() { return queue_.next_time(); }
+
  private:
+  Event next_event();
+
   EventQueue queue_;
   SimTime now_ = SimTime::zero();
   RngFactory rng_factory_;
   std::uint64_t seed_;
   std::uint64_t executed_ = 0;
   bool stop_requested_ = false;
+  ScheduleController* controller_ = nullptr;
+  std::vector<EventChoice> frontier_scratch_;
 };
 
 }  // namespace marp::sim

@@ -285,5 +285,143 @@ TEST_P(DecideAgreement, AllAgentsNameTheSameWinner) {
 INSTANTIATE_TEST_SUITE_P(Seeds, DecideAgreement,
                          ::testing::Values(1, 17, 23, 901, 4242));
 
+// ---- Independent oracle: the TotalOrder rule, restated from scratch ----
+//
+// decide() is checked against a second implementation of the same spec:
+// majority of filtered heads wins outright; otherwise, with every head
+// known, the smallest AgentId among the maximally-counted heads wins. Any
+// divergence between the two is a bug in one of them.
+
+std::optional<agent::AgentId> oracle_winner(const LockTable& table,
+                                            const DoneSet& done,
+                                            std::size_t n) {
+  std::map<agent::AgentId, std::uint32_t> counts;
+  std::size_t heads_known = 0;
+  for (const auto& [node, snapshot] : table) {
+    if (!snapshot.known()) continue;
+    if (const auto head = filtered_head(snapshot.agents, done)) {
+      ++counts[*head];
+      ++heads_known;
+    }
+  }
+  for (const auto& [id, count] : counts) {
+    if (2 * count > n) return id;  // strict majority of all N lists
+  }
+  if (heads_known < n) return std::nullopt;  // some head unknown: no tie path
+  std::uint32_t best = 0;
+  for (const auto& [id, count] : counts) best = std::max(best, count);
+  std::optional<agent::AgentId> winner;
+  for (const auto& [id, count] : counts) {
+    if (count == best && (!winner || id < *winner)) winner = id;
+  }
+  return winner;
+}
+
+class DecideOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DecideOracle, MatchesIndependentRestatementOfTheRule) {
+  sim::Rng rng(GetParam());
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::size_t n = 3 + rng.bounded(6);
+    const std::size_t agents = 1 + rng.bounded(6);
+    std::vector<agent::AgentId> ids;
+    for (std::uint32_t a = 0; a < agents; ++a) ids.push_back(aid(a + 1));
+    // Random partial-information table: some servers unknown, some done.
+    LockTable table;
+    for (net::NodeId s = 0; s < n; ++s) {
+      if (rng.bounded(5) == 0) continue;  // never observed
+      std::vector<agent::AgentId> queue = ids;
+      rng.shuffle(queue);
+      queue.resize(rng.bounded(queue.size() + 1));
+      table[s] = snap(std::move(queue), trial);
+    }
+    DoneSet done;
+    for (const auto& id : ids) {
+      if (rng.bounded(4) == 0) done.insert(id);
+    }
+
+    const auto expected = oracle_winner(table, done, n);
+    for (const auto& self : ids) {
+      const Decision d = decide(table, done, self, n, TieBreakMode::TotalOrder);
+      if (!expected) {
+        EXPECT_EQ(d.kind, Decision::Kind::Unknown);
+      } else if (self == *expected) {
+        EXPECT_EQ(d.kind, Decision::Kind::Win);
+        EXPECT_EQ(*d.winner, *expected);
+      } else {
+        EXPECT_EQ(d.kind, Decision::Kind::Lose);
+        EXPECT_EQ(*d.winner, *expected);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecideOracle, ::testing::Values(3, 31, 313));
+
+// ---- Permutation invariance: relabeling servers cannot move the lock ----
+
+TEST(Decide, ServerRelabelingDoesNotChangeTheWinner) {
+  sim::Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 3 + rng.bounded(5);
+    std::vector<agent::AgentId> ids = {aid(1), aid(2), aid(3), aid(4)};
+    LockTable table;
+    for (net::NodeId s = 0; s < n; ++s) {
+      std::vector<agent::AgentId> queue = ids;
+      rng.shuffle(queue);
+      queue.resize(1 + rng.bounded(queue.size()));
+      table[s] = snap(std::move(queue), trial);
+    }
+    // With uniform votes the rule only sees the multiset of queues, so any
+    // permutation of node ids must produce the identical decision.
+    std::vector<net::NodeId> relabel(n);
+    for (net::NodeId s = 0; s < n; ++s) relabel[s] = s;
+    rng.shuffle(relabel);
+    LockTable permuted;
+    for (const auto& [node, snapshot] : table) permuted[relabel[node]] = snapshot;
+
+    for (const auto& self : ids) {
+      const Decision a = decide(table, {}, self, n, TieBreakMode::TotalOrder);
+      const Decision b = decide(permuted, {}, self, n, TieBreakMode::TotalOrder);
+      EXPECT_EQ(a.kind, b.kind);
+      EXPECT_EQ(a.winner, b.winner);
+    }
+  }
+}
+
+// ---- Seeded mutants: pin the exact faults the model checker must catch ----
+
+TEST(ProtocolMutants, MajorityOffByOneAcceptsAHalfQuorum) {
+  // N=3 with a single known head: the real rule has no majority (1 of 3)
+  // and no full information, but the off-by-one mutant treats exactly-half
+  // (2·1 ≥ 3−1) as a win. This premature Win is what lets two agents
+  // update concurrently — the violation model_check --mutant majority
+  // must surface on every interleaving where the second head is late.
+  LockTable table;
+  table[0] = snap({aid(1)});
+  const Decision real = decide(table, {}, aid(1), 3, TieBreakMode::TotalOrder);
+  EXPECT_EQ(real.kind, Decision::Kind::Unknown);
+  const Decision mutant = decide(table, {}, aid(1), 3, TieBreakMode::TotalOrder,
+                                 {}, ProtocolMutant::MajorityOffByOne);
+  EXPECT_EQ(mutant.kind, Decision::Kind::Win);
+}
+
+TEST(ProtocolMutants, TieBreakLargestIdInvertsTheTieRule) {
+  // Three servers, three distinct heads: a pure tie. The real rule elects
+  // the smallest id; the mutant elects the largest — so two mutant agents
+  // each believe a different winner, breaking Theorem 1 agreement.
+  LockTable table;
+  table[0] = snap({aid(1), aid(2)});
+  table[1] = snap({aid(2), aid(3)});
+  table[2] = snap({aid(3), aid(1)});
+  const Decision real = decide(table, {}, aid(1), 3, TieBreakMode::TotalOrder);
+  EXPECT_EQ(real.kind, Decision::Kind::Win);
+  EXPECT_EQ(*real.winner, aid(1));
+  const Decision mutant = decide(table, {}, aid(3), 3, TieBreakMode::TotalOrder,
+                                 {}, ProtocolMutant::TieBreakLargestId);
+  EXPECT_EQ(mutant.kind, Decision::Kind::Win);
+  EXPECT_EQ(*mutant.winner, aid(3));
+}
+
 }  // namespace
 }  // namespace marp::core

@@ -62,6 +62,60 @@ TEST(Experiment, SameSeedSameResult) {
   EXPECT_EQ(a.agent_stats.migrations_started, b.agent_stats.migrations_started);
 }
 
+TEST(Experiment, SameSeedIsByteIdenticalPerRequest) {
+  // The model checker (src/check/) and chaos replay both stand on this:
+  // a run is a pure function of its config + seed, down to every
+  // per-request timestamp — not just the aggregates the test above pins.
+  // Faults and link-level chaos are included to cover the RNG draws on
+  // those paths too.
+  auto config = small_config(ProtocolKind::Marp, 91);
+  config.keep_outcomes = true;
+  config.link_faults.drop = 0.05;
+  config.failures.push_back({sim::SimTime::seconds(1), 2, true});
+  config.failures.push_back({sim::SimTime::seconds(2), 2, false});
+
+  const RunResult a = run_experiment(config);
+  const RunResult b = run_experiment(config);
+
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.successful_writes, b.successful_writes);
+  EXPECT_EQ(a.failed_writes, b.failed_writes);
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_DOUBLE_EQ(a.alt_ms, b.alt_ms);
+  EXPECT_DOUBLE_EQ(a.att_ms, b.att_ms);
+  EXPECT_DOUBLE_EQ(a.client_latency_ms, b.client_latency_ms);
+  EXPECT_DOUBLE_EQ(a.att_p99_ms, b.att_p99_ms);
+  EXPECT_EQ(a.prk, b.prk);
+  EXPECT_EQ(a.net_stats.messages_sent, b.net_stats.messages_sent);
+  EXPECT_EQ(a.net_stats.messages_delivered, b.net_stats.messages_delivered);
+  EXPECT_EQ(a.net_stats.bytes_sent, b.net_stats.bytes_sent);
+  EXPECT_EQ(a.net_stats.fault_drops, b.net_stats.fault_drops);
+  EXPECT_EQ(a.agent_stats.migrations_started, b.agent_stats.migrations_started);
+  EXPECT_EQ(a.marp_stats.updates_committed, b.marp_stats.updates_committed);
+  EXPECT_EQ(a.marp_stats.updates_aborted, b.marp_stats.updates_aborted);
+  EXPECT_EQ(a.marp_stats.update_attempts, b.marp_stats.update_attempts);
+  EXPECT_EQ(a.mutex_violations, b.mutex_violations);
+  EXPECT_EQ(a.consistent, b.consistent);
+  EXPECT_EQ(a.consistency_problems, b.consistency_problems);
+
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    const replica::Outcome& x = a.outcomes[i];
+    const replica::Outcome& y = b.outcomes[i];
+    EXPECT_EQ(x.request_id, y.request_id) << "outcome " << i;
+    EXPECT_EQ(x.kind, y.kind) << "outcome " << i;
+    EXPECT_EQ(x.origin, y.origin) << "outcome " << i;
+    EXPECT_EQ(x.success, y.success) << "outcome " << i;
+    EXPECT_EQ(x.value, y.value) << "outcome " << i;
+    EXPECT_EQ(x.submitted, y.submitted) << "outcome " << i;
+    EXPECT_EQ(x.completed, y.completed) << "outcome " << i;
+    EXPECT_EQ(x.dispatched, y.dispatched) << "outcome " << i;
+    EXPECT_EQ(x.lock_obtained, y.lock_obtained) << "outcome " << i;
+    EXPECT_EQ(x.servers_visited, y.servers_visited) << "outcome " << i;
+  }
+}
+
 TEST(Experiment, DifferentSeedsDiffer) {
   const RunResult a = run_experiment(small_config(ProtocolKind::Marp, 1));
   const RunResult b = run_experiment(small_config(ProtocolKind::Marp, 2));

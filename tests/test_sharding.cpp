@@ -78,6 +78,40 @@ TEST(ShardRouter, StableHashIsFixedForever) {
   EXPECT_EQ(shard::ShardRouter::stable_hash("a"), 0xAF63DC4C8601EC8CULL);
 }
 
+TEST(ShardRouter, GoldenHashAndRoutingTable) {
+  // Golden values computed by an independent FNV-1a implementation
+  // (offset 0xCBF29CE484222325, prime 0x100000001B3). Each row also pins
+  // group_of under 2-, 4-, and 8-way routing: hash % G is the routing
+  // contract, so these rows freeze the *placement* of real workload keys,
+  // not just the hash bits. Any mismatch means existing deployments would
+  // route the same key to a different Locking List after an upgrade.
+  struct Golden {
+    const char* key;
+    std::uint64_t hash;
+    shard::GroupId mod2, mod4, mod8;
+  };
+  constexpr Golden kTable[] = {
+      {"", 0xCBF29CE484222325ULL, 1, 1, 5},
+      {"alpha", 0x8AC625BB85ED202BULL, 1, 3, 3},
+      {"beta", 0x7627619B954620A7ULL, 1, 3, 7},
+      {"gamma", 0x229176BD1F6BA96AULL, 0, 2, 2},
+      {"delta", 0x52076675EC13A0C1ULL, 1, 1, 1},
+      {"key-0", 0x71135BF295F28059ULL, 1, 1, 1},
+      {"key-1", 0x71135AF295F27EA6ULL, 0, 2, 6},
+      {"key-2", 0x711359F295F27CF3ULL, 1, 3, 3},
+      {"key-3", 0x711358F295F27B40ULL, 0, 0, 0},
+      {"user:42", 0x6C151EA4DCD221C2ULL, 0, 2, 2},
+      {"the same bytes hash the same", 0xCBE33480B7DE2F02ULL, 0, 2, 2},
+  };
+  const shard::ShardRouter r2(2), r4(4), r8(8);
+  for (const Golden& row : kTable) {
+    EXPECT_EQ(shard::ShardRouter::stable_hash(row.key), row.hash) << row.key;
+    EXPECT_EQ(r2.group_of(row.key), row.mod2) << row.key;
+    EXPECT_EQ(r4.group_of(row.key), row.mod4) << row.key;
+    EXPECT_EQ(r8.group_of(row.key), row.mod8) << row.key;
+  }
+}
+
 // ---------- LockSpace ----------
 
 agent::AgentId aid(std::uint32_t n) { return agent::AgentId{n, n * 100, 0}; }

@@ -78,6 +78,91 @@ TEST(EventQueue, CancelHeadAdvancesNextTime) {
   EXPECT_EQ(queue.next_time(), 9_ms);
 }
 
+TEST(EventQueue, CancelAfterFireIsRejectedWithoutCorruption) {
+  // Regression: cancelling an id that has already fired used to register a
+  // phantom cancellation (cancelled_in_heap_ grew with nothing in the heap
+  // to match), permanently skewing size()/empty() for the rest of the run.
+  // The contract is: cancel() of a fired — or never-issued — id returns
+  // false and changes nothing.
+  EventQueue queue;
+  int fired = 0;
+  const EventId first = queue.push(1_ms, [&] { ++fired; });
+  queue.pop().action();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(queue.cancel(first));  // already fired
+  EXPECT_FALSE(queue.cancel(first + 12345));  // never issued
+
+  // Accounting must still be exact: a fresh event is visible, cancellable,
+  // and the queue drains back to empty.
+  const EventId second = queue.push(2_ms, [&] { ++fired; });
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_FALSE(queue.empty());
+  EXPECT_TRUE(queue.cancel(second));
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_TRUE(queue.empty());
+
+  // Ids are never reused, so a stale cancel can also never hit a newer
+  // event by accident.
+  const EventId third = queue.push(3_ms, [&] { ++fired; });
+  EXPECT_GT(third, second);
+  EXPECT_FALSE(queue.cancel(second));  // still dead
+  queue.pop().action();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CancelThenRescheduleKeepsTimerSemantics) {
+  // The cancel-then-reschedule idiom every timer in the codebase relies on:
+  // re-arming a timer must leave exactly one pending event even when the
+  // old one already fired.
+  EventQueue queue;
+  std::vector<int> fired;
+  EventId timer = queue.push(1_ms, [&] { fired.push_back(1); });
+  // Re-arm before firing: old cancelled, new pending.
+  EXPECT_TRUE(queue.cancel(timer));
+  timer = queue.push(2_ms, [&] { fired.push_back(2); });
+  queue.pop().action();
+  // Re-arm after firing: cancel is a no-op, push yields the only event.
+  EXPECT_FALSE(queue.cancel(timer));
+  timer = queue.push(3_ms, [&] { fired.push_back(3); });
+  EXPECT_EQ(queue.size(), 1u);
+  queue.pop().action();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(fired, (std::vector<int>{2, 3}));
+}
+
+TEST(EventQueue, FrontierListsAllEarliestEventsInIdOrder) {
+  EventQueue queue;
+  queue.push(5_ms, [] {}, 7);
+  const EventId cancelled = queue.push(5_ms, [] {}, 8);
+  queue.push(5_ms, [] {}, 9);
+  queue.push(6_ms, [] {});  // later time: not part of the frontier
+  queue.cancel(cancelled);
+
+  std::vector<EventChoice> frontier;
+  queue.frontier(frontier);
+  ASSERT_EQ(frontier.size(), 2u);
+  EXPECT_LT(frontier[0].id, frontier[1].id);
+  EXPECT_EQ(frontier[0].time, 5_ms);
+  EXPECT_EQ(frontier[1].time, 5_ms);
+  EXPECT_EQ(frontier[0].actor, 7);
+  EXPECT_EQ(frontier[1].actor, 9);
+}
+
+TEST(EventQueue, PopSpecificRemovesExactlyThatEvent) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.push(5_ms, [&] { fired.push_back(0); });
+  const EventId middle = queue.push(5_ms, [&] { fired.push_back(1); });
+  queue.push(5_ms, [&] { fired.push_back(2); });
+
+  // Pull the middle event out of turn, then drain: the remaining two still
+  // fire in canonical id order and heap invariants survived the surgery.
+  queue.pop_specific(middle).action();
+  EXPECT_EQ(queue.size(), 2u);
+  while (!queue.empty()) queue.pop().action();
+  EXPECT_EQ(fired, (std::vector<int>{1, 0, 2}));
+}
+
 class EventQueueRandomized : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(EventQueueRandomized, PopsInNondecreasingTimeOrder) {

@@ -1,0 +1,246 @@
+// model_check — exhaustive bounded schedule exploration over the MARP
+// protocol (src/check/). Where chaos_sim *samples* interleavings by seed,
+// this tool *enumerates* them: every same-time tie in the deterministic
+// event queue is a decision point, and the DFS explorer (with sleep-set
+// partial-order reduction) walks every inequivalent resolution, asserting
+// the full invariant battery — Theorems 1–3, per-group and per-key commit
+// order, grant-leak freedom, convergence — after every single event.
+//
+//   model_check                              # exhaust N=3, 2 agents, 1 group
+//   model_check --servers 4 --agents 3       # bigger space, same invariants
+//   model_check --mutant majority            # MUST report violations
+//   model_check --mutant tiebreak            # MUST report violations
+//   model_check --fault crash                # one quorum-phase crash explored
+//   model_check --replay 1,0,2               # re-run one schedule, verbosely
+//
+// A violation is reported with its schedule — the vector of choice indices
+// taken at successive decision points — which replays the identical failure
+// bit-for-bit via --replay. Exit status: 1 when violations were found (or,
+// with --expect-violation, when none were), 0 otherwise.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/explorer.hpp"
+
+namespace {
+
+using namespace marp;
+
+[[noreturn]] void usage(const char* argv0, int code) {
+  std::ostream& os = code == 0 ? std::cout : std::cerr;
+  os << "usage: " << argv0 << " [flags]\n"
+     << "  --servers N          replicas (default 3)\n"
+     << "  --agents N           concurrent single-write agents (default 2)\n"
+     << "  --groups N           lock groups (default 1)\n"
+     << "  --mutant KIND        none|majority|tiebreak (default none)\n"
+     << "  --fault KIND         none|crash|drop (default none)\n"
+     << "  --max-schedules N    schedule budget (default 200000)\n"
+     << "  --max-branch-points N  depth allowed to branch (default 256)\n"
+     << "  --horizon-ms N       per-run virtual-time bound (default: auto)\n"
+     << "  --no-prune           disable sleep-set partial-order reduction\n"
+     << "  --fail-fast          stop at the first violation\n"
+     << "  --expect-violation   invert the exit status (mutant CI runs)\n"
+     << "  --replay I,J,K       re-run one schedule verbosely and exit\n"
+     << "  --out FILE           write the JSON report to FILE (default stdout)\n";
+  std::exit(code);
+}
+
+std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string schedule_str(const std::vector<std::size_t>& schedule) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    if (i) os << ",";
+    os << schedule[i];
+  }
+  return os.str();
+}
+
+std::vector<std::size_t> parse_schedule(const std::string& text) {
+  std::vector<std::size_t> schedule;
+  std::istringstream is(text);
+  std::string part;
+  while (std::getline(is, part, ',')) {
+    if (!part.empty()) schedule.push_back(std::stoull(part));
+  }
+  return schedule;
+}
+
+const char* mutant_name(core::ProtocolMutant mutant) {
+  switch (mutant) {
+    case core::ProtocolMutant::None: return "none";
+    case core::ProtocolMutant::MajorityOffByOne: return "majority";
+    case core::ProtocolMutant::TieBreakLargestId: return "tiebreak";
+  }
+  return "?";
+}
+
+const char* fault_name(check::FaultKind fault) {
+  switch (fault) {
+    case check::FaultKind::None: return "none";
+    case check::FaultKind::Crash: return "crash";
+    case check::FaultKind::Drop: return "drop";
+  }
+  return "?";
+}
+
+void emit_report(std::ostream& os, const check::ScenarioConfig& scenario,
+                 const check::ExploreLimits& limits,
+                 const check::ExploreReport& report, bool replay_verified) {
+  os << "{\"config\":{"
+     << "\"servers\":" << scenario.servers
+     << ",\"agents\":" << scenario.agents
+     << ",\"groups\":" << scenario.lock_groups
+     << ",\"mutant\":\"" << mutant_name(scenario.mutant) << "\""
+     << ",\"fault\":\"" << fault_name(scenario.fault) << "\""
+     << ",\"horizon_us\":" << scenario.effective_horizon().as_micros()
+     << ",\"sleep_sets\":" << (limits.sleep_sets ? "true" : "false") << "}"
+     << ",\"schedules_explored\":" << report.schedules_explored
+     << ",\"sleep_blocked\":" << report.sleep_blocked
+     << ",\"branch_capped\":" << report.branch_capped
+     << ",\"total_steps\":" << report.total_steps
+     << ",\"max_frontier\":" << report.max_frontier
+     << ",\"max_decision_points\":" << report.max_decision_points
+     << ",\"complete\":" << (report.complete ? "true" : "false")
+     << ",\"exhaustive\":" << (report.exhaustive ? "true" : "false")
+     << ",\"replay_verified\":" << (replay_verified ? "true" : "false")
+     << ",\"violations\":[";
+  for (std::size_t i = 0; i < report.violations.size(); ++i) {
+    const check::ViolationRecord& v = report.violations[i];
+    if (i) os << ",";
+    os << "{\"schedule\":\"" << schedule_str(v.schedule) << "\""
+       << ",\"step\":" << v.step << ",\"time_us\":" << v.time_us
+       << ",\"problem\":\"" << json_escape(v.problem) << "\"}";
+  }
+  os << "]}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  check::ScenarioConfig scenario;
+  check::ExploreLimits limits;
+  bool expect_violation = false;
+  bool replay_mode = false;
+  std::vector<std::size_t> replay_schedule;
+  std::string out_path;
+
+  auto value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage(argv[0], 2);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") usage(argv[0], 0);
+    else if (flag == "--servers") scenario.servers = std::stoull(value(i));
+    else if (flag == "--agents") scenario.agents = std::stoull(value(i));
+    else if (flag == "--groups") scenario.lock_groups = std::stoull(value(i));
+    else if (flag == "--horizon-ms")
+      scenario.horizon = sim::SimTime::millis(std::stoll(value(i)));
+    else if (flag == "--max-schedules") limits.max_schedules = std::stoull(value(i));
+    else if (flag == "--max-branch-points")
+      limits.max_branch_points = std::stoull(value(i));
+    else if (flag == "--no-prune") limits.sleep_sets = false;
+    else if (flag == "--fail-fast") limits.fail_fast = true;
+    else if (flag == "--expect-violation") expect_violation = true;
+    else if (flag == "--replay") {
+      replay_mode = true;
+      replay_schedule = parse_schedule(value(i));
+    } else if (flag == "--out") out_path = value(i);
+    else if (flag == "--mutant") {
+      const std::string kind = value(i);
+      if (kind == "none") scenario.mutant = core::ProtocolMutant::None;
+      else if (kind == "majority")
+        scenario.mutant = core::ProtocolMutant::MajorityOffByOne;
+      else if (kind == "tiebreak")
+        scenario.mutant = core::ProtocolMutant::TieBreakLargestId;
+      else usage(argv[0], 2);
+    } else if (flag == "--fault") {
+      const std::string kind = value(i);
+      if (kind == "none") scenario.fault = check::FaultKind::None;
+      else if (kind == "crash") scenario.fault = check::FaultKind::Crash;
+      else if (kind == "drop") scenario.fault = check::FaultKind::Drop;
+      else usage(argv[0], 2);
+    } else {
+      usage(argv[0], 2);
+    }
+  }
+
+  if (scenario.fault == check::FaultKind::Drop && limits.sleep_sets) {
+    // A full-loss window consumes shared RNG draws per message, which
+    // breaks the per-node independence the reduction assumes.
+    std::cerr << "note: --fault drop disables sleep-set pruning\n";
+    limits.sleep_sets = false;
+  }
+
+  if (replay_mode) {
+    const check::ReplayResult result = check::replay(scenario, replay_schedule);
+    for (const std::string& line : result.decisions) std::cout << line << "\n";
+    std::cout << "steps=" << result.outcome.steps
+              << " outcomes=" << result.outcome.outcomes << "\n";
+    if (result.outcome.violation) {
+      std::cout << "VIOLATION at step " << result.outcome.violation_step
+                << " t=" << result.outcome.violation_time_us << "us: "
+                << result.outcome.problem << "\n";
+      return 1;
+    }
+    std::cout << "no violation\n";
+    return 0;
+  }
+
+  const check::ExploreReport report = check::explore(scenario, limits);
+
+  // Self-check the replay promise: the first reported violation, re-run
+  // from nothing but its schedule string, must reproduce the identical
+  // failure (same problem, same step).
+  bool replay_verified = false;
+  if (!report.violations.empty()) {
+    const check::ViolationRecord& v = report.violations.front();
+    const check::ReplayResult result = check::replay(scenario, v.schedule);
+    replay_verified = result.outcome.violation &&
+                      result.outcome.problem == v.problem &&
+                      result.outcome.violation_step == v.step;
+  }
+
+  if (out_path.empty()) {
+    emit_report(std::cout, scenario, limits, report, replay_verified);
+  } else {
+    std::ofstream file(out_path);
+    emit_report(file, scenario, limits, report, replay_verified);
+    std::cout << "report written to " << out_path << "\n";
+  }
+
+  std::cerr << "explored " << report.schedules_explored << " schedules ("
+            << report.sleep_blocked << " sleep-blocked, "
+            << (report.exhaustive ? "exhaustive" : "bounded") << "), "
+            << report.violations.size() << " violation(s)\n";
+  if (!report.violations.empty()) {
+    std::cerr << "replay the first with: --replay "
+              << schedule_str(report.violations.front().schedule)
+              << (report.violations.front().schedule.empty() ? "\"\"" : "")
+              << " (replay " << (replay_verified ? "verified" : "FAILED TO REPRODUCE")
+              << ")\n";
+  }
+
+  const bool found = !report.violations.empty();
+  if (expect_violation) return found && replay_verified ? 0 : 1;
+  return found ? 1 : 0;
+}
