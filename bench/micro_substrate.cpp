@@ -113,6 +113,10 @@ BENCHMARK(BM_NetworkUnicastDelivery);
 
 void BM_MarpEndToEnd(benchmark::State& state) {
   // Whole-stack sanity number: one bounded MARP simulation per iteration.
+  // Arg(0) runs untraced (tracer never installed — the hook sites' guard
+  // branch is the only cost); Arg(1) runs with a live tracer recording every
+  // span. CI compares the two as the disabled-tracing overhead guard.
+  const bool traced = state.range(0) != 0;
   for (auto _ : state) {
     runner::ExperimentConfig config;
     config.servers = 5;
@@ -121,12 +125,17 @@ void BM_MarpEndToEnd(benchmark::State& state) {
     config.workload.duration = sim::SimTime::seconds(10);
     config.workload.max_requests_per_server = 20;
     config.drain = sim::SimTime::seconds(120);
+    if (traced) config.trace_capacity = 1u << 16;
     const runner::RunResult result = runner::run_experiment(config);
     if (!result.consistent) state.SkipWithError("inconsistent run");
     benchmark::DoNotOptimize(result.att_ms);
   }
 }
-BENCHMARK(BM_MarpEndToEnd)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MarpEndToEnd)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("traced")
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

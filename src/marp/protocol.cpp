@@ -3,6 +3,7 @@
 #include "marp/priority.hpp"
 #include "marp/read_agent.hpp"
 #include "marp/update_agent.hpp"
+#include "trace/tracer.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
@@ -115,6 +116,7 @@ void MarpProtocol::note_update_quorum(const agent::AgentId& agent,
       }
     }
   }
+  if (tracer_) tracer_->quorum_win(agent, node);
   if (phase_probe_) phase_probe_({ProtocolPhase::UpdateQuorum, agent, node});
 }
 

@@ -14,6 +14,10 @@
 #include "marp/server.hpp"
 #include "replica/request.hpp"
 
+namespace marp::trace {
+class Tracer;
+}
+
 namespace marp::core {
 
 /// Protocol-level anomalies: duplicated, reordered, or orphaned coordination
@@ -128,6 +132,12 @@ class MarpProtocol final : public replica::ReplicationProtocol {
   /// silently displacing it.
   const PhaseProbe& phase_probe() const noexcept { return phase_probe_; }
 
+  /// Install an execution tracer (nullptr to remove; not owned). Servers
+  /// and agents reach it through protocol().tracer() behind null checks, so
+  /// an untraced run pays one pointer test per hook site.
+  void set_tracer(trace::Tracer* tracer) noexcept { tracer_ = tracer; }
+  trace::Tracer* tracer() const noexcept { return tracer_; }
+
   /// Kill notification for agents that died *without* their host failing
   /// (e.g. a chaos kill of an in-flight agent): after the §2 failure-notice
   /// delay every live server purges state owned by the dead agents, exactly
@@ -161,6 +171,7 @@ class MarpProtocol final : public replica::ReplicationProtocol {
   MarpStats stats_;
   std::vector<CommitRecord> commit_log_;
   PhaseProbe phase_probe_;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace marp::core

@@ -6,6 +6,7 @@
 #include "marp/protocol.hpp"
 #include "marp/read_agent.hpp"
 #include "marp/update_agent.hpp"
+#include "trace/tracer.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
@@ -57,6 +58,7 @@ void MarpServer::anti_entropy_tick() {
       peer = static_cast<net::NodeId>(anti_entropy_rng_.bounded(network_.size()));
     }
     if (peer != node_ && network_.node_up(peer)) {
+      if (auto* tracer = protocol_.tracer()) tracer->anti_entropy(node_);
       network_.send(net::Message{node_, peer, kMsgSyncReq, {}});
     }
   }
@@ -101,6 +103,9 @@ void MarpServer::submit(const replica::Request& request) {
 
   outstanding_[request.id] = request;
   pending_.push_back(request);
+  if (auto* tracer = protocol_.tracer(); tracer && pending_.size() == 1) {
+    tracer->batch_open(node_);  // submit → dispatch queueing span
+  }
   if (pending_.size() >= config_.batch_size) {
     dispatch_agent();
   } else {
@@ -127,6 +132,9 @@ void MarpServer::dispatch_agent() {
     writes.push_back({request.id, request.key, request.value});
   }
   pending_.clear();
+  if (auto* tracer = protocol_.tracer()) {
+    tracer->batch_dispatch(node_, writes.size());
+  }
   platform_.host(node_).create(std::make_unique<UpdateAgent>(node_, std::move(writes)));
 }
 
@@ -143,7 +151,9 @@ VisitResult MarpServer::visit(const agent::AgentId& visitor,
   // lock group the write-set routes to.
   for (const shard::GroupId g : groups) {
     auto& grp = lock_space_.group(g);
-    grp.ll.append(visitor, now());
+    if (grp.ll.append(visitor, now())) {
+      if (auto* tracer = protocol_.tracer()) tracer->ll_enqueue(visitor, node_, g);
+    }
     result.locking_lists.emplace(
         g, LockSnapshot{grp.ll.snapshot(), now().as_micros()});
   }
@@ -177,7 +187,9 @@ MarpServer::RefreshResult MarpServer::refresh(
   RefreshResult result;
   for (const shard::GroupId g : effective_groups(groups)) {
     auto& grp = lock_space_.group(g);
-    grp.ll.append(visitor, now());  // no-op when already queued
+    if (grp.ll.append(visitor, now())) {  // no-op when already queued
+      if (auto* tracer = protocol_.tracer()) tracer->ll_enqueue(visitor, node_, g);
+    }
     result.locking_lists.emplace(
         g, LockSnapshot{grp.ll.snapshot(), now().as_micros()});
   }
@@ -243,6 +255,7 @@ void MarpServer::handle_commit_local(const CommitPayload& payload) {
   lock_space_.release_grants(payload.agent, kAnyAttempt);
   unlocked_attempts_.erase(payload.agent);
   lock_space_.remove_from_lists(payload.agent, payload.groups);
+  if (auto* tracer = protocol_.tracer()) tracer->ll_remove_all(payload.agent, node_);
   ul_.add(payload.agent);
   // Wake local waiters even if the winner never queued here: the UL entry
   // alone changes filtered heads everywhere.
@@ -254,6 +267,7 @@ void MarpServer::handle_release_local(const ReleasePayload& payload) {
   lock_space_.release_grants(payload.agent, kAnyAttempt);
   unlocked_attempts_.erase(payload.agent);
   if (lock_space_.remove_from_lists(payload.agent, payload.groups)) {
+    if (auto* tracer = protocol_.tracer()) tracer->ll_remove_all(payload.agent, node_);
     signal_lock_changed();
   }
 }
@@ -416,11 +430,13 @@ void MarpServer::purge_agents(const std::vector<agent::AgentId>& dead) {
     staged_.erase(id);
     unlocked_attempts_.erase(id);
     changed = lock_space_.purge(id) || changed;
+    if (auto* tracer = protocol_.tracer()) tracer->ll_remove_all(id, node_);
   }
   if (changed) signal_lock_changed();
 }
 
 void MarpServer::reset_coordination() {
+  if (auto* tracer = protocol_.tracer()) tracer->node_reset(node_);
   lock_space_.clear();
   ul_ = replica::UpdatedList{};
   gossip_cache_.clear();
@@ -436,6 +452,7 @@ void MarpServer::signal_lock_changed() {
 void MarpServer::on_fail() {
   // The process halts: volatile coordination state is gone; buffered client
   // requests are lost. The versioned store survives on stable storage.
+  if (auto* tracer = protocol_.tracer()) tracer->node_reset(node_);
   lock_space_.clear();
   ul_ = replica::UpdatedList{};
   gossip_cache_.clear();

@@ -4,6 +4,7 @@
 
 #include "marp/protocol.hpp"
 #include "marp/server.hpp"
+#include "trace/tracer.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
@@ -18,6 +19,10 @@ MarpServer& UpdateAgent::server_here(agent::AgentContext& ctx) const {
   auto* server = ctx.service<MarpServer>(kMarpServiceName);
   MARP_REQUIRE_MSG(server != nullptr, "no MARP server on this host");
   return *server;
+}
+
+trace::Tracer* UpdateAgent::tracer(agent::AgentContext& ctx) const {
+  return server_here(ctx).protocol().tracer();
 }
 
 std::vector<std::string> UpdateAgent::keys() const {
@@ -49,6 +54,7 @@ void UpdateAgent::on_created(agent::AgentContext& ctx) {
   groups_ = server.router().groups_of(keys());
   if (groups_.empty()) groups_.push_back(0);
   ctx.set_timer(server.config().visit_service_time, kTokenVisit);
+  if (auto* t = tracer(ctx)) t->visit_begin(id(), ctx.here());
 }
 
 void UpdateAgent::on_arrival(agent::AgentContext& ctx) {
@@ -56,6 +62,7 @@ void UpdateAgent::on_arrival(agent::AgentContext& ctx) {
   current_target_ = net::kInvalidNode;
   patrol_armed_ = false;  // timers died with the previous incarnation
   ctx.set_timer(server_here(ctx).config().visit_service_time, kTokenVisit);
+  if (auto* t = tracer(ctx)) t->visit_begin(id(), ctx.here());
 }
 
 void UpdateAgent::arm_patrol(agent::AgentContext& ctx) {
@@ -74,6 +81,7 @@ void UpdateAgent::on_timer(agent::AgentContext& ctx, std::uint64_t token) {
       if (phase_ != Phase::Waiting) break;
       const net::NodeId target = pick_stalest(ctx);
       if (target != net::kInvalidNode) {
+        if (auto* t = tracer(ctx)) t->wait_end(id());
         phase_ = Phase::Traveling;
         current_target_ = target;
         migration_retries_ = 0;
@@ -95,6 +103,7 @@ void UpdateAgent::on_timer(agent::AgentContext& ctx, std::uint64_t token) {
         abort(ctx);
         break;
       }
+      if (auto* t = tracer(ctx)) t->retry(id(), ctx.here(), trace::kRetryAck);
       // Re-send UPDATE to servers that have not acked (idempotent staging).
       const UpdatePayload payload{id(), ctx.here(), attempt_seq_, ops_, groups_};
       const serial::Bytes bytes = payload.encode();
@@ -114,10 +123,12 @@ void UpdateAgent::on_timer(agent::AgentContext& ctx, std::uint64_t token) {
         // Stragglers are down or partitioned beyond the retransmit window;
         // they catch up via recovery sync / anti-entropy. The decision
         // itself was final the moment COMMIT first went out.
+        if (auto* t = tracer(ctx)) t->commit_fanout_end(id());
         phase_ = Phase::Done;
         ctx.dispose();
         break;
       }
+      if (auto* t = tracer(ctx)) t->retry(id(), ctx.here(), trace::kRetryCommit);
       if (committed_) {
         const CommitPayload commit{id(), ops_, groups_, ctx.here()};
         const serial::Bytes bytes = commit.encode();
@@ -162,6 +173,9 @@ void UpdateAgent::on_timer(agent::AgentContext& ctx, std::uint64_t token) {
 }
 
 void UpdateAgent::do_visit(agent::AgentContext& ctx) {
+  // The service window elapsed either way — close the span even when the
+  // agent has moved past visiting (the timer outlived the phase).
+  if (auto* t = tracer(ctx)) t->visit_end(id());
   if (phase_ == Phase::Done || phase_ == Phase::Updating ||
       phase_ == Phase::Committing) {
     return;
@@ -264,6 +278,7 @@ void UpdateAgent::evaluate(agent::AgentContext& ctx) {
   // Not (yet) the winner: keep collecting locks while servers remain.
   const net::NodeId next = pick_next_target(ctx);
   if (next != net::kInvalidNode) {
+    if (auto* t = tracer(ctx)) t->wait_end(id());
     current_target_ = next;
     migration_retries_ = 0;
     ctx.dispatch_to(next);
@@ -291,6 +306,7 @@ void UpdateAgent::evaluate(agent::AgentContext& ctx) {
 
   // Park here; lock-change signals and the patrol timer (stale-info
   // refresh) guarantee re-evaluation.
+  if (auto* t = tracer(ctx)) t->wait_begin(id(), ctx.here());
   phase_ = Phase::Waiting;
   arm_patrol(ctx);
 }
@@ -298,6 +314,10 @@ void UpdateAgent::evaluate(agent::AgentContext& ctx) {
 void UpdateAgent::withdraw_and_requeue(agent::AgentContext& ctx) {
   MarpServer& server = server_here(ctx);
   server.protocol().note_update_requeue(id());
+  if (auto* t = tracer(ctx)) {
+    t->wait_end(id());
+    t->requeue(id(), ctx.here());
+  }
   // Reset our own race state FIRST: handle_release_local() below raises the
   // lock-changed signal synchronously, which re-enters on_signal()/evaluate()
   // for every Waiting agent on this host — including us unless the phase
@@ -394,10 +414,17 @@ void UpdateAgent::on_migration_failed(agent::AgentContext& ctx,
       // retry back-to-back and declaring a healthy replica unavailable.
       current_target_ = destination;
       const std::uint32_t shift = std::min(migration_retries_ - 1u, 16u);
-      ctx.set_timer(sim::SimTime::micros(config.migration_retry_backoff.as_micros()
-                                         << shift),
-                    kTokenMigrationRetry);
+      const sim::SimTime delay =
+          sim::SimTime::micros(config.migration_retry_backoff.as_micros() << shift);
+      if (auto* t = tracer(ctx)) {
+        t->backoff(id(), ctx.here(),
+                   static_cast<std::uint64_t>(delay.as_micros()));
+      }
+      ctx.set_timer(delay, kTokenMigrationRetry);
       return;
+    }
+    if (auto* t = tracer(ctx)) {
+      t->retry(id(), ctx.here(), trace::kRetryMigration);
     }
     ctx.dispatch_to(destination);
     return;
@@ -424,6 +451,7 @@ void UpdateAgent::on_migration_failed(agent::AgentContext& ctx,
 
 void UpdateAgent::begin_update(agent::AgentContext& ctx) {
   MarpServer& server = server_here(ctx);
+  if (auto* t = tracer(ctx)) t->wait_end(id());
   phase_ = Phase::Updating;
   lock_obtained_us_ = ctx.now().as_micros();
   server.protocol().note_update_attempt(id(), ctx.here());
@@ -444,6 +472,7 @@ void UpdateAgent::begin_update(agent::AgentContext& ctx) {
   }
 
   ++attempt_seq_;
+  if (auto* t = tracer(ctx)) t->update_round_begin(id(), ctx.here(), attempt_seq_);
   const UpdatePayload payload{id(), ctx.here(), attempt_seq_, ops_, groups_};
   // Take the local grants first: if even the local server holds one of our
   // groups for another session, back off without spending any messages.
@@ -524,6 +553,11 @@ void UpdateAgent::on_message(agent::AgentContext& ctx, net::MessageType type,
 void UpdateAgent::demote(agent::AgentContext& ctx, const agent::AgentId& holder,
                          bool broadcast_unlock) {
   MarpServer& server = server_here(ctx);
+  if (auto* t = tracer(ctx)) {
+    t->update_round_end(id(), /*outcome=*/1);
+    t->retry(id(), ctx.here(), trace::kRetryClaim);
+    t->wait_begin(id(), ctx.here());
+  }
   if (broadcast_unlock) {
     ctx.broadcast(kMsgUnlock, UnlockPayload{id(), attempt_seq_}.encode());
     server.handle_unlock_local(id(), attempt_seq_);
@@ -559,6 +593,10 @@ void UpdateAgent::finish_update(agent::AgentContext& ctx) {
   // (The quorum probe fires here, synchronously — a fault injector acting on
   // it cuts links *between* quorum assembly and the COMMIT broadcast.)
   server.protocol().note_update_quorum(id(), groups_, ctx.here());
+  if (auto* t = tracer(ctx)) {
+    t->update_round_end(id(), /*outcome=*/0);
+    t->commit_fanout_begin(id(), ctx.here(), /*commit=*/true);
+  }
   const bool reliable = server.config().reliable_commit;
   const CommitPayload commit{id(), ops_, groups_,
                              reliable ? ctx.here() : net::kInvalidNode};
@@ -568,6 +606,7 @@ void UpdateAgent::finish_update(agent::AgentContext& ctx) {
   if (!reliable) {
     // Fire-and-forget (the paper's Algorithm 1): a COMMIT copy lost on the
     // wire is only repaired by recovery sync / anti-entropy.
+    if (auto* t = tracer(ctx)) t->commit_fanout_end(id());
     phase_ = Phase::Done;
     send_report(ctx, /*success=*/true);
     ctx.dispose();
@@ -592,12 +631,19 @@ void UpdateAgent::finish_update(agent::AgentContext& ctx) {
 void UpdateAgent::abort(agent::AgentContext& ctx) {
   MarpServer& server = server_here(ctx);
   server.protocol().note_update_abort(id(), ctx.here());
+  if (auto* t = tracer(ctx)) {
+    t->wait_end(id());
+    t->update_round_end(id(), /*outcome=*/2);
+    t->abort_mark(id(), ctx.here());
+    t->commit_fanout_begin(id(), ctx.here(), /*commit=*/false);
+  }
   const bool reliable = server.config().reliable_commit;
   const ReleasePayload release{id(), groups_,
                                reliable ? ctx.here() : net::kInvalidNode};
   ctx.broadcast(kMsgRelease, release.encode());
   server.handle_release_local(release);
   if (!reliable) {
+    if (auto* t = tracer(ctx)) t->commit_fanout_end(id());
     phase_ = Phase::Done;
     send_report(ctx, /*success=*/false);
     ctx.dispose();
@@ -651,6 +697,7 @@ void UpdateAgent::maybe_finish_commit(agent::AgentContext& ctx) {
     if (commit_acks_.contains(node)) continue;
     return;  // a server has not confirmed the COMMIT/RELEASE yet
   }
+  if (auto* t = tracer(ctx)) t->commit_fanout_end(id());
   phase_ = Phase::Done;
   ctx.dispose();
 }

@@ -18,6 +18,10 @@
 #include "marp/wire.hpp"
 #include "replica/versioned_store.hpp"
 
+namespace marp::trace {
+class Tracer;
+}
+
 namespace marp::core {
 
 class MarpServer;
@@ -81,6 +85,9 @@ class UpdateAgent final : public agent::MobileAgent {
   void arm_patrol(agent::AgentContext& ctx);
 
   MarpServer& server_here(agent::AgentContext& ctx) const;
+  /// The installed execution tracer, or nullptr (one pointer chase; every
+  /// hook site is guarded so untraced runs pay a single branch).
+  trace::Tracer* tracer(agent::AgentContext& ctx) const;
   std::vector<std::string> keys() const;
 
   void do_visit(agent::AgentContext& ctx);

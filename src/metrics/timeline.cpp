@@ -6,16 +6,46 @@
 namespace marp::metrics {
 
 void Timeline::clear() {
-  events_.clear();
+  ring_.clear();
+  head_ = 0;
   dropped_ = 0;
+  truncated_.clear();
+}
+
+void Timeline::set_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  if (capacity_ == 0 || ring_.size() <= capacity_) return;
+  // Shrink: evict the oldest entries, remembering whose trace got cut.
+  std::vector<Event> kept = events();
+  const std::size_t excess = kept.size() - capacity_;
+  for (std::size_t i = 0; i < excess; ++i) truncated_.insert(kept[i].agent);
+  dropped_ += excess;
+  kept.erase(kept.begin(), kept.begin() + static_cast<std::ptrdiff_t>(excess));
+  ring_ = std::move(kept);
+  head_ = 0;
 }
 
 void Timeline::record(Event event) {
-  if (capacity_ != 0 && events_.size() >= capacity_) {
-    events_.erase(events_.begin());
-    ++dropped_;
+  if (capacity_ == 0 || ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+    return;
   }
-  events_.push_back(std::move(event));
+  // At capacity: overwrite the oldest slot in place — O(1) per event, where
+  // the old erase(begin()) shifted the whole log every time.
+  Event& oldest = ring_[head_];
+  truncated_.insert(oldest.agent);
+  ++dropped_;
+  oldest = std::move(event);
+  head_ = (head_ + 1) % ring_.size();
+}
+
+std::vector<Timeline::Event> Timeline::events() const {
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
 }
 
 void Timeline::on_agent_created(const agent::AgentId& id, const std::string& type,
@@ -43,7 +73,7 @@ void Timeline::on_migration_failed(const agent::AgentId& id, net::NodeId from,
 
 void Timeline::print(std::ostream& os) const {
   os << std::fixed << std::setprecision(3);
-  for (const Event& event : events_) {
+  for (const Event& event : events()) {
     os << std::setw(10) << event.at.as_millis() << "ms  ";
     switch (event.kind) {
       case EventKind::Created:
@@ -75,20 +105,23 @@ void Timeline::print_itineraries(std::ostream& os) const {
     std::string type;
     sim::SimTime created;
     sim::SimTime ended;
+    bool has_created = false;
     bool done = false;
     std::string hops;
     std::uint32_t failures = 0;
   };
   std::map<agent::AgentId, Life> lives;
-  for (const Event& event : events_) {
+  for (const Event& event : events()) {
     Life& life = lives[event.agent];
     switch (event.kind) {
       case EventKind::Created:
         life.type = event.type;
         life.created = event.at;
+        life.has_created = true;
         life.hops = std::to_string(event.node);
         break;
       case EventKind::MigrationCompleted:
+        if (life.hops.empty()) life.hops = "…";  // route head evicted
         life.hops += " -> " + std::to_string(event.node);
         break;
       case EventKind::MigrationFailed:
@@ -107,7 +140,12 @@ void Timeline::print_itineraries(std::ostream& os) const {
     os << (life.type.empty() ? "?" : life.type) << ' ' << id.to_string() << ": "
        << life.hops;
     if (life.failures != 0) os << "  (+" << life.failures << " failed hops)";
-    if (life.done) {
+    // A lifetime is only honest when both endpoints were retained: with the
+    // Created event evicted, `created` would read as t=0 and inflate the
+    // duration (and the hop chain starts mid-route).
+    if (truncated_.contains(id) || !life.has_created) {
+      os << "  [trace truncated]";
+    } else if (life.done) {
       os << "  [" << (life.ended - life.created).as_millis() << " ms]";
     } else {
       os << "  [still live]";

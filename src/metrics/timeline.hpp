@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -42,12 +43,20 @@ class Timeline final : public agent::PlatformObserver {
 
   explicit Timeline(sim::Simulator& simulator) : sim_(simulator) {}
 
-  /// Cap on retained events; older entries are dropped (0 = unlimited).
-  void set_capacity(std::size_t capacity) noexcept { capacity_ = capacity; }
+  /// Cap on retained events; at capacity the oldest entry is overwritten in
+  /// place (O(1) per event — the log never shifts). 0 = unlimited. Shrinking
+  /// below the current size evicts the oldest entries immediately.
+  void set_capacity(std::size_t capacity);
 
-  const std::vector<Event>& events() const noexcept { return events_; }
-  std::size_t size() const noexcept { return events_.size(); }
+  /// Retained events, oldest first (materialized from the ring).
+  std::vector<Event> events() const;
+  std::size_t size() const noexcept { return ring_.size(); }
   std::uint64_t dropped() const noexcept { return dropped_; }
+  /// Agents with at least one evicted event: their itineraries are partial,
+  /// so lifetimes/hop chains must not be reconstructed from what remains.
+  const std::set<agent::AgentId>& truncated_agents() const noexcept {
+    return truncated_;
+  }
   void clear();
 
   /// Chronological one-line-per-event log.
@@ -71,9 +80,13 @@ class Timeline final : public agent::PlatformObserver {
   void record(Event event);
 
   sim::Simulator& sim_;
-  std::vector<Event> events_;
+  /// Ring storage: chronological until the first wrap, then `head_` marks
+  /// the oldest slot and the order is ring_[head_], ring_[head_+1], ...
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;
   std::size_t capacity_ = 0;
   std::uint64_t dropped_ = 0;
+  std::set<agent::AgentId> truncated_;
 };
 
 }  // namespace marp::metrics

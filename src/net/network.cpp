@@ -5,6 +5,18 @@
 
 namespace marp::net {
 
+const char* drop_reason_name(DropReason reason) noexcept {
+  switch (reason) {
+    case DropReason::SourceDown: return "source-down";
+    case DropReason::LinkCut: return "link-cut";
+    case DropReason::RandomLoss: return "random-loss";
+    case DropReason::FaultDrop: return "fault-drop";
+    case DropReason::DestDown: return "dest-down";
+    case DropReason::NoHandler: return "no-handler";
+  }
+  return "?";
+}
+
 Network::Network(sim::Simulator& simulator, Topology topology,
                  std::unique_ptr<LatencyModel> latency)
     : sim_(simulator),
@@ -94,13 +106,18 @@ void Network::send(Message message) {
   ++stats_.sent_by_type[message.type];
   stats_.bytes_by_type[message.type] += message.wire_size();
 
-  if (!node_up_[message.src] || !link_up(message.src, message.dst)) {
-    ++stats_.messages_dropped;
+  if (!node_up_[message.src]) {
+    drop(message, DropReason::SourceDown);
+    return;
+  }
+  if (!link_up(message.src, message.dst)) {
+    drop(message, DropReason::LinkCut);
     return;
   }
   if (drop_probability_ > 0.0 && rng_.bernoulli(drop_probability_)) {
-    ++stats_.messages_dropped;
+    drop(message, DropReason::RandomLoss);
     if (loss_mode_ == LossMode::Retransmit) {
+      if (observer_) observer_->on_transport_retransmit(message);
       // Transport-level retry: the copy re-enters send() after the RTO (and
       // may be lost again — delays stay finite with probability 1).
       sim_.schedule(retransmit_timeout_, [this, msg = std::move(message)]() mutable {
@@ -116,8 +133,8 @@ void Network::send(Message message) {
     // (protocols must carry their own retries), duplication delivers an
     // extra copy with its own latency, reordering spikes one copy's delay.
     if (faults.drop > 0.0 && rng_.bernoulli(faults.drop)) {
-      ++stats_.messages_dropped;
       ++stats_.fault_drops;
+      drop(message, DropReason::FaultDrop);
       return;
     }
     if (faults.duplicate > 0.0 && rng_.bernoulli(faults.duplicate)) {
@@ -158,15 +175,20 @@ void Network::broadcast(NodeId src, MessageType type, const serial::Bytes& paylo
   }
 }
 
+void Network::drop(const Message& message, DropReason reason) {
+  ++stats_.messages_dropped;
+  if (observer_) observer_->on_message_dropped(message, reason);
+}
+
 void Network::deliver(Message message) {
   if (!node_up_[message.dst]) {
-    ++stats_.messages_dropped;
+    drop(message, DropReason::DestDown);
     return;
   }
   if (!handlers_[message.dst]) {
     MARP_LOG_WARN("net") << "message type " << message.type << " to node "
                          << message.dst << " has no handler";
-    ++stats_.messages_dropped;
+    drop(message, DropReason::NoHandler);
     return;
   }
   ++stats_.messages_delivered;

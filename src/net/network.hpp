@@ -53,6 +53,31 @@ struct LinkFaults {
   }
 };
 
+/// Why a message never reached its destination's handler.
+enum class DropReason : std::uint8_t {
+  SourceDown,  ///< the sender was down at send time
+  LinkCut,     ///< the directed link was cut (partition)
+  RandomLoss,  ///< the global drop_probability die came up (may retransmit)
+  FaultDrop,   ///< a LinkFaults chaos drop (final, never retransmitted)
+  DestDown,    ///< the destination was down at delivery time
+  NoHandler    ///< delivered to a node with no registered handler
+};
+
+const char* drop_reason_name(DropReason reason) noexcept;
+
+/// Observer for transport-level events (tracing, debugging). Callbacks fire
+/// synchronously inside send()/deliver(); default is no-op, not owned.
+class NetworkObserver {
+ public:
+  virtual ~NetworkObserver() = default;
+  virtual void on_message_dropped(const Message& message, DropReason reason) {
+    (void)message, (void)reason;
+  }
+  /// A RandomLoss copy was queued for transport-level retransmission
+  /// (LossMode::Retransmit only).
+  virtual void on_transport_retransmit(const Message& message) { (void)message; }
+};
+
 class Network {
  public:
   using Handler = std::function<void(const Message&)>;
@@ -134,7 +159,12 @@ class Network {
   const TrafficStats& stats() const noexcept { return stats_; }
   void reset_stats() { stats_ = TrafficStats{}; }
 
+  /// Install a transport observer (nullptr to remove). Not owned.
+  void set_observer(NetworkObserver* observer) noexcept { observer_ = observer; }
+  NetworkObserver* observer() const noexcept { return observer_; }
+
  private:
+  void drop(const Message& message, DropReason reason);
   void deliver(Message message);
   /// Schedule one delivery of `message` after the sampled latency, applying
   /// the link's reorder fault to this copy.
@@ -156,6 +186,7 @@ class Network {
   LinkFaults default_faults_;
   std::unordered_map<std::uint64_t, LinkFaults> link_faults_;
   TrafficStats stats_;
+  NetworkObserver* observer_ = nullptr;
 };
 
 }  // namespace marp::net

@@ -132,6 +132,14 @@ RunResult run_experiment(const ExperimentConfig& config) {
     }
   }
 
+  std::shared_ptr<trace::Tracer> tracer;
+  if (config.trace_capacity > 0) {
+    tracer = std::make_shared<trace::Tracer>(simulator, config.trace_capacity);
+    network.set_observer(tracer.get());
+    if (platform) platform->set_observer(tracer.get());
+    if (marp) marp->set_tracer(tracer.get());
+  }
+
   if (config.link_faults.any()) {
     network.set_default_link_faults(config.link_faults);
   }
@@ -212,7 +220,69 @@ RunResult run_experiment(const ExperimentConfig& config) {
   result.consistent = audit.ok;
   result.consistency_problems = std::move(audit.problems);
   if (config.keep_outcomes) result.outcomes = trace.outcomes();
+  if (tracer) {
+    result.phase_latencies = trace::phase_latencies(*tracer);
+    result.trace = std::move(tracer);
+  }
   return result;
+}
+
+trace::CounterRegistry build_counter_registry(const RunResult& result) {
+  trace::CounterRegistry reg;
+  reg.set("run.generated", result.generated);
+  reg.set("run.completed", result.completed);
+  reg.set("run.successful_writes", result.successful_writes);
+  reg.set("run.failed_writes", result.failed_writes);
+  reg.set("run.reads", result.reads);
+
+  const net::TrafficStats& net = result.net_stats;
+  reg.set("net.messages_sent", net.messages_sent);
+  reg.set("net.messages_delivered", net.messages_delivered);
+  reg.set("net.messages_dropped", net.messages_dropped);
+  reg.set("net.bytes_sent", net.bytes_sent);
+  reg.set("net.fault_drops", net.fault_drops);
+  reg.set("net.fault_duplicates", net.fault_duplicates);
+  reg.set("net.fault_reorders", net.fault_reorders);
+
+  const agent::PlatformStats& ag = result.agent_stats;
+  reg.set("agent.created", ag.agents_created);
+  reg.set("agent.disposed", ag.agents_disposed);
+  reg.set("agent.migrations_started", ag.migrations_started);
+  reg.set("agent.migrations_completed", ag.migrations_completed);
+  reg.set("agent.migrations_failed", ag.migrations_failed);
+  reg.set("agent.migration_bytes", ag.migration_bytes);
+
+  const core::MarpStats& marp = result.marp_stats;
+  reg.set("marp.updates_committed", marp.updates_committed);
+  reg.set("marp.updates_aborted", marp.updates_aborted);
+  reg.set("marp.update_attempts", marp.update_attempts);
+  reg.set("marp.reads_served", marp.reads_served);
+  reg.set("marp.lock_requeues", marp.lock_requeues);
+  reg.set("marp.mutex_violations", marp.mutex_violations);
+
+  const core::ProtocolAnomalies& anomaly = marp.anomalies;
+  reg.set("marp.anomaly.stale_acks", anomaly.stale_acks);
+  reg.set("marp.anomaly.stale_updates", anomaly.stale_updates);
+  reg.set("marp.anomaly.duplicate_updates", anomaly.duplicate_updates);
+  reg.set("marp.anomaly.duplicate_commits", anomaly.duplicate_commits);
+  reg.set("marp.anomaly.duplicate_reports", anomaly.duplicate_reports);
+  reg.set("marp.anomaly.orphaned_reports", anomaly.orphaned_reports);
+  reg.set("marp.anomaly.commit_retransmits", anomaly.commit_retransmits);
+  reg.set("marp.anomaly.report_retransmits", anomaly.report_retransmits);
+  reg.set("marp.anomaly.release_retransmits", anomaly.release_retransmits);
+
+  const fault::InjectorStats& fault = result.fault_stats;
+  reg.set("fault.crashes", fault.crashes);
+  reg.set("fault.recoveries", fault.recoveries);
+  reg.set("fault.agents_killed", fault.agents_killed);
+
+  if (result.trace) {
+    reg.set("trace.spans_recorded", result.trace->size());
+    reg.set("trace.spans_dropped", result.trace->dropped());
+    reg.set("trace.open_spans", result.trace->open_spans());
+    reg.set("trace.unmatched_ends", result.trace->unmatched_ends());
+  }
+  return reg;
 }
 
 }  // namespace marp::runner

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,8 @@
 #include "marp/config.hpp"
 #include "marp/protocol.hpp"
 #include "net/network.hpp"
+#include "trace/counters.hpp"
+#include "trace/critical_path.hpp"
 #include "workload/generator.hpp"
 
 namespace marp::runner {
@@ -78,6 +81,12 @@ struct ExperimentConfig {
   /// Keep every per-request Outcome in RunResult::outcomes (off by default;
   /// sweeps only need the aggregates).
   bool keep_outcomes = false;
+
+  /// Span-ring capacity for the execution tracer; 0 (default) disables
+  /// tracing entirely — no Tracer is constructed and every hook site reduces
+  /// to one null-pointer test. MARP runs get the full span set; baselines
+  /// still get network drop/retransmit marks.
+  std::size_t trace_capacity = 0;
 };
 
 struct RunResult {
@@ -112,6 +121,13 @@ struct RunResult {
   /// Per-request outcomes; populated only with config.keep_outcomes.
   std::vector<replica::Outcome> outcomes;
 
+  /// The execution tracer, set when config.trace_capacity > 0. Read-only
+  /// after the run: the simulator it timestamps against died with
+  /// run_experiment, so records()/export are fine but hook calls are not.
+  std::shared_ptr<trace::Tracer> trace;
+  /// Per-phase latency percentiles over the traced spans (empty untraced).
+  std::vector<trace::PhaseLatency> phase_latencies;
+
   double messages_per_write() const {
     return successful_writes == 0
                ? 0.0
@@ -135,5 +151,11 @@ struct RunResult {
 
 /// Build, run, audit. Deterministic in `config` (including its seed).
 RunResult run_experiment(const ExperimentConfig& config);
+
+/// Fold every counter a run produced — network traffic, platform stats,
+/// MARP protocol stats including the anomaly table, and the workload
+/// accounting — into one named registry (the `--counters` dump and the
+/// trace export's otherData block).
+trace::CounterRegistry build_counter_registry(const RunResult& result);
 
 }  // namespace marp::runner

@@ -1,0 +1,54 @@
+#include "trace/counters.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+namespace marp::trace {
+
+void CounterRegistry::set(std::string name, std::uint64_t value) {
+  for (auto& [existing, existing_value] : entries_) {
+    if (existing == name) {
+      existing_value = value;
+      return;
+    }
+  }
+  entries_.emplace_back(std::move(name), value);
+}
+
+void CounterRegistry::add(std::string_view name, std::uint64_t value) {
+  for (auto& [existing, existing_value] : entries_) {
+    if (existing == name) {
+      existing_value += value;
+      return;
+    }
+  }
+  entries_.emplace_back(std::string(name), value);
+}
+
+std::uint64_t CounterRegistry::get(std::string_view name) const noexcept {
+  for (const auto& [existing, value] : entries_) {
+    if (existing == name) return value;
+  }
+  return 0;
+}
+
+bool CounterRegistry::contains(std::string_view name) const noexcept {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const auto& entry) { return entry.first == name; });
+}
+
+void CounterRegistry::print(std::ostream& os, bool skip_zero) const {
+  std::size_t width = 0;
+  for (const auto& [name, value] : entries_) {
+    if (skip_zero && value == 0) continue;
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, value] : entries_) {
+    if (skip_zero && value == 0) continue;
+    os << "  " << std::left << std::setw(static_cast<int>(width) + 2) << name
+       << std::right << value << '\n';
+  }
+}
+
+}  // namespace marp::trace

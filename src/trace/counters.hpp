@@ -1,0 +1,44 @@
+// CounterRegistry — one flat, named table of every counter a run produced.
+//
+// The simulator grew counters in four unrelated places (Network's
+// TrafficStats, AgentPlatform's PlatformStats, MarpProtocol's MarpStats and
+// ProtocolAnomalies); each had its own ad-hoc printing. The registry folds
+// them into dotted names ("net.messages_sent", "marp.anomaly.stale_acks")
+// so tools can dump, diff, and export one table. Population happens at the
+// runner layer (runner::build_counter_registry) — this type stays a dumb
+// ordered name → value map with rendering helpers.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace marp::trace {
+
+class CounterRegistry {
+ public:
+  /// Sets (or overwrites) one counter. Insertion order is preserved so the
+  /// dumped table groups by subsystem prefix naturally.
+  void set(std::string name, std::uint64_t value);
+  /// Adds to an existing counter (creates it at `value` if absent).
+  void add(std::string_view name, std::uint64_t value);
+
+  std::uint64_t get(std::string_view name) const noexcept;  ///< 0 if absent
+  bool contains(std::string_view name) const noexcept;
+  std::size_t size() const noexcept { return entries_.size(); }
+  const std::vector<std::pair<std::string, std::uint64_t>>& entries()
+      const noexcept {
+    return entries_;
+  }
+
+  /// Aligned two-column table, one counter per line.
+  void print(std::ostream& os, bool skip_zero = false) const;
+
+ private:
+  std::vector<std::pair<std::string, std::uint64_t>> entries_;
+};
+
+}  // namespace marp::trace

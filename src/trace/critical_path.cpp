@@ -1,0 +1,133 @@
+#include "trace/critical_path.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <ostream>
+
+#include "metrics/stats.hpp"
+
+namespace marp::trace {
+
+std::vector<PhaseLatency> phase_latencies(const Tracer& tracer) {
+  std::map<SpanKind, metrics::Samples> by_kind;
+  for (const SpanRecord& record : tracer.records()) {
+    if (instant_kind(record.kind)) continue;
+    by_kind[record.kind].add(
+        static_cast<double>(record.end_us - record.start_us) / 1000.0);
+  }
+  std::vector<PhaseLatency> out;
+  out.reserve(by_kind.size());
+  for (auto& [kind, samples] : by_kind) {
+    PhaseLatency phase;
+    phase.phase = span_name(kind);
+    phase.count = samples.count();
+    phase.mean_ms = samples.mean();
+    phase.p50_ms = samples.percentile(50);
+    phase.p95_ms = samples.percentile(95);
+    phase.p99_ms = samples.percentile(99);
+    phase.max_ms = samples.max();
+    out.push_back(std::move(phase));
+  }
+  return out;
+}
+
+CriticalPathReport critical_path(const Tracer& tracer) {
+  // Sessions whose Created fell off the ring would attribute from a
+  // truncated window; only agents with a Session record get a breakdown.
+  std::map<agent::AgentId, SessionBreakdown> by_agent;
+  std::vector<agent::AgentId> order;
+  for (const SpanRecord& record : tracer.records()) {
+    if (record.kind != SpanKind::Session) continue;
+    SessionBreakdown session;
+    session.agent = record.agent;
+    session.total_ms =
+        static_cast<double>(record.end_us - record.start_us) / 1000.0;
+    if (by_agent.emplace(record.agent, session).second) {
+      order.push_back(record.agent);
+    }
+  }
+  for (const SpanRecord& record : tracer.records()) {
+    const auto it = by_agent.find(record.agent);
+    if (it == by_agent.end()) continue;
+    SessionBreakdown& session = it->second;
+    const double ms =
+        static_cast<double>(record.end_us - record.start_us) / 1000.0;
+    switch (record.kind) {
+      case SpanKind::Migration:
+        session.migration_ms += ms;
+        ++session.hops;
+        break;
+      case SpanKind::Visit: session.visit_ms += ms; break;
+      case SpanKind::LockWait: session.lock_wait_ms += ms; break;
+      case SpanKind::UpdateRound: session.update_round_ms += ms; break;
+      case SpanKind::CommitFanout:
+        session.commit_ms += ms;
+        session.committed = record.aux == 0;
+        break;
+      default:
+        break;
+    }
+  }
+
+  CriticalPathReport report;
+  report.sessions.reserve(order.size());
+  double total = 0, migration = 0, visit = 0, lock_wait = 0, update_round = 0,
+         commit = 0, other = 0;
+  for (const agent::AgentId& agent : order) {
+    SessionBreakdown session = by_agent.at(agent);
+    const double accounted = session.migration_ms + session.visit_ms +
+                             session.lock_wait_ms + session.update_round_ms +
+                             session.commit_ms;
+    session.other_ms = std::max(0.0, session.total_ms - accounted);
+    total += session.total_ms;
+    migration += session.migration_ms;
+    visit += session.visit_ms;
+    lock_wait += session.lock_wait_ms;
+    update_round += session.update_round_ms;
+    commit += session.commit_ms;
+    other += session.other_ms;
+    report.sessions.push_back(std::move(session));
+  }
+  if (total > 0.0) {
+    report.migration_pct = 100.0 * migration / total;
+    report.visit_pct = 100.0 * visit / total;
+    report.lock_wait_pct = 100.0 * lock_wait / total;
+    report.update_round_pct = 100.0 * update_round / total;
+    report.commit_pct = 100.0 * commit / total;
+    report.other_pct = 100.0 * other / total;
+  }
+  return report;
+}
+
+void CriticalPathReport::print(std::ostream& os, std::size_t top) const {
+  os << std::fixed << std::setprecision(1);
+  os << "critical path (" << sessions.size() << " update sessions):\n"
+     << "  migration " << migration_pct << "%  visit " << visit_pct
+     << "%  lock-wait " << lock_wait_pct << "%  update-round "
+     << update_round_pct << "%  commit-fanout " << commit_pct << "%  other "
+     << other_pct << "%\n";
+  if (sessions.empty()) return;
+
+  std::vector<const SessionBreakdown*> slowest;
+  slowest.reserve(sessions.size());
+  for (const SessionBreakdown& session : sessions) slowest.push_back(&session);
+  std::stable_sort(slowest.begin(), slowest.end(),
+                   [](const SessionBreakdown* a, const SessionBreakdown* b) {
+                     return a->total_ms > b->total_ms;
+                   });
+  if (slowest.size() > top) slowest.resize(top);
+
+  os << "  slowest sessions:\n" << std::setprecision(2);
+  for (const SessionBreakdown* session : slowest) {
+    os << "    " << session->agent.to_string() << "  " << session->total_ms
+       << " ms = migration " << session->migration_ms << " + visit "
+       << session->visit_ms << " + lock-wait " << session->lock_wait_ms
+       << " + update-round " << session->update_round_ms << " + commit "
+       << session->commit_ms << " + other " << session->other_ms << "  ("
+       << session->hops << " hops, "
+       << (session->committed ? "committed" : "aborted") << ")\n";
+  }
+}
+
+}  // namespace marp::trace

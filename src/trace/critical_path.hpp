@@ -1,0 +1,65 @@
+// Per-phase latency aggregation and per-request critical-path attribution,
+// computed from a Tracer's span buffer.
+//
+// Answers "where did this request's 40 ms go?": each update session
+// (one agent lifetime) is decomposed into time spent migrating, being
+// served at replicas, parked waiting for locks, racing the UPDATE/ACK
+// round, and fanning out COMMIT/RELEASE — the remainder is attributed to
+// "other" (queueing between callbacks, report round trips). Aggregates use
+// exact percentiles over all sessions in the buffer.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/tracer.hpp"
+
+namespace marp::trace {
+
+/// Latency summary of one span kind across the whole buffer (milliseconds).
+struct PhaseLatency {
+  std::string phase;
+  std::uint64_t count = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// One entry per duration kind present in the buffer, in SpanKind order.
+std::vector<PhaseLatency> phase_latencies(const Tracer& tracer);
+
+/// One update session's wall-clock decomposition (milliseconds).
+struct SessionBreakdown {
+  agent::AgentId agent;
+  double total_ms = 0.0;
+  double migration_ms = 0.0;
+  double visit_ms = 0.0;
+  double lock_wait_ms = 0.0;
+  double update_round_ms = 0.0;
+  double commit_ms = 0.0;
+  double other_ms = 0.0;  ///< total minus the named phases (never negative)
+  std::uint32_t hops = 0;
+  bool committed = false;
+};
+
+struct CriticalPathReport {
+  std::vector<SessionBreakdown> sessions;  ///< buffer order (oldest first)
+
+  /// Aggregate share of each phase over the summed session time, 0..100.
+  double migration_pct = 0.0;
+  double visit_pct = 0.0;
+  double lock_wait_pct = 0.0;
+  double update_round_pct = 0.0;
+  double commit_pct = 0.0;
+  double other_pct = 0.0;
+
+  /// Phase shares plus the `top` slowest sessions, each with its breakdown.
+  void print(std::ostream& os, std::size_t top = 5) const;
+};
+
+CriticalPathReport critical_path(const Tracer& tracer);
+
+}  // namespace marp::trace

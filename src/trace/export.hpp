@@ -1,0 +1,23 @@
+// Chrome-trace-event exporter: renders a Tracer's span buffer as the JSON
+// Trace Event Format, loadable in Perfetto (ui.perfetto.dev) and
+// chrome://tracing.
+//
+// Layout: pid 1 = "servers" with one thread per node, pid 2 = "agents" with
+// one thread per distinct agent (in order of first appearance, named by the
+// agent id). Durations become "X" complete events, instants "i" events;
+// track names ride in "M" metadata events. Counters (optional) land under
+// "otherData" so the file stays schema-valid for trace viewers that ignore
+// unknown top-level keys.
+#pragma once
+
+#include <iosfwd>
+
+#include "trace/counters.hpp"
+#include "trace/tracer.hpp"
+
+namespace marp::trace {
+
+void write_chrome_trace(std::ostream& os, const Tracer& tracer,
+                        const CounterRegistry* counters = nullptr);
+
+}  // namespace marp::trace

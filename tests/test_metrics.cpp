@@ -77,6 +77,99 @@ TEST(Histogram, BinsAndOverflow) {
   EXPECT_DOUBLE_EQ(histogram.bin_hi(2), 6.0);
 }
 
+// Property: merging any split of a sample stream must agree with feeding
+// the whole stream to one accumulator — count, mean, variance, min, max —
+// regardless of where the split falls (including empty halves).
+TEST(Running, MergeOfAnySplitMatchesOneShot) {
+  std::vector<double> data;
+  for (int i = 0; i < 101; ++i) {
+    data.push_back(std::sin(i * 0.7) * 50.0 + (i % 7) - 3.0);
+  }
+  metrics::Running one_shot;
+  for (double x : data) one_shot.add(x);
+
+  for (std::size_t split : {std::size_t{0}, std::size_t{1}, std::size_t{13},
+                            data.size() / 2, data.size() - 1, data.size()}) {
+    metrics::Running left, right;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      (i < split ? left : right).add(data[i]);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), one_shot.count()) << "split at " << split;
+    EXPECT_NEAR(left.mean(), one_shot.mean(), 1e-9) << "split at " << split;
+    EXPECT_NEAR(left.variance(), one_shot.variance(), 1e-9)
+        << "split at " << split;
+    EXPECT_DOUBLE_EQ(left.min(), one_shot.min()) << "split at " << split;
+    EXPECT_DOUBLE_EQ(left.max(), one_shot.max()) << "split at " << split;
+  }
+}
+
+TEST(Running, MergeWithEmptyIsIdentityBothWays) {
+  metrics::Running stats, empty;
+  for (double x : {3.0, -1.0, 8.5}) stats.add(x);
+  const double mean = stats.mean(), variance = stats.variance();
+
+  stats.merge(empty);  // right identity
+  EXPECT_EQ(stats.count(), 3u);
+  EXPECT_DOUBLE_EQ(stats.mean(), mean);
+  EXPECT_DOUBLE_EQ(stats.variance(), variance);
+  EXPECT_DOUBLE_EQ(stats.min(), -1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 8.5);
+
+  empty.merge(stats);  // left identity
+  EXPECT_EQ(empty.count(), 3u);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+  EXPECT_DOUBLE_EQ(empty.variance(), variance);
+  EXPECT_DOUBLE_EQ(empty.min(), -1.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 8.5);
+}
+
+TEST(Samples, SingleElementEveryPercentileIsThatElement) {
+  metrics::Samples samples;
+  samples.add(42.0);
+  for (double p : {0.0, 25.0, 50.0, 75.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(samples.percentile(p), 42.0) << "p" << p;
+  }
+  EXPECT_DOUBLE_EQ(samples.min(), 42.0);
+  EXPECT_DOUBLE_EQ(samples.max(), 42.0);
+  EXPECT_DOUBLE_EQ(samples.mean(), 42.0);
+}
+
+TEST(Samples, ExtremePercentilesEqualMinAndMax) {
+  metrics::Samples samples;
+  for (double x : {9.0, -3.0, 4.0, 4.0, 100.0, 0.5}) samples.add(x);
+  EXPECT_DOUBLE_EQ(samples.percentile(0), samples.min());
+  EXPECT_DOUBLE_EQ(samples.percentile(100), samples.max());
+  // p50 of {−3, 0.5, 4, 4, 9, 100} interpolates between the middle pair.
+  EXPECT_DOUBLE_EQ(samples.percentile(50), 4.0);
+}
+
+TEST(Histogram, ExactBoundaryValues) {
+  // [0, 10) in 5 bins of width 2: lo lands in bin 0, hi is overflow (the
+  // interval is half-open), interior bin edges land in the bin they open.
+  metrics::Histogram histogram(0.0, 10.0, 5);
+  histogram.add(0.0);  // == lo
+  EXPECT_EQ(histogram.bin_count(0), 1u);
+  EXPECT_EQ(histogram.underflow(), 0u);
+
+  histogram.add(10.0);  // == hi
+  EXPECT_EQ(histogram.overflow(), 1u);
+
+  for (std::size_t edge = 1; edge < 5; ++edge) {
+    histogram.add(static_cast<double>(2 * edge));  // 2, 4, 6, 8
+    EXPECT_EQ(histogram.bin_count(edge), 1u) << "edge " << 2 * edge;
+  }
+  // Just below an edge stays in the lower bin.
+  histogram.add(std::nextafter(2.0, 0.0));
+  EXPECT_EQ(histogram.bin_count(0), 2u);
+  EXPECT_EQ(histogram.total(), 7u);
+  // Bin bounds tile [lo, hi] without gaps.
+  for (std::size_t i = 0; i < histogram.bins(); ++i) {
+    EXPECT_DOUBLE_EQ(histogram.bin_lo(i), 2.0 * static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(histogram.bin_hi(i), 2.0 * static_cast<double>(i + 1));
+  }
+}
+
 TEST(Table, RendersAlignedAndCsv) {
   metrics::Table table({"name", "value"});
   table.add_row({"alpha", metrics::Table::num(1.5, 1)});

@@ -2,6 +2,7 @@
 // variants (Poisson / Uniform / Bursty).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <sstream>
 
@@ -132,6 +133,68 @@ TEST(Timeline, CapacityBoundsRetention) {
   stack.timeline.clear();
   EXPECT_EQ(stack.timeline.size(), 0u);
   EXPECT_EQ(stack.timeline.dropped(), 0u);
+}
+
+TEST(Timeline, RingOverwriteIsConstantTimeAtCapacity) {
+  // Regression for the old erase(begin()) drop path: O(n) per event once at
+  // capacity, quadratic over a run. 100k events against a 1k cap took
+  // seconds there; the ring buffer does it in milliseconds. The bound is
+  // deliberately loose so sanitizer builds pass, while the quadratic
+  // behaviour (~10^8 element moves) still blows through it.
+  sim::Simulator simulator(1);
+  metrics::Timeline timeline(simulator);
+  timeline.set_capacity(1000);
+  agent::AgentId id{0, 1, 0};
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint32_t i = 0; i < 100'000; ++i) {
+    id.seq = i;
+    timeline.on_agent_created(id, "marp.update", 0);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(timeline.size(), 1000u);
+  EXPECT_EQ(timeline.dropped(), 99'000u);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(),
+            2000);
+  // Retained events are the newest 1000, oldest first.
+  const auto events = timeline.events();
+  ASSERT_EQ(events.size(), 1000u);
+  EXPECT_EQ(events.front().agent.seq, 99'000u);
+  EXPECT_EQ(events.back().agent.seq, 99'999u);
+}
+
+TEST(Timeline, EvictedCreationTruncatesItineraryInsteadOfFabricating) {
+  // Regression: with an agent's Created event evicted, the itinerary used
+  // to report a lifetime measured from t=0 and a hop chain starting
+  // mid-route. Now the agent is flagged and printed as [trace truncated].
+  sim::Simulator simulator(1);
+  metrics::Timeline timeline(simulator);
+  timeline.set_capacity(6);
+  const agent::AgentId victim{0, 100, 0};
+  const agent::AgentId fresh{1, 200, 1};
+  timeline.on_agent_created(victim, "marp.update", 0);
+  timeline.on_migration_started(victim, 0, 1, 64);
+  timeline.on_migration_completed(victim, 1);
+  timeline.on_agent_disposed(victim, 1);
+  timeline.on_agent_created(fresh, "marp.update", 2);
+  timeline.on_migration_completed(fresh, 3);
+  // Seventh event evicts the victim's Created record.
+  timeline.on_agent_disposed(fresh, 3);
+  ASSERT_EQ(timeline.size(), 6u);
+  EXPECT_TRUE(timeline.truncated_agents().contains(victim));
+  EXPECT_FALSE(timeline.truncated_agents().contains(fresh));
+
+  std::ostringstream os;
+  timeline.print_itineraries(os);
+  const std::string rendered = os.str();
+  const std::size_t victim_line = rendered.find(victim.to_string());
+  const std::size_t fresh_line = rendered.find(fresh.to_string());
+  ASSERT_NE(victim_line, std::string::npos);
+  ASSERT_NE(fresh_line, std::string::npos);
+  EXPECT_NE(rendered.find("[trace truncated]", victim_line), std::string::npos);
+  // The intact agent still gets a real duration, not the truncation marker.
+  const std::string fresh_rendered = rendered.substr(fresh_line);
+  EXPECT_NE(fresh_rendered.find("ms]"), std::string::npos);
+  EXPECT_EQ(fresh_rendered.find("[trace truncated]"), std::string::npos);
 }
 
 // ---------- arrival processes ----------

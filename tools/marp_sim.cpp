@@ -7,11 +7,13 @@
 //   marp_sim --protocol mcv --network wan --writes 0.3 --duration 30
 //   marp_sim --protocol marp --batch 4 --quorum-reads --csv
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "metrics/report.hpp"
 #include "runner/experiment.hpp"
+#include "trace/export.hpp"
 
 namespace {
 
@@ -43,7 +45,10 @@ using namespace marp;
      << "  --fail NODE@SEC [repeatable]   fail-stop a server at a time\n"
      << "  --recover NODE@SEC             recover a server at a time\n"
      << "  --csv                          one CSV row instead of the summary\n"
-     << "  --trace                        per-request CSV trace\n";
+     << "  --request-trace                per-request CSV trace\n"
+     << "  --trace FILE                   write a Chrome/Perfetto trace of the run\n"
+     << "                                 (summary adds the per-phase breakdown)\n"
+     << "  --counters                     dump the unified counter registry\n";
   std::exit(code);
 }
 
@@ -78,6 +83,8 @@ int main(int argc, char** argv) {
   config.workload.mean_interarrival_ms = 100.0;
   bool csv = false;
   bool trace_csv = false;
+  bool dump_counters = false;
+  std::string trace_path;
 
   auto need_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) usage(argv[0], 2);
@@ -123,7 +130,9 @@ int main(int argc, char** argv) {
     else if (flag == "--fail") parse_event(need_value(i), true);
     else if (flag == "--recover") parse_event(need_value(i), false);
     else if (flag == "--csv") csv = true;
-    else if (flag == "--trace") trace_csv = true;
+    else if (flag == "--request-trace") trace_csv = true;
+    else if (flag == "--trace") trace_path = need_value(i);
+    else if (flag == "--counters") dump_counters = true;
     else {
       std::cerr << "unknown flag: " << flag << "\n";
       usage(argv[0], 2);
@@ -131,7 +140,18 @@ int main(int argc, char** argv) {
   }
 
   config.keep_outcomes = trace_csv;
+  if (!trace_path.empty()) config.trace_capacity = 1u << 20;
   const runner::RunResult result = runner::run_experiment(config);
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "cannot open trace file: " << trace_path << "\n";
+      return 2;
+    }
+    const trace::CounterRegistry registry = runner::build_counter_registry(result);
+    trace::write_chrome_trace(out, *result.trace, &registry);
+  }
 
   if (trace_csv) {
     std::cout << "request_id,kind,origin,success,submitted_ms,dispatched_ms,"
@@ -203,6 +223,26 @@ int main(int argc, char** argv) {
               << a.commit_retransmits << " commit rexmit, "
               << a.report_retransmits << " report rexmit, "
               << a.release_retransmits << " release rexmit)\n";
+  }
+  if (result.trace) {
+    std::cout << "trace:               " << result.trace->size() << " spans ("
+              << result.trace->dropped() << " dropped) -> " << trace_path << "\n";
+    if (!result.phase_latencies.empty()) {
+      std::cout << "phase latencies (ms, mean/p50/p95/p99/max):\n";
+      for (const auto& phase : result.phase_latencies) {
+        std::cout << "  " << phase.phase << " (n=" << phase.count << "): "
+                  << metrics::Table::num(phase.mean_ms, 2) << " / "
+                  << metrics::Table::num(phase.p50_ms, 2) << " / "
+                  << metrics::Table::num(phase.p95_ms, 2) << " / "
+                  << metrics::Table::num(phase.p99_ms, 2) << " / "
+                  << metrics::Table::num(phase.max_ms, 2) << "\n";
+      }
+    }
+    trace::critical_path(*result.trace).print(std::cout);
+  }
+  if (dump_counters) {
+    std::cout << "counters:\n";
+    runner::build_counter_registry(result).print(std::cout);
   }
   std::cout << "consistent:          " << (result.consistent ? "yes" : "NO");
   for (const auto& problem : result.consistency_problems) {

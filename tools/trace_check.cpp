@@ -1,0 +1,122 @@
+// trace_check — structural validator for marp_sim's Chrome-trace export.
+//
+// Parses the JSON with the same parser the test-suite uses, then checks the
+// shape Perfetto/chrome://tracing relies on: a traceEvents array whose
+// entries carry name/ph/pid/tid, complete ("X") events with non-negative
+// durations, and instants with a scope. With --expect-marp it additionally
+// requires the MARP span taxonomy (migration, lock-wait, quorum-win,
+// commit-fanout) to actually appear, which is what the CI smoke asserts.
+//
+//   trace_check out.json
+//   trace_check --expect-marp out.json
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "trace/json.hpp"
+
+namespace {
+
+using marp::trace::JsonValue;
+
+int fail(const std::string& message) {
+  std::cerr << "trace_check: " << message << "\n";
+  return 1;
+}
+
+const JsonValue* field(const JsonValue& object, const char* key) {
+  return object.is_object() ? object.find(key) : nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool expect_marp = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--expect-marp") {
+      expect_marp = true;
+    } else if (flag == "--help" || flag == "-h") {
+      std::cout << "usage: " << argv[0] << " [--expect-marp] trace.json\n";
+      return 0;
+    } else if (path.empty()) {
+      path = flag;
+    } else {
+      return fail("unexpected argument: " + flag);
+    }
+  }
+  if (path.empty()) return fail("no trace file given");
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  JsonValue root;
+  try {
+    root = marp::trace::parse_json(buffer.str());
+  } catch (const std::exception& error) {
+    return fail(std::string("invalid JSON: ") + error.what());
+  }
+
+  if (!root.is_object()) return fail("top level is not an object");
+  const JsonValue* events = field(root, "traceEvents");
+  if (!events || !events->is_array()) return fail("missing traceEvents array");
+
+  std::set<std::string> names;
+  std::size_t complete = 0, instants = 0, metadata = 0;
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& event = events->array[i];
+    const std::string at = "event #" + std::to_string(i);
+    if (!event.is_object()) return fail(at + " is not an object");
+    const JsonValue* name = field(event, "name");
+    const JsonValue* ph = field(event, "ph");
+    const JsonValue* pid = field(event, "pid");
+    const JsonValue* tid = field(event, "tid");
+    if (!name || !name->is_string()) return fail(at + " has no name");
+    if (!ph || !ph->is_string()) return fail(at + " has no ph");
+    if (!pid || !pid->is_number()) return fail(at + " has no pid");
+    if (!tid || !tid->is_number()) return fail(at + " has no tid");
+    names.insert(name->str);
+    if (ph->str == "X") {
+      ++complete;
+      const JsonValue* ts = field(event, "ts");
+      const JsonValue* dur = field(event, "dur");
+      if (!ts || !ts->is_number()) return fail(at + " (X) has no ts");
+      if (!dur || !dur->is_number()) return fail(at + " (X) has no dur");
+      if (ts->number < 0) return fail(at + " has negative ts");
+      if (dur->number < 0) return fail(at + " has negative dur");
+    } else if (ph->str == "i") {
+      ++instants;
+      const JsonValue* ts = field(event, "ts");
+      const JsonValue* scope = field(event, "s");
+      if (!ts || !ts->is_number()) return fail(at + " (i) has no ts");
+      if (!scope || !scope->is_string()) return fail(at + " (i) has no scope");
+    } else if (ph->str == "M") {
+      ++metadata;
+    } else {
+      return fail(at + " has unexpected ph '" + ph->str + "'");
+    }
+  }
+
+  if (expect_marp) {
+    for (const char* required :
+         {"migration", "lock-wait", "quorum-win", "commit-fanout", "session",
+          "update-round", "visit"}) {
+      if (!names.contains(required)) {
+        return fail(std::string("expected MARP span '") + required +
+                    "' not present");
+      }
+    }
+    if (complete == 0) return fail("no complete (X) events in a MARP trace");
+  }
+
+  std::cout << "trace_check: " << path << " ok — " << events->array.size()
+            << " events (" << complete << " spans, " << instants
+            << " instants, " << metadata << " metadata), " << names.size()
+            << " distinct names\n";
+  return 0;
+}
