@@ -1,5 +1,6 @@
 #include "agent/platform.hpp"
 
+#include "transport/transport.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
@@ -83,6 +84,18 @@ std::unique_ptr<MobileAgent> AgentPlatform::decode_frame(const serial::Bytes& by
   return agent;
 }
 
+AgentId AgentPlatform::receive_remote_agent(const serial::Bytes& frame) {
+  const net::NodeId local = network_.local_node();
+  MARP_REQUIRE_MSG(local != net::kInvalidNode,
+                   "receive_remote_agent needs an attached transport");
+  std::unique_ptr<MobileAgent> agent = decode_frame(frame);
+  const AgentId id = agent->id();
+  ++stats_.migrations_completed;
+  if (observer_) observer_->on_migration_completed(id, local);
+  hosts_[local]->adopt(std::move(agent), /*arrival=*/true, net::kInvalidNode);
+  return id;
+}
+
 void AgentPlatform::begin_migration(std::unique_ptr<MobileAgent> agent,
                                     net::NodeId src, net::NodeId dest) {
   MARP_REQUIRE(dest < network_.size());
@@ -100,6 +113,22 @@ void AgentPlatform::begin_migration(std::unique_ptr<MobileAgent> agent,
   if (observer_) observer_->on_migration_started(id, src, dest, wire_bytes);
 
   auto& simulator = network_.simulator();
+
+  if (network_.is_remote(dest)) {
+    // Real substrate: hand the frame to the transport; the receiving
+    // process rehydrates via receive_remote_agent(). A refused send is the
+    // paper's unreachable-host case — the source revives the agent after
+    // the migration timeout and lets it retry or skip the replica.
+    if (!network_.transport()->send_agent_frame(dest, frame)) {
+      simulator.schedule(config_.migration_timeout, [this, frame, id, src, dest] {
+        ++stats_.migrations_failed;
+        if (observer_) observer_->on_migration_failed(id, src, dest);
+        hosts_[src]->adopt(decode_frame(frame), /*arrival=*/false, dest);
+      }, static_cast<sim::ActorId>(src));
+    }
+    return;
+  }
+
   // A transfer across a chaos-lossy link can lose the frame even when both
   // endpoints are live: the source detects it exactly like an unreachable
   // destination (connection timeout) and the agent retries from where it was.

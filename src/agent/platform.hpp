@@ -106,6 +106,19 @@ class AgentPlatform {
   /// disposed); true if it was moved or is already at `to`.
   bool retract(const AgentId& id, net::NodeId to);
 
+  // ---- migration frame codec (public: the real transport ships these) ----
+
+  /// [str type-name][AgentId][length-prefixed state] — what actually crosses
+  /// the wire (inside an rpc AgentTransfer frame on the real substrate).
+  serial::Bytes encode_frame(const MobileAgent& agent) const;
+  /// Rehydrate; throws serial::DecodeError subclasses on malformed frames.
+  std::unique_ptr<MobileAgent> decode_frame(const serial::Bytes& bytes) const;
+
+  /// A migration frame arrived off the wire: rehydrate the agent and adopt
+  /// it at this process's local node (on_arrival fires there). Must run on
+  /// the driver thread. Returns the adopted agent's id.
+  AgentId receive_remote_agent(const serial::Bytes& frame);
+
  private:
   friend class AgentHost;
   friend class AgentContext;
@@ -116,14 +129,6 @@ class AgentPlatform {
 
   void note_disposed() { ++stats_.agents_disposed; }
   void note_created() { ++stats_.agents_created; }
-
-  struct Frame {
-    std::string type_name;
-    AgentId id;
-    serial::Bytes state;
-  };
-  serial::Bytes encode_frame(const MobileAgent& agent) const;
-  std::unique_ptr<MobileAgent> decode_frame(const serial::Bytes& bytes) const;
 
   net::Network& network_;
   PlatformConfig config_;

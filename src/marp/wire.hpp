@@ -19,7 +19,7 @@ inline void write_groups(serial::Writer& w, const std::vector<shard::GroupId>& g
   for (const shard::GroupId g : groups) w.varint(g);
 }
 inline std::vector<shard::GroupId> read_groups(serial::Reader& r) {
-  const std::uint64_t n = r.varint();
+  const std::uint64_t n = r.length_prefix();
   std::vector<shard::GroupId> groups;
   groups.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {

@@ -1,5 +1,6 @@
 #include "net/network.hpp"
 
+#include "transport/transport.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
@@ -13,6 +14,7 @@ const char* drop_reason_name(DropReason reason) noexcept {
     case DropReason::FaultDrop: return "fault-drop";
     case DropReason::DestDown: return "dest-down";
     case DropReason::NoHandler: return "no-handler";
+    case DropReason::TransportSend: return "transport-send";
   }
   return "?";
 }
@@ -106,6 +108,15 @@ void Network::send(Message message) {
   ++stats_.sent_by_type[message.type];
   stats_.bytes_by_type[message.type] += message.wire_size();
 
+  if (transport_ != nullptr && message.dst != local_node_) {
+    // Real substrate: the wire owns loss/latency/ordering for remote
+    // destinations; the simulated knobs below only shape local traffic.
+    if (!transport_->send_message(message)) {
+      drop(message, DropReason::TransportSend);
+    }
+    return;
+  }
+
   if (!node_up_[message.src]) {
     drop(message, DropReason::SourceDown);
     return;
@@ -173,6 +184,28 @@ void Network::broadcast(NodeId src, MessageType type, const serial::Bytes& paylo
     if (dst == src) continue;
     send(Message{src, dst, type, payload});
   }
+}
+
+void Network::attach_transport(transport::Transport* transport, NodeId local_node) {
+  if (transport != nullptr) {
+    MARP_REQUIRE(local_node < size());
+    transport_ = transport;
+    local_node_ = local_node;
+  } else {
+    transport_ = nullptr;
+    local_node_ = kInvalidNode;
+  }
+}
+
+void Network::inject(Message message) {
+  MARP_REQUIRE(message.dst < size());
+  const auto actor = static_cast<sim::ActorId>(message.dst);
+  // Zero-delay event so the handler runs on the simulator's driver thread,
+  // after whatever event is executing when the frame arrives.
+  sim_.schedule(
+      sim::SimTime::zero(),
+      [this, msg = std::move(message)]() mutable { deliver(std::move(msg)); },
+      actor);
 }
 
 void Network::drop(const Message& message, DropReason reason) {

@@ -19,6 +19,10 @@
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
 
+namespace marp::transport {
+class Transport;
+}
+
 namespace marp::net {
 
 struct TrafficStats {
@@ -60,7 +64,8 @@ enum class DropReason : std::uint8_t {
   RandomLoss,  ///< the global drop_probability die came up (may retransmit)
   FaultDrop,   ///< a LinkFaults chaos drop (final, never retransmitted)
   DestDown,    ///< the destination was down at delivery time
-  NoHandler    ///< delivered to a node with no registered handler
+  NoHandler,   ///< delivered to a node with no registered handler
+  TransportSend ///< the attached real transport could not send (peer gone)
 };
 
 const char* drop_reason_name(DropReason reason) noexcept;
@@ -163,6 +168,33 @@ class Network {
   void set_observer(NetworkObserver* observer) noexcept { observer_ = observer; }
   NetworkObserver* observer() const noexcept { return observer_; }
 
+  // ---- real substrate (socket / in-process transport) ----
+  //
+  // With a Transport attached, this Network instance belongs to ONE real
+  // node (`local`): sends to any other node are handed to the transport
+  // instead of being simulated, and frames received off the wire re-enter
+  // through inject(). Local (loopback) traffic still flows through the
+  // simulated path, so the per-process event loop — and with it every timer
+  // and agent callback — stays single-threaded and deterministic given the
+  // arrival order. Without a transport (the default) nothing changes:
+  // the Network simulates the whole cluster exactly as before.
+
+  /// Attach (nullptr to detach) the real substrate for this node. Not owned.
+  void attach_transport(transport::Transport* transport, NodeId local_node);
+  transport::Transport* transport() const noexcept { return transport_; }
+  /// The node this process embodies; kInvalidNode in pure simulation.
+  NodeId local_node() const noexcept { return local_node_; }
+  /// True when `node` lives in another process (transport attached and not
+  /// the local node).
+  bool is_remote(NodeId node) const noexcept {
+    return transport_ != nullptr && node != local_node_;
+  }
+
+  /// Deliver a message received from the wire to the local node's handler
+  /// (scheduled as an immediate simulator event so handlers always run on
+  /// the driver thread). Counts as a delivery, not a send.
+  void inject(Message message);
+
  private:
   void drop(const Message& message, DropReason reason);
   void deliver(Message message);
@@ -187,6 +219,8 @@ class Network {
   std::unordered_map<std::uint64_t, LinkFaults> link_faults_;
   TrafficStats stats_;
   NetworkObserver* observer_ = nullptr;
+  transport::Transport* transport_ = nullptr;
+  NodeId local_node_ = kInvalidNode;
 };
 
 }  // namespace marp::net

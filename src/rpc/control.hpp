@@ -1,0 +1,197 @@
+// Control-plane RPC riding the same framed connections as protocol traffic.
+//
+// The cluster harness (tools/marp_cluster, the cross-substrate tests) talks
+// to each node over a classic request/reply RPC: a ControlRequest frame whose
+// body starts with a fixed `req_header` (transaction id + procedure number),
+// answered by a ControlReply frame starting with a fixed `reply_header`
+// (same xid + status). Procedure arguments/results follow the headers,
+// marshalled with serial::Writer/Reader.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serial/byte_buffer.hpp"
+
+namespace marp::rpc {
+
+/// Procedures a RealNode serves.
+enum class Proc : std::uint32_t {
+  Ping = 1,      ///< liveness probe; empty args/result
+  Status = 2,    ///< → NodeStatus (workload progress, quiescence)
+  Dump = 3,      ///< → serialized NodeDump (store, commit log, counters)
+  Shutdown = 4,  ///< stop the node's run loop after replying
+};
+
+/// Reply status codes.
+constexpr std::int32_t kOk = 0;
+constexpr std::int32_t kBadProc = -1;
+constexpr std::int32_t kError = -2;
+
+struct ReqHeader {
+  std::uint64_t xid = 0;   ///< caller-chosen transaction id, echoed in reply
+  std::uint32_t proc = 0;  ///< Proc
+  std::uint32_t client = 0;
+
+  void serialize(serial::Writer& w) const {
+    w.u64le(xid);
+    w.u32le(proc);
+    w.u32le(client);
+  }
+  static ReqHeader deserialize(serial::Reader& r) {
+    ReqHeader h;
+    h.xid = r.u64le();
+    h.proc = r.u32le();
+    h.client = r.u32le();
+    return h;
+  }
+};
+
+struct ReplyHeader {
+  std::uint64_t xid = 0;
+  std::int32_t status = kOk;
+
+  void serialize(serial::Writer& w) const {
+    w.u64le(xid);
+    w.u32le(static_cast<std::uint32_t>(status));
+  }
+  static ReplyHeader deserialize(serial::Reader& r) {
+    ReplyHeader h;
+    h.xid = r.u64le();
+    h.status = static_cast<std::int32_t>(r.u32le());
+    return h;
+  }
+};
+
+/// Snapshot of a node's workload progress, returned by Proc::Status.
+struct NodeStatus {
+  std::uint64_t sessions_target = 0;
+  std::uint64_t sessions_completed = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t live_agents = 0;
+  bool quiesced = false;  ///< all sessions done and no agent still lingering
+
+  void serialize(serial::Writer& w) const {
+    w.varint(sessions_target);
+    w.varint(sessions_completed);
+    w.varint(commits);
+    w.varint(aborts);
+    w.varint(live_agents);
+    w.boolean(quiesced);
+  }
+  static NodeStatus deserialize(serial::Reader& r) {
+    NodeStatus s;
+    s.sessions_target = r.varint();
+    s.sessions_completed = r.varint();
+    s.commits = r.varint();
+    s.aborts = r.varint();
+    s.live_agents = r.varint();
+    s.quiesced = r.boolean();
+    return s;
+  }
+};
+
+/// Full per-node state snapshot, returned by Proc::Dump — everything the
+/// cross-substrate equivalence checker compares, in wire-friendly form.
+/// Version *times* are deliberately absent: virtual microseconds and wall
+/// microseconds never match, so equivalence is defined over values, writers,
+/// and orders.
+struct NodeDump {
+  struct Item {
+    std::string key;
+    std::string value;
+    std::uint32_t writer = 0;  ///< origin node of the committing session
+  };
+  /// One store apply, in local apply order (per-key order oracle).
+  struct Applied {
+    std::string key;
+    std::uint32_t writer = 0;
+  };
+
+  NodeStatus status;
+  std::vector<Item> items;
+  std::vector<Applied> history;
+
+  std::uint64_t mutex_violations = 0;  ///< Theorem 2 monitor — must stay 0
+  std::uint64_t commit_retransmits = 0;
+  std::uint64_t report_retransmits = 0;
+  std::uint64_t release_retransmits = 0;
+  std::uint64_t anomalies_total = 0;
+
+  // transport-level counters (net.real.*)
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t agent_frames_sent = 0;
+  std::uint64_t agent_frames_received = 0;
+  std::uint64_t loss_injected = 0;
+  std::uint64_t checksum_rejected = 0;
+  std::uint64_t malformed_rejected = 0;
+  std::uint64_t send_failures = 0;
+
+  void serialize(serial::Writer& w) const {
+    status.serialize(w);
+    w.varint(items.size());
+    for (const Item& item : items) {
+      w.str(item.key);
+      w.str(item.value);
+      w.varint(item.writer);
+    }
+    w.varint(history.size());
+    for (const Applied& applied : history) {
+      w.str(applied.key);
+      w.varint(applied.writer);
+    }
+    w.varint(mutex_violations);
+    w.varint(commit_retransmits);
+    w.varint(report_retransmits);
+    w.varint(release_retransmits);
+    w.varint(anomalies_total);
+    w.varint(frames_sent);
+    w.varint(frames_received);
+    w.varint(agent_frames_sent);
+    w.varint(agent_frames_received);
+    w.varint(loss_injected);
+    w.varint(checksum_rejected);
+    w.varint(malformed_rejected);
+    w.varint(send_failures);
+  }
+  static NodeDump deserialize(serial::Reader& r) {
+    NodeDump d;
+    d.status = NodeStatus::deserialize(r);
+    const std::uint64_t n_items = r.length_prefix(2);
+    d.items.reserve(n_items);
+    for (std::uint64_t i = 0; i < n_items; ++i) {
+      Item item;
+      item.key = r.str();
+      item.value = r.str();
+      item.writer = static_cast<std::uint32_t>(r.varint());
+      d.items.push_back(std::move(item));
+    }
+    const std::uint64_t n_history = r.length_prefix(2);
+    d.history.reserve(n_history);
+    for (std::uint64_t i = 0; i < n_history; ++i) {
+      Applied applied;
+      applied.key = r.str();
+      applied.writer = static_cast<std::uint32_t>(r.varint());
+      d.history.push_back(std::move(applied));
+    }
+    d.mutex_violations = r.varint();
+    d.commit_retransmits = r.varint();
+    d.report_retransmits = r.varint();
+    d.release_retransmits = r.varint();
+    d.anomalies_total = r.varint();
+    d.frames_sent = r.varint();
+    d.frames_received = r.varint();
+    d.agent_frames_sent = r.varint();
+    d.agent_frames_received = r.varint();
+    d.loss_injected = r.varint();
+    d.checksum_rejected = r.varint();
+    d.malformed_rejected = r.varint();
+    d.send_failures = r.varint();
+    return d;
+  }
+};
+
+}  // namespace marp::rpc

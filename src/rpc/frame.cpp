@@ -1,0 +1,106 @@
+#include "rpc/frame.hpp"
+
+namespace marp::rpc {
+
+const char* decode_status_name(DecodeStatus status) noexcept {
+  switch (status) {
+    case DecodeStatus::Ok: return "ok";
+    case DecodeStatus::Truncated: return "truncated";
+    case DecodeStatus::BadMagic: return "bad-magic";
+    case DecodeStatus::BadVersion: return "bad-version";
+    case DecodeStatus::BadLength: return "bad-length";
+    case DecodeStatus::ChecksumMismatch: return "checksum-mismatch";
+  }
+  return "?";
+}
+
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size) noexcept {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+serial::Bytes encode_frame(FrameType type, net::NodeId src, net::NodeId dst,
+                           std::uint64_t seq, const serial::Bytes& body,
+                           bool with_checksum) {
+  serial::Writer w;
+  w.u32le(kMagic);
+  w.u16le(kVersion);
+  w.u16le(static_cast<std::uint16_t>(type));
+  w.u16le(with_checksum ? kFlagChecksum : 0);
+  w.u16le(0);  // reserved
+  w.u32le(src);
+  w.u32le(dst);
+  w.u64le(seq);
+  w.u32le(static_cast<std::uint32_t>(body.size()));
+  w.u64le(with_checksum ? fnv1a64(body.data(), body.size()) : 0);
+  serial::Bytes out = w.take();
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+DecodeStatus decode_header(const std::uint8_t* data, std::size_t size,
+                           FrameHeader* out) {
+  if (size < kHeaderSize) return DecodeStatus::Truncated;
+  serial::Reader r(data, kHeaderSize);
+  if (r.u32le() != kMagic) return DecodeStatus::BadMagic;
+  if (r.u16le() != kVersion) return DecodeStatus::BadVersion;
+  FrameHeader h;
+  h.type = r.u16le();
+  h.flags = r.u16le();
+  (void)r.u16le();  // reserved
+  h.src = r.u32le();
+  h.dst = r.u32le();
+  h.seq = r.u64le();
+  h.body_len = r.u32le();
+  h.checksum = r.u64le();
+  if (h.body_len > kMaxBodyLen) return DecodeStatus::BadLength;
+  *out = h;
+  return DecodeStatus::Ok;
+}
+
+DecodeStatus verify_body(const FrameHeader& header, const std::uint8_t* body,
+                         std::size_t size) {
+  if (size < header.body_len) return DecodeStatus::Truncated;
+  if ((header.flags & kFlagChecksum) != 0 &&
+      fnv1a64(body, header.body_len) != header.checksum) {
+    return DecodeStatus::ChecksumMismatch;
+  }
+  return DecodeStatus::Ok;
+}
+
+DecodeStatus decode_frame(const serial::Bytes& buffer, Frame* out) {
+  FrameHeader header;
+  const DecodeStatus hs = decode_header(buffer.data(), buffer.size(), &header);
+  if (hs != DecodeStatus::Ok) return hs;
+  const std::uint8_t* body = buffer.data() + kHeaderSize;
+  const std::size_t avail = buffer.size() - kHeaderSize;
+  const DecodeStatus bs = verify_body(header, body, avail);
+  if (bs != DecodeStatus::Ok) return bs;
+  out->header = header;
+  out->body.assign(body, body + header.body_len);
+  return DecodeStatus::Ok;
+}
+
+serial::Bytes encode_app_body(const net::Message& message) {
+  serial::Writer w;
+  w.varint(message.type);
+  w.raw(message.payload);
+  return w.take();
+}
+
+net::Message decode_app_body(const FrameHeader& header, const serial::Bytes& body) {
+  serial::Reader r(body);
+  net::Message message;
+  message.src = header.src;
+  message.dst = header.dst;
+  message.type = static_cast<net::MessageType>(r.varint());
+  message.payload = r.raw();
+  if (!r.at_end()) throw serial::MalformedError("trailing bytes after app message");
+  return message;
+}
+
+}  // namespace marp::rpc

@@ -1,0 +1,115 @@
+// Wire framing for the real (socket) transport backend.
+//
+// Every byte that crosses a TCP or Unix-domain connection is one frame: a
+// fixed 40-byte little-endian header followed by `body_len` payload bytes.
+// The header carries source/destination node ids, a per-connection sequence
+// number, and an optional FNV-1a-64 checksum over the body, so a receiver
+// can reject truncated or corrupted frames *before* any payload bytes reach
+// the deserializers that rehydrate agents. Decoding returns typed status
+// codes — never exceptions — because on a real wire a bad frame is an
+// expected event, not a programming error.
+//
+// Layout (offsets in bytes, all little-endian):
+//   0  u32  magic      "MRPC" (0x4352504D)
+//   4  u16  version    kVersion
+//   6  u16  type       FrameType
+//   8  u16  flags      FrameFlags bitmask
+//  10  u16  reserved   0
+//  12  u32  src        sending node id (kControlNode for harness clients)
+//  16  u32  dst        destination node id
+//  20  u64  seq        sender-assigned sequence number
+//  28  u32  body_len   payload bytes following the header
+//  32  u64  checksum   FNV-1a-64 over the body (0 unless kFlagChecksum)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/message.hpp"
+#include "serial/byte_buffer.hpp"
+
+namespace marp::rpc {
+
+constexpr std::uint32_t kMagic = 0x4352504D;  // "MRPC" on a little-endian wire
+constexpr std::uint16_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 40;
+
+/// Refuse to allocate for absurd frames (a corrupt length field must not
+/// drive a multi-gigabyte read buffer).
+constexpr std::uint32_t kMaxBodyLen = 32u * 1024u * 1024u;
+
+/// Node id used by harness/control clients that are not cluster members.
+constexpr net::NodeId kControlNode = 0xFFFFFFF0u;
+
+enum class FrameType : std::uint16_t {
+  AppMessage = 1,     ///< a net::Message between two MARP servers/agents
+  AgentTransfer = 2,  ///< a serialized mobile agent migrating between nodes
+  ControlRequest = 3, ///< harness → node RPC (req_header + marshalled args)
+  ControlReply = 4,   ///< node → harness RPC reply (reply_header + result)
+};
+
+enum FrameFlags : std::uint16_t {
+  kFlagChecksum = 1 << 0,  ///< `checksum` covers the body
+};
+
+struct FrameHeader {
+  std::uint16_t type = 0;
+  std::uint16_t flags = 0;
+  net::NodeId src = net::kInvalidNode;
+  net::NodeId dst = net::kInvalidNode;
+  std::uint64_t seq = 0;
+  std::uint32_t body_len = 0;
+  std::uint64_t checksum = 0;
+};
+
+struct Frame {
+  FrameHeader header;
+  serial::Bytes body;
+
+  FrameType type() const noexcept { return static_cast<FrameType>(header.type); }
+};
+
+/// Typed decode outcome — the "error return" side of the wire boundary.
+enum class DecodeStatus : std::uint8_t {
+  Ok,
+  Truncated,         ///< fewer bytes than the header (or body_len) announces
+  BadMagic,
+  BadVersion,
+  BadLength,         ///< body_len > kMaxBodyLen
+  ChecksumMismatch,
+};
+
+const char* decode_status_name(DecodeStatus status) noexcept;
+
+/// FNV-1a 64-bit over `size` bytes.
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size) noexcept;
+
+/// Serialize header + body into one contiguous byte vector. When
+/// `with_checksum`, the header's checksum field is filled from the body.
+serial::Bytes encode_frame(FrameType type, net::NodeId src, net::NodeId dst,
+                           std::uint64_t seq, const serial::Bytes& body,
+                           bool with_checksum = true);
+
+/// Parse a header from exactly kHeaderSize bytes. Returns Truncated /
+/// BadMagic / BadVersion / BadLength without touching `out` payload state.
+DecodeStatus decode_header(const std::uint8_t* data, std::size_t size,
+                           FrameHeader* out);
+
+/// Verify `body` (already read off the wire) against a decoded header.
+DecodeStatus verify_body(const FrameHeader& header, const std::uint8_t* body,
+                         std::size_t size);
+
+/// Whole-buffer convenience used by tests and the in-process transport:
+/// header decode + body slice + checksum verify in one call.
+DecodeStatus decode_frame(const serial::Bytes& buffer, Frame* out);
+
+// ---- payload marshalling (built on serial::Writer/Reader) ----
+
+/// AppMessage body: [varint message-type][length-prefixed payload].
+serial::Bytes encode_app_body(const net::Message& message);
+/// Rebuilds the message; src/dst come from the frame header. Throws
+/// serial::DecodeError subclasses on malformed bodies (callers at the wire
+/// boundary catch and drop).
+net::Message decode_app_body(const FrameHeader& header, const serial::Bytes& body);
+
+}  // namespace marp::rpc

@@ -23,10 +23,27 @@ namespace marp::serial {
 using Bytes = std::vector<std::uint8_t>;
 
 /// Thrown when a reader runs past the end of its buffer or sees malformed
-/// data; indicates a serialize/deserialize mismatch (a real bug).
+/// data. Inside the simulator this indicates a serialize/deserialize
+/// mismatch (a real bug); on the socket substrate it is the normal rejection
+/// path for truncated or corrupted frames, so callers at the wire boundary
+/// catch it and drop the frame instead of corrupting agent rehydration.
 class DecodeError : public std::runtime_error {
  public:
   explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The buffer ended before the announced data did (short read / truncated
+/// frame). Every Reader accessor is bounds-checked; none silently zero-fill.
+class TruncatedError : public DecodeError {
+ public:
+  explicit TruncatedError(const std::string& what) : DecodeError(what) {}
+};
+
+/// The bytes are structurally impossible (overlong varint, a length prefix
+/// announcing more elements than the buffer could possibly hold).
+class MalformedError : public DecodeError {
+ public:
+  explicit MalformedError(const std::string& what) : DecodeError(what) {}
 };
 
 /// Zig-zag maps signed to unsigned so small negatives stay small varints.
@@ -47,6 +64,18 @@ class Writer {
 
   void u8(std::uint8_t v) { buffer_.push_back(v); }
   void boolean(bool v) { u8(v ? 1 : 0); }
+
+  // Fixed-width little-endian writes (wire frame headers want fixed offsets,
+  // not varints, so a peer can parse the header before trusting the body).
+  void u16le(std::uint16_t v) {
+    for (int i = 0; i < 2; ++i) buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u32le(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64le(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
 
   /// Unsigned LEB128.
   void varint(std::uint64_t v) {
@@ -107,6 +136,7 @@ class Reader {
   Reader(const std::uint8_t* data, std::size_t size) noexcept : data_(data), size_(size) {}
 
   std::size_t remaining() const noexcept { return size_ - pos_; }
+  std::size_t position() const noexcept { return pos_; }
   bool at_end() const noexcept { return pos_ == size_; }
 
   std::uint8_t u8() {
@@ -116,17 +146,33 @@ class Reader {
 
   bool boolean() { return u8() != 0; }
 
+  std::uint16_t u16le() { return static_cast<std::uint16_t>(fixed_le(2)); }
+  std::uint32_t u32le() { return static_cast<std::uint32_t>(fixed_le(4)); }
+  std::uint64_t u64le() { return fixed_le(8); }
+
   std::uint64_t varint() {
     std::uint64_t v = 0;
     int shift = 0;
     for (;;) {
-      if (shift >= 64) throw DecodeError("varint too long");
+      if (shift >= 64) throw MalformedError("varint too long");
       const std::uint8_t byte = u8();
       v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
       if ((byte & 0x80) == 0) break;
       shift += 7;
     }
     return v;
+  }
+
+  /// Length prefix for a container whose elements occupy at least
+  /// `min_elem_bytes` each on the wire. Rejects prefixes that announce more
+  /// data than the buffer holds *before* any allocation happens, so a
+  /// malicious 2^60-element header cannot drive a giant reserve().
+  std::uint64_t length_prefix(std::size_t min_elem_bytes = 1) {
+    const std::uint64_t n = varint();
+    if (min_elem_bytes != 0 && n > remaining() / min_elem_bytes) {
+      throw MalformedError("length prefix exceeds buffer");
+    }
+    return n;
   }
 
   std::int64_t svarint() { return zigzag_decode(varint()); }
@@ -159,8 +205,7 @@ class Reader {
 
   template <typename T, typename Fn>
   std::vector<T> seq(Fn&& read_elem) {
-    const std::uint64_t n = varint();
-    if (n > remaining()) throw DecodeError("sequence length exceeds buffer");
+    const std::uint64_t n = length_prefix();
     std::vector<T> v;
     v.reserve(n);
     for (std::uint64_t i = 0; i < n; ++i) v.push_back(read_elem(*this));
@@ -169,8 +214,7 @@ class Reader {
 
   template <typename K, typename V, typename FnK, typename FnV>
   std::map<K, V> map(FnK&& read_key, FnV&& read_value) {
-    const std::uint64_t n = varint();
-    if (n > remaining()) throw DecodeError("map length exceeds buffer");
+    const std::uint64_t n = length_prefix(2);  // a key and a value ≥ 1 byte each
     std::map<K, V> m;
     for (std::uint64_t i = 0; i < n; ++i) {
       K k = read_key(*this);
@@ -188,7 +232,17 @@ class Reader {
 
  private:
   void need(std::uint64_t n) const {
-    if (n > remaining()) throw DecodeError("read past end of buffer");
+    if (n > remaining()) throw TruncatedError("read past end of buffer");
+  }
+
+  std::uint64_t fixed_le(int bytes) {
+    need(static_cast<std::uint64_t>(bytes));
+    std::uint64_t v = 0;
+    for (int i = 0; i < bytes; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+    }
+    pos_ += static_cast<std::size_t>(bytes);
+    return v;
   }
 
   const std::uint8_t* data_;

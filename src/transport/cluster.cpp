@@ -1,0 +1,211 @@
+#include "transport/cluster.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "agent/platform.hpp"
+#include "marp/protocol.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "transport/real_node.hpp"
+#include "transport/socket_transport.hpp"
+
+namespace marp::transport {
+
+core::MarpConfig ClusterSpec::marp() const {
+  core::MarpConfig config;
+  config.reliable_commit = true;
+  return config;
+}
+
+SubstrateResult run_reference_sim(const ClusterSpec& spec) {
+  sim::Simulator simulator(spec.seed);
+  net::Network network(simulator,
+                       net::make_lan_mesh(spec.nodes, sim::SimTime::micros(500)),
+                       std::make_unique<net::ConstantLatency>(sim::SimTime::micros(500)));
+  agent::AgentPlatform platform(network);
+  core::MarpProtocol protocol(network, platform, spec.marp());
+
+  // The same closed-loop workload RealNode runs: per-origin session chains.
+  RealNodeConfig workload;
+  workload.keys_per_origin = spec.keys_per_origin;
+  workload.shared_keys = spec.shared_keys;
+
+  std::vector<std::uint64_t> next_session(spec.nodes, 0);
+  const auto submit = [&](net::NodeId origin, std::uint64_t i) {
+    replica::Request request;
+    request.id = static_cast<std::uint64_t>(origin) * 1'000'000 + i;
+    request.kind = replica::RequestKind::Write;
+    request.key = workload_key(workload, origin, i);
+    request.value = workload_value(origin, i);
+    request.origin = origin;
+    request.submitted = simulator.now();
+    protocol.submit(request);
+  };
+  protocol.set_outcome_handler([&](const replica::Outcome& outcome) {
+    if (outcome.kind != replica::RequestKind::Write) return;
+    const net::NodeId origin = outcome.origin;
+    if (++next_session[origin] < spec.sessions_per_node) {
+      submit(origin, next_session[origin]);
+    }
+  });
+  for (net::NodeId origin = 0; origin < spec.nodes; ++origin) {
+    if (spec.sessions_per_node > 0) submit(origin, 0);
+  }
+  simulator.run();
+
+  // Reduce through the same NodeDump shape the real cluster reports, so the
+  // aggregation/divergence logic is literally shared.
+  std::vector<rpc::NodeDump> dumps(spec.nodes);
+  for (net::NodeId node = 0; node < spec.nodes; ++node) {
+    rpc::NodeDump& d = dumps[node];
+    const replica::VersionedStore& store = protocol.server(node).store();
+    for (const std::string& key : store.keys()) {
+      const auto value = store.read(key);
+      if (value) d.items.push_back({key, value->value, value->version.writer});
+    }
+    for (const auto& applied : store.history()) {
+      d.history.push_back({applied.key, applied.version.writer});
+    }
+  }
+  // Protocol-wide counters live once in the sim; pin them on node 0 so the
+  // aggregation's sums come out right.
+  dumps[0].status.commits = protocol.stats().updates_committed;
+  dumps[0].status.aborts = protocol.stats().updates_aborted;
+  dumps[0].mutex_violations = protocol.stats().mutex_violations;
+  dumps[0].commit_retransmits = protocol.stats().anomalies.commit_retransmits;
+  return aggregate_cluster(dumps);
+}
+
+SubstrateResult aggregate_cluster(const std::vector<rpc::NodeDump>& dumps) {
+  SubstrateResult result;
+  result.per_key_writers.resize(dumps.size());
+  for (std::size_t node = 0; node < dumps.size(); ++node) {
+    const rpc::NodeDump& d = dumps[node];
+    result.commits += d.status.commits;
+    result.aborts += d.status.aborts;
+    result.mutex_violations += d.mutex_violations;
+    result.commit_retransmits += d.commit_retransmits;
+    result.loss_injected += d.loss_injected;
+    for (const auto& applied : d.history) {
+      result.per_key_writers[node][applied.key].push_back(applied.writer);
+    }
+  }
+  if (dumps.empty()) return result;
+
+  for (const auto& item : dumps[0].items) result.store[item.key] = item.value;
+  for (std::size_t node = 1; node < dumps.size(); ++node) {
+    std::map<std::string, std::string> other;
+    for (const auto& item : dumps[node].items) other[item.key] = item.value;
+    if (other != result.store) {
+      result.divergences.push_back("node " + std::to_string(node) +
+                                   " store diverges from node 0");
+    }
+    if (result.per_key_writers[node] != result.per_key_writers[0]) {
+      result.order_divergences.push_back("node " + std::to_string(node) +
+                                         " per-key apply order diverges from node 0");
+    }
+  }
+  return result;
+}
+
+std::vector<std::string> compare_substrates(const SubstrateResult& sim,
+                                            const SubstrateResult& real) {
+  std::vector<std::string> violations;
+  const auto check = [&](bool ok, const std::string& what) {
+    if (!ok) violations.push_back(what);
+  };
+  check(sim.mutex_violations == 0, "sim: mutex violations (Theorem 2 broken)");
+  check(real.mutex_violations == 0, "real: mutex violations (Theorem 2 broken)");
+  check(sim.divergences.empty(), "sim: replicas diverged");
+  check(sim.order_divergences.empty(), "sim: apply orders diverged");
+  for (const std::string& d : real.divergences) violations.push_back("real: " + d);
+  for (const std::string& d : real.order_divergences) violations.push_back("real: " + d);
+  check(sim.commits == real.commits,
+        "commit counts differ: sim " + std::to_string(sim.commits) + " vs real " +
+            std::to_string(real.commits));
+  check(sim.store == real.store, "final stores differ between substrates");
+  if (!sim.per_key_writers.empty() && !real.per_key_writers.empty()) {
+    check(sim.per_key_writers[0] == real.per_key_writers[0],
+          "per-key commit orders differ between substrates");
+  }
+  return violations;
+}
+
+// ---- ControlClient ----
+
+namespace {
+std::atomic<std::uint64_t> g_xid{1};
+}  // namespace
+
+std::optional<serial::Bytes> ControlClient::call(rpc::Proc proc) {
+  rpc::ReqHeader req;
+  req.xid = g_xid.fetch_add(1);
+  req.proc = static_cast<std::uint32_t>(proc);
+  req.client = rpc::kControlNode;
+  serial::Writer w;
+  req.serialize(w);
+  const serial::Bytes request =
+      rpc::encode_frame(rpc::FrameType::ControlRequest, rpc::kControlNode, node_,
+                        req.xid, w.take());
+  rpc::Frame reply;
+  if (!SocketTransport::rpc_call(endpoint_, request, &reply)) return std::nullopt;
+  if (reply.type() != rpc::FrameType::ControlReply) return std::nullopt;
+  try {
+    serial::Reader r(reply.body);
+    const rpc::ReplyHeader header = rpc::ReplyHeader::deserialize(r);
+    if (header.xid != req.xid || header.status != rpc::kOk) return std::nullopt;
+    return serial::Bytes(reply.body.begin() + static_cast<std::ptrdiff_t>(r.position()),
+                         reply.body.end());
+  } catch (const serial::DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+bool ControlClient::ping() { return call(rpc::Proc::Ping).has_value(); }
+
+std::optional<rpc::NodeStatus> ControlClient::status() {
+  const auto body = call(rpc::Proc::Status);
+  if (!body) return std::nullopt;
+  try {
+    serial::Reader r(*body);
+    return rpc::NodeStatus::deserialize(r);
+  } catch (const serial::DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<rpc::NodeDump> ControlClient::dump() {
+  const auto body = call(rpc::Proc::Dump);
+  if (!body) return std::nullopt;
+  try {
+    serial::Reader r(*body);
+    return rpc::NodeDump::deserialize(r);
+  } catch (const serial::DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+bool ControlClient::shutdown() { return call(rpc::Proc::Shutdown).has_value(); }
+
+bool wait_quiesced(std::vector<ControlClient>& clients, long timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool all = true;
+    for (ControlClient& client : clients) {
+      const auto status = client.status();
+      if (!status || !status->quiesced) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  return false;
+}
+
+}  // namespace marp::transport

@@ -1,0 +1,96 @@
+// Cluster harness: drive N RealNodes from outside and prove the socket
+// substrate computes the same thing the simulator does.
+//
+// The cross-substrate oracle rests on one workload property: closed-loop
+// sessions (i+1 submitted only after i completed) over per-origin private
+// keys make the per-key commit order deterministic — session order — on ANY
+// substrate, so the simulator's result is a ground truth the socket cluster
+// must reproduce exactly: same commit counts, same per-key writer order at
+// every replica, same final key→value store. Version timestamps are
+// excluded (virtual vs wall microseconds), everything else must match.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "marp/config.hpp"
+#include "net/message.hpp"
+#include "rpc/control.hpp"
+#include "transport/endpoint.hpp"
+
+namespace marp::transport {
+
+/// One workload/cluster parameterisation, shared by the reference sim, the
+/// in-process cluster tests, and tools/marp_node / marp_cluster.
+struct ClusterSpec {
+  std::size_t nodes = 5;                 ///< the paper's N=5 deployment
+  std::uint64_t sessions_per_node = 20;  ///< closed-loop updates per origin
+  std::uint64_t keys_per_origin = 2;
+  bool shared_keys = false;
+  std::uint64_t seed = 1;
+  double send_loss = 0.0;  ///< socket-level AppMessage loss (real only)
+
+  /// Protocol config both substrates run. reliable_commit is on: it is what
+  /// makes commits immune to injected socket loss, and its acked fan-out
+  /// doubles as the quiescence barrier (no lingering agent ⇒ all acks in).
+  core::MarpConfig marp() const;
+};
+
+/// What one substrate computed, reduced to the comparable core.
+struct SubstrateResult {
+  std::uint64_t commits = 0;  ///< summed over nodes (sim: protocol total)
+  std::uint64_t aborts = 0;
+  std::uint64_t mutex_violations = 0;
+  std::uint64_t commit_retransmits = 0;
+  std::uint64_t loss_injected = 0;
+  /// Converged store (key → value); filled from node 0.
+  std::map<std::string, std::string> store;
+  /// key → writer sequence in apply order, per node.
+  std::vector<std::map<std::string, std::vector<std::uint32_t>>> per_key_writers;
+  /// Final-store divergences between replicas — must ALWAYS be empty.
+  std::vector<std::string> divergences;
+  /// Per-key apply-order divergences between replicas. Must be empty at
+  /// zero loss; under injected loss a retransmitted COMMIT can arrive after
+  /// a newer same-key commit and be (correctly) rejected by the Thomas
+  /// write rule, so apply histories may differ while stores still converge.
+  std::vector<std::string> order_divergences;
+};
+
+/// Ground truth: the same ClusterSpec workload on the pure discrete-event
+/// simulator (single process, no transport).
+SubstrateResult run_reference_sim(const ClusterSpec& spec);
+
+/// Reduce per-node dumps from a real cluster to a SubstrateResult
+/// (computing intra-cluster divergences on the way).
+SubstrateResult aggregate_cluster(const std::vector<rpc::NodeDump>& dumps);
+
+/// Cross-substrate equivalence: every returned string is a violation.
+/// Empty = the substrates agree.
+std::vector<std::string> compare_substrates(const SubstrateResult& sim,
+                                            const SubstrateResult& real);
+
+/// Control-RPC client for one node (used by tools and tests).
+class ControlClient {
+ public:
+  ControlClient(Endpoint endpoint, net::NodeId node)
+      : endpoint_(std::move(endpoint)), node_(node) {}
+
+  bool ping();
+  std::optional<rpc::NodeStatus> status();
+  std::optional<rpc::NodeDump> dump();
+  bool shutdown();
+
+ private:
+  std::optional<serial::Bytes> call(rpc::Proc proc);
+
+  Endpoint endpoint_;
+  net::NodeId node_;
+};
+
+/// Poll every node's Status until all report quiesced, or `timeout_ms`
+/// passes. Returns true on full quiescence.
+bool wait_quiesced(std::vector<ControlClient>& clients, long timeout_ms);
+
+}  // namespace marp::transport

@@ -1,0 +1,62 @@
+#include "transport/endpoint.hpp"
+
+#include <charconv>
+
+namespace marp::transport {
+
+Endpoint Endpoint::tcp(std::string host, std::uint16_t port) {
+  Endpoint e;
+  e.kind = Kind::Tcp;
+  e.host = std::move(host);
+  e.port = port;
+  return e;
+}
+
+Endpoint Endpoint::uds(std::string path) {
+  Endpoint e;
+  e.kind = Kind::Uds;
+  e.path = std::move(path);
+  return e;
+}
+
+std::optional<Endpoint> Endpoint::parse(const std::string& text) {
+  constexpr const char* kTcp = "tcp:";
+  constexpr const char* kUds = "uds:";
+  if (text.rfind(kUds, 0) == 0) {
+    std::string path = text.substr(4);
+    if (path.empty()) return std::nullopt;
+    return uds(std::move(path));
+  }
+  if (text.rfind(kTcp, 0) == 0) {
+    const std::string rest = text.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0) return std::nullopt;
+    const std::string host = rest.substr(0, colon);
+    const std::string port_text = rest.substr(colon + 1);
+    unsigned port = 0;
+    const auto [ptr, ec] = std::from_chars(
+        port_text.data(), port_text.data() + port_text.size(), port);
+    if (ec != std::errc{} || ptr != port_text.data() + port_text.size() ||
+        port == 0 || port > 0xFFFF) {
+      return std::nullopt;
+    }
+    return tcp(host, static_cast<std::uint16_t>(port));
+  }
+  return std::nullopt;
+}
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::Uds) return "uds:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+std::vector<Endpoint> local_uds_cluster(const std::string& dir, std::size_t n) {
+  std::vector<Endpoint> endpoints;
+  endpoints.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    endpoints.push_back(Endpoint::uds(dir + "/node" + std::to_string(i) + ".sock"));
+  }
+  return endpoints;
+}
+
+}  // namespace marp::transport

@@ -1,0 +1,44 @@
+// Wire addresses for the socket transport.
+//
+// Two substrate flavours, one textual form each:
+//   tcp:HOST:PORT   — TCP over loopback or a real NIC ("tcp:127.0.0.1:7001")
+//   uds:PATH        — a Unix-domain stream socket ("uds:/tmp/marp/n0.sock")
+// UDS is the default for local clusters (no ports to collide, the kernel
+// cleans up with the directory); TCP exists so the same binary can span
+// machines.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace marp::transport {
+
+struct Endpoint {
+  enum class Kind : std::uint8_t { Tcp, Uds };
+
+  Kind kind = Kind::Uds;
+  std::string host;         ///< Tcp only
+  std::uint16_t port = 0;   ///< Tcp only
+  std::string path;         ///< Uds only
+
+  static Endpoint tcp(std::string host, std::uint16_t port);
+  static Endpoint uds(std::string path);
+
+  /// Parse the textual form; nullopt on syntax errors (unknown scheme,
+  /// missing port, out-of-range port, empty path).
+  static std::optional<Endpoint> parse(const std::string& text);
+
+  std::string to_string() const;
+
+  bool operator==(const Endpoint& other) const noexcept {
+    return kind == other.kind && host == other.host && port == other.port &&
+           path == other.path;
+  }
+};
+
+/// Endpoints for an N-node local UDS cluster: DIR/nodeI.sock.
+std::vector<Endpoint> local_uds_cluster(const std::string& dir, std::size_t n);
+
+}  // namespace marp::transport

@@ -1,0 +1,122 @@
+#include "transport/inproc_transport.hpp"
+
+#include "util/assert.hpp"
+
+namespace marp::transport {
+
+void InProcTransport::start(Receiver receiver) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  receiver_ = std::move(receiver);
+  running_ = true;
+}
+
+void InProcTransport::stop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+}
+
+bool InProcTransport::send_message(const net::Message& message) {
+  const serial::Bytes encoded =
+      rpc::encode_frame(rpc::FrameType::AppMessage, local_, message.dst, ++seq_,
+                        rpc::encode_app_body(message), mesh_.checksum());
+  return mesh_.deliver(local_, message.dst, encoded, rpc::FrameType::AppMessage);
+}
+
+bool InProcTransport::send_agent_frame(net::NodeId dst, const serial::Bytes& frame) {
+  const serial::Bytes encoded = rpc::encode_frame(
+      rpc::FrameType::AgentTransfer, local_, dst, ++seq_, frame, mesh_.checksum());
+  return mesh_.deliver(local_, dst, encoded, rpc::FrameType::AgentTransfer);
+}
+
+bool InProcTransport::reachable(net::NodeId dst) { return dst < mesh_.size(); }
+
+TransportStats InProcTransport::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void InProcTransport::note_sent(const serial::Bytes& encoded, rpc::FrameType type) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.frames_sent;
+  stats_.bytes_sent += encoded.size();
+  if (type == rpc::FrameType::AgentTransfer) ++stats_.agent_frames_sent;
+}
+
+void InProcTransport::receive_encoded(const serial::Bytes& encoded) {
+  rpc::Frame frame;
+  const rpc::DecodeStatus status = rpc::decode_frame(encoded, &frame);
+  Receiver receiver;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    if (status == rpc::DecodeStatus::ChecksumMismatch) {
+      ++stats_.checksum_rejected;
+      return;
+    }
+    if (status != rpc::DecodeStatus::Ok) {
+      ++stats_.malformed_rejected;
+      return;
+    }
+    ++stats_.frames_received;
+    stats_.bytes_received += encoded.size();
+    if (frame.type() == rpc::FrameType::AgentTransfer) {
+      ++stats_.agent_frames_received;
+    }
+    receiver = receiver_;
+  }
+  if (receiver) receiver(std::move(frame), ReplyFn{});
+}
+
+InProcMesh::InProcMesh(std::size_t size, bool checksum)
+    : checksum_(checksum), link_up_(size * size, true) {
+  nodes_.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    nodes_.push_back(
+        std::make_unique<InProcTransport>(*this, static_cast<net::NodeId>(i)));
+  }
+}
+
+void InProcMesh::set_send_loss(double p, std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  send_loss_ = p;
+  loss_rng_.seed(seed);
+}
+
+void InProcMesh::set_link_up(net::NodeId src, net::NodeId dst, bool up) {
+  MARP_REQUIRE(src < size() && dst < size());
+  std::lock_guard<std::mutex> lock(mutex_);
+  link_up_[src * size() + dst] = up;
+}
+
+bool InProcMesh::roll_loss() {
+  return send_loss_ > 0.0 && std::bernoulli_distribution(send_loss_)(loss_rng_);
+}
+
+bool InProcMesh::deliver(net::NodeId src, net::NodeId dst, serial::Bytes encoded,
+                         rpc::FrameType type) {
+  if (dst >= size()) return false;
+  InProcTransport& sender = *nodes_[src];
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!link_up_[src * size() + dst]) {
+      // A dead connection: messages vanish silently (the sender's write
+      // succeeded before the peer died), migrations fail loudly (the
+      // platform needs the failure to revive the agent).
+      return type != rpc::FrameType::AgentTransfer;
+    }
+    if (type == rpc::FrameType::AppMessage && roll_loss()) {
+      std::lock_guard<std::mutex> sender_lock(sender.mutex_);
+      ++sender.stats_.loss_injected;
+      return true;
+    }
+    if (corrupt_pending_ > 0 && !encoded.empty()) {
+      --corrupt_pending_;
+      encoded.back() ^= 0xFF;  // damage the last body byte, post-checksum
+    }
+  }
+  sender.note_sent(encoded, type);
+  nodes_[dst]->receive_encoded(encoded);
+  return true;
+}
+
+}  // namespace marp::transport

@@ -1,0 +1,296 @@
+#include "transport/real_node.hpp"
+
+#include <chrono>
+
+#include "net/topology.hpp"
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace marp::transport {
+
+namespace {
+
+/// The simulated leg of a real node only carries loopback traffic (agent →
+/// local server replies); keep it fast and size-independent.
+constexpr std::int64_t kLoopbackDelayUs = 50;
+
+}  // namespace
+
+std::string workload_key(const RealNodeConfig& config, net::NodeId origin,
+                         std::uint64_t i) {
+  const std::uint64_t k = config.keys_per_origin == 0 ? 0 : i % config.keys_per_origin;
+  if (config.shared_keys) return "shared/k" + std::to_string(k);
+  return "n" + std::to_string(origin) + "/k" + std::to_string(k);
+}
+
+std::string workload_value(net::NodeId origin, std::uint64_t i) {
+  return "n" + std::to_string(origin) + "-s" + std::to_string(i);
+}
+
+RealNode::RealNode(RealNodeConfig config)
+    : config_(std::move(config)),
+      sim_(config_.seed),
+      network_(sim_,
+               net::make_lan_mesh(config_.endpoints.size(),
+                                  sim::SimTime::micros(kLoopbackDelayUs)),
+               std::make_unique<net::ConstantLatency>(
+                   sim::SimTime::micros(kLoopbackDelayUs))),
+      platform_(network_),
+      protocol_(network_, platform_, config_.marp),
+      transport_([this] {
+        SocketTransportConfig tc;
+        tc.local = config_.node;
+        tc.peers = config_.endpoints;
+        tc.checksum = config_.checksum;
+        tc.send_loss = config_.send_loss;
+        tc.loss_seed = config_.seed * 7919 + config_.node;
+        return tc;
+      }()) {
+  MARP_REQUIRE(config_.node < config_.endpoints.size());
+  network_.attach_transport(&transport_, config_.node);
+  protocol_.set_outcome_handler([this](const replica::Outcome& outcome) {
+    if (outcome.kind != replica::RequestKind::Write) return;
+    ++sessions_completed_;
+    if (!outcome.success) ++sessions_failed_;
+    if (sessions_completed_ < config_.sessions) {
+      submit_session(sessions_completed_);
+    }
+  });
+}
+
+RealNode::~RealNode() {
+  request_stop();
+  join();
+  transport_.stop();
+}
+
+void RealNode::run() {
+  transport_.start([this](rpc::Frame&& frame, NodeTransport::ReplyFn reply) {
+    std::lock_guard<std::mutex> lock(inbox_mutex_);
+    if (stop_requested_) return;
+    inbox_.push_back({std::move(frame), std::move(reply)});
+    inbox_cv_.notify_one();
+  });
+  driver_loop();
+  transport_.stop();
+}
+
+void RealNode::start() {
+  MARP_REQUIRE_MSG(!thread_.joinable(), "node already started");
+  thread_ = std::thread([this] { run(); });
+}
+
+void RealNode::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void RealNode::request_stop() {
+  std::lock_guard<std::mutex> lock(inbox_mutex_);
+  stop_requested_ = true;
+  inbox_cv_.notify_one();
+}
+
+void RealNode::submit_session(std::uint64_t i) {
+  replica::Request request;
+  request.id = static_cast<std::uint64_t>(config_.node) * 1'000'000 + i;
+  request.kind = replica::RequestKind::Write;
+  request.key = workload_key(config_, config_.node, i);
+  request.value = workload_value(config_.node, i);
+  request.origin = config_.node;
+  request.submitted = sim_.now();
+  ++next_request_id_;
+  protocol_.submit(request);
+}
+
+void RealNode::driver_loop() {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  const auto virt = [&t0] {
+    return sim::SimTime::micros(std::chrono::duration_cast<std::chrono::microseconds>(
+                                    Clock::now() - t0)
+                                    .count());
+  };
+
+  {
+    std::lock_guard<std::mutex> state(state_mutex_);
+    sim_.schedule(config_.start_delay, [this] {
+      if (config_.sessions > 0) submit_session(0);
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(inbox_mutex_);
+  while (!stop_requested_) {
+    std::deque<Incoming> batch;
+    batch.swap(inbox_);
+    lock.unlock();
+    {
+      std::lock_guard<std::mutex> state(state_mutex_);
+      // Catch the virtual clock up first so injected deliveries (and the
+      // timers their handlers arm) are stamped with the current wall time,
+      // then run whatever they made due.
+      sim_.run(virt());
+      for (Incoming& incoming : batch) apply(std::move(incoming));
+      sim_.run(virt());
+    }
+    lock.lock();
+    if (stop_requested_ || !inbox_.empty()) continue;
+    // Only the driver thread mutates the event queue, so peeking at it
+    // without state_mutex_ is safe here.
+    if (sim_.idle()) {
+      inbox_cv_.wait_for(lock, std::chrono::milliseconds(100));
+    } else {
+      const auto wake =
+          t0 + std::chrono::microseconds(sim_.next_event_time().as_micros());
+      inbox_cv_.wait_until(lock, wake);
+    }
+  }
+}
+
+void RealNode::apply(Incoming incoming) {
+  switch (incoming.frame.type()) {
+    case rpc::FrameType::AppMessage: {
+      try {
+        net::Message message =
+            rpc::decode_app_body(incoming.frame.header, incoming.frame.body);
+        if (message.dst != config_.node || message.src >= network_.size()) {
+          MARP_LOG_WARN("realnode") << "node " << config_.node
+                                    << ": misrouted frame dropped";
+          return;
+        }
+        network_.inject(std::move(message));
+      } catch (const serial::DecodeError& e) {
+        MARP_LOG_WARN("realnode")
+            << "node " << config_.node << ": malformed app body: " << e.what();
+      }
+      return;
+    }
+    case rpc::FrameType::AgentTransfer: {
+      try {
+        platform_.receive_remote_agent(incoming.frame.body);
+      } catch (const serial::DecodeError& e) {
+        // The frame passed the checksum but the agent state is garbage —
+        // drop it; the sender's migration timeout revives the agent there.
+        MARP_LOG_WARN("realnode")
+            << "node " << config_.node << ": malformed agent frame: " << e.what();
+      }
+      return;
+    }
+    case rpc::FrameType::ControlRequest:
+      handle_control(incoming.frame, incoming.reply);
+      return;
+    case rpc::FrameType::ControlReply:
+      return;  // nodes never originate control calls
+  }
+}
+
+void RealNode::handle_control(const rpc::Frame& frame,
+                              const NodeTransport::ReplyFn& reply) {
+  rpc::ReqHeader req;
+  try {
+    serial::Reader r(frame.body);
+    req = rpc::ReqHeader::deserialize(r);
+  } catch (const serial::DecodeError&) {
+    return;  // no xid to echo — nothing useful to reply
+  }
+
+  serial::Writer w;
+  rpc::ReplyHeader reply_header;
+  reply_header.xid = req.xid;
+  bool shutdown = false;
+  switch (static_cast<rpc::Proc>(req.proc)) {
+    case rpc::Proc::Ping:
+      break;
+    case rpc::Proc::Status: {
+      rpc::ReplyHeader h{req.xid, rpc::kOk};
+      h.serialize(w);
+      status_locked().serialize(w);
+      if (reply) {
+        reply(rpc::encode_frame(rpc::FrameType::ControlReply, config_.node,
+                                frame.header.src, req.xid, w.take(),
+                                config_.checksum));
+      }
+      return;
+    }
+    case rpc::Proc::Dump: {
+      rpc::ReplyHeader h{req.xid, rpc::kOk};
+      h.serialize(w);
+      dump_locked().serialize(w);
+      if (reply) {
+        reply(rpc::encode_frame(rpc::FrameType::ControlReply, config_.node,
+                                frame.header.src, req.xid, w.take(),
+                                config_.checksum));
+      }
+      return;
+    }
+    case rpc::Proc::Shutdown:
+      shutdown = true;
+      break;
+    default:
+      reply_header.status = rpc::kBadProc;
+      break;
+  }
+  reply_header.serialize(w);
+  if (reply) {
+    reply(rpc::encode_frame(rpc::FrameType::ControlReply, config_.node,
+                            frame.header.src, req.xid, w.take(),
+                            config_.checksum));
+  }
+  if (shutdown) request_stop();
+}
+
+rpc::NodeStatus RealNode::status() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return status_locked();
+}
+
+rpc::NodeDump RealNode::dump() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return dump_locked();
+}
+
+rpc::NodeStatus RealNode::status_locked() {
+  rpc::NodeStatus s;
+  s.sessions_target = config_.sessions;
+  s.sessions_completed = sessions_completed_;
+  s.commits = protocol_.stats().updates_committed;
+  s.aborts = protocol_.stats().updates_aborted;
+  s.live_agents = platform_.live_agents();
+  s.quiesced = sessions_completed_ >= config_.sessions && s.live_agents == 0;
+  return s;
+}
+
+rpc::NodeDump RealNode::dump_locked() {
+  rpc::NodeDump d;
+  d.status = status_locked();
+
+  const replica::VersionedStore& store =
+      protocol_.server(config_.node).store();
+  for (const std::string& key : store.keys()) {
+    const auto value = store.read(key);
+    if (!value) continue;
+    d.items.push_back({key, value->value, value->version.writer});
+  }
+  for (const auto& applied : store.history()) {
+    d.history.push_back({applied.key, applied.version.writer});
+  }
+
+  const core::MarpStats& stats = protocol_.stats();
+  d.mutex_violations = stats.mutex_violations;
+  d.commit_retransmits = stats.anomalies.commit_retransmits;
+  d.report_retransmits = stats.anomalies.report_retransmits;
+  d.release_retransmits = stats.anomalies.release_retransmits;
+  d.anomalies_total = stats.anomalies.total();
+
+  const TransportStats ts = transport_.stats();
+  d.frames_sent = ts.frames_sent;
+  d.frames_received = ts.frames_received;
+  d.agent_frames_sent = ts.agent_frames_sent;
+  d.agent_frames_received = ts.agent_frames_received;
+  d.loss_injected = ts.loss_injected;
+  d.checksum_rejected = ts.checksum_rejected;
+  d.malformed_rejected = ts.malformed_rejected;
+  d.send_failures = ts.send_failures;
+  return d;
+}
+
+}  // namespace marp::transport

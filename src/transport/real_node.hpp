@@ -1,0 +1,138 @@
+// RealNode — one MARP cluster member as a real process (or thread).
+//
+// The trick that keeps `src/marp/` and `src/agent/` untouched: each node
+// instantiates the *entire* protocol stack — Simulator, Network(N),
+// AgentPlatform, MarpProtocol with all N servers — but attaches a transport,
+// so only the local node's server ever sees traffic; the other N−1 are inert
+// shadows. A single driver thread owns every protocol object:
+//
+//   socket threads                driver thread
+//   --------------                ----------------------------------------
+//   frame arrives ──enqueue──►    drain inbox:
+//                                   AppMessage   → Network::inject()
+//                                   AgentTransfer→ receive_remote_agent()
+//                                   ControlRequest → serve RPC, reply
+//                                 sim.run(virtual_now)   // due timers fire
+//                                 sleep until next timer or inbox signal
+//
+// Virtual time is wall time: `sim.run(elapsed-µs)` advances the
+// discrete-event clock in step with the wall clock, so every protocol timer
+// (ack retries, COMMIT retransmission, patrols) fires on schedule without a
+// single change to the timer code. Determinism is traded away exactly where
+// a real network trades it away — frame arrival order — and nowhere else.
+//
+// The node also runs a closed-loop workload (session i+1 submitted when
+// session i completes) and serves the control RPC (Ping/Status/Dump/
+// Shutdown) that the cluster harness drives.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "agent/platform.hpp"
+#include "marp/protocol.hpp"
+#include "net/network.hpp"
+#include "rpc/control.hpp"
+#include "sim/simulator.hpp"
+#include "transport/socket_transport.hpp"
+
+namespace marp::transport {
+
+struct RealNodeConfig {
+  net::NodeId node = 0;
+  std::vector<Endpoint> endpoints;  ///< listen address per node id
+  core::MarpConfig marp;            ///< reliable_commit strongly recommended
+  std::uint64_t seed = 1;
+
+  // ---- closed-loop workload ----
+  std::uint64_t sessions = 0;        ///< update sessions this node originates
+  std::uint64_t keys_per_origin = 2; ///< distinct keys cycled through
+  /// false: each origin writes its own "nI/kJ" keys — per-key commit order
+  /// is then substrate-independent (the equivalence oracle). true: every
+  /// node writes the same "shared/kJ" keys — real contention, convergence
+  /// asserted instead of equality with the sim.
+  bool shared_keys = false;
+  /// Wall-clock delay before the first session (lets every peer's listener
+  /// come up so the cluster starts from a connected mesh).
+  sim::SimTime start_delay = sim::SimTime::millis(300);
+
+  // ---- wire knobs ----
+  bool checksum = true;
+  double send_loss = 0.0;  ///< injected socket-level loss (AppMessage only)
+};
+
+/// The key node `origin` writes in session `i` under a workload config.
+std::string workload_key(const RealNodeConfig& config, net::NodeId origin,
+                         std::uint64_t i);
+/// The value it writes (encodes origin and session, so stores are
+/// comparable across substrates).
+std::string workload_value(net::NodeId origin, std::uint64_t i);
+
+class RealNode {
+ public:
+  explicit RealNode(RealNodeConfig config);
+  ~RealNode();
+
+  RealNode(const RealNode&) = delete;
+  RealNode& operator=(const RealNode&) = delete;
+
+  /// Run the node on the calling thread until Shutdown (tools/marp_node).
+  void run();
+  /// Run on a background thread (in-process cluster tests) …
+  void start();
+  /// … and wait for it to finish.
+  void join();
+  /// Ask the run loop to exit (thread-safe; also triggered by Shutdown RPC).
+  void request_stop();
+
+  net::NodeId node() const noexcept { return config_.node; }
+  const RealNodeConfig& config() const noexcept { return config_; }
+
+  /// Snapshot used by the Status/Dump RPCs. Thread-safe.
+  rpc::NodeStatus status();
+  rpc::NodeDump dump();
+
+ private:
+  struct Incoming {
+    rpc::Frame frame;
+    NodeTransport::ReplyFn reply;
+  };
+
+  void driver_loop();
+  void apply(Incoming incoming);
+  void handle_control(const rpc::Frame& frame, const NodeTransport::ReplyFn& reply);
+  void submit_session(std::uint64_t i);
+  rpc::NodeStatus status_locked();
+  rpc::NodeDump dump_locked();
+
+  RealNodeConfig config_;
+  sim::Simulator sim_;
+  net::Network network_;
+  agent::AgentPlatform platform_;
+  core::MarpProtocol protocol_;
+  SocketTransport transport_;
+
+  std::uint64_t sessions_completed_ = 0;
+  std::uint64_t sessions_failed_ = 0;
+  std::uint64_t next_request_id_ = 0;
+
+  std::mutex inbox_mutex_;
+  std::condition_variable inbox_cv_;
+  std::deque<Incoming> inbox_;
+  bool stop_requested_ = false;
+
+  /// Guards protocol state for the status()/dump() snapshot path; the
+  /// driver thread holds it while running events.
+  std::mutex state_mutex_;
+
+  std::thread thread_;
+};
+
+}  // namespace marp::transport

@@ -1,0 +1,368 @@
+#include "transport/socket_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <thread>
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace marp::transport {
+
+namespace {
+
+// Raw socket helpers. All sockets are blocking; reader tasks park in
+// recv() and are unblocked by shutdown(fd) at stop time.
+
+int open_listener(const Endpoint& endpoint) {
+  if (endpoint.kind == Endpoint::Kind::Uds) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (endpoint.path.size() >= sizeof(addr.sun_path)) return -1;
+    std::strncpy(addr.sun_path, endpoint.path.c_str(), sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    ::unlink(endpoint.path.c_str());  // stale socket from a previous run
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 64) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port);
+  if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_once(const Endpoint& endpoint) {
+  if (endpoint.kind == Endpoint::Kind::Uds) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (endpoint.path.size() >= sizeof(addr.sun_path)) return -1;
+    std::strncpy(addr.sun_path, endpoint.path.c_str(), sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port);
+  if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+/// Write the whole buffer; EPIPE instead of SIGPIPE.
+bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::send(fd, data + done, size - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Read exactly `size` bytes; false on EOF/error.
+bool read_all(int fd, std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::recv(fd, data + done, size - done, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Read one whole frame off `fd`. Returns Ok and fills `out`, or the decode
+/// status that killed it (Truncated doubles as EOF/IO error).
+rpc::DecodeStatus read_frame(int fd, rpc::Frame* out) {
+  std::uint8_t header_bytes[rpc::kHeaderSize];
+  if (!read_all(fd, header_bytes, rpc::kHeaderSize)) {
+    return rpc::DecodeStatus::Truncated;
+  }
+  rpc::FrameHeader header;
+  const rpc::DecodeStatus hs =
+      rpc::decode_header(header_bytes, rpc::kHeaderSize, &header);
+  if (hs != rpc::DecodeStatus::Ok) return hs;
+  serial::Bytes body(header.body_len);
+  if (header.body_len > 0 && !read_all(fd, body.data(), body.size())) {
+    return rpc::DecodeStatus::Truncated;
+  }
+  const rpc::DecodeStatus bs = rpc::verify_body(header, body.data(), body.size());
+  if (bs != rpc::DecodeStatus::Ok) return bs;
+  out->header = header;
+  out->body = std::move(body);
+  return rpc::DecodeStatus::Ok;
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(SocketTransportConfig config)
+    : config_(std::move(config)), loss_rng_(config_.loss_seed) {
+  MARP_REQUIRE(config_.local < config_.peers.size());
+}
+
+SocketTransport::~SocketTransport() { stop(); }
+
+void SocketTransport::start(Receiver receiver) {
+  MARP_REQUIRE_MSG(!running_.load(), "transport already started");
+  receiver_ = std::move(receiver);
+  listen_fd_ = open_listener(config_.peers[config_.local]);
+  MARP_ENSURE_MSG(listen_fd_ >= 0,
+                  "cannot listen on " + config_.peers[config_.local].to_string());
+  const std::size_t threads = config_.reader_threads != 0
+                                  ? config_.reader_threads
+                                  : config_.peers.size() + 8;
+  pool_ = std::make_unique<ThreadPool>(threads);
+  running_.store(true);
+  pool_->submit([this] { accept_loop(); });
+}
+
+void SocketTransport::stop() {
+  if (!running_.exchange(false)) return;
+  // Unblock accept() and every parked reader, then join via pool teardown.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(inbound_mutex_);
+    for (const ConnPtr& conn : inbound_conns_) close_conn(conn);
+    inbound_conns_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(peers_mutex_);
+    for (auto& [node, conn] : peer_conns_) close_conn(conn);
+    peer_conns_.clear();
+  }
+  pool_.reset();  // joins accept/reader tasks
+  if (config_.peers[config_.local].kind == Endpoint::Kind::Uds) {
+    ::unlink(config_.peers[config_.local].path.c_str());
+  }
+}
+
+void SocketTransport::close_conn(const ConnPtr& conn) {
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  if (conn->fd >= 0) {
+    ::shutdown(conn->fd, SHUT_RDWR);
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+}
+
+SocketTransport::ConnPtr SocketTransport::peer_conn(net::NodeId dst) {
+  std::lock_guard<std::mutex> lock(peers_mutex_);
+  const auto it = peer_conns_.find(dst);
+  if (it != peer_conns_.end() && it->second->fd >= 0) return it->second;
+  if (dst >= config_.peers.size()) return nullptr;
+  for (int attempt = 0; attempt < config_.connect_attempts; ++attempt) {
+    if (!running_.load()) return nullptr;
+    const int fd = connect_once(config_.peers[dst]);
+    if (fd >= 0) {
+      auto conn = std::make_shared<Conn>();
+      conn->fd = fd;
+      peer_conns_[dst] = conn;
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.connects;
+      }
+      return conn;
+    }
+    std::this_thread::sleep_for(config_.connect_backoff);
+  }
+  return nullptr;
+}
+
+void SocketTransport::drop_peer_conn(net::NodeId dst, const ConnPtr& conn) {
+  close_conn(conn);
+  std::lock_guard<std::mutex> lock(peers_mutex_);
+  const auto it = peer_conns_.find(dst);
+  if (it != peer_conns_.end() && it->second == conn) peer_conns_.erase(it);
+}
+
+bool SocketTransport::send_frame(net::NodeId dst, rpc::FrameType type,
+                                 const serial::Bytes& body) {
+  const serial::Bytes encoded =
+      rpc::encode_frame(type, config_.local, dst, seq_.fetch_add(1) + 1, body,
+                        config_.checksum);
+  const ConnPtr conn = peer_conn(dst);
+  if (!conn) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.send_failures;
+    return false;
+  }
+  bool ok;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    ok = conn->fd >= 0 && write_all(conn->fd, encoded.data(), encoded.size());
+  }
+  if (!ok) {
+    // Peer vanished mid-stream: drop the connection so the next send
+    // re-dials, and let the caller's retry machinery handle this frame.
+    drop_peer_conn(dst, conn);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.send_failures;
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.frames_sent;
+  stats_.bytes_sent += encoded.size();
+  if (type == rpc::FrameType::AgentTransfer) ++stats_.agent_frames_sent;
+  return true;
+}
+
+bool SocketTransport::send_message(const net::Message& message) {
+  if (config_.send_loss > 0.0) {
+    bool lost;
+    {
+      std::lock_guard<std::mutex> lock(loss_mutex_);
+      lost = std::bernoulli_distribution(config_.send_loss)(loss_rng_);
+    }
+    if (lost) {
+      // The frame dies here, as if the wire ate it. Reporting success makes
+      // the loss silent to the sender — exactly what the protocol's
+      // ack-driven retransmissions exist to survive.
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.loss_injected;
+      return true;
+    }
+  }
+  return send_frame(message.dst, rpc::FrameType::AppMessage,
+                    rpc::encode_app_body(message));
+}
+
+bool SocketTransport::send_agent_frame(net::NodeId dst, const serial::Bytes& frame) {
+  return send_frame(dst, rpc::FrameType::AgentTransfer, frame);
+}
+
+bool SocketTransport::reachable(net::NodeId dst) {
+  if (dst >= config_.peers.size()) return false;
+  std::lock_guard<std::mutex> lock(peers_mutex_);
+  const auto it = peer_conns_.find(dst);
+  return it == peer_conns_.end() || it->second->fd >= 0;
+}
+
+TransportStats SocketTransport::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void SocketTransport::accept_loop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (stop) or fatal
+    }
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(inbound_mutex_);
+      inbound_conns_.push_back(conn);
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.accepts;
+    }
+    pool_->submit([this, conn] { reader_loop(conn); });
+  }
+}
+
+void SocketTransport::reader_loop(ConnPtr conn) {
+  while (running_.load()) {
+    rpc::Frame frame;
+    const rpc::DecodeStatus status = read_frame(conn->fd, &frame);
+    if (status == rpc::DecodeStatus::Truncated) {
+      break;  // EOF / peer closed — normal end of a connection
+    }
+    if (status == rpc::DecodeStatus::ChecksumMismatch) {
+      // Corrupt body, aligned stream: drop the frame, keep the connection.
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.checksum_rejected;
+      continue;
+    }
+    if (status != rpc::DecodeStatus::Ok) {
+      // Bad magic/version/length — the byte stream is garbage from here on.
+      MARP_LOG_WARN("transport")
+          << "node " << config_.local << ": closing connection on "
+          << rpc::decode_status_name(status) << " frame";
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.malformed_rejected;
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.frames_received;
+      stats_.bytes_received += rpc::kHeaderSize + frame.body.size();
+      if (frame.type() == rpc::FrameType::AgentTransfer) {
+        ++stats_.agent_frames_received;
+      }
+    }
+    ReplyFn reply = [this, conn](const serial::Bytes& encoded) {
+      std::lock_guard<std::mutex> lock(conn->write_mutex);
+      return conn->fd >= 0 && write_all(conn->fd, encoded.data(), encoded.size());
+    };
+    receiver_(std::move(frame), std::move(reply));
+  }
+  close_conn(conn);
+}
+
+bool SocketTransport::rpc_call(const Endpoint& endpoint,
+                               const serial::Bytes& request, rpc::Frame* reply,
+                               std::chrono::milliseconds timeout) {
+  const int fd = connect_once(endpoint);
+  if (fd < 0) return false;
+  bool ok = write_all(fd, request.data(), request.size());
+  if (ok && reply != nullptr) {
+    const timeval tv{
+        static_cast<time_t>(timeout.count() / 1000),
+        static_cast<suseconds_t>((timeout.count() % 1000) * 1000)};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ok = read_frame(fd, reply) == rpc::DecodeStatus::Ok;
+  }
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace marp::transport

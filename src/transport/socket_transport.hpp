@@ -1,0 +1,118 @@
+// SocketTransport — the real wire: framed RPC over TCP or Unix-domain
+// stream sockets.
+//
+// One instance per process/node. It listens on its own endpoint, lazily
+// connects to peers (with retries, so a cluster can start in any order), and
+// moves rpc frames both ways:
+//
+//   send side (driver thread)    recv side (pool threads)
+//   ------------------------     -------------------------------
+//   send_message  → AppMessage   accept_loop: one task on the pool
+//   send_agent_frame             reader_loop: one task per connection,
+//     → AgentTransfer              blocking reads; parses header → body,
+//   control client frames          verifies checksum, hands the frame to
+//     → ControlRequest             the Receiver (which must only enqueue)
+//
+// All reader/acceptor work runs on a util::ThreadPool sized to the cluster;
+// the transport never touches protocol state itself. Frames that fail
+// header validation desynchronise the byte stream, so the connection is
+// closed (counted in malformed_rejected); a checksum mismatch leaves the
+// stream aligned, so only the frame is dropped (checksum_rejected).
+//
+// Chaos knob: `send_loss` eats outbound AppMessage frames with a seeded coin
+// — never AgentTransfer or control frames — so injected socket-level loss
+// exercises the protocol's reliable-commit retransmissions without ever
+// losing an agent in flight.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "transport/endpoint.hpp"
+#include "transport/transport.hpp"
+#include "util/thread_pool.hpp"
+
+namespace marp::transport {
+
+struct SocketTransportConfig {
+  net::NodeId local = net::kInvalidNode;
+  /// peers[i] is node i's listen endpoint; peers[local] is ours.
+  std::vector<Endpoint> peers;
+  bool checksum = true;
+  /// Probability an outbound AppMessage frame is silently eaten (chaos).
+  double send_loss = 0.0;
+  std::uint64_t loss_seed = 1;
+  /// Lazy connect schedule: attempts × backoff bounds how long a starting
+  /// cluster waits for a peer's listener to appear.
+  int connect_attempts = 60;
+  std::chrono::milliseconds connect_backoff{50};
+  /// 0 → peers + 8 (accept loop + inbound readers + control connections).
+  std::size_t reader_threads = 0;
+};
+
+class SocketTransport final : public NodeTransport {
+ public:
+  explicit SocketTransport(SocketTransportConfig config);
+  ~SocketTransport() override;
+
+  void start(Receiver receiver) override;
+  void stop() override;
+
+  bool send_message(const net::Message& message) override;
+  bool send_agent_frame(net::NodeId dst, const serial::Bytes& frame) override;
+  bool reachable(net::NodeId dst) override;
+  TransportStats stats() const override;
+
+  const SocketTransportConfig& config() const noexcept { return config_; }
+
+  /// Client-side helper (harness / tools): connect to `endpoint`, send one
+  /// pre-encoded frame, and — when `reply` is non-null — block until one
+  /// whole frame comes back (or `timeout` passes). Returns false on any
+  /// connect/IO/decode failure. Stateless: one connection per call.
+  static bool rpc_call(const Endpoint& endpoint, const serial::Bytes& request,
+                       rpc::Frame* reply,
+                       std::chrono::milliseconds timeout = std::chrono::seconds(10));
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::mutex write_mutex;
+  };
+  using ConnPtr = std::shared_ptr<Conn>;
+
+  bool send_frame(net::NodeId dst, rpc::FrameType type, const serial::Bytes& body);
+  /// Existing outbound connection to `dst`, or a fresh one (with the
+  /// configured retry schedule). Null if every attempt failed.
+  ConnPtr peer_conn(net::NodeId dst);
+  void drop_peer_conn(net::NodeId dst, const ConnPtr& conn);
+  void accept_loop();
+  void reader_loop(ConnPtr conn);
+  void close_conn(const ConnPtr& conn);
+
+  SocketTransportConfig config_;
+  Receiver receiver_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+
+  std::mutex peers_mutex_;
+  std::unordered_map<net::NodeId, ConnPtr> peer_conns_;
+
+  std::mutex inbound_mutex_;
+  std::vector<ConnPtr> inbound_conns_;
+
+  std::atomic<std::uint64_t> seq_{0};
+
+  std::mutex loss_mutex_;
+  std::mt19937_64 loss_rng_;
+
+  mutable std::mutex stats_mutex_;
+  TransportStats stats_;
+};
+
+}  // namespace marp::transport

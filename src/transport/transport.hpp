@@ -1,0 +1,81 @@
+// Transport — the substrate seam between the protocol stack and the wire.
+//
+// `src/marp/` and `src/agent/` never name a substrate: every inter-node
+// byte they move funnels through exactly two paths — net::Network::send()
+// for coordination messages and AgentPlatform's migration machinery for
+// agent transfer frames. A Transport attached to the Network (see
+// Network::attach_transport) takes over both paths for destinations other
+// than the local node; with no Transport attached the Network simulates
+// delivery itself (the discrete-event substrate). That keeps the protocol
+// code substrate-agnostic with zero #ifdefs: the same MarpServer /
+// UpdateAgent objects run under the simulator, over in-process queues
+// (InProcTransport), or as N real processes over TCP / Unix-domain sockets
+// (SocketTransport).
+//
+// This header is dependency-light on purpose: net::Network consumes the
+// interface, the implementations in this directory link against net/agent.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/message.hpp"
+#include "rpc/frame.hpp"
+
+namespace marp::transport {
+
+/// Counters every backend keeps (exported as `net.real.*`).
+struct TransportStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t agent_frames_sent = 0;
+  std::uint64_t agent_frames_received = 0;
+  std::uint64_t send_failures = 0;       ///< connect/write errors
+  std::uint64_t loss_injected = 0;       ///< frames eaten by the chaos knob
+  std::uint64_t checksum_rejected = 0;   ///< FNV mismatch — frame dropped
+  std::uint64_t malformed_rejected = 0;  ///< bad magic/version/length
+  std::uint64_t connects = 0;
+  std::uint64_t accepts = 0;
+};
+
+/// Minimal substrate interface the Network consumes for remote destinations.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Move one coordination message toward its destination node. Returns
+  /// false when the substrate knows delivery is impossible right now
+  /// (connect refused, peer gone); best-effort true otherwise.
+  virtual bool send_message(const net::Message& message) = 0;
+
+  /// Ship a serialized agent (a migration) to `dst`. A false return feeds
+  /// the platform's migration-failure path (timeout + revival at source).
+  virtual bool send_agent_frame(net::NodeId dst, const serial::Bytes& frame) = 0;
+
+  /// Cheap reachability hint (an established or establishable connection).
+  virtual bool reachable(net::NodeId dst) = 0;
+
+  virtual TransportStats stats() const = 0;
+};
+
+/// A full per-node backend: Transport plus the receive side. RealNode owns
+/// one of these; received frames are handed to the Receiver on an arbitrary
+/// transport thread, so receivers must only enqueue (the node's driver
+/// thread does the actual protocol work).
+class NodeTransport : public Transport {
+ public:
+  /// Sends a reply frame back over the connection a frame arrived on
+  /// (control channel); returns false if that connection is gone. Null/empty
+  /// for one-way frames is allowed.
+  using ReplyFn = std::function<bool(const serial::Bytes& encoded_frame)>;
+  using Receiver = std::function<void(rpc::Frame&& frame, ReplyFn reply)>;
+
+  /// Begin accepting/receiving. `receiver` outlives the transport's stop().
+  virtual void start(Receiver receiver) = 0;
+  /// Tear down connections and worker threads; idempotent.
+  virtual void stop() = 0;
+};
+
+}  // namespace marp::transport

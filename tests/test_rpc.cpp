@@ -1,0 +1,472 @@
+// RPC framing and marshalling tests: the wire boundary of the real
+// transport. Property suites round-trip every MARP coordination payload and
+// a serialized UpdateAgent through the frame codec; the rejection suites
+// prove truncated and corrupted frames die at the boundary (typed statuses,
+// no exceptions) before any payload bytes reach the deserializers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "agent/platform.hpp"
+#include "marp/protocol.hpp"
+#include "marp/update_agent.hpp"
+#include "marp/wire.hpp"
+#include "net/latency.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "rpc/control.hpp"
+#include "rpc/frame.hpp"
+#include "sim/simulator.hpp"
+
+namespace marp::rpc {
+namespace {
+
+using Rng = std::mt19937_64;
+
+std::string random_string(Rng& rng, std::size_t max_len = 12) {
+  std::uniform_int_distribution<std::size_t> len(0, max_len);
+  std::uniform_int_distribution<int> ch(' ', '~');
+  std::string s(len(rng), '\0');
+  for (char& c : s) c = static_cast<char>(ch(rng));
+  return s;
+}
+
+serial::Bytes random_bytes(Rng& rng, std::size_t max_len = 64) {
+  std::uniform_int_distribution<std::size_t> len(0, max_len);
+  std::uniform_int_distribution<int> byte(0, 255);
+  serial::Bytes b(len(rng));
+  for (auto& v : b) v = static_cast<std::uint8_t>(byte(rng));
+  return b;
+}
+
+replica::Version random_version(Rng& rng) {
+  replica::Version v;
+  v.time_us = static_cast<std::int64_t>(rng() % 1'000'000);
+  v.writer = static_cast<std::uint32_t>(rng() % 16);
+  return v;
+}
+
+agent::AgentId random_agent_id(Rng& rng) {
+  agent::AgentId id;
+  id.origin = static_cast<net::NodeId>(rng() % 8);
+  id.created_us = static_cast<std::int64_t>(rng() % 1'000'000);
+  id.seq = static_cast<std::uint32_t>(rng() % 100);
+  return id;
+}
+
+std::vector<core::WriteOp> random_ops(Rng& rng) {
+  std::uniform_int_distribution<std::size_t> count(0, 5);
+  std::vector<core::WriteOp> ops(count(rng));
+  for (auto& op : ops) {
+    op.key = random_string(rng);
+    op.value = random_string(rng);
+    op.version = random_version(rng);
+  }
+  return ops;
+}
+
+std::vector<shard::GroupId> random_groups(Rng& rng) {
+  std::uniform_int_distribution<std::size_t> count(0, 4);
+  std::vector<shard::GroupId> groups(count(rng));
+  shard::GroupId next = 0;
+  for (auto& g : groups) g = next += static_cast<shard::GroupId>(rng() % 3 + 1);
+  return groups;
+}
+
+/// The round-trip property every payload must satisfy: decode(encode(p))
+/// re-encodes to the identical byte string, and every strict prefix of the
+/// encoding is rejected with a typed DecodeError (varint continuation bits
+/// and length prefixes make all truncations detectable).
+template <typename Payload>
+void check_payload_roundtrip(const Payload& p) {
+  const serial::Bytes bytes = p.encode();
+  const Payload decoded = Payload::decode(bytes);
+  EXPECT_EQ(decoded.encode(), bytes);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const serial::Bytes prefix(bytes.begin(),
+                               bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(Payload::decode(prefix), serial::DecodeError)
+        << "prefix of " << cut << "/" << bytes.size() << " bytes accepted";
+  }
+}
+
+// ---- FNV-1a-64 ----
+
+TEST(Fnv1a64, KnownVectors) {
+  const auto hash = [](const char* s) {
+    return fnv1a64(reinterpret_cast<const std::uint8_t*>(s), std::strlen(s));
+  };
+  EXPECT_EQ(fnv1a64(nullptr, 0), 0xCBF29CE484222325ull);
+  EXPECT_EQ(hash("a"), 0xAF63DC4C8601EC8Cull);
+  EXPECT_EQ(hash("foobar"), 0x85944171F73967E8ull);
+}
+
+TEST(Fnv1a64, SensitiveToEveryByte) {
+  serial::Bytes data(32, 0xAB);
+  const std::uint64_t base = fnv1a64(data.data(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= 0x01;
+    EXPECT_NE(fnv1a64(data.data(), data.size()), base) << "byte " << i;
+    data[i] ^= 0x01;
+  }
+}
+
+// ---- frame codec ----
+
+TEST(Frame, RoundTripsHeaderAndBody) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const serial::Bytes body = random_bytes(rng);
+    const auto src = static_cast<net::NodeId>(rng() % 8);
+    const auto dst = static_cast<net::NodeId>(rng() % 8);
+    const std::uint64_t seq = rng();
+    const serial::Bytes wire =
+        encode_frame(FrameType::AppMessage, src, dst, seq, body);
+    ASSERT_EQ(wire.size(), kHeaderSize + body.size());
+
+    Frame frame;
+    ASSERT_EQ(decode_frame(wire, &frame), DecodeStatus::Ok);
+    EXPECT_EQ(frame.type(), FrameType::AppMessage);
+    EXPECT_EQ(frame.header.src, src);
+    EXPECT_EQ(frame.header.dst, dst);
+    EXPECT_EQ(frame.header.seq, seq);
+    EXPECT_EQ(frame.body, body);
+    EXPECT_NE(frame.header.flags & kFlagChecksum, 0);
+  }
+}
+
+TEST(Frame, EveryTruncationIsRejected) {
+  const serial::Bytes body = {1, 2, 3, 4, 5, 6, 7, 8};
+  const serial::Bytes wire = encode_frame(FrameType::AgentTransfer, 1, 2, 3, body);
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    const serial::Bytes prefix(wire.begin(),
+                               wire.begin() + static_cast<std::ptrdiff_t>(cut));
+    Frame frame;
+    EXPECT_EQ(decode_frame(prefix, &frame), DecodeStatus::Truncated)
+        << "at " << cut << "/" << wire.size();
+  }
+}
+
+TEST(Frame, CorruptedBodyFailsChecksum) {
+  Rng rng(11);
+  const serial::Bytes body = random_bytes(rng, 48);
+  serial::Bytes wire = encode_frame(FrameType::AppMessage, 0, 1, 1, body);
+  // Flip each body byte in turn: every single-bit-of-a-byte corruption must
+  // be caught by the FNV checksum.
+  for (std::size_t i = kHeaderSize; i < wire.size(); ++i) {
+    wire[i] ^= 0x40;
+    Frame frame;
+    EXPECT_EQ(decode_frame(wire, &frame), DecodeStatus::ChecksumMismatch)
+        << "body byte " << (i - kHeaderSize);
+    wire[i] ^= 0x40;
+  }
+  Frame frame;
+  EXPECT_EQ(decode_frame(wire, &frame), DecodeStatus::Ok);  // restored
+}
+
+TEST(Frame, NoChecksumFlagSkipsVerification) {
+  const serial::Bytes body = {9, 9, 9, 9};
+  serial::Bytes wire =
+      encode_frame(FrameType::AppMessage, 0, 1, 1, body, /*with_checksum=*/false);
+  wire[kHeaderSize] ^= 0xFF;  // corrupt: nothing to catch it
+  Frame frame;
+  ASSERT_EQ(decode_frame(wire, &frame), DecodeStatus::Ok);
+  EXPECT_EQ(frame.header.flags & kFlagChecksum, 0);
+  EXPECT_NE(frame.body, body);
+}
+
+TEST(Frame, BadMagicVersionAndLengthAreTyped) {
+  const serial::Bytes wire = encode_frame(FrameType::ControlRequest, 1, 2, 3, {1, 2});
+  FrameHeader header;
+
+  serial::Bytes bad = wire;
+  bad[0] ^= 0xFF;  // magic, offset 0
+  EXPECT_EQ(decode_header(bad.data(), bad.size(), &header), DecodeStatus::BadMagic);
+
+  bad = wire;
+  bad[4] ^= 0xFF;  // version, offset 4
+  EXPECT_EQ(decode_header(bad.data(), bad.size(), &header), DecodeStatus::BadVersion);
+
+  bad = wire;
+  const std::uint32_t huge = kMaxBodyLen + 1;  // body_len, offset 28 (LE)
+  std::memcpy(bad.data() + 28, &huge, sizeof(huge));
+  EXPECT_EQ(decode_header(bad.data(), bad.size(), &header), DecodeStatus::BadLength);
+}
+
+TEST(Frame, AppBodyRoundTripsMessages) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    net::Message message;
+    message.src = static_cast<net::NodeId>(rng() % 8);
+    message.dst = static_cast<net::NodeId>(rng() % 8);
+    message.type = static_cast<net::MessageType>(rng());
+    message.payload = random_bytes(rng);
+
+    const serial::Bytes body = encode_app_body(message);
+    const serial::Bytes wire = encode_frame(FrameType::AppMessage, message.src,
+                                            message.dst, 1, body);
+    Frame frame;
+    ASSERT_EQ(decode_frame(wire, &frame), DecodeStatus::Ok);
+    const net::Message out = decode_app_body(frame.header, frame.body);
+    EXPECT_EQ(out.src, message.src);
+    EXPECT_EQ(out.dst, message.dst);
+    EXPECT_EQ(out.type, message.type);
+    EXPECT_EQ(out.payload, message.payload);
+  }
+}
+
+// ---- MARP wire payloads: one property suite per message ----
+
+TEST(WirePayloads, UpdateRoundTrips) {
+  Rng rng(1);
+  for (int i = 0; i < 25; ++i) {
+    core::UpdatePayload p;
+    p.agent = random_agent_id(rng);
+    p.reply_to = static_cast<net::NodeId>(rng() % 8);
+    p.attempt = static_cast<std::uint32_t>(rng() % 1000);
+    p.ops = random_ops(rng);
+    p.groups = random_groups(rng);
+    check_payload_roundtrip(p);
+  }
+}
+
+TEST(WirePayloads, AckRoundTrips) {
+  Rng rng(2);
+  for (int i = 0; i < 25; ++i) {
+    core::AckPayload p;
+    p.server = static_cast<net::NodeId>(rng() % 8);
+    p.attempt = static_cast<std::uint32_t>(rng() % 1000);
+    check_payload_roundtrip(p);
+  }
+}
+
+TEST(WirePayloads, CommitRoundTrips) {
+  Rng rng(3);
+  for (int i = 0; i < 25; ++i) {
+    core::CommitPayload p;
+    p.agent = random_agent_id(rng);
+    p.ops = random_ops(rng);
+    p.groups = random_groups(rng);
+    p.reply_to = (rng() % 2) ? static_cast<net::NodeId>(rng() % 8) : net::kInvalidNode;
+    check_payload_roundtrip(p);
+  }
+}
+
+TEST(WirePayloads, CommitAckRoundTrips) {
+  Rng rng(4);
+  for (int i = 0; i < 25; ++i) {
+    core::CommitAckPayload p;
+    p.server = static_cast<net::NodeId>(rng() % 8);
+    check_payload_roundtrip(p);
+  }
+}
+
+TEST(WirePayloads, UnlockRoundTrips) {
+  Rng rng(5);
+  for (int i = 0; i < 25; ++i) {
+    core::UnlockPayload p;
+    p.agent = random_agent_id(rng);
+    p.attempt = static_cast<std::uint32_t>(rng() % 1000);
+    check_payload_roundtrip(p);
+  }
+}
+
+TEST(WirePayloads, ReleaseRoundTrips) {
+  Rng rng(6);
+  for (int i = 0; i < 25; ++i) {
+    core::ReleasePayload p;
+    p.agent = random_agent_id(rng);
+    p.groups = random_groups(rng);
+    p.reply_to = (rng() % 2) ? static_cast<net::NodeId>(rng() % 8) : net::kInvalidNode;
+    check_payload_roundtrip(p);
+  }
+}
+
+TEST(WirePayloads, NackRoundTrips) {
+  Rng rng(7);
+  for (int i = 0; i < 25; ++i) {
+    core::NackPayload p;
+    p.server = static_cast<net::NodeId>(rng() % 8);
+    p.attempt = static_cast<std::uint32_t>(rng() % 1000);
+    p.holder = random_agent_id(rng);
+    p.group = static_cast<shard::GroupId>(rng() % 16);
+    check_payload_roundtrip(p);
+  }
+}
+
+TEST(WirePayloads, ReportRoundTrips) {
+  Rng rng(8);
+  for (int i = 0; i < 25; ++i) {
+    core::ReportPayload p;
+    p.agent = random_agent_id(rng);
+    std::uniform_int_distribution<std::size_t> count(0, 4);
+    p.request_ids.resize(count(rng));
+    for (auto& id : p.request_ids) id = rng();
+    p.success = (rng() % 2) != 0;
+    p.dispatched_us = static_cast<std::int64_t>(rng() % 1'000'000);
+    p.lock_obtained_us = static_cast<std::int64_t>(rng() % 1'000'000);
+    p.committed_us = static_cast<std::int64_t>(rng() % 1'000'000);
+    p.servers_visited = static_cast<std::uint32_t>(rng() % 10);
+    check_payload_roundtrip(p);
+  }
+}
+
+TEST(WirePayloads, ReadReportRoundTrips) {
+  Rng rng(9);
+  for (int i = 0; i < 25; ++i) {
+    core::ReadReportPayload p;
+    p.request_id = rng();
+    p.success = (rng() % 2) != 0;
+    p.value = random_string(rng);
+    p.version = random_version(rng);
+    p.servers_visited = static_cast<std::uint32_t>(rng() % 10);
+    check_payload_roundtrip(p);
+  }
+}
+
+TEST(WirePayloads, SyncRoundTrips) {
+  Rng rng(10);
+  for (int i = 0; i < 25; ++i) {
+    core::SyncPayload p;
+    std::uniform_int_distribution<std::size_t> count(0, 5);
+    p.items.resize(count(rng));
+    for (auto& item : p.items) {
+      item.key = random_string(rng);
+      item.value = random_string(rng);
+      item.version = random_version(rng);
+    }
+    check_payload_roundtrip(p);
+  }
+}
+
+// ---- control-plane marshalling ----
+
+TEST(Control, ReqAndReplyHeadersRoundTrip) {
+  ReqHeader req;
+  req.xid = 0xDEADBEEFCAFEull;
+  req.proc = static_cast<std::uint32_t>(Proc::Dump);
+  req.client = kControlNode;
+  serial::Writer w;
+  req.serialize(w);
+  const serial::Bytes bytes = w.take();
+  serial::Reader r(bytes);
+  const ReqHeader req2 = ReqHeader::deserialize(r);
+  EXPECT_EQ(req2.xid, req.xid);
+  EXPECT_EQ(req2.proc, req.proc);
+  EXPECT_EQ(req2.client, req.client);
+
+  ReplyHeader reply;
+  reply.xid = req.xid;
+  reply.status = kBadProc;
+  serial::Writer w2;
+  reply.serialize(w2);
+  const serial::Bytes bytes2 = w2.take();
+  serial::Reader r2(bytes2);
+  const ReplyHeader reply2 = ReplyHeader::deserialize(r2);
+  EXPECT_EQ(reply2.xid, reply.xid);
+  EXPECT_EQ(reply2.status, kBadProc);
+}
+
+TEST(Control, NodeStatusAndDumpRoundTrip) {
+  NodeDump d;
+  d.status.sessions_target = 20;
+  d.status.sessions_completed = 20;
+  d.status.commits = 19;
+  d.status.aborts = 1;
+  d.status.live_agents = 0;
+  d.status.quiesced = true;
+  d.items = {{"n0/k0", "n0-s18", 0}, {"n1/k1", "n1-s19", 1}};
+  d.history = {{"n0/k0", 0}, {"n1/k1", 1}, {"n0/k0", 0}};
+  d.mutex_violations = 0;
+  d.commit_retransmits = 3;
+  d.report_retransmits = 1;
+  d.release_retransmits = 2;
+  d.anomalies_total = 6;
+  d.frames_sent = 100;
+  d.frames_received = 99;
+  d.agent_frames_sent = 12;
+  d.agent_frames_received = 11;
+  d.loss_injected = 4;
+  d.checksum_rejected = 1;
+  d.malformed_rejected = 0;
+  d.send_failures = 0;
+
+  serial::Writer w;
+  d.serialize(w);
+  const serial::Bytes bytes = w.take();
+  serial::Reader r(bytes);
+  const NodeDump d2 = NodeDump::deserialize(r);
+
+  serial::Writer w2;
+  d2.serialize(w2);
+  EXPECT_EQ(w2.take(), bytes);
+  EXPECT_EQ(d2.status.commits, 19u);
+  EXPECT_TRUE(d2.status.quiesced);
+  ASSERT_EQ(d2.items.size(), 2u);
+  EXPECT_EQ(d2.items[1].value, "n1-s19");
+  ASSERT_EQ(d2.history.size(), 3u);
+  EXPECT_EQ(d2.history[2].writer, 0u);
+  EXPECT_EQ(d2.commit_retransmits, 3u);
+
+  // Truncations die with typed errors, never buffer overreads.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const serial::Bytes prefix(bytes.begin(),
+                               bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    serial::Reader rr(prefix);
+    EXPECT_THROW(NodeDump::deserialize(rr), serial::DecodeError) << "cut " << cut;
+  }
+}
+
+// ---- serialized UpdateAgent state over the wire ----
+
+TEST(AgentTransfer, UpdateAgentStateSurvivesTheWire) {
+  // The exact path a migrating agent takes on the real substrate:
+  // platform::encode_frame → rpc AgentTransfer frame → decode_frame →
+  // platform::decode_frame. The rehydrated agent must re-encode to the
+  // identical migration frame.
+  sim::Simulator simulator(1);
+  net::Network network(simulator, net::make_lan_mesh(5, sim::SimTime::micros(500)),
+                       std::make_unique<net::ConstantLatency>(sim::SimTime::micros(500)));
+  agent::AgentPlatform platform(network);
+  core::MarpProtocol protocol(network, platform, core::MarpConfig{});  // registers types
+
+  core::UpdateAgent agent(2, {{42, "k/a", "va"}, {43, "k/b", "vb"}});
+  const serial::Bytes migration_frame = platform.encode_frame(agent);
+
+  const serial::Bytes wire =
+      encode_frame(FrameType::AgentTransfer, 2, 4, 17, migration_frame);
+  Frame frame;
+  ASSERT_EQ(decode_frame(wire, &frame), DecodeStatus::Ok);
+  ASSERT_EQ(frame.type(), FrameType::AgentTransfer);
+
+  const std::unique_ptr<agent::MobileAgent> rehydrated =
+      platform.decode_frame(frame.body);
+  ASSERT_NE(rehydrated, nullptr);
+  EXPECT_EQ(rehydrated->type_name(), core::kUpdateAgentType);
+  EXPECT_EQ(platform.encode_frame(*rehydrated), migration_frame);
+}
+
+TEST(AgentTransfer, TruncatedMigrationFramesAreRejected) {
+  sim::Simulator simulator(1);
+  net::Network network(simulator, net::make_lan_mesh(3, sim::SimTime::micros(500)),
+                       std::make_unique<net::ConstantLatency>(sim::SimTime::micros(500)));
+  agent::AgentPlatform platform(network);
+  core::MarpProtocol protocol(network, platform, core::MarpConfig{});
+
+  core::UpdateAgent agent(1, {{7, "key", "value"}});
+  const serial::Bytes frame = platform.encode_frame(agent);
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    const serial::Bytes prefix(frame.begin(),
+                               frame.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(platform.decode_frame(prefix), serial::DecodeError)
+        << "cut " << cut << "/" << frame.size();
+  }
+}
+
+}  // namespace
+}  // namespace marp::rpc

@@ -1,0 +1,461 @@
+// Transport backend tests: endpoints, the in-process mesh (full frame
+// codec, chaos knobs), the real socket transport over Unix-domain sockets,
+// and the headline cross-substrate equivalence check — the paper-literal
+// N=5 deployment run as five RealNodes over UDS must compute exactly what
+// the discrete-event simulator computes.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rpc/frame.hpp"
+#include "transport/cluster.hpp"
+#include "transport/endpoint.hpp"
+#include "transport/inproc_transport.hpp"
+#include "transport/real_node.hpp"
+#include "transport/socket_transport.hpp"
+
+namespace marp::transport {
+namespace {
+
+// ---- endpoints ----
+
+TEST(Endpoint, ParsesTcpAndUds) {
+  const auto tcp = Endpoint::parse("tcp:127.0.0.1:7001");
+  ASSERT_TRUE(tcp.has_value());
+  EXPECT_EQ(tcp->kind, Endpoint::Kind::Tcp);
+  EXPECT_EQ(tcp->host, "127.0.0.1");
+  EXPECT_EQ(tcp->port, 7001);
+
+  const auto uds = Endpoint::parse("uds:/tmp/marp/n0.sock");
+  ASSERT_TRUE(uds.has_value());
+  EXPECT_EQ(uds->kind, Endpoint::Kind::Uds);
+  EXPECT_EQ(uds->path, "/tmp/marp/n0.sock");
+}
+
+TEST(Endpoint, ToStringRoundTrips) {
+  for (const Endpoint& e :
+       {Endpoint::tcp("10.0.0.1", 9000), Endpoint::uds("/run/marp.sock")}) {
+    const auto back = Endpoint::parse(e.to_string());
+    ASSERT_TRUE(back.has_value()) << e.to_string();
+    EXPECT_EQ(*back, e);
+  }
+}
+
+TEST(Endpoint, RejectsMalformedText) {
+  for (const char* bad : {"", "tcp:", "tcp:host", "tcp:host:", "tcp:host:x",
+                          "tcp:host:99999", "tcp:host:-1", "uds:", "ftp:x",
+                          "tcp::7000:extra:junk:"}) {
+    EXPECT_FALSE(Endpoint::parse(bad).has_value()) << "'" << bad << "' accepted";
+  }
+}
+
+TEST(Endpoint, LocalUdsClusterNamesOneSocketPerNode) {
+  const auto endpoints = local_uds_cluster("/tmp/marp", 3);
+  ASSERT_EQ(endpoints.size(), 3u);
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    EXPECT_EQ(endpoints[i].kind, Endpoint::Kind::Uds);
+    EXPECT_EQ(endpoints[i].path, "/tmp/marp/node" + std::to_string(i) + ".sock");
+  }
+}
+
+// ---- in-process mesh: frame pipeline + chaos knobs ----
+
+struct FrameSink {
+  std::mutex mutex;
+  std::vector<rpc::Frame> frames;
+
+  NodeTransport::Receiver receiver() {
+    return [this](rpc::Frame&& frame, NodeTransport::ReplyFn) {
+      std::lock_guard<std::mutex> lock(mutex);
+      frames.push_back(std::move(frame));
+    };
+  }
+  std::size_t count() {
+    std::lock_guard<std::mutex> lock(mutex);
+    return frames.size();
+  }
+};
+
+net::Message make_message(net::NodeId src, net::NodeId dst) {
+  net::Message m;
+  m.src = src;
+  m.dst = dst;
+  m.type = 0x0503;
+  m.payload = {1, 2, 3};
+  return m;
+}
+
+TEST(InProcMesh, DeliversValidatedAppFrames) {
+  InProcMesh mesh(3);
+  std::vector<FrameSink> sinks(3);
+  for (net::NodeId n = 0; n < 3; ++n) mesh.node(n).start(sinks[n].receiver());
+
+  ASSERT_TRUE(mesh.node(0).send_message(make_message(0, 2)));
+  ASSERT_EQ(sinks[2].count(), 1u);
+  const rpc::Frame& frame = sinks[2].frames[0];
+  EXPECT_EQ(frame.type(), rpc::FrameType::AppMessage);
+  const net::Message out = rpc::decode_app_body(frame.header, frame.body);
+  EXPECT_EQ(out.src, 0u);
+  EXPECT_EQ(out.dst, 2u);
+  EXPECT_EQ(out.type, 0x0503u);
+  EXPECT_EQ(out.payload, (serial::Bytes{1, 2, 3}));
+
+  EXPECT_EQ(mesh.node(0).stats().frames_sent, 1u);
+  EXPECT_EQ(mesh.node(2).stats().frames_received, 1u);
+  for (net::NodeId n = 0; n < 3; ++n) mesh.node(n).stop();
+}
+
+TEST(InProcMesh, ShipsAgentFramesVerbatim) {
+  InProcMesh mesh(2);
+  std::vector<FrameSink> sinks(2);
+  for (net::NodeId n = 0; n < 2; ++n) mesh.node(n).start(sinks[n].receiver());
+
+  const serial::Bytes body = {0xDE, 0xAD, 0xBE, 0xEF};
+  ASSERT_TRUE(mesh.node(0).send_agent_frame(1, body));
+  ASSERT_EQ(sinks[1].count(), 1u);
+  EXPECT_EQ(sinks[1].frames[0].type(), rpc::FrameType::AgentTransfer);
+  EXPECT_EQ(sinks[1].frames[0].body, body);
+  EXPECT_EQ(mesh.node(0).stats().agent_frames_sent, 1u);
+  EXPECT_EQ(mesh.node(1).stats().agent_frames_received, 1u);
+  for (net::NodeId n = 0; n < 2; ++n) mesh.node(n).stop();
+}
+
+TEST(InProcMesh, CorruptedFramesAreRejectedByChecksum) {
+  InProcMesh mesh(2);
+  std::vector<FrameSink> sinks(2);
+  for (net::NodeId n = 0; n < 2; ++n) mesh.node(n).start(sinks[n].receiver());
+
+  mesh.corrupt_next(2);
+  EXPECT_TRUE(mesh.node(0).send_message(make_message(0, 1)));
+  EXPECT_TRUE(mesh.node(0).send_agent_frame(1, {7, 7, 7}));
+  EXPECT_EQ(sinks[1].count(), 0u);  // both damaged frames died at the boundary
+  EXPECT_EQ(mesh.node(1).stats().checksum_rejected, 2u);
+
+  // The window is over: the next frame sails through.
+  EXPECT_TRUE(mesh.node(0).send_message(make_message(0, 1)));
+  EXPECT_EQ(sinks[1].count(), 1u);
+  for (net::NodeId n = 0; n < 2; ++n) mesh.node(n).stop();
+}
+
+TEST(InProcMesh, WithoutChecksumsCorruptionGoesUndetected) {
+  // Control experiment for the rule above: same damage, checksums off —
+  // the frame is delivered with a silently wrong body.
+  InProcMesh mesh(2, /*checksum=*/false);
+  std::vector<FrameSink> sinks(2);
+  for (net::NodeId n = 0; n < 2; ++n) mesh.node(n).start(sinks[n].receiver());
+
+  mesh.corrupt_next(1);
+  EXPECT_TRUE(mesh.node(0).send_agent_frame(1, {7, 7, 7}));
+  ASSERT_EQ(sinks[1].count(), 1u);
+  EXPECT_NE(sinks[1].frames[0].body, (serial::Bytes{7, 7, 7}));
+  EXPECT_EQ(mesh.node(1).stats().checksum_rejected, 0u);
+  for (net::NodeId n = 0; n < 2; ++n) mesh.node(n).stop();
+}
+
+TEST(InProcMesh, SendLossEatsAppMessagesButNeverAgents) {
+  InProcMesh mesh(2);
+  std::vector<FrameSink> sinks(2);
+  for (net::NodeId n = 0; n < 2; ++n) mesh.node(n).start(sinks[n].receiver());
+
+  mesh.set_send_loss(1.0, /*seed=*/42);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(mesh.node(0).send_message(make_message(0, 1)));  // silently lost
+  }
+  EXPECT_EQ(sinks[1].count(), 0u);
+  EXPECT_EQ(mesh.node(0).stats().loss_injected, 10u);
+
+  // Loss must never eat a migrating agent.
+  EXPECT_TRUE(mesh.node(0).send_agent_frame(1, {1}));
+  EXPECT_EQ(sinks[1].count(), 1u);
+  for (net::NodeId n = 0; n < 2; ++n) mesh.node(n).stop();
+}
+
+TEST(InProcMesh, CutLinksVanishMessagesAndFailMigrations) {
+  InProcMesh mesh(2);
+  std::vector<FrameSink> sinks(2);
+  for (net::NodeId n = 0; n < 2; ++n) mesh.node(n).start(sinks[n].receiver());
+
+  mesh.set_link_up(0, 1, false);
+  EXPECT_TRUE(mesh.node(0).send_message(make_message(0, 1)));  // vanishes
+  EXPECT_FALSE(mesh.node(0).send_agent_frame(1, {1}));  // visible failure
+  EXPECT_EQ(sinks[1].count(), 0u);
+
+  mesh.set_link_up(0, 1, true);
+  EXPECT_TRUE(mesh.node(0).send_agent_frame(1, {1}));
+  EXPECT_EQ(sinks[1].count(), 1u);
+  for (net::NodeId n = 0; n < 2; ++n) mesh.node(n).stop();
+}
+
+// ---- socket transport over real Unix-domain sockets ----
+
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/marp_test_XXXXXX";
+    path_ = ::mkdtemp(tmpl);
+  }
+  ~TempDir() {
+    if (path_.empty()) return;
+    // Best-effort cleanup of the sockets the transports may leave behind.
+    for (int i = 0; i < 8; ++i) {
+      ::unlink((path_ + "/node" + std::to_string(i) + ".sock").c_str());
+    }
+    ::rmdir(path_.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+struct WaitingSink {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<rpc::Frame> frames;
+
+  NodeTransport::Receiver receiver() {
+    return [this](rpc::Frame&& frame, NodeTransport::ReplyFn) {
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        frames.push_back(std::move(frame));
+      }
+      cv.notify_all();
+    };
+  }
+  bool wait_for_frames(std::size_t n, std::chrono::seconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex);
+    return cv.wait_for(lock, timeout, [&] { return frames.size() >= n; });
+  }
+};
+
+SocketTransportConfig uds_config(const std::vector<Endpoint>& endpoints,
+                                 net::NodeId local) {
+  SocketTransportConfig config;
+  config.local = local;
+  config.peers = endpoints;
+  return config;
+}
+
+TEST(SocketTransport, MovesFramesBothWaysOverUds) {
+  TempDir dir;
+  ASSERT_FALSE(dir.path().empty());
+  const auto endpoints = local_uds_cluster(dir.path(), 2);
+
+  SocketTransport a(uds_config(endpoints, 0));
+  SocketTransport b(uds_config(endpoints, 1));
+  WaitingSink sink_a, sink_b;
+  a.start(sink_a.receiver());
+  b.start(sink_b.receiver());
+
+  ASSERT_TRUE(a.send_message(make_message(0, 1)));
+  ASSERT_TRUE(sink_b.wait_for_frames(1, std::chrono::seconds(10)));
+  const net::Message to_b =
+      rpc::decode_app_body(sink_b.frames[0].header, sink_b.frames[0].body);
+  EXPECT_EQ(to_b.src, 0u);
+  EXPECT_EQ(to_b.payload, (serial::Bytes{1, 2, 3}));
+
+  const serial::Bytes agent_body(300, 0x5A);
+  ASSERT_TRUE(b.send_agent_frame(0, agent_body));
+  ASSERT_TRUE(sink_a.wait_for_frames(1, std::chrono::seconds(10)));
+  EXPECT_EQ(sink_a.frames[0].type(), rpc::FrameType::AgentTransfer);
+  EXPECT_EQ(sink_a.frames[0].body, agent_body);
+
+  EXPECT_GE(a.stats().frames_sent, 1u);
+  EXPECT_GE(b.stats().frames_received, 1u);
+  EXPECT_EQ(b.stats().agent_frames_sent, 1u);
+  EXPECT_EQ(a.stats().agent_frames_received, 1u);
+  EXPECT_EQ(a.stats().checksum_rejected, 0u);
+  EXPECT_EQ(a.stats().malformed_rejected, 0u);
+
+  a.stop();
+  b.stop();
+}
+
+TEST(SocketTransport, MovesFramesOverTcpLoopback) {
+  // Same pipeline as the UDS test, over real TCP sockets on loopback (the
+  // cross-machine path). Port picked off the pid to dodge collisions.
+  const auto base = static_cast<std::uint16_t>(40000 + (::getpid() % 20000));
+  const std::vector<Endpoint> endpoints = {
+      Endpoint::tcp("127.0.0.1", base),
+      Endpoint::tcp("127.0.0.1", static_cast<std::uint16_t>(base + 1))};
+
+  SocketTransport a(uds_config(endpoints, 0));
+  SocketTransport b(uds_config(endpoints, 1));
+  WaitingSink sink_a, sink_b;
+  a.start(sink_a.receiver());
+  b.start(sink_b.receiver());
+
+  ASSERT_TRUE(a.send_message(make_message(0, 1)));
+  ASSERT_TRUE(sink_b.wait_for_frames(1, std::chrono::seconds(10)));
+  const net::Message out =
+      rpc::decode_app_body(sink_b.frames[0].header, sink_b.frames[0].body);
+  EXPECT_EQ(out.payload, (serial::Bytes{1, 2, 3}));
+
+  const serial::Bytes agent_body(4096, 0xC3);  // bigger than one MTU segment
+  ASSERT_TRUE(b.send_agent_frame(0, agent_body));
+  ASSERT_TRUE(sink_a.wait_for_frames(1, std::chrono::seconds(10)));
+  EXPECT_EQ(sink_a.frames[0].body, agent_body);
+
+  a.stop();
+  b.stop();
+}
+
+TEST(SocketTransport, RpcCallRoundTripsThroughTheReplyPath) {
+  TempDir dir;
+  ASSERT_FALSE(dir.path().empty());
+  const auto endpoints = local_uds_cluster(dir.path(), 1);
+
+  // A server that echoes every ControlRequest body back in a ControlReply.
+  SocketTransport server(uds_config(endpoints, 0));
+  server.start([](rpc::Frame&& frame, NodeTransport::ReplyFn reply) {
+    if (frame.type() != rpc::FrameType::ControlRequest || !reply) return;
+    reply(rpc::encode_frame(rpc::FrameType::ControlReply, 0, frame.header.src,
+                            frame.header.seq, frame.body));
+  });
+
+  const serial::Bytes args = {10, 20, 30};
+  const serial::Bytes request =
+      rpc::encode_frame(rpc::FrameType::ControlRequest, rpc::kControlNode, 0, 99, args);
+  rpc::Frame reply;
+  ASSERT_TRUE(SocketTransport::rpc_call(endpoints[0], request, &reply,
+                                        std::chrono::seconds(10)));
+  EXPECT_EQ(reply.type(), rpc::FrameType::ControlReply);
+  EXPECT_EQ(reply.header.seq, 99u);
+  EXPECT_EQ(reply.body, args);
+
+  server.stop();
+}
+
+TEST(SocketTransport, UnreachablePeerFailsSendsWithoutHanging) {
+  TempDir dir;
+  ASSERT_FALSE(dir.path().empty());
+  const auto endpoints = local_uds_cluster(dir.path(), 2);
+
+  SocketTransportConfig config = uds_config(endpoints, 0);
+  config.connect_attempts = 2;  // nobody is listening on node 1's socket
+  config.connect_backoff = std::chrono::milliseconds(10);
+  SocketTransport a(config);
+  WaitingSink sink;
+  a.start(sink.receiver());
+
+  EXPECT_FALSE(a.send_agent_frame(1, {1, 2, 3}));
+  EXPECT_GE(a.stats().send_failures, 1u);
+  a.stop();
+}
+
+// ---- the tentpole invariant: sim and sockets compute the same thing ----
+
+/// Run `spec` as an in-process cluster of RealNodes over UDS (same stack as
+/// tools/marp_node, one driver thread per node) and reduce the dumps.
+std::vector<rpc::NodeDump> run_uds_cluster(const ClusterSpec& spec,
+                                           const std::string& dir) {
+  const auto endpoints = local_uds_cluster(dir, spec.nodes);
+  std::vector<std::unique_ptr<RealNode>> nodes;
+  for (net::NodeId id = 0; id < spec.nodes; ++id) {
+    RealNodeConfig config;
+    config.node = id;
+    config.endpoints = endpoints;
+    config.marp = spec.marp();
+    config.seed = spec.seed + id;
+    config.sessions = spec.sessions_per_node;
+    config.keys_per_origin = spec.keys_per_origin;
+    config.shared_keys = spec.shared_keys;
+    config.send_loss = spec.send_loss;
+    config.start_delay = sim::SimTime::millis(200);
+    nodes.push_back(std::make_unique<RealNode>(std::move(config)));
+  }
+  for (auto& node : nodes) node->start();
+
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  bool quiesced = false;
+  while (!quiesced && std::chrono::steady_clock::now() < deadline) {
+    quiesced = true;
+    for (auto& node : nodes) {
+      if (!node->status().quiesced) {
+        quiesced = false;
+        break;
+      }
+    }
+    if (!quiesced) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_TRUE(quiesced) << "cluster did not quiesce within 120s";
+
+  std::vector<rpc::NodeDump> dumps;
+  for (auto& node : nodes) dumps.push_back(node->dump());
+  for (auto& node : nodes) node->request_stop();
+  for (auto& node : nodes) node->join();
+  return dumps;
+}
+
+TEST(CrossSubstrate, PaperLiteralClusterMatchesReferenceSim) {
+  // The paper's deployment: N=5 replicated servers, concurrent update
+  // agents (keys_per_origin=2 → two interleaved per-origin key streams).
+  // Five real protocol stacks over real Unix-domain sockets must land on
+  // exactly the state the discrete-event simulator derives: same commit
+  // count, same converged store, same per-key writer order at every node.
+  ClusterSpec spec;
+  spec.nodes = 5;
+  spec.sessions_per_node = 5;
+  spec.keys_per_origin = 2;
+  spec.seed = 3;
+
+  TempDir dir;
+  ASSERT_FALSE(dir.path().empty());
+  const auto dumps = run_uds_cluster(spec, dir.path());
+  ASSERT_EQ(dumps.size(), spec.nodes);
+
+  const SubstrateResult real = aggregate_cluster(dumps);
+  EXPECT_EQ(real.commits, spec.nodes * spec.sessions_per_node);
+  EXPECT_EQ(real.mutex_violations, 0u);
+
+  const SubstrateResult sim = run_reference_sim(spec);
+  const auto violations = compare_substrates(sim, real);
+  for (const std::string& v : violations) ADD_FAILURE() << v;
+
+  // The wire was actually used: agents migrated between processes' stacks
+  // and frames flowed with checksums on and nothing rejected.
+  std::uint64_t agent_frames = 0;
+  for (const auto& d : dumps) {
+    agent_frames += d.agent_frames_sent;
+    EXPECT_EQ(d.checksum_rejected, 0u);
+    EXPECT_EQ(d.malformed_rejected, 0u);
+  }
+  EXPECT_GT(agent_frames, 0u);
+}
+
+TEST(CrossSubstrate, SharedKeyContentionStillConverges) {
+  // Every node hammers the same two shared keys: real cross-node lock
+  // contention over the sockets. Per-key order is substrate-dependent here,
+  // so the oracle is convergence: all replicas identical, zero mutex
+  // violations, every session committed.
+  ClusterSpec spec;
+  spec.nodes = 3;
+  spec.sessions_per_node = 3;
+  spec.keys_per_origin = 2;
+  spec.shared_keys = true;
+  spec.seed = 5;
+
+  TempDir dir;
+  ASSERT_FALSE(dir.path().empty());
+  const auto dumps = run_uds_cluster(spec, dir.path());
+  ASSERT_EQ(dumps.size(), spec.nodes);
+
+  const SubstrateResult real = aggregate_cluster(dumps);
+  EXPECT_EQ(real.commits, spec.nodes * spec.sessions_per_node);
+  EXPECT_EQ(real.aborts, 0u);
+  EXPECT_EQ(real.mutex_violations, 0u);
+  EXPECT_TRUE(real.divergences.empty());
+  EXPECT_TRUE(real.order_divergences.empty());  // no loss: orders agree too
+}
+
+}  // namespace
+}  // namespace marp::transport

@@ -1,0 +1,275 @@
+// marp_cluster — launch, drive, and verify a local multi-process MARP
+// cluster over Unix-domain sockets.
+//
+// Forks N marp_node processes (per-node logs in the run directory), polls
+// their Status RPC until every node reports quiesced, pulls a full Dump from
+// each, and checks the cluster-level invariants:
+//
+//   * every node quiesced within the timeout (all sessions committed,
+//     no agent left anywhere)
+//   * total commits == nodes × sessions
+//   * zero Theorem-2 mutex violations on any node
+//   * all replicas converged to the same store and per-key apply order
+//   * --check-sim: the whole result equals the reference simulator's
+//   * --loss P --expect-retransmits: injected socket loss actually
+//     happened AND the reliable-commit machinery visibly retransmitted
+//
+// Any failure prints the offending node logs and exits non-zero.
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "transport/cluster.hpp"
+
+namespace {
+
+using marp::transport::ClusterSpec;
+using marp::transport::ControlClient;
+
+std::string node_binary_path() {
+  // marp_node sits next to marp_cluster in the build tree.
+  char buffer[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (n <= 0) return "marp_node";
+  buffer[n] = '\0';
+  std::string path(buffer);
+  const std::size_t slash = path.rfind('/');
+  return (slash == std::string::npos ? "" : path.substr(0, slash + 1)) + "marp_node";
+}
+
+pid_t spawn_node(const std::string& binary, const ClusterSpec& spec,
+                 const std::string& dir, std::size_t node,
+                 const std::string& log_path) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  // Child: redirect both streams to the node's log, exec marp_node.
+  const int log_fd = ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (log_fd >= 0) {
+    ::dup2(log_fd, 1);
+    ::dup2(log_fd, 2);
+    ::close(log_fd);
+  }
+  std::vector<std::string> args = {
+      binary,
+      "--node", std::to_string(node),
+      "--nodes", std::to_string(spec.nodes),
+      "--dir", dir,
+      "--sessions", std::to_string(spec.sessions_per_node),
+      "--keys", std::to_string(spec.keys_per_origin),
+      "--seed", std::to_string(spec.seed + node),
+  };
+  if (spec.shared_keys) args.push_back("--shared");
+  if (spec.send_loss > 0.0) {
+    args.push_back("--loss");
+    args.push_back(std::to_string(spec.send_loss));
+  }
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+  ::execv(binary.c_str(), argv.data());
+  std::perror("execv");
+  ::_exit(127);
+}
+
+void dump_log(const std::string& log_path) {
+  std::FILE* f = std::fopen(log_path.c_str(), "r");
+  if (!f) return;
+  std::fprintf(stderr, "---- %s ----\n", log_path.c_str());
+  char line[4096];
+  while (std::fgets(line, sizeof(line), f)) std::fputs(line, stderr);
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ClusterSpec spec;
+  long timeout_s = 120;
+  bool check_sim = false;
+  bool expect_retransmits = false;
+  std::string dir;
+
+  const auto next = [&](int& i) -> const char* {
+    if (i + 1 >= argc) std::exit(2);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--nodes") spec.nodes = std::strtoul(next(i), nullptr, 10);
+    else if (arg == "--sessions") spec.sessions_per_node = std::strtoull(next(i), nullptr, 10);
+    else if (arg == "--keys") spec.keys_per_origin = std::strtoull(next(i), nullptr, 10);
+    else if (arg == "--shared") spec.shared_keys = true;
+    else if (arg == "--seed") spec.seed = std::strtoull(next(i), nullptr, 10);
+    else if (arg == "--loss") spec.send_loss = std::strtod(next(i), nullptr);
+    else if (arg == "--timeout-s") timeout_s = std::strtol(next(i), nullptr, 10);
+    else if (arg == "--dir") dir = next(i);
+    else if (arg == "--check-sim") check_sim = true;
+    else if (arg == "--expect-retransmits") expect_retransmits = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: marp_cluster [--nodes N] [--sessions S] [--keys K] "
+                   "[--shared] [--seed S] [--loss P] [--timeout-s T] [--dir D] "
+                   "[--check-sim] [--expect-retransmits]\n");
+      return 2;
+    }
+  }
+
+  if (check_sim && spec.send_loss > 0.0) {
+    std::fprintf(stderr,
+                 "marp_cluster: --check-sim needs --loss 0 (apply order is only "
+                 "deterministic without loss)\n");
+    return 2;
+  }
+
+  if (dir.empty()) {
+    char tmpl[] = "/tmp/marp_cluster_XXXXXX";
+    const char* made = ::mkdtemp(tmpl);
+    if (!made) {
+      std::perror("mkdtemp");
+      return 1;
+    }
+    dir = made;
+  } else {
+    ::mkdir(dir.c_str(), 0755);
+  }
+
+  const std::string binary = node_binary_path();
+  std::fprintf(stderr, "marp_cluster: %zu nodes x %llu sessions in %s (loss %.3f)\n",
+               spec.nodes, static_cast<unsigned long long>(spec.sessions_per_node),
+               dir.c_str(), spec.send_loss);
+
+  std::vector<pid_t> pids;
+  std::vector<std::string> logs;
+  for (std::size_t node = 0; node < spec.nodes; ++node) {
+    logs.push_back(dir + "/node" + std::to_string(node) + ".log");
+    pids.push_back(spawn_node(binary, spec, dir, node, logs.back()));
+  }
+
+  const auto endpoints = marp::transport::local_uds_cluster(dir, spec.nodes);
+  std::vector<ControlClient> clients;
+  for (std::size_t node = 0; node < spec.nodes; ++node) {
+    clients.emplace_back(endpoints[node], static_cast<marp::net::NodeId>(node));
+  }
+
+  bool failed = false;
+  std::vector<std::string> problems;
+
+  if (!marp::transport::wait_quiesced(clients, timeout_s * 1000)) {
+    problems.push_back("cluster did not quiesce within " + std::to_string(timeout_s) + "s");
+    failed = true;
+  }
+
+  std::vector<marp::rpc::NodeDump> dumps;
+  if (!failed) {
+    for (std::size_t node = 0; node < spec.nodes; ++node) {
+      auto dump = clients[node].dump();
+      if (!dump) {
+        problems.push_back("node " + std::to_string(node) + ": Dump RPC failed");
+        failed = true;
+        break;
+      }
+      dumps.push_back(std::move(*dump));
+    }
+  }
+
+  // Tear the cluster down before judging results: Shutdown RPC, then reap
+  // (SIGKILL stragglers so a wedged node cannot wedge the harness).
+  for (std::size_t node = 0; node < spec.nodes; ++node) clients[node].shutdown();
+  const auto reap_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (std::size_t node = 0; node < spec.nodes; ++node) {
+    int status = 0;
+    for (;;) {
+      const pid_t r = ::waitpid(pids[node], &status, WNOHANG);
+      if (r == pids[node]) break;
+      if (std::chrono::steady_clock::now() > reap_deadline) {
+        ::kill(pids[node], SIGKILL);
+        ::waitpid(pids[node], &status, 0);
+        problems.push_back("node " + std::to_string(node) + ": killed (no shutdown)");
+        failed = true;
+        break;
+      }
+      ::usleep(50 * 1000);
+    }
+  }
+
+  if (!failed) {
+    const auto real = marp::transport::aggregate_cluster(dumps);
+    const std::uint64_t expected_commits =
+        static_cast<std::uint64_t>(spec.nodes) * spec.sessions_per_node;
+
+    std::uint64_t retransmits = 0;
+    for (const auto& d : dumps) {
+      retransmits += d.commit_retransmits + d.report_retransmits + d.release_retransmits;
+    }
+    std::fprintf(stderr,
+                 "marp_cluster: %llu commits (%llu expected), %llu aborts, "
+                 "%llu mutex violations, %llu loss-injected, %llu retransmits\n",
+                 static_cast<unsigned long long>(real.commits),
+                 static_cast<unsigned long long>(expected_commits),
+                 static_cast<unsigned long long>(real.aborts),
+                 static_cast<unsigned long long>(real.mutex_violations),
+                 static_cast<unsigned long long>(real.loss_injected),
+                 static_cast<unsigned long long>(retransmits));
+
+    if (real.commits != expected_commits) {
+      problems.push_back("commit count mismatch");
+    }
+    if (real.mutex_violations != 0) {
+      problems.push_back("Theorem 2 violated: " +
+                         std::to_string(real.mutex_violations) + " mutex violations");
+    }
+    for (const std::string& d : real.divergences) problems.push_back(d);
+    if (spec.send_loss == 0.0) {
+      // Apply-order equality is only an invariant without loss: a
+      // retransmitted COMMIT overtaken by a newer same-key commit is
+      // rejected by the Thomas rule at some replicas and applied at others.
+      for (const std::string& d : real.order_divergences) problems.push_back(d);
+    }
+
+    if (expect_retransmits) {
+      if (real.loss_injected == 0) {
+        problems.push_back("--expect-retransmits: no socket loss was injected");
+      }
+      if (retransmits == 0) {
+        problems.push_back("--expect-retransmits: no reliable-commit retransmissions observed");
+      }
+    }
+
+    if (check_sim) {
+      const auto sim = marp::transport::run_reference_sim(spec);
+      for (const std::string& v : marp::transport::compare_substrates(sim, real)) {
+        problems.push_back("equivalence: " + v);
+      }
+      if (problems.empty()) {
+        std::fprintf(stderr,
+                     "marp_cluster: socket cluster matches reference sim "
+                     "(%llu commits, %zu keys)\n",
+                     static_cast<unsigned long long>(sim.commits), sim.store.size());
+      }
+    }
+    failed = !problems.empty();
+  }
+
+  if (failed) {
+    for (const std::string& p : problems) {
+      std::fprintf(stderr, "marp_cluster: FAIL: %s\n", p.c_str());
+    }
+    for (const std::string& log : logs) dump_log(log);
+    return 1;
+  }
+  std::fprintf(stderr, "marp_cluster: OK\n");
+  return 0;
+}

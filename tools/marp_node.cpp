@@ -1,0 +1,124 @@
+// marp_node — one MARP cluster member as a real OS process.
+//
+// Hosts a full protocol stack (see src/transport/real_node.hpp) behind a
+// SocketTransport, runs its share of the closed-loop workload, serves the
+// control RPC, and exits on a Shutdown call. Typically launched N times by
+// tools/marp_cluster; can also be started by hand:
+//
+//   marp_node --node 0 --nodes 5 --dir /tmp/marp &   # … repeat for 1..4
+//   marp_node --node 1 --nodes 5 --dir /tmp/marp &
+//
+// With --endpoints the cluster can span machines over TCP:
+//   marp_node --node 0 --endpoints tcp:10.0.0.1:7000,tcp:10.0.0.2:7000
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "transport/real_node.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: marp_node --node I [options]\n"
+               "  --node I            this node's id (required)\n"
+               "  --nodes N           cluster size (default 5)\n"
+               "  --dir DIR           UDS socket directory (default /tmp)\n"
+               "  --endpoints LIST    comma-separated endpoints, one per node\n"
+               "                      (tcp:HOST:PORT or uds:PATH; overrides --dir)\n"
+               "  --sessions S        update sessions this node originates (default 20)\n"
+               "  --keys K            distinct keys per origin (default 2)\n"
+               "  --shared            all nodes write the same shared keys\n"
+               "  --seed S            rng seed (default 1)\n"
+               "  --loss P            socket-level AppMessage loss probability\n"
+               "  --no-checksum       disable frame checksums\n"
+               "  --unreliable        fire-and-forget COMMIT (paper budget)\n"
+               "  --start-delay-ms M  delay before the first session (default 300)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using marp::transport::Endpoint;
+  marp::transport::RealNodeConfig config;
+  config.node = marp::net::kInvalidNode;
+  config.sessions = 20;
+  config.marp.reliable_commit = true;
+
+  std::size_t nodes = 5;
+  std::string dir = "/tmp";
+  std::string endpoints_arg;
+
+  const auto next = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      usage();
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--node") config.node = static_cast<marp::net::NodeId>(std::strtoul(next(i), nullptr, 10));
+    else if (arg == "--nodes") nodes = std::strtoul(next(i), nullptr, 10);
+    else if (arg == "--dir") dir = next(i);
+    else if (arg == "--endpoints") endpoints_arg = next(i);
+    else if (arg == "--sessions") config.sessions = std::strtoull(next(i), nullptr, 10);
+    else if (arg == "--keys") config.keys_per_origin = std::strtoull(next(i), nullptr, 10);
+    else if (arg == "--shared") config.shared_keys = true;
+    else if (arg == "--seed") config.seed = std::strtoull(next(i), nullptr, 10);
+    else if (arg == "--loss") config.send_loss = std::strtod(next(i), nullptr);
+    else if (arg == "--no-checksum") config.checksum = false;
+    else if (arg == "--unreliable") config.marp.reliable_commit = false;
+    else if (arg == "--start-delay-ms")
+      config.start_delay = marp::sim::SimTime::millis(std::strtol(next(i), nullptr, 10));
+    else {
+      usage();
+      return 2;
+    }
+  }
+
+  if (!endpoints_arg.empty()) {
+    std::size_t pos = 0;
+    while (pos <= endpoints_arg.size()) {
+      const std::size_t comma = endpoints_arg.find(',', pos);
+      const std::string token = endpoints_arg.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      const auto endpoint = Endpoint::parse(token);
+      if (!endpoint) {
+        std::fprintf(stderr, "marp_node: bad endpoint '%s'\n", token.c_str());
+        return 2;
+      }
+      config.endpoints.push_back(*endpoint);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  } else {
+    config.endpoints = marp::transport::local_uds_cluster(dir, nodes);
+  }
+
+  if (config.node >= config.endpoints.size()) {
+    usage();
+    return 2;
+  }
+
+  std::fprintf(stderr, "marp_node: node %u/%zu listening on %s, %llu sessions\n",
+               config.node, config.endpoints.size(),
+               config.endpoints[config.node].to_string().c_str(),
+               static_cast<unsigned long long>(config.sessions));
+
+  marp::transport::RealNode node(std::move(config));
+  node.run();
+
+  const auto status = node.status();
+  std::fprintf(stderr,
+               "marp_node: node %u done: %llu/%llu sessions, %llu commits, "
+               "%llu aborts, quiesced=%d\n",
+               node.node(), static_cast<unsigned long long>(status.sessions_completed),
+               static_cast<unsigned long long>(status.sessions_target),
+               static_cast<unsigned long long>(status.commits),
+               static_cast<unsigned long long>(status.aborts), status.quiesced ? 1 : 0);
+  return 0;
+}
