@@ -1,5 +1,6 @@
 #include "agent/platform.hpp"
 
+#include "rpc/frame.hpp"
 #include "transport/transport.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
@@ -84,16 +85,31 @@ std::unique_ptr<MobileAgent> AgentPlatform::decode_frame(const serial::Bytes& by
   return agent;
 }
 
-AgentId AgentPlatform::receive_remote_agent(const serial::Bytes& frame) {
+AgentPlatform::RemoteTransfer AgentPlatform::receive_remote_transfer(
+    const serial::Bytes& body) {
   const net::NodeId local = network_.local_node();
   MARP_REQUIRE_MSG(local != net::kInvalidNode,
-                   "receive_remote_agent needs an attached transport");
-  std::unique_ptr<MobileAgent> agent = decode_frame(frame);
+                   "receive_remote_transfer needs an attached transport");
+  const rpc::TransferBody transfer = rpc::decode_transfer_body(body);
+  std::unique_ptr<MobileAgent> agent = decode_frame(transfer.frame);
   const AgentId id = agent->id();
+  if (hosts_[local]->has_agent(id)) {
+    // The agent is already live here — a replayed transfer (its ack was
+    // lost or overtaken by the sender's revival). Adopting again would fork
+    // the agent; drop, but still hand the token back so the sender's
+    // revival timer is cancelled.
+    ++stats_.remote_transfers_deduped;
+    return {transfer.token, false, id};
+  }
   ++stats_.migrations_completed;
   if (observer_) observer_->on_migration_completed(id, local);
   hosts_[local]->adopt(std::move(agent), /*arrival=*/true, net::kInvalidNode);
-  return id;
+  return {transfer.token, true, id};
+}
+
+void AgentPlatform::acknowledge_remote_transfer(std::uint64_t token) {
+  if (pending_transfers_.erase(token) == 0) return;  // late ack: already revived
+  ++stats_.remote_transfers_acked;
 }
 
 void AgentPlatform::begin_migration(std::unique_ptr<MobileAgent> agent,
@@ -115,17 +131,26 @@ void AgentPlatform::begin_migration(std::unique_ptr<MobileAgent> agent,
   auto& simulator = network_.simulator();
 
   if (network_.is_remote(dest)) {
-    // Real substrate: hand the frame to the transport; the receiving
-    // process rehydrates via receive_remote_agent(). A refused send is the
-    // paper's unreachable-host case — the source revives the agent after
-    // the migration timeout and lets it retry or skip the replica.
-    if (!network_.transport()->send_agent_frame(dest, frame)) {
-      simulator.schedule(config_.migration_timeout, [this, frame, id, src, dest] {
-        ++stats_.migrations_failed;
-        if (observer_) observer_->on_migration_failed(id, src, dest);
-        hosts_[src]->adopt(decode_frame(frame), /*arrival=*/false, dest);
-      }, static_cast<sim::ActorId>(src));
-    }
+    // Real substrate: hand the token-wrapped frame to the transport (the
+    // receiving process rehydrates via receive_remote_transfer()) and arm
+    // the revival timer unconditionally. A successful send only means the
+    // kernel took the bytes — the receiver may still checksum-reject the
+    // frame, fail to rehydrate it, or die before adopting. Delivery is
+    // confirmed by the transfer ack (acknowledge_remote_transfer), which
+    // cancels the revival; without one this is the paper's unreachable-host
+    // case — the agent is revived here after the migration timeout and
+    // retries or skips the replica.
+    const std::uint64_t token = ++next_transfer_token_;
+    pending_transfers_.insert(token);
+    network_.transport()->send_agent_frame(
+        dest, rpc::encode_transfer_body(token, frame));
+    simulator.schedule(config_.migration_timeout,
+                       [this, frame, id, src, dest, token] {
+      if (pending_transfers_.erase(token) == 0) return;  // acked — delivered
+      ++stats_.migrations_failed;
+      if (observer_) observer_->on_migration_failed(id, src, dest);
+      hosts_[src]->adopt(decode_frame(frame), /*arrival=*/false, dest);
+    }, static_cast<sim::ActorId>(src));
     return;
   }
 

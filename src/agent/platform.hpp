@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "agent/host.hpp"
@@ -62,6 +63,11 @@ struct PlatformStats {
   std::uint64_t migrations_completed = 0;
   std::uint64_t migrations_failed = 0;
   std::uint64_t migration_bytes = 0;
+  /// Remote substrate only: transfer acks that cancelled a pending revival
+  /// (sender side) and duplicate transfers dropped because the agent was
+  /// already live here (receiver side).
+  std::uint64_t remote_transfers_acked = 0;
+  std::uint64_t remote_transfers_deduped = 0;
 };
 
 class AgentPlatform {
@@ -114,10 +120,26 @@ class AgentPlatform {
   /// Rehydrate; throws serial::DecodeError subclasses on malformed frames.
   std::unique_ptr<MobileAgent> decode_frame(const serial::Bytes& bytes) const;
 
-  /// A migration frame arrived off the wire: rehydrate the agent and adopt
-  /// it at this process's local node (on_arrival fires there). Must run on
-  /// the driver thread. Returns the adopted agent's id.
-  AgentId receive_remote_agent(const serial::Bytes& frame);
+  /// Outcome of one transfer body arriving off the wire.
+  struct RemoteTransfer {
+    std::uint64_t token = 0;  ///< echo back in an AgentTransferAck
+    bool adopted = false;     ///< false: duplicate — the agent was already live here
+    AgentId id;
+  };
+
+  /// A token-wrapped transfer body (rpc::TransferBody) arrived off the wire:
+  /// rehydrate the agent and adopt it at this process's local node
+  /// (on_arrival fires there). A transfer whose agent is already hosted here
+  /// is dropped instead of adopted twice, but still reports its token so the
+  /// caller acks it and the sender stands down. Must run on the driver
+  /// thread. Throws serial::DecodeError on malformed bodies — the caller
+  /// must NOT ack then: no adoption happened, and the sender's always-armed
+  /// migration timer revives the agent there.
+  RemoteTransfer receive_remote_transfer(const serial::Bytes& body);
+
+  /// A transfer ack came back: delivery is confirmed, cancel the pending
+  /// revival for `token`. A late ack (the revival already fired) is a no-op.
+  void acknowledge_remote_transfer(std::uint64_t token);
 
  private:
   friend class AgentHost;
@@ -137,6 +159,12 @@ class AgentPlatform {
   std::vector<net::Network::Handler> app_handlers_;
   PlatformStats stats_;
   PlatformObserver* observer_ = nullptr;
+
+  /// Remote substrate: transfer tokens sent but not yet acked. A token still
+  /// present when its revival timer fires means the transfer is presumed
+  /// lost and the agent is revived at the source.
+  std::uint64_t next_transfer_token_ = 0;
+  std::unordered_set<std::uint64_t> pending_transfers_;
 };
 
 }  // namespace marp::agent

@@ -125,6 +125,12 @@ struct NodeDump {
   std::uint64_t frames_received = 0;
   std::uint64_t agent_frames_sent = 0;
   std::uint64_t agent_frames_received = 0;
+  std::uint64_t agent_acks_sent = 0;
+  std::uint64_t agent_acks_received = 0;
+  /// Agent transfers revived at the source (no ack within the migration
+  /// timeout) and duplicates dropped by the receiver-side dedup.
+  std::uint64_t agent_transfers_revived = 0;
+  std::uint64_t agent_transfers_deduped = 0;
   std::uint64_t loss_injected = 0;
   std::uint64_t checksum_rejected = 0;
   std::uint64_t malformed_rejected = 0;
@@ -152,6 +158,10 @@ struct NodeDump {
     w.varint(frames_received);
     w.varint(agent_frames_sent);
     w.varint(agent_frames_received);
+    w.varint(agent_acks_sent);
+    w.varint(agent_acks_received);
+    w.varint(agent_transfers_revived);
+    w.varint(agent_transfers_deduped);
     w.varint(loss_injected);
     w.varint(checksum_rejected);
     w.varint(malformed_rejected);
@@ -186,6 +196,10 @@ struct NodeDump {
     d.frames_received = r.varint();
     d.agent_frames_sent = r.varint();
     d.agent_frames_received = r.varint();
+    d.agent_acks_sent = r.varint();
+    d.agent_acks_received = r.varint();
+    d.agent_transfers_revived = r.varint();
+    d.agent_transfers_deduped = r.varint();
     d.loss_injected = r.varint();
     d.checksum_rejected = r.varint();
     d.malformed_rejected = r.varint();

@@ -103,4 +103,33 @@ net::Message decode_app_body(const FrameHeader& header, const serial::Bytes& bod
   return message;
 }
 
+serial::Bytes encode_transfer_body(std::uint64_t token, const serial::Bytes& frame) {
+  serial::Writer w;
+  w.u64le(token);
+  w.raw(frame);
+  return w.take();
+}
+
+TransferBody decode_transfer_body(const serial::Bytes& body) {
+  serial::Reader r(body);
+  TransferBody transfer;
+  transfer.token = r.u64le();
+  transfer.frame = r.raw();
+  if (!r.at_end()) throw serial::MalformedError("trailing bytes after agent transfer");
+  return transfer;
+}
+
+serial::Bytes encode_transfer_ack_body(std::uint64_t token) {
+  serial::Writer w;
+  w.u64le(token);
+  return w.take();
+}
+
+std::uint64_t decode_transfer_ack_body(const serial::Bytes& body) {
+  serial::Reader r(body);
+  const std::uint64_t token = r.u64le();
+  if (!r.at_end()) throw serial::MalformedError("trailing bytes after transfer ack");
+  return token;
+}
+
 }  // namespace marp::rpc

@@ -46,6 +46,7 @@ enum class FrameType : std::uint16_t {
   AgentTransfer = 2,  ///< a serialized mobile agent migrating between nodes
   ControlRequest = 3, ///< harness → node RPC (req_header + marshalled args)
   ControlReply = 4,   ///< node → harness RPC reply (reply_header + result)
+  AgentTransferAck = 5, ///< receiver → sender: transfer token was adopted
 };
 
 enum FrameFlags : std::uint16_t {
@@ -111,5 +112,22 @@ serial::Bytes encode_app_body(const net::Message& message);
 /// serial::DecodeError subclasses on malformed bodies (callers at the wire
 /// boundary catch and drop).
 net::Message decode_app_body(const FrameHeader& header, const serial::Bytes& body);
+
+/// AgentTransfer body: [u64le transfer-token][length-prefixed agent frame].
+/// The token names one migration attempt, so the receiver can acknowledge
+/// exactly what it adopted and the sender can cancel that attempt's revival
+/// timer — a write accepted by the kernel is not a delivery.
+struct TransferBody {
+  std::uint64_t token = 0;
+  serial::Bytes frame;
+};
+serial::Bytes encode_transfer_body(std::uint64_t token, const serial::Bytes& frame);
+/// Throws serial::DecodeError subclasses on malformed bodies.
+TransferBody decode_transfer_body(const serial::Bytes& body);
+
+/// AgentTransferAck body: [u64le transfer-token].
+serial::Bytes encode_transfer_ack_body(std::uint64_t token);
+/// Throws serial::DecodeError subclasses on malformed bodies.
+std::uint64_t decode_transfer_ack_body(const serial::Bytes& body);
 
 }  // namespace marp::rpc

@@ -28,6 +28,13 @@ bool InProcTransport::send_agent_frame(net::NodeId dst, const serial::Bytes& fra
   return mesh_.deliver(local_, dst, encoded, rpc::FrameType::AgentTransfer);
 }
 
+bool InProcTransport::send_agent_ack(net::NodeId dst, std::uint64_t token) {
+  const serial::Bytes encoded =
+      rpc::encode_frame(rpc::FrameType::AgentTransferAck, local_, dst, ++seq_,
+                        rpc::encode_transfer_ack_body(token), mesh_.checksum());
+  return mesh_.deliver(local_, dst, encoded, rpc::FrameType::AgentTransferAck);
+}
+
 bool InProcTransport::reachable(net::NodeId dst) { return dst < mesh_.size(); }
 
 TransportStats InProcTransport::stats() const {
@@ -40,6 +47,7 @@ void InProcTransport::note_sent(const serial::Bytes& encoded, rpc::FrameType typ
   ++stats_.frames_sent;
   stats_.bytes_sent += encoded.size();
   if (type == rpc::FrameType::AgentTransfer) ++stats_.agent_frames_sent;
+  if (type == rpc::FrameType::AgentTransferAck) ++stats_.agent_acks_sent;
 }
 
 void InProcTransport::receive_encoded(const serial::Bytes& encoded) {
@@ -61,6 +69,9 @@ void InProcTransport::receive_encoded(const serial::Bytes& encoded) {
     stats_.bytes_received += encoded.size();
     if (frame.type() == rpc::FrameType::AgentTransfer) {
       ++stats_.agent_frames_received;
+    }
+    if (frame.type() == rpc::FrameType::AgentTransferAck) {
+      ++stats_.agent_acks_received;
     }
     receiver = receiver_;
   }

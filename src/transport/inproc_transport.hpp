@@ -31,6 +31,7 @@ class InProcTransport final : public NodeTransport {
 
   bool send_message(const net::Message& message) override;
   bool send_agent_frame(net::NodeId dst, const serial::Bytes& frame) override;
+  bool send_agent_ack(net::NodeId dst, std::uint64_t token) override;
   bool reachable(net::NodeId dst) override;
   TransportStats stats() const override;
 
@@ -66,7 +67,9 @@ class InProcMesh {
   /// Eat outbound AppMessage frames with probability `p` (seeded).
   void set_send_loss(double p, std::uint64_t seed = 1);
   /// Flip one body byte of the next `n` frames (post-checksum) — the
-  /// receiver must reject them.
+  /// receiver must reject them. A corrupted AgentTransfer is not lost for
+  /// good: no ack comes back, so the sending platform revives the agent
+  /// after its migration timeout.
   void corrupt_next(std::size_t n) { corrupt_pending_ = n; }
   /// Cut/restore delivery from src to dst (send_message returns true, frame
   /// vanishes; send_agent_frame returns false — a visible migration

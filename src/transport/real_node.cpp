@@ -35,7 +35,12 @@ RealNode::RealNode(RealNodeConfig config)
                                   sim::SimTime::micros(kLoopbackDelayUs)),
                std::make_unique<net::ConstantLatency>(
                    sim::SimTime::micros(kLoopbackDelayUs))),
-      platform_(network_),
+      platform_(network_,
+                [this] {
+                  agent::PlatformConfig pc;
+                  pc.migration_timeout = config_.migration_timeout;
+                  return pc;
+                }()),
       protocol_(network_, platform_, config_.marp),
       transport_([this] {
         SocketTransportConfig tc;
@@ -166,12 +171,26 @@ void RealNode::apply(Incoming incoming) {
     }
     case rpc::FrameType::AgentTransfer: {
       try {
-        platform_.receive_remote_agent(incoming.frame.body);
+        const auto transfer = platform_.receive_remote_transfer(incoming.frame.body);
+        // Ack even a deduped duplicate — the agent is live here either way,
+        // and the sender must cancel its revival timer.
+        transport_.send_agent_ack(incoming.frame.header.src, transfer.token);
       } catch (const serial::DecodeError& e) {
-        // The frame passed the checksum but the agent state is garbage —
-        // drop it; the sender's migration timeout revives the agent there.
+        // The frame passed the checksum but the body would not rehydrate —
+        // drop it WITHOUT acking, so the sender's always-armed migration
+        // timer revives the agent there.
         MARP_LOG_WARN("realnode")
             << "node " << config_.node << ": malformed agent frame: " << e.what();
+      }
+      return;
+    }
+    case rpc::FrameType::AgentTransferAck: {
+      try {
+        platform_.acknowledge_remote_transfer(
+            rpc::decode_transfer_ack_body(incoming.frame.body));
+      } catch (const serial::DecodeError& e) {
+        MARP_LOG_WARN("realnode")
+            << "node " << config_.node << ": malformed transfer ack: " << e.what();
       }
       return;
     }
@@ -286,6 +305,10 @@ rpc::NodeDump RealNode::dump_locked() {
   d.frames_received = ts.frames_received;
   d.agent_frames_sent = ts.agent_frames_sent;
   d.agent_frames_received = ts.agent_frames_received;
+  d.agent_acks_sent = ts.agent_acks_sent;
+  d.agent_acks_received = ts.agent_acks_received;
+  d.agent_transfers_revived = platform_.stats().migrations_failed;
+  d.agent_transfers_deduped = platform_.stats().remote_transfers_deduped;
   d.loss_injected = ts.loss_injected;
   d.checksum_rejected = ts.checksum_rejected;
   d.malformed_rejected = ts.malformed_rejected;

@@ -10,7 +10,9 @@
 //   --------------                ----------------------------------------
 //   frame arrives ──enqueue──►    drain inbox:
 //                                   AppMessage   → Network::inject()
-//                                   AgentTransfer→ receive_remote_agent()
+//                                   AgentTransfer→ receive_remote_transfer(),
+//                                                  then ack back to sender
+//                                   AgentTransferAck → cancel revival timer
 //                                   ControlRequest → serve RPC, reply
 //                                 sim.run(virtual_now)   // due timers fire
 //                                 sleep until next timer or inbox signal
@@ -66,6 +68,12 @@ struct RealNodeConfig {
   // ---- wire knobs ----
   bool checksum = true;
   double send_loss = 0.0;  ///< injected socket-level loss (AppMessage only)
+  /// Source-side revival window for remote migrations: if no transfer ack
+  /// comes back within this (wall-clock) time the agent is revived locally.
+  /// Far above the sim default — here virtual time is wall time, an ack
+  /// round trip competes with scheduler noise, and a premature revival
+  /// forks a delivered agent.
+  sim::SimTime migration_timeout = sim::SimTime::seconds(2);
 };
 
 /// The key node `origin` writes in session `i` under a workload config.

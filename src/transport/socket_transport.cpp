@@ -147,8 +147,8 @@ SocketTransport::~SocketTransport() { stop(); }
 void SocketTransport::start(Receiver receiver) {
   MARP_REQUIRE_MSG(!running_.load(), "transport already started");
   receiver_ = std::move(receiver);
-  listen_fd_ = open_listener(config_.peers[config_.local]);
-  MARP_ENSURE_MSG(listen_fd_ >= 0,
+  listen_fd_.store(open_listener(config_.peers[config_.local]));
+  MARP_ENSURE_MSG(listen_fd_.load() >= 0,
                   "cannot listen on " + config_.peers[config_.local].to_string());
   const std::size_t threads = config_.reader_threads != 0
                                   ? config_.reader_threads
@@ -160,23 +160,28 @@ void SocketTransport::start(Receiver receiver) {
 
 void SocketTransport::stop() {
   if (!running_.exchange(false)) return;
-  // Unblock accept() and every parked reader, then join via pool teardown.
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
+  // Wake accept() and every parked reader, but only shutdown() descriptors
+  // another task is still reading: the reader closes its own conn when its
+  // loop exits, so an fd number can never be recycled under a concurrent
+  // recv(). Outbound conns have no reader and are closed here.
+  const int listen_fd = listen_fd_.load();
+  if (listen_fd >= 0) ::shutdown(listen_fd, SHUT_RDWR);
   {
     std::lock_guard<std::mutex> lock(inbound_mutex_);
-    for (const ConnPtr& conn : inbound_conns_) close_conn(conn);
-    inbound_conns_.clear();
+    for (const ConnPtr& conn : inbound_conns_) shutdown_conn(conn);
   }
   {
     std::lock_guard<std::mutex> lock(peers_mutex_);
     for (auto& [node, conn] : peer_conns_) close_conn(conn);
     peer_conns_.clear();
   }
-  pool_.reset();  // joins accept/reader tasks
+  pool_.reset();  // joins accept/reader tasks (readers close their conns)
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) ::close(fd);
+  {
+    std::lock_guard<std::mutex> lock(inbound_mutex_);
+    inbound_conns_.clear();
+  }
   if (config_.peers[config_.local].kind == Endpoint::Kind::Uds) {
     ::unlink(config_.peers[config_.local].path.c_str());
   }
@@ -184,24 +189,44 @@ void SocketTransport::stop() {
 
 void SocketTransport::close_conn(const ConnPtr& conn) {
   std::lock_guard<std::mutex> lock(conn->write_mutex);
-  if (conn->fd >= 0) {
-    ::shutdown(conn->fd, SHUT_RDWR);
-    ::close(conn->fd);
-    conn->fd = -1;
+  const int fd = conn->fd.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 
+void SocketTransport::shutdown_conn(const ConnPtr& conn) {
+  const int fd = conn->fd.load();
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
 SocketTransport::ConnPtr SocketTransport::peer_conn(net::NodeId dst) {
-  std::lock_guard<std::mutex> lock(peers_mutex_);
-  const auto it = peer_conns_.find(dst);
-  if (it != peer_conns_.end() && it->second->fd >= 0) return it->second;
   if (dst >= config_.peers.size()) return nullptr;
   for (int attempt = 0; attempt < config_.connect_attempts; ++attempt) {
+    {
+      std::lock_guard<std::mutex> lock(peers_mutex_);
+      const auto it = peer_conns_.find(dst);
+      if (it != peer_conns_.end() && it->second->fd.load() >= 0) return it->second;
+    }
     if (!running_.load()) return nullptr;
+    // Dial with peers_mutex_ released: the connect-retry schedule can take
+    // seconds, and holding the map lock across it would stall every send to
+    // healthy peers (and stop()) behind one unreachable node.
     const int fd = connect_once(config_.peers[dst]);
     if (fd >= 0) {
+      std::lock_guard<std::mutex> lock(peers_mutex_);
+      if (!running_.load()) {  // stop() swept the map while we dialed
+        ::close(fd);
+        return nullptr;
+      }
+      const auto it = peer_conns_.find(dst);
+      if (it != peer_conns_.end() && it->second->fd.load() >= 0) {
+        ::close(fd);  // lost a dial race; use the established conn
+        return it->second;
+      }
       auto conn = std::make_shared<Conn>();
-      conn->fd = fd;
+      conn->fd.store(fd);
       peer_conns_[dst] = conn;
       {
         std::lock_guard<std::mutex> stats_lock(stats_mutex_);
@@ -235,7 +260,8 @@ bool SocketTransport::send_frame(net::NodeId dst, rpc::FrameType type,
   bool ok;
   {
     std::lock_guard<std::mutex> lock(conn->write_mutex);
-    ok = conn->fd >= 0 && write_all(conn->fd, encoded.data(), encoded.size());
+    const int fd = conn->fd.load();
+    ok = fd >= 0 && write_all(fd, encoded.data(), encoded.size());
   }
   if (!ok) {
     // Peer vanished mid-stream: drop the connection so the next send
@@ -249,6 +275,7 @@ bool SocketTransport::send_frame(net::NodeId dst, rpc::FrameType type,
   ++stats_.frames_sent;
   stats_.bytes_sent += encoded.size();
   if (type == rpc::FrameType::AgentTransfer) ++stats_.agent_frames_sent;
+  if (type == rpc::FrameType::AgentTransferAck) ++stats_.agent_acks_sent;
   return true;
 }
 
@@ -276,11 +303,16 @@ bool SocketTransport::send_agent_frame(net::NodeId dst, const serial::Bytes& fra
   return send_frame(dst, rpc::FrameType::AgentTransfer, frame);
 }
 
+bool SocketTransport::send_agent_ack(net::NodeId dst, std::uint64_t token) {
+  return send_frame(dst, rpc::FrameType::AgentTransferAck,
+                    rpc::encode_transfer_ack_body(token));
+}
+
 bool SocketTransport::reachable(net::NodeId dst) {
   if (dst >= config_.peers.size()) return false;
   std::lock_guard<std::mutex> lock(peers_mutex_);
   const auto it = peer_conns_.find(dst);
-  return it == peer_conns_.end() || it->second->fd >= 0;
+  return it == peer_conns_.end() || it->second->fd.load() >= 0;
 }
 
 TransportStats SocketTransport::stats() const {
@@ -290,13 +322,23 @@ TransportStats SocketTransport::stats() const {
 
 void SocketTransport::accept_loop() {
   while (running_.load()) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int listen_fd = listen_fd_.load();
+    if (listen_fd < 0) return;
+    // Poll with a bounded timeout rather than parking in accept(): stop()
+    // only shutdown()s the listener (the close comes after this task has
+    // joined), and a shutdown listener is not guaranteed to wake accept()
+    // on every platform — the poll timeout bounds the wait either way.
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (!running_.load()) return;
+    if (ready <= 0) continue;  // timeout or EINTR — re-check running_
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // listener closed (stop) or fatal
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listener shut down (stop) or fatal
     }
     auto conn = std::make_shared<Conn>();
-    conn->fd = fd;
+    conn->fd.store(fd);
     {
       std::lock_guard<std::mutex> lock(inbound_mutex_);
       inbound_conns_.push_back(conn);
@@ -310,9 +352,12 @@ void SocketTransport::accept_loop() {
 }
 
 void SocketTransport::reader_loop(ConnPtr conn) {
-  while (running_.load()) {
+  // This task owns the descriptor's lifetime: conn->fd stays valid (stop()
+  // only shutdown()s it) until the close_conn at the bottom.
+  const int fd = conn->fd.load();
+  while (fd >= 0 && running_.load()) {
     rpc::Frame frame;
-    const rpc::DecodeStatus status = read_frame(conn->fd, &frame);
+    const rpc::DecodeStatus status = read_frame(fd, &frame);
     if (status == rpc::DecodeStatus::Truncated) {
       break;  // EOF / peer closed — normal end of a connection
     }
@@ -338,10 +383,14 @@ void SocketTransport::reader_loop(ConnPtr conn) {
       if (frame.type() == rpc::FrameType::AgentTransfer) {
         ++stats_.agent_frames_received;
       }
+      if (frame.type() == rpc::FrameType::AgentTransferAck) {
+        ++stats_.agent_acks_received;
+      }
     }
-    ReplyFn reply = [this, conn](const serial::Bytes& encoded) {
+    ReplyFn reply = [conn](const serial::Bytes& encoded) {
       std::lock_guard<std::mutex> lock(conn->write_mutex);
-      return conn->fd >= 0 && write_all(conn->fd, encoded.data(), encoded.size());
+      const int reply_fd = conn->fd.load();
+      return reply_fd >= 0 && write_all(reply_fd, encoded.data(), encoded.size());
     };
     receiver_(std::move(frame), std::move(reply));
   }

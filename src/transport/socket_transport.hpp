@@ -20,9 +20,11 @@
 // stream aligned, so only the frame is dropped (checksum_rejected).
 //
 // Chaos knob: `send_loss` eats outbound AppMessage frames with a seeded coin
-// — never AgentTransfer or control frames — so injected socket-level loss
-// exercises the protocol's reliable-commit retransmissions without ever
-// losing an agent in flight.
+// — never AgentTransfer/AgentTransferAck or control frames — so injected
+// socket-level loss exercises the protocol's reliable-commit
+// retransmissions. Agents themselves are protected end-to-end one layer up:
+// every transfer is acked by the adopting node, and the sending platform
+// revives the agent after its migration timeout if no ack arrives.
 #pragma once
 
 #include <atomic>
@@ -65,6 +67,7 @@ class SocketTransport final : public NodeTransport {
 
   bool send_message(const net::Message& message) override;
   bool send_agent_frame(net::NodeId dst, const serial::Bytes& frame) override;
+  bool send_agent_ack(net::NodeId dst, std::uint64_t token) override;
   bool reachable(net::NodeId dst) override;
   TransportStats stats() const override;
 
@@ -80,25 +83,31 @@ class SocketTransport final : public NodeTransport {
 
  private:
   struct Conn {
-    int fd = -1;
+    /// -1 once closed. Atomic: readers/writers/stop() race on the value;
+    /// the actual close() is done by whichever side owns the descriptor
+    /// (the reader task for inbound conns, close_conn for outbound ones).
+    std::atomic<int> fd{-1};
     std::mutex write_mutex;
   };
   using ConnPtr = std::shared_ptr<Conn>;
 
   bool send_frame(net::NodeId dst, rpc::FrameType type, const serial::Bytes& body);
   /// Existing outbound connection to `dst`, or a fresh one (with the
-  /// configured retry schedule). Null if every attempt failed.
+  /// configured retry schedule). Null if every attempt failed. Dials
+  /// without holding peers_mutex_, so one unreachable peer never stalls
+  /// sends to healthy ones.
   ConnPtr peer_conn(net::NodeId dst);
   void drop_peer_conn(net::NodeId dst, const ConnPtr& conn);
   void accept_loop();
   void reader_loop(ConnPtr conn);
   void close_conn(const ConnPtr& conn);
+  static void shutdown_conn(const ConnPtr& conn);
 
   SocketTransportConfig config_;
   Receiver receiver_;
   std::unique_ptr<ThreadPool> pool_;
   std::atomic<bool> running_{false};
-  int listen_fd_ = -1;
+  std::atomic<int> listen_fd_{-1};
 
   std::mutex peers_mutex_;
   std::unordered_map<net::NodeId, ConnPtr> peer_conns_;

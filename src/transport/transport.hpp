@@ -32,6 +32,8 @@ struct TransportStats {
   std::uint64_t bytes_received = 0;
   std::uint64_t agent_frames_sent = 0;
   std::uint64_t agent_frames_received = 0;
+  std::uint64_t agent_acks_sent = 0;
+  std::uint64_t agent_acks_received = 0;
   std::uint64_t send_failures = 0;       ///< connect/write errors
   std::uint64_t loss_injected = 0;       ///< frames eaten by the chaos knob
   std::uint64_t checksum_rejected = 0;   ///< FNV mismatch — frame dropped
@@ -50,9 +52,17 @@ class Transport {
   /// (connect refused, peer gone); best-effort true otherwise.
   virtual bool send_message(const net::Message& message) = 0;
 
-  /// Ship a serialized agent (a migration) to `dst`. A false return feeds
-  /// the platform's migration-failure path (timeout + revival at source).
+  /// Ship a serialized agent (a migration) to `dst`. A true return only
+  /// means the bytes were handed to the substrate — delivery is confirmed by
+  /// the receiver's transfer ack; until then the platform keeps a revival
+  /// timer armed. A false return is a fast-path failure (peer unreachable).
   virtual bool send_agent_frame(net::NodeId dst, const serial::Bytes& frame) = 0;
+
+  /// Acknowledge an adopted agent transfer back to its sender (one-way;
+  /// cancels the sender's revival timer for `token`). Best-effort: a lost
+  /// ack means the sender revives an already-delivered agent, which the
+  /// receiver-side dedup then keeps from being adopted twice.
+  virtual bool send_agent_ack(net::NodeId dst, std::uint64_t token) = 0;
 
   /// Cheap reachability hint (an established or establishable connection).
   virtual bool reachable(net::NodeId dst) = 0;

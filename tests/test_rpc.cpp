@@ -468,5 +468,44 @@ TEST(AgentTransfer, TruncatedMigrationFramesAreRejected) {
   }
 }
 
+// ---- token-wrapped transfer bodies and their acks ----
+
+TEST(AgentTransfer, TransferBodyRoundTripsTokenAndFrame) {
+  const serial::Bytes frame = {0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x7F};
+  const serial::Bytes body = encode_transfer_body(0x1122334455667788ull, frame);
+  const TransferBody back = decode_transfer_body(body);
+  EXPECT_EQ(back.token, 0x1122334455667788ull);
+  EXPECT_EQ(back.frame, frame);
+
+  // An empty agent frame is legal at this layer (rehydration rejects it).
+  const TransferBody empty = decode_transfer_body(encode_transfer_body(9, {}));
+  EXPECT_EQ(empty.token, 9u);
+  EXPECT_TRUE(empty.frame.empty());
+}
+
+TEST(AgentTransfer, TransferBodyRejectsTruncationAndTrailingBytes) {
+  const serial::Bytes body = encode_transfer_body(42, {7, 7, 7});
+  for (std::size_t cut = 0; cut < body.size(); ++cut) {
+    const serial::Bytes prefix(body.begin(),
+                               body.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(decode_transfer_body(prefix), serial::DecodeError)
+        << "cut " << cut << "/" << body.size();
+  }
+  serial::Bytes trailing = body;
+  trailing.push_back(0x00);
+  EXPECT_THROW(decode_transfer_body(trailing), serial::DecodeError);
+}
+
+TEST(AgentTransfer, AckBodyRoundTripsAndRejectsDamage) {
+  const serial::Bytes body = encode_transfer_ack_body(0xCAFEF00Dull);
+  EXPECT_EQ(decode_transfer_ack_body(body), 0xCAFEF00Dull);
+
+  const serial::Bytes truncated(body.begin(), body.end() - 1);
+  EXPECT_THROW(decode_transfer_ack_body(truncated), serial::DecodeError);
+  serial::Bytes trailing = body;
+  trailing.push_back(0x01);
+  EXPECT_THROW(decode_transfer_ack_body(trailing), serial::DecodeError);
+}
+
 }  // namespace
 }  // namespace marp::rpc

@@ -16,7 +16,11 @@
 #include <thread>
 #include <vector>
 
+#include "agent/platform.hpp"
+#include "net/latency.hpp"
+#include "net/topology.hpp"
 #include "rpc/frame.hpp"
+#include "sim/simulator.hpp"
 #include "transport/cluster.hpp"
 #include "transport/endpoint.hpp"
 #include "transport/inproc_transport.hpp"
@@ -193,6 +197,167 @@ TEST(InProcMesh, CutLinksVanishMessagesAndFailMigrations) {
   EXPECT_TRUE(mesh.node(0).send_agent_frame(1, {1}));
   EXPECT_EQ(sinks[1].count(), 1u);
   for (net::NodeId n = 0; n < 2; ++n) mesh.node(n).stop();
+}
+
+// ---- acked remote transfers: revival, ack cancel, receiver dedup ----
+
+/// Transport fake that records what the platform hands it instead of
+/// touching any wire: lets the tests drive the ack/revival protocol by hand.
+class RecordingTransport final : public Transport {
+ public:
+  bool send_message(const net::Message&) override { return true; }
+  bool send_agent_frame(net::NodeId dst, const serial::Bytes& frame) override {
+    sent_frames.push_back(frame);
+    sent_to.push_back(dst);
+    return send_result;
+  }
+  bool send_agent_ack(net::NodeId dst, std::uint64_t token) override {
+    acked_tokens.push_back(token);
+    acked_to.push_back(dst);
+    return true;
+  }
+  bool reachable(net::NodeId) override { return true; }
+  TransportStats stats() const override { return {}; }
+
+  bool send_result = true;
+  std::vector<serial::Bytes> sent_frames;
+  std::vector<net::NodeId> sent_to;
+  std::vector<std::uint64_t> acked_tokens;
+  std::vector<net::NodeId> acked_to;
+};
+
+/// Minimal resident agent: arrives, stays put, carries one varint of state.
+class CourierAgent final : public agent::MobileAgent {
+ public:
+  static constexpr const char* kType = "test.courier";
+
+  CourierAgent() = default;
+  explicit CourierAgent(std::uint64_t cargo) : cargo_(cargo) {}
+
+  std::string type_name() const override { return kType; }
+  void on_arrival(agent::AgentContext&) override {}
+  // Stay resident after a revival (the default disposes) so the tests can
+  // observe the agent surviving a failed remote transfer.
+  void on_migration_failed(agent::AgentContext&, net::NodeId) override {}
+  void serialize(serial::Writer& w) const override { w.varint(cargo_); }
+  void deserialize(serial::Reader& r) override { cargo_ = r.varint(); }
+
+ private:
+  std::uint64_t cargo_ = 0;
+};
+
+/// One platform with a RecordingTransport attached at `local`, standing in
+/// for one process of a real deployment.
+struct TransferFixture {
+  explicit TransferFixture(net::NodeId local, std::uint64_t seed = 11)
+      : simulator(seed),
+        network(simulator, net::make_lan_mesh(2, sim::SimTime::millis(1)),
+                std::make_unique<net::ConstantLatency>(sim::SimTime::millis(1))),
+        platform(network) {
+    platform.registry().register_type<CourierAgent>(CourierAgent::kType);
+    network.attach_transport(&transport, local);
+  }
+
+  /// Park a courier on the local host and push it toward `dest`, which the
+  /// attached transport makes remote — returns the id of the traveller.
+  agent::AgentId launch(net::NodeId from, net::NodeId dest) {
+    const agent::AgentId id =
+        platform.host(from).create(std::make_unique<CourierAgent>(7));
+    simulator.run();  // on_created settles
+    EXPECT_TRUE(platform.retract(id, dest));
+    return id;
+  }
+
+  sim::Simulator simulator;
+  net::Network network;
+  RecordingTransport transport;
+  agent::AgentPlatform platform;
+};
+
+TEST(AckedTransfer, UnackedRemoteMigrationRevivesAtSource) {
+  // The high-severity scenario: the kernel accepts the bytes (send_agent_frame
+  // returns true) but no ack ever comes back — receiver checksum-rejected the
+  // frame, failed to rehydrate it, or died after accept. The always-armed
+  // migration timer must revive the agent at the source instead of losing it.
+  TransferFixture fx(/*local=*/0);
+  const agent::AgentId id = fx.launch(0, 1);
+  ASSERT_EQ(fx.transport.sent_frames.size(), 1u);
+  EXPECT_EQ(fx.transport.sent_to[0], 1u);
+  EXPECT_EQ(fx.platform.live_agents(), 0u);  // in flight: source copy destroyed
+
+  fx.simulator.run();  // migration timeout elapses with no ack
+
+  EXPECT_EQ(fx.platform.stats().migrations_failed, 1u);
+  EXPECT_EQ(fx.platform.live_agents(), 1u);
+  EXPECT_TRUE(fx.platform.host(0).has_agent(id));
+  EXPECT_GE(fx.simulator.now(), fx.platform.config().migration_timeout);
+}
+
+TEST(AckedTransfer, RefusedSendStillRevivesAfterTimeout) {
+  // Same recovery when the transport refuses the frame outright (peer
+  // unreachable): the one timer covers both failure shapes.
+  TransferFixture fx(/*local=*/0);
+  fx.transport.send_result = false;
+  const agent::AgentId id = fx.launch(0, 1);
+
+  fx.simulator.run();
+
+  EXPECT_EQ(fx.platform.stats().migrations_failed, 1u);
+  EXPECT_TRUE(fx.platform.host(0).has_agent(id));
+}
+
+TEST(AckedTransfer, AckCancelsTheRevivalTimer) {
+  TransferFixture fx(/*local=*/0);
+  fx.launch(0, 1);
+  ASSERT_EQ(fx.transport.sent_frames.size(), 1u);
+
+  // The receiving process acks with the token it unwrapped from the body.
+  const rpc::TransferBody body =
+      rpc::decode_transfer_body(fx.transport.sent_frames[0]);
+  fx.platform.acknowledge_remote_transfer(body.token);
+  fx.simulator.run();  // timer still fires, but finds the transfer acked
+
+  EXPECT_EQ(fx.platform.stats().remote_transfers_acked, 1u);
+  EXPECT_EQ(fx.platform.stats().migrations_failed, 0u);
+  EXPECT_EQ(fx.platform.live_agents(), 0u);  // the agent lives remotely now
+  // A late duplicate ack (retransmitted by the receiver) is a no-op.
+  fx.platform.acknowledge_remote_transfer(body.token);
+  EXPECT_EQ(fx.platform.stats().remote_transfers_acked, 1u);
+}
+
+TEST(AckedTransfer, ReceiverAdoptsOnceAndDedupsReplays) {
+  // Sender wraps the agent; the receiving platform (a second process in real
+  // life) adopts on first delivery and drops-but-acks the replay, so a lost
+  // ack can never fork the agent into two copies.
+  TransferFixture sender(/*local=*/0);
+  sender.launch(0, 1);
+  ASSERT_EQ(sender.transport.sent_frames.size(), 1u);
+  const serial::Bytes& wire_body = sender.transport.sent_frames[0];
+
+  TransferFixture receiver(/*local=*/1, /*seed=*/12);
+  const auto first = receiver.platform.receive_remote_transfer(wire_body);
+  EXPECT_TRUE(first.adopted);
+  EXPECT_TRUE(receiver.platform.host(1).has_agent(first.id));
+  EXPECT_EQ(receiver.platform.live_agents(), 1u);
+
+  const auto replay = receiver.platform.receive_remote_transfer(wire_body);
+  EXPECT_FALSE(replay.adopted);
+  EXPECT_EQ(replay.token, first.token);  // same token → sender still cancels
+  EXPECT_EQ(replay.id, first.id);
+  EXPECT_EQ(receiver.platform.live_agents(), 1u);
+  EXPECT_EQ(receiver.platform.stats().remote_transfers_deduped, 1u);
+  EXPECT_EQ(receiver.platform.stats().migrations_completed, 1u);
+}
+
+TEST(AckedTransfer, MalformedTransferBodyThrowsAndAdoptsNothing) {
+  // A body that passed the frame checksum but will not rehydrate must throw
+  // (the caller then drops it without acking, leaving revival to the sender).
+  TransferFixture receiver(/*local=*/1);
+  const serial::Bytes garbage = {0x01, 0x02, 0x03};
+  EXPECT_THROW(receiver.platform.receive_remote_transfer(garbage),
+               serial::DecodeError);
+  EXPECT_EQ(receiver.platform.live_agents(), 0u);
+  EXPECT_EQ(receiver.platform.stats().migrations_completed, 0u);
 }
 
 // ---- socket transport over real Unix-domain sockets ----
@@ -424,12 +589,21 @@ TEST(CrossSubstrate, PaperLiteralClusterMatchesReferenceSim) {
   // The wire was actually used: agents migrated between processes' stacks
   // and frames flowed with checksums on and nothing rejected.
   std::uint64_t agent_frames = 0;
+  std::uint64_t agent_acks = 0;
   for (const auto& d : dumps) {
     agent_frames += d.agent_frames_sent;
+    agent_acks += d.agent_acks_received;
     EXPECT_EQ(d.checksum_rejected, 0u);
     EXPECT_EQ(d.malformed_rejected, 0u);
+    // A healthy wire delivers everything on the first try: no source-side
+    // revivals, no receiver-side duplicate drops.
+    EXPECT_EQ(d.agent_transfers_revived, 0u);
+    EXPECT_EQ(d.agent_transfers_deduped, 0u);
   }
   EXPECT_GT(agent_frames, 0u);
+  // Every migration is confirmed end-to-end (GT not EQ: a final ack can
+  // still be in flight when the dump is taken).
+  EXPECT_GT(agent_acks, 0u);
 }
 
 TEST(CrossSubstrate, SharedKeyContentionStillConverges) {

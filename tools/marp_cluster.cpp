@@ -53,7 +53,7 @@ pid_t spawn_node(const std::string& binary, const ClusterSpec& spec,
                  const std::string& dir, std::size_t node,
                  const std::string& log_path) {
   const pid_t pid = ::fork();
-  if (pid != 0) return pid;
+  if (pid != 0) return pid;  // parent, or -1 on fork failure (caller checks)
   // Child: redirect both streams to the node's log, exec marp_node.
   const int log_fd = ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (log_fd >= 0) {
@@ -155,7 +155,19 @@ int main(int argc, char** argv) {
   std::vector<std::string> logs;
   for (std::size_t node = 0; node < spec.nodes; ++node) {
     logs.push_back(dir + "/node" + std::to_string(node) + ".log");
-    pids.push_back(spawn_node(binary, spec, dir, node, logs.back()));
+    const pid_t pid = spawn_node(binary, spec, dir, node, logs.back());
+    if (pid < 0) {
+      // A short cluster cannot quiesce; fail now and reap what was spawned
+      // rather than letting waitpid(-1) confuse the per-node reap loop.
+      std::fprintf(stderr, "marp_cluster: FAIL: fork node %zu: %s\n", node,
+                   std::strerror(errno));
+      for (const pid_t spawned : pids) {
+        ::kill(spawned, SIGKILL);
+        ::waitpid(spawned, nullptr, 0);
+      }
+      return 1;
+    }
+    pids.push_back(pid);
   }
 
   const auto endpoints = marp::transport::local_uds_cluster(dir, spec.nodes);
