@@ -141,6 +141,13 @@ class AgentPlatform {
   /// revival for `token`. A late ack (the revival already fired) is a no-op.
   void acknowledge_remote_transfer(std::uint64_t token);
 
+  /// Transfers shipped but neither acked nor revived yet. At quiescence this
+  /// must be 0 on every node: each in-flight agent either arrived (ack) or
+  /// came back (revival) — the crash-recovery harness asserts exactly that.
+  std::size_t pending_remote_transfers() const noexcept {
+    return pending_transfers_.size();
+  }
+
  private:
   friend class AgentHost;
   friend class AgentContext;

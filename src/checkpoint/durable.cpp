@@ -1,0 +1,259 @@
+#include "checkpoint/durable.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "rpc/frame.hpp"  // fnv1a64
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace marp::checkpoint {
+
+namespace {
+
+constexpr std::uint32_t kCheckpointMagic = 0x4B504352;  // "RCPK" little-endian
+constexpr std::uint16_t kCheckpointVersion = 1;
+
+constexpr std::uint8_t kRecordApply = 1;
+constexpr std::uint8_t kRecordSessionDone = 2;
+
+/// Per-record framing: fixed prefix, then `len` payload bytes.
+constexpr std::size_t kRecordPrefix = 4 + 8;  // u32le len + u64le fnv(payload)
+/// A journal record is at least [kind]; cap the length so a corrupt prefix
+/// cannot drive an absurd allocation during replay.
+constexpr std::uint32_t kMaxRecordLen = 16u * 1024u * 1024u;
+
+bool write_all_fd(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_file(const std::string& path, serial::Bytes* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  out->clear();
+  std::uint8_t buffer[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    out->insert(out->end(), buffer, buffer + n);
+  }
+  ::close(fd);
+  return true;
+}
+
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+DurableLog::DurableLog(std::string dir, net::NodeId node, bool fsync_journal)
+    : dir_(std::move(dir)), node_(node), fsync_journal_(fsync_journal) {
+  ::mkdir(dir_.c_str(), 0755);  // EEXIST is fine; open failures surface later
+}
+
+DurableLog::~DurableLog() {
+  if (journal_fd_ >= 0) ::close(journal_fd_);
+}
+
+std::string DurableLog::checkpoint_path() const { return dir_ + "/checkpoint.bin"; }
+std::string DurableLog::journal_path() const { return dir_ + "/journal.log"; }
+
+RecoveredState DurableLog::recover() {
+  MARP_REQUIRE_MSG(journal_fd_ < 0, "recover() must be called exactly once");
+  RecoveredState state;
+
+  // ---- checkpoint: all-or-nothing, guarded by the trailing checksum ----
+  serial::Bytes ckpt;
+  if (read_file(checkpoint_path(), &ckpt)) {
+    bool ok = ckpt.size() > 8;
+    if (ok) {
+      const std::size_t payload = ckpt.size() - 8;
+      serial::Reader t(ckpt.data() + payload, 8);
+      ok = t.u64le() == rpc::fnv1a64(ckpt.data(), payload);
+      if (ok) {
+        try {
+          serial::Reader r(ckpt.data(), payload);
+          ok = r.u32le() == kCheckpointMagic && r.u16le() == kCheckpointVersion &&
+               r.u32le() == node_;
+          if (ok) {
+            state.epoch = r.u64le();
+            state.next_session = r.u64le();
+            state.manifest = deserialize_manifest(r);
+            state.had_checkpoint = true;
+          }
+        } catch (const serial::DecodeError&) {
+          ok = false;
+        }
+      }
+    }
+    if (!ok) {
+      // Torn or foreign checkpoint: reject it wholesale (deterministically)
+      // rather than apply half a snapshot; the journal + peer anti-entropy
+      // rebuild whatever it held.
+      state.checkpoint_rejected = true;
+      state.manifest.clear();
+      state.epoch = 0;
+      state.next_session = 0;
+      MARP_LOG_WARN("durable") << "node " << node_
+                               << ": rejecting invalid checkpoint " << checkpoint_path();
+    }
+  }
+  epoch_ = state.epoch;
+
+  // ---- journal: replay the valid prefix, cut off a torn tail ----
+  serial::Bytes journal;
+  const bool had_journal = read_file(journal_path(), &journal);
+  std::size_t good = 0;
+  if (had_journal) {
+    std::size_t pos = 0;
+    while (pos + kRecordPrefix <= journal.size()) {
+      serial::Reader prefix(journal.data() + pos, kRecordPrefix);
+      const std::uint32_t len = prefix.u32le();
+      const std::uint64_t sum = prefix.u64le();
+      if (len == 0 || len > kMaxRecordLen ||
+          pos + kRecordPrefix + len > journal.size()) {
+        break;  // torn tail — a crash mid-append
+      }
+      const std::uint8_t* payload = journal.data() + pos + kRecordPrefix;
+      if (rpc::fnv1a64(payload, len) != sum) break;
+      try {
+        serial::Reader r(payload, len);
+        const std::uint8_t kind = r.u8();
+        if (kind == kRecordApply) {
+          const std::string key = r.str();
+          replica::VersionedValue value;
+          value.value = r.str();
+          value.version = replica::Version::deserialize(r);
+          auto& slot = state.manifest[key];
+          if (value.version > slot.version) slot = std::move(value);
+        } else if (kind == kRecordSessionDone) {
+          const std::uint64_t session = r.varint();
+          if (session + 1 > state.next_session) state.next_session = session + 1;
+        } else {
+          break;  // unknown kind — treat as corruption from here on
+        }
+      } catch (const serial::DecodeError&) {
+        break;
+      }
+      pos += kRecordPrefix + len;
+      good = pos;
+      ++state.journal_records;
+    }
+    state.journal_truncated = good < journal.size();
+  }
+
+  journal_fd_ = ::open(journal_path().c_str(),
+                       O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  MARP_ENSURE_MSG(journal_fd_ >= 0, "cannot open journal " + journal_path());
+  if (state.journal_truncated) {
+    // Drop the torn tail so future appends extend a valid prefix instead of
+    // burying good records behind garbage.
+    if (::ftruncate(journal_fd_, static_cast<off_t>(good)) != 0) {
+      MARP_LOG_WARN("durable") << "node " << node_ << ": journal truncate failed: "
+                               << std::strerror(errno);
+    }
+    ::fsync(journal_fd_);
+    MARP_LOG_WARN("durable") << "node " << node_ << ": journal tail torn, kept "
+                             << good << " bytes / " << state.journal_records
+                             << " records";
+  }
+  return state;
+}
+
+void DurableLog::append_record(const serial::Bytes& payload) {
+  MARP_REQUIRE_MSG(journal_fd_ >= 0, "recover() before append");
+  serial::Writer w;
+  w.u32le(static_cast<std::uint32_t>(payload.size()));
+  w.u64le(rpc::fnv1a64(payload.data(), payload.size()));
+  serial::Bytes record = w.take();
+  record.insert(record.end(), payload.begin(), payload.end());
+  if (!write_all_fd(journal_fd_, record.data(), record.size())) {
+    MARP_LOG_WARN("durable") << "node " << node_ << ": journal append failed: "
+                             << std::strerror(errno);
+    return;
+  }
+  if (fsync_journal_) ::fsync(journal_fd_);
+  ++journal_appends_;
+  ++pending_records_;
+}
+
+void DurableLog::append_apply(const std::string& key,
+                              const replica::VersionedValue& value) {
+  serial::Writer w;
+  w.u8(kRecordApply);
+  w.str(key);
+  w.str(value.value);
+  value.version.serialize(w);
+  append_record(w.take());
+}
+
+void DurableLog::append_session_done(std::uint64_t session) {
+  serial::Writer w;
+  w.u8(kRecordSessionDone);
+  w.varint(session);
+  append_record(w.take());
+}
+
+bool DurableLog::checkpoint(const Manifest& manifest, std::uint64_t next_session) {
+  MARP_REQUIRE_MSG(journal_fd_ >= 0, "recover() before checkpoint");
+  serial::Writer w;
+  w.u32le(kCheckpointMagic);
+  w.u16le(kCheckpointVersion);
+  w.u32le(node_);
+  w.u64le(epoch_ + 1);
+  w.u64le(next_session);
+  serialize_manifest(w, manifest);
+  const serial::Bytes payload = w.take();
+  serial::Writer t;
+  t.u64le(rpc::fnv1a64(payload.data(), payload.size()));
+  const serial::Bytes trailer = t.take();
+
+  const std::string tmp = checkpoint_path() + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  const bool written = write_all_fd(fd, payload.data(), payload.size()) &&
+                       write_all_fd(fd, trailer.data(), trailer.size()) &&
+                       ::fsync(fd) == 0;
+  ::close(fd);
+  if (!written || ::rename(tmp.c_str(), checkpoint_path().c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  fsync_dir(dir_);
+
+  // The checkpoint is durable; the journal records it absorbed are now
+  // redundant. A crash before this truncate just replays them onto the new
+  // checkpoint — idempotent under the version merge.
+  if (::ftruncate(journal_fd_, 0) == 0) ::fsync(journal_fd_);
+  ++epoch_;
+  ++checkpoints_written_;
+  pending_records_ = 0;
+  return true;
+}
+
+}  // namespace marp::checkpoint

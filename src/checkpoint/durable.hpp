@@ -1,0 +1,102 @@
+// DurableLog — crash-consistent on-disk state for one real cluster node.
+//
+// The sim-side checkpoint module (checkpoint.hpp) moves manifests between
+// servers with mobile agents; this file gives one *process* a place to keep
+// that manifest across a SIGKILL. Two files per node directory:
+//
+//   checkpoint.bin   epoch-stamped snapshot: header + manifest (the same
+//                    serialize_manifest format the checkpoint agents use) +
+//                    FNV-1a-64 trailer. Written tmp → fsync → rename, so a
+//                    crash mid-write leaves the previous checkpoint intact
+//                    and a torn file is detected (and rejected) by the
+//                    checksum, never half-applied.
+//   journal.log      append-only record stream since the last checkpoint:
+//                    every committed write the store applied, plus workload
+//                    progress marks. Each record is length- and
+//                    checksum-prefixed; replay stops cleanly at a torn tail
+//                    (the half-written record a crash can leave) and
+//                    truncates it so later appends extend a valid prefix.
+//
+// Recovery = load checkpoint (if it verifies) + replay journal on top,
+// merging per key under "newer version wins". Both sources carry versioned
+// values, so replay is idempotent: re-applying records that made it into
+// the checkpoint before the crash is a no-op — which is what makes the
+// checkpoint-then-truncate sequence safe without a write barrier between
+// the rename and the journal reset.
+//
+// Thread-compat: all methods are called from the node's single driver
+// thread (recover() from the constructor context before the driver starts).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "checkpoint/checkpoint.hpp"
+#include "net/message.hpp"
+#include "replica/versioned_store.hpp"
+
+namespace marp::checkpoint {
+
+/// What recover() reassembled from disk.
+struct RecoveredState {
+  /// Checkpoint merged with the journal records on top (newer version wins).
+  Manifest manifest;
+  /// Epoch of the loaded checkpoint (0 if none/rejected). The next
+  /// checkpoint() writes epoch + 1.
+  std::uint64_t epoch = 0;
+  /// First workload session this node has NOT durably completed.
+  std::uint64_t next_session = 0;
+  std::uint64_t journal_records = 0;  ///< records replayed from the journal
+  bool journal_truncated = false;     ///< a torn tail was cut off
+  bool checkpoint_rejected = false;   ///< file present but failed validation
+  bool had_checkpoint = false;        ///< a valid checkpoint was loaded
+};
+
+class DurableLog {
+ public:
+  /// `dir` is created if missing. `node` is stamped into the checkpoint
+  /// header so a node refuses to resurrect from another node's state.
+  DurableLog(std::string dir, net::NodeId node, bool fsync_journal = true);
+  ~DurableLog();
+
+  DurableLog(const DurableLog&) = delete;
+  DurableLog& operator=(const DurableLog&) = delete;
+
+  /// Read checkpoint + journal. Must be called once, before any append.
+  /// Leaves the journal open (and tail-truncated if torn) for appending.
+  RecoveredState recover();
+
+  /// Journal one committed store apply.
+  void append_apply(const std::string& key, const replica::VersionedValue& value);
+  /// Journal "workload session `session` durably completed".
+  void append_session_done(std::uint64_t session);
+
+  /// Write an epoch+1 checkpoint of `manifest` + `next_session` atomically,
+  /// then reset the journal. Returns false (state unchanged, journal kept)
+  /// if any step before the rename fails.
+  bool checkpoint(const Manifest& manifest, std::uint64_t next_session);
+
+  std::uint64_t epoch() const noexcept { return epoch_; }
+  std::uint64_t journal_appends() const noexcept { return journal_appends_; }
+  std::uint64_t checkpoints_written() const noexcept { return checkpoints_written_; }
+  /// Journal records accumulated since the last checkpoint (or recovery) —
+  /// lets the owner skip checkpointing when nothing changed.
+  std::uint64_t pending_records() const noexcept { return pending_records_; }
+
+  std::string checkpoint_path() const;
+  std::string journal_path() const;
+
+ private:
+  void append_record(const serial::Bytes& payload);
+
+  std::string dir_;
+  net::NodeId node_;
+  bool fsync_journal_;
+  int journal_fd_ = -1;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t journal_appends_ = 0;
+  std::uint64_t checkpoints_written_ = 0;
+  std::uint64_t pending_records_ = 0;
+};
+
+}  // namespace marp::checkpoint

@@ -1,0 +1,49 @@
+#include "fault/process_chaos.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+namespace marp::fault {
+
+std::vector<ProcessKill> make_kill_schedule(std::uint64_t seed,
+                                            std::uint32_t nodes,
+                                            std::uint32_t kills,
+                                            std::chrono::milliseconds window) {
+  std::vector<ProcessKill> schedule;
+  if (nodes == 0 || kills == 0 || window.count() <= 0) return schedule;
+  if (kills > nodes) kills = nodes;
+
+  std::mt19937_64 rng(seed ^ 0xC4A5C85C97CB3127ULL);
+
+  // Victims without replacement: shuffle [0, nodes) and take the prefix.
+  std::vector<std::uint32_t> victims(nodes);
+  std::iota(victims.begin(), victims.end(), 0U);
+  std::shuffle(victims.begin(), victims.end(), rng);
+  victims.resize(kills);
+
+  const auto lo = window.count() / 4;
+  std::uniform_int_distribution<long long> when(lo, window.count() - 1);
+  schedule.reserve(kills);
+  for (std::uint32_t victim : victims) {
+    schedule.push_back({victim, std::chrono::milliseconds(when(rng))});
+  }
+  std::sort(schedule.begin(), schedule.end(),
+            [](const ProcessKill& a, const ProcessKill& b) {
+              return a.at < b.at || (a.at == b.at && a.victim < b.victim);
+            });
+  return schedule;
+}
+
+std::string describe_kill_schedule(const std::vector<ProcessKill>& schedule) {
+  std::string out;
+  for (const ProcessKill& kill : schedule) {
+    if (!out.empty()) out += "; ";
+    out += "kill node " + std::to_string(kill.victim) + " at t+" +
+           std::to_string(kill.at.count()) + "ms";
+  }
+  if (out.empty()) out = "(no kills)";
+  return out;
+}
+
+}  // namespace marp::fault

@@ -1,0 +1,39 @@
+// Process-level chaos: seeded SIGKILL schedules for real cluster nodes.
+//
+// The in-process FaultInjector crashes *simulated* servers; this header is
+// the same idea one level down — the supervisor (tools/marp_cluster) kills
+// whole `marp_node` processes at scheduled wall-clock offsets and relies on
+// the reincarnation path (durable log replay → announce → anti-entropy
+// catch-up → rejoin) to bring them back. The schedule is a pure function of
+// its seed, so a failing chaos run replays bit-for-bit.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace marp::fault {
+
+/// One scheduled kill: SIGKILL `victim` at `at` after workload start.
+struct ProcessKill {
+  std::uint32_t victim = 0;
+  std::chrono::milliseconds at{0};
+};
+
+/// Deterministic kill schedule: `kills` victims drawn without replacement
+/// from [0, nodes) — distinct victims, so every kill exercises a *first*
+/// crash of that node and the acceptance bar ("≥3 distinct nodes") is met
+/// by construction — at sorted offsets uniform in [window/4, window).
+/// The lower bound keeps kills off the cluster's connect/start ramp, where
+/// a kill is a no-op (no sessions in flight yet).
+std::vector<ProcessKill> make_kill_schedule(std::uint64_t seed,
+                                            std::uint32_t nodes,
+                                            std::uint32_t kills,
+                                            std::chrono::milliseconds window);
+
+/// Human-readable one-liner per kill ("kill node 3 at t+1240ms"), for logs
+/// and CI artifacts.
+std::string describe_kill_schedule(const std::vector<ProcessKill>& schedule);
+
+}  // namespace marp::fault

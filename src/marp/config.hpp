@@ -145,6 +145,19 @@ struct MarpConfig {
   /// so information can never go permanently stale.
   sim::SimTime patrol_interval = sim::SimTime::millis(250);
 
+  /// Dead-agent lease (extension for the real substrate): an agent whose
+  /// host process is SIGKILLed dies without any fail-stop notice, leaving
+  /// its LL entries and update grants behind at surviving servers — every
+  /// later claimant NACK-aborts against a ghost holder forever. With a
+  /// non-zero lease each server expires lock/grant state of *remote* agents
+  /// that have shown no activity (visit, refresh, UPDATE, UNLOCK) for this
+  /// long. Locally-hosted agents are exempt (their liveness is directly
+  /// observable). Must be much larger than N x patrol_interval so a live
+  /// blocked agent's patrol re-visits always refresh it in time. Zero
+  /// (default) disables the sweep — the simulator's fail-stop notices make
+  /// it redundant there.
+  sim::SimTime agent_lease_timeout = sim::SimTime::zero();
+
   /// A claimant that lost the grant race to a *larger*-id holder retries
   /// after this delay (plus per-agent jitter); smaller-id holders are
   /// deferred to until their commit is observed.

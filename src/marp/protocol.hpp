@@ -66,6 +66,10 @@ struct MarpStats {
   /// Times an agent reached a majority of update grants while another agent
   /// also held a majority. Theorem 2 says this stays 0; tests assert it.
   std::uint64_t mutex_violations = 0;
+  /// Remote agents whose lock state a server expired via the agent lease
+  /// (config.agent_lease_timeout) — dead-process cleanup on the real
+  /// substrate, where no fail-stop notice ever arrives.
+  std::uint64_t agents_lease_purged = 0;
   /// Absorbed message-level faults (see ProtocolAnomalies).
   ProtocolAnomalies anomalies;
 };
@@ -161,6 +165,7 @@ class MarpProtocol final : public replica::ReplicationProtocol {
   void note_update_requeue(const agent::AgentId& agent);
   void note_read() { ++stats_.reads_served; }
   void note_anomaly(Anomaly kind);
+  void note_agents_lease_purged(std::uint64_t n) { stats_.agents_lease_purged += n; }
 
  private:
   net::Network& network_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <set>
 
 #include "marp/protocol.hpp"
 #include "marp/read_agent.hpp"
@@ -46,6 +47,77 @@ MarpServer::MarpServer(net::Network& network, agent::AgentPlatform& platform,
                          [this] { anti_entropy_tick(); },
                          static_cast<sim::ActorId>(node_));
   }
+  if (config_.agent_lease_timeout.as_micros() > 0) {
+    // Sweep at half the lease so an expired agent lingers at most 1.5 leases.
+    simulator().schedule(
+        sim::SimTime::micros(
+            std::max<std::int64_t>(1, config_.agent_lease_timeout.as_micros() / 2)),
+        [this] { lease_tick(); }, static_cast<sim::ActorId>(node_));
+  }
+}
+
+std::size_t MarpServer::sync_pull(std::size_t max_peers) {
+  if (!up_ || network_.size() <= 1 || max_peers == 0) return 0;
+  std::size_t sent = 0;
+  std::set<net::NodeId> chosen;
+  const std::size_t want = std::min(max_peers, network_.size() - 1);
+  for (int tries = 0; tries < 32 && sent < want; ++tries) {
+    const net::NodeId peer =
+        static_cast<net::NodeId>(anti_entropy_rng_.bounded(network_.size()));
+    if (peer == node_ || !network_.node_up(peer) || !chosen.insert(peer).second) {
+      continue;
+    }
+    if (auto* tracer = protocol_.tracer()) tracer->anti_entropy(node_);
+    network_.send(net::Message{node_, peer, kMsgSyncReq, {}});
+    ++sent;
+  }
+  return sent;
+}
+
+void MarpServer::touch_agent(const agent::AgentId& agent) {
+  if (config_.agent_lease_timeout.as_micros() > 0) agent_activity_[agent] = now();
+}
+
+void MarpServer::lease_tick() {
+  if (up_) {
+    // Everything that can wedge a future claimant: queued LL entries, the
+    // exclusive grant holders, and staged (granted but uncommitted) ops.
+    std::set<agent::AgentId> present;
+    for (const shard::GroupId g : lock_space_.all_groups()) {
+      const auto& grp = lock_space_.group(g);
+      for (const agent::AgentId& id : grp.ll.snapshot()) present.insert(id);
+      if (grp.holder) present.insert(*grp.holder);
+    }
+    for (const auto& [id, ops] : staged_) present.insert(id);
+
+    for (auto it = agent_activity_.begin(); it != agent_activity_.end();) {
+      it = present.contains(it->first) ? std::next(it) : agent_activity_.erase(it);
+    }
+
+    std::vector<agent::AgentId> expired;
+    for (const agent::AgentId& id : present) {
+      if (platform_.host(node_).has_agent(id)) {
+        // Hosted here: liveness is directly observable, never lease it out.
+        agent_activity_[id] = now();
+        continue;
+      }
+      const auto [it, fresh] = agent_activity_.try_emplace(id, now());
+      if (!fresh && now().as_micros() - it->second.as_micros() >=
+                        config_.agent_lease_timeout.as_micros()) {
+        expired.push_back(id);
+      }
+    }
+    if (!expired.empty()) {
+      MARP_LOG_WARN("marp") << "server " << node_ << ": lease expired for "
+                            << expired.size() << " idle remote agent(s)";
+      purge_agents(expired);
+      protocol_.note_agents_lease_purged(expired.size());
+    }
+  }
+  simulator().schedule(
+      sim::SimTime::micros(
+          std::max<std::int64_t>(1, config_.agent_lease_timeout.as_micros() / 2)),
+      [this] { lease_tick(); }, static_cast<sim::ActorId>(node_));
 }
 
 void MarpServer::anti_entropy_tick() {
@@ -157,6 +229,7 @@ VisitResult MarpServer::visit(const agent::AgentId& visitor,
     result.locking_lists.emplace(
         g, LockSnapshot{grp.ll.snapshot(), now().as_micros()});
   }
+  touch_agent(visitor);
   result.updated_list = ul_.snapshot();
   result.routing_costs = routing_costs();
   for (const std::string& key : keys) {
@@ -193,6 +266,7 @@ MarpServer::RefreshResult MarpServer::refresh(
     result.locking_lists.emplace(
         g, LockSnapshot{grp.ll.snapshot(), now().as_micros()});
   }
+  touch_agent(visitor);
   result.updated_list = ul_.snapshot();
   return result;
 }
@@ -236,6 +310,7 @@ MarpServer::GrantResult MarpServer::handle_update_local(
     grp.holder_attempt = payload.attempt;
   }
   staged_[payload.agent] = payload.ops;
+  touch_agent(payload.agent);
   return GrantResult::Granted;
 }
 
@@ -252,6 +327,7 @@ void MarpServer::handle_commit_local(const CommitPayload& payload) {
     return;
   }
   staged_.erase(payload.agent);
+  agent_activity_.erase(payload.agent);
   lock_space_.release_grants(payload.agent, kAnyAttempt);
   unlocked_attempts_.erase(payload.agent);
   lock_space_.remove_from_lists(payload.agent, payload.groups);
@@ -264,6 +340,7 @@ void MarpServer::handle_commit_local(const CommitPayload& payload) {
 
 void MarpServer::handle_release_local(const ReleasePayload& payload) {
   staged_.erase(payload.agent);
+  agent_activity_.erase(payload.agent);
   lock_space_.release_grants(payload.agent, kAnyAttempt);
   unlocked_attempts_.erase(payload.agent);
   if (lock_space_.remove_from_lists(payload.agent, payload.groups)) {
@@ -276,6 +353,7 @@ void MarpServer::handle_unlock_local(const agent::AgentId& agent,
                                      std::uint32_t attempt) {
   auto& high_water = unlocked_attempts_[agent];
   high_water = std::max(high_water, attempt);
+  touch_agent(agent);
   // Grants are taken atomically at one attempt, so if any group released,
   // the staged ops of that attempt are dead too.
   if (lock_space_.release_grants(agent, attempt)) staged_.erase(agent);
@@ -413,9 +491,11 @@ void MarpServer::handle_message(const net::Message& message) {
     }
     case kMsgSyncRep: {
       const SyncPayload dump = SyncPayload::decode(message.payload);
+      std::size_t applied = 0;
       for (const auto& item : dump.items) {
-        store_.apply(item.key, item.value, item.version);
+        if (store_.apply(item.key, item.value, item.version)) ++applied;
       }
+      if (sync_listener_) sync_listener_(applied);
       break;
     }
     default:
@@ -429,6 +509,7 @@ void MarpServer::purge_agents(const std::vector<agent::AgentId>& dead) {
   for (const agent::AgentId& id : dead) {
     staged_.erase(id);
     unlocked_attempts_.erase(id);
+    agent_activity_.erase(id);
     changed = lock_space_.purge(id) || changed;
     if (auto* tracer = protocol_.tracer()) tracer->ll_remove_all(id, node_);
   }
@@ -458,6 +539,7 @@ void MarpServer::on_fail() {
   gossip_cache_.clear();
   staged_.clear();
   unlocked_attempts_.clear();
+  agent_activity_.clear();
   reported_ = replica::UpdatedList{};
   pending_.clear();
   outstanding_.clear();

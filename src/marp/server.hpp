@@ -12,6 +12,7 @@
 // exactly the paper's single replica-wide lock.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <unordered_map>
@@ -131,6 +132,19 @@ class MarpServer : public replica::ServerBase {
   /// rollback to abort all in-flight update sessions at this server.
   void reset_coordination();
 
+  /// One on-demand anti-entropy round: ask up to `max_peers` random live
+  /// peers for their stores (replies merge under the Thomas write rule).
+  /// Returns the number of requests actually sent. Unlike the recurring
+  /// anti_entropy_interval tick this schedules nothing, so a real node can
+  /// drive reconciliation from wall-clock timers without the simulator's
+  /// event queue spinning forever.
+  std::size_t sync_pull(std::size_t max_peers = 1);
+
+  /// Observer fired after each kMsgSyncRep is merged, with the number of
+  /// items the Thomas rule actually applied (catch-up accounting).
+  using SyncListener = std::function<void(std::size_t applied)>;
+  void set_sync_listener(SyncListener listener) { sync_listener_ = std::move(listener); }
+
   const replica::LockingList& locking_list(shard::GroupId g = 0) const {
     return lock_space_.group(g).ll;
   }
@@ -152,6 +166,11 @@ class MarpServer : public replica::ServerBase {
   /// Recurring anti-entropy tick (config.anti_entropy_interval > 0): ask a
   /// random live peer for its store, merge under the Thomas write rule.
   void anti_entropy_tick();
+  /// Record lease-relevant activity of `agent` at this server.
+  void touch_agent(const agent::AgentId& agent);
+  /// Recurring lease sweep (config.agent_lease_timeout > 0): purge lock
+  /// state of remote agents idle past the lease (see config comment).
+  void lease_tick();
 
   agent::AgentPlatform& platform_;
   const MarpConfig& config_;
@@ -175,6 +194,9 @@ class MarpServer : public replica::ServerBase {
   std::unordered_map<std::uint64_t, replica::Request> outstanding_;
   std::optional<sim::EventId> batch_timer_;
   sim::Rng anti_entropy_rng_;
+  SyncListener sync_listener_;
+  /// Last lease-relevant activity per agent with live lock state here.
+  std::map<agent::AgentId, sim::SimTime> agent_activity_;
 };
 
 }  // namespace marp::core

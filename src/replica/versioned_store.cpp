@@ -19,6 +19,7 @@ bool VersionedStore::apply(const std::string& key, std::string value, Version ve
   slot.value = std::move(value);
   slot.version = version;
   if (record_history_) history_.push_back({key, version});
+  if (observer_) observer_(key, slot);
   return true;
 }
 

@@ -10,6 +10,7 @@
 
 #include <compare>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -80,10 +81,19 @@ class VersionedStore {
   const std::vector<AppliedRecord>& history() const noexcept { return history_; }
   void set_record_history(bool on) noexcept { record_history_ = on; }
 
+  /// Fired after every successful apply() with the stored value — the hook a
+  /// real node uses to journal committed writes to disk. Not fired by
+  /// force()/erase(): recovery restores state that is already durable, and
+  /// journaling it again would double every record on the next replay.
+  using ApplyObserver =
+      std::function<void(const std::string& key, const VersionedValue& value)>;
+  void set_apply_observer(ApplyObserver observer) { observer_ = std::move(observer); }
+
  private:
   std::map<std::string, VersionedValue> items_;
   std::vector<AppliedRecord> history_;
   bool record_history_ = true;
+  ApplyObserver observer_;
 };
 
 }  // namespace marp::replica

@@ -22,6 +22,10 @@ enum class Proc : std::uint32_t {
   Status = 2,    ///< → NodeStatus (workload progress, quiescence)
   Dump = 3,      ///< → serialized NodeDump (store, commit log, counters)
   Shutdown = 4,  ///< stop the node's run loop after replying
+  Heartbeat = 5, ///< cheap supervisor probe → HeartbeatReply; a node that
+                 ///  cannot answer this is treated as dead (hung == crashed)
+  SyncPull = 6,  ///< trigger one anti-entropy pull from every live peer
+                 ///  (the harness's convergence barrier before final dumps)
 };
 
 /// Reply status codes.
@@ -72,6 +76,11 @@ struct NodeStatus {
   std::uint64_t aborts = 0;
   std::uint64_t live_agents = 0;
   bool quiesced = false;  ///< all sessions done and no agent still lingering
+  /// How many times this node has been reincarnated (0 = first life).
+  std::uint64_t incarnation = 0;
+  /// True while a reincarnated node is still catching up via anti-entropy
+  /// (it answers protocol traffic but has not resumed its workload yet).
+  bool catching_up = false;
 
   void serialize(serial::Writer& w) const {
     w.varint(sessions_target);
@@ -80,6 +89,8 @@ struct NodeStatus {
     w.varint(aborts);
     w.varint(live_agents);
     w.boolean(quiesced);
+    w.varint(incarnation);
+    w.boolean(catching_up);
   }
   static NodeStatus deserialize(serial::Reader& r) {
     NodeStatus s;
@@ -89,7 +100,34 @@ struct NodeStatus {
     s.aborts = r.varint();
     s.live_agents = r.varint();
     s.quiesced = r.boolean();
+    s.incarnation = r.varint();
+    s.catching_up = r.boolean();
     return s;
+  }
+};
+
+/// Minimal liveness/progress probe returned by Proc::Heartbeat. Kept apart
+/// from NodeStatus so the supervisor's high-frequency probe stays cheap and
+/// its wire shape can evolve independently of the workload snapshot.
+struct HeartbeatReply {
+  std::uint64_t incarnation = 0;
+  std::uint64_t sessions_completed = 0;
+  std::uint64_t live_agents = 0;
+  bool quiesced = false;
+
+  void serialize(serial::Writer& w) const {
+    w.varint(incarnation);
+    w.varint(sessions_completed);
+    w.varint(live_agents);
+    w.boolean(quiesced);
+  }
+  static HeartbeatReply deserialize(serial::Reader& r) {
+    HeartbeatReply h;
+    h.incarnation = r.varint();
+    h.sessions_completed = r.varint();
+    h.live_agents = r.varint();
+    h.quiesced = r.boolean();
+    return h;
   }
 };
 
@@ -136,6 +174,22 @@ struct NodeDump {
   std::uint64_t malformed_rejected = 0;
   std::uint64_t send_failures = 0;
 
+  // crash-recovery counters (PR 7). At quiescence `agent_transfers_pending`
+  // must be 0 on every node: every in-flight transfer either got acked or
+  // its revival timer fired — no agent may be left in limbo.
+  std::uint64_t agent_transfers_pending = 0;
+  std::uint64_t stale_incarnation_rejected = 0;
+  std::uint64_t checkpoint_epoch = 0;
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t journal_appends = 0;
+  std::uint64_t journal_records_replayed = 0;
+  bool journal_tail_truncated = false;   ///< replay hit a torn final record
+  bool checkpoint_rejected = false;      ///< on-disk checkpoint failed checks
+  std::uint64_t catchup_pulls = 0;       ///< anti-entropy requests sent
+  std::uint64_t catchup_merges = 0;      ///< anti-entropy replies merged
+  std::uint64_t session_retries = 0;     ///< sessions re-submitted (abort/stall)
+  std::uint64_t agents_lease_purged = 0; ///< dead-agent lock state expired
+
   void serialize(serial::Writer& w) const {
     status.serialize(w);
     w.varint(items.size());
@@ -166,6 +220,18 @@ struct NodeDump {
     w.varint(checksum_rejected);
     w.varint(malformed_rejected);
     w.varint(send_failures);
+    w.varint(agent_transfers_pending);
+    w.varint(stale_incarnation_rejected);
+    w.varint(checkpoint_epoch);
+    w.varint(checkpoints_written);
+    w.varint(journal_appends);
+    w.varint(journal_records_replayed);
+    w.boolean(journal_tail_truncated);
+    w.boolean(checkpoint_rejected);
+    w.varint(catchup_pulls);
+    w.varint(catchup_merges);
+    w.varint(session_retries);
+    w.varint(agents_lease_purged);
   }
   static NodeDump deserialize(serial::Reader& r) {
     NodeDump d;
@@ -204,6 +270,18 @@ struct NodeDump {
     d.checksum_rejected = r.varint();
     d.malformed_rejected = r.varint();
     d.send_failures = r.varint();
+    d.agent_transfers_pending = r.varint();
+    d.stale_incarnation_rejected = r.varint();
+    d.checkpoint_epoch = r.varint();
+    d.checkpoints_written = r.varint();
+    d.journal_appends = r.varint();
+    d.journal_records_replayed = r.varint();
+    d.journal_tail_truncated = r.boolean();
+    d.checkpoint_rejected = r.boolean();
+    d.catchup_pulls = r.varint();
+    d.catchup_merges = r.varint();
+    d.session_retries = r.varint();
+    d.agents_lease_purged = r.varint();
     return d;
   }
 };

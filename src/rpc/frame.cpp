@@ -25,13 +25,13 @@ std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size) noexcept {
 
 serial::Bytes encode_frame(FrameType type, net::NodeId src, net::NodeId dst,
                            std::uint64_t seq, const serial::Bytes& body,
-                           bool with_checksum) {
+                           bool with_checksum, std::uint16_t incarnation) {
   serial::Writer w;
   w.u32le(kMagic);
   w.u16le(kVersion);
   w.u16le(static_cast<std::uint16_t>(type));
   w.u16le(with_checksum ? kFlagChecksum : 0);
-  w.u16le(0);  // reserved
+  w.u16le(incarnation);
   w.u32le(src);
   w.u32le(dst);
   w.u64le(seq);
@@ -51,7 +51,7 @@ DecodeStatus decode_header(const std::uint8_t* data, std::size_t size,
   FrameHeader h;
   h.type = r.u16le();
   h.flags = r.u16le();
-  (void)r.u16le();  // reserved
+  h.incarnation = r.u16le();
   h.src = r.u32le();
   h.dst = r.u32le();
   h.seq = r.u64le();
@@ -130,6 +130,22 @@ std::uint64_t decode_transfer_ack_body(const serial::Bytes& body) {
   const std::uint64_t token = r.u64le();
   if (!r.at_end()) throw serial::MalformedError("trailing bytes after transfer ack");
   return token;
+}
+
+serial::Bytes encode_announce_body(const AnnounceBody& announce) {
+  serial::Writer w;
+  w.varint(announce.node);
+  w.varint(announce.incarnation);
+  return w.take();
+}
+
+AnnounceBody decode_announce_body(const serial::Bytes& body) {
+  serial::Reader r(body);
+  AnnounceBody announce;
+  announce.node = static_cast<net::NodeId>(r.varint());
+  announce.incarnation = static_cast<std::uint16_t>(r.varint());
+  if (!r.at_end()) throw serial::MalformedError("trailing bytes after announce");
+  return announce;
 }
 
 }  // namespace marp::rpc

@@ -14,7 +14,7 @@
 //   4  u16  version    kVersion
 //   6  u16  type       FrameType
 //   8  u16  flags      FrameFlags bitmask
-//  10  u16  reserved   0
+//  10  u16  incarnation  sender's reincarnation count (0 = first life)
 //  12  u32  src        sending node id (kControlNode for harness clients)
 //  16  u32  dst        destination node id
 //  20  u64  seq        sender-assigned sequence number
@@ -47,6 +47,7 @@ enum class FrameType : std::uint16_t {
   ControlRequest = 3, ///< harness → node RPC (req_header + marshalled args)
   ControlReply = 4,   ///< node → harness RPC reply (reply_header + result)
   AgentTransferAck = 5, ///< receiver → sender: transfer token was adopted
+  Announce = 6,       ///< reincarnated node → peers: (node, incarnation) rejoin
 };
 
 enum FrameFlags : std::uint16_t {
@@ -56,6 +57,13 @@ enum FrameFlags : std::uint16_t {
 struct FrameHeader {
   std::uint16_t type = 0;
   std::uint16_t flags = 0;
+  /// Sender's reincarnation count. Lives in the previously-reserved header
+  /// slot (written as 0 before PR 7), so old and new frames stay
+  /// wire-compatible: a frame from a first-life node simply carries 0.
+  /// Receivers fence frames whose incarnation is below the highest one they
+  /// have seen from that node — a late frame from a dead incarnation must
+  /// not leak into the reborn cluster state.
+  std::uint16_t incarnation = 0;
   net::NodeId src = net::kInvalidNode;
   net::NodeId dst = net::kInvalidNode;
   std::uint64_t seq = 0;
@@ -89,7 +97,8 @@ std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size) noexcept;
 /// `with_checksum`, the header's checksum field is filled from the body.
 serial::Bytes encode_frame(FrameType type, net::NodeId src, net::NodeId dst,
                            std::uint64_t seq, const serial::Bytes& body,
-                           bool with_checksum = true);
+                           bool with_checksum = true,
+                           std::uint16_t incarnation = 0);
 
 /// Parse a header from exactly kHeaderSize bytes. Returns Truncated /
 /// BadMagic / BadVersion / BadLength without touching `out` payload state.
@@ -129,5 +138,17 @@ TransferBody decode_transfer_body(const serial::Bytes& body);
 serial::Bytes encode_transfer_ack_body(std::uint64_t token);
 /// Throws serial::DecodeError subclasses on malformed bodies.
 std::uint64_t decode_transfer_ack_body(const serial::Bytes& body);
+
+/// Announce body: [varint node][varint incarnation]. A reincarnated node
+/// broadcasts this to every peer before catching up, so peers raise their
+/// incarnation floor for the sender promptly (frames from higher
+/// incarnations raise it implicitly as they arrive).
+struct AnnounceBody {
+  net::NodeId node = net::kInvalidNode;
+  std::uint16_t incarnation = 0;
+};
+serial::Bytes encode_announce_body(const AnnounceBody& announce);
+/// Throws serial::DecodeError subclasses on malformed bodies.
+AnnounceBody decode_announce_body(const serial::Bytes& body);
 
 }  // namespace marp::rpc

@@ -1,5 +1,6 @@
 #include "transport/cluster.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -134,6 +135,64 @@ std::vector<std::string> compare_substrates(const SubstrateResult& sim,
   return violations;
 }
 
+std::vector<std::string> compare_stores(const SubstrateResult& sim,
+                                        const SubstrateResult& real,
+                                        const ClusterSpec& spec,
+                                        const std::vector<bool>& relaxed_origins) {
+  std::vector<std::string> violations;
+  if (sim.mutex_violations != 0)
+    violations.push_back("sim: mutex violations (Theorem 2 broken)");
+  if (real.mutex_violations != 0)
+    violations.push_back("real: mutex violations (Theorem 2 broken)");
+  for (const std::string& d : real.divergences) violations.push_back("real: " + d);
+
+  // Rebuild the workload's key universe: which origin owns each key, and
+  // every value that origin's sessions ever write to it.
+  RealNodeConfig workload;
+  workload.keys_per_origin = spec.keys_per_origin;
+  workload.shared_keys = spec.shared_keys;
+  std::map<std::string, net::NodeId> key_origin;
+  std::map<std::string, std::vector<std::string>> key_values;
+  for (net::NodeId origin = 0; origin < spec.nodes; ++origin) {
+    for (std::uint64_t s = 0; s < spec.sessions_per_node; ++s) {
+      const std::string key = workload_key(workload, origin, s);
+      key_origin[key] = origin;
+      key_values[key].push_back(workload_value(origin, s));
+    }
+  }
+
+  for (const auto& [key, sim_value] : sim.store) {
+    const auto it = real.store.find(key);
+    if (it == real.store.end()) {
+      violations.push_back("key '" + key + "' missing from the real store");
+      continue;
+    }
+    const net::NodeId origin = key_origin.count(key) ? key_origin[key] : 0;
+    const bool relaxed =
+        origin < relaxed_origins.size() && relaxed_origins[origin];
+    if (!relaxed) {
+      if (it->second != sim_value) {
+        violations.push_back("key '" + key + "': real '" + it->second +
+                             "' != sim '" + sim_value + "'");
+      }
+      continue;
+    }
+    const auto& legal = key_values[key];
+    if (std::find(legal.begin(), legal.end(), it->second) == legal.end()) {
+      violations.push_back("key '" + key + "': real '" + it->second +
+                           "' is not any of origin " + std::to_string(origin) +
+                           "'s session values");
+    }
+  }
+  for (const auto& [key, value] : real.store) {
+    (void)value;
+    if (!sim.store.count(key)) {
+      violations.push_back("key '" + key + "' in the real store but not the sim's");
+    }
+  }
+  return violations;
+}
+
 // ---- ControlClient ----
 
 namespace {
@@ -141,27 +200,49 @@ std::atomic<std::uint64_t> g_xid{1};
 }  // namespace
 
 std::optional<serial::Bytes> ControlClient::call(rpc::Proc proc) {
-  rpc::ReqHeader req;
-  req.xid = g_xid.fetch_add(1);
-  req.proc = static_cast<std::uint32_t>(proc);
-  req.client = rpc::kControlNode;
-  serial::Writer w;
-  req.serialize(w);
-  const serial::Bytes request =
-      rpc::encode_frame(rpc::FrameType::ControlRequest, rpc::kControlNode, node_,
-                        req.xid, w.take());
-  rpc::Frame reply;
-  if (!SocketTransport::rpc_call(endpoint_, request, &reply)) return std::nullopt;
-  if (reply.type() != rpc::FrameType::ControlReply) return std::nullopt;
-  try {
-    serial::Reader r(reply.body);
-    const rpc::ReplyHeader header = rpc::ReplyHeader::deserialize(r);
-    if (header.xid != req.xid || header.status != rpc::kOk) return std::nullopt;
-    return serial::Bytes(reply.body.begin() + static_cast<std::ptrdiff_t>(r.position()),
-                         reply.body.end());
-  } catch (const serial::DecodeError&) {
-    return std::nullopt;
+  const int attempts = policy_.attempts > 0 ? policy_.attempts : 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // Capped exponential backoff before each retry: min(b * 2^(k-1), cap).
+      auto wait = policy_.backoff * (1LL << (attempt - 1));
+      if (wait > policy_.backoff_cap) wait = policy_.backoff_cap;
+      if (wait.count() > 0) std::this_thread::sleep_for(wait);
+    }
+    // Fresh xid per attempt: each attempt is its own connection, and a
+    // stale reply can never bleed into a later attempt's stream.
+    rpc::ReqHeader req;
+    req.xid = g_xid.fetch_add(1);
+    req.proc = static_cast<std::uint32_t>(proc);
+    req.client = rpc::kControlNode;
+    serial::Writer w;
+    req.serialize(w);
+    const serial::Bytes request =
+        rpc::encode_frame(rpc::FrameType::ControlRequest, rpc::kControlNode, node_,
+                          req.xid, w.take());
+    rpc::Frame reply;
+    last_status_ =
+        SocketTransport::rpc_call_ex(endpoint_, request, &reply, policy_.rpc_timeout);
+    if (last_status_ != SocketTransport::RpcStatus::Ok) continue;
+    if (reply.type() != rpc::FrameType::ControlReply) {
+      last_status_ = SocketTransport::RpcStatus::BadReply;
+      continue;
+    }
+    try {
+      serial::Reader r(reply.body);
+      const rpc::ReplyHeader header = rpc::ReplyHeader::deserialize(r);
+      if (header.xid != req.xid || header.status != rpc::kOk) {
+        last_status_ = SocketTransport::RpcStatus::BadReply;
+        continue;
+      }
+      return serial::Bytes(
+          reply.body.begin() + static_cast<std::ptrdiff_t>(r.position()),
+          reply.body.end());
+    } catch (const serial::DecodeError&) {
+      last_status_ = SocketTransport::RpcStatus::BadReply;
+      continue;
+    }
   }
+  return std::nullopt;
 }
 
 bool ControlClient::ping() { return call(rpc::Proc::Ping).has_value(); }
@@ -187,6 +268,20 @@ std::optional<rpc::NodeDump> ControlClient::dump() {
     return std::nullopt;
   }
 }
+
+std::optional<rpc::HeartbeatReply> ControlClient::heartbeat() {
+  const auto body = call(rpc::Proc::Heartbeat);
+  if (!body) return std::nullopt;
+  try {
+    serial::Reader r(*body);
+    return rpc::HeartbeatReply::deserialize(r);
+  } catch (const serial::DecodeError&) {
+    last_status_ = SocketTransport::RpcStatus::BadReply;
+    return std::nullopt;
+  }
+}
+
+bool ControlClient::sync_pull() { return call(rpc::Proc::SyncPull).has_value(); }
 
 bool ControlClient::shutdown() { return call(rpc::Proc::Shutdown).has_value(); }
 

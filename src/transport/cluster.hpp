@@ -10,6 +10,7 @@
 // excluded (virtual vs wall microseconds), everything else must match.
 #pragma once
 
+#include <chrono>
 #include <map>
 #include <optional>
 #include <string>
@@ -19,6 +20,7 @@
 #include "net/message.hpp"
 #include "rpc/control.hpp"
 #include "transport/endpoint.hpp"
+#include "transport/socket_transport.hpp"
 
 namespace marp::transport {
 
@@ -71,22 +73,63 @@ SubstrateResult aggregate_cluster(const std::vector<rpc::NodeDump>& dumps);
 std::vector<std::string> compare_substrates(const SubstrateResult& sim,
                                             const SubstrateResult& real);
 
+/// Chaos-mode equivalence: the subset of compare_substrates that survives
+/// process crashes. Commit counters and apply histories are volatile (a
+/// SIGKILL resets them mid-run), so the checked invariants are: Theorem 2,
+/// replica convergence, identical key sets, and per-key value equality with
+/// the reference sim — exact for untouched origins, relaxed for
+/// `relaxed_origins[i] == true` (origins that crashed or retried a
+/// session). For those, any of the origin's own session values for the key
+/// is legal: a retried session can commit *after* a later session of the
+/// same key, and the Thomas rule correctly keeps the later commit
+/// timestamp, so "last session wins" only holds retry-free. Requires
+/// private keys (spec.shared_keys == false).
+std::vector<std::string> compare_stores(const SubstrateResult& sim,
+                                        const SubstrateResult& real,
+                                        const ClusterSpec& spec,
+                                        const std::vector<bool>& relaxed_origins);
+
+/// How a ControlClient retries one logical RPC. Each attempt is its own
+/// connection; attempt k+1 waits min(backoff x 2^k, backoff_cap) first.
+struct RetryPolicy {
+  int attempts = 3;
+  std::chrono::milliseconds backoff{50};
+  std::chrono::milliseconds backoff_cap{500};
+  /// Per-attempt reply deadline. The supervisor's heartbeat probe uses a
+  /// tight value with attempts = 1 — masking a hung node behind retries
+  /// would defeat hang detection.
+  std::chrono::milliseconds rpc_timeout{10'000};
+};
+
 /// Control-RPC client for one node (used by tools and tests).
 class ControlClient {
  public:
-  ControlClient(Endpoint endpoint, net::NodeId node)
-      : endpoint_(std::move(endpoint)), node_(node) {}
+  ControlClient(Endpoint endpoint, net::NodeId node, RetryPolicy policy = {})
+      : endpoint_(std::move(endpoint)), node_(node), policy_(policy) {}
+
+  void set_retry_policy(RetryPolicy policy) { policy_ = policy; }
 
   bool ping();
   std::optional<rpc::NodeStatus> status();
   std::optional<rpc::NodeDump> dump();
+  std::optional<rpc::HeartbeatReply> heartbeat();
+  /// Ask the node to pull every live peer's store right now (convergence
+  /// barrier before final dumps).
+  bool sync_pull();
   bool shutdown();
+
+  /// Typed outcome of the most recent attempt of the most recent call —
+  /// lets the supervisor tell "nothing listening" (restarting, normal) from
+  /// "connected but silent" (hung, treat as dead).
+  SocketTransport::RpcStatus last_status() const noexcept { return last_status_; }
 
  private:
   std::optional<serial::Bytes> call(rpc::Proc proc);
 
   Endpoint endpoint_;
   net::NodeId node_;
+  RetryPolicy policy_;
+  SocketTransport::RpcStatus last_status_ = SocketTransport::RpcStatus::Ok;
 };
 
 /// Poll every node's Status until all report quiesced, or `timeout_ms`

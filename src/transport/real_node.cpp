@@ -1,5 +1,6 @@
 #include "transport/real_node.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "net/topology.hpp"
@@ -47,16 +48,71 @@ RealNode::RealNode(RealNodeConfig config)
         tc.local = config_.node;
         tc.peers = config_.endpoints;
         tc.checksum = config_.checksum;
+        tc.incarnation = config_.incarnation;
         tc.send_loss = config_.send_loss;
         tc.loss_seed = config_.seed * 7919 + config_.node;
+        tc.connect_jitter_seed = config_.seed * 6571 + config_.node;
         return tc;
       }()) {
   MARP_REQUIRE(config_.node < config_.endpoints.size());
   network_.attach_transport(&transport_, config_.node);
+  peer_incarnation_.assign(config_.endpoints.size(), 0);
+  // A reborn node is catching up from the moment it exists — set this
+  // before the driver thread starts, or a Status probe landing in between
+  // could see recovered sessions + no agents and call the node quiesced
+  // before it has announced or pulled a single peer's store.
+  catching_up_ = config_.incarnation > 0;
+
+  core::MarpServer& local = protocol_.server(config_.node);
+  if (!config_.data_dir.empty()) {
+    // Recover BEFORE any frame can arrive: the restored manifest goes in
+    // via force() (no history entries, no observer), so nothing already
+    // durable is journaled a second time.
+    durable_ = std::make_unique<checkpoint::DurableLog>(config_.data_dir,
+                                                        config_.node);
+    recovered_ = durable_->recover();
+    for (const auto& [key, value] : recovered_.manifest) {
+      local.store().force(key, value.value, value.version);
+    }
+    sessions_completed_ = recovered_.next_session;
+    local.store().set_apply_observer(
+        [this](const std::string& key, const replica::VersionedValue& value) {
+          durable_->append_apply(key, value);
+        });
+    if (recovered_.had_checkpoint || recovered_.journal_records > 0) {
+      MARP_LOG_INFO("realnode")
+          << "node " << config_.node << ": recovered " << recovered_.manifest.size()
+          << " key(s), " << recovered_.journal_records
+          << " journal record(s), epoch " << recovered_.epoch << ", resuming at session "
+          << sessions_completed_;
+    }
+  }
+  local.set_sync_listener([this](std::size_t applied) {
+    ++catchup_merges_;
+    (void)applied;
+  });
+
   protocol_.set_outcome_handler([this](const replica::Outcome& outcome) {
     if (outcome.kind != replica::RequestKind::Write) return;
+    const std::uint64_t session = outcome.request_id % 1'000'000;
+    // Only the outcome of the session currently in flight moves the loop:
+    // late REPORTs of a session a previous life (or an earlier retry)
+    // already finished must not double-advance it.
+    if (session != sessions_completed_) return;
+    last_progress_ = sim_.now();
+    if (!outcome.success) {
+      ++sessions_failed_;
+      ++session_retries_;
+      // Aborted (update lost its race, or every quorum attempt ran out):
+      // retry the same session after a beat — the workload contract is
+      // "every session eventually commits".
+      sim_.schedule(sim::SimTime::millis(50), [this, session] {
+        if (session == sessions_completed_) submit_session(session);
+      });
+      return;
+    }
     ++sessions_completed_;
-    if (!outcome.success) ++sessions_failed_;
+    if (durable_) durable_->append_session_done(session);
     if (sessions_completed_ < config_.sessions) {
       submit_session(sessions_completed_);
     }
@@ -77,7 +133,26 @@ void RealNode::run() {
     inbox_cv_.notify_one();
   });
   driver_loop();
+  if (durable_) {
+    // Parting checkpoint: a clean shutdown leaves a snapshot + empty
+    // journal, so the next life replays nothing.
+    std::lock_guard<std::mutex> state(state_mutex_);
+    checkpoint_now();
+  }
   transport_.stop();
+}
+
+void RealNode::checkpoint_now() {
+  if (!durable_ || durable_->pending_records() == 0) return;
+  checkpoint::Manifest manifest;
+  const replica::VersionedStore& store = protocol_.server(config_.node).store();
+  for (const std::string& key : store.keys()) {
+    if (const auto value = store.read(key)) manifest.emplace(key, *value);
+  }
+  if (!durable_->checkpoint(manifest, sessions_completed_)) {
+    MARP_LOG_WARN("realnode") << "node " << config_.node
+                              << ": checkpoint write failed (journal kept)";
+  }
 }
 
 void RealNode::start() {
@@ -104,12 +179,60 @@ void RealNode::submit_session(std::uint64_t i) {
   request.origin = config_.node;
   request.submitted = sim_.now();
   ++next_request_id_;
+  last_progress_ = sim_.now();
   protocol_.submit(request);
+}
+
+void RealNode::begin_workload() {
+  catching_up_ = false;
+  last_progress_ = sim_.now();
+  if (sessions_completed_ < config_.sessions) {
+    submit_session(sessions_completed_);
+  }
+}
+
+void RealNode::sync_pull_tick() {
+  catchup_pulls_ += protocol_.server(config_.node).sync_pull(1);
+  sim_.schedule(config_.sync_pull_interval, [this] { sync_pull_tick(); });
+}
+
+void RealNode::checkpoint_tick() {
+  checkpoint_now();
+  sim_.schedule(config_.checkpoint_interval, [this] { checkpoint_tick(); });
+}
+
+void RealNode::watchdog_tick() {
+  // A dead remote host takes the visiting agent with it; its origin would
+  // otherwise wait forever for an outcome nobody will send.
+  if (!catching_up_ && sessions_completed_ < config_.sessions &&
+      sim_.now().as_micros() - last_progress_.as_micros() >=
+          config_.session_retry_timeout.as_micros()) {
+    ++session_retries_;
+    MARP_LOG_WARN("realnode")
+        << "node " << config_.node << ": session " << sessions_completed_
+        << " stalled for " << config_.session_retry_timeout.as_micros() / 1000
+        << " ms, resubmitting";
+    submit_session(sessions_completed_);
+  }
+  sim_.schedule(
+      sim::SimTime::micros(std::max<std::int64_t>(
+          1, config_.session_retry_timeout.as_micros() / 2)),
+      [this] { watchdog_tick(); });
 }
 
 void RealNode::driver_loop() {
   using Clock = std::chrono::steady_clock;
-  const auto t0 = Clock::now();
+  // Shared virtual-clock epoch: every cluster member measures virtual time
+  // from the same steady_clock instant (supervisor-chosen), so a
+  // reincarnated process resumes with its clock AHEAD of where its previous
+  // life stopped — commit Version timestamps keep increasing across a crash
+  // and the Thomas write rule never rejects a reborn node's writes.
+  auto t0 = Clock::now();
+  if (config_.clock_epoch_us > 0) {
+    const auto epoch =
+        Clock::time_point(std::chrono::microseconds(config_.clock_epoch_us));
+    if (epoch < t0) t0 = epoch;
+  }
   const auto virt = [&t0] {
     return sim::SimTime::micros(std::chrono::duration_cast<std::chrono::microseconds>(
                                     Clock::now() - t0)
@@ -118,9 +241,38 @@ void RealNode::driver_loop() {
 
   {
     std::lock_guard<std::mutex> state(state_mutex_);
+    // With a shared epoch the virtual clock starts far past zero — bring
+    // the sim up to date BEFORE scheduling, so delays below are relative to
+    // the current virtual now rather than elapsing instantly.
+    sim_.run(virt());
+    last_progress_ = sim_.now();
+    if (config_.incarnation > 0) catching_up_ = true;
     sim_.schedule(config_.start_delay, [this] {
-      if (config_.sessions > 0) submit_session(0);
+      if (config_.incarnation == 0) {
+        begin_workload();
+        return;
+      }
+      // Reincarnation rejoin: raise every peer's fence floor first, then
+      // pull every live peer's store, and only re-enter the workload after
+      // the catch-up window — a node that missed COMMIT fan-outs while dead
+      // must not write (or serve protocol traffic as current) off a stale
+      // store any longer than necessary.
+      for (net::NodeId peer = 0; peer < config_.endpoints.size(); ++peer) {
+        if (peer != config_.node) transport_.send_announce(peer);
+      }
+      catchup_pulls_ +=
+          protocol_.server(config_.node).sync_pull(config_.endpoints.size() - 1);
+      sim_.schedule(config_.catchup_delay, [this] { begin_workload(); });
     });
+    if (config_.sync_pull_interval.as_micros() > 0) {
+      sim_.schedule(config_.sync_pull_interval, [this] { sync_pull_tick(); });
+    }
+    if (durable_ && config_.checkpoint_interval.as_micros() > 0) {
+      sim_.schedule(config_.checkpoint_interval, [this] { checkpoint_tick(); });
+    }
+    if (config_.session_retry_timeout.as_micros() > 0) {
+      sim_.schedule(config_.session_retry_timeout, [this] { watchdog_tick(); });
+    }
   }
 
   std::unique_lock<std::mutex> lock(inbox_mutex_);
@@ -151,9 +303,43 @@ void RealNode::driver_loop() {
   }
 }
 
+bool RealNode::admit_incarnation(const rpc::FrameHeader& header) {
+  if (header.src >= peer_incarnation_.size()) return true;  // control clients
+  std::uint16_t& floor = peer_incarnation_[header.src];
+  if (header.incarnation < floor) {
+    // A frame from a dead incarnation of this peer, delivered late (a
+    // connection the kernel kept buffered past the SIGKILL, or a racing
+    // retransmit). The reborn peer has already announced a higher life;
+    // letting the old one speak would leak pre-crash state into the
+    // post-crash cluster.
+    ++stale_incarnation_rejected_;
+    return false;
+  }
+  floor = std::max(floor, header.incarnation);
+  return true;
+}
+
 void RealNode::apply(Incoming incoming) {
   switch (incoming.frame.type()) {
+    case rpc::FrameType::Announce: {
+      try {
+        const rpc::AnnounceBody announce =
+            rpc::decode_announce_body(incoming.frame.body);
+        if (announce.node < peer_incarnation_.size()) {
+          peer_incarnation_[announce.node] =
+              std::max(peer_incarnation_[announce.node], announce.incarnation);
+          MARP_LOG_INFO("realnode")
+              << "node " << config_.node << ": peer " << announce.node
+              << " announced incarnation " << announce.incarnation;
+        }
+      } catch (const serial::DecodeError& e) {
+        MARP_LOG_WARN("realnode")
+            << "node " << config_.node << ": malformed announce: " << e.what();
+      }
+      return;
+    }
     case rpc::FrameType::AppMessage: {
+      if (!admit_incarnation(incoming.frame.header)) return;
       try {
         net::Message message =
             rpc::decode_app_body(incoming.frame.header, incoming.frame.body);
@@ -170,6 +356,7 @@ void RealNode::apply(Incoming incoming) {
       return;
     }
     case rpc::FrameType::AgentTransfer: {
+      if (!admit_incarnation(incoming.frame.header)) return;
       try {
         const auto transfer = platform_.receive_remote_transfer(incoming.frame.body);
         // Ack even a deduped duplicate — the agent is live here either way,
@@ -185,6 +372,7 @@ void RealNode::apply(Incoming incoming) {
       return;
     }
     case rpc::FrameType::AgentTransferAck: {
+      if (!admit_incarnation(incoming.frame.header)) return;
       try {
         platform_.acknowledge_remote_transfer(
             rpc::decode_transfer_ack_body(incoming.frame.body));
@@ -241,6 +429,29 @@ void RealNode::handle_control(const rpc::Frame& frame,
       }
       return;
     }
+    case rpc::Proc::Heartbeat: {
+      rpc::ReplyHeader h{req.xid, rpc::kOk};
+      h.serialize(w);
+      rpc::HeartbeatReply beat;
+      beat.incarnation = config_.incarnation;
+      beat.sessions_completed = sessions_completed_;
+      beat.live_agents = platform_.live_agents();
+      beat.quiesced = status_locked().quiesced;
+      beat.serialize(w);
+      if (reply) {
+        reply(rpc::encode_frame(rpc::FrameType::ControlReply, config_.node,
+                                frame.header.src, req.xid, w.take(),
+                                config_.checksum, config_.incarnation));
+      }
+      return;
+    }
+    case rpc::Proc::SyncPull:
+      // Harness convergence barrier: pull from every live peer right now,
+      // so a node that missed a gave-up COMMIT converges before final dumps
+      // instead of at its leisurely periodic pull.
+      catchup_pulls_ +=
+          protocol_.server(config_.node).sync_pull(config_.endpoints.size() - 1);
+      break;
     case rpc::Proc::Shutdown:
       shutdown = true;
       break;
@@ -274,7 +485,10 @@ rpc::NodeStatus RealNode::status_locked() {
   s.commits = protocol_.stats().updates_committed;
   s.aborts = protocol_.stats().updates_aborted;
   s.live_agents = platform_.live_agents();
-  s.quiesced = sessions_completed_ >= config_.sessions && s.live_agents == 0;
+  s.quiesced = sessions_completed_ >= config_.sessions && s.live_agents == 0 &&
+               !catching_up_;
+  s.incarnation = config_.incarnation;
+  s.catching_up = catching_up_;
   return s;
 }
 
@@ -313,6 +527,19 @@ rpc::NodeDump RealNode::dump_locked() {
   d.checksum_rejected = ts.checksum_rejected;
   d.malformed_rejected = ts.malformed_rejected;
   d.send_failures = ts.send_failures;
+
+  d.agent_transfers_pending = platform_.pending_remote_transfers();
+  d.stale_incarnation_rejected = stale_incarnation_rejected_;
+  d.checkpoint_epoch = durable_ ? durable_->epoch() : 0;
+  d.checkpoints_written = durable_ ? durable_->checkpoints_written() : 0;
+  d.journal_appends = durable_ ? durable_->journal_appends() : 0;
+  d.journal_records_replayed = recovered_.journal_records;
+  d.journal_tail_truncated = recovered_.journal_truncated;
+  d.checkpoint_rejected = recovered_.checkpoint_rejected;
+  d.catchup_pulls = catchup_pulls_;
+  d.catchup_merges = catchup_merges_;
+  d.session_retries = session_retries_;
+  d.agents_lease_purged = stats.agents_lease_purged;
   return d;
 }
 

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "agent/platform.hpp"
+#include "checkpoint/durable.hpp"
 #include "marp/protocol.hpp"
 #include "net/network.hpp"
 #include "rpc/control.hpp"
@@ -74,6 +75,40 @@ struct RealNodeConfig {
   /// round trip competes with scheduler noise, and a premature revival
   /// forks a delivered agent.
   sim::SimTime migration_timeout = sim::SimTime::seconds(2);
+
+  // ---- crash recovery (PR 7) ----
+  /// Directory for the durable checkpoint + journal; empty = volatile node
+  /// (the pre-PR-7 behaviour). Recovery happens in the constructor, before
+  /// any frame is served.
+  std::string data_dir;
+  /// This process's reincarnation count, assigned by the supervisor
+  /// (0 = first life). Stamped into every outbound frame; peers fence
+  /// frames below their per-node floor.
+  std::uint16_t incarnation = 0;
+  /// Shared virtual-clock epoch: microseconds on the CLOCK_MONOTONIC
+  /// (steady_clock) timeline that all cluster members treat as virtual time
+  /// zero. 0 = capture at driver start (single-life behaviour). The
+  /// supervisor passes one captured value to every spawn AND respawn, so a
+  /// reincarnated node's clock resumes *ahead* of its first life instead of
+  /// restarting at zero — otherwise its commit Versions go backwards and
+  /// the Thomas rule silently rejects everything it writes after rebirth.
+  std::int64_t clock_epoch_us = 0;
+  /// Wall time a reincarnated node spends catching up (announce + anti-
+  /// entropy pull) before it resumes originating sessions.
+  sim::SimTime catchup_delay = sim::SimTime::millis(500);
+  /// Recurring anti-entropy pull from one random live peer (zero = off).
+  /// Unlike config.marp.anti_entropy_interval this is driven by the node
+  /// itself, so the N−1 shadow servers stay inert and the sim queue drains.
+  sim::SimTime sync_pull_interval = sim::SimTime::zero();
+  /// Periodic durable checkpoint cadence (zero = journal-only; a final
+  /// checkpoint is still written at clean shutdown).
+  sim::SimTime checkpoint_interval = sim::SimTime::zero();
+  /// Closed-loop watchdog (zero = off): if the workload makes no progress
+  /// for this long — the in-flight agent died with a crashed host, so its
+  /// outcome will never arrive — the current session is resubmitted.
+  /// Duplicates are safe: a session writes the same value under the same
+  /// writer, so the Thomas rule converges, and late REPORTs deduplicate.
+  sim::SimTime session_retry_timeout = sim::SimTime::zero();
 };
 
 /// The key node `origin` writes in session `i` under a workload config.
@@ -115,8 +150,16 @@ class RealNode {
 
   void driver_loop();
   void apply(Incoming incoming);
+  /// Incarnation fence: true = frame accepted, floors updated; false =
+  /// stale frame from a previous life of `src`, drop it.
+  bool admit_incarnation(const rpc::FrameHeader& header);
   void handle_control(const rpc::Frame& frame, const NodeTransport::ReplyFn& reply);
   void submit_session(std::uint64_t i);
+  void begin_workload();
+  void checkpoint_now();
+  void checkpoint_tick();
+  void sync_pull_tick();
+  void watchdog_tick();
   rpc::NodeStatus status_locked();
   rpc::NodeDump dump_locked();
 
@@ -126,6 +169,20 @@ class RealNode {
   agent::AgentPlatform platform_;
   core::MarpProtocol protocol_;
   SocketTransport transport_;
+
+  /// Durable state (nullptr when config.data_dir is empty).
+  std::unique_ptr<checkpoint::DurableLog> durable_;
+  /// What recovery found on disk (counters surface in Dump).
+  checkpoint::RecoveredState recovered_;
+  /// Highest incarnation seen per peer — the fence floor.
+  std::vector<std::uint16_t> peer_incarnation_;
+  bool catching_up_ = false;
+  std::uint64_t stale_incarnation_rejected_ = 0;
+  std::uint64_t catchup_pulls_ = 0;
+  std::uint64_t catchup_merges_ = 0;
+  std::uint64_t session_retries_ = 0;
+  /// Virtual time of the last workload submit/outcome (watchdog input).
+  sim::SimTime last_progress_ = sim::SimTime::zero();
 
   std::uint64_t sessions_completed_ = 0;
   std::uint64_t sessions_failed_ = 0;

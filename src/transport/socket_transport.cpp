@@ -8,6 +8,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstring>
@@ -138,7 +139,10 @@ rpc::DecodeStatus read_frame(int fd, rpc::Frame* out) {
 }  // namespace
 
 SocketTransport::SocketTransport(SocketTransportConfig config)
-    : config_(std::move(config)), loss_rng_(config_.loss_seed) {
+    : config_(std::move(config)),
+      loss_rng_(config_.loss_seed),
+      backoff_rng_(config_.connect_jitter_seed ^
+                   (0x9E3779B97F4A7C15ULL * (config_.local + 1))) {
   MARP_REQUIRE(config_.local < config_.peers.size());
 }
 
@@ -234,7 +238,23 @@ SocketTransport::ConnPtr SocketTransport::peer_conn(net::NodeId dst) {
       }
       return conn;
     }
-    std::this_thread::sleep_for(config_.connect_backoff);
+    // Capped exponential backoff with seeded jitter: early attempts catch a
+    // peer that is just (re)starting quickly; later ones settle at the cap,
+    // and the [0.5, 1.0) factor keeps a fleet of senders from re-dialing a
+    // reincarnating node in lock-step.
+    auto wait = config_.connect_backoff;
+    for (int i = 0; i < attempt && wait < config_.connect_backoff_cap; ++i) {
+      wait *= 2;
+    }
+    wait = std::min(wait, config_.connect_backoff_cap);
+    double jitter;
+    {
+      std::lock_guard<std::mutex> lock(backoff_mutex_);
+      jitter = std::uniform_real_distribution<double>(0.5, 1.0)(backoff_rng_);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        std::max<std::int64_t>(1, static_cast<std::int64_t>(
+                                      static_cast<double>(wait.count()) * jitter))));
   }
   return nullptr;
 }
@@ -250,7 +270,7 @@ bool SocketTransport::send_frame(net::NodeId dst, rpc::FrameType type,
                                  const serial::Bytes& body) {
   const serial::Bytes encoded =
       rpc::encode_frame(type, config_.local, dst, seq_.fetch_add(1) + 1, body,
-                        config_.checksum);
+                        config_.checksum, config_.incarnation);
   const ConnPtr conn = peer_conn(dst);
   if (!conn) {
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -306,6 +326,12 @@ bool SocketTransport::send_agent_frame(net::NodeId dst, const serial::Bytes& fra
 bool SocketTransport::send_agent_ack(net::NodeId dst, std::uint64_t token) {
   return send_frame(dst, rpc::FrameType::AgentTransferAck,
                     rpc::encode_transfer_ack_body(token));
+}
+
+bool SocketTransport::send_announce(net::NodeId dst) {
+  return send_frame(dst, rpc::FrameType::Announce,
+                    rpc::encode_announce_body(
+                        {config_.local, config_.incarnation}));
 }
 
 bool SocketTransport::reachable(net::NodeId dst) {
@@ -397,21 +423,46 @@ void SocketTransport::reader_loop(ConnPtr conn) {
   close_conn(conn);
 }
 
-bool SocketTransport::rpc_call(const Endpoint& endpoint,
-                               const serial::Bytes& request, rpc::Frame* reply,
-                               std::chrono::milliseconds timeout) {
+const char* SocketTransport::rpc_status_name(RpcStatus status) noexcept {
+  switch (status) {
+    case RpcStatus::Ok: return "ok";
+    case RpcStatus::ConnectFailed: return "connect-failed";
+    case RpcStatus::SendFailed: return "send-failed";
+    case RpcStatus::Timeout: return "timeout";
+    case RpcStatus::BadReply: return "bad-reply";
+  }
+  return "?";
+}
+
+SocketTransport::RpcStatus SocketTransport::rpc_call_ex(
+    const Endpoint& endpoint, const serial::Bytes& request, rpc::Frame* reply,
+    std::chrono::milliseconds timeout) {
   const int fd = connect_once(endpoint);
-  if (fd < 0) return false;
-  bool ok = write_all(fd, request.data(), request.size());
-  if (ok && reply != nullptr) {
+  if (fd < 0) return RpcStatus::ConnectFailed;
+  RpcStatus status = RpcStatus::Ok;
+  if (!write_all(fd, request.data(), request.size())) {
+    status = RpcStatus::SendFailed;
+  } else if (reply != nullptr) {
     const timeval tv{
         static_cast<time_t>(timeout.count() / 1000),
         static_cast<suseconds_t>((timeout.count() % 1000) * 1000)};
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    ok = read_frame(fd, reply) == rpc::DecodeStatus::Ok;
+    errno = 0;
+    if (read_frame(fd, reply) != rpc::DecodeStatus::Ok) {
+      // SO_RCVTIMEO surfaces as EAGAIN/EWOULDBLOCK out of recv(); anything
+      // else (EOF, garbage frame) means the peer answered wrongly or died.
+      status = (errno == EAGAIN || errno == EWOULDBLOCK) ? RpcStatus::Timeout
+                                                         : RpcStatus::BadReply;
+    }
   }
   ::close(fd);
-  return ok;
+  return status;
+}
+
+bool SocketTransport::rpc_call(const Endpoint& endpoint,
+                               const serial::Bytes& request, rpc::Frame* reply,
+                               std::chrono::milliseconds timeout) {
+  return rpc_call_ex(endpoint, request, reply, timeout) == RpcStatus::Ok;
 }
 
 }  // namespace marp::transport

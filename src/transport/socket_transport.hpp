@@ -46,13 +46,23 @@ struct SocketTransportConfig {
   /// peers[i] is node i's listen endpoint; peers[local] is ours.
   std::vector<Endpoint> peers;
   bool checksum = true;
+  /// Stamped into every outbound frame header so peers can fence frames
+  /// from this node's previous lives (0 = first life).
+  std::uint16_t incarnation = 0;
   /// Probability an outbound AppMessage frame is silently eaten (chaos).
   double send_loss = 0.0;
   std::uint64_t loss_seed = 1;
-  /// Lazy connect schedule: attempts × backoff bounds how long a starting
-  /// cluster waits for a peer's listener to appear.
-  int connect_attempts = 60;
-  std::chrono::milliseconds connect_backoff{50};
+  /// Lazy connect schedule: capped exponential backoff with seeded jitter.
+  /// Attempt k waits jitter x min(connect_backoff x 2^k, connect_backoff_cap)
+  /// with jitter uniform in [0.5, 1.0) — a freshly reincarnated peer gets
+  /// probed densely at first, then at the capped cadence, and a fleet of
+  /// senders retrying the same dead node never dials in lock-step. The
+  /// defaults bound a send to an unreachable peer at ~3s worst case (close
+  /// to the previous fixed 60 x 50 ms schedule).
+  int connect_attempts = 10;
+  std::chrono::milliseconds connect_backoff{20};
+  std::chrono::milliseconds connect_backoff_cap{500};
+  std::uint64_t connect_jitter_seed = 1;
   /// 0 → peers + 8 (accept loop + inbound readers + control connections).
   std::size_t reader_threads = 0;
 };
@@ -71,12 +81,34 @@ class SocketTransport final : public NodeTransport {
   bool reachable(net::NodeId dst) override;
   TransportStats stats() const override;
 
+  /// Rejoin announcement: tell `dst` this node is alive at the configured
+  /// incarnation, so the peer raises its incarnation floor immediately
+  /// instead of on the first fenced data frame.
+  bool send_announce(net::NodeId dst);
+
   const SocketTransportConfig& config() const noexcept { return config_; }
+
+  /// Why a one-shot client call failed — the supervisor treats Timeout on a
+  /// running process as "hung == dead", which only works if a timeout is
+  /// distinguishable from "nothing is listening there yet".
+  enum class RpcStatus : std::uint8_t {
+    Ok,
+    ConnectFailed,  ///< no listener / connection refused
+    SendFailed,     ///< connected but the write failed (peer died mid-call)
+    Timeout,        ///< request sent, no reply within the deadline
+    BadReply,       ///< reply arrived but failed frame validation / peer EOF
+  };
+  static const char* rpc_status_name(RpcStatus status) noexcept;
 
   /// Client-side helper (harness / tools): connect to `endpoint`, send one
   /// pre-encoded frame, and — when `reply` is non-null — block until one
-  /// whole frame comes back (or `timeout` passes). Returns false on any
-  /// connect/IO/decode failure. Stateless: one connection per call.
+  /// whole frame comes back (or `timeout` passes). Stateless: one
+  /// connection per call.
+  static RpcStatus rpc_call_ex(
+      const Endpoint& endpoint, const serial::Bytes& request, rpc::Frame* reply,
+      std::chrono::milliseconds timeout = std::chrono::seconds(10));
+
+  /// Boolean convenience over rpc_call_ex (legacy call sites).
   static bool rpc_call(const Endpoint& endpoint, const serial::Bytes& request,
                        rpc::Frame* reply,
                        std::chrono::milliseconds timeout = std::chrono::seconds(10));
@@ -119,6 +151,10 @@ class SocketTransport final : public NodeTransport {
 
   std::mutex loss_mutex_;
   std::mt19937_64 loss_rng_;
+
+  /// Seeded jitter for the connect-backoff schedule (see config comment).
+  std::mutex backoff_mutex_;
+  std::mt19937_64 backoff_rng_;
 
   mutable std::mutex stats_mutex_;
   TransportStats stats_;

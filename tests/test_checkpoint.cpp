@@ -2,10 +2,14 @@
 // and sealing tours, exact restore semantics, in-flight-session aborts,
 // failure handling during tours, and serialization of the agents.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 #include "checkpoint/checkpoint.hpp"
+#include "checkpoint/durable.hpp"
 #include "net/latency.hpp"
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
@@ -250,6 +254,203 @@ TEST(ManifestSerialization, RoundTrips) {
   ASSERT_EQ(copy.size(), 2u);
   EXPECT_EQ(copy.at("a").value, "1");
   EXPECT_EQ(copy.at("b").version, (replica::Version{20, 1}));
+}
+
+// ---- DurableLog: crash-consistent per-process state (PR 7) ----
+
+class DurableLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/marp_durable_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    const std::string cmd = "rm -rf '" + dir_ + "'";
+    [[maybe_unused]] const int rc = std::system(cmd.c_str());
+  }
+
+  /// Overwrite the last `n` bytes of `path` with garbage — a torn write.
+  static void corrupt_tail(const std::string& path, std::size_t n) {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
+    const long size = std::ftell(f);
+    ASSERT_GT(size, static_cast<long>(n));
+    ASSERT_EQ(std::fseek(f, size - static_cast<long>(n), SEEK_SET), 0);
+    for (std::size_t i = 0; i < n; ++i) std::fputc(0x5A, f);
+    std::fclose(f);
+  }
+
+  /// Cut the last `n` bytes off `path` — a crash mid-append.
+  static void truncate_tail(const std::string& path, std::size_t n) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_GE(size, static_cast<long>(n));
+    ASSERT_EQ(::truncate(path.c_str(), size - static_cast<long>(n)), 0);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(DurableLogTest, JournalRoundTrips) {
+  {
+    DurableLog log(dir_, 2);
+    (void)log.recover();
+    log.append_apply("k1", {"v1", {100, 2}});
+    log.append_apply("k2", {"v2", {200, 2}});
+    log.append_session_done(0);
+    log.append_session_done(1);
+  }
+  DurableLog log(dir_, 2);
+  const RecoveredState state = log.recover();
+  EXPECT_FALSE(state.had_checkpoint);
+  EXPECT_FALSE(state.journal_truncated);
+  EXPECT_FALSE(state.checkpoint_rejected);
+  EXPECT_EQ(state.journal_records, 4u);
+  EXPECT_EQ(state.next_session, 2u);
+  ASSERT_EQ(state.manifest.size(), 2u);
+  EXPECT_EQ(state.manifest.at("k1").value, "v1");
+  EXPECT_EQ(state.manifest.at("k2").version, (replica::Version{200, 2}));
+}
+
+TEST_F(DurableLogTest, CheckpointPlusJournalMergesNewerVersionWins) {
+  {
+    DurableLog log(dir_, 0);
+    (void)log.recover();
+    Manifest manifest;
+    manifest["k"] = {"old", {100, 0}};
+    manifest["stable"] = {"s", {50, 1}};
+    ASSERT_TRUE(log.checkpoint(manifest, 3));
+    // Journal on top: a newer write of "k" and a stale replay of "stable".
+    log.append_apply("k", {"new", {300, 0}});
+    log.append_apply("stable", {"stale", {10, 1}});
+    log.append_session_done(3);
+  }
+  DurableLog log(dir_, 0);
+  const RecoveredState state = log.recover();
+  EXPECT_TRUE(state.had_checkpoint);
+  EXPECT_EQ(state.epoch, 1u);
+  EXPECT_EQ(state.next_session, 4u);
+  EXPECT_EQ(state.manifest.at("k").value, "new");
+  EXPECT_EQ(state.manifest.at("stable").value, "s");  // stale replay loses
+}
+
+TEST_F(DurableLogTest, TruncatedJournalTailReplaysValidPrefix) {
+  {
+    DurableLog log(dir_, 1);
+    (void)log.recover();
+    log.append_apply("a", {"1", {10, 1}});
+    log.append_apply("b", {"2", {20, 1}});
+  }
+  truncate_tail(DurableLog(dir_, 1).journal_path(), 5);
+  DurableLog log(dir_, 1);
+  const RecoveredState state = log.recover();
+  EXPECT_TRUE(state.journal_truncated);
+  EXPECT_EQ(state.journal_records, 1u);
+  EXPECT_EQ(state.manifest.count("a"), 1u);
+  EXPECT_EQ(state.manifest.count("b"), 0u);
+  // The torn tail was cut off, so new appends extend a valid prefix.
+  log.append_apply("c", {"3", {30, 1}});
+  DurableLog again(dir_, 1);
+  const RecoveredState after = again.recover();
+  EXPECT_FALSE(after.journal_truncated);
+  EXPECT_EQ(after.journal_records, 2u);
+  EXPECT_EQ(after.manifest.count("c"), 1u);
+}
+
+TEST_F(DurableLogTest, CorruptJournalTailIsFenced) {
+  {
+    DurableLog log(dir_, 1);
+    (void)log.recover();
+    log.append_apply("a", {"1", {10, 1}});
+    log.append_apply("b", {"2", {20, 1}});
+  }
+  corrupt_tail(DurableLog(dir_, 1).journal_path(), 3);  // payload checksum breaks
+  DurableLog log(dir_, 1);
+  const RecoveredState state = log.recover();
+  EXPECT_TRUE(state.journal_truncated);
+  EXPECT_EQ(state.journal_records, 1u);
+  EXPECT_EQ(state.manifest.count("b"), 0u);
+}
+
+TEST_F(DurableLogTest, TornCheckpointIsRejectedWholesale) {
+  {
+    DurableLog log(dir_, 4);
+    (void)log.recover();
+    Manifest manifest;
+    manifest["k"] = {"v", {100, 4}};
+    ASSERT_TRUE(log.checkpoint(manifest, 7));
+  }
+  corrupt_tail(DurableLog(dir_, 4).checkpoint_path(), 2);
+  DurableLog log(dir_, 4);
+  const RecoveredState state = log.recover();
+  EXPECT_TRUE(state.checkpoint_rejected);
+  EXPECT_FALSE(state.had_checkpoint);
+  EXPECT_EQ(state.epoch, 0u);
+  EXPECT_EQ(state.next_session, 0u);
+  EXPECT_TRUE(state.manifest.empty());
+}
+
+TEST_F(DurableLogTest, WrongNodeCheckpointIsRejected) {
+  {
+    DurableLog log(dir_, 3);
+    (void)log.recover();
+    Manifest manifest;
+    manifest["k"] = {"v", {100, 3}};
+    ASSERT_TRUE(log.checkpoint(manifest, 5));
+  }
+  // Node 9 must refuse to resurrect from node 3's state.
+  DurableLog log(dir_, 9);
+  const RecoveredState state = log.recover();
+  EXPECT_TRUE(state.checkpoint_rejected);
+  EXPECT_TRUE(state.manifest.empty());
+}
+
+TEST_F(DurableLogTest, CheckpointBumpsEpochAndResetsJournal) {
+  DurableLog log(dir_, 0);
+  (void)log.recover();
+  log.append_apply("k", {"v0", {10, 0}});
+  EXPECT_EQ(log.pending_records(), 1u);
+  Manifest manifest;
+  manifest["k"] = {"v0", {10, 0}};
+  ASSERT_TRUE(log.checkpoint(manifest, 1));
+  EXPECT_EQ(log.epoch(), 1u);
+  EXPECT_EQ(log.pending_records(), 0u);
+  manifest["k"] = {"v1", {20, 0}};
+  ASSERT_TRUE(log.checkpoint(manifest, 2));
+  EXPECT_EQ(log.epoch(), 2u);
+
+  DurableLog again(dir_, 0);
+  const RecoveredState state = again.recover();
+  EXPECT_EQ(state.epoch, 2u);
+  EXPECT_EQ(state.journal_records, 0u);  // journal reset at each checkpoint
+  EXPECT_EQ(state.manifest.at("k").value, "v1");
+  EXPECT_EQ(state.next_session, 2u);
+  // And the next life checkpoints at epoch 3, not back at 1.
+  ASSERT_TRUE(again.checkpoint(state.manifest, 2));
+  EXPECT_EQ(again.epoch(), 3u);
+}
+
+TEST_F(DurableLogTest, ReplayIsIdempotent) {
+  // The same records applied twice (checkpoint then un-truncated journal,
+  // or a double replay) must land on the same manifest.
+  {
+    DurableLog log(dir_, 0);
+    (void)log.recover();
+    log.append_apply("k", {"v1", {100, 0}});
+    log.append_apply("k", {"v2", {200, 0}});
+  }
+  DurableLog first(dir_, 0);
+  const Manifest once = first.recover().manifest;
+  DurableLog second(dir_, 0);
+  const Manifest twice = second.recover().manifest;
+  ASSERT_EQ(once.size(), 1u);
+  EXPECT_EQ(once.at("k").value, "v2");
+  EXPECT_EQ(once.at("k").value, twice.at("k").value);
 }
 
 }  // namespace

@@ -395,6 +395,20 @@ TEST(Control, NodeStatusAndDumpRoundTrip) {
   d.checksum_rejected = 1;
   d.malformed_rejected = 0;
   d.send_failures = 0;
+  d.status.incarnation = 2;
+  d.status.catching_up = true;
+  d.agent_transfers_pending = 1;
+  d.stale_incarnation_rejected = 5;
+  d.checkpoint_epoch = 3;
+  d.checkpoints_written = 2;
+  d.journal_appends = 40;
+  d.journal_records_replayed = 17;
+  d.journal_tail_truncated = true;
+  d.checkpoint_rejected = false;
+  d.catchup_pulls = 4;
+  d.catchup_merges = 3;
+  d.session_retries = 1;
+  d.agents_lease_purged = 2;
 
   serial::Writer w;
   d.serialize(w);
@@ -412,6 +426,14 @@ TEST(Control, NodeStatusAndDumpRoundTrip) {
   ASSERT_EQ(d2.history.size(), 3u);
   EXPECT_EQ(d2.history[2].writer, 0u);
   EXPECT_EQ(d2.commit_retransmits, 3u);
+  EXPECT_EQ(d2.status.incarnation, 2u);
+  EXPECT_TRUE(d2.status.catching_up);
+  EXPECT_EQ(d2.agent_transfers_pending, 1u);
+  EXPECT_EQ(d2.stale_incarnation_rejected, 5u);
+  EXPECT_EQ(d2.journal_records_replayed, 17u);
+  EXPECT_TRUE(d2.journal_tail_truncated);
+  EXPECT_FALSE(d2.checkpoint_rejected);
+  EXPECT_EQ(d2.agents_lease_purged, 2u);
 
   // Truncations die with typed errors, never buffer overreads.
   for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
@@ -420,6 +442,57 @@ TEST(Control, NodeStatusAndDumpRoundTrip) {
     serial::Reader rr(prefix);
     EXPECT_THROW(NodeDump::deserialize(rr), serial::DecodeError) << "cut " << cut;
   }
+}
+
+// ---- incarnation stamping + rejoin announcements (PR 7) ----
+
+TEST(Frame, IncarnationRoundTripsInHeader) {
+  const serial::Bytes body = {9, 8, 7};
+  const serial::Bytes wire =
+      encode_frame(FrameType::AppMessage, 3, 1, 42, body, true, 5);
+  Frame frame;
+  ASSERT_EQ(decode_frame(wire, &frame), DecodeStatus::Ok);
+  EXPECT_EQ(frame.header.incarnation, 5u);
+  EXPECT_EQ(frame.body, body);
+  // Default (pre-PR-7 call sites): first life, incarnation 0.
+  const serial::Bytes old_wire = encode_frame(FrameType::AppMessage, 3, 1, 42, body);
+  ASSERT_EQ(decode_frame(old_wire, &frame), DecodeStatus::Ok);
+  EXPECT_EQ(frame.header.incarnation, 0u);
+}
+
+TEST(Announce, BodyRoundTrips) {
+  const serial::Bytes body = encode_announce_body({4, 3});
+  const AnnounceBody announce = decode_announce_body(body);
+  EXPECT_EQ(announce.node, 4u);
+  EXPECT_EQ(announce.incarnation, 3u);
+}
+
+TEST(Announce, TruncationAndTrailingBytesAreRejected) {
+  serial::Bytes body = encode_announce_body({7, 2});
+  for (std::size_t cut = 0; cut < body.size(); ++cut) {
+    const serial::Bytes prefix(body.begin(),
+                               body.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(decode_announce_body(prefix), serial::DecodeError) << "cut " << cut;
+  }
+  body.push_back(0);
+  EXPECT_THROW(decode_announce_body(body), serial::DecodeError);
+}
+
+TEST(Control, HeartbeatReplyRoundTrips) {
+  HeartbeatReply beat;
+  beat.incarnation = 2;
+  beat.sessions_completed = 17;
+  beat.live_agents = 1;
+  beat.quiesced = false;
+  serial::Writer w;
+  beat.serialize(w);
+  const serial::Bytes bytes = w.take();
+  serial::Reader r(bytes);
+  const HeartbeatReply beat2 = HeartbeatReply::deserialize(r);
+  EXPECT_EQ(beat2.incarnation, 2u);
+  EXPECT_EQ(beat2.sessions_completed, 17u);
+  EXPECT_EQ(beat2.live_agents, 1u);
+  EXPECT_FALSE(beat2.quiesced);
 }
 
 // ---- serialized UpdateAgent state over the wire ----

@@ -5,6 +5,7 @@
 // the discrete-event simulator computes.
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -604,6 +605,226 @@ TEST(CrossSubstrate, PaperLiteralClusterMatchesReferenceSim) {
   // Every migration is confirmed end-to-end (GT not EQ: a final ack can
   // still be in flight when the dump is taken).
   EXPECT_GT(agent_acks, 0u);
+}
+
+// ---- typed RPC failures + ControlClient retry (PR 7) ----
+
+TEST(SocketTransport, RpcCallExReportsTypedFailures) {
+  TempDir dir;
+  ASSERT_FALSE(dir.path().empty());
+  const auto endpoints = local_uds_cluster(dir.path(), 1);
+  const serial::Bytes request =
+      rpc::encode_frame(rpc::FrameType::ControlRequest, rpc::kControlNode, 0, 7, {1});
+
+  // Nothing listening: ConnectFailed, promptly.
+  rpc::Frame reply;
+  EXPECT_EQ(SocketTransport::rpc_call_ex(endpoints[0], request, &reply,
+                                         std::chrono::milliseconds(500)),
+            SocketTransport::RpcStatus::ConnectFailed);
+
+  // A server that accepts the request but never replies: Timeout — the
+  // status the supervisor reads as "hung == dead". Distinguishable from
+  // ConnectFailed (just restarting) by construction.
+  SocketTransport mute(uds_config(endpoints, 0));
+  mute.start([](rpc::Frame&&, NodeTransport::ReplyFn) {});
+  EXPECT_EQ(SocketTransport::rpc_call_ex(endpoints[0], request, &reply,
+                                         std::chrono::milliseconds(300)),
+            SocketTransport::RpcStatus::Timeout);
+  mute.stop();
+
+  EXPECT_STREQ(SocketTransport::rpc_status_name(SocketTransport::RpcStatus::Timeout),
+               "timeout");
+  EXPECT_STREQ(
+      SocketTransport::rpc_status_name(SocketTransport::RpcStatus::ConnectFailed),
+      "connect-failed");
+}
+
+TEST(ControlClient, BoundedRetryReportsTypedStatus) {
+  TempDir dir;
+  ASSERT_FALSE(dir.path().empty());
+  const auto endpoints = local_uds_cluster(dir.path(), 1);
+
+  RetryPolicy policy;
+  policy.attempts = 2;
+  policy.backoff = std::chrono::milliseconds(10);
+  policy.rpc_timeout = std::chrono::milliseconds(300);
+  ControlClient dead(endpoints[0], 0, policy);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(dead.ping());
+  EXPECT_EQ(dead.last_status(), SocketTransport::RpcStatus::ConnectFailed);
+  // Bounded: two fast ConnectFailed attempts + one 10ms backoff, not a hang.
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(5));
+
+  SocketTransport mute(uds_config(endpoints, 0));
+  mute.start([](rpc::Frame&&, NodeTransport::ReplyFn) {});
+  ControlClient hung(endpoints[0], 0, policy);
+  EXPECT_FALSE(hung.ping());
+  EXPECT_EQ(hung.last_status(), SocketTransport::RpcStatus::Timeout);
+  mute.stop();
+}
+
+// ---- incarnation fencing (PR 7) ----
+
+TEST(IncarnationFence, StaleFramesAreDroppedAndAnnounceRaisesTheFloor) {
+  TempDir dir;
+  ASSERT_FALSE(dir.path().empty());
+  const auto endpoints = local_uds_cluster(dir.path(), 2);
+
+  RealNodeConfig config;
+  config.node = 0;
+  config.endpoints = endpoints;
+  config.marp.reliable_commit = true;
+  config.sessions = 0;
+  RealNode node(std::move(config));
+  node.start();
+
+  const auto poll_rejected = [&](std::uint64_t want) {
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (node.dump().stale_incarnation_rejected >= want) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    return false;
+  };
+
+  // Node 1 at incarnation 2 delivers a (garbage-bodied) agent frame: the
+  // frame is admitted by the fence — it raises node 0's floor for peer 1
+  // to 2 — and then safely rejected by the transfer decoder one layer up.
+  {
+    SocketTransportConfig tc = uds_config(endpoints, 1);
+    tc.incarnation = 2;
+    SocketTransport life2(tc);
+    WaitingSink sink;
+    life2.start(sink.receiver());
+    ASSERT_TRUE(life2.send_agent_frame(0, {0xDE, 0xAD}));
+    life2.stop();
+  }
+  // A straggler frame from node 1's *previous* life (incarnation 1) must
+  // now bounce off the fence instead of leaking into cluster state.
+  {
+    SocketTransportConfig tc = uds_config(endpoints, 1);
+    tc.incarnation = 1;
+    SocketTransport life1(tc);
+    WaitingSink sink;
+    life1.start(sink.receiver());
+    ASSERT_TRUE(life1.send_agent_frame(0, {0xBE, 0xEF}));
+    EXPECT_TRUE(poll_rejected(1));
+    // An Announce from incarnation 4 raises the floor without any data
+    // frame; now even incarnation-2 frames are stale.
+    SocketTransportConfig tc4 = uds_config(endpoints, 1);
+    tc4.incarnation = 4;
+    SocketTransport life4(tc4);
+    WaitingSink sink4;
+    life4.start(sink4.receiver());
+    ASSERT_TRUE(life4.send_announce(0));
+    life4.stop();
+    life1.stop();
+  }
+  {
+    SocketTransportConfig tc = uds_config(endpoints, 1);
+    tc.incarnation = 2;
+    SocketTransport life2(tc);
+    WaitingSink sink;
+    life2.start(sink.receiver());
+    ASSERT_TRUE(life2.send_agent_frame(0, {0xCA, 0xFE}));
+    EXPECT_TRUE(poll_rejected(2));
+    life2.stop();
+  }
+
+  EXPECT_EQ(node.dump().mutex_violations, 0u);
+  node.request_stop();
+  node.join();
+}
+
+// ---- in-process crash recovery: die, reincarnate, catch up, rejoin ----
+
+TEST(CrashRecovery, ReincarnatedNodeCatchesUpAndConverges) {
+  // Three durable RealNodes on one shared clock epoch. Node 2 is torn down
+  // mid-workload and rebuilt from its on-disk state at incarnation 1: it
+  // must recover its progress, announce, anti-entropy its store up to date,
+  // finish its remaining sessions, and land on the same store as the
+  // survivors. (Process-level SIGKILL chaos is the marp_cluster gate; this
+  // is the same lifecycle in-process, where it is debuggable.)
+  TempDir dir;
+  ASSERT_FALSE(dir.path().empty());
+  const std::size_t kNodes = 3;
+  const std::uint64_t kSessions = 10;
+  const auto endpoints = local_uds_cluster(dir.path(), kNodes);
+  const std::int64_t epoch_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+
+  const auto make_config = [&](net::NodeId id, std::uint16_t incarnation) {
+    RealNodeConfig config;
+    config.node = id;
+    config.endpoints = endpoints;
+    config.marp.reliable_commit = true;
+    config.marp.agent_lease_timeout = sim::SimTime::millis(2000);
+    config.seed = 11 + id;
+    config.sessions = kSessions;
+    config.keys_per_origin = 2;
+    config.start_delay = sim::SimTime::millis(200);
+    config.data_dir = dir.path() + "/state/node" + std::to_string(id);
+    config.incarnation = incarnation;
+    config.clock_epoch_us = epoch_us;
+    config.checkpoint_interval = sim::SimTime::millis(200);
+    config.session_retry_timeout = sim::SimTime::millis(1500);
+    config.catchup_delay = sim::SimTime::millis(300);
+    return config;
+  };
+  ::mkdir((dir.path() + "/state").c_str(), 0755);
+
+  std::vector<std::unique_ptr<RealNode>> nodes;
+  for (net::NodeId id = 0; id < kNodes; ++id) {
+    nodes.push_back(std::make_unique<RealNode>(make_config(id, 0)));
+  }
+  for (auto& node : nodes) node->start();
+
+  // Let the workload get going, then take node 2 down mid-run.
+  std::this_thread::sleep_for(std::chrono::milliseconds(450));
+  nodes[2]->request_stop();
+  nodes[2]->join();
+  const std::uint64_t done_before = nodes[2]->status().sessions_completed;
+  nodes[2].reset();
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  nodes[2] = std::make_unique<RealNode>(make_config(2, 1));
+  nodes[2]->start();
+
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  bool quiesced = false;
+  while (!quiesced && std::chrono::steady_clock::now() < deadline) {
+    quiesced = true;
+    for (auto& node : nodes) {
+      if (!node->status().quiesced) {
+        quiesced = false;
+        break;
+      }
+    }
+    if (!quiesced) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_TRUE(quiesced) << "cluster did not re-quiesce after reincarnation";
+
+  std::vector<rpc::NodeDump> dumps;
+  for (auto& node : nodes) dumps.push_back(node->dump());
+  for (auto& node : nodes) node->request_stop();
+  for (auto& node : nodes) node->join();
+
+  // Recovery actually resumed (not restarted) the workload...
+  EXPECT_EQ(dumps[2].status.incarnation, 1u);
+  EXPECT_GE(dumps[2].status.sessions_completed, done_before);
+  EXPECT_GE(dumps[2].checkpoint_epoch, 1u);  // recovered from a checkpoint
+  EXPECT_GT(dumps[2].catchup_pulls, 0u);     // and pulled peers' stores
+  // ...every node finished every session, with zero invariant violations
+  // and no agent stuck in transfer limbo.
+  for (std::size_t id = 0; id < kNodes; ++id) {
+    EXPECT_EQ(dumps[id].status.sessions_completed, kSessions) << "node " << id;
+    EXPECT_EQ(dumps[id].agent_transfers_pending, 0u) << "node " << id;
+  }
+  const SubstrateResult real = aggregate_cluster(dumps);
+  EXPECT_EQ(real.mutex_violations, 0u);
+  EXPECT_TRUE(real.divergences.empty());
 }
 
 TEST(CrossSubstrate, SharedKeyContentionStillConverges) {

@@ -1,5 +1,5 @@
-// marp_cluster — launch, drive, and verify a local multi-process MARP
-// cluster over Unix-domain sockets.
+// marp_cluster — launch, drive, supervise, and verify a local multi-process
+// MARP cluster over Unix-domain sockets.
 //
 // Forks N marp_node processes (per-node logs in the run directory), polls
 // their Status RPC until every node reports quiesced, pulls a full Dump from
@@ -13,6 +13,20 @@
 //   * --check-sim: the whole result equals the reference simulator's
 //   * --loss P --expect-retransmits: injected socket loss actually
 //     happened AND the reliable-commit machinery visibly retransmitted
+//
+// Chaos mode (--chaos-kills K) turns the launcher into a reincarnation
+// supervisor: every node gets a durable state dir and a shared virtual-clock
+// epoch, a seeded schedule SIGKILLs K distinct nodes mid-workload, and the
+// supervisor loop (waitpid + heartbeat probes — a live process that stops
+// answering Heartbeat within --hung-ms is treated as dead and killed)
+// respawns each casualty with a bumped incarnation under a per-node restart
+// budget. The revived process replays its journal, announces itself, catches
+// up via anti-entropy, and rejoins. Verification then checks the invariants
+// that survive crashes: every session committed (per node), zero mutex
+// violations, all replicas converged, final stores bit-identical to the
+// reference simulator, and zero agent transfers left in limbo. Commit
+// *counts* and apply orders are volatile across a SIGKILL (lost counters,
+// legitimate session retries) and are deliberately not checked.
 //
 // Any failure prints the offending node logs and exits non-zero.
 
@@ -31,12 +45,15 @@
 #include <string>
 #include <vector>
 
+#include "fault/process_chaos.hpp"
 #include "transport/cluster.hpp"
 
 namespace {
 
 using marp::transport::ClusterSpec;
 using marp::transport::ControlClient;
+using marp::transport::RetryPolicy;
+using Clock = std::chrono::steady_clock;
 
 std::string node_binary_path() {
   // marp_node sits next to marp_cluster in the build tree.
@@ -49,13 +66,27 @@ std::string node_binary_path() {
   return (slash == std::string::npos ? "" : path.substr(0, slash + 1)) + "marp_node";
 }
 
+/// Durable/recovery knobs forwarded to every marp_node (chaos mode).
+struct NodeOptions {
+  std::string state_root;  ///< empty = volatile nodes (pre-chaos behaviour)
+  long long epoch_us = 0;  ///< shared virtual-clock epoch (monotonic µs)
+  long checkpoint_ms = 250;
+  long session_retry_ms = 3000;
+  long agent_lease_ms = 4000;
+  long catchup_ms = 500;
+};
+
 pid_t spawn_node(const std::string& binary, const ClusterSpec& spec,
                  const std::string& dir, std::size_t node,
-                 const std::string& log_path) {
+                 const std::string& log_path, const NodeOptions& opts,
+                 std::uint32_t incarnation) {
   const pid_t pid = ::fork();
   if (pid != 0) return pid;  // parent, or -1 on fork failure (caller checks)
-  // Child: redirect both streams to the node's log, exec marp_node.
-  const int log_fd = ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  // Child: redirect both streams to the node's log, exec marp_node. A
+  // reincarnation appends so the previous life's log survives.
+  const int log_flags =
+      O_WRONLY | O_CREAT | (incarnation == 0 ? O_TRUNC : O_APPEND);
+  const int log_fd = ::open(log_path.c_str(), log_flags, 0644);
   if (log_fd >= 0) {
     ::dup2(log_fd, 1);
     ::dup2(log_fd, 2);
@@ -75,6 +106,20 @@ pid_t spawn_node(const std::string& binary, const ClusterSpec& spec,
     args.push_back("--loss");
     args.push_back(std::to_string(spec.send_loss));
   }
+  if (!opts.state_root.empty()) {
+    const auto push = [&](const char* flag, long long value) {
+      args.push_back(flag);
+      args.push_back(std::to_string(value));
+    };
+    args.push_back("--state-dir");
+    args.push_back(opts.state_root + "/node" + std::to_string(node));
+    push("--incarnation", incarnation);
+    push("--epoch-us", opts.epoch_us);
+    push("--checkpoint-ms", opts.checkpoint_ms);
+    push("--session-retry-ms", opts.session_retry_ms);
+    push("--agent-lease-ms", opts.agent_lease_ms);
+    push("--catchup-ms", opts.catchup_ms);
+  }
   std::vector<char*> argv;
   argv.reserve(args.size() + 1);
   for (std::string& arg : args) argv.push_back(arg.data());
@@ -93,6 +138,16 @@ void dump_log(const std::string& log_path) {
   std::fclose(f);
 }
 
+/// One supervised marp_node process across its lives.
+struct Child {
+  pid_t pid = -1;
+  std::uint32_t incarnation = 0;
+  std::uint32_t restarts = 0;
+  Clock::time_point spawned_at{};
+  Clock::time_point next_probe{};
+  bool quiesced = false;  ///< last heartbeat said quiesced
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -101,6 +156,14 @@ int main(int argc, char** argv) {
   bool check_sim = false;
   bool expect_retransmits = false;
   std::string dir;
+
+  // Chaos / supervision knobs.
+  std::uint32_t chaos_kills = 0;
+  long chaos_window_ms = 3000;
+  std::uint32_t max_restarts = 3;  ///< per node, across the whole run
+  long heartbeat_ms = 300;         ///< probe cadence per node
+  long hung_ms = 3000;             ///< no Heartbeat reply within this = dead
+  bool durable = false;            ///< state dirs even without kills
 
   const auto next = [&](int& i) -> const char* {
     if (i + 1 >= argc) std::exit(2);
@@ -118,19 +181,36 @@ int main(int argc, char** argv) {
     else if (arg == "--dir") dir = next(i);
     else if (arg == "--check-sim") check_sim = true;
     else if (arg == "--expect-retransmits") expect_retransmits = true;
+    else if (arg == "--chaos-kills") chaos_kills = static_cast<std::uint32_t>(std::strtoul(next(i), nullptr, 10));
+    else if (arg == "--chaos-window-ms") chaos_window_ms = std::strtol(next(i), nullptr, 10);
+    else if (arg == "--max-restarts") max_restarts = static_cast<std::uint32_t>(std::strtoul(next(i), nullptr, 10));
+    else if (arg == "--heartbeat-ms") heartbeat_ms = std::strtol(next(i), nullptr, 10);
+    else if (arg == "--hung-ms") hung_ms = std::strtol(next(i), nullptr, 10);
+    else if (arg == "--durable") durable = true;
     else {
       std::fprintf(stderr,
                    "usage: marp_cluster [--nodes N] [--sessions S] [--keys K] "
                    "[--shared] [--seed S] [--loss P] [--timeout-s T] [--dir D] "
-                   "[--check-sim] [--expect-retransmits]\n");
+                   "[--check-sim] [--expect-retransmits] [--durable]\n"
+                   "       [--chaos-kills K] [--chaos-window-ms W] "
+                   "[--max-restarts R] [--heartbeat-ms H] [--hung-ms M]\n");
       return 2;
     }
   }
 
+  const bool chaos = chaos_kills > 0;
+  if (chaos) durable = true;
   if (check_sim && spec.send_loss > 0.0) {
     std::fprintf(stderr,
                  "marp_cluster: --check-sim needs --loss 0 (apply order is only "
                  "deterministic without loss)\n");
+    return 2;
+  }
+  if (chaos && (check_sim || spec.shared_keys)) {
+    // Chaos mode carries its own (store-level) sim comparison, and needs
+    // private keys for the final store to be substrate-independent.
+    std::fprintf(stderr,
+                 "marp_cluster: --chaos-kills excludes --check-sim/--shared\n");
     return 2;
   }
 
@@ -146,28 +226,41 @@ int main(int argc, char** argv) {
     ::mkdir(dir.c_str(), 0755);
   }
 
-  const std::string binary = node_binary_path();
-  std::fprintf(stderr, "marp_cluster: %zu nodes x %llu sessions in %s (loss %.3f)\n",
-               spec.nodes, static_cast<unsigned long long>(spec.sessions_per_node),
-               dir.c_str(), spec.send_loss);
+  NodeOptions opts;
+  if (durable) {
+    opts.state_root = dir + "/state";
+    ::mkdir(opts.state_root.c_str(), 0755);
+    // One epoch for every spawn AND respawn: µs on the machine-wide
+    // monotonic clock, so a reincarnated node's virtual clock resumes ahead
+    // of its previous life and its post-rebirth Versions keep ascending.
+    opts.epoch_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        Clock::now().time_since_epoch())
+                        .count();
+  }
 
-  std::vector<pid_t> pids;
+  const std::string binary = node_binary_path();
+  std::fprintf(stderr, "marp_cluster: %zu nodes x %llu sessions in %s (loss %.3f%s)\n",
+               spec.nodes, static_cast<unsigned long long>(spec.sessions_per_node),
+               dir.c_str(), spec.send_loss, durable ? ", durable" : "");
+
+  std::vector<Child> children(spec.nodes);
   std::vector<std::string> logs;
   for (std::size_t node = 0; node < spec.nodes; ++node) {
     logs.push_back(dir + "/node" + std::to_string(node) + ".log");
-    const pid_t pid = spawn_node(binary, spec, dir, node, logs.back());
+    const pid_t pid = spawn_node(binary, spec, dir, node, logs.back(), opts, 0);
     if (pid < 0) {
       // A short cluster cannot quiesce; fail now and reap what was spawned
       // rather than letting waitpid(-1) confuse the per-node reap loop.
       std::fprintf(stderr, "marp_cluster: FAIL: fork node %zu: %s\n", node,
                    std::strerror(errno));
-      for (const pid_t spawned : pids) {
-        ::kill(spawned, SIGKILL);
-        ::waitpid(spawned, nullptr, 0);
+      for (std::size_t j = 0; j < node; ++j) {
+        ::kill(children[j].pid, SIGKILL);
+        ::waitpid(children[j].pid, nullptr, 0);
       }
       return 1;
     }
-    pids.push_back(pid);
+    children[node].pid = pid;
+    children[node].spawned_at = Clock::now();
   }
 
   const auto endpoints = marp::transport::local_uds_cluster(dir, spec.nodes);
@@ -178,10 +271,145 @@ int main(int argc, char** argv) {
 
   bool failed = false;
   std::vector<std::string> problems;
+  std::vector<marp::fault::ProcessKill> schedule;
+  std::uint32_t kills_fired = 0;
 
-  if (!marp::transport::wait_quiesced(clients, timeout_s * 1000)) {
-    problems.push_back("cluster did not quiesce within " + std::to_string(timeout_s) + "s");
-    failed = true;
+  if (!chaos) {
+    if (!marp::transport::wait_quiesced(clients, timeout_s * 1000)) {
+      problems.push_back("cluster did not quiesce within " + std::to_string(timeout_s) + "s");
+      failed = true;
+    }
+  } else {
+    // ---- reincarnation supervisor ----
+    schedule = marp::fault::make_kill_schedule(
+        spec.seed, static_cast<std::uint32_t>(spec.nodes), chaos_kills,
+        std::chrono::milliseconds(chaos_window_ms));
+    std::fprintf(stderr, "marp_cluster: chaos schedule: %s\n",
+                 marp::fault::describe_kill_schedule(schedule).c_str());
+
+    // Heartbeat probes must not mask a hang behind retries, and must time
+    // out fast enough to notice one: single attempt, tight deadline.
+    RetryPolicy probe_policy;
+    probe_policy.attempts = 1;
+    probe_policy.rpc_timeout = std::chrono::milliseconds(hung_ms);
+    std::vector<ControlClient> probes;
+    for (std::size_t node = 0; node < spec.nodes; ++node) {
+      probes.emplace_back(endpoints[node], static_cast<marp::net::NodeId>(node),
+                          probe_policy);
+    }
+    // Fresh spawns get a grace period before hang judgement: the listener
+    // comes up within milliseconds, but recovery replay happens first.
+    const auto probe_grace = std::chrono::milliseconds(1000);
+
+    const auto t0 = Clock::now();
+    const auto deadline = t0 + std::chrono::seconds(timeout_s);
+    std::size_t next_kill = 0;
+
+    while (!failed) {
+      const auto now = Clock::now();
+      if (now >= deadline) {
+        problems.push_back("chaos cluster did not quiesce within " +
+                           std::to_string(timeout_s) + "s");
+        failed = true;
+        break;
+      }
+
+      // 1. Fire due kills (SIGKILL: no destructors, no final checkpoint —
+      //    the whole point).
+      while (next_kill < schedule.size() && now - t0 >= schedule[next_kill].at) {
+        Child& victim = children[schedule[next_kill].victim];
+        if (victim.pid > 0) {
+          std::fprintf(stderr, "marp_cluster: chaos: SIGKILL node %u (pid %d, life %u)\n",
+                       schedule[next_kill].victim, victim.pid, victim.incarnation);
+          ::kill(victim.pid, SIGKILL);
+          ++kills_fired;
+        }
+        ++next_kill;
+      }
+
+      // 2. Reap casualties and reincarnate them with a bumped incarnation.
+      for (std::size_t node = 0; node < spec.nodes && !failed; ++node) {
+        Child& child = children[node];
+        if (child.pid <= 0) continue;
+        int status = 0;
+        if (::waitpid(child.pid, &status, WNOHANG) != child.pid) continue;
+        if (child.restarts >= max_restarts) {
+          problems.push_back("node " + std::to_string(node) +
+                             ": restart budget exhausted (" +
+                             std::to_string(max_restarts) + ")");
+          failed = true;
+          break;
+        }
+        ++child.restarts;
+        ++child.incarnation;
+        child.quiesced = false;
+        child.pid = spawn_node(binary, spec, dir, node, logs[node], opts,
+                               child.incarnation);
+        if (child.pid < 0) {
+          problems.push_back("node " + std::to_string(node) + ": respawn failed");
+          failed = true;
+          break;
+        }
+        child.spawned_at = Clock::now();
+        child.next_probe = child.spawned_at + probe_grace;
+        std::fprintf(stderr,
+                     "marp_cluster: reincarnated node %zu as pid %d (life %u)\n",
+                     node, child.pid, child.incarnation);
+      }
+      if (failed) break;
+
+      // 3. Heartbeat probes: a running process that times out is hung ==
+      //    dead — kill it and let step 2 reincarnate it. ConnectFailed just
+      //    means the listener is not up (restarting); leave it to waitpid.
+      bool all_quiesced = true;
+      for (std::size_t node = 0; node < spec.nodes; ++node) {
+        Child& child = children[node];
+        if (child.pid <= 0) continue;
+        const auto probe_now = Clock::now();
+        if (probe_now < child.next_probe) {
+          all_quiesced = all_quiesced && child.quiesced;
+          continue;
+        }
+        child.next_probe = probe_now + std::chrono::milliseconds(heartbeat_ms);
+        const auto beat = probes[node].heartbeat();
+        if (beat) {
+          child.quiesced = beat->quiesced &&
+                           beat->sessions_completed >= spec.sessions_per_node;
+        } else {
+          child.quiesced = false;
+          if (probes[node].last_status() ==
+                  marp::transport::SocketTransport::RpcStatus::Timeout &&
+              probe_now - child.spawned_at > probe_grace) {
+            std::fprintf(stderr,
+                         "marp_cluster: node %zu hung (no heartbeat in %ldms), "
+                         "killing pid %d\n",
+                         node, hung_ms, child.pid);
+            ::kill(child.pid, SIGKILL);
+          }
+        }
+        all_quiesced = all_quiesced && child.quiesced;
+      }
+
+      // 4. Done once the schedule is spent and every node is quiesced.
+      if (next_kill == schedule.size() && all_quiesced) break;
+      ::usleep(50 * 1000);
+    }
+
+    if (!failed) {
+      // Settle barrier: two anti-entropy rounds on every node so any store
+      // entry a crash kept from propagating reaches all replicas before the
+      // final dumps are compared.
+      for (int round = 0; round < 2; ++round) {
+        for (std::size_t node = 0; node < spec.nodes; ++node) {
+          if (!clients[node].sync_pull()) {
+            problems.push_back("node " + std::to_string(node) +
+                               ": SyncPull settle barrier failed");
+            failed = true;
+          }
+        }
+        ::usleep(300 * 1000);
+      }
+    }
   }
 
   std::vector<marp::rpc::NodeDump> dumps;
@@ -200,15 +428,16 @@ int main(int argc, char** argv) {
   // Tear the cluster down before judging results: Shutdown RPC, then reap
   // (SIGKILL stragglers so a wedged node cannot wedge the harness).
   for (std::size_t node = 0; node < spec.nodes; ++node) clients[node].shutdown();
-  const auto reap_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  const auto reap_deadline = Clock::now() + std::chrono::seconds(10);
   for (std::size_t node = 0; node < spec.nodes; ++node) {
+    if (children[node].pid <= 0) continue;
     int status = 0;
     for (;;) {
-      const pid_t r = ::waitpid(pids[node], &status, WNOHANG);
-      if (r == pids[node]) break;
-      if (std::chrono::steady_clock::now() > reap_deadline) {
-        ::kill(pids[node], SIGKILL);
-        ::waitpid(pids[node], &status, 0);
+      const pid_t r = ::waitpid(children[node].pid, &status, WNOHANG);
+      if (r == children[node].pid) break;
+      if (Clock::now() > reap_deadline) {
+        ::kill(children[node].pid, SIGKILL);
+        ::waitpid(children[node].pid, &status, 0);
         problems.push_back("node " + std::to_string(node) + ": killed (no shutdown)");
         failed = true;
         break;
@@ -236,41 +465,114 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(real.loss_injected),
                  static_cast<unsigned long long>(retransmits));
 
-    if (real.commits != expected_commits) {
-      problems.push_back("commit count mismatch");
-    }
-    if (real.mutex_violations != 0) {
-      problems.push_back("Theorem 2 violated: " +
-                         std::to_string(real.mutex_violations) + " mutex violations");
-    }
-    for (const std::string& d : real.divergences) problems.push_back(d);
-    if (spec.send_loss == 0.0) {
-      // Apply-order equality is only an invariant without loss: a
-      // retransmitted COMMIT overtaken by a newer same-key commit is
-      // rejected by the Thomas rule at some replicas and applied at others.
-      for (const std::string& d : real.order_divergences) problems.push_back(d);
-    }
-
-    if (expect_retransmits) {
-      if (real.loss_injected == 0) {
-        problems.push_back("--expect-retransmits: no socket loss was injected");
+    if (!chaos) {
+      if (real.commits != expected_commits) {
+        problems.push_back("commit count mismatch");
       }
-      if (retransmits == 0) {
-        problems.push_back("--expect-retransmits: no reliable-commit retransmissions observed");
+      if (real.mutex_violations != 0) {
+        problems.push_back("Theorem 2 violated: " +
+                           std::to_string(real.mutex_violations) + " mutex violations");
       }
-    }
+      for (const std::string& d : real.divergences) problems.push_back(d);
+      if (spec.send_loss == 0.0) {
+        // Apply-order equality is only an invariant without loss: a
+        // retransmitted COMMIT overtaken by a newer same-key commit is
+        // rejected by the Thomas rule at some replicas and applied at others.
+        for (const std::string& d : real.order_divergences) problems.push_back(d);
+      }
 
-    if (check_sim) {
+      if (expect_retransmits) {
+        if (real.loss_injected == 0) {
+          problems.push_back("--expect-retransmits: no socket loss was injected");
+        }
+        if (retransmits == 0) {
+          problems.push_back("--expect-retransmits: no reliable-commit retransmissions observed");
+        }
+      }
+
+      if (check_sim) {
+        const auto sim = marp::transport::run_reference_sim(spec);
+        for (const std::string& v : marp::transport::compare_substrates(sim, real)) {
+          problems.push_back("equivalence: " + v);
+        }
+        if (problems.empty()) {
+          std::fprintf(stderr,
+                       "marp_cluster: socket cluster matches reference sim "
+                       "(%llu commits, %zu keys)\n",
+                       static_cast<unsigned long long>(sim.commits), sim.store.size());
+        }
+      }
+    } else {
+      // ---- chaos verdict: the invariants that survive SIGKILL ----
+      std::uint64_t pending = 0, revived = 0, deduped = 0, replayed = 0;
+      std::uint64_t retries = 0, pulls = 0, merges = 0, fenced = 0, leases = 0;
+      for (std::size_t node = 0; node < spec.nodes; ++node) {
+        const auto& d = dumps[node];
+        if (d.status.sessions_completed < spec.sessions_per_node) {
+          problems.push_back("node " + std::to_string(node) + ": only " +
+                             std::to_string(d.status.sessions_completed) + "/" +
+                             std::to_string(spec.sessions_per_node) +
+                             " sessions committed");
+        }
+        if (d.status.incarnation != children[node].incarnation) {
+          problems.push_back("node " + std::to_string(node) +
+                             ": reported incarnation " +
+                             std::to_string(d.status.incarnation) + " != supervised " +
+                             std::to_string(children[node].incarnation));
+        }
+        pending += d.agent_transfers_pending;
+        revived += d.agent_transfers_revived;
+        deduped += d.agent_transfers_deduped;
+        replayed += d.journal_records_replayed;
+        retries += d.session_retries;
+        pulls += d.catchup_pulls;
+        merges += d.catchup_merges;
+        fenced += d.stale_incarnation_rejected;
+        leases += d.agents_lease_purged;
+      }
+      if (kills_fired < chaos_kills) {
+        problems.push_back("only " + std::to_string(kills_fired) + "/" +
+                           std::to_string(chaos_kills) + " scheduled kills fired");
+      }
+      for (std::size_t k = 0; k < schedule.size(); ++k) {
+        if (children[schedule[k].victim].incarnation == 0) {
+          problems.push_back("victim node " + std::to_string(schedule[k].victim) +
+                             " was never reincarnated");
+        }
+      }
+      if (pending != 0) {
+        problems.push_back(std::to_string(pending) +
+                           " agent transfers still pending at quiescence "
+                           "(agent lost in limbo)");
+      }
+      // Store oracle: strict last-session equality with the sim for origins
+      // the chaos never touched; for crashed/retried origins any of their
+      // own session values is legal (a retried session can commit after a
+      // later one — the Thomas rule keeps the later commit time, so "last
+      // session wins" only holds retry-free).
+      std::vector<bool> relaxed(spec.nodes, false);
+      for (std::size_t node = 0; node < spec.nodes; ++node) {
+        relaxed[node] = children[node].incarnation > 0 ||
+                        dumps[node].session_retries > 0;
+      }
       const auto sim = marp::transport::run_reference_sim(spec);
-      for (const std::string& v : marp::transport::compare_substrates(sim, real)) {
-        problems.push_back("equivalence: " + v);
+      for (const std::string& v :
+           marp::transport::compare_stores(sim, real, spec, relaxed)) {
+        problems.push_back("chaos equivalence: " + v);
       }
-      if (problems.empty()) {
-        std::fprintf(stderr,
-                     "marp_cluster: socket cluster matches reference sim "
-                     "(%llu commits, %zu keys)\n",
-                     static_cast<unsigned long long>(sim.commits), sim.store.size());
-      }
+      std::fprintf(stderr,
+                   "marp_cluster: chaos recovery: %u kills, %llu journal records "
+                   "replayed, %llu catch-up pulls, %llu merges, %llu session "
+                   "retries, %llu stale frames fenced, %llu transfers revived, "
+                   "%llu deduped, %llu lease purges\n",
+                   kills_fired, static_cast<unsigned long long>(replayed),
+                   static_cast<unsigned long long>(pulls),
+                   static_cast<unsigned long long>(merges),
+                   static_cast<unsigned long long>(retries),
+                   static_cast<unsigned long long>(fenced),
+                   static_cast<unsigned long long>(revived),
+                   static_cast<unsigned long long>(deduped),
+                   static_cast<unsigned long long>(leases));
     }
     failed = !problems.empty();
   }

@@ -36,7 +36,18 @@ void usage() {
                "  --loss P            socket-level AppMessage loss probability\n"
                "  --no-checksum       disable frame checksums\n"
                "  --unreliable        fire-and-forget COMMIT (paper budget)\n"
-               "  --start-delay-ms M  delay before the first session (default 300)\n");
+               "  --start-delay-ms M  delay before the first session (default 300)\n"
+               "crash recovery (driven by the marp_cluster supervisor):\n"
+               "  --state-dir DIR     durable checkpoint+journal directory\n"
+               "                      (default: volatile node, no recovery)\n"
+               "  --incarnation I     reincarnation count, 0 = first life\n"
+               "  --epoch-us E        shared virtual-clock epoch (us on the\n"
+               "                      monotonic clock; same value every life)\n"
+               "  --catchup-ms M      rejoin catch-up window (default 500)\n"
+               "  --checkpoint-ms M   periodic checkpoint cadence (0 = off)\n"
+               "  --sync-pull-ms M    recurring anti-entropy pull (0 = off)\n"
+               "  --session-retry-ms M  stalled-session watchdog (0 = off)\n"
+               "  --agent-lease-ms M  dead-agent lock-state lease (0 = off)\n");
 }
 
 }  // namespace
@@ -74,6 +85,20 @@ int main(int argc, char** argv) {
     else if (arg == "--unreliable") config.marp.reliable_commit = false;
     else if (arg == "--start-delay-ms")
       config.start_delay = marp::sim::SimTime::millis(std::strtol(next(i), nullptr, 10));
+    else if (arg == "--state-dir") config.data_dir = next(i);
+    else if (arg == "--incarnation")
+      config.incarnation = static_cast<std::uint16_t>(std::strtoul(next(i), nullptr, 10));
+    else if (arg == "--epoch-us") config.clock_epoch_us = std::strtoll(next(i), nullptr, 10);
+    else if (arg == "--catchup-ms")
+      config.catchup_delay = marp::sim::SimTime::millis(std::strtol(next(i), nullptr, 10));
+    else if (arg == "--checkpoint-ms")
+      config.checkpoint_interval = marp::sim::SimTime::millis(std::strtol(next(i), nullptr, 10));
+    else if (arg == "--sync-pull-ms")
+      config.sync_pull_interval = marp::sim::SimTime::millis(std::strtol(next(i), nullptr, 10));
+    else if (arg == "--session-retry-ms")
+      config.session_retry_timeout = marp::sim::SimTime::millis(std::strtol(next(i), nullptr, 10));
+    else if (arg == "--agent-lease-ms")
+      config.marp.agent_lease_timeout = marp::sim::SimTime::millis(std::strtol(next(i), nullptr, 10));
     else {
       usage();
       return 2;
@@ -104,10 +129,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::fprintf(stderr, "marp_node: node %u/%zu listening on %s, %llu sessions\n",
+  std::fprintf(stderr,
+               "marp_node: node %u/%zu listening on %s, %llu sessions, "
+               "incarnation %u%s\n",
                config.node, config.endpoints.size(),
                config.endpoints[config.node].to_string().c_str(),
-               static_cast<unsigned long long>(config.sessions));
+               static_cast<unsigned long long>(config.sessions), config.incarnation,
+               config.data_dir.empty() ? "" : (", durable in " + config.data_dir).c_str());
 
   marp::transport::RealNode node(std::move(config));
   node.run();
