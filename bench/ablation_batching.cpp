@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
          metrics::Table::num(aggregate.messages_per_write.mean(), 1),
          metrics::Table::num(aggregate.wire_bytes_per_write.mean() / 1024.0, 2)});
   }
-  bench::print_table(table, options.csv);
+  bench::print_table(table, options);
   std::cout << "\nShape check: migrations and messages per write fall roughly\n"
                "as 1/batch; under contention batching also shortens client\n"
                "latency because fewer agents compete for the lock.\n";

@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
          metrics::with_ci(aggregate.att_ms.mean(),
                           aggregate.att_ms.ci95_half_width(), 1)});
   }
-  bench::print_table(table, options.csv);
+  bench::print_table(table, options);
   std::cout << "\nShape check: success stays ~100% while a majority survives\n"
                "(requests lost with their origin server excepted), collapses\n"
                "for non-origin writes when 3 of 5 are down, and recovery\n"

@@ -119,7 +119,7 @@ int main(int argc, char** argv) {
                    marp::metrics::Table::num(migrations.mean(), 0),
                    marp::metrics::Table::num(messages.mean(), 0)});
   }
-  marp::bench::print_table(table, options.csv);
+  marp::bench::print_table(table, options);
   std::cout << "\nShape check: local reads cost ~0.1 ms but a small fraction\n"
                "is stale right after remote commits; quorum-agent reads are\n"
                "never stale w.r.t. pre-submission commits but pay multi-hop\n"

@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
          metrics::Table::num(aggregate.migrations_per_write.mean(), 2),
          metrics::Table::num(aggregate.wire_bytes_per_write.mean() / 1024.0, 1)});
   }
-  bench::print_table(table, options.csv);
+  bench::print_table(table, options);
   std::cout << "\nShape check: cost-aware routing visits cheap (intra-cluster)\n"
                "replicas first, lowering ALT vs. random/fixed orders; gossip\n"
                "trims migrations by letting agents decide with second-hand\n"

@@ -167,13 +167,13 @@ int main(int argc, char** argv) {
   std::cout << "Single-key updates (pure per-object locking):\n";
   metrics::Table single(header);
   sweep(1, single);
-  bench::print_table(single, options.csv);
+  bench::print_table(single, options);
 
   std::cout << "\nMulti-key write-sets (2 keys/update, atomic commit — agents\n"
                "must win every group their keys route to):\n";
   metrics::Table multi(header);
   sweep(2, multi);
-  bench::print_table(multi, options.csv);
+  bench::print_table(multi, options);
 
   // Machine-readable record for the plots / acceptance gate.
   std::cout << "\nJSON: {\"bench\":\"ablation_sharding\",\"servers\":8,"

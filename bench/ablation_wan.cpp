@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
                         "x"});
     }
   }
-  bench::print_table(table, options.csv);
+  bench::print_table(table, options);
   std::cout << "\nShape check: both protocols slow down on the WAN, but the\n"
                "message-passing baseline pays per message round while MARP\n"
                "pays per migration hop — its coordination happens locally at\n"

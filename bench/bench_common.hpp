@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -23,6 +24,9 @@ struct Options {
   std::size_t seeds = 3;
   bool quick = false;
   bool csv = false;
+  /// Non-empty: also write the result table as a JSON array of row objects
+  /// (plot scripts and CI trend checks consume this, not the pretty table).
+  std::string json_path;
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -35,8 +39,11 @@ inline Options parse_options(int argc, char** argv) {
       options.seeds = 1;
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       options.csv = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      options.json_path = argv[++i];
     } else {
-      std::cerr << "usage: " << argv[0] << " [--seeds N] [--quick] [--csv]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--seeds N] [--quick] [--csv] [--json FILE]\n";
       std::exit(2);
     }
   }
@@ -75,11 +82,20 @@ inline runner::ExperimentConfig figure_config(std::size_t servers,
   return config;
 }
 
-inline void print_table(const metrics::Table& table, bool csv) {
+inline void print_table(const metrics::Table& table, const Options& options) {
   table.print(std::cout);
-  if (csv) {
+  if (options.csv) {
     std::cout << "\nCSV:\n";
     table.print_csv(std::cout);
+  }
+  if (!options.json_path.empty()) {
+    std::ofstream out(options.json_path);
+    if (!out) {
+      std::cerr << "cannot write " << options.json_path << '\n';
+      std::exit(1);
+    }
+    table.print_json(out);
+    std::cout << "\nJSON written to " << options.json_path << '\n';
   }
 }
 

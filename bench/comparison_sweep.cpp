@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
     row.push_back(std::move(msgs));
     table.add_row(std::move(row));
   }
-  bench::print_table(table, options.csv);
+  bench::print_table(table, options);
   std::cout << "\nReading the curves: all three saturate at high rates (left\n"
                "rows); uncontended (right rows) the centralized and\n"
                "message-round protocols answer faster while MARP holds the\n"

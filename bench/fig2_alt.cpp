@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
     }
     table.add_row(std::move(row));
   }
-  bench::print_table(table, options.csv);
+  bench::print_table(table, options);
   std::cout << "\nShape check: ALT should fall monotonically (modulo noise) as\n"
                "inter-arrival grows, and grow with the number of servers.\n";
   return 0;

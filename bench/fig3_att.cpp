@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
     row.push_back(metrics::Table::num(att5 - alt5, 2));
     table.add_row(std::move(row));
   }
-  bench::print_table(table, options.csv);
+  bench::print_table(table, options);
   std::cout << "\nShape check: ATT tracks Figure 2's ALT plus a messaging delta\n"
                "(UPDATE/ACK/COMMIT rounds); both fall as load lightens.\n";
   return 0;

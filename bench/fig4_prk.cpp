@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
     row.push_back(std::to_string(dominant));
     table.add_row(std::move(row));
   }
-  bench::print_table(table, options.csv);
+  bench::print_table(table, options);
   std::cout << "\nShape check: the dominant K flips from 5 (heavy contention)\n"
                "to (N+1)/2 = 3 (light load) as inter-arrival time grows.\n";
   return 0;

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
                    metrics::Table::num(aggregate.migrations_per_write.mean(), 2),
                    metrics::Table::num(aggregate.messages_per_write.mean(), 1)});
   }
-  bench::print_table(table, options.csv);
+  bench::print_table(table, options);
   std::cout << "\nShape check: ALT grows ~linearly with the quorum size\n"
                "(sequential migrations); messages per write grow ~2N from the\n"
                "UPDATE/COMMIT broadcasts — the scalability price of keeping\n"

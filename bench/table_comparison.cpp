@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
                      metrics::Table::num(aggregate.migrations_per_write.mean(), 1)});
     }
   }
-  bench::print_table(table, options.csv);
+  bench::print_table(table, options);
   std::cout << "\nShape check (paper §1/§5): MARP commits writes with fewer\n"
                "coordination messages than MP-MCV / weighted voting; its cost\n"
                "shifts into agent migrations (bytes), and the gap matters most\n"

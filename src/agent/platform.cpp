@@ -143,7 +143,7 @@ void AgentPlatform::begin_migration(std::unique_ptr<MobileAgent> agent,
     const std::uint64_t token = ++next_transfer_token_;
     pending_transfers_.insert(token);
     network_.transport()->send_agent_frame(
-        dest, rpc::encode_transfer_body(token, frame));
+        dest, rpc::encode_transfer_body(token, frame), AgentIdHash{}(id));
     simulator.schedule(config_.migration_timeout,
                        [this, frame, id, src, dest, token] {
       if (pending_transfers_.erase(token) == 0) return;  // acked — delivered

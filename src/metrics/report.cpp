@@ -64,6 +64,29 @@ void Table::print_csv(std::ostream& os) const {
   for (const auto& row : rows_) emit(row);
 }
 
+void Table::print_json(std::ostream& os) const {
+  const auto escaped = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  };
+  os << "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << "  {";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c) os << ", ";
+      os << '"' << escaped(headers_[c]) << "\": \"" << escaped(rows_[r][c])
+         << '"';
+    }
+    os << (r + 1 < rows_.size() ? "},\n" : "}\n");
+  }
+  os << "]\n";
+}
+
 std::string with_ci(double mean, double ci_half, int precision) {
   std::ostringstream os;
   os << std::fixed << std::setprecision(precision) << mean << " ± " << ci_half;

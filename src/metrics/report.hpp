@@ -25,6 +25,10 @@ class Table {
   /// RFC-4180-ish CSV (no quoting needed for our numeric content).
   void print_csv(std::ostream& os) const;
 
+  /// Machine-readable rendering: a JSON array of row objects keyed by the
+  /// header names (cells stay formatted strings — "12.3 ± 0.4" is data).
+  void print_json(std::ostream& os) const;
+
   std::size_t rows() const noexcept { return rows_.size(); }
 
  private:

@@ -1,5 +1,7 @@
 #include "net/latency.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace marp::net {
@@ -39,6 +41,95 @@ sim::SimTime WanLatency::sample(NodeId src, NodeId dst, std::size_t bytes,
     us += rng.exponential(params_.spike_mean_us);
   }
   return sim::SimTime::micros(static_cast<std::int64_t>(us));
+}
+
+namespace {
+
+constexpr std::size_t kMaxDrawTally = 65536;
+
+std::int64_t median_of(std::vector<std::int64_t> v) {
+  if (v.empty()) return -1;
+  std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+  return v[v.size() / 2];
+}
+
+}  // namespace
+
+std::int64_t CalibrationTable::median_us(NodeId src, NodeId dst) const noexcept {
+  for (const LinkCalibration& link : links) {
+    if (link.src == src && link.dst == dst && !link.quantiles_us.empty()) {
+      return link.quantiles_us[link.quantiles_us.size() / 2];
+    }
+  }
+  return -1;
+}
+
+CalibratedLatency::CalibratedLatency(CalibrationTable table, sim::SimTime fallback)
+    : table_(std::move(table)) {
+  links_.resize(table_.links.size());
+  std::vector<std::int64_t> medians;
+  for (std::size_t i = 0; i < table_.links.size(); ++i) {
+    links_[i].quantiles_us = table_.links[i].quantiles_us;
+    if (!links_[i].quantiles_us.empty()) {
+      medians.push_back(links_[i].quantiles_us[links_[i].quantiles_us.size() / 2]);
+    }
+  }
+  const std::int64_t fb =
+      medians.empty() ? fallback.as_micros() : median_of(std::move(medians));
+  fallback_.quantiles_us = {fb, fb};
+}
+
+const CalibratedLatency::Link* CalibratedLatency::find(NodeId src,
+                                                       NodeId dst) const noexcept {
+  for (std::size_t i = 0; i < table_.links.size(); ++i) {
+    if (table_.links[i].src == src && table_.links[i].dst == dst &&
+        !links_[i].quantiles_us.empty()) {
+      return &links_[i];
+    }
+  }
+  return nullptr;
+}
+
+std::int64_t CalibratedLatency::draw(const Link& link, sim::Rng& rng) const {
+  const std::vector<std::int64_t>& q = link.quantiles_us;
+  std::int64_t us;
+  if (q.size() == 1) {
+    us = q[0];
+  } else {
+    const double u = rng.uniform(0.0, 1.0) * static_cast<double>(q.size() - 1);
+    const std::size_t lo = std::min<std::size_t>(static_cast<std::size_t>(u), q.size() - 2);
+    const double frac = u - static_cast<double>(lo);
+    us = static_cast<std::int64_t>(static_cast<double>(q[lo]) +
+                                   frac * static_cast<double>(q[lo + 1] - q[lo]));
+  }
+  us = std::max<std::int64_t>(us, 1);
+  if (link.drawn_us.size() < kMaxDrawTally) link.drawn_us.push_back(us);
+  return us;
+}
+
+sim::SimTime CalibratedLatency::sample(NodeId src, NodeId dst, std::size_t bytes,
+                                       sim::Rng& rng) const {
+  (void)bytes;  // serialization time is already inside the measured delays
+  const Link* link = find(src, dst);
+  return sim::SimTime::micros(draw(link != nullptr ? *link : fallback_, rng));
+}
+
+std::vector<CalibratedLatency::LinkReport> CalibratedLatency::report() const {
+  std::vector<LinkReport> out;
+  for (std::size_t i = 0; i < table_.links.size(); ++i) {
+    if (links_[i].quantiles_us.empty()) continue;
+    LinkReport r;
+    r.src = table_.links[i].src;
+    r.dst = table_.links[i].dst;
+    r.samples = links_[i].drawn_us.size();
+    r.target_p50_us = links_[i].quantiles_us[links_[i].quantiles_us.size() / 2];
+    r.sampled_p50_us = median_of(links_[i].drawn_us);
+    for (const std::int64_t us : links_[i].drawn_us) {
+      if (us < r.target_p50_us) ++r.below_target;
+    }
+    out.push_back(r);
+  }
+  return out;
 }
 
 }  // namespace marp::net

@@ -100,4 +100,69 @@ class WanLatency final : public LatencyModel {
   Params params_;
 };
 
+/// One directed link's empirical delay distribution, measured off a real
+/// cluster run (TraceDump link samples, clock-aligned by the merge step).
+/// `quantiles_us` is an inverse-CDF table: evenly spaced quantiles of the
+/// aligned one-way delays from the 0th to the 100th percentile, ascending.
+struct LinkCalibration {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::uint64_t count = 0;  ///< samples behind the table
+  std::vector<std::int64_t> quantiles_us;
+};
+
+/// The whole measured mesh — what a calibration file deserializes to.
+/// (JSON I/O lives in trace/merge; this layer stays dependency-free.)
+struct CalibrationTable {
+  std::vector<LinkCalibration> links;
+  bool empty() const noexcept { return links.empty(); }
+  /// Median (p50) of a link's table; -1 when the link is absent.
+  std::int64_t median_us(NodeId src, NodeId dst) const noexcept;
+};
+
+/// Replays a measured per-link delay distribution by inverse-CDF sampling:
+/// draw u ~ U[0,1), interpolate linearly between the two nearest quantile
+/// table entries. Pairs without a measured link fall back to the median of
+/// all measured links (or `fallback` when the table is empty) — a sim can
+/// run wider than the cluster that was measured.
+class CalibratedLatency final : public LatencyModel {
+ public:
+  explicit CalibratedLatency(CalibrationTable table,
+                             sim::SimTime fallback = sim::SimTime::millis(2));
+  sim::SimTime sample(NodeId src, NodeId dst, std::size_t bytes,
+                      sim::Rng& rng) const override;
+
+  /// Feedback-loop report: per measured link, the table's median vs the
+  /// median of what sample() actually produced this run. This is the 10%
+  /// closure check — the sim reproducing the wire it was calibrated from.
+  struct LinkReport {
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    std::uint64_t samples = 0;        ///< draws this run
+    std::int64_t target_p50_us = 0;   ///< median of the calibration table
+    std::int64_t sampled_p50_us = 0;  ///< median of this run's draws
+    /// Draws strictly below the target median. If the model reproduces the
+    /// table, this is Binomial(samples, 1/2) — the distribution-free check
+    /// the closure gate falls back on where the quantile ramp around the
+    /// median is too steep for a point comparison at this sample size.
+    std::uint64_t below_target = 0;
+  };
+  std::vector<LinkReport> report() const;
+
+ private:
+  struct Link {
+    std::vector<std::int64_t> quantiles_us;
+    /// Draws this run, bounded; mutated from const sample() — the simulator
+    /// is single-threaded, and the tally never affects sampling.
+    mutable std::vector<std::int64_t> drawn_us;
+  };
+  const Link* find(NodeId src, NodeId dst) const noexcept;
+  std::int64_t draw(const Link& link, sim::Rng& rng) const;
+
+  CalibrationTable table_;
+  std::vector<Link> links_;  ///< parallel to table_.links
+  std::vector<std::int64_t> fallback_quantiles_;
+  Link fallback_;
+};
+
 }  // namespace marp::net

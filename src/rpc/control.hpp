@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "serial/byte_buffer.hpp"
@@ -26,6 +27,7 @@ enum class Proc : std::uint32_t {
                  ///  cannot answer this is treated as dead (hung == crashed)
   SyncPull = 6,  ///< trigger one anti-entropy pull from every live peer
                  ///  (the harness's convergence barrier before final dumps)
+  TraceDump = 7, ///< → serialized NodeTrace (span ring + link clock samples)
 };
 
 /// Reply status codes.
@@ -190,6 +192,13 @@ struct NodeDump {
   std::uint64_t session_retries = 0;     ///< sessions re-submitted (abort/stall)
   std::uint64_t agents_lease_purged = 0; ///< dead-agent lock state expired
 
+  /// Full CounterRegistry namespace dump (run./net./agent./marp./fault./
+  /// trace./link.*), sorted by name. The named fields above remain the
+  /// stable wire contract the equivalence checker reads; this vector is the
+  /// open-ended side — `marp_node --counters` and the harness print it
+  /// verbatim, so new namespaces need no wire change.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+
   void serialize(serial::Writer& w) const {
     status.serialize(w);
     w.varint(items.size());
@@ -232,6 +241,11 @@ struct NodeDump {
     w.varint(catchup_merges);
     w.varint(session_retries);
     w.varint(agents_lease_purged);
+    w.varint(counters.size());
+    for (const auto& [name, value] : counters) {
+      w.str(name);
+      w.varint(value);
+    }
   }
   static NodeDump deserialize(serial::Reader& r) {
     NodeDump d;
@@ -282,7 +296,111 @@ struct NodeDump {
     d.catchup_merges = r.varint();
     d.session_retries = r.varint();
     d.agents_lease_purged = r.varint();
+    const std::uint64_t n_counters = r.length_prefix(2);
+    d.counters.reserve(n_counters);
+    for (std::uint64_t i = 0; i < n_counters; ++i) {
+      std::string name = r.str();
+      const std::uint64_t value = r.varint();
+      d.counters.emplace_back(std::move(name), value);
+    }
     return d;
+  }
+};
+
+/// Per-node trace snapshot, returned by Proc::TraceDump. Spans are the
+/// node's Tracer ring verbatim (timestamps in that node's private trace
+/// clock — the merge step aligns them); link samples are (peer, send, recv)
+/// timestamp pairs harvested from TraceContext tails, the raw material for
+/// pairwise clock-offset estimation.
+struct NodeTrace {
+  /// `Span::end_us` value marking a span still open at dump time. A remote
+  /// migration legitimately never ends on its source node — the merge step
+  /// closes it against the agent's first span on the destination.
+  static constexpr std::int64_t kOpenEnd = -1;
+
+  struct Span {
+    std::int64_t start_us = 0;
+    std::int64_t end_us = 0;
+    std::uint8_t kind = 0;       ///< trace::SpanKind as raw u8
+    std::uint32_t node = 0;      ///< span's server attribution (kInvalidNode = none)
+    /// Owning agent identity, flattened (origin == kInvalidNode when the
+    /// span has no agent). The full id — not a hash — because the merge
+    /// step stitches one agent's migration spans across node dumps.
+    std::uint32_t agent_origin = 0;
+    std::int64_t agent_created_us = 0;
+    std::uint32_t agent_seq = 0;
+    std::uint64_t aux = 0;
+    std::uint64_t aux2 = 0;
+  };
+  /// One traced frame arrival on the link peer→this node.
+  struct LinkSample {
+    std::uint32_t peer = 0;      ///< sending node
+    std::int64_t send_ts_us = 0; ///< sender trace clock at stamping
+    std::int64_t recv_ts_us = 0; ///< local trace clock at arrival
+  };
+
+  std::uint32_t node = 0;
+  std::uint64_t incarnation = 0;
+  std::uint64_t spans_dropped = 0;   ///< ring evictions — merge honesty
+  std::uint64_t samples_dropped = 0; ///< link samples past the cap
+  std::vector<Span> spans;
+  std::vector<LinkSample> link_samples;
+
+  void serialize(serial::Writer& w) const {
+    w.varint(node);
+    w.varint(incarnation);
+    w.varint(spans_dropped);
+    w.varint(samples_dropped);
+    w.varint(spans.size());
+    for (const Span& s : spans) {
+      w.u64le(static_cast<std::uint64_t>(s.start_us));
+      w.u64le(static_cast<std::uint64_t>(s.end_us));
+      w.varint(s.kind);
+      w.varint(s.node);
+      w.varint(s.agent_origin);
+      w.svarint(s.agent_created_us);
+      w.varint(s.agent_seq);
+      w.varint(s.aux);
+      w.varint(s.aux2);
+    }
+    w.varint(link_samples.size());
+    for (const LinkSample& s : link_samples) {
+      w.varint(s.peer);
+      w.u64le(static_cast<std::uint64_t>(s.send_ts_us));
+      w.u64le(static_cast<std::uint64_t>(s.recv_ts_us));
+    }
+  }
+  static NodeTrace deserialize(serial::Reader& r) {
+    NodeTrace t;
+    t.node = static_cast<std::uint32_t>(r.varint());
+    t.incarnation = r.varint();
+    t.spans_dropped = r.varint();
+    t.samples_dropped = r.varint();
+    const std::uint64_t n_spans = r.length_prefix(8);
+    t.spans.reserve(n_spans);
+    for (std::uint64_t i = 0; i < n_spans; ++i) {
+      Span s;
+      s.start_us = static_cast<std::int64_t>(r.u64le());
+      s.end_us = static_cast<std::int64_t>(r.u64le());
+      s.kind = static_cast<std::uint8_t>(r.varint());
+      s.node = static_cast<std::uint32_t>(r.varint());
+      s.agent_origin = static_cast<std::uint32_t>(r.varint());
+      s.agent_created_us = r.svarint();
+      s.agent_seq = static_cast<std::uint32_t>(r.varint());
+      s.aux = r.varint();
+      s.aux2 = r.varint();
+      t.spans.push_back(s);
+    }
+    const std::uint64_t n_samples = r.length_prefix(8);
+    t.link_samples.reserve(n_samples);
+    for (std::uint64_t i = 0; i < n_samples; ++i) {
+      LinkSample s;
+      s.peer = static_cast<std::uint32_t>(r.varint());
+      s.send_ts_us = static_cast<std::int64_t>(r.u64le());
+      s.recv_ts_us = static_cast<std::int64_t>(r.u64le());
+      t.link_samples.push_back(s);
+    }
+    return t;
   }
 };
 

@@ -10,6 +10,7 @@ const char* decode_status_name(DecodeStatus status) noexcept {
     case DecodeStatus::BadVersion: return "bad-version";
     case DecodeStatus::BadLength: return "bad-length";
     case DecodeStatus::ChecksumMismatch: return "checksum-mismatch";
+    case DecodeStatus::BadTrace: return "bad-trace";
   }
   return "?";
 }
@@ -25,21 +26,65 @@ std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size) noexcept {
 
 serial::Bytes encode_frame(FrameType type, net::NodeId src, net::NodeId dst,
                            std::uint64_t seq, const serial::Bytes& body,
-                           bool with_checksum, std::uint16_t incarnation) {
+                           bool with_checksum, std::uint16_t incarnation,
+                           const TraceContext* trace) {
+  serial::Bytes wire_body = body;
+  std::uint16_t flags = with_checksum ? kFlagChecksum : 0;
+  if (trace != nullptr) {
+    const serial::Bytes tail = encode_trace_context(*trace);
+    wire_body.insert(wire_body.end(), tail.begin(), tail.end());
+    flags |= kFlagTrace;
+  }
   serial::Writer w;
   w.u32le(kMagic);
   w.u16le(kVersion);
   w.u16le(static_cast<std::uint16_t>(type));
-  w.u16le(with_checksum ? kFlagChecksum : 0);
+  w.u16le(flags);
   w.u16le(incarnation);
   w.u32le(src);
   w.u32le(dst);
   w.u64le(seq);
-  w.u32le(static_cast<std::uint32_t>(body.size()));
-  w.u64le(with_checksum ? fnv1a64(body.data(), body.size()) : 0);
+  w.u32le(static_cast<std::uint32_t>(wire_body.size()));
+  w.u64le(with_checksum ? fnv1a64(wire_body.data(), wire_body.size()) : 0);
   serial::Bytes out = w.take();
-  out.insert(out.end(), body.begin(), body.end());
+  out.insert(out.end(), wire_body.begin(), wire_body.end());
   return out;
+}
+
+serial::Bytes encode_trace_context(const TraceContext& context) {
+  serial::Writer w;
+  w.u64le(context.session_id);
+  w.u64le(context.span_id);
+  w.u32le(context.origin);
+  w.u64le(static_cast<std::uint64_t>(context.send_ts_us));
+  return w.take();
+}
+
+bool decode_trace_context(const std::uint8_t* data, std::size_t size,
+                          TraceContext* out) {
+  if (size != kTraceContextSize) return false;
+  serial::Reader r(data, size);
+  TraceContext context;
+  context.session_id = r.u64le();
+  context.span_id = r.u64le();
+  context.origin = r.u32le();
+  context.send_ts_us = static_cast<std::int64_t>(r.u64le());
+  *out = context;
+  return true;
+}
+
+DecodeStatus extract_trace_context(Frame* frame) {
+  if ((frame->header.flags & kFlagTrace) == 0) return DecodeStatus::Ok;
+  if (frame->body.size() < kTraceContextSize) return DecodeStatus::BadTrace;
+  TraceContext context;
+  const std::size_t tail = frame->body.size() - kTraceContextSize;
+  if (!decode_trace_context(frame->body.data() + tail, kTraceContextSize,
+                            &context)) {
+    return DecodeStatus::BadTrace;
+  }
+  frame->trace = context;
+  frame->body.resize(tail);
+  return DecodeStatus::Ok;
 }
 
 DecodeStatus decode_header(const std::uint8_t* data, std::size_t size,
@@ -82,7 +127,8 @@ DecodeStatus decode_frame(const serial::Bytes& buffer, Frame* out) {
   if (bs != DecodeStatus::Ok) return bs;
   out->header = header;
   out->body.assign(body, body + header.body_len);
-  return DecodeStatus::Ok;
+  out->trace.reset();
+  return extract_trace_context(out);
 }
 
 serial::Bytes encode_app_body(const net::Message& message) {

@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 
 #include "net/message.hpp"
 #include "serial/byte_buffer.hpp"
@@ -52,7 +53,32 @@ enum class FrameType : std::uint16_t {
 
 enum FrameFlags : std::uint16_t {
   kFlagChecksum = 1 << 0,  ///< `checksum` covers the body
+  kFlagTrace = 1 << 1,     ///< body ends with a kTraceContextSize trace tail
 };
+
+/// Distributed-tracing context piggybacked on a frame. When kFlagTrace is
+/// set, the last kTraceContextSize bytes of the body are this struct in
+/// fixed-width little-endian layout; the checksum covers the tail like any
+/// other body byte, so a corrupted context is rejected as ChecksumMismatch
+/// before it can mislead the trace merge. The header stays 40 bytes and a
+/// receiver that predates tracing still verifies the checksum correctly —
+/// it only sees a body with 28 opaque trailing bytes.
+///
+/// Layout (offsets within the tail, little-endian):
+///   0  u64  session_id  stable id shared by all spans of one update session
+///   8  u64  span_id     sender-side span the receiver's work continues
+///  16  u32  origin      node id of the sender that stamped this context
+///  20  i64  send_ts_us  sender trace-clock microseconds at stamping time
+struct TraceContext {
+  std::uint64_t session_id = 0;
+  std::uint64_t span_id = 0;
+  net::NodeId origin = net::kInvalidNode;
+  std::int64_t send_ts_us = 0;
+
+  bool operator==(const TraceContext&) const = default;
+};
+
+constexpr std::size_t kTraceContextSize = 28;
 
 struct FrameHeader {
   std::uint16_t type = 0;
@@ -74,6 +100,12 @@ struct FrameHeader {
 struct Frame {
   FrameHeader header;
   serial::Bytes body;
+  /// Present when the sender stamped a kFlagTrace tail; stripped off `body`
+  /// during decode so payload codecs never see the trace bytes.
+  std::optional<TraceContext> trace;
+  /// Receiver trace-clock microseconds when the frame left the wire. Not a
+  /// wire field — filled in by the receiving transport, -1 when untraced.
+  std::int64_t recv_ts_us = -1;
 
   FrameType type() const noexcept { return static_cast<FrameType>(header.type); }
 };
@@ -86,6 +118,7 @@ enum class DecodeStatus : std::uint8_t {
   BadVersion,
   BadLength,         ///< body_len > kMaxBodyLen
   ChecksumMismatch,
+  BadTrace,          ///< kFlagTrace set but body shorter than the trace tail
 };
 
 const char* decode_status_name(DecodeStatus status) noexcept;
@@ -95,10 +128,26 @@ std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size) noexcept;
 
 /// Serialize header + body into one contiguous byte vector. When
 /// `with_checksum`, the header's checksum field is filled from the body.
+/// When `trace` is non-null, the kTraceContextSize tail is appended to the
+/// body (covered by the checksum) and kFlagTrace is set.
 serial::Bytes encode_frame(FrameType type, net::NodeId src, net::NodeId dst,
                            std::uint64_t seq, const serial::Bytes& body,
                            bool with_checksum = true,
-                           std::uint16_t incarnation = 0);
+                           std::uint16_t incarnation = 0,
+                           const TraceContext* trace = nullptr);
+
+/// Fixed-width little-endian trace-tail codec.
+serial::Bytes encode_trace_context(const TraceContext& context);
+/// Returns false (leaving `out` untouched) unless `size` is exactly
+/// kTraceContextSize.
+bool decode_trace_context(const std::uint8_t* data, std::size_t size,
+                          TraceContext* out);
+
+/// Strip a kFlagTrace tail off `frame->body` into `frame->trace`. No-op Ok
+/// when the flag is clear; BadTrace when the flag is set but the body is too
+/// short to contain the tail. Call after checksum verification — the tail is
+/// ordinary body bytes on the wire.
+DecodeStatus extract_trace_context(Frame* frame);
 
 /// Parse a header from exactly kHeaderSize bytes. Returns Truncated /
 /// BadMagic / BadVersion / BadLength without touching `out` payload state.

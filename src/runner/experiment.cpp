@@ -31,6 +31,9 @@ namespace {
 
 std::unique_ptr<net::LatencyModel> make_latency(const ExperimentConfig& config,
                                                 const net::Topology& topology) {
+  if (!config.net_calibration.empty()) {
+    return std::make_unique<net::CalibratedLatency>(config.net_calibration);
+  }
   if (config.network == NetworkKind::Lan) {
     return std::make_unique<net::LanLatency>(topology.delays,
                                              config.lan_jitter_mean_us,
@@ -53,7 +56,14 @@ RunResult run_experiment(const ExperimentConfig& config) {
   MARP_REQUIRE(config.servers >= 1);
   sim::Simulator simulator(config.seed);
   net::Topology topology = make_topology(config);
-  net::Network network(simulator, topology, make_latency(config, topology));
+  std::unique_ptr<net::LatencyModel> latency = make_latency(config, topology);
+  // Keep a typed view for the end-of-run closure report; the Network owns
+  // the model either way.
+  const auto* calibrated =
+      config.net_calibration.empty()
+          ? nullptr
+          : static_cast<const net::CalibratedLatency*>(latency.get());
+  net::Network network(simulator, topology, std::move(latency));
 
   // The MARP stack needs the agent platform; message-passing baselines
   // register directly with the network.
@@ -224,6 +234,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
     result.phase_latencies = trace::phase_latencies(*tracer);
     result.trace = std::move(tracer);
   }
+  if (calibrated != nullptr) result.calibration_report = calibrated->report();
   return result;
 }
 

@@ -46,6 +46,10 @@ struct ExperimentConfig {
   std::uint64_t seed = 1;
 
   NetworkKind network = NetworkKind::Lan;
+  /// Non-empty: ignore `network` and replay a measured per-link delay
+  /// distribution (marp_sim --net-calibration, produced by a real cluster
+  /// run) through net::CalibratedLatency.
+  net::CalibrationTable net_calibration;
   /// LAN: one-way base propagation + exponential jitter + bandwidth.
   sim::SimTime lan_base = sim::SimTime::millis(2);
   double lan_jitter_mean_us = 500.0;
@@ -127,6 +131,10 @@ struct RunResult {
   std::shared_ptr<trace::Tracer> trace;
   /// Per-phase latency percentiles over the traced spans (empty untraced).
   std::vector<trace::PhaseLatency> phase_latencies;
+  /// Calibrated-run closure check: per measured link, the calibration
+  /// table's median delay vs the median this run actually sampled (empty
+  /// unless config.net_calibration was set).
+  std::vector<net::CalibratedLatency::LinkReport> calibration_report;
 
   double messages_per_write() const {
     return successful_writes == 0

@@ -1,0 +1,73 @@
+// Multi-node trace merge: turns one TraceDump per cluster member into a
+// single Perfetto timeline with one pid per node.
+//
+// Each node's spans ride its own trace clock (steady_clock − shared epoch,
+// plus any injected skew), so the dumps cannot be concatenated naively.
+// Alignment is NTP-style: every traced wire frame carries the sender's
+// send timestamp and the receiver stamps arrival, giving per-directed-link
+// deltas  recv − send = θ_recv − θ_send + delay.  For a link pair take
+//   m1 = min(recv_B − send_A),  m2 = min(recv_A − send_B)
+// then  θ_B − θ_A = (m1 − m2) / 2  and  min one-way delay = (m1 + m2) / 2.
+// Offsets propagate from the reference node over the sample graph (BFS), so
+// any node that exchanged traced frames with the connected component gets a
+// correction; within a node the correction is a constant, so local ordering
+// and durations are untouched.
+//
+// The merge also closes the cross-process migration spans (open on the
+// source, invisible on the destination) and links them with flow events,
+// and distils the aligned per-link one-way delays into a calibration table
+// the simulator's CalibratedLatency can replay.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/latency.hpp"
+#include "rpc/control.hpp"
+
+namespace marp::trace {
+
+struct MergeOptions {
+  /// Node whose clock the merged timeline adopts.
+  net::NodeId reference = 0;
+  /// Inverse-CDF table resolution for the calibration output (entries per
+  /// link; clamped to the sample count).
+  std::size_t calibration_quantiles = 33;
+};
+
+struct MergeResult {
+  /// θ_node − θ_reference per node id; subtracting it aligns that node's
+  /// timestamps onto the reference clock.
+  std::vector<std::int64_t> offsets_us;
+  /// False = no traced-frame path to the reference (offset left at 0).
+  std::vector<bool> aligned;
+  /// Aligned one-way-delay distribution per directed link.
+  net::CalibrationTable calibration;
+  std::size_t spans_emitted = 0;
+  std::size_t flows_emitted = 0;
+  /// Open spans with no destination match (dropped from the timeline).
+  std::size_t open_unmatched = 0;
+  /// Sum of per-node ring evictions + link-sample cap drops (merge honesty).
+  std::uint64_t spans_dropped = 0;
+  std::uint64_t samples_dropped = 0;
+};
+
+/// Clock alignment + calibration only, no emission (unit-testable core).
+MergeResult align_clocks(const std::vector<rpc::NodeTrace>& traces,
+                         const MergeOptions& options = {});
+
+/// Full pipeline: align, stitch migrations, emit one Chrome-trace JSON
+/// document with one pid per node (pid = node + 1).
+MergeResult write_merged_trace(std::ostream& os,
+                               const std::vector<rpc::NodeTrace>& traces,
+                               const MergeOptions& options = {});
+
+/// Calibration file round trip (what --calibration-out writes and
+/// --net-calibration reads).
+void write_calibration_json(std::ostream& os, const net::CalibrationTable& table);
+/// Throws std::runtime_error on malformed input.
+net::CalibrationTable parse_calibration_json(const std::string& text);
+
+}  // namespace marp::trace

@@ -75,6 +75,13 @@ std::vector<SpanRecord> Tracer::records() const {
   return out;
 }
 
+std::vector<SpanRecord> Tracer::open_records() const {
+  std::vector<SpanRecord> out;
+  out.reserve(open_.size());
+  for (const auto& [key, record] : open_) out.push_back(record);
+  return out;
+}
+
 void Tracer::clear() {
   ring_.clear();
   head_ = 0;

@@ -108,6 +108,11 @@ class Tracer final : public agent::PlatformObserver, public net::NetworkObserver
 
   /// Retained spans, oldest first (a copy: the ring stays internal).
   std::vector<SpanRecord> records() const;
+  /// Spans begun but not ended, in no particular order (`end_us` is
+  /// meaningless). On a real cluster node a remote migration opens here and
+  /// completes on the *destination's* tracer, so the merge step needs the
+  /// open half to stitch the cross-process span.
+  std::vector<SpanRecord> open_records() const;
   std::size_t size() const noexcept { return ring_.size(); }
   std::uint64_t dropped() const noexcept { return dropped_; }
   /// Begun spans not yet ended (0 after a drained run = well-formed trace).

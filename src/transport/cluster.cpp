@@ -269,6 +269,17 @@ std::optional<rpc::NodeDump> ControlClient::dump() {
   }
 }
 
+std::optional<rpc::NodeTrace> ControlClient::trace_dump() {
+  const auto body = call(rpc::Proc::TraceDump);
+  if (!body) return std::nullopt;
+  try {
+    serial::Reader r(*body);
+    return rpc::NodeTrace::deserialize(r);
+  } catch (const serial::DecodeError&) {
+    return std::nullopt;
+  }
+}
+
 std::optional<rpc::HeartbeatReply> ControlClient::heartbeat() {
   const auto body = call(rpc::Proc::Heartbeat);
   if (!body) return std::nullopt;

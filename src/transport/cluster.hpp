@@ -112,6 +112,9 @@ class ControlClient {
   bool ping();
   std::optional<rpc::NodeStatus> status();
   std::optional<rpc::NodeDump> dump();
+  /// Pull the node's span ring + link clock samples (empty when the node
+  /// runs untraced — still a valid reply, not an error).
+  std::optional<rpc::NodeTrace> trace_dump();
   std::optional<rpc::HeartbeatReply> heartbeat();
   /// Ask the node to pull every live peer's store right now (convergence
   /// barrier before final dumps).

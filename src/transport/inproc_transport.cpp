@@ -15,24 +15,59 @@ void InProcTransport::stop() {
   running_ = false;
 }
 
+const rpc::TraceContext* InProcTransport::stamp(rpc::TraceContext* out,
+                                                std::uint64_t session,
+                                                std::uint64_t span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!trace_clock_) return nullptr;
+  out->session_id = session;
+  out->span_id = span;
+  out->origin = local_;
+  out->send_ts_us = trace_clock_();
+  return out;
+}
+
 bool InProcTransport::send_message(const net::Message& message) {
+  rpc::TraceContext trace;
+  const rpc::TraceContext* tp = stamp(&trace, 0, seq_ + 1);
   const serial::Bytes encoded =
       rpc::encode_frame(rpc::FrameType::AppMessage, local_, message.dst, ++seq_,
-                        rpc::encode_app_body(message), mesh_.checksum());
+                        rpc::encode_app_body(message), mesh_.checksum(),
+                        incarnation_, tp);
   return mesh_.deliver(local_, message.dst, encoded, rpc::FrameType::AppMessage);
 }
 
-bool InProcTransport::send_agent_frame(net::NodeId dst, const serial::Bytes& frame) {
+bool InProcTransport::send_agent_frame(net::NodeId dst, const serial::Bytes& frame,
+                                       std::uint64_t trace_session) {
+  rpc::TraceContext trace;
+  const rpc::TraceContext* tp = stamp(&trace, trace_session, seq_ + 1);
   const serial::Bytes encoded = rpc::encode_frame(
-      rpc::FrameType::AgentTransfer, local_, dst, ++seq_, frame, mesh_.checksum());
+      rpc::FrameType::AgentTransfer, local_, dst, ++seq_, frame, mesh_.checksum(),
+      incarnation_, tp);
   return mesh_.deliver(local_, dst, encoded, rpc::FrameType::AgentTransfer);
 }
 
 bool InProcTransport::send_agent_ack(net::NodeId dst, std::uint64_t token) {
+  rpc::TraceContext trace;
+  const rpc::TraceContext* tp = stamp(&trace, 0, seq_ + 1);
   const serial::Bytes encoded =
       rpc::encode_frame(rpc::FrameType::AgentTransferAck, local_, dst, ++seq_,
-                        rpc::encode_transfer_ack_body(token), mesh_.checksum());
+                        rpc::encode_transfer_ack_body(token), mesh_.checksum(),
+                        incarnation_, tp);
   return mesh_.deliver(local_, dst, encoded, rpc::FrameType::AgentTransferAck);
+}
+
+bool InProcTransport::send_announce(net::NodeId dst) {
+  const serial::Bytes encoded = rpc::encode_frame(
+      rpc::FrameType::Announce, local_, dst, ++seq_,
+      rpc::encode_announce_body({local_, incarnation_}), mesh_.checksum(),
+      incarnation_);
+  return mesh_.deliver(local_, dst, encoded, rpc::FrameType::Announce);
+}
+
+void InProcTransport::set_trace_clock(TraceClock clock) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  trace_clock_ = std::move(clock);
 }
 
 bool InProcTransport::reachable(net::NodeId dst) { return dst < mesh_.size(); }
@@ -67,6 +102,9 @@ void InProcTransport::receive_encoded(const serial::Bytes& encoded) {
     }
     ++stats_.frames_received;
     stats_.bytes_received += encoded.size();
+    if (trace_clock_ && frame.trace.has_value()) {
+      frame.recv_ts_us = trace_clock_();
+    }
     if (frame.type() == rpc::FrameType::AgentTransfer) {
       ++stats_.agent_frames_received;
     }

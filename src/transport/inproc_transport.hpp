@@ -30,10 +30,18 @@ class InProcTransport final : public NodeTransport {
   void stop() override;
 
   bool send_message(const net::Message& message) override;
-  bool send_agent_frame(net::NodeId dst, const serial::Bytes& frame) override;
+  bool send_agent_frame(net::NodeId dst, const serial::Bytes& frame,
+                        std::uint64_t trace_session = 0) override;
   bool send_agent_ack(net::NodeId dst, std::uint64_t token) override;
   bool reachable(net::NodeId dst) override;
   TransportStats stats() const override;
+
+  bool send_announce(net::NodeId dst) override;
+  void set_trace_clock(TraceClock clock) override;
+
+  /// Incarnation stamped into outbound frames and Announce bodies (RealNode
+  /// sets this when it owns the transport; defaults to first life).
+  void set_incarnation(std::uint16_t incarnation) { incarnation_ = incarnation; }
 
   net::NodeId local() const noexcept { return local_; }
 
@@ -43,15 +51,20 @@ class InProcTransport final : public NodeTransport {
   /// A frame "arrives off the wire": validate and hand to the receiver.
   void receive_encoded(const serial::Bytes& encoded);
   void note_sent(const serial::Bytes& encoded, rpc::FrameType type);
+  /// Fill `out` from the trace clock (if set) and return it, else nullptr.
+  const rpc::TraceContext* stamp(rpc::TraceContext* out, std::uint64_t session,
+                                 std::uint64_t span);
 
   InProcMesh& mesh_;
   net::NodeId local_;
   Receiver receiver_;
   std::uint64_t seq_ = 0;
+  std::uint16_t incarnation_ = 0;
 
   mutable std::mutex mutex_;
   bool running_ = false;
   TransportStats stats_;
+  TraceClock trace_clock_;
 };
 
 /// Owns the N transports and the chaos knobs shared between them.

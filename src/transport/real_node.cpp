@@ -15,6 +15,10 @@ namespace {
 /// local server replies); keep it fast and size-independent.
 constexpr std::int64_t kLoopbackDelayUs = 50;
 
+/// Cap on harvested (send, recv) clock-sample pairs; beyond this, alignment
+/// quality stops improving and the TraceDump reply just gets fatter.
+constexpr std::size_t kMaxNodeLinkSamples = 4096;
+
 }  // namespace
 
 std::string workload_key(const RealNodeConfig& config, net::NodeId origin,
@@ -42,20 +46,44 @@ RealNode::RealNode(RealNodeConfig config)
                   pc.migration_timeout = config_.migration_timeout;
                   return pc;
                 }()),
-      protocol_(network_, platform_, config_.marp),
-      transport_([this] {
-        SocketTransportConfig tc;
-        tc.local = config_.node;
-        tc.peers = config_.endpoints;
-        tc.checksum = config_.checksum;
-        tc.incarnation = config_.incarnation;
-        tc.send_loss = config_.send_loss;
-        tc.loss_seed = config_.seed * 7919 + config_.node;
-        tc.connect_jitter_seed = config_.seed * 6571 + config_.node;
-        return tc;
-      }()) {
+      protocol_(network_, platform_, config_.marp) {
   MARP_REQUIRE(config_.node < config_.endpoints.size());
-  network_.attach_transport(&transport_, config_.node);
+  // Virtual-time origin. Captured here (not at driver start) because the
+  // transport's trace clock reads it from reader threads as soon as frames
+  // flow; see driver_loop for the shared-epoch rationale.
+  t0_ = std::chrono::steady_clock::now();
+  if (config_.clock_epoch_us > 0) {
+    const auto epoch = std::chrono::steady_clock::time_point(
+        std::chrono::microseconds(config_.clock_epoch_us));
+    if (epoch < t0_) t0_ = epoch;
+  }
+  if (config_.transport_factory) {
+    transport_ = config_.transport_factory(config_);
+  } else {
+    SocketTransportConfig tc;
+    tc.local = config_.node;
+    tc.peers = config_.endpoints;
+    tc.checksum = config_.checksum;
+    tc.incarnation = config_.incarnation;
+    tc.send_loss = config_.send_loss;
+    tc.loss_seed = config_.seed * 7919 + config_.node;
+    tc.connect_jitter_seed = config_.seed * 6571 + config_.node;
+    transport_ = std::make_unique<SocketTransport>(std::move(tc));
+  }
+  network_.attach_transport(transport_.get(), config_.node);
+  if (config_.trace_capacity > 0) {
+    // Same three-way wiring as the simulator runner: platform observer
+    // (sessions + migrations), network observer (drops/retransmits), MARP
+    // hooks (visits, lock waits, update rounds, commit fan-outs). Span
+    // timestamps ride the virtual clock; the transport additionally stamps
+    // every wire frame with this node's trace clock for cross-node
+    // alignment.
+    tracer_ = std::make_unique<trace::Tracer>(sim_, config_.trace_capacity);
+    network_.set_observer(tracer_.get());
+    platform_.set_observer(tracer_.get());
+    protocol_.set_tracer(tracer_.get());
+    transport_->set_trace_clock([this] { return trace_clock_now(); });
+  }
   peer_incarnation_.assign(config_.endpoints.size(), 0);
   // A reborn node is catching up from the moment it exists — set this
   // before the driver thread starts, or a Status probe landing in between
@@ -122,11 +150,11 @@ RealNode::RealNode(RealNodeConfig config)
 RealNode::~RealNode() {
   request_stop();
   join();
-  transport_.stop();
+  transport_->stop();
 }
 
 void RealNode::run() {
-  transport_.start([this](rpc::Frame&& frame, NodeTransport::ReplyFn reply) {
+  transport_->start([this](rpc::Frame&& frame, NodeTransport::ReplyFn reply) {
     std::lock_guard<std::mutex> lock(inbox_mutex_);
     if (stop_requested_) return;
     inbox_.push_back({std::move(frame), std::move(reply)});
@@ -139,7 +167,7 @@ void RealNode::run() {
     std::lock_guard<std::mutex> state(state_mutex_);
     checkpoint_now();
   }
-  transport_.stop();
+  transport_->stop();
 }
 
 void RealNode::checkpoint_now() {
@@ -226,16 +254,12 @@ void RealNode::driver_loop() {
   // from the same steady_clock instant (supervisor-chosen), so a
   // reincarnated process resumes with its clock AHEAD of where its previous
   // life stopped — commit Version timestamps keep increasing across a crash
-  // and the Thomas write rule never rejects a reborn node's writes.
-  auto t0 = Clock::now();
-  if (config_.clock_epoch_us > 0) {
-    const auto epoch =
-        Clock::time_point(std::chrono::microseconds(config_.clock_epoch_us));
-    if (epoch < t0) t0 = epoch;
-  }
-  const auto virt = [&t0] {
+  // and the Thomas write rule never rejects a reborn node's writes. The
+  // origin t0_ is computed in the constructor (the transport's trace clock
+  // shares it).
+  const auto virt = [this] {
     return sim::SimTime::micros(std::chrono::duration_cast<std::chrono::microseconds>(
-                                    Clock::now() - t0)
+                                    Clock::now() - t0_)
                                     .count());
   };
 
@@ -258,7 +282,7 @@ void RealNode::driver_loop() {
       // must not write (or serve protocol traffic as current) off a stale
       // store any longer than necessary.
       for (net::NodeId peer = 0; peer < config_.endpoints.size(); ++peer) {
-        if (peer != config_.node) transport_.send_announce(peer);
+        if (peer != config_.node) transport_->send_announce(peer);
       }
       catchup_pulls_ +=
           protocol_.server(config_.node).sync_pull(config_.endpoints.size() - 1);
@@ -297,7 +321,7 @@ void RealNode::driver_loop() {
       inbox_cv_.wait_for(lock, std::chrono::milliseconds(100));
     } else {
       const auto wake =
-          t0 + std::chrono::microseconds(sim_.next_event_time().as_micros());
+          t0_ + std::chrono::microseconds(sim_.next_event_time().as_micros());
       inbox_cv_.wait_until(lock, wake);
     }
   }
@@ -320,6 +344,20 @@ bool RealNode::admit_incarnation(const rpc::FrameHeader& header) {
 }
 
 void RealNode::apply(Incoming incoming) {
+  if (tracer_ && incoming.frame.trace.has_value() &&
+      incoming.frame.recv_ts_us >= 0 &&
+      incoming.frame.header.src < config_.endpoints.size()) {
+    // One (send, recv) timestamp pair per traced inbound frame. recv_ts was
+    // stamped on the transport reader thread — before inbox queueing — so
+    // the pair measures the wire, not this node's scheduling backlog.
+    if (link_samples_.size() < kMaxNodeLinkSamples) {
+      link_samples_.push_back({incoming.frame.header.src,
+                               incoming.frame.trace->send_ts_us,
+                               incoming.frame.recv_ts_us});
+    } else {
+      ++link_samples_dropped_;
+    }
+  }
   switch (incoming.frame.type()) {
     case rpc::FrameType::Announce: {
       try {
@@ -361,7 +399,7 @@ void RealNode::apply(Incoming incoming) {
         const auto transfer = platform_.receive_remote_transfer(incoming.frame.body);
         // Ack even a deduped duplicate — the agent is live here either way,
         // and the sender must cancel its revival timer.
-        transport_.send_agent_ack(incoming.frame.header.src, transfer.token);
+        transport_->send_agent_ack(incoming.frame.header.src, transfer.token);
       } catch (const serial::DecodeError& e) {
         // The frame passed the checksum but the body would not rehydrate —
         // drop it WITHOUT acking, so the sender's always-armed migration
@@ -422,6 +460,17 @@ void RealNode::handle_control(const rpc::Frame& frame,
       rpc::ReplyHeader h{req.xid, rpc::kOk};
       h.serialize(w);
       dump_locked().serialize(w);
+      if (reply) {
+        reply(rpc::encode_frame(rpc::FrameType::ControlReply, config_.node,
+                                frame.header.src, req.xid, w.take(),
+                                config_.checksum));
+      }
+      return;
+    }
+    case rpc::Proc::TraceDump: {
+      rpc::ReplyHeader h{req.xid, rpc::kOk};
+      h.serialize(w);
+      trace_locked().serialize(w);
       if (reply) {
         reply(rpc::encode_frame(rpc::FrameType::ControlReply, config_.node,
                                 frame.header.src, req.xid, w.take(),
@@ -514,7 +563,7 @@ rpc::NodeDump RealNode::dump_locked() {
   d.release_retransmits = stats.anomalies.release_retransmits;
   d.anomalies_total = stats.anomalies.total();
 
-  const TransportStats ts = transport_.stats();
+  const TransportStats ts = transport_->stats();
   d.frames_sent = ts.frames_sent;
   d.frames_received = ts.frames_received;
   d.agent_frames_sent = ts.agent_frames_sent;
@@ -540,7 +589,143 @@ rpc::NodeDump RealNode::dump_locked() {
   d.catchup_merges = catchup_merges_;
   d.session_retries = session_retries_;
   d.agents_lease_purged = stats.agents_lease_purged;
+  d.counters = counters_locked().entries();
   return d;
+}
+
+rpc::NodeTrace RealNode::trace_dump() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return trace_locked();
+}
+
+trace::CounterRegistry RealNode::counters() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return counters_locked();
+}
+
+std::int64_t RealNode::trace_clock_now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - t0_)
+             .count() +
+         config_.trace_skew_us;
+}
+
+rpc::NodeTrace RealNode::trace_locked() {
+  rpc::NodeTrace t;
+  t.node = config_.node;
+  t.incarnation = config_.incarnation;
+  t.link_samples = link_samples_;
+  t.samples_dropped = link_samples_dropped_;
+  if (!tracer_) return t;
+  t.spans_dropped = tracer_->dropped();
+  const auto flatten = [this](const trace::SpanRecord& r, std::int64_t end_us) {
+    rpc::NodeTrace::Span s;
+    // Span timestamps ride the virtual clock (steady_clock − t0_); shift
+    // them onto the node's trace-clock axis so they are directly comparable
+    // with the wire send/recv stamps the merge step aligns against.
+    s.start_us = r.start_us + config_.trace_skew_us;
+    s.end_us = end_us;
+    s.kind = static_cast<std::uint8_t>(r.kind);
+    s.node = r.node;
+    s.agent_origin = r.agent.origin;
+    s.agent_created_us = r.agent.created_us;
+    s.agent_seq = r.agent.seq;
+    s.aux = r.aux;
+    s.aux2 = r.aux2;
+    return s;
+  };
+  const std::vector<trace::SpanRecord> records = tracer_->records();
+  const std::vector<trace::SpanRecord> open = tracer_->open_records();
+  t.spans.reserve(records.size() + open.size());
+  for (const trace::SpanRecord& r : records) {
+    t.spans.push_back(flatten(r, r.end_us + config_.trace_skew_us));
+  }
+  for (const trace::SpanRecord& r : open) {
+    t.spans.push_back(flatten(r, rpc::NodeTrace::kOpenEnd));
+  }
+  return t;
+}
+
+trace::CounterRegistry RealNode::counters_locked() {
+  // Mirrors runner::build_counter_registry's namespaces so marp_node
+  // --counters and NodeDump.counters read like marp_sim --counters, then
+  // adds the real-wire extras (net.real.*, link.*, run.session_retries…).
+  trace::CounterRegistry reg;
+  reg.set("run.sessions_target", config_.sessions);
+  reg.set("run.sessions_completed", sessions_completed_);
+  reg.set("run.sessions_failed", sessions_failed_);
+  reg.set("run.session_retries", session_retries_);
+
+  const net::TrafficStats& net = network_.stats();
+  reg.set("net.messages_sent", net.messages_sent);
+  reg.set("net.messages_delivered", net.messages_delivered);
+  reg.set("net.messages_dropped", net.messages_dropped);
+  reg.set("net.bytes_sent", net.bytes_sent);
+
+  const agent::PlatformStats& ag = platform_.stats();
+  reg.set("agent.created", ag.agents_created);
+  reg.set("agent.disposed", ag.agents_disposed);
+  reg.set("agent.migrations_started", ag.migrations_started);
+  reg.set("agent.migrations_completed", ag.migrations_completed);
+  reg.set("agent.migrations_failed", ag.migrations_failed);
+  reg.set("agent.migration_bytes", ag.migration_bytes);
+  reg.set("agent.remote_transfers_acked", ag.remote_transfers_acked);
+  reg.set("agent.remote_transfers_deduped", ag.remote_transfers_deduped);
+
+  const core::MarpStats& marp = protocol_.stats();
+  reg.set("marp.updates_committed", marp.updates_committed);
+  reg.set("marp.updates_aborted", marp.updates_aborted);
+  reg.set("marp.update_attempts", marp.update_attempts);
+  reg.set("marp.reads_served", marp.reads_served);
+  reg.set("marp.lock_requeues", marp.lock_requeues);
+  reg.set("marp.mutex_violations", marp.mutex_violations);
+
+  const core::ProtocolAnomalies& anomaly = marp.anomalies;
+  reg.set("marp.anomaly.stale_acks", anomaly.stale_acks);
+  reg.set("marp.anomaly.stale_updates", anomaly.stale_updates);
+  reg.set("marp.anomaly.duplicate_updates", anomaly.duplicate_updates);
+  reg.set("marp.anomaly.duplicate_commits", anomaly.duplicate_commits);
+  reg.set("marp.anomaly.duplicate_reports", anomaly.duplicate_reports);
+  reg.set("marp.anomaly.orphaned_reports", anomaly.orphaned_reports);
+  reg.set("marp.anomaly.commit_retransmits", anomaly.commit_retransmits);
+  reg.set("marp.anomaly.report_retransmits", anomaly.report_retransmits);
+  reg.set("marp.anomaly.release_retransmits", anomaly.release_retransmits);
+
+  const TransportStats ts = transport_->stats();
+  reg.set("net.real.frames_sent", ts.frames_sent);
+  reg.set("net.real.frames_received", ts.frames_received);
+  reg.set("net.real.bytes_sent", ts.bytes_sent);
+  reg.set("net.real.bytes_received", ts.bytes_received);
+  reg.set("net.real.agent_frames_sent", ts.agent_frames_sent);
+  reg.set("net.real.agent_frames_received", ts.agent_frames_received);
+  reg.set("net.real.agent_acks_sent", ts.agent_acks_sent);
+  reg.set("net.real.agent_acks_received", ts.agent_acks_received);
+  reg.set("net.real.loss_injected", ts.loss_injected);
+  reg.set("net.real.checksum_rejected", ts.checksum_rejected);
+  reg.set("net.real.malformed_rejected", ts.malformed_rejected);
+  reg.set("net.real.send_failures", ts.send_failures);
+  reg.set("net.real.stale_incarnation_rejected", stale_incarnation_rejected_);
+
+  reg.set("fault.checkpoints_written",
+          durable_ ? durable_->checkpoints_written() : 0);
+  reg.set("fault.journal_appends", durable_ ? durable_->journal_appends() : 0);
+  reg.set("fault.journal_records_replayed", recovered_.journal_records);
+  reg.set("fault.catchup_pulls", catchup_pulls_);
+  reg.set("fault.catchup_merges", catchup_merges_);
+
+  if (tracer_) {
+    reg.set("trace.spans_recorded", tracer_->size());
+    reg.set("trace.spans_dropped", tracer_->dropped());
+    reg.set("trace.open_spans", tracer_->open_spans());
+    reg.set("trace.unmatched_ends", tracer_->unmatched_ends());
+    reg.set("trace.link_samples", link_samples_.size());
+    reg.set("trace.link_samples_dropped", link_samples_dropped_);
+  }
+
+  // Per-link link.<peer>.* tallies and RTT/OWD quantiles live in the
+  // transport (sampled on its threads); merge them in last.
+  transport_->export_counters(reg);
+  return reg;
 }
 
 }  // namespace marp::transport

@@ -29,9 +29,11 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -44,6 +46,8 @@
 #include "net/network.hpp"
 #include "rpc/control.hpp"
 #include "sim/simulator.hpp"
+#include "trace/counters.hpp"
+#include "trace/tracer.hpp"
 #include "transport/socket_transport.hpp"
 
 namespace marp::transport {
@@ -109,6 +113,22 @@ struct RealNodeConfig {
   /// Duplicates are safe: a session writes the same value under the same
   /// writer, so the Thomas rule converges, and late REPORTs deduplicate.
   sim::SimTime session_retry_timeout = sim::SimTime::zero();
+
+  // ---- distributed tracing (PR 8) ----
+  /// Span-ring capacity for this node's Tracer; 0 = tracing off (no tracer
+  /// is constructed, no TraceContext tails on the wire — byte-identical to
+  /// an untraced cluster).
+  std::size_t trace_capacity = 0;
+  /// Injected offset added to this node's trace clock AND its exported span
+  /// timestamps — a deterministic stand-in for per-host clock skew, so the
+  /// merge step's pairwise alignment can be tested against a known truth.
+  /// Protocol time (the virtual clock, commit Versions) is NOT affected.
+  std::int64_t trace_skew_us = 0;
+  /// Build the node's transport. Default (null): a SocketTransport on
+  /// `endpoints`. Tests substitute an InProcMesh-backed transport to run a
+  /// deterministic multi-node "cluster" in one process.
+  std::function<std::unique_ptr<NodeTransport>(const RealNodeConfig&)>
+      transport_factory;
 };
 
 /// The key node `origin` writes in session `i` under a workload config.
@@ -141,6 +161,11 @@ class RealNode {
   /// Snapshot used by the Status/Dump RPCs. Thread-safe.
   rpc::NodeStatus status();
   rpc::NodeDump dump();
+  /// Span ring + link clock samples (empty when tracing is off). Thread-safe.
+  rpc::NodeTrace trace_dump();
+  /// Full counter registry (the same namespaces marp_sim --counters prints,
+  /// plus net.real.* and per-link link.*). Thread-safe.
+  trace::CounterRegistry counters();
 
  private:
   struct Incoming {
@@ -162,13 +187,24 @@ class RealNode {
   void watchdog_tick();
   rpc::NodeStatus status_locked();
   rpc::NodeDump dump_locked();
+  rpc::NodeTrace trace_locked();
+  trace::CounterRegistry counters_locked();
+  /// This node's trace-clock microseconds (virtual-time axis + trace_skew).
+  std::int64_t trace_clock_now() const;
 
   RealNodeConfig config_;
   sim::Simulator sim_;
   net::Network network_;
   agent::AgentPlatform platform_;
   core::MarpProtocol protocol_;
-  SocketTransport transport_;
+  std::unique_ptr<NodeTransport> transport_;
+  /// Per-node span ring (nullptr when config.trace_capacity == 0).
+  std::unique_ptr<trace::Tracer> tracer_;
+  /// Virtual-time origin on the steady_clock axis: min(construction time,
+  /// supervisor epoch). A member (not a driver_loop local) because the
+  /// transport's trace clock needs it from reader threads before and after
+  /// the driver runs.
+  std::chrono::steady_clock::time_point t0_;
 
   /// Durable state (nullptr when config.data_dir is empty).
   std::unique_ptr<checkpoint::DurableLog> durable_;
@@ -187,6 +223,11 @@ class RealNode {
   std::uint64_t sessions_completed_ = 0;
   std::uint64_t sessions_failed_ = 0;
   std::uint64_t next_request_id_ = 0;
+
+  /// Traced-frame (send, recv) timestamp pairs per inbound link, harvested
+  /// in apply(); bounded, drops counted. Guarded by state_mutex_.
+  std::vector<rpc::NodeTrace::LinkSample> link_samples_;
+  std::uint64_t link_samples_dropped_ = 0;
 
   std::mutex inbox_mutex_;
   std::condition_variable inbox_cv_;

@@ -12,14 +12,39 @@
 #include <cerrno>
 #include <csignal>
 #include <cstring>
+#include <string>
 #include <thread>
 
+#include "trace/counters.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
 namespace marp::transport {
 
 namespace {
+
+/// Keep at most this many latency samples per link; enough for stable
+/// percentiles without unbounded growth on long-lived clusters.
+constexpr std::size_t kMaxLinkSamples = 8192;
+/// Outstanding transfer-token cap for RTT matching.
+constexpr std::size_t kMaxPendingRtt = 1024;
+
+void export_quantiles(trace::CounterRegistry& registry, const std::string& prefix,
+                      std::vector<std::int64_t> samples) {
+  if (samples.empty()) return;
+  std::sort(samples.begin(), samples.end());
+  const auto at = [&samples](double p) {
+    const std::size_t i = static_cast<std::size_t>(
+        p * static_cast<double>(samples.size() - 1) + 0.5);
+    return static_cast<std::uint64_t>(std::max<std::int64_t>(0, samples[i]));
+  };
+  registry.set(prefix + ".count", samples.size());
+  registry.set(prefix + ".p50_us", at(0.50));
+  registry.set(prefix + ".p90_us", at(0.90));
+  registry.set(prefix + ".p99_us", at(0.99));
+  registry.set(prefix + ".max_us",
+               static_cast<std::uint64_t>(std::max<std::int64_t>(0, samples.back())));
+}
 
 // Raw socket helpers. All sockets are blocking; reader tasks park in
 // recv() and are unblocked by shutdown(fd) at stop time.
@@ -267,10 +292,32 @@ void SocketTransport::drop_peer_conn(net::NodeId dst, const ConnPtr& conn) {
 }
 
 bool SocketTransport::send_frame(net::NodeId dst, rpc::FrameType type,
-                                 const serial::Bytes& body) {
+                                 const serial::Bytes& body,
+                                 std::uint64_t trace_session) {
+  const std::uint64_t seq = seq_.fetch_add(1) + 1;
+  rpc::TraceContext trace;
+  const rpc::TraceContext* trace_ptr = nullptr;
+  if (trace_enabled_.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(trace_mutex_);
+    if (trace_clock_) {
+      trace.session_id = trace_session;
+      trace.span_id = seq;
+      trace.origin = config_.local;
+      trace.send_ts_us = trace_clock_();
+      trace_ptr = &trace;
+      if (type == rpc::FrameType::AgentTransfer && body.size() >= 8) {
+        // Remember this transfer's send stamp so the matching ack yields an
+        // offset-free RTT sample. The token is the body's first 8 bytes.
+        serial::Reader r(body.data(), 8);
+        if (pending_rtt_.size() < kMaxPendingRtt) {
+          pending_rtt_[r.u64le()] = {dst, trace.send_ts_us};
+        }
+      }
+    }
+  }
   const serial::Bytes encoded =
-      rpc::encode_frame(type, config_.local, dst, seq_.fetch_add(1) + 1, body,
-                        config_.checksum, config_.incarnation);
+      rpc::encode_frame(type, config_.local, dst, seq, body,
+                        config_.checksum, config_.incarnation, trace_ptr);
   const ConnPtr conn = peer_conn(dst);
   if (!conn) {
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -291,11 +338,19 @@ bool SocketTransport::send_frame(net::NodeId dst, rpc::FrameType type,
     ++stats_.send_failures;
     return false;
   }
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++stats_.frames_sent;
-  stats_.bytes_sent += encoded.size();
-  if (type == rpc::FrameType::AgentTransfer) ++stats_.agent_frames_sent;
-  if (type == rpc::FrameType::AgentTransferAck) ++stats_.agent_acks_sent;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.frames_sent;
+    stats_.bytes_sent += encoded.size();
+    if (type == rpc::FrameType::AgentTransfer) ++stats_.agent_frames_sent;
+    if (type == rpc::FrameType::AgentTransferAck) ++stats_.agent_acks_sent;
+  }
+  if (trace_ptr != nullptr) {
+    std::lock_guard<std::mutex> lock(trace_mutex_);
+    LinkStats& link = link_stats_[dst];
+    ++link.frames_sent;
+    link.bytes_sent += encoded.size();
+  }
   return true;
 }
 
@@ -319,8 +374,9 @@ bool SocketTransport::send_message(const net::Message& message) {
                     rpc::encode_app_body(message));
 }
 
-bool SocketTransport::send_agent_frame(net::NodeId dst, const serial::Bytes& frame) {
-  return send_frame(dst, rpc::FrameType::AgentTransfer, frame);
+bool SocketTransport::send_agent_frame(net::NodeId dst, const serial::Bytes& frame,
+                                       std::uint64_t trace_session) {
+  return send_frame(dst, rpc::FrameType::AgentTransfer, frame, trace_session);
 }
 
 bool SocketTransport::send_agent_ack(net::NodeId dst, std::uint64_t token) {
@@ -344,6 +400,53 @@ bool SocketTransport::reachable(net::NodeId dst) {
 TransportStats SocketTransport::stats() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   return stats_;
+}
+
+void SocketTransport::set_trace_clock(TraceClock clock) {
+  std::lock_guard<std::mutex> lock(trace_mutex_);
+  trace_clock_ = std::move(clock);
+  trace_enabled_.store(static_cast<bool>(trace_clock_),
+                       std::memory_order_relaxed);
+}
+
+void SocketTransport::note_received(rpc::Frame& frame) {
+  if (!trace_enabled_.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(trace_mutex_);
+  if (!trace_clock_) return;
+  const std::int64_t now = trace_clock_();
+  if (frame.trace.has_value()) {
+    frame.recv_ts_us = now;
+    LinkStats& link = link_stats_[frame.header.src];
+    ++link.frames_received;
+    link.bytes_received += rpc::kHeaderSize + frame.body.size();
+    if (link.owd_us.size() < kMaxLinkSamples) {
+      link.owd_us.push_back(now - frame.trace->send_ts_us);
+    }
+  }
+  if (frame.type() == rpc::FrameType::AgentTransferAck && frame.body.size() >= 8) {
+    serial::Reader r(frame.body.data(), 8);
+    const auto it = pending_rtt_.find(r.u64le());
+    if (it != pending_rtt_.end()) {
+      LinkStats& link = link_stats_[it->second.first];
+      if (link.rtt_us.size() < kMaxLinkSamples) {
+        link.rtt_us.push_back(now - it->second.second);
+      }
+      pending_rtt_.erase(it);
+    }
+  }
+}
+
+void SocketTransport::export_counters(trace::CounterRegistry& registry) const {
+  std::lock_guard<std::mutex> lock(trace_mutex_);
+  for (const auto& [peer, link] : link_stats_) {
+    const std::string prefix = "link." + std::to_string(peer);
+    registry.set(prefix + ".frames_sent", link.frames_sent);
+    registry.set(prefix + ".bytes_sent", link.bytes_sent);
+    registry.set(prefix + ".frames_received", link.frames_received);
+    registry.set(prefix + ".bytes_received", link.bytes_received);
+    export_quantiles(registry, prefix + ".rtt", link.rtt_us);
+    export_quantiles(registry, prefix + ".owd", link.owd_us);
+  }
 }
 
 void SocketTransport::accept_loop() {
@@ -402,6 +505,14 @@ void SocketTransport::reader_loop(ConnPtr conn) {
       ++stats_.malformed_rejected;
       break;
     }
+    if (rpc::extract_trace_context(&frame) != rpc::DecodeStatus::Ok) {
+      // kFlagTrace with a too-short body: the whole body was read, so the
+      // stream stays aligned — drop just this frame.
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.malformed_rejected;
+      continue;
+    }
+    note_received(frame);
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.frames_received;
@@ -448,7 +559,8 @@ SocketTransport::RpcStatus SocketTransport::rpc_call_ex(
         static_cast<suseconds_t>((timeout.count() % 1000) * 1000)};
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
     errno = 0;
-    if (read_frame(fd, reply) != rpc::DecodeStatus::Ok) {
+    if (read_frame(fd, reply) != rpc::DecodeStatus::Ok ||
+        rpc::extract_trace_context(reply) != rpc::DecodeStatus::Ok) {
       // SO_RCVTIMEO surfaces as EAGAIN/EWOULDBLOCK out of recv(); anything
       // else (EOF, garbage frame) means the peer answered wrongly or died.
       status = (errno == EAGAIN || errno == EWOULDBLOCK) ? RpcStatus::Timeout

@@ -33,6 +33,7 @@
 #include <mutex>
 #include <random>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "transport/endpoint.hpp"
@@ -76,7 +77,8 @@ class SocketTransport final : public NodeTransport {
   void stop() override;
 
   bool send_message(const net::Message& message) override;
-  bool send_agent_frame(net::NodeId dst, const serial::Bytes& frame) override;
+  bool send_agent_frame(net::NodeId dst, const serial::Bytes& frame,
+                        std::uint64_t trace_session = 0) override;
   bool send_agent_ack(net::NodeId dst, std::uint64_t token) override;
   bool reachable(net::NodeId dst) override;
   TransportStats stats() const override;
@@ -84,7 +86,18 @@ class SocketTransport final : public NodeTransport {
   /// Rejoin announcement: tell `dst` this node is alive at the configured
   /// incarnation, so the peer raises its incarnation floor immediately
   /// instead of on the first fenced data frame.
-  bool send_announce(net::NodeId dst);
+  bool send_announce(net::NodeId dst) override;
+
+  /// Arm TraceContext stamping on every outbound frame and per-link latency
+  /// accounting (see Transport::set_trace_clock).
+  void set_trace_clock(TraceClock clock) override;
+
+  /// Per-link `link.*` counters: frame/byte tallies per direction, transfer
+  /// RTT percentiles (token-matched AgentTransfer → ack, offset-free), and
+  /// raw one-way delay percentiles (receiver clock − sender stamp; only
+  /// meaningful once the merge step's offsets are subtracted, or when the
+  /// cluster shares a clock epoch).
+  void export_counters(trace::CounterRegistry& registry) const override;
 
   const SocketTransportConfig& config() const noexcept { return config_; }
 
@@ -123,7 +136,10 @@ class SocketTransport final : public NodeTransport {
   };
   using ConnPtr = std::shared_ptr<Conn>;
 
-  bool send_frame(net::NodeId dst, rpc::FrameType type, const serial::Bytes& body);
+  bool send_frame(net::NodeId dst, rpc::FrameType type, const serial::Bytes& body,
+                  std::uint64_t trace_session = 0);
+  /// Reader-thread bookkeeping for traced frames: recv stamp, RTT matching.
+  void note_received(rpc::Frame& frame);
   /// Existing outbound connection to `dst`, or a fresh one (with the
   /// configured retry schedule). Null if every attempt failed. Dials
   /// without holding peers_mutex_, so one unreachable peer never stalls
@@ -158,6 +174,27 @@ class SocketTransport final : public NodeTransport {
 
   mutable std::mutex stats_mutex_;
   TransportStats stats_;
+
+  /// Trace clock + per-link accounting. All guarded by trace_mutex_ — the
+  /// untraced hot path never takes it (clock absence is checked first via
+  /// trace_enabled_, a relaxed atomic).
+  std::atomic<bool> trace_enabled_{false};
+  mutable std::mutex trace_mutex_;
+  TraceClock trace_clock_;
+  struct LinkStats {
+    std::uint64_t frames_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t frames_received = 0;
+    std::uint64_t bytes_received = 0;
+    std::vector<std::int64_t> rtt_us;  ///< transfer→ack, offset-free
+    std::vector<std::int64_t> owd_us;  ///< recv stamp − sender stamp, raw
+  };
+  std::unordered_map<net::NodeId, LinkStats> link_stats_;
+  /// Outstanding AgentTransfer tokens → (dst, send trace timestamp); matched
+  /// against incoming acks for RTT. Bounded — a token past the cap simply
+  /// yields no RTT sample.
+  std::unordered_map<std::uint64_t, std::pair<net::NodeId, std::int64_t>>
+      pending_rtt_;
 };
 
 }  // namespace marp::transport

@@ -22,6 +22,10 @@
 #include "net/message.hpp"
 #include "rpc/frame.hpp"
 
+namespace marp::trace {
+class CounterRegistry;  // defined in trace/counters.hpp; see export_counters
+}
+
 namespace marp::transport {
 
 /// Counters every backend keeps (exported as `net.real.*`).
@@ -56,7 +60,11 @@ class Transport {
   /// means the bytes were handed to the substrate — delivery is confirmed by
   /// the receiver's transfer ack; until then the platform keeps a revival
   /// timer armed. A false return is a fast-path failure (peer unreachable).
-  virtual bool send_agent_frame(net::NodeId dst, const serial::Bytes& frame) = 0;
+  /// `trace_session` (an AgentId hash, 0 = none) is stamped into the frame's
+  /// TraceContext when tracing is on, so the receiver's trace can tie the
+  /// arrival back to the sender's migration span.
+  virtual bool send_agent_frame(net::NodeId dst, const serial::Bytes& frame,
+                                std::uint64_t trace_session = 0) = 0;
 
   /// Acknowledge an adopted agent transfer back to its sender (one-way;
   /// cancels the sender's revival timer for `token`). Best-effort: a lost
@@ -68,6 +76,15 @@ class Transport {
   virtual bool reachable(net::NodeId dst) = 0;
 
   virtual TransportStats stats() const = 0;
+
+  /// Trace clock: this node's private trace-timeline microseconds. When set,
+  /// every outgoing frame is stamped with a TraceContext tail (origin, send
+  /// timestamp) and every incoming traced frame gets `recv_ts_us` filled at
+  /// wire arrival — the raw material for pairwise clock alignment. When
+  /// unset (the default) no tail is appended and the wire bytes are
+  /// identical to an untraced build.
+  using TraceClock = std::function<std::int64_t()>;
+  virtual void set_trace_clock(TraceClock clock) { (void)clock; }
 };
 
 /// A full per-node backend: Transport plus the receive side. RealNode owns
@@ -86,6 +103,16 @@ class NodeTransport : public Transport {
   virtual void start(Receiver receiver) = 0;
   /// Tear down connections and worker threads; idempotent.
   virtual void stop() = 0;
+
+  /// Broadcast-side of the reincarnation protocol: push (node, incarnation)
+  /// to one peer. Best-effort; backends without a rejoin story may decline.
+  virtual bool send_announce(net::NodeId dst) { (void)dst; return false; }
+
+  /// Export backend-specific counters (per-link `link.*` histograms, frame
+  /// and byte tallies) into `registry`. Default: nothing beyond stats().
+  virtual void export_counters(trace::CounterRegistry& registry) const {
+    (void)registry;
+  }
 };
 
 }  // namespace marp::transport

@@ -580,5 +580,138 @@ TEST(AgentTransfer, AckBodyRoundTripsAndRejectsDamage) {
   EXPECT_THROW(decode_transfer_ack_body(trailing), serial::DecodeError);
 }
 
+// ---- distributed-tracing context (PR 8) ----
+
+TEST(TraceContext, TailRoundTripsThroughTheFrameCodec) {
+  Rng rng(23);
+  for (int i = 0; i < 50; ++i) {
+    const serial::Bytes body = random_bytes(rng);
+    TraceContext trace;
+    trace.session_id = rng();
+    trace.span_id = rng();
+    trace.origin = static_cast<net::NodeId>(rng() % 8);
+    trace.send_ts_us = static_cast<std::int64_t>(rng() % (1ull << 48));
+    const serial::Bytes wire = encode_frame(FrameType::AppMessage, 0, 1, i,
+                                            body, /*with_checksum=*/true,
+                                            /*incarnation=*/0, &trace);
+    ASSERT_EQ(wire.size(), kHeaderSize + body.size() + kTraceContextSize);
+
+    Frame frame;
+    ASSERT_EQ(decode_frame(wire, &frame), DecodeStatus::Ok);
+    EXPECT_NE(frame.header.flags & kFlagTrace, 0);
+    // The tail is stripped: the payload deserializers never see it.
+    EXPECT_EQ(frame.body, body);
+    ASSERT_TRUE(frame.trace.has_value());
+    EXPECT_EQ(*frame.trace, trace);
+  }
+}
+
+TEST(TraceContext, UntracedFramesAreByteIdenticalToThePreTraceWire) {
+  const serial::Bytes body = {1, 2, 3, 4};
+  const serial::Bytes with_null =
+      encode_frame(FrameType::AppMessage, 0, 1, 7, body, true, 0, nullptr);
+  const serial::Bytes legacy = encode_frame(FrameType::AppMessage, 0, 1, 7, body);
+  EXPECT_EQ(with_null, legacy);
+
+  Frame frame;
+  ASSERT_EQ(decode_frame(legacy, &frame), DecodeStatus::Ok);
+  EXPECT_EQ(frame.header.flags & kFlagTrace, 0);
+  EXPECT_FALSE(frame.trace.has_value());
+}
+
+TEST(TraceContext, FlagWithShortBodyIsBadTraceNotAnOverread) {
+  // A frame whose body is shorter than the trace tail but whose flag claims
+  // one: the checksum can legitimately pass (the sender checksummed what it
+  // sent), so extraction must fail typed — never read outside the body.
+  // Flags sit at header offset 8: magic u32, version u16, type u16, flags.
+  constexpr std::size_t kFlagsOffset = 8;
+  const serial::Bytes short_body = {9, 9, 9};
+  serial::Bytes wire = encode_frame(FrameType::AppMessage, 0, 1, 1, short_body);
+  wire[kFlagsOffset] |= kFlagTrace;
+  Frame frame;
+  EXPECT_EQ(decode_frame(wire, &frame), DecodeStatus::BadTrace);
+
+  // Same shape without checksums: the typed BadTrace still surfaces (the
+  // checksum never covered the header flags, so extraction is the guard).
+  serial::Bytes plain =
+      encode_frame(FrameType::AppMessage, 0, 1, 1, short_body, /*checksum=*/false);
+  plain[kFlagsOffset] |= kFlagTrace;
+  EXPECT_EQ(decode_frame(plain, &frame), DecodeStatus::BadTrace);
+}
+
+TEST(TraceContext, CorruptedTailFailsTheChecksum) {
+  TraceContext trace;
+  trace.session_id = 0xAB;
+  trace.span_id = 0xCD;
+  trace.origin = 3;
+  trace.send_ts_us = 123456;
+  serial::Bytes wire = encode_frame(FrameType::AppMessage, 0, 1, 2, {5, 6},
+                                    true, 0, &trace);
+  Frame frame;
+  for (std::size_t i = wire.size() - kTraceContextSize; i < wire.size(); ++i) {
+    wire[i] ^= 0x10;
+    EXPECT_EQ(decode_frame(wire, &frame), DecodeStatus::ChecksumMismatch)
+        << "tail byte " << i;
+    wire[i] ^= 0x10;
+  }
+  ASSERT_EQ(decode_frame(wire, &frame), DecodeStatus::Ok);
+  ASSERT_TRUE(frame.trace.has_value());
+  EXPECT_EQ(frame.trace->send_ts_us, 123456);
+}
+
+TEST(TraceContext, RawCodecRequiresExactlyTheTailSize) {
+  TraceContext trace;
+  trace.session_id = 1;
+  trace.span_id = 2;
+  trace.origin = 4;
+  trace.send_ts_us = -50;  // pre-epoch stamps must survive sign-intact
+  const serial::Bytes tail = encode_trace_context(trace);
+  ASSERT_EQ(tail.size(), kTraceContextSize);
+
+  TraceContext decoded;
+  ASSERT_TRUE(decode_trace_context(tail.data(), tail.size(), &decoded));
+  EXPECT_EQ(decoded, trace);
+  EXPECT_FALSE(decode_trace_context(tail.data(), tail.size() - 1, &decoded));
+  EXPECT_FALSE(decode_trace_context(tail.data(), 0, &decoded));
+}
+
+TEST(Control, NodeTraceRoundTripsAndRejectsTruncation) {
+  NodeTrace t;
+  t.node = 3;
+  t.incarnation = 2;
+  t.spans_dropped = 7;
+  t.samples_dropped = 1;
+  t.spans = {
+      {100, 250, 4, 1, 0, 5000, 2, 9, 0},
+      // Open cross-process migration: the kOpenEnd sentinel must survive.
+      {300, NodeTrace::kOpenEnd, 0, 2, 1, 6000, 0, 3, 1},
+  };
+  t.link_samples = {{0, 1000, 1042}, {2, 2000, 2017}};
+
+  serial::Writer w;
+  t.serialize(w);
+  const serial::Bytes bytes = w.take();
+  serial::Reader r(bytes);
+  const NodeTrace t2 = NodeTrace::deserialize(r);
+  EXPECT_TRUE(r.at_end());
+
+  serial::Writer w2;
+  t2.serialize(w2);
+  EXPECT_EQ(w2.take(), bytes);
+  ASSERT_EQ(t2.spans.size(), 2u);
+  EXPECT_EQ(t2.spans[1].end_us, NodeTrace::kOpenEnd);
+  EXPECT_EQ(t2.spans[1].agent_created_us, 6000);
+  ASSERT_EQ(t2.link_samples.size(), 2u);
+  EXPECT_EQ(t2.link_samples[1].recv_ts_us, 2017);
+  EXPECT_EQ(t2.spans_dropped, 7u);
+
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const serial::Bytes prefix(bytes.begin(),
+                               bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    serial::Reader rr(prefix);
+    EXPECT_THROW(NodeTrace::deserialize(rr), serial::DecodeError) << "cut " << cut;
+  }
+}
+
 }  // namespace
 }  // namespace marp::rpc

@@ -207,7 +207,9 @@ TEST(InProcMesh, CutLinksVanishMessagesAndFailMigrations) {
 class RecordingTransport final : public Transport {
  public:
   bool send_message(const net::Message&) override { return true; }
-  bool send_agent_frame(net::NodeId dst, const serial::Bytes& frame) override {
+  bool send_agent_frame(net::NodeId dst, const serial::Bytes& frame,
+                        std::uint64_t trace_session = 0) override {
+    (void)trace_session;
     sent_frames.push_back(frame);
     sent_to.push_back(dst);
     return send_result;

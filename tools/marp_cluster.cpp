@@ -42,10 +42,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "fault/process_chaos.hpp"
+#include "trace/merge.hpp"
 #include "transport/cluster.hpp"
 
 namespace {
@@ -74,6 +76,11 @@ struct NodeOptions {
   long session_retry_ms = 3000;
   long agent_lease_ms = 4000;
   long catchup_ms = 500;
+  /// Per-node span ring size; 0 = tracing off (no wire tails at all).
+  unsigned long long trace_capacity = 0;
+  /// Node i gets trace skew i × this — distinct, known clock offsets so the
+  /// merged timeline demonstrably comes out of the alignment, not luck.
+  long long trace_skew_step_us = 0;
 };
 
 pid_t spawn_node(const std::string& binary, const ClusterSpec& spec,
@@ -105,6 +112,15 @@ pid_t spawn_node(const std::string& binary, const ClusterSpec& spec,
   if (spec.send_loss > 0.0) {
     args.push_back("--loss");
     args.push_back(std::to_string(spec.send_loss));
+  }
+  if (opts.trace_capacity > 0) {
+    args.push_back("--trace");
+    args.push_back(std::to_string(opts.trace_capacity));
+    if (opts.trace_skew_step_us != 0) {
+      args.push_back("--trace-skew-us");
+      args.push_back(std::to_string(opts.trace_skew_step_us *
+                                    static_cast<long long>(node)));
+    }
   }
   if (!opts.state_root.empty()) {
     const auto push = [&](const char* flag, long long value) {
@@ -165,6 +181,12 @@ int main(int argc, char** argv) {
   long hung_ms = 3000;             ///< no Heartbeat reply within this = dead
   bool durable = false;            ///< state dirs even without kills
 
+  // Distributed tracing.
+  std::string trace_out;        ///< merged Perfetto trace file
+  std::string calibration_out;  ///< per-link latency distributions (JSON)
+  unsigned long long trace_capacity = 1ull << 18;
+  long long trace_skew_step_us = 0;
+
   const auto next = [&](int& i) -> const char* {
     if (i + 1 >= argc) std::exit(2);
     return argv[++i];
@@ -187,13 +209,19 @@ int main(int argc, char** argv) {
     else if (arg == "--heartbeat-ms") heartbeat_ms = std::strtol(next(i), nullptr, 10);
     else if (arg == "--hung-ms") hung_ms = std::strtol(next(i), nullptr, 10);
     else if (arg == "--durable") durable = true;
+    else if (arg == "--trace-out") trace_out = next(i);
+    else if (arg == "--calibration-out") calibration_out = next(i);
+    else if (arg == "--trace-capacity") trace_capacity = std::strtoull(next(i), nullptr, 10);
+    else if (arg == "--trace-skew-us") trace_skew_step_us = std::strtoll(next(i), nullptr, 10);
     else {
       std::fprintf(stderr,
                    "usage: marp_cluster [--nodes N] [--sessions S] [--keys K] "
                    "[--shared] [--seed S] [--loss P] [--timeout-s T] [--dir D] "
                    "[--check-sim] [--expect-retransmits] [--durable]\n"
                    "       [--chaos-kills K] [--chaos-window-ms W] "
-                   "[--max-restarts R] [--heartbeat-ms H] [--hung-ms M]\n");
+                   "[--max-restarts R] [--heartbeat-ms H] [--hung-ms M]\n"
+                   "       [--trace-out F] [--calibration-out F] "
+                   "[--trace-capacity N] [--trace-skew-us STEP]\n");
       return 2;
     }
   }
@@ -226,7 +254,12 @@ int main(int argc, char** argv) {
     ::mkdir(dir.c_str(), 0755);
   }
 
+  const bool tracing = !trace_out.empty() || !calibration_out.empty();
   NodeOptions opts;
+  if (tracing) {
+    opts.trace_capacity = trace_capacity;
+    opts.trace_skew_step_us = trace_skew_step_us;
+  }
   if (durable) {
     opts.state_root = dir + "/state";
     ::mkdir(opts.state_root.c_str(), 0755);
@@ -425,6 +458,31 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Span rings must come out before Shutdown tears the processes down.
+  std::vector<marp::rpc::NodeTrace> node_traces;
+  if (!failed && tracing) {
+    for (std::size_t node = 0; node < spec.nodes; ++node) {
+      auto trace = clients[node].trace_dump();
+      if (!trace) {
+        problems.push_back("node " + std::to_string(node) + ": TraceDump RPC failed");
+        failed = true;
+        break;
+      }
+      node_traces.push_back(std::move(*trace));
+    }
+    // Raw per-node dumps land next to the logs so tools/trace_merge can
+    // re-merge (different reference node, tweaked quantiles) offline.
+    for (const auto& trace : node_traces) {
+      marp::serial::Writer w;
+      trace.serialize(w);
+      const std::string path =
+          dir + "/node" + std::to_string(trace.node) + ".trace";
+      std::ofstream out(path, std::ios::binary);
+      out.write(reinterpret_cast<const char*>(w.bytes().data()),
+                static_cast<std::streamsize>(w.bytes().size()));
+    }
+  }
+
   // Tear the cluster down before judging results: Shutdown RPC, then reap
   // (SIGKILL stragglers so a wedged node cannot wedge the harness).
   for (std::size_t node = 0; node < spec.nodes; ++node) clients[node].shutdown();
@@ -573,6 +631,44 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(revived),
                    static_cast<unsigned long long>(deduped),
                    static_cast<unsigned long long>(leases));
+    }
+    failed = !problems.empty();
+  }
+
+  if (!failed && tracing) {
+    marp::trace::MergeResult merged;
+    if (!trace_out.empty()) {
+      std::ofstream out(trace_out, std::ios::binary);
+      if (!out) {
+        problems.push_back("cannot open --trace-out " + trace_out);
+      } else {
+        merged = marp::trace::write_merged_trace(out, node_traces);
+        std::fprintf(stderr,
+                     "marp_cluster: merged trace: %zu spans, %zu flow events, "
+                     "%zu unmatched open, %llu dropped -> %s\n",
+                     merged.spans_emitted, merged.flows_emitted,
+                     merged.open_unmatched,
+                     static_cast<unsigned long long>(merged.spans_dropped),
+                     trace_out.c_str());
+        for (std::size_t node = 0; node < merged.offsets_us.size(); ++node) {
+          std::fprintf(stderr,
+                       "marp_cluster: clock offset node %zu: %lld us%s\n", node,
+                       static_cast<long long>(merged.offsets_us[node]),
+                       merged.aligned[node] ? "" : " (UNALIGNED: no samples)");
+        }
+      }
+    } else {
+      merged = marp::trace::align_clocks(node_traces);
+    }
+    if (!calibration_out.empty()) {
+      std::ofstream out(calibration_out, std::ios::binary);
+      if (!out) {
+        problems.push_back("cannot open --calibration-out " + calibration_out);
+      } else {
+        marp::trace::write_calibration_json(out, merged.calibration);
+        std::fprintf(stderr, "marp_cluster: calibration: %zu links -> %s\n",
+                     merged.calibration.links.size(), calibration_out.c_str());
+      }
     }
     failed = !problems.empty();
   }

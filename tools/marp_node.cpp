@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -47,7 +48,14 @@ void usage() {
                "  --checkpoint-ms M   periodic checkpoint cadence (0 = off)\n"
                "  --sync-pull-ms M    recurring anti-entropy pull (0 = off)\n"
                "  --session-retry-ms M  stalled-session watchdog (0 = off)\n"
-               "  --agent-lease-ms M  dead-agent lock-state lease (0 = off)\n");
+               "  --agent-lease-ms M  dead-agent lock-state lease (0 = off)\n"
+               "distributed tracing:\n"
+               "  --trace CAP         per-node span ring capacity (0 = off);\n"
+               "                      spans served via the TraceDump RPC\n"
+               "  --trace-skew-us U   inject a trace-clock offset (testing the\n"
+               "                      merge step's alignment; protocol time is\n"
+               "                      unaffected)\n"
+               "  --counters          print the full counter registry on exit\n");
 }
 
 }  // namespace
@@ -62,6 +70,7 @@ int main(int argc, char** argv) {
   std::size_t nodes = 5;
   std::string dir = "/tmp";
   std::string endpoints_arg;
+  bool print_counters = false;
 
   const auto next = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
@@ -99,6 +108,11 @@ int main(int argc, char** argv) {
       config.session_retry_timeout = marp::sim::SimTime::millis(std::strtol(next(i), nullptr, 10));
     else if (arg == "--agent-lease-ms")
       config.marp.agent_lease_timeout = marp::sim::SimTime::millis(std::strtol(next(i), nullptr, 10));
+    else if (arg == "--trace")
+      config.trace_capacity = std::strtoull(next(i), nullptr, 10);
+    else if (arg == "--trace-skew-us")
+      config.trace_skew_us = std::strtoll(next(i), nullptr, 10);
+    else if (arg == "--counters") print_counters = true;
     else {
       usage();
       return 2;
@@ -139,6 +153,13 @@ int main(int argc, char** argv) {
 
   marp::transport::RealNode node(std::move(config));
   node.run();
+
+  if (print_counters) {
+    // Same table marp_sim --counters prints, plus net.real.* and per-link
+    // link.* — the real-wire parity view.
+    std::cout << "counters:\n";
+    node.counters().print(std::cout);
+  }
 
   const auto status = node.status();
   std::fprintf(stderr,
