@@ -24,7 +24,8 @@ InvariantMonitor::InvariantMonitor(core::MarpProtocol& protocol,
     : protocol_(protocol),
       platform_(platform),
       network_(network),
-      config_(std::move(config)) {}
+      config_(std::move(config)),
+      quorum_(quorum::make_quorum_system(config_.quorum, config_.servers)) {}
 
 void InvariantMonitor::install() {
   chained_probe_ = protocol_.phase_probe();
@@ -43,7 +44,16 @@ void InvariantMonitor::flag(std::string problem) {
 void InvariantMonitor::on_phase(const core::PhaseEvent& event) {
   if (event.phase == core::ProtocolPhase::UpdateQuorum &&
       config_.strict_agreement) {
-    check_quorum_agreement(event);
+    if (quorum_->geometry() == quorum::Geometry::Majority) {
+      check_quorum_agreement(event);
+    } else {
+      // Quorum-restricted tours give agents partial views on purpose, so
+      // "everyone elects the same winner" no longer holds; what must hold
+      // is that only grant sets containing a true write quorum reach the
+      // milestone. (Gated like the agreement check: a server can grant and
+      // then crash, shrinking the live grant set below coverage.)
+      check_quorum_intersection(event);
+    }
   }
   // Run the checks *before* forwarding, so a fault injector chained behind
   // us perturbs the state only after it has been judged.
@@ -94,6 +104,31 @@ void InvariantMonitor::check_quorum_agreement(const core::PhaseEvent& event) {
       } else {
         os << "elects no decidable winner";
       }
+      flag(os.str());
+      return;
+    }
+  }
+}
+
+void InvariantMonitor::check_quorum_intersection(const core::PhaseEvent& event) {
+  for (shard::GroupId g = 0; g < config_.lock_groups; ++g) {
+    quorum::NodeSet grants;
+    for (net::NodeId node = 0; node < config_.servers; ++node) {
+      if (!network_.node_up(node)) continue;
+      const auto& holder = protocol_.server(node).update_holder(g);
+      if (holder && *holder == event.agent) grants.push_back(node);
+    }
+    if (grants.empty()) continue;  // group not part of this agent's claim
+    if (!quorum_->write_covered(grants)) {
+      std::ostringstream os;
+      os << "Theorem 2 intersection violation: " << agent_str(event.agent)
+         << " assembled an update quorum in group " << g
+         << " but its grant set {";
+      for (std::size_t i = 0; i < grants.size(); ++i) {
+        os << (i ? "," : "") << grants[i];
+      }
+      os << "} contains no true write quorum of the "
+         << quorum::geometry_name(quorum_->geometry()) << " geometry";
       flag(os.str());
       return;
     }

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,10 @@ struct MonitorConfig {
   std::size_t servers = 3;
   std::size_t lock_groups = 1;
   std::size_t expected_outcomes = 0;
+  /// Quorum geometry of the checked deployment. The monitor builds its own
+  /// UNMUTATED quorum system from this — a seeded SplitQuorum mutant changes
+  /// what the agents do, never what the oracle accepts.
+  quorum::QuorumSpec quorum;
   /// Every submitted request must be answered by the end of the run
   /// (off for lossy fault plans, where crashes may eat requests).
   bool expect_completion = true;
@@ -73,6 +78,11 @@ class InvariantMonitor final : public agent::PlatformObserver {
  private:
   void on_phase(const core::PhaseEvent& event);
   void check_quorum_agreement(const core::PhaseEvent& event);
+  /// Geometry form of the Theorem-2 check: the milestone agent's grant set
+  /// must contain a true write quorum (intersection-based mutual exclusion;
+  /// replaces the majority-count + ground-truth-election check, which
+  /// assumes every agent sees the full tour).
+  void check_quorum_intersection(const core::PhaseEvent& event);
   void check_commit_log_order();
   void flag(std::string problem);
 
@@ -80,6 +90,8 @@ class InvariantMonitor final : public agent::PlatformObserver {
   agent::AgentPlatform& platform_;
   net::Network& network_;
   MonitorConfig config_;
+  /// Unmutated geometry oracle (never null).
+  std::unique_ptr<const quorum::QuorumSystem> quorum_;
   core::MarpProtocol::PhaseProbe chained_probe_;
   std::map<agent::AgentId, std::uint64_t> migrations_;
   std::size_t commit_log_checked_ = 0;

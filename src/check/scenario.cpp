@@ -94,6 +94,7 @@ CheckScenario::CheckScenario(const ScenarioConfig& config) : config_(config) {
   core::MarpConfig marp;
   marp.num_lock_groups = config.lock_groups;
   marp.mutant = config.mutant;
+  marp.quorum = config.quorum;
   marp.batch_size = 1;
   // Parked agents are woken by COMMIT signals; pushing the patrol past the
   // horizon keeps the schedule space to the protocol's essential events.
@@ -110,6 +111,7 @@ CheckScenario::CheckScenario(const ScenarioConfig& config) : config_(config) {
   MonitorConfig mon;
   mon.servers = config.servers;
   mon.lock_groups = config.lock_groups;
+  mon.quorum = config.quorum;
   mon.expected_outcomes = config.agents;
   // Crashes eat buffered requests and in-flight agents; a full-loss window
   // can strand a REPORT. Either way completion accounting must relax, and

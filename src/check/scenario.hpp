@@ -38,6 +38,9 @@ struct ScenarioConfig {
   std::size_t agents = 2;  ///< one write request each, distinct origins
   std::size_t lock_groups = 1;
   core::ProtocolMutant mutant = core::ProtocolMutant::None;
+  /// Quorum geometry checked (threaded to both the protocol under test and
+  /// the monitor's unmutated oracle).
+  quorum::QuorumSpec quorum;
   FaultKind fault = FaultKind::None;
   /// Virtual-time bound per run; zero derives a default from the fault kind.
   sim::SimTime horizon = sim::SimTime::zero();

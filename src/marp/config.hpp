@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "quorum/spec.hpp"
 #include "sim/time.hpp"
 
 namespace marp::core {
@@ -40,7 +41,14 @@ enum class ProtocolMutant : std::uint8_t {
   MajorityOffByOne,
   /// Tie resolved by the LARGEST agent id instead of the smallest —
   /// deterministic but diverging from Theorem 2's published rule.
-  TieBreakLargestId
+  TieBreakLargestId,
+  /// Quorum geometry broken on purpose: the cluster is split into two
+  /// static halves and an agent treats the half containing its origin as
+  /// "the quorum" — both for the quorum it tours and for coverage checks.
+  /// The two halves do not intersect, so two concurrent writers can both
+  /// believe they hold a write quorum; the intersection monitor must flag
+  /// every such grant set as covering no true write quorum.
+  SplitQuorum
 };
 
 /// How the paper's tie rule is applied once an agent has full information
@@ -93,7 +101,17 @@ struct MarpConfig {
   /// Per-server vote weights; empty = one vote each (the paper's plain
   /// majority). Non-empty generalizes MARP to weighted voting: an agent
   /// wins once it heads locking lists worth more than half the votes.
+  /// Applies to the Majority quorum geometry only.
   std::vector<std::uint32_t> votes;
+
+  /// Which quorum construction write/read quorums come from. Majority
+  /// (default) is the seed protocol bit-for-bit: agents tour all servers
+  /// and win on vote counts. Tree/grid/read-lease restrict each agent to a
+  /// candidate quorum it picks (and re-picks around failures); mutual
+  /// exclusion then rests on quorum intersection arbitrated by the
+  /// exclusive per-server update grants rather than on every agent seeing
+  /// the same full tour (see src/quorum/quorum.hpp and PROTOCOL.md).
+  quorum::QuorumSpec quorum;
 
   ReadMode read_mode = ReadMode::LocalCopy;
   /// Votes a QuorumAgent read must gather; 0 derives the minimal quorum

@@ -62,11 +62,93 @@ bool paper_tie_condition(std::uint32_t s, std::uint32_t m, std::size_t n) {
   return 2 * lhs < static_cast<std::int64_t>(n);
 }
 
+namespace {
+
+// The SplitQuorum halves: ids below ⌈n/2⌉ and the rest.
+quorum::NodeSet split_half(std::size_t n, bool upper) {
+  const std::size_t cut = (n + 1) / 2;
+  quorum::NodeSet half;
+  for (std::size_t v = upper ? cut : 0; v < (upper ? n : cut); ++v) {
+    half.push_back(static_cast<net::NodeId>(v));
+  }
+  return half;
+}
+
+// Geometry decision rule: coverage win, else optimistic tie-break once the
+// known-head set spans a write quorum (see the decide() contract).
+Decision decide_geometry(const LockTable& table, const DoneSet& done,
+                         const agent::AgentId& self, TieBreakMode /*mode*/,
+                         ProtocolMutant mutant,
+                         const quorum::QuorumSystem& qs) {
+  std::map<agent::AgentId, quorum::NodeSet> head_sets;
+  quorum::NodeSet known;
+  for (const auto& [node, snapshot] : table) {
+    if (!snapshot.known()) continue;
+    if (auto head = filtered_head(snapshot.agents, done)) {
+      head_sets[*head].push_back(node);
+      known.push_back(node);
+    }
+  }
+  // LockTable iterates nodes ascending, so every NodeSet is already sorted.
+  for (const auto& [id, nodes] : head_sets) {
+    if (mutant_write_covered(qs, nodes, mutant)) {
+      return {id == self ? Decision::Kind::Win : Decision::Kind::Lose, id};
+    }
+  }
+  if (head_sets.empty() || !mutant_write_covered(qs, known, mutant)) return {};
+
+  std::size_t max_count = 0;
+  for (const auto& [id, nodes] : head_sets) {
+    max_count = std::max(max_count, nodes.size());
+  }
+  std::vector<agent::AgentId> tied;
+  for (const auto& [id, nodes] : head_sets) {
+    if (nodes.size() == max_count) tied.push_back(id);
+  }
+  const agent::AgentId by_id = mutant == ProtocolMutant::TieBreakLargestId
+                                   ? tied.back()
+                                   : tied.front();
+  return {by_id == self ? Decision::Kind::Win : Decision::Kind::Lose, by_id};
+}
+
+}  // namespace
+
+bool mutant_write_covered(const quorum::QuorumSystem& qs,
+                          const quorum::NodeSet& nodes, ProtocolMutant mutant) {
+  if (mutant != ProtocolMutant::SplitQuorum) return qs.write_covered(nodes);
+  for (const bool upper : {false, true}) {
+    const quorum::NodeSet half = split_half(qs.size(), upper);
+    if (std::includes(nodes.begin(), nodes.end(), half.begin(), half.end())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<quorum::NodeSet> mutant_pick_write_quorum(
+    const quorum::QuorumSystem& qs, const quorum::NodeSet& excluded,
+    net::NodeId prefer, ProtocolMutant mutant) {
+  if (mutant != ProtocolMutant::SplitQuorum) {
+    return qs.pick_write_quorum(excluded, prefer);
+  }
+  const std::size_t cut = (qs.size() + 1) / 2;
+  const bool upper = prefer != net::kInvalidNode &&
+                     static_cast<std::size_t>(prefer) < qs.size() &&
+                     static_cast<std::size_t>(prefer) >= cut;
+  quorum::NodeSet half = split_half(qs.size(), upper);
+  std::erase_if(half, [&](net::NodeId v) { return quorum::contains(excluded, v); });
+  if (half.empty()) return std::nullopt;
+  return half;
+}
+
 Decision decide(const LockTable& table, const DoneSet& done,
                 const agent::AgentId& self, std::size_t n_servers,
                 TieBreakMode mode, const VoteWeights& votes,
-                ProtocolMutant mutant) {
+                ProtocolMutant mutant, const quorum::QuorumSystem* quorum) {
   MARP_REQUIRE(n_servers >= 1);
+  if (quorum != nullptr && quorum->geometry() != quorum::Geometry::Majority) {
+    return decide_geometry(table, done, self, mode, mutant, *quorum);
+  }
   const auto counts = top_counts(table, done, votes);
   const std::uint32_t all_votes = total_votes(votes, n_servers);
 

@@ -15,6 +15,7 @@
 #include "agent/agent_id.hpp"
 #include "marp/config.hpp"
 #include "net/message.hpp"
+#include "quorum/quorum.hpp"
 #include "serial/byte_buffer.hpp"
 #include "shard/router.hpp"
 #include "sim/time.hpp"
@@ -78,17 +79,47 @@ struct Decision {
 
 /// Decide the highest-priority agent from `table` as seen by `self`.
 ///
+/// Majority geometry (`quorum` null or majority — the seed rule):
 /// * Any agent heading lists worth more than half the total votes wins
 ///   outright (majority; with default weights, > N/2 lists).
 /// * Otherwise, once the filtered head of *every* one of the `n_servers`
 ///   lists is known, the tie rule of `mode` applies (see TieBreakMode).
+///
+/// Non-majority geometry: an agent wins once the servers it heads contain a
+/// write quorum of the geometry; the tie rule applies once the set of
+/// servers with known heads contains a write quorum (the agent has full
+/// information over at least one quorum). Views are partial by design —
+/// each agent tours only its candidate quorum — so two agents CAN both
+/// compute "Win" from different views; the claim is optimistic and the
+/// exclusive per-server update grants (which only hand a group's grant to
+/// one agent, all-or-nothing in ascending order) arbitrate. Theorem 2
+/// safety then rests on quorum intersection, checked by the monitor's
+/// intersection rule rather than by same-decision agreement. PaperLiteral's
+/// tie *condition* is majority arithmetic and does not transfer; under a
+/// geometry both modes resolve by (max heads, smallest id).
 ///
 /// `mutant` deliberately corrupts the rule for model-checker
 /// self-validation (see ProtocolMutant); oracles always pass None.
 Decision decide(const LockTable& table, const DoneSet& done,
                 const agent::AgentId& self, std::size_t n_servers,
                 TieBreakMode mode, const VoteWeights& votes = {},
-                ProtocolMutant mutant = ProtocolMutant::None);
+                ProtocolMutant mutant = ProtocolMutant::None,
+                const quorum::QuorumSystem* quorum = nullptr);
+
+/// Write-coverage test seen through `mutant`'s eyes: the SplitQuorum mutant
+/// REPLACES the geometry's rule with "contains one of the two static cluster
+/// halves" (halves split at ⌈n/2⌉). Replacement — not widening — so a
+/// mutated agent can never satisfy the true rule first and slip past the
+/// intersection monitor. Every other mutant passes through unchanged.
+bool mutant_write_covered(const quorum::QuorumSystem& qs,
+                          const quorum::NodeSet& nodes, ProtocolMutant mutant);
+
+/// Candidate-quorum pick seen through `mutant`'s eyes: under SplitQuorum an
+/// agent tours the static half containing `prefer` (minus exclusions)
+/// instead of a real quorum; the two halves do not intersect.
+std::optional<quorum::NodeSet> mutant_pick_write_quorum(
+    const quorum::QuorumSystem& qs, const quorum::NodeSet& excluded,
+    net::NodeId prefer, ProtocolMutant mutant);
 
 /// The paper's literal tie condition: M agents top S servers each, and
 /// S + (N − M·S) < N/2. Exposed for direct unit testing.

@@ -14,7 +14,10 @@ MarpProtocol::MarpProtocol(net::Network& network, agent::AgentPlatform& platform
     : network_(network),
       platform_(platform),
       config_(std::move(config)),
-      router_(config_.num_lock_groups) {
+      router_(config_.num_lock_groups),
+      quorum_(quorum::make_quorum_system(config_.quorum, network.size(),
+                                         config_.votes,
+                                         config_.read_quorum_votes)) {
   MARP_REQUIRE_MSG(config_.votes.empty() || config_.votes.size() == network_.size(),
                    "votes must be empty or have one entry per server");
   if (!platform_.registry().contains(kUpdateAgentType)) {
@@ -100,19 +103,45 @@ void MarpProtocol::note_update_quorum(const agent::AgentId& agent,
   // compete).
   const std::vector<shard::GroupId> checked =
       groups.empty() ? std::vector<shard::GroupId>{0} : groups;
+  const quorum::QuorumSystem* geometry = decision_quorum();
   for (const shard::GroupId g : checked) {
-    std::map<agent::AgentId, std::size_t> held;
+    if (geometry == nullptr) {
+      // Seed form: a competing holder on more than half the live servers.
+      std::map<agent::AgentId, std::size_t> held;
+      for (const auto& server : servers_) {
+        if (server->up() && server->update_holder(g)) {
+          ++held[*server->update_holder(g)];
+        }
+      }
+      for (const auto& [holder, count] : held) {
+        if (holder != agent && 2 * count > servers_.size()) {
+          ++stats_.mutex_violations;
+          MARP_LOG_ERROR("marp") << "mutual exclusion violated in group " << g
+                                 << ": " << holder.to_string() << " and "
+                                 << agent.to_string() << " both hold majorities";
+        }
+      }
+      continue;
+    }
+    // Geometry form: grants are exclusive per (server, group), so holder
+    // grant sets are disjoint — a competing holder whose grants contain a
+    // write quorum means two disjoint write quorums exist, i.e. the
+    // intersection property failed. Crashed servers drop out of every set,
+    // which only makes coverage harder, so this cannot false-positive.
+    std::map<agent::AgentId, quorum::NodeSet> held;
     for (const auto& server : servers_) {
       if (server->up() && server->update_holder(g)) {
-        ++held[*server->update_holder(g)];
+        held[*server->update_holder(g)].push_back(server->node());
       }
     }
-    for (const auto& [holder, count] : held) {
-      if (holder != agent && 2 * count > servers_.size()) {
+    for (auto& [holder, nodes] : held) {
+      if (holder == agent) continue;
+      if (geometry->write_covered(quorum::make_node_set(std::move(nodes)))) {
         ++stats_.mutex_violations;
         MARP_LOG_ERROR("marp") << "mutual exclusion violated in group " << g
                                << ": " << holder.to_string() << " and "
-                               << agent.to_string() << " both hold majorities";
+                               << agent.to_string()
+                               << " both hold write quorums";
       }
     }
   }

@@ -12,6 +12,7 @@
 #include "agent/platform.hpp"
 #include "marp/config.hpp"
 #include "marp/server.hpp"
+#include "quorum/quorum.hpp"
 #include "replica/request.hpp"
 
 namespace marp::trace {
@@ -65,7 +66,14 @@ struct MarpStats {
   std::uint64_t lock_requeues = 0;
   /// Times an agent reached a majority of update grants while another agent
   /// also held a majority. Theorem 2 says this stays 0; tests assert it.
+  /// Under a non-majority quorum geometry, "majority" reads "write quorum":
+  /// two disjoint grant sets can only both cover write quorums if the
+  /// geometry's intersection property is broken.
   std::uint64_t mutex_violations = 0;
+  /// Times an agent re-picked its candidate quorum after a member turned
+  /// out crashed/partitioned (non-majority geometries only). Chaos sweeps
+  /// assert the fallback path actually fires.
+  std::uint64_t quorum_reselections = 0;
   /// Remote agents whose lock state a server expired via the agent lease
   /// (config.agent_lease_timeout) — dead-process cleanup on the real
   /// substrate, where no fail-stop notice ever arrives.
@@ -163,7 +171,18 @@ class MarpProtocol final : public replica::ReplicationProtocol {
   void note_update_abort(const agent::AgentId& agent,
                          net::NodeId node = net::kInvalidNode);
   void note_update_requeue(const agent::AgentId& agent);
+  void note_quorum_reselection() { ++stats_.quorum_reselections; }
   void note_read() { ++stats_.reads_served; }
+
+  /// The deployment's quorum geometry (never null; Majority by default).
+  const quorum::QuorumSystem& quorum_system() const noexcept { return *quorum_; }
+  /// Geometry handle for decide()/tour planning: null on the Majority path
+  /// so the seed arithmetic stays byte-for-byte untouched, the geometry
+  /// object otherwise.
+  const quorum::QuorumSystem* decision_quorum() const noexcept {
+    return quorum_->geometry() == quorum::Geometry::Majority ? nullptr
+                                                             : quorum_.get();
+  }
   void note_anomaly(Anomaly kind);
   void note_agents_lease_purged(std::uint64_t n) { stats_.agents_lease_purged += n; }
 
@@ -172,6 +191,7 @@ class MarpProtocol final : public replica::ReplicationProtocol {
   agent::AgentPlatform& platform_;
   MarpConfig config_;
   shard::ShardRouter router_;
+  std::unique_ptr<const quorum::QuorumSystem> quorum_;
   std::vector<std::unique_ptr<MarpServer>> servers_;
   MarpStats stats_;
   std::vector<CommitRecord> commit_log_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "marp/priority.hpp"
+#include "marp/protocol.hpp"
 #include "marp/server.hpp"
 #include "marp/wire.hpp"
 #include "util/assert.hpp"
@@ -36,6 +37,14 @@ void ReadAgent::on_created(agent::AgentContext& ctx) {
   for (net::NodeId node = 0; node < server.cluster_size(); ++node) {
     usl_.push_back(node);
   }
+  if (const quorum::QuorumSystem* qs = server.protocol().decision_quorum()) {
+    // Geometry read path: tour one of the geometry's read quorums (a
+    // column transversal, a tree quorum, a single lease holder, …) instead
+    // of counting votes. Prefer the origin so the local visit counts.
+    const auto members = qs->pick_read_quorum({}, ctx.here());
+    MARP_REQUIRE(members.has_value());
+    usl_.assign(members->begin(), members->end());
+  }
   do_visit(ctx);
 }
 
@@ -54,7 +63,11 @@ void ReadAgent::do_visit(agent::AgentContext& ctx) {
   visited_.push_back(ctx.here());
   usl_.erase(std::remove(usl_.begin(), usl_.end(), ctx.here()), usl_.end());
 
-  if (gathered_votes_ >= needed_votes_) {
+  const quorum::QuorumSystem* qs = server.protocol().decision_quorum();
+  const bool covered =
+      qs != nullptr ? qs->read_covered(quorum::make_node_set(visited_))
+                    : gathered_votes_ >= needed_votes_;
+  if (covered) {
     finish(ctx, /*success=*/true);
     return;
   }
@@ -95,6 +108,27 @@ void ReadAgent::on_migration_failed(agent::AgentContext& ctx,
   unavailable_.push_back(destination);
   usl_.erase(std::remove(usl_.begin(), usl_.end(), destination), usl_.end());
   migration_retries_ = 0;
+  if (const quorum::QuorumSystem* qs = server.protocol().decision_quorum()) {
+    // Re-pick a read quorum around the dead member; keep the current
+    // position preferred so the visits already made keep counting.
+    const auto members =
+        qs->pick_read_quorum(quorum::make_node_set(unavailable_), ctx.here());
+    if (!members) {
+      finish(ctx, /*success=*/false);
+      return;
+    }
+    server.protocol().note_quorum_reselection();
+    usl_.clear();
+    for (const net::NodeId node : *members) {
+      if (std::find(visited_.begin(), visited_.end(), node) == visited_.end()) {
+        usl_.push_back(node);
+      }
+    }
+    if (qs->read_covered(quorum::make_node_set(visited_))) {
+      finish(ctx, /*success=*/true);
+      return;
+    }
+  }
   const net::NodeId next = pick_next(ctx);
   if (next == net::kInvalidNode) {
     finish(ctx, /*success=*/false);

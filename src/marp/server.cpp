@@ -319,6 +319,7 @@ void MarpServer::handle_commit_local(const CommitPayload& payload) {
   // replica that missed the original COMMIT converges off any copy.
   for (const WriteOp& op : payload.ops) {
     store_.apply(op.key, op.value, op.version);
+    if (op.version > applied_high_) applied_high_ = op.version;
   }
   if (ul_.contains(payload.agent)) {
     // Duplicated or reordered redelivery: the locks were already swept and
@@ -427,9 +428,9 @@ void MarpServer::handle_message(const net::Message& message) {
       shard::GroupId conflict = 0;
       switch (handle_update_local(payload, &conflict)) {
         case GrantResult::Granted:
-          platform_.send_to_agent(node_, payload.reply_to, payload.agent,
-                                  kMsgAck,
-                                  AckPayload{node_, payload.attempt}.encode());
+          platform_.send_to_agent(
+              node_, payload.reply_to, payload.agent, kMsgAck,
+              AckPayload{node_, payload.attempt, applied_high_}.encode());
           break;
         case GrantResult::Held:
           platform_.send_to_agent(
@@ -493,7 +494,10 @@ void MarpServer::handle_message(const net::Message& message) {
       const SyncPayload dump = SyncPayload::decode(message.payload);
       std::size_t applied = 0;
       for (const auto& item : dump.items) {
-        if (store_.apply(item.key, item.value, item.version)) ++applied;
+        if (store_.apply(item.key, item.value, item.version)) {
+          ++applied;
+          if (item.version > applied_high_) applied_high_ = item.version;
+        }
       }
       if (sync_listener_) sync_listener_(applied);
       break;

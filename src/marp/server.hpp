@@ -121,6 +121,16 @@ class MarpServer : public replica::ServerBase {
     return lock_space_.group(g).holder;
   }
 
+  /// Highest version this server has applied (commits + anti-entropy).
+  /// Rides every ACK so the winner can stamp its writes above everything
+  /// its quorum's grant holders had committed at grant time.
+  const replica::Version& applied_high() const noexcept { return applied_high_; }
+  /// Recovery hook: store restores bypass handle_commit_local (force()), so
+  /// a reborn node re-seeds its floor from the recovered manifest.
+  void raise_applied_high(const replica::Version& version) {
+    if (version > applied_high_) applied_high_ = version;
+  }
+
   /// Network message entry point (registered as the node's app handler).
   void handle_message(const net::Message& message);
 
@@ -183,6 +193,7 @@ class MarpServer : public replica::ServerBase {
   replica::UpdatedList ul_;
   GroupLockTable gossip_cache_;
   std::map<agent::AgentId, std::vector<WriteOp>> staged_;
+  replica::Version applied_high_;  ///< max version ever applied here
   /// Highest attempt each live agent has withdrawn (entries die with the
   /// agent's commit/purge). Guards against reordered stale UPDATEs.
   std::map<agent::AgentId, std::uint32_t> unlocked_attempts_;

@@ -41,6 +41,29 @@ bool UpdateAgent::is_unavailable(net::NodeId node) const {
          unavailable_.end();
 }
 
+const quorum::QuorumSystem* UpdateAgent::decision_quorum(
+    agent::AgentContext& ctx) const {
+  return server_here(ctx).protocol().decision_quorum();
+}
+
+std::optional<quorum::NodeSet> UpdateAgent::current_quorum(
+    agent::AgentContext& ctx) const {
+  const quorum::QuorumSystem* qs = decision_quorum(ctx);
+  MARP_REQUIRE(qs != nullptr);
+  return mutant_pick_write_quorum(*qs, quorum::make_node_set(unavailable_),
+                                  origin_, server_here(ctx).config().mutant);
+}
+
+bool UpdateAgent::ack_quorum_reached(agent::AgentContext& ctx) const {
+  MarpServer& server = server_here(ctx);
+  if (const quorum::QuorumSystem* qs = decision_quorum(ctx)) {
+    const quorum::NodeSet held(acks_.begin(), acks_.end());  // set: sorted
+    return mutant_write_covered(*qs, held, server.config().mutant);
+  }
+  return 2 * ack_votes(ctx) >
+         total_votes(server.config().votes, server.cluster_size());
+}
+
 void UpdateAgent::on_created(agent::AgentContext& ctx) {
   dispatched_us_ = ctx.now().as_micros();
   MarpServer& server = server_here(ctx);
@@ -49,6 +72,14 @@ void UpdateAgent::on_created(agent::AgentContext& ctx) {
   // §3.2: "Initially, this list contains all the replicated servers in the
   // system" — the creation server is visited first, without migrating.
   for (net::NodeId node = 0; node < n; ++node) usl_.push_back(node);
+  if (decision_quorum(ctx) != nullptr) {
+    // Non-majority geometry: tour only the candidate write quorum (which
+    // contains the origin — `prefer` in the pick). Locks at a quorum are
+    // enough; the geometry's intersection property replaces the full tour.
+    const auto members = current_quorum(ctx);
+    MARP_REQUIRE(members.has_value());
+    usl_.assign(members->begin(), members->end());
+  }
   // The write-set's lock groups, ascending — the fixed acquisition order
   // every agent uses, which is what makes multi-group claims deadlock-free.
   groups_ = server.router().groups_of(keys());
@@ -98,21 +129,61 @@ void UpdateAgent::on_timer(agent::AgentContext& ctx, std::uint64_t token) {
     }
     case kTokenAckRetry: {
       if (phase_ != Phase::Updating) break;
-      const MarpConfig& config = server_here(ctx).config();
+      MarpServer& server = server_here(ctx);
+      const MarpConfig& config = server.config();
+      const quorum::QuorumSystem* qs = decision_quorum(ctx);
       if (++ack_rounds_ > config.max_ack_rounds) {
+        if (qs != nullptr) {
+          // Geometry fallback: the silent quorum members are treated as
+          // down, the attempt is withdrawn (grants released everywhere so
+          // nothing stays wedged), and a fresh quorum avoiding them is
+          // toured. Only when no quorum survives does the agent give up.
+          const auto members = current_quorum(ctx);
+          if (members) {
+            for (const net::NodeId node : *members) {
+              if (!acks_.contains(node) && !is_unavailable(node)) {
+                unavailable_.push_back(node);
+              }
+            }
+          }
+          if (const auto next = current_quorum(ctx)) {
+            server.protocol().note_quorum_reselection();
+            ctx.broadcast(kMsgUnlock, UnlockPayload{id(), attempt_seq_}.encode());
+            server.handle_unlock_local(id(), attempt_seq_);
+            acks_.clear();
+            phase_ = Phase::Traveling;
+            usl_.clear();
+            for (const net::NodeId node : *next) {
+              if (std::find(visited_.begin(), visited_.end(), node) ==
+                  visited_.end()) {
+                usl_.push_back(node);
+              }
+            }
+            evaluate(ctx);
+            break;
+          }
+        }
         abort(ctx);
         break;
       }
       if (auto* t = tracer(ctx)) t->retry(id(), ctx.here(), trace::kRetryAck);
       // Re-send UPDATE to servers that have not acked (idempotent staging).
+      // A retry means the first transmission met loss or a dead member, so
+      // the geometry path widens to every available server here: the acked
+      // set commits on ANY write quorum it covers (ack_quorum_reached), and
+      // a minimal-fanout retransmit to the same lossy members would just
+      // stall another round. The quorum-only bill is paid on the first
+      // attempt, where it belongs — retries buy robustness with redundancy,
+      // exactly like the seed's broadcast.
       const UpdatePayload payload{id(), ctx.here(), attempt_seq_, ops_, groups_};
       const serial::Bytes bytes = payload.encode();
-      const std::size_t n = server_here(ctx).cluster_size();
+      const std::size_t n = server.cluster_size();
       for (net::NodeId node = 0; node < n; ++node) {
         if (node == ctx.here() || acks_.contains(node)) continue;
+        if (qs != nullptr && is_unavailable(node)) continue;
         ctx.send_to_node(node, kMsgUpdate, bytes);
       }
-      ctx.set_timer(config.ack_retry_interval, kTokenAckRetry);
+      ctx.set_timer(ack_retry_delay(ctx), kTokenAckRetry);
       break;
     }
     case kTokenCommitRetry: {
@@ -222,7 +293,7 @@ void UpdateAgent::evaluate(agent::AgentContext& ctx) {
     const Decision verdict =
         decide(it == lt_.end() ? LockTable{} : it->second, ual_, id(), n,
                server.config().tie_break, server.config().votes,
-               server.config().mutant);
+               server.config().mutant, decision_quorum(ctx));
     if (verdict.kind == Decision::Kind::Win) headed.push_back(g);
     if (verdict.kind == Decision::Kind::Lose) {
       losing_to.push_back(*verdict.winner);
@@ -313,6 +384,14 @@ void UpdateAgent::evaluate(agent::AgentContext& ctx) {
 
 void UpdateAgent::withdraw_and_requeue(agent::AgentContext& ctx) {
   MarpServer& server = server_here(ctx);
+  std::optional<quorum::NodeSet> geometry_usl;
+  if (decision_quorum(ctx) != nullptr) {
+    geometry_usl = current_quorum(ctx);
+    if (!geometry_usl) {
+      abort(ctx);  // no quorum survives the unavailable servers
+      return;
+    }
+  }
   server.protocol().note_update_requeue(id());
   if (auto* t = tracer(ctx)) {
     t->wait_end(id());
@@ -326,9 +405,13 @@ void UpdateAgent::withdraw_and_requeue(agent::AgentContext& ctx) {
   defer_ = false;
   visited_.clear();
   usl_.clear();
-  const std::size_t n = server.cluster_size();
-  for (net::NodeId node = 0; node < n; ++node) {
-    if (!is_unavailable(node)) usl_.push_back(node);
+  if (geometry_usl) {
+    usl_.assign(geometry_usl->begin(), geometry_usl->end());
+  } else {
+    const std::size_t n = server.cluster_size();
+    for (net::NodeId node = 0; node < n; ++node) {
+      if (!is_unavailable(node)) usl_.push_back(node);
+    }
   }
   phase_ = Phase::Traveling;
   stall_since_us_ = ctx.now().as_micros();
@@ -381,9 +464,16 @@ net::NodeId UpdateAgent::pick_next_target(agent::AgentContext& ctx) const {
 net::NodeId UpdateAgent::pick_stalest(agent::AgentContext& ctx) const {
   net::NodeId stalest = net::kInvalidNode;
   std::int64_t oldest = std::numeric_limits<std::int64_t>::max();
+  // Geometry tours patrol their candidate quorum, not the whole cluster.
+  std::optional<quorum::NodeSet> members;
+  if (decision_quorum(ctx) != nullptr) {
+    members = current_quorum(ctx);
+    if (!members) return net::kInvalidNode;
+  }
   const std::size_t n = server_here(ctx).cluster_size();
   for (net::NodeId node = 0; node < n; ++node) {
     if (node == ctx.here() || is_unavailable(node)) continue;
+    if (members && !quorum::contains(*members, node)) continue;
     // A server is as stale as its least-recently-observed group snapshot.
     std::int64_t stamp = std::numeric_limits<std::int64_t>::max();
     for (const shard::GroupId g : groups_) {
@@ -436,6 +526,25 @@ void UpdateAgent::on_migration_failed(agent::AgentContext& ctx,
   migration_retries_ = 0;
   current_target_ = net::kInvalidNode;
 
+  if (decision_quorum(ctx) != nullptr) {
+    // A candidate-quorum member is unreachable: fall back to a quorum that
+    // avoids every unavailable server, or give up when none survives.
+    const auto members = current_quorum(ctx);
+    if (!members) {
+      abort(ctx);
+      return;
+    }
+    server.protocol().note_quorum_reselection();
+    usl_.clear();
+    for (const net::NodeId node : *members) {
+      if (std::find(visited_.begin(), visited_.end(), node) == visited_.end()) {
+        usl_.push_back(node);
+      }
+    }
+    evaluate(ctx);
+    return;
+  }
+
   const std::uint32_t all_votes =
       total_votes(config.votes, server.cluster_size());
   std::uint32_t lost_votes = 0;
@@ -451,6 +560,20 @@ void UpdateAgent::on_migration_failed(agent::AgentContext& ctx,
 
 void UpdateAgent::begin_update(agent::AgentContext& ctx) {
   MarpServer& server = server_here(ctx);
+  // Geometry path: the first UPDATE goes to the candidate quorum only —
+  // the O(|Q|) message bill is the point of the smaller geometries. Retry
+  // rounds widen to every available server (see kTokenAckRetry): a minimal
+  // quorum has no spare ACKs, so retransmits buy robustness with
+  // redundancy instead. (COMMIT stays a broadcast: every replica applies
+  // the write.)
+  std::optional<quorum::NodeSet> members;
+  if (decision_quorum(ctx) != nullptr) {
+    members = current_quorum(ctx);
+    if (!members) {
+      abort(ctx);
+      return;
+    }
+  }
   if (auto* t = tracer(ctx)) t->wait_end(id());
   phase_ = Phase::Updating;
   lock_obtained_us_ = ctx.now().as_micros();
@@ -483,16 +606,35 @@ void UpdateAgent::begin_update(agent::AgentContext& ctx) {
     demote(ctx, *server.update_holder(conflict), /*broadcast_unlock=*/false);
     return;
   }
-  ctx.broadcast(kMsgUpdate, payload.encode());
+  if (members) {
+    const serial::Bytes bytes = payload.encode();
+    for (const net::NodeId node : *members) {
+      if (node == ctx.here()) continue;
+      ctx.send_to_node(node, kMsgUpdate, bytes);
+    }
+  } else {
+    ctx.broadcast(kMsgUpdate, payload.encode());
+  }
 
   acks_.clear();
   acks_.insert(ctx.here());
+  ack_floor_ = server.applied_high();
   ack_rounds_ = 0;
-  if (ack_votes(ctx) * 2 > total_votes(server.config().votes, server.cluster_size())) {
+  if (ack_quorum_reached(ctx)) {
     finish_update(ctx);  // degenerate N = 1 (or a dominating local vote)
     return;
   }
-  ctx.set_timer(server.config().ack_retry_interval, kTokenAckRetry);
+  ctx.set_timer(ack_retry_delay(ctx), kTokenAckRetry);
+}
+
+sim::SimTime UpdateAgent::ack_retry_delay(agent::AgentContext& ctx) const {
+  const MarpConfig& config = server_here(ctx).config();
+  if (decision_quorum(ctx) == nullptr) return config.ack_retry_interval;
+  const std::int64_t full = config.ack_retry_interval.as_micros();
+  std::int64_t delay = full / 8;
+  if (delay < 1) return config.ack_retry_interval;
+  for (std::uint32_t r = 0; r < ack_rounds_ && delay < full; ++r) delay *= 2;
+  return sim::SimTime::micros(std::min(delay, full));
 }
 
 std::uint32_t UpdateAgent::ack_votes(agent::AgentContext& ctx) const {
@@ -531,9 +673,8 @@ void UpdateAgent::on_message(agent::AgentContext& ctx, net::MessageType type,
       return;
     }
     acks_.insert(ack.server);
-    MarpServer& server = server_here(ctx);
-    if (2 * ack_votes(ctx) >
-        total_votes(server.config().votes, server.cluster_size())) {
+    if (ack.applied_high > ack_floor_) ack_floor_ = ack.applied_high;
+    if (ack_quorum_reached(ctx)) {
       finish_update(ctx);
     }
     return;
@@ -589,6 +730,22 @@ void UpdateAgent::demote(agent::AgentContext& ctx, const agent::AgentId& holder,
 
 void UpdateAgent::finish_update(agent::AgentContext& ctx) {
   MarpServer& server = server_here(ctx);
+  // The stamped base came from the tour's freshest_ snapshots, which can
+  // predate a concurrent session that committed between our visit and our
+  // grant. The ACK floor closes that gap: grants are exclusive from ACK to
+  // commit, so the floor covers every predecessor through any shared quorum
+  // member — restamp above it or version order breaks behind our back.
+  // (Rare under majority quorums — a stale attempt usually dies by NACK
+  // from one of the many overlapping servers — but small tree/grid quorums
+  // can overlap a concurrent session at a single server whose NACKs were
+  // all dropped; chaos sweeps caught exactly that.)
+  if (!ops_.empty() && ack_floor_.time_us >= ops_.front().version.time_us) {
+    const std::int64_t base = ack_floor_.time_us + 1;
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      ops_[i].version =
+          replica::Version{base + static_cast<std::int64_t>(i), origin_};
+    }
+  }
   // Theorem 2 monitor: holding a majority of a group's grants is exclusive.
   // (The quorum probe fires here, synchronously — a fault injector acting on
   // it cuts links *between* quorum assembly and the COMMIT broadcast.)

@@ -107,6 +107,27 @@ class UpdateAgent final : public agent::MobileAgent {
   /// Votes held by the servers that have acked the current attempt.
   std::uint32_t ack_votes(agent::AgentContext& ctx) const;
 
+  /// Delay before the next UPDATE retransmit round. The majority (seed)
+  /// path always waits the configured interval. Geometry attempts start at
+  /// an eighth of it and double back up to the full interval: a minimal
+  /// quorum has no spare ACKs, so every lost message stalls the session
+  /// until the next round — under sustained link loss a conservative first
+  /// retry serialises the whole workload behind 100 ms stalls.
+  sim::SimTime ack_retry_delay(agent::AgentContext& ctx) const;
+
+  /// The deployment's geometry handle, or null on the Majority (seed) path.
+  const quorum::QuorumSystem* decision_quorum(agent::AgentContext& ctx) const;
+  /// The candidate write quorum this agent tours. Recomputed on demand from
+  /// (unavailable_, origin_) — both already serialized — instead of being
+  /// carried explicitly, so the migrating byte size (and with it the
+  /// bandwidth-model virtual time) is untouched on every geometry.
+  /// nullopt = no quorum survives the unavailable servers. Non-majority
+  /// geometries only.
+  std::optional<quorum::NodeSet> current_quorum(agent::AgentContext& ctx) const;
+  /// Whether the acks gathered so far decide the update: a majority of
+  /// votes (seed arithmetic) or geometry write-coverage of the ack set.
+  bool ack_quorum_reached(agent::AgentContext& ctx) const;
+
   /// Next migration target per the routing policy, or kInvalidNode.
   net::NodeId pick_next_target(agent::AgentContext& ctx) const;
   /// Known server with the oldest LT stamp (patrol target).
@@ -135,6 +156,9 @@ class UpdateAgent final : public agent::MobileAgent {
   std::vector<WriteOp> ops_;              ///< built at begin_update
   std::set<net::NodeId> acks_;
   std::uint32_t ack_rounds_ = 0;
+  /// Max applied_high over this attempt's ACKs (incl. the local grant).
+  /// Never serialized: the agent re-enters Updating after any migration.
+  replica::Version ack_floor_;
   /// Committing-phase linger state: whether a COMMIT went out (false for an
   /// abort, which only lingers for the report ack), which servers confirmed
   /// it, how many retransmit rounds have elapsed, and whether the origin

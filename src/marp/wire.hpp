@@ -113,14 +113,23 @@ struct UpdatePayload {
 };
 
 /// ACK: `server` staged the winner's update (for attempt `attempt`).
+/// `applied_high` is the highest version the server has applied so far; the
+/// winner must stamp its writes above the max over its quorum's ACKs. The
+/// grant is exclusive from ACK until commit, so any predecessor's commit at
+/// a shared quorum member happens-before that member's ACK — intersection
+/// then makes the floor cover every predecessor, for any quorum geometry.
+/// (Version floors from the tour alone are not enough: a visit snapshot can
+/// predate a concurrent session's commit that lands before this grant.)
 struct AckPayload {
   net::NodeId server = 0;
   std::uint32_t attempt = 0;
+  replica::Version applied_high;
 
   serial::Bytes encode() const {
     serial::Writer w;
     w.varint(server);
     w.varint(attempt);
+    applied_high.serialize(w);
     return w.take();
   }
   static AckPayload decode(const serial::Bytes& bytes) {
@@ -128,6 +137,7 @@ struct AckPayload {
     AckPayload p;
     p.server = static_cast<net::NodeId>(r.varint());
     p.attempt = static_cast<std::uint32_t>(r.varint());
+    p.applied_high = replica::Version::deserialize(r);
     return p;
   }
 };

@@ -101,6 +101,7 @@ RealNode::RealNode(RealNodeConfig config)
     recovered_ = durable_->recover();
     for (const auto& [key, value] : recovered_.manifest) {
       local.store().force(key, value.value, value.version);
+      local.raise_applied_high(value.version);
     }
     sessions_completed_ = recovered_.next_session;
     local.store().set_apply_observer(

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "fault/plan.hpp"
+#include "quorum/spec.hpp"
 #include "runner/experiment.hpp"
 
 namespace {
@@ -36,6 +37,9 @@ using namespace marp;
      << "  --seeds N        scenarios in the sweep / runs per matrix cell (default 200)\n"
      << "  --start-seed N   first seed of the sweep (default 1)\n"
      << "  --servers N      replicas per scenario (default 5)\n"
+     << "  --quorum GEOM    majority|tree|grid|read-lease geometry (default majority)\n"
+     << "  --expect-reselection  fail unless the sweep exercised at least one\n"
+     << "                   quorum fallback re-selection (geometry sweeps)\n"
      << "  --matrix         run the drop x duplicate x reorder fault matrix\n"
      << "  --replay SEED    re-run one sweep scenario and print its plan\n"
      << "  --out FILE       write the JSON report to FILE (default stdout)\n";
@@ -46,11 +50,13 @@ using namespace marp;
 /// hardening knobs on, plus a random fault plan whose destructive actions
 /// all end by 0.8 x duration. Pure in (seed, servers).
 runner::ExperimentConfig make_chaos_config(std::uint64_t seed,
-                                           std::size_t servers) {
+                                           std::size_t servers,
+                                           quorum::QuorumSpec quorum = {}) {
   runner::ExperimentConfig config;
   config.servers = servers;
   config.protocol = runner::ProtocolKind::Marp;
   config.seed = seed;
+  config.marp.quorum = quorum;
 
   sim::RngFactory factory(seed);
   sim::Rng rng = factory.stream("chaos-scenario");
@@ -148,10 +154,12 @@ void accumulate(core::ProtocolAnomalies& into, const core::ProtocolAnomalies& a)
 }
 
 int run_sweep(std::uint64_t start_seed, std::uint64_t seeds,
-              std::size_t servers, std::ostream& out) {
+              std::size_t servers, quorum::QuorumSpec quorum,
+              bool expect_reselection, std::ostream& out) {
   std::uint64_t violations = 0;
   std::int64_t first_failing = -1;
   std::uint64_t lossy_plans = 0;
+  std::uint64_t reselections = 0;
   std::uint64_t generated = 0, completed = 0, ok_writes = 0, failed_writes = 0;
   fault::InjectorStats fault_totals;
   core::ProtocolAnomalies anomaly_totals;
@@ -160,11 +168,13 @@ int run_sweep(std::uint64_t start_seed, std::uint64_t seeds,
   bool first_failure = true;
 
   for (std::uint64_t seed = start_seed; seed < start_seed + seeds; ++seed) {
-    const runner::ExperimentConfig config = make_chaos_config(seed, servers);
+    const runner::ExperimentConfig config =
+        make_chaos_config(seed, servers, quorum);
     const runner::RunResult result = runner::run_experiment(config);
     const RunVerdict verdict = judge(config, result);
 
     if (config.fault_plan.lossy()) ++lossy_plans;
+    reselections += result.marp_stats.quorum_reselections;
     generated += result.generated;
     completed += result.completed;
     ok_writes += result.successful_writes;
@@ -204,9 +214,11 @@ int run_sweep(std::uint64_t start_seed, std::uint64_t seeds,
 
   out << "{\"mode\":\"sweep\",\"start_seed\":" << start_seed
       << ",\"seeds\":" << seeds << ",\"servers\":" << servers
+      << ",\"quorum\":\"" << quorum::geometry_name(quorum.geometry) << "\""
       << ",\"violations\":" << violations
       << ",\"first_failing_seed\":" << first_failing
       << ",\"lossy_plans\":" << lossy_plans
+      << ",\"quorum_reselections\":" << reselections
       << ",\"totals\":{\"generated\":" << generated
       << ",\"answered\":" << completed
       << ",\"successful_writes\":" << ok_writes
@@ -224,6 +236,11 @@ int run_sweep(std::uint64_t start_seed, std::uint64_t seeds,
       << ",\"anomalies\":";
   emit_anomalies(out, anomaly_totals);
   out << "},\"failures\":[" << failures.str() << "]}\n";
+  if (expect_reselection && reselections == 0) {
+    std::cerr << "expected at least one quorum re-selection across the sweep, "
+                 "saw none\n";
+    return 1;
+  }
   return violations == 0 ? 0 : 1;
 }
 
@@ -302,8 +319,10 @@ int run_matrix(std::uint64_t start_seed, std::uint64_t runs_per_cell,
   return violations == 0 ? 0 : 1;
 }
 
-int run_replay(std::uint64_t seed, std::size_t servers, std::ostream& out) {
-  const runner::ExperimentConfig config = make_chaos_config(seed, servers);
+int run_replay(std::uint64_t seed, std::size_t servers,
+               quorum::QuorumSpec quorum, std::ostream& out) {
+  const runner::ExperimentConfig config =
+      make_chaos_config(seed, servers, quorum);
   std::cerr << "seed " << seed << ": duration "
             << config.workload.duration.as_millis() << " ms, plan: "
             << (config.fault_plan.empty() ? "(none)"
@@ -313,6 +332,8 @@ int run_replay(std::uint64_t seed, std::size_t servers, std::ostream& out) {
   const RunVerdict verdict = judge(config, result);
 
   out << "{\"mode\":\"replay\",\"seed\":" << seed << ",\"servers\":" << servers
+      << ",\"quorum\":\"" << quorum::geometry_name(quorum.geometry) << "\""
+      << ",\"quorum_reselections\":" << result.marp_stats.quorum_reselections
       << ",\"plan\":\"" << json_escape(config.fault_plan.describe())
       << "\",\"lossy_plan\":" << (config.fault_plan.lossy() ? "true" : "false")
       << ",\"generated\":" << result.generated
@@ -342,6 +363,8 @@ int main(int argc, char** argv) {
   std::uint64_t seeds = 200;
   std::uint64_t start_seed = 1;
   std::size_t servers = 5;
+  quorum::QuorumSpec quorum;
+  bool expect_reselection = false;
   bool matrix = false;
   std::int64_t replay_seed = -1;
   std::string out_path;
@@ -356,6 +379,18 @@ int main(int argc, char** argv) {
     else if (flag == "--seeds") seeds = std::stoull(need_value(i));
     else if (flag == "--start-seed") start_seed = std::stoull(need_value(i));
     else if (flag == "--servers") servers = std::stoul(need_value(i));
+    else if (flag == "--quorum") {
+      const std::string name = need_value(i);
+      if (name == "majority") quorum.geometry = quorum::Geometry::Majority;
+      else if (name == "tree") quorum.geometry = quorum::Geometry::Tree;
+      else if (name == "grid") quorum.geometry = quorum::Geometry::Grid;
+      else if (name == "read-lease") quorum.geometry = quorum::Geometry::ReadLease;
+      else {
+        std::cerr << "unknown quorum geometry: " << name << "\n";
+        usage(argv[0], 2);
+      }
+    }
+    else if (flag == "--expect-reselection") expect_reselection = true;
     else if (flag == "--matrix") matrix = true;
     else if (flag == "--replay") replay_seed = std::stoll(need_value(i));
     else if (flag == "--out") out_path = need_value(i);
@@ -376,8 +411,9 @@ int main(int argc, char** argv) {
   std::ostream& out = out_path.empty() ? std::cout : file;
 
   if (replay_seed >= 0) {
-    return run_replay(static_cast<std::uint64_t>(replay_seed), servers, out);
+    return run_replay(static_cast<std::uint64_t>(replay_seed), servers, quorum,
+                      out);
   }
   if (matrix) return run_matrix(start_seed, seeds, servers, out);
-  return run_sweep(start_seed, seeds, servers, out);
+  return run_sweep(start_seed, seeds, servers, quorum, expect_reselection, out);
 }

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "metrics/report.hpp"
+#include "quorum/spec.hpp"
 #include "runner/experiment.hpp"
 #include "trace/export.hpp"
 #include "trace/merge.hpp"
@@ -40,6 +41,10 @@ using namespace marp;
      << "  --batch N                      MARP batch size (default 1)\n"
      << "  --lock-groups N                MARP lock groups (default 1)\n"
      << "  --votes a,b,c,...              MARP weighted votes (default uniform)\n"
+     << "  --quorum GEOM                  majority|tree|grid|read-lease quorum\n"
+     << "                                 geometry (default majority)\n"
+     << "  --tree-degree D                tree geometry branching (default 2)\n"
+     << "  --grid-cols C                  grid geometry columns (default: ~sqrt N)\n"
      << "  --quorum-reads                 MARP agent-based quorum reads\n"
      << "  --no-gossip                    disable MARP information sharing\n"
      << "  --migration-retries N          retries before a replica is declared\n"
@@ -70,6 +75,15 @@ runner::ProtocolKind parse_protocol(const std::string& name, const char* argv0) 
   if (name == "pc") return runner::ProtocolKind::PrimaryCopy;
   if (name == "tsae") return runner::ProtocolKind::Tsae;
   std::cerr << "unknown protocol: " << name << "\n";
+  usage(argv0, 2);
+}
+
+quorum::Geometry parse_geometry(const std::string& name, const char* argv0) {
+  if (name == "majority") return quorum::Geometry::Majority;
+  if (name == "tree") return quorum::Geometry::Tree;
+  if (name == "grid") return quorum::Geometry::Grid;
+  if (name == "read-lease") return quorum::Geometry::ReadLease;
+  std::cerr << "unknown quorum geometry: " << name << "\n";
   usage(argv0, 2);
 }
 
@@ -134,6 +148,12 @@ int main(int argc, char** argv) {
     else if (flag == "--batch") config.marp.batch_size = std::stoul(need_value(i));
     else if (flag == "--lock-groups") config.marp.num_lock_groups = std::stoul(need_value(i));
     else if (flag == "--votes") config.marp.votes = parse_votes(need_value(i));
+    else if (flag == "--quorum")
+      config.marp.quorum.geometry = parse_geometry(need_value(i), argv[0]);
+    else if (flag == "--tree-degree")
+      config.marp.quorum.tree_degree = static_cast<std::uint32_t>(std::stoul(need_value(i)));
+    else if (flag == "--grid-cols")
+      config.marp.quorum.grid_cols = std::stoul(need_value(i));
     else if (flag == "--quorum-reads") config.marp.read_mode = core::ReadMode::QuorumAgent;
     else if (flag == "--no-gossip") config.marp.gossip = false;
     else if (flag == "--migration-retries") config.marp.migration_retry_limit = static_cast<std::uint32_t>(std::stoul(need_value(i)));

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "check/explorer.hpp"
+#include "quorum/spec.hpp"
 
 namespace {
 
@@ -36,7 +37,10 @@ using namespace marp;
      << "  --servers N          replicas (default 3)\n"
      << "  --agents N           concurrent single-write agents (default 2)\n"
      << "  --groups N           lock groups (default 1)\n"
-     << "  --mutant KIND        none|majority|tiebreak (default none)\n"
+     << "  --mutant KIND        none|majority|tiebreak|split (default none)\n"
+     << "  --quorum GEOM        majority|tree|grid|read-lease (default majority)\n"
+     << "  --tree-degree D      tree geometry branching (default 2)\n"
+     << "  --grid-cols C        grid geometry columns (default: ~sqrt N)\n"
      << "  --fault KIND         none|crash|drop (default none)\n"
      << "  --max-schedules N    schedule budget (default 200000)\n"
      << "  --max-branch-points N  depth allowed to branch (default 256)\n"
@@ -89,6 +93,7 @@ const char* mutant_name(core::ProtocolMutant mutant) {
     case core::ProtocolMutant::None: return "none";
     case core::ProtocolMutant::MajorityOffByOne: return "majority";
     case core::ProtocolMutant::TieBreakLargestId: return "tiebreak";
+    case core::ProtocolMutant::SplitQuorum: return "split";
   }
   return "?";
 }
@@ -110,6 +115,7 @@ void emit_report(std::ostream& os, const check::ScenarioConfig& scenario,
      << ",\"agents\":" << scenario.agents
      << ",\"groups\":" << scenario.lock_groups
      << ",\"mutant\":\"" << mutant_name(scenario.mutant) << "\""
+     << ",\"quorum\":\"" << quorum::geometry_name(scenario.quorum.geometry) << "\""
      << ",\"fault\":\"" << fault_name(scenario.fault) << "\""
      << ",\"horizon_us\":" << scenario.effective_horizon().as_micros()
      << ",\"sleep_sets\":" << (limits.sleep_sets ? "true" : "false") << "}"
@@ -172,7 +178,22 @@ int main(int argc, char** argv) {
         scenario.mutant = core::ProtocolMutant::MajorityOffByOne;
       else if (kind == "tiebreak")
         scenario.mutant = core::ProtocolMutant::TieBreakLargestId;
+      else if (kind == "split")
+        scenario.mutant = core::ProtocolMutant::SplitQuorum;
       else usage(argv[0], 2);
+    } else if (flag == "--quorum") {
+      const std::string name = value(i);
+      if (name == "majority") scenario.quorum.geometry = quorum::Geometry::Majority;
+      else if (name == "tree") scenario.quorum.geometry = quorum::Geometry::Tree;
+      else if (name == "grid") scenario.quorum.geometry = quorum::Geometry::Grid;
+      else if (name == "read-lease")
+        scenario.quorum.geometry = quorum::Geometry::ReadLease;
+      else usage(argv[0], 2);
+    } else if (flag == "--tree-degree") {
+      scenario.quorum.tree_degree =
+          static_cast<std::uint32_t>(std::stoul(value(i)));
+    } else if (flag == "--grid-cols") {
+      scenario.quorum.grid_cols = std::stoull(value(i));
     } else if (flag == "--fault") {
       const std::string kind = value(i);
       if (kind == "none") scenario.fault = check::FaultKind::None;
@@ -182,6 +203,14 @@ int main(int argc, char** argv) {
     } else {
       usage(argv[0], 2);
     }
+  }
+
+  if (scenario.mutant == core::ProtocolMutant::SplitQuorum &&
+      scenario.quorum.geometry == quorum::Geometry::Majority) {
+    // SplitQuorum fakes geometry coverage, so it only has something to
+    // subvert on the geometry decide path; default it onto the grid.
+    std::cerr << "note: --mutant split implies --quorum grid\n";
+    scenario.quorum.geometry = quorum::Geometry::Grid;
   }
 
   if (scenario.fault == check::FaultKind::Drop && limits.sleep_sets) {
