@@ -4,6 +4,7 @@
 
 #include "marp/priority.hpp"
 #include "marp/server.hpp"
+#include "membership/mapped_quorum.hpp"
 #include "runner/consistency.hpp"
 
 namespace marp::check {
@@ -44,7 +45,9 @@ void InvariantMonitor::flag(std::string problem) {
 void InvariantMonitor::on_phase(const core::PhaseEvent& event) {
   if (event.phase == core::ProtocolPhase::UpdateQuorum &&
       config_.strict_agreement) {
-    if (quorum_->geometry() == quorum::Geometry::Majority) {
+    if (protocol_.membership_enabled()) {
+      check_quorum_intersection_membership(event);
+    } else if (quorum_->geometry() == quorum::Geometry::Majority) {
       check_quorum_agreement(event);
     } else {
       // Quorum-restricted tours give agents partial views on purpose, so
@@ -129,6 +132,51 @@ void InvariantMonitor::check_quorum_intersection(const core::PhaseEvent& event) 
       }
       os << "} contains no true write quorum of the "
          << quorum::geometry_name(quorum_->geometry()) << " geometry";
+      flag(os.str());
+      return;
+    }
+  }
+}
+
+void InvariantMonitor::check_quorum_intersection_membership(
+    const core::PhaseEvent& event) {
+  for (shard::GroupId g = 0; g < config_.lock_groups; ++g) {
+    quorum::NodeSet grants;
+    for (net::NodeId node = 0; node < config_.servers; ++node) {
+      if (!network_.node_up(node)) continue;
+      const auto& holder = protocol_.server(node).update_holder(g);
+      if (holder && *holder == event.agent) grants.push_back(node);
+    }
+    if (grants.empty()) continue;  // group not part of this agent's claim
+
+    bool covered = false;
+    for (const membership::MembershipView& view : protocol_.view_history()) {
+      // Grant state on a crashed or retired replica was destroyed, not
+      // released: count those replicas as granting so churn straddling the
+      // milestone cannot shrink a legitimate quorum into a false alarm.
+      quorum::NodeSet candidate = grants;
+      for (const net::NodeId node : view.replicas_of(g)) {
+        if (!network_.node_up(node) || protocol_.server(node).retired()) {
+          candidate.push_back(node);
+        }
+      }
+      const membership::MappedQuorum mapped(config_.quorum,
+                                            view.replicas_of(g));
+      if (mapped.write_covered(quorum::make_node_set(std::move(candidate)))) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      std::ostringstream os;
+      os << "Theorem 2 intersection violation: " << agent_str(event.agent)
+         << " assembled an update quorum in group " << g
+         << " but its grant set {";
+      for (std::size_t i = 0; i < grants.size(); ++i) {
+        os << (i ? "," : "") << grants[i];
+      }
+      os << "} covers no write quorum of group " << g
+         << "'s replica geometry in any recorded membership view";
       flag(os.str());
       return;
     }
@@ -233,7 +281,24 @@ void InvariantMonitor::final_checks(const std::vector<bool>& eligible,
   for (net::NodeId node = 0; node < config_.servers; ++node) {
     stores.push_back(&protocol_.server(node).store());
   }
-  runner::ConsistencyReport report = runner::check_convergence(stores, eligible);
+  runner::ConsistencyReport report;
+  if (protocol_.membership_enabled()) {
+    // Scoped convergence: only replicas hosting a key's group under the
+    // final view must agree on it. Leavers keep frozen stores and spares
+    // hold nothing — both exempt; a joiner that never finished catch-up
+    // shows up here as a hosting replica missing its group's keys.
+    const membership::MembershipView& final_view = protocol_.current_view();
+    report = runner::check_scoped_convergence(
+        stores, eligible, protocol_.router(),
+        [&](std::size_t i, shard::GroupId g) {
+          const net::NodeId node = static_cast<net::NodeId>(i);
+          return network_.node_up(node) && final_view.hosts(node, g) &&
+                 !protocol_.server(node).retired() &&
+                 protocol_.server(node).view().epoch == final_view.epoch;
+        });
+  } else {
+    report = runner::check_convergence(stores, eligible);
+  }
   for (std::size_t i = 0; i < stores.size(); ++i) {
     report.merge(runner::check_monotonic_history(*stores[i], i));
   }

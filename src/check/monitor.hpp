@@ -83,6 +83,13 @@ class InvariantMonitor final : public agent::PlatformObserver {
   /// replaces the majority-count + ground-truth-election check, which
   /// assumes every agent sees the full tour).
   void check_quorum_intersection(const core::PhaseEvent& event);
+  /// (group, epoch)-scoped Theorem-2 check for dynamic-membership runs: the
+  /// milestone agent's grant set must contain a write quorum of the group's
+  /// replica geometry in at least one recorded view. Replicas whose grant
+  /// state was destroyed rather than released (crashed, or retired by a
+  /// leave) count as wildcards, so churn can hide a violation but never
+  /// fabricate one.
+  void check_quorum_intersection_membership(const core::PhaseEvent& event);
   void check_commit_log_order();
   void flag(std::string problem);
 

@@ -35,6 +35,22 @@ std::vector<std::string> keys_covering_groups(std::size_t lock_groups) {
 
 fault::FaultPlan make_fault_plan(const ScenarioConfig& config) {
   fault::FaultPlan plan;
+  if (config.membership_rf > 0) {
+    if (config.join_node != net::kInvalidNode) {
+      fault::Action join;
+      join.kind = fault::ActionKind::JoinServer;
+      join.at = config.join_at;
+      join.node = config.join_node;
+      plan.actions.push_back(join);
+    }
+    if (config.leave_node != net::kInvalidNode) {
+      fault::Action leave;
+      leave.kind = fault::ActionKind::LeaveServer;
+      leave.at = config.leave_at;
+      leave.node = config.leave_node;
+      plan.actions.push_back(leave);
+    }
+  }
   switch (config.fault) {
     case FaultKind::None:
       break;
@@ -73,6 +89,12 @@ sim::SimTime ScenarioConfig::effective_horizon() const {
   if (lock_groups > 1) {
     base = base + sim::SimTime::millis(400 * (lock_groups - 1));
   }
+  if (membership_rf > 0 &&
+      (join_node != net::kInvalidNode || leave_node != net::kInvalidNode)) {
+    // A view change re-tours in-flight agents and a joiner must finish
+    // anti-entropy catch-up before quiescence.
+    base = base + sim::SimTime::millis(700);
+  }
   return base;
 }
 
@@ -100,6 +122,10 @@ CheckScenario::CheckScenario(const ScenarioConfig& config) : config_(config) {
   // horizon keeps the schedule space to the protocol's essential events.
   marp.patrol_interval = sim::SimTime::seconds(10);
   if (config.fault == FaultKind::Drop) marp.reliable_commit = true;
+  if (config.membership_rf > 0) {
+    marp.membership.replication_factor = config.membership_rf;
+    marp.membership.initial_members = config.initial_members;
+  }
   protocol_ = std::make_unique<core::MarpProtocol>(*network_, *platform_, marp);
 
   fault::FaultPlan plan = make_fault_plan(config);
@@ -130,7 +156,9 @@ CheckScenario::CheckScenario(const ScenarioConfig& config) : config_(config) {
 
   // All writes submitted at t=0 from distinct origins: with batch_size 1
   // every agent is dispatched immediately, so their first visits — and the
-  // whole protocol race — happen on a maximally tied timeline.
+  // whole protocol race — happen on a maximally tied timeline. A non-zero
+  // agent_stagger instead spaces the submissions out, so later agents can
+  // be born under a newer membership epoch than earlier ones.
   const std::vector<std::string> keys = keys_covering_groups(config.lock_groups);
   for (std::size_t i = 0; i < config.agents; ++i) {
     replica::Request request;
@@ -139,8 +167,14 @@ CheckScenario::CheckScenario(const ScenarioConfig& config) : config_(config) {
     request.key = keys[i % keys.size()];
     request.value = "v" + std::to_string(i + 1);
     request.origin = static_cast<net::NodeId>(i % config.servers);
-    request.submitted = sim::SimTime::zero();
-    protocol_->submit(request);
+    request.submitted = config.agent_stagger * static_cast<std::int64_t>(i);
+    if (request.submitted == sim::SimTime::zero()) {
+      protocol_->submit(request);
+    } else {
+      simulator_->schedule_at(
+          request.submitted,
+          [this, request]() { protocol_->submit(request); });
+    }
   }
 }
 

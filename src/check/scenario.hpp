@@ -45,6 +45,27 @@ struct ScenarioConfig {
   /// Virtual-time bound per run; zero derives a default from the fault kind.
   sim::SimTime horizon = sim::SimTime::zero();
 
+  /// Dynamic membership: copies per lock group (0 = static full
+  /// replication). With rf > 0 the deployment runs epoch-stamped views over
+  /// the first `initial_members` servers (0 = all of them); the remaining
+  /// servers are spares that can join later.
+  std::size_t membership_rf = 0;
+  std::size_t initial_members = 0;
+  /// Scripted churn (membership only; kInvalidNode = none): propose adding
+  /// `join_node` / removing `leave_node` at the given virtual times. Fired
+  /// through the fault injector, so the two-phase change races the
+  /// explored agent schedules like any other scripted event.
+  net::NodeId join_node = net::kInvalidNode;
+  sim::SimTime join_at = sim::SimTime::zero();
+  net::NodeId leave_node = net::kInvalidNode;
+  sim::SimTime leave_at = sim::SimTime::zero();
+  /// Delay between consecutive agent submissions (agent i starts at
+  /// i × stagger). Zero keeps the maximally-tied t=0 start. Non-zero lets
+  /// later agents be born under a *newer* epoch than still-running earlier
+  /// ones — the precondition for a cross-epoch quorum conflict, which the
+  /// MixedEpoch mutant needs in order to be catchable at all.
+  sim::SimTime agent_stagger = sim::SimTime::zero();
+
   sim::SimTime effective_horizon() const;
 };
 

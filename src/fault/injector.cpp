@@ -143,6 +143,14 @@ void FaultInjector::fire(const Action& action, net::NodeId event_node,
       ++stats_.link_fault_changes;
       network_.clear_link_faults();
       return;
+    case ActionKind::JoinServer:
+      if (target == net::kInvalidNode || target >= network_.size()) return;
+      if (protocol_.request_join(target)) ++stats_.joins_requested;
+      return;
+    case ActionKind::LeaveServer:
+      if (target == net::kInvalidNode || target >= network_.size()) return;
+      if (protocol_.request_leave(target)) ++stats_.leaves_requested;
+      return;
   }
 }
 

@@ -25,6 +25,8 @@ struct InjectorStats {
   std::uint64_t link_fault_changes = 0;
   std::uint64_t agents_killed = 0;
   std::uint64_t phase_triggers_fired = 0;
+  std::uint64_t joins_requested = 0;
+  std::uint64_t leaves_requested = 0;
 };
 
 class FaultInjector {

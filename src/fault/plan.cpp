@@ -17,6 +17,8 @@ const char* kind_name(ActionKind kind) {
     case ActionKind::SetLinkFaults: return "link-faults";
     case ActionKind::ClearLinkFaults: return "clear-link-faults";
     case ActionKind::KillAgents: return "kill-agents";
+    case ActionKind::JoinServer: return "join";
+    case ActionKind::LeaveServer: return "leave";
   }
   return "?";
 }
@@ -159,6 +161,35 @@ FaultPlan make_random_plan(std::uint64_t seed, std::size_t servers,
     plan.actions.push_back(kill);
   }
 
+  return plan;
+}
+
+FaultPlan make_churn_plan(std::uint64_t seed, std::size_t servers,
+                          std::size_t members, sim::SimTime duration) {
+  FaultPlan plan;
+  if (members == 0 || members > servers) members = servers;
+  sim::RngFactory factory(seed);
+  sim::Rng rng = factory.stream("churn-plan");
+  const std::int64_t d = duration.as_micros();
+  auto frac = [&](double lo, double hi) {
+    return sim::SimTime::micros(
+        static_cast<std::int64_t>(rng.uniform(lo, hi) * static_cast<double>(d)));
+  };
+
+  if (members < servers && rng.bernoulli(0.75)) {
+    Action join;
+    join.kind = ActionKind::JoinServer;
+    join.at = frac(0.10, 0.60);
+    join.node = static_cast<net::NodeId>(members + rng.bounded(servers - members));
+    plan.actions.push_back(join);
+  }
+  if (members > 2 && rng.bernoulli(0.75)) {
+    Action leave;
+    leave.kind = ActionKind::LeaveServer;
+    leave.at = frac(0.10, 0.60);
+    leave.node = static_cast<net::NodeId>(rng.bounded(members));
+    plan.actions.push_back(leave);
+  }
   return plan;
 }
 

@@ -29,7 +29,9 @@ enum class ActionKind : std::uint8_t {
   Heal,             ///< restore every cut link
   SetLinkFaults,    ///< apply `faults` to every link (drop/dup/reorder)
   ClearLinkFaults,  ///< back to clean links
-  KillAgents        ///< dispose in-flight UpdateAgents at `node`, mid-tour
+  KillAgents,       ///< dispose in-flight UpdateAgents at `node`, mid-tour
+  JoinServer,       ///< propose adding `node` to the membership view
+  LeaveServer       ///< propose removing `node` from the membership view
 };
 
 /// Phase trigger: fire on the `occurrence`-th protocol event of `phase`
@@ -84,5 +86,14 @@ struct FaultPlan {
 /// hardened protocol must reconverge.
 FaultPlan make_random_plan(std::uint64_t seed, std::size_t servers,
                            sim::SimTime duration);
+
+/// Deterministic membership-churn plan: a pure function of (seed, servers,
+/// members, duration). Joins a seed-drawn spare (a node outside the initial
+/// view, when one exists) and removes a seed-drawn initial member, each with
+/// probability ¾, at independent times in [0.1, 0.6]·duration — both
+/// scheduled early enough that anti-entropy and catch-up have the quiet
+/// tail to reconverge in. Never drains the view below two members.
+FaultPlan make_churn_plan(std::uint64_t seed, std::size_t servers,
+                          std::size_t members, sim::SimTime duration);
 
 }  // namespace marp::fault

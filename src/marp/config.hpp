@@ -48,7 +48,14 @@ enum class ProtocolMutant : std::uint8_t {
   /// The two halves do not intersect, so two concurrent writers can both
   /// believe they hold a write quorum; the intersection monitor must flag
   /// every such grant set as covering no true write quorum.
-  SplitQuorum
+  SplitQuorum,
+  /// Epoch fencing broken on purpose (dynamic membership only): agents do
+  /// not abort-and-re-tour on a newer epoch and accept ACKs stamped with a
+  /// different epoch, and servers skip the UPDATE epoch fence — so a
+  /// session born before a view change can assemble a "quorum" whose
+  /// grants span two views. The (group, epoch)-scoped intersection monitor
+  /// must flag every such mixed-epoch grant set.
+  MixedEpoch
 };
 
 /// How the paper's tie rule is applied once an agent has full information
@@ -63,6 +70,21 @@ enum class TieBreakMode : std::uint8_t {
   /// with heads known for all N servers and no majority holder, the winner
   /// is the agent with (max head count, then smallest id). Always live.
   TotalOrder
+};
+
+/// Dynamic membership / partial replication (src/membership/). Disabled by
+/// default: the seed protocol's static, fully replicated world, bit for
+/// bit. When enabled every lock group is replicated on `replication_factor`
+/// servers chosen by the placement policy, sessions are epoch-stamped, and
+/// servers join/leave via a two-phase view change.
+struct MembershipConfig {
+  /// Copies per lock group; 0 disables dynamic membership entirely.
+  std::uint32_t replication_factor = 0;
+  /// Servers in the initial view (epoch 1); 0 = every node. Nodes beyond
+  /// this count start as spares outside the view, available to join later.
+  std::size_t initial_members = 0;
+
+  bool enabled() const noexcept { return replication_factor > 0; }
 };
 
 struct MarpConfig {
@@ -112,6 +134,12 @@ struct MarpConfig {
   /// exclusive per-server update grants rather than on every agent seeing
   /// the same full tour (see src/quorum/quorum.hpp and PROTOCOL.md).
   quorum::QuorumSpec quorum;
+
+  /// Partial replication + dynamic membership; see MembershipConfig. When
+  /// enabled, `quorum` names the *inner* geometry instantiated inside each
+  /// group's replica list (membership/mapped_quorum.hpp) — Majority over 3
+  /// replicas means "2 of that group's 3 copies", not a cluster majority.
+  MembershipConfig membership;
 
   ReadMode read_mode = ReadMode::LocalCopy;
   /// Votes a QuorumAgent read must gather; 0 derives the minimal quorum

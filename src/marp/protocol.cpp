@@ -1,8 +1,12 @@
 #include "marp/protocol.hpp"
 
+#include <algorithm>
+#include <numeric>
+
 #include "marp/priority.hpp"
 #include "marp/read_agent.hpp"
 #include "marp/update_agent.hpp"
+#include "membership/placement.hpp"
 #include "trace/tracer.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
@@ -33,6 +37,21 @@ MarpProtocol::MarpProtocol(net::Network& network, agent::AgentPlatform& platform
     MarpServer* server = servers_.back().get();
     platform_.set_app_handler(
         node, [server](const net::Message& message) { server->handle_message(message); });
+  }
+  if (config_.membership.enabled()) {
+    MARP_REQUIRE_MSG(config_.votes.empty(),
+                     "weighted voting and dynamic membership are exclusive");
+    std::size_t members = config_.membership.initial_members;
+    if (members == 0 || members > network_.size()) members = network_.size();
+    std::vector<net::NodeId> active(members);
+    std::iota(active.begin(), active.end(), net::NodeId{0});
+    const membership::MembershipView initial = membership::make_view(
+        1, std::move(active), config_.membership.replication_factor,
+        config_.num_lock_groups, &network_.topology());
+    views_.push_back(initial);
+    // Every node — spares included — starts knowing the initial view, so a
+    // later join only has to move the epoch forward, never bootstrap it.
+    for (auto& server : servers_) server->install_view(initial);
   }
 }
 
@@ -91,18 +110,58 @@ void MarpProtocol::note_anomaly(Anomaly kind) {
     case Anomaly::CommitRetransmit: ++a.commit_retransmits; break;
     case Anomaly::ReportRetransmit: ++a.report_retransmits; break;
     case Anomaly::ReleaseRetransmit: ++a.release_retransmits; break;
+    case Anomaly::FailedReadQuorum: ++a.failed_read_quorums; break;
+    case Anomaly::EpochStaleUpdate: ++a.epoch_stale_updates; break;
+    case Anomaly::EpochStaleAck: ++a.epoch_stale_acks; break;
+    case Anomaly::JoinerRefusal: ++a.joiner_refusals; break;
   }
 }
 
 void MarpProtocol::note_update_quorum(const agent::AgentId& agent,
                                       const std::vector<shard::GroupId>& groups,
-                                      net::NodeId node) {
+                                      net::NodeId node, std::uint64_t epoch) {
   // Per group: count its grant holders across live servers; a *different*
   // agent holding a majority of the same group at the same instant would
   // break Theorem 2 (groups are independent, so only same-group holders
   // compete).
   const std::vector<shard::GroupId> checked =
       groups.empty() ? std::vector<shard::GroupId>{0} : groups;
+  if (config_.membership.enabled()) {
+    // (group, epoch)-scoped form: grant-holder sets are tested against the
+    // per-group replica geometry of every recorded view. A legitimate
+    // winner's competitors can never cover a write quorum in *any* view
+    // (grants are exclusive per server and quorums of one view intersect);
+    // a mixed-epoch grant set assembled by the MixedEpoch mutant covers the
+    // group's quorum in at least one of the views it straddles.
+    (void)epoch;
+    for (const shard::GroupId g : checked) {
+      std::map<agent::AgentId, std::vector<net::NodeId>> held;
+      for (const auto& server : servers_) {
+        if (server->up() && server->update_holder(g)) {
+          held[*server->update_holder(g)].push_back(server->node());
+        }
+      }
+      for (const auto& [holder, nodes] : held) {
+        if (holder == agent) continue;
+        const quorum::NodeSet grant_set = quorum::make_node_set(nodes);
+        for (const membership::MembershipView& view : views_) {
+          const membership::MappedQuorum mapped(config_.quorum,
+                                                view.replicas_of(g));
+          if (mapped.write_covered(grant_set)) {
+            ++stats_.mutex_violations;
+            MARP_LOG_ERROR("marp")
+                << "mutual exclusion violated in group " << g << " epoch "
+                << view.epoch << ": " << holder.to_string() << " and "
+                << agent.to_string() << " both hold write quorums";
+            break;
+          }
+        }
+      }
+    }
+    if (tracer_) tracer_->quorum_win(agent, node);
+    if (phase_probe_) phase_probe_({ProtocolPhase::UpdateQuorum, agent, node});
+    return;
+  }
   const quorum::QuorumSystem* geometry = decision_quorum();
   for (const shard::GroupId g : checked) {
     if (geometry == nullptr) {
@@ -173,6 +232,63 @@ void MarpProtocol::note_update_abort(const agent::AgentId& agent,
 void MarpProtocol::note_update_requeue(const agent::AgentId& agent) {
   (void)agent;
   ++stats_.lock_requeues;
+}
+
+const membership::MembershipView& MarpProtocol::current_view() const {
+  MARP_REQUIRE(!views_.empty());
+  return views_.back();
+}
+
+const membership::MembershipView* MarpProtocol::view_at(
+    std::uint64_t epoch) const {
+  for (const membership::MembershipView& view : views_) {
+    if (view.epoch == epoch) return &view;
+  }
+  return nullptr;
+}
+
+void MarpProtocol::note_view_activated(const membership::MembershipView& view) {
+  // First activation of an epoch records it; later servers installing the
+  // same view are catch-up, not new changes.
+  if (view_at(view.epoch) != nullptr) return;
+  MARP_REQUIRE(views_.empty() || view.epoch > views_.back().epoch);
+  views_.push_back(view);
+  ++stats_.view_changes;
+  MARP_LOG_INFO("marp") << "view epoch " << view.epoch << " activated with "
+                        << view.active.size() << " members";
+}
+
+bool MarpProtocol::begin_view_change(std::vector<net::NodeId> new_active) {
+  if (!config_.membership.enabled()) return false;
+  // Coordinator: the lowest live member of the current view. The two-phase
+  // change runs over normal protocol messages from that server.
+  for (const net::NodeId member : current_view().active) {
+    if (!servers_[member]->up()) continue;
+    return servers_[member]->begin_view_change(std::move(new_active));
+  }
+  return false;
+}
+
+bool MarpProtocol::request_join(net::NodeId node) {
+  if (!config_.membership.enabled() || node >= servers_.size()) return false;
+  const membership::MembershipView& view = current_view();
+  if (view.is_member(node)) return false;
+  std::vector<net::NodeId> active = view.active;
+  active.push_back(node);
+  return begin_view_change(std::move(active));
+}
+
+bool MarpProtocol::request_leave(net::NodeId node) {
+  if (!config_.membership.enabled()) return false;
+  const membership::MembershipView& view = current_view();
+  if (!view.is_member(node)) return false;
+  std::vector<net::NodeId> active;
+  active.reserve(view.active.size() - 1);
+  for (const net::NodeId member : view.active) {
+    if (member != node) active.push_back(member);
+  }
+  if (active.empty()) return false;
+  return begin_view_change(std::move(active));
 }
 
 }  // namespace marp::core

@@ -36,11 +36,16 @@ struct ProtocolAnomalies {
   std::uint64_t commit_retransmits = 0;///< COMMIT copies re-sent to silent servers
   std::uint64_t report_retransmits = 0;///< REPORT copies re-sent to a silent origin
   std::uint64_t release_retransmits = 0;///< RELEASE copies re-sent by an aborter
+  std::uint64_t failed_read_quorums = 0;///< ReadAgent found no live read quorum
+  std::uint64_t epoch_stale_updates = 0;///< UPDATE fenced: wrong epoch or promised newer view
+  std::uint64_t epoch_stale_acks = 0;  ///< ACK from a different epoch discarded by the agent
+  std::uint64_t joiner_refusals = 0;   ///< UPDATE refused by a member still catching up
 
   std::uint64_t total() const noexcept {
     return stale_acks + stale_updates + duplicate_updates + duplicate_commits +
            duplicate_reports + orphaned_reports + commit_retransmits +
-           report_retransmits + release_retransmits;
+           report_retransmits + release_retransmits + failed_read_quorums +
+           epoch_stale_updates + epoch_stale_acks + joiner_refusals;
   }
 };
 
@@ -53,7 +58,11 @@ enum class Anomaly : std::uint8_t {
   OrphanedReport,
   CommitRetransmit,
   ReportRetransmit,
-  ReleaseRetransmit
+  ReleaseRetransmit,
+  FailedReadQuorum,
+  EpochStaleUpdate,
+  EpochStaleAck,
+  JoinerRefusal
 };
 
 struct MarpStats {
@@ -78,6 +87,11 @@ struct MarpStats {
   /// (config.agent_lease_timeout) — dead-process cleanup on the real
   /// substrate, where no fail-stop notice ever arrives.
   std::uint64_t agents_lease_purged = 0;
+  /// View changes activated (dynamic membership): each join/leave that
+  /// completed its two-phase epoch bump counts once.
+  std::uint64_t view_changes = 0;
+  /// Sessions that aborted-and-re-toured after meeting a newer epoch.
+  std::uint64_t epoch_retours = 0;
   /// Absorbed message-level faults (see ProtocolAnomalies).
   ProtocolAnomalies anomalies;
 };
@@ -133,6 +147,7 @@ class MarpProtocol final : public replica::ReplicationProtocol {
 
   const MarpStats& stats() const noexcept { return stats_; }
   const std::vector<CommitRecord>& commit_log() const noexcept { return commit_log_; }
+  const shard::ShardRouter& router() const noexcept { return router_; }
 
   /// Observer for protocol milestones (fault injection, tracing). Called
   /// synchronously at the milestone — a probe that cuts links inside
@@ -162,9 +177,15 @@ class MarpProtocol final : public replica::ReplicationProtocol {
   /// Called when `agent` has collected a majority of grants in each of
   /// `groups` (empty = group 0); audits every group's per-server grant
   /// holders for a competing majority (per-group Theorem 2 monitor).
+  /// Under dynamic membership the check is (group, epoch)-scoped: a
+  /// competing holder's grant set is tested against the per-group geometry
+  /// of *every* recorded view, so a mixed-epoch "quorum" assembled by the
+  /// MixedEpoch mutant is flagged even though no single static geometry
+  /// covers it. `epoch` is the claiming session's birth epoch (0 = static).
   void note_update_quorum(const agent::AgentId& agent,
                           const std::vector<shard::GroupId>& groups = {},
-                          net::NodeId node = net::kInvalidNode);
+                          net::NodeId node = net::kInvalidNode,
+                          std::uint64_t epoch = 0);
   void note_update_commit(const agent::AgentId& agent,
                           const std::vector<WriteOp>& ops,
                           net::NodeId node = net::kInvalidNode);
@@ -186,13 +207,43 @@ class MarpProtocol final : public replica::ReplicationProtocol {
   void note_anomaly(Anomaly kind);
   void note_agents_lease_purged(std::uint64_t n) { stats_.agents_lease_purged += n; }
 
+  // ---- dynamic membership (config.membership.enabled()) ----
+
+  /// Whether this deployment runs with epoch-stamped views.
+  bool membership_enabled() const noexcept { return config_.membership.enabled(); }
+  /// Newest view any server has activated (falls back to the initial view;
+  /// MARP_REQUIREs membership on). Test/monitor oracle — individual servers
+  /// may lag behind this during a change.
+  const membership::MembershipView& current_view() const;
+  /// View recorded for `epoch`, or nullptr if no server ever activated it.
+  const membership::MembershipView* view_at(std::uint64_t epoch) const;
+  /// Every view recorded so far, ascending by epoch.
+  const std::vector<membership::MembershipView>& view_history() const noexcept {
+    return views_;
+  }
+  /// Called by each server on view activation; first activation of an epoch
+  /// records it in the oracle history and counts a view change.
+  void note_view_activated(const membership::MembershipView& view);
+  void note_epoch_retour() { ++stats_.epoch_retours; }
+
+  /// Start a two-phase view change adding/removing `node`, coordinated by
+  /// the lowest live member of the current view. Returns false when
+  /// membership is off, the node is already in the target state, no live
+  /// coordinator exists, or a change is already pending at the coordinator.
+  bool request_join(net::NodeId node);
+  bool request_leave(net::NodeId node);
+
  private:
+  bool begin_view_change(std::vector<net::NodeId> new_active);
+
   net::Network& network_;
   agent::AgentPlatform& platform_;
   MarpConfig config_;
   shard::ShardRouter router_;
   std::unique_ptr<const quorum::QuorumSystem> quorum_;
   std::vector<std::unique_ptr<MarpServer>> servers_;
+  /// Recorded views, ascending by epoch (empty when membership is off).
+  std::vector<membership::MembershipView> views_;
   MarpStats stats_;
   std::vector<CommitRecord> commit_log_;
   PhaseProbe phase_probe_;

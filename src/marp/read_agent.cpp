@@ -31,18 +31,61 @@ MarpServer& ReadAgent::server_here(agent::AgentContext& ctx) const {
   return *server;
 }
 
+const quorum::QuorumSystem* ReadAgent::read_geometry(agent::AgentContext& ctx) const {
+  MarpServer& server = server_here(ctx);
+  if (server.config().membership.enabled()) {
+    // Partial replication: the read only has to intersect write quorums of
+    // the key's group, so the electorate is that group's replica set.
+    return server.group_quorum(server.router().group_of(key_));
+  }
+  return server.protocol().decision_quorum();
+}
+
+bool ReadAgent::reselect_quorum(agent::AgentContext& ctx) {
+  const quorum::QuorumSystem* qs = read_geometry(ctx);
+  if (qs == nullptr) return true;  // vote-counting path: nothing to re-pick
+  const auto members =
+      qs->pick_read_quorum(quorum::make_node_set(unavailable_), ctx.here());
+  if (!members) {
+    server_here(ctx).protocol().note_anomaly(Anomaly::FailedReadQuorum);
+    finish(ctx, /*success=*/false);
+    return false;
+  }
+  server_here(ctx).protocol().note_quorum_reselection();
+  usl_.clear();
+  for (const net::NodeId node : *members) {
+    if (std::find(visited_.begin(), visited_.end(), node) == visited_.end()) {
+      usl_.push_back(node);
+    }
+  }
+  if (qs->read_covered(quorum::make_node_set(visited_))) {
+    finish(ctx, /*success=*/true);
+    return false;
+  }
+  return true;
+}
+
 void ReadAgent::on_created(agent::AgentContext& ctx) {
   MarpServer& server = server_here(ctx);
   needed_votes_ = read_quorum_for(server.config(), server.cluster_size());
   for (net::NodeId node = 0; node < server.cluster_size(); ++node) {
     usl_.push_back(node);
   }
-  if (const quorum::QuorumSystem* qs = server.protocol().decision_quorum()) {
+  if (server.config().membership.enabled()) epoch_ = server.view().epoch;
+  if (const quorum::QuorumSystem* qs = read_geometry(ctx)) {
     // Geometry read path: tour one of the geometry's read quorums (a
     // column transversal, a tree quorum, a single lease holder, …) instead
     // of counting votes. Prefer the origin so the local visit counts.
     const auto members = qs->pick_read_quorum({}, ctx.here());
-    MARP_REQUIRE(members.has_value());
+    if (!members) {
+      // No read quorum exists right now (e.g. a read-lease holder is down,
+      // or the geometry is mid-reconfiguration). That is a failed read, not
+      // a protocol bug: report failure to the origin instead of aborting
+      // the whole process.
+      server.protocol().note_anomaly(Anomaly::FailedReadQuorum);
+      finish(ctx, /*success=*/false);
+      return;
+    }
     usl_.assign(members->begin(), members->end());
   }
   do_visit(ctx);
@@ -55,6 +98,37 @@ void ReadAgent::on_arrival(agent::AgentContext& ctx) {
 
 void ReadAgent::do_visit(agent::AgentContext& ctx) {
   MarpServer& server = server_here(ctx);
+  const MarpConfig& config = server.config();
+  const bool membership = config.membership.enabled();
+  if (membership && config.mutant != ProtocolMutant::MixedEpoch &&
+      server.view().epoch > epoch_) {
+    // The view moved under this tour: visits made under the old epoch no
+    // longer prove intersection with the current write quorums. Restart the
+    // tour over the new view's replica set. best_ survives — a version
+    // already observed stays a legal lower bound under the Thomas rule.
+    epoch_ = server.view().epoch;
+    visited_.clear();
+    if (!reselect_quorum(ctx)) return;
+  }
+  if (membership && server.catching_up()) {
+    // A joiner mid-catch-up may still miss committed writes for its newly
+    // gained groups; counting it towards the read quorum could surface a
+    // stale value. Route around it as if unreachable.
+    routing_costs_ = server.routing_costs();
+    if (std::find(unavailable_.begin(), unavailable_.end(), ctx.here()) ==
+        unavailable_.end()) {
+      unavailable_.push_back(ctx.here());
+    }
+    usl_.erase(std::remove(usl_.begin(), usl_.end(), ctx.here()), usl_.end());
+    if (!reselect_quorum(ctx)) return;
+    const net::NodeId next = pick_next(ctx);
+    if (next == net::kInvalidNode) {
+      finish(ctx, /*success=*/false);
+      return;
+    }
+    ctx.dispatch_to(next);
+    return;
+  }
   if (auto local = server.store().read(key_)) {
     if (local->version > best_.version) best_ = *local;
   }
@@ -63,7 +137,7 @@ void ReadAgent::do_visit(agent::AgentContext& ctx) {
   visited_.push_back(ctx.here());
   usl_.erase(std::remove(usl_.begin(), usl_.end(), ctx.here()), usl_.end());
 
-  const quorum::QuorumSystem* qs = server.protocol().decision_quorum();
+  const quorum::QuorumSystem* qs = read_geometry(ctx);
   const bool covered =
       qs != nullptr ? qs->read_covered(quorum::make_node_set(visited_))
                     : gathered_votes_ >= needed_votes_;
@@ -79,16 +153,26 @@ void ReadAgent::do_visit(agent::AgentContext& ctx) {
   ctx.dispatch_to(next);
 }
 
-net::NodeId ReadAgent::pick_next(agent::AgentContext& ctx) const {
+net::NodeId pick_cheapest_node(const std::vector<net::NodeId>& candidates,
+                               const std::vector<net::NodeId>& unavailable,
+                               net::NodeId here,
+                               const std::vector<std::int64_t>& costs) {
   net::NodeId best = net::kInvalidNode;
   std::int64_t best_cost = 0;
-  for (net::NodeId node : usl_) {
-    if (node == ctx.here()) continue;
-    if (std::find(unavailable_.begin(), unavailable_.end(), node) !=
-        unavailable_.end()) {
+  // A node beyond the routing table has *unknown* cost. Treating it as 0
+  // would make unknown nodes the preferred destination; assume the worst
+  // known link instead, so they are only toured once priced options run out.
+  std::int64_t unknown_cost = 0;
+  for (const std::int64_t cost : costs) {
+    unknown_cost = std::max(unknown_cost, cost);
+  }
+  for (net::NodeId node : candidates) {
+    if (node == here) continue;
+    if (std::find(unavailable.begin(), unavailable.end(), node) !=
+        unavailable.end()) {
       continue;
     }
-    const std::int64_t cost = node < routing_costs_.size() ? routing_costs_[node] : 0;
+    const std::int64_t cost = node < costs.size() ? costs[node] : unknown_cost;
     if (best == net::kInvalidNode || cost < best_cost ||
         (cost == best_cost && node < best)) {
       best = node;
@@ -96,6 +180,10 @@ net::NodeId ReadAgent::pick_next(agent::AgentContext& ctx) const {
     }
   }
   return best;
+}
+
+net::NodeId ReadAgent::pick_next(agent::AgentContext& ctx) const {
+  return pick_cheapest_node(usl_, unavailable_, ctx.here(), routing_costs_);
 }
 
 void ReadAgent::on_migration_failed(agent::AgentContext& ctx,
@@ -108,27 +196,9 @@ void ReadAgent::on_migration_failed(agent::AgentContext& ctx,
   unavailable_.push_back(destination);
   usl_.erase(std::remove(usl_.begin(), usl_.end(), destination), usl_.end());
   migration_retries_ = 0;
-  if (const quorum::QuorumSystem* qs = server.protocol().decision_quorum()) {
-    // Re-pick a read quorum around the dead member; keep the current
-    // position preferred so the visits already made keep counting.
-    const auto members =
-        qs->pick_read_quorum(quorum::make_node_set(unavailable_), ctx.here());
-    if (!members) {
-      finish(ctx, /*success=*/false);
-      return;
-    }
-    server.protocol().note_quorum_reselection();
-    usl_.clear();
-    for (const net::NodeId node : *members) {
-      if (std::find(visited_.begin(), visited_.end(), node) == visited_.end()) {
-        usl_.push_back(node);
-      }
-    }
-    if (qs->read_covered(quorum::make_node_set(visited_))) {
-      finish(ctx, /*success=*/true);
-      return;
-    }
-  }
+  // Re-pick a read quorum around the dead member; keep the current position
+  // preferred so the visits already made keep counting.
+  if (!reselect_quorum(ctx)) return;
   const net::NodeId next = pick_next(ctx);
   if (next == net::kInvalidNode) {
     finish(ctx, /*success=*/false);
@@ -170,6 +240,9 @@ void ReadAgent::serialize(serial::Writer& w) const {
   w.varint(routing_costs_.size());
   for (std::int64_t cost : routing_costs_) w.svarint(cost);
   w.varint(migration_retries_);
+  // Trailing optional (membership only): absent bytes keep the static
+  // deployment's migration sizes bit-identical.
+  if (epoch_ != 0) w.varint(epoch_);
 }
 
 void ReadAgent::deserialize(serial::Reader& r) {
@@ -196,6 +269,7 @@ void ReadAgent::deserialize(serial::Reader& r) {
   const std::uint64_t costs = r.varint();
   for (std::uint64_t i = 0; i < costs; ++i) routing_costs_.push_back(r.svarint());
   migration_retries_ = static_cast<std::uint32_t>(r.varint());
+  epoch_ = r.at_end() ? 0 : r.varint();
 }
 
 }  // namespace marp::core

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "agent/agent.hpp"
+#include "quorum/quorum.hpp"
 #include "replica/versioned_store.hpp"
 
 namespace marp::core {
@@ -22,6 +23,16 @@ class MarpServer;
 
 /// Registry name for this agent type.
 inline constexpr const char* kReadAgentType = "marp.read";
+
+/// Cheapest candidate by the routing-cost table, excluding `here` and the
+/// `unavailable` nodes; ties break to the lower id. Nodes beyond the table
+/// have *unknown* cost (e.g. the cluster grew since the costs were
+/// recorded) and are priced at the worst known link, so they are toured
+/// only once every priced option is exhausted. kInvalidNode when empty.
+net::NodeId pick_cheapest_node(const std::vector<net::NodeId>& candidates,
+                               const std::vector<net::NodeId>& unavailable,
+                               net::NodeId here,
+                               const std::vector<std::int64_t>& costs);
 
 class ReadAgent final : public agent::MobileAgent {
  public:
@@ -46,6 +57,14 @@ class ReadAgent final : public agent::MobileAgent {
   void do_visit(agent::AgentContext& ctx);
   void finish(agent::AgentContext& ctx, bool success);
   net::NodeId pick_next(agent::AgentContext& ctx) const;
+  /// Geometry the read must cover: the key's group quorum under dynamic
+  /// membership, the cluster-wide geometry otherwise, nullptr on the seed
+  /// vote-counting path.
+  const quorum::QuorumSystem* read_geometry(agent::AgentContext& ctx) const;
+  /// Re-select a read quorum around unavailable_ on a geometry path. Returns
+  /// false when the tour is over (no quorum left → failure reported, or the
+  /// visits already cover → success reported); true to keep touring.
+  bool reselect_quorum(agent::AgentContext& ctx);
 
   net::NodeId origin_ = net::kInvalidNode;
   std::uint64_t request_id_ = 0;
@@ -58,6 +77,9 @@ class ReadAgent final : public agent::MobileAgent {
   std::vector<net::NodeId> unavailable_;
   std::vector<std::int64_t> routing_costs_;
   std::uint32_t migration_retries_ = 0;
+  /// Birth epoch of the current tour (0 = static membership). Serialized as
+  /// a trailing optional field so the disabled path stays byte-identical.
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace marp::core

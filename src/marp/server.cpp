@@ -7,6 +7,7 @@
 #include "marp/protocol.hpp"
 #include "marp/read_agent.hpp"
 #include "marp/update_agent.hpp"
+#include "membership/placement.hpp"
 #include "trace/tracer.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
@@ -64,7 +65,7 @@ std::size_t MarpServer::sync_pull(std::size_t max_peers) {
   for (int tries = 0; tries < 32 && sent < want; ++tries) {
     const net::NodeId peer =
         static_cast<net::NodeId>(anti_entropy_rng_.bounded(network_.size()));
-    if (peer == node_ || !network_.node_up(peer) || !chosen.insert(peer).second) {
+    if (!sync_peer_ok(peer) || !chosen.insert(peer).second) {
       continue;
     }
     if (auto* tracer = protocol_.tracer()) tracer->anti_entropy(node_);
@@ -72,6 +73,14 @@ std::size_t MarpServer::sync_pull(std::size_t max_peers) {
     ++sent;
   }
   return sent;
+}
+
+bool MarpServer::sync_peer_ok(net::NodeId peer) const {
+  if (peer == node_ || !network_.node_up(peer)) return false;
+  // Under dynamic membership only installed members hold data worth pulling
+  // (a spare's store is empty, a retired node's is frozen).
+  if (config_.membership.enabled()) return view_.is_member(peer);
+  return true;
 }
 
 void MarpServer::touch_agent(const agent::AgentId& agent) {
@@ -125,11 +134,10 @@ void MarpServer::anti_entropy_tick() {
     // One random live peer per tick; the reply merges via the Thomas rule,
     // so repeated/duplicated dumps are harmless.
     net::NodeId peer = node_;
-    for (int tries = 0; tries < 8 && (peer == node_ || !network_.node_up(peer));
-         ++tries) {
+    for (int tries = 0; tries < 8 && !sync_peer_ok(peer); ++tries) {
       peer = static_cast<net::NodeId>(anti_entropy_rng_.bounded(network_.size()));
     }
-    if (peer != node_ && network_.node_up(peer)) {
+    if (sync_peer_ok(peer)) {
       if (auto* tracer = protocol_.tracer()) tracer->anti_entropy(node_);
       network_.send(net::Message{node_, peer, kMsgSyncReq, {}});
     }
@@ -218,6 +226,15 @@ VisitResult MarpServer::visit(const agent::AgentId& visitor,
   if (groups.empty()) groups.push_back(0);
 
   VisitResult result;
+  if (config_.membership.enabled()) {
+    // Partial replication: this server only runs the Locking-List machinery
+    // of the groups it hosts. An agent that lands here with other groups is
+    // stale (its view predates a change) — the epoch below tells it so.
+    result.epoch = view_.epoch;
+    std::erase_if(groups, [this](shard::GroupId g) {
+      return !view_.hosts(node_, g);
+    });
+  }
   // Algorithm 2: "create an entry for the mobile agent and append it to LL"
   // (idempotent on re-visits — the agent keeps its queue position), once per
   // lock group the write-set routes to.
@@ -273,6 +290,18 @@ MarpServer::RefreshResult MarpServer::refresh(
 
 MarpServer::GrantResult MarpServer::handle_update_local(
     const UpdatePayload& payload, shard::GroupId* conflict_group) {
+  // Epoch fence (phase 1 of a view change is the safety fence): grants go
+  // only to sessions of the installed epoch, and not while a newer view is
+  // promised or this member is still catching up. The MixedEpoch mutant
+  // skips the fence so the model checker can watch mixed-epoch "quorums"
+  // form — the (group, epoch)-scoped monitor must flag them.
+  if (config_.membership.enabled() &&
+      config_.mutant != ProtocolMutant::MixedEpoch) {
+    if (retired_ || !view_.is_member(node_)) return GrantResult::EpochStale;
+    if (payload.epoch != view_.epoch) return GrantResult::EpochStale;
+    if (pending_view_) return GrantResult::EpochStale;
+    if (catching_up_) return GrantResult::CatchingUp;
+  }
   // A finished agent's delayed UPDATE must not take grants nobody will
   // ever release, and neither may an attempt the agent already withdrew.
   if (ul_.contains(payload.agent)) return GrantResult::Stale;
@@ -316,8 +345,14 @@ MarpServer::GrantResult MarpServer::handle_update_local(
 
 void MarpServer::handle_commit_local(const CommitPayload& payload) {
   // Re-applying is always safe (Thomas write rule), so ops go first — a
-  // replica that missed the original COMMIT converges off any copy.
+  // replica that missed the original COMMIT converges off any copy. Under
+  // partial replication only hosted groups are applied (against the newest
+  // known view, so a promised joiner already absorbs its new groups).
   for (const WriteOp& op : payload.ops) {
+    if (config_.membership.enabled() &&
+        !newest_view().hosts(node_, router_.group_of(op.key))) {
+      continue;
+    }
     store_.apply(op.key, op.value, op.version);
     if (op.version > applied_high_) applied_high_ = op.version;
   }
@@ -427,11 +462,13 @@ void MarpServer::handle_message(const net::Message& message) {
       const UpdatePayload payload = UpdatePayload::decode(message.payload);
       shard::GroupId conflict = 0;
       switch (handle_update_local(payload, &conflict)) {
-        case GrantResult::Granted:
-          platform_.send_to_agent(
-              node_, payload.reply_to, payload.agent, kMsgAck,
-              AckPayload{node_, payload.attempt, applied_high_}.encode());
+        case GrantResult::Granted: {
+          AckPayload ack{node_, payload.attempt, applied_high_};
+          ack.epoch = view_.epoch;
+          platform_.send_to_agent(node_, payload.reply_to, payload.agent,
+                                  kMsgAck, ack.encode());
           break;
+        }
         case GrantResult::Held:
           platform_.send_to_agent(
               node_, payload.reply_to, payload.agent, kMsgNack,
@@ -442,6 +479,20 @@ void MarpServer::handle_message(const net::Message& message) {
         case GrantResult::Stale:
           // The sender has moved on; any reply would be ignored.
           protocol_.note_anomaly(Anomaly::StaleUpdate);
+          break;
+        case GrantResult::EpochStale:
+          // Teach the stale session the newest view so it can re-tour.
+          protocol_.note_anomaly(Anomaly::EpochStaleUpdate);
+          platform_.send_to_agent(
+              node_, payload.reply_to, payload.agent, kMsgEpochNotice,
+              EpochNoticePayload{node_, newest_view()}.encode());
+          break;
+        case GrantResult::CatchingUp:
+          // Silent: the sender's ack-retry rounds re-deliver the UPDATE
+          // once the first store merge lands and grants reopen. Each
+          // refusal re-pulls in case the original sync request was lost.
+          protocol_.note_anomaly(Anomaly::JoinerRefusal);
+          sync_pull(1);
           break;
       }
       break;
@@ -494,14 +545,37 @@ void MarpServer::handle_message(const net::Message& message) {
       const SyncPayload dump = SyncPayload::decode(message.payload);
       std::size_t applied = 0;
       for (const auto& item : dump.items) {
+        // Partial replication: keep only the groups this node hosts under
+        // the newest view it knows (a promised joiner adopts its gained
+        // groups from exactly this merge).
+        if (config_.membership.enabled() &&
+            !newest_view().hosts(node_, router_.group_of(item.key))) {
+          continue;
+        }
         if (store_.apply(item.key, item.value, item.version)) {
           ++applied;
           if (item.version > applied_high_) applied_high_ = item.version;
         }
       }
+      if (catching_up_) {
+        // First completed merge ends catch-up: this member now serves
+        // grants for its hosted groups.
+        catching_up_ = false;
+        MARP_LOG_INFO("marp") << "server " << node_
+                              << ": catch-up complete, serving grants";
+      }
       if (sync_listener_) sync_listener_(applied);
       break;
     }
+    case kMsgViewPropose:
+      handle_view_propose(ViewProposePayload::decode(message.payload));
+      break;
+    case kMsgViewAck:
+      handle_view_ack(ViewAckPayload::decode(message.payload));
+      break;
+    case kMsgViewActivate:
+      activate_view(ViewActivatePayload::decode(message.payload).view);
+      break;
     default:
       MARP_LOG_WARN("marp") << "server " << node_ << ": unexpected message type "
                             << message.type;
@@ -560,11 +634,155 @@ void MarpServer::on_recover() {
   // keys that are never written again still converge.
   if (!config_.recovery_sync) return;
   for (net::NodeId peer = 0; peer < network_.size(); ++peer) {
-    if (peer != node_ && network_.node_up(peer)) {
+    if (sync_peer_ok(peer)) {
       network_.send(net::Message{node_, peer, kMsgSyncReq, {}});
       break;
     }
   }
+}
+
+// ---- dynamic membership ----
+
+void MarpServer::install_view(const membership::MembershipView& view) {
+  view_ = view;
+  pending_view_.reset();
+  rebuild_group_quorums();
+}
+
+void MarpServer::rebuild_group_quorums() {
+  group_quorums_.clear();
+  if (!view_.enabled()) return;
+  group_quorums_.reserve(view_.num_groups());
+  for (shard::GroupId g = 0; g < view_.num_groups(); ++g) {
+    group_quorums_.push_back(std::make_unique<membership::MappedQuorum>(
+        config_.quorum, view_.replicas_of(g)));
+  }
+}
+
+const membership::MappedQuorum* MarpServer::group_quorum(shard::GroupId g) const {
+  if (g >= group_quorums_.size()) return nullptr;
+  return group_quorums_[g].get();
+}
+
+bool MarpServer::begin_view_change(std::vector<net::NodeId> new_active) {
+  if (!config_.membership.enabled() || !up_ || change_) return false;
+  membership::MembershipView next = membership::make_view(
+      view_.epoch + 1, std::move(new_active),
+      config_.membership.replication_factor, config_.num_lock_groups,
+      &network_.topology());
+  if (next.active == view_.active) return false;
+  PendingChange change;
+  std::set<net::NodeId> targets(view_.active.begin(), view_.active.end());
+  targets.insert(next.active.begin(), next.active.end());
+  change.targets.assign(targets.begin(), targets.end());
+  change.old_view = view_;
+  change.view = std::move(next);
+  change_ = std::move(change);
+  MARP_LOG_INFO("marp") << "server " << node_ << ": proposing view epoch "
+                        << change_->view.epoch << " with "
+                        << change_->view.active.size() << " members";
+  const ViewProposePayload propose{node_, change_->view};
+  const std::vector<std::uint8_t> encoded = propose.encode();
+  for (const net::NodeId target : change_->targets) {
+    if (target == node_) continue;
+    network_.send(net::Message{node_, target, kMsgViewPropose, encoded});
+  }
+  handle_view_propose(propose);  // local promise + self-ack
+  return true;
+}
+
+void MarpServer::handle_view_propose(const ViewProposePayload& payload) {
+  if (!up_ || !config_.membership.enabled()) return;
+  if (payload.view.epoch <= view_.epoch) return;  // change already activated
+  if (!pending_view_ || pending_view_->epoch < payload.view.epoch) {
+    pending_view_ = payload.view;
+    // A node gaining groups starts its catch-up right away: the promise
+    // phase doubles as transfer time, and handle_update_local refuses
+    // grants until the first merge lands.
+    bool gains = false;
+    for (shard::GroupId g = 0; g < payload.view.num_groups(); ++g) {
+      if (payload.view.hosts(node_, g) && !view_.hosts(node_, g)) {
+        gains = true;
+        break;
+      }
+    }
+    if (gains) {
+      catching_up_ = true;
+      sync_pull(2);
+    }
+  }
+  const ViewAckPayload ack{node_, payload.view.epoch};
+  if (payload.coordinator == node_) {
+    handle_view_ack(ack);
+  } else {
+    network_.send(
+        net::Message{node_, payload.coordinator, kMsgViewAck, ack.encode()});
+  }
+}
+
+void MarpServer::handle_view_ack(const ViewAckPayload& payload) {
+  if (!up_ || !change_ || payload.epoch != change_->view.epoch) return;
+  change_->acks.push_back(payload.server);
+  change_->acks = quorum::make_node_set(std::move(change_->acks));
+  // Activate once a write quorum of EVERY group's old replica set promised:
+  // any straggler session of the old epoch then has to cross a promised
+  // (fencing) server before it can complete a write quorum of its group —
+  // per-group quorum intersection carries the old view's exclusivity into
+  // the new one.
+  const membership::MembershipView& old = change_->old_view;
+  for (shard::GroupId g = 0; g < old.num_groups(); ++g) {
+    const membership::MappedQuorum mapped(config_.quorum, old.replicas_of(g));
+    if (!mapped.write_covered(change_->acks)) return;
+  }
+  const ViewActivatePayload activate{change_->view};
+  const std::vector<std::uint8_t> encoded = activate.encode();
+  for (const net::NodeId target : change_->targets) {
+    if (target == node_) continue;
+    network_.send(net::Message{node_, target, kMsgViewActivate, encoded});
+  }
+  const membership::MembershipView view = change_->view;
+  change_.reset();
+  activate_view(view);
+}
+
+void MarpServer::activate_view(const membership::MembershipView& view) {
+  if (!up_ || !config_.membership.enabled()) return;
+  if (view.epoch <= view_.epoch) return;
+  const membership::MembershipView old = view_;
+  view_ = view;
+  if (pending_view_ && pending_view_->epoch <= view_.epoch) pending_view_.reset();
+  rebuild_group_quorums();
+  protocol_.note_view_activated(view_);
+  if (!view_.is_member(node_)) {
+    if (old.is_member(node_)) {
+      // Leaver: drain. Sessions queued or granted here are fenced under the
+      // new epoch anyway; dropping the coordination state releases their
+      // grants now instead of via leases. The store stays (frozen) so a
+      // later re-join starts warm.
+      retired_ = true;
+      catching_up_ = false;
+      reset_coordination();
+      MARP_LOG_INFO("marp") << "server " << node_ << ": left view at epoch "
+                            << view_.epoch << ", locking lists drained";
+    }
+    return;
+  }
+  retired_ = false;
+  // A member that gained groups but never saw the propose (lost message)
+  // still has to catch up before serving grants for them.
+  bool gains = false;
+  for (shard::GroupId g = 0; g < view_.num_groups(); ++g) {
+    if (view_.hosts(node_, g) && !old.hosts(node_, g)) {
+      gains = true;
+      break;
+    }
+  }
+  if (gains && !catching_up_) {
+    catching_up_ = true;
+    sync_pull(2);
+  }
+  // Old-epoch sessions waiting locally re-evaluate (and re-tour) sooner.
+  signal_lock_changed();
 }
 
 }  // namespace marp::core

@@ -22,6 +22,8 @@
 #include "marp/config.hpp"
 #include "marp/priority.hpp"
 #include "marp/wire.hpp"
+#include "membership/mapped_quorum.hpp"
+#include "membership/view.hpp"
 #include "replica/locking.hpp"
 #include "replica/request.hpp"
 #include "replica/server.hpp"
@@ -45,6 +47,9 @@ struct VisitResult {
   std::vector<std::int64_t> routing_costs;
   std::map<std::string, replica::VersionedValue> data;
   GroupLockTable gossip;
+  /// Server's membership epoch at visit time (0 = static membership). A
+  /// visiting agent born under an older epoch must abort-and-re-tour.
+  std::uint64_t epoch = 0;
 };
 
 class MarpServer : public replica::ServerBase {
@@ -83,9 +88,11 @@ class MarpServer : public replica::ServerBase {
 
   /// Outcome of an UPDATE at this server.
   enum class GrantResult : std::uint8_t {
-    Granted,  ///< ops staged, every requested grant (re)taken — ACK
-    Held,     ///< some requested group's grant is held — NACK with the holder
-    Stale     ///< from a committed agent or a withdrawn attempt — drop
+    Granted,    ///< ops staged, every requested grant (re)taken — ACK
+    Held,       ///< some requested group's grant is held — NACK with the holder
+    Stale,      ///< from a committed agent or a withdrawn attempt — drop
+    EpochStale, ///< wrong epoch, or a newer view is promised — EpochNotice
+    CatchingUp  ///< member still syncing after a view change — silent refusal
   };
 
   /// Stage the ops and take the update grants of `payload.groups`,
@@ -130,6 +137,34 @@ class MarpServer : public replica::ServerBase {
   void raise_applied_high(const replica::Version& version) {
     if (version > applied_high_) applied_high_ = version;
   }
+
+  // ---- dynamic membership (config().membership.enabled()) ----
+
+  /// This server's installed view (epoch 0 object when membership is off).
+  const membership::MembershipView& view() const noexcept { return view_; }
+  std::uint64_t epoch() const noexcept { return view_.epoch; }
+  /// Member of the installed view (vacuously true with membership off).
+  bool in_view() const noexcept {
+    return !config_.membership.enabled() || view_.is_member(node());
+  }
+  /// Joining/gaining member that has not yet finished its catch-up sync; it
+  /// refuses update grants until the first store merge completes.
+  bool catching_up() const noexcept { return catching_up_; }
+  /// Former member that left via a view change: drained, refuses everything.
+  bool retired() const noexcept { return retired_; }
+
+  /// Install a view without the two-phase dance (initial view at construction
+  /// time, from MarpProtocol).
+  void install_view(const membership::MembershipView& view);
+  /// Per-group quorum geometry of the installed view, mapped onto the
+  /// group's replica list. Null when membership is off.
+  const membership::MappedQuorum* group_quorum(shard::GroupId g) const;
+
+  /// Coordinator entry point: start a two-phase change to `new_active`
+  /// (propose to old ∪ new members, activate once a write quorum of every
+  /// group's old replicas promised). False if a change is already pending
+  /// here or the target equals the current membership.
+  bool begin_view_change(std::vector<net::NodeId> new_active);
 
   /// Network message entry point (registered as the node's app handler).
   void handle_message(const net::Message& message);
@@ -182,6 +217,22 @@ class MarpServer : public replica::ServerBase {
   /// state of remote agents idle past the lease (see config comment).
   void lease_tick();
 
+  // ---- dynamic membership internals ----
+  void handle_view_propose(const ViewProposePayload& payload);
+  void handle_view_ack(const ViewAckPayload& payload);
+  /// Make `view` current: rebuild the per-group quorum cache, start catch-up
+  /// when this node gained groups, drain and retire when it left.
+  void activate_view(const membership::MembershipView& view);
+  void rebuild_group_quorums();
+  /// Newest view this node knows of (pending promise included) — the one a
+  /// catch-up merge filters hosted keys against.
+  const membership::MembershipView& newest_view() const noexcept {
+    return pending_view_ ? *pending_view_ : view_;
+  }
+  /// Peer eligible as a sync/anti-entropy source: live and (when membership
+  /// is on) a member of the installed view, where the data lives.
+  bool sync_peer_ok(net::NodeId peer) const;
+
   agent::AgentPlatform& platform_;
   const MarpConfig& config_;
   MarpProtocol& protocol_;
@@ -200,6 +251,24 @@ class MarpServer : public replica::ServerBase {
   /// Agents whose REPORT this origin has already processed (bounded, like
   /// the UL) — retransmitted reports are re-acked but not double-counted.
   replica::UpdatedList reported_;
+
+  // ---- dynamic membership state (all inert when membership is off) ----
+  membership::MembershipView view_;
+  /// Per-group geometry cache over view_.group_replicas.
+  std::vector<std::unique_ptr<membership::MappedQuorum>> group_quorums_;
+  /// Promised-but-not-activated view. Holding a promise fences UPDATE
+  /// grants of older epochs (phase 1 of the change is the safety fence).
+  std::optional<membership::MembershipView> pending_view_;
+  /// Coordinator state of an in-flight change started here.
+  struct PendingChange {
+    membership::MembershipView view;
+    quorum::NodeSet acks;
+    std::vector<net::NodeId> targets;       ///< old ∪ new active
+    membership::MembershipView old_view;    ///< promise quorum measured here
+  };
+  std::optional<PendingChange> change_;
+  bool catching_up_ = false;
+  bool retired_ = false;
 
   std::vector<replica::Request> pending_;
   std::unordered_map<std::uint64_t, replica::Request> outstanding_;

@@ -43,7 +43,26 @@ bool UpdateAgent::is_unavailable(net::NodeId node) const {
 
 const quorum::QuorumSystem* UpdateAgent::decision_quorum(
     agent::AgentContext& ctx) const {
-  return server_here(ctx).protocol().decision_quorum();
+  MarpServer& server = server_here(ctx);
+  // Membership mode replaces the cluster-level geometry with the per-group
+  // mapped quorums (server.group_quorum) — the cluster handle would measure
+  // coverage against the wrong electorate.
+  if (server.config().membership.enabled()) return nullptr;
+  return server.protocol().decision_quorum();
+}
+
+std::vector<net::NodeId> UpdateAgent::view_usl(agent::AgentContext& ctx) const {
+  const membership::MembershipView& view = server_here(ctx).view();
+  std::vector<net::NodeId> nodes;
+  for (const shard::GroupId g : groups_) {
+    for (const net::NodeId node : view.replicas_of(g)) {
+      if (std::find(nodes.begin(), nodes.end(), node) == nodes.end()) {
+        nodes.push_back(node);
+      }
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
 }
 
 std::optional<quorum::NodeSet> UpdateAgent::current_quorum(
@@ -56,6 +75,18 @@ std::optional<quorum::NodeSet> UpdateAgent::current_quorum(
 
 bool UpdateAgent::ack_quorum_reached(agent::AgentContext& ctx) const {
   MarpServer& server = server_here(ctx);
+  if (server.config().membership.enabled()) {
+    // (group, epoch)-scoped coverage: the acked set must contain a write
+    // quorum of EVERY group's replica geometry. Acks are epoch-filtered on
+    // receipt, except under the MixedEpoch mutant, which deliberately lets
+    // cross-epoch acks accumulate here.
+    const quorum::NodeSet held(acks_.begin(), acks_.end());  // set: sorted
+    for (const shard::GroupId g : groups_) {
+      const membership::MappedQuorum* gq = server.group_quorum(g);
+      if (gq == nullptr || !gq->write_covered(held)) return false;
+    }
+    return true;
+  }
   if (const quorum::QuorumSystem* qs = decision_quorum(ctx)) {
     const quorum::NodeSet held(acks_.begin(), acks_.end());  // set: sorted
     return mutant_write_covered(*qs, held, server.config().mutant);
@@ -84,6 +115,14 @@ void UpdateAgent::on_created(agent::AgentContext& ctx) {
   // every agent uses, which is what makes multi-group claims deadlock-free.
   groups_ = server.router().groups_of(keys());
   if (groups_.empty()) groups_.push_back(0);
+  if (server.config().membership.enabled()) {
+    // Epoch-stamped session over partial replication: tour only the
+    // replicas of the write-set's groups, under the origin's current view.
+    // (The origin itself need not be a replica — it then acts purely as the
+    // client, and the first hop migrates into the replica set.)
+    epoch_ = server.view().epoch;
+    usl_ = view_usl(ctx);
+  }
   ctx.set_timer(server.config().visit_service_time, kTokenVisit);
   if (auto* t = tracer(ctx)) t->visit_begin(id(), ctx.here());
 }
@@ -175,13 +214,23 @@ void UpdateAgent::on_timer(agent::AgentContext& ctx, std::uint64_t token) {
       // stall another round. The quorum-only bill is paid on the first
       // attempt, where it belongs — retries buy robustness with redundancy,
       // exactly like the seed's broadcast.
-      const UpdatePayload payload{id(), ctx.here(), attempt_seq_, ops_, groups_};
+      UpdatePayload payload{id(), ctx.here(), attempt_seq_, ops_, groups_};
+      payload.epoch = epoch_;
       const serial::Bytes bytes = payload.encode();
-      const std::size_t n = server.cluster_size();
-      for (net::NodeId node = 0; node < n; ++node) {
-        if (node == ctx.here() || acks_.contains(node)) continue;
-        if (qs != nullptr && is_unavailable(node)) continue;
-        ctx.send_to_node(node, kMsgUpdate, bytes);
+      if (config.membership.enabled()) {
+        // Membership fan-out is already "everyone relevant": the groups'
+        // replicas. Non-replicas would only fence the epoch-stamped UPDATE.
+        for (const net::NodeId node : view_usl(ctx)) {
+          if (node == ctx.here() || acks_.contains(node)) continue;
+          ctx.send_to_node(node, kMsgUpdate, bytes);
+        }
+      } else {
+        const std::size_t n = server.cluster_size();
+        for (net::NodeId node = 0; node < n; ++node) {
+          if (node == ctx.here() || acks_.contains(node)) continue;
+          if (qs != nullptr && is_unavailable(node)) continue;
+          ctx.send_to_node(node, kMsgUpdate, bytes);
+        }
       }
       ctx.set_timer(ack_retry_delay(ctx), kTokenAckRetry);
       break;
@@ -257,6 +306,14 @@ void UpdateAgent::do_visit(agent::AgentContext& ctx) {
   const VisitResult result =
       server.visit(id(), keys(), config.gossip ? lt_ : GroupLockTable{});
 
+  if (config.membership.enabled() && result.epoch > epoch_ &&
+      config.mutant != ProtocolMutant::MixedEpoch) {
+    // This server advertises a newer view: everything collected so far is
+    // scoped to a dead epoch. Abort-and-re-tour under the new one.
+    retour(ctx, server.view());
+    return;
+  }
+
   for (const auto& [group, snapshot] : result.locking_lists) {
     lt_[group][ctx.here()] = snapshot;
   }
@@ -288,12 +345,21 @@ void UpdateAgent::evaluate(agent::AgentContext& ctx) {
   std::vector<agent::AgentId> losing_to;
   bool loses_to_younger = false;
   std::uint64_t losing_fingerprint = 0xCBF29CE484222325ULL;
+  const bool membership = server.config().membership.enabled();
   for (const shard::GroupId g : groups_) {
     const auto it = lt_.find(g);
+    // Membership mode scopes the election to the group's replica set: its
+    // mapped geometry for tree/grid inners, or majority arithmetic over the
+    // replica count for the Majority inner (decide()'s seed rule, with the
+    // group's copies as the electorate).
+    const quorum::QuorumSystem* gq =
+        membership ? server.group_quorum(g) : decision_quorum(ctx);
+    const std::size_t electorate =
+        membership && gq != nullptr ? gq->size() : n;
     const Decision verdict =
-        decide(it == lt_.end() ? LockTable{} : it->second, ual_, id(), n,
-               server.config().tie_break, server.config().votes,
-               server.config().mutant, decision_quorum(ctx));
+        decide(it == lt_.end() ? LockTable{} : it->second, ual_, id(),
+               electorate, server.config().tie_break, server.config().votes,
+               server.config().mutant, gq);
     if (verdict.kind == Decision::Kind::Win) headed.push_back(g);
     if (verdict.kind == Decision::Kind::Lose) {
       losing_to.push_back(*verdict.winner);
@@ -407,6 +473,10 @@ void UpdateAgent::withdraw_and_requeue(agent::AgentContext& ctx) {
   usl_.clear();
   if (geometry_usl) {
     usl_.assign(geometry_usl->begin(), geometry_usl->end());
+  } else if (server.config().membership.enabled()) {
+    for (const net::NodeId node : view_usl(ctx)) {
+      if (!is_unavailable(node)) usl_.push_back(node);
+    }
   } else {
     const std::size_t n = server.cluster_size();
     for (net::NodeId node = 0; node < n; ++node) {
@@ -421,6 +491,43 @@ void UpdateAgent::withdraw_and_requeue(agent::AgentContext& ctx) {
   // at the tails, behind everything it was blocking. Should a re-appended
   // entry race a still-in-flight RELEASE and get swallowed, refresh()
   // re-inserts the parked waiter on the next signal or patrol visit.
+  const ReleasePayload release{id(), groups_};
+  ctx.broadcast(kMsgRelease, release.encode());
+  server.handle_release_local(release);
+  do_visit(ctx);
+}
+
+void UpdateAgent::retour(agent::AgentContext& ctx,
+                         const membership::MembershipView& view) {
+  MarpServer& server = server_here(ctx);
+  MARP_REQUIRE(view.epoch > epoch_);
+  server.protocol().note_epoch_retour();
+  if (auto* t = tracer(ctx)) {
+    t->wait_end(id());
+    t->requeue(id(), ctx.here());
+  }
+  epoch_ = view.epoch;
+  // Everything observed under the old view is void: queue positions,
+  // snapshots, grants, acks. Same shape as withdraw_and_requeue, but the
+  // fresh tour covers the NEW view's replicas of our groups.
+  lt_.clear();
+  defer_ = false;
+  acks_.clear();
+  visited_.clear();
+  usl_.clear();
+  for (const shard::GroupId g : groups_) {
+    for (const net::NodeId node : view.replicas_of(g)) {
+      if (!is_unavailable(node) &&
+          std::find(usl_.begin(), usl_.end(), node) == usl_.end()) {
+        usl_.push_back(node);
+      }
+    }
+  }
+  std::sort(usl_.begin(), usl_.end());
+  phase_ = Phase::Traveling;
+  stall_since_us_ = ctx.now().as_micros();
+  // Leave every Locking List and release any grants the withdrawn attempt
+  // held; the fresh tour re-queues this agent at the new replicas' tails.
   const ReleasePayload release{id(), groups_};
   ctx.broadcast(kMsgRelease, release.encode());
   server.handle_release_local(release);
@@ -464,9 +571,12 @@ net::NodeId UpdateAgent::pick_next_target(agent::AgentContext& ctx) const {
 net::NodeId UpdateAgent::pick_stalest(agent::AgentContext& ctx) const {
   net::NodeId stalest = net::kInvalidNode;
   std::int64_t oldest = std::numeric_limits<std::int64_t>::max();
-  // Geometry tours patrol their candidate quorum, not the whole cluster.
+  // Geometry tours patrol their candidate quorum, not the whole cluster;
+  // membership tours patrol their groups' replicas.
   std::optional<quorum::NodeSet> members;
-  if (decision_quorum(ctx) != nullptr) {
+  if (server_here(ctx).config().membership.enabled()) {
+    members = quorum::make_node_set(view_usl(ctx));
+  } else if (decision_quorum(ctx) != nullptr) {
     members = current_quorum(ctx);
     if (!members) return net::kInvalidNode;
   }
@@ -525,6 +635,21 @@ void UpdateAgent::on_migration_failed(agent::AgentContext& ctx,
   usl_.erase(std::remove(usl_.begin(), usl_.end(), destination), usl_.end());
   migration_retries_ = 0;
   current_target_ = net::kInvalidNode;
+
+  if (config.membership.enabled()) {
+    // Give up only when some group's quorum cannot survive the unavailable
+    // replicas; otherwise the remaining copies still intersect everything.
+    const quorum::NodeSet down = quorum::make_node_set(unavailable_);
+    for (const shard::GroupId g : groups_) {
+      const membership::MappedQuorum* gq = server.group_quorum(g);
+      if (gq == nullptr || !gq->pick_write_quorum(down, origin_)) {
+        abort(ctx);
+        return;
+      }
+    }
+    evaluate(ctx);
+    return;
+  }
 
   if (decision_quorum(ctx) != nullptr) {
     // A candidate-quorum member is unreachable: fall back to a quorum that
@@ -596,17 +721,49 @@ void UpdateAgent::begin_update(agent::AgentContext& ctx) {
 
   ++attempt_seq_;
   if (auto* t = tracer(ctx)) t->update_round_begin(id(), ctx.here(), attempt_seq_);
-  const UpdatePayload payload{id(), ctx.here(), attempt_seq_, ops_, groups_};
+  UpdatePayload payload{id(), ctx.here(), attempt_seq_, ops_, groups_};
+  payload.epoch = epoch_;
+  const bool membership = server.config().membership.enabled();
   // Take the local grants first: if even the local server holds one of our
   // groups for another session, back off without spending any messages.
   // (A fresh attempt from a live agent can never be Stale here.)
-  shard::GroupId conflict = 0;
-  if (server.handle_update_local(payload, &conflict) !=
-      MarpServer::GrantResult::Granted) {
-    demote(ctx, *server.update_holder(conflict), /*broadcast_unlock=*/false);
-    return;
+  // Membership only: when the origin is not a replica of our groups, no
+  // local grant exists — the remote fan-out below carries the whole claim.
+  const bool local_replica =
+      !membership || quorum::contains(quorum::make_node_set(view_usl(ctx)),
+                                      ctx.here());
+  if (local_replica) {
+    shard::GroupId conflict = 0;
+    switch (server.handle_update_local(payload, &conflict)) {
+      case MarpServer::GrantResult::Granted:
+        break;
+      case MarpServer::GrantResult::EpochStale:
+        // The local server fenced us (newer epoch installed or promised).
+        if (server.view().epoch > epoch_ &&
+            server.config().mutant != ProtocolMutant::MixedEpoch) {
+          retour(ctx, server.view());
+          return;
+        }
+        [[fallthrough]];
+      case MarpServer::GrantResult::CatchingUp:
+        // Promise fence or local catch-up: park briefly and re-claim once
+        // the change settles.
+        phase_ = Phase::Waiting;
+        ctx.set_timer(server.config().claim_retry_delay, kTokenClaimRetry);
+        arm_patrol(ctx);
+        return;
+      default:
+        demote(ctx, *server.update_holder(conflict), /*broadcast_unlock=*/false);
+        return;
+    }
   }
-  if (members) {
+  if (membership) {
+    const serial::Bytes bytes = payload.encode();
+    for (const net::NodeId node : view_usl(ctx)) {
+      if (node == ctx.here()) continue;
+      ctx.send_to_node(node, kMsgUpdate, bytes);
+    }
+  } else if (members) {
     const serial::Bytes bytes = payload.encode();
     for (const net::NodeId node : *members) {
       if (node == ctx.here()) continue;
@@ -646,6 +803,18 @@ std::uint32_t UpdateAgent::ack_votes(agent::AgentContext& ctx) const {
 
 void UpdateAgent::on_message(agent::AgentContext& ctx, net::MessageType type,
                              const serial::Bytes& payload) {
+  if (type == kMsgEpochNotice) {
+    // A server fenced our UPDATE: its view outran this session's epoch.
+    const EpochNoticePayload notice = EpochNoticePayload::decode(payload);
+    MarpServer& server = server_here(ctx);
+    if (!server.config().membership.enabled() ||
+        server.config().mutant == ProtocolMutant::MixedEpoch) {
+      return;
+    }
+    if (phase_ == Phase::Done || phase_ == Phase::Committing) return;
+    if (notice.view.epoch > epoch_) retour(ctx, notice.view);
+    return;
+  }
   if (type == kMsgCommitAck) {
     if (phase_ != Phase::Committing) return;
     commit_acks_.insert(CommitAckPayload::decode(payload).server);
@@ -670,6 +839,14 @@ void UpdateAgent::on_message(agent::AgentContext& ctx, net::MessageType type,
     const AckPayload ack = AckPayload::decode(payload);
     if (ack.attempt != attempt_seq_) {  // echo of a withdrawn attempt
       server_here(ctx).protocol().note_anomaly(Anomaly::StaleAck);
+      return;
+    }
+    const MarpConfig& config = server_here(ctx).config();
+    if (config.membership.enabled() && ack.epoch != epoch_ &&
+        config.mutant != ProtocolMutant::MixedEpoch) {
+      // A grant stamped under a different view must not count towards this
+      // epoch's quorum (the MixedEpoch mutant skips exactly this filter).
+      server_here(ctx).protocol().note_anomaly(Anomaly::EpochStaleAck);
       return;
     }
     acks_.insert(ack.server);
@@ -749,7 +926,7 @@ void UpdateAgent::finish_update(agent::AgentContext& ctx) {
   // Theorem 2 monitor: holding a majority of a group's grants is exclusive.
   // (The quorum probe fires here, synchronously — a fault injector acting on
   // it cuts links *between* quorum assembly and the COMMIT broadcast.)
-  server.protocol().note_update_quorum(id(), groups_, ctx.here());
+  server.protocol().note_update_quorum(id(), groups_, ctx.here(), epoch_);
   if (auto* t = tracer(ctx)) {
     t->update_round_end(id(), /*outcome=*/0);
     t->commit_fanout_begin(id(), ctx.here(), /*commit=*/true);
@@ -920,6 +1097,9 @@ void UpdateAgent::serialize(serial::Writer& w) const {
   w.varint(attempt_seq_);
   w.svarint(stall_since_us_);
   w.varint(stall_fingerprint_);
+  // Trailing optional (membership only): absent bytes keep the static
+  // deployment's migration sizes — and its virtual timing — bit-identical.
+  if (epoch_ != 0) w.varint(epoch_);
 }
 
 void UpdateAgent::deserialize(serial::Reader& r) {
@@ -990,6 +1170,7 @@ void UpdateAgent::deserialize(serial::Reader& r) {
   attempt_seq_ = static_cast<std::uint32_t>(r.varint());
   stall_since_us_ = r.svarint();
   stall_fingerprint_ = r.varint();
+  epoch_ = r.at_end() ? 0 : r.varint();
 }
 
 }  // namespace marp::core

@@ -16,6 +16,7 @@
 #include "agent/agent.hpp"
 #include "marp/priority.hpp"
 #include "marp/wire.hpp"
+#include "membership/view.hpp"
 #include "replica/versioned_store.hpp"
 
 namespace marp::trace {
@@ -135,6 +136,16 @@ class UpdateAgent final : public agent::MobileAgent {
 
   bool is_unavailable(net::NodeId node) const;
 
+  // ---- dynamic membership (config.membership.enabled()) ----
+  /// Union of the local view's replicas of this agent's lock groups — the
+  /// membership-mode USL / UPDATE fan-out set, sorted ascending.
+  std::vector<net::NodeId> view_usl(agent::AgentContext& ctx) const;
+  /// Abort-and-re-tour under a newer view: leave every Locking List, drop
+  /// everything observed under the old epoch (queue positions, snapshots,
+  /// acks), adopt `view`'s epoch and tour its replicas from scratch.
+  /// Skipped wholesale by the MixedEpoch mutant.
+  void retour(agent::AgentContext& ctx, const membership::MembershipView& view);
+
   // --- migrating state (all serialized) ---
   net::NodeId origin_ = net::kInvalidNode;
   std::vector<PendingWrite> writes_;
@@ -183,6 +194,9 @@ class UpdateAgent final : public agent::MobileAgent {
   /// probable wait cycle, answered by withdraw_and_requeue().
   std::int64_t stall_since_us_ = 0;
   std::uint64_t stall_fingerprint_ = 0;
+  /// Birth epoch of the current tour (0 = static membership). Serialized as
+  /// a trailing optional field so the disabled path stays byte-identical.
+  std::uint64_t epoch_ = 0;
 
   // Not serialized: timers do not survive migration, so arming state resets
   // with each hop.

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "agent/agent_id.hpp"
+#include "membership/view.hpp"
 #include "net/message.hpp"
 #include "replica/versioned_store.hpp"
 #include "serial/byte_buffer.hpp"
@@ -55,6 +56,17 @@ constexpr net::MessageType kMsgCommitAck = 0x050C;
 /// Origin server → reporting agent: REPORT received (stops report
 /// retransmission; duplicates are deduplicated at the origin).
 constexpr net::MessageType kMsgReportAck = 0x050D;
+/// View-change coordinator → members of old ∪ new view: adopt this pending
+/// view (phase 1 of a membership change).
+constexpr net::MessageType kMsgViewPropose = 0x050E;
+/// Member → coordinator: pending view stored (phase-1 acknowledgement).
+constexpr net::MessageType kMsgViewAck = 0x050F;
+/// Coordinator → members of old ∪ new view: the proposal gathered a write
+/// quorum of the old view — install it (phase 2, the epoch bump).
+constexpr net::MessageType kMsgViewActivate = 0x0510;
+/// Server → a session agent that used a stale epoch: here is the current
+/// view; abort-and-re-tour under it.
+constexpr net::MessageType kMsgEpochNotice = 0x0511;
 
 /// Host-local signal raised when a locking list shrinks (commit/release/
 /// purge) so waiting agents re-evaluate their priority.
@@ -90,6 +102,10 @@ struct UpdatePayload {
   std::uint32_t attempt = 0;
   std::vector<WriteOp> ops;
   std::vector<shard::GroupId> groups;
+  /// Membership epoch the session was born under; 0 = static membership.
+  /// Trailing-optional on the wire: written only when non-zero, so the
+  /// disabled path stays byte-identical to the seed format.
+  std::uint64_t epoch = 0;
 
   serial::Bytes encode() const {
     serial::Writer w;
@@ -98,6 +114,7 @@ struct UpdatePayload {
     w.varint(attempt);
     w.seq(ops, [](serial::Writer& ww, const WriteOp& op) { op.serialize(ww); });
     wire_detail::write_groups(w, groups);
+    if (epoch != 0) w.varint(epoch);
     return w.take();
   }
   static UpdatePayload decode(const serial::Bytes& bytes) {
@@ -108,6 +125,7 @@ struct UpdatePayload {
     p.attempt = static_cast<std::uint32_t>(r.varint());
     p.ops = r.seq<WriteOp>([](serial::Reader& rr) { return WriteOp::deserialize(rr); });
     p.groups = wire_detail::read_groups(r);
+    if (!r.at_end()) p.epoch = r.varint();
     return p;
   }
 };
@@ -124,12 +142,17 @@ struct AckPayload {
   net::NodeId server = 0;
   std::uint32_t attempt = 0;
   replica::Version applied_high;
+  /// Granting server's membership epoch (trailing-optional, like
+  /// UpdatePayload::epoch). The winner discards ACKs whose epoch differs
+  /// from its own, so no quorum can mix grants from two views.
+  std::uint64_t epoch = 0;
 
   serial::Bytes encode() const {
     serial::Writer w;
     w.varint(server);
     w.varint(attempt);
     applied_high.serialize(w);
+    if (epoch != 0) w.varint(epoch);
     return w.take();
   }
   static AckPayload decode(const serial::Bytes& bytes) {
@@ -138,6 +161,7 @@ struct AckPayload {
     p.server = static_cast<net::NodeId>(r.varint());
     p.attempt = static_cast<std::uint32_t>(r.varint());
     p.applied_high = replica::Version::deserialize(r);
+    if (!r.at_end()) p.epoch = r.varint();
     return p;
   }
 };
@@ -155,6 +179,11 @@ struct CommitPayload {
   std::vector<WriteOp> ops;
   std::vector<shard::GroupId> groups;
   net::NodeId reply_to = net::kInvalidNode;
+  /// Epoch the committed session ran under (trailing-optional). COMMIT is
+  /// *not* epoch-fenced — data application follows the Thomas write rule
+  /// regardless of view, so convergence survives reconfiguration — the
+  /// stamp exists for the audit trail and the commit-log oracle.
+  std::uint64_t epoch = 0;
 
   serial::Bytes encode() const {
     serial::Writer w;
@@ -162,6 +191,7 @@ struct CommitPayload {
     w.seq(ops, [](serial::Writer& ww, const WriteOp& op) { op.serialize(ww); });
     wire_detail::write_groups(w, groups);
     w.varint(reply_to);
+    if (epoch != 0) w.varint(epoch);
     return w.take();
   }
   static CommitPayload decode(const serial::Bytes& bytes) {
@@ -171,6 +201,7 @@ struct CommitPayload {
     p.ops = r.seq<WriteOp>([](serial::Reader& rr) { return WriteOp::deserialize(rr); });
     p.groups = wire_detail::read_groups(r);
     p.reply_to = static_cast<net::NodeId>(r.varint());
+    if (!r.at_end()) p.epoch = r.varint();
     return p;
   }
 };
@@ -362,6 +393,86 @@ struct SyncPayload {
       item.version = replica::Version::deserialize(rr);
       return item;
     });
+    return p;
+  }
+};
+
+/// VIEW-PROPOSE: phase 1 of a membership change. `coordinator` asks the
+/// members of old ∪ new view to stage `view` as pending.
+struct ViewProposePayload {
+  net::NodeId coordinator = net::kInvalidNode;
+  membership::MembershipView view;
+
+  serial::Bytes encode() const {
+    serial::Writer w;
+    w.varint(coordinator);
+    view.serialize(w);
+    return w.take();
+  }
+  static ViewProposePayload decode(const serial::Bytes& bytes) {
+    serial::Reader r(bytes);
+    ViewProposePayload p;
+    p.coordinator = static_cast<net::NodeId>(r.varint());
+    p.view = membership::MembershipView::deserialize(r);
+    return p;
+  }
+};
+
+/// VIEW-ACK: `server` staged the pending view of `epoch`.
+struct ViewAckPayload {
+  net::NodeId server = 0;
+  std::uint64_t epoch = 0;
+
+  serial::Bytes encode() const {
+    serial::Writer w;
+    w.varint(server);
+    w.varint(epoch);
+    return w.take();
+  }
+  static ViewAckPayload decode(const serial::Bytes& bytes) {
+    serial::Reader r(bytes);
+    ViewAckPayload p;
+    p.server = static_cast<net::NodeId>(r.varint());
+    p.epoch = r.varint();
+    return p;
+  }
+};
+
+/// VIEW-ACTIVATE: phase 2 — install `view` (the epoch bump). Carries the
+/// full view again so a member that missed the proposal still converges.
+struct ViewActivatePayload {
+  membership::MembershipView view;
+
+  serial::Bytes encode() const {
+    serial::Writer w;
+    view.serialize(w);
+    return w.take();
+  }
+  static ViewActivatePayload decode(const serial::Bytes& bytes) {
+    serial::Reader r(bytes);
+    ViewActivatePayload p;
+    p.view = membership::MembershipView::deserialize(r);
+    return p;
+  }
+};
+
+/// EPOCH-NOTICE: a server refused a stale-epoch UPDATE; here is its current
+/// view so the session can abort-and-re-tour under it without revisiting.
+struct EpochNoticePayload {
+  net::NodeId server = 0;
+  membership::MembershipView view;
+
+  serial::Bytes encode() const {
+    serial::Writer w;
+    w.varint(server);
+    view.serialize(w);
+    return w.take();
+  }
+  static EpochNoticePayload decode(const serial::Bytes& bytes) {
+    serial::Reader r(bytes);
+    EpochNoticePayload p;
+    p.server = static_cast<net::NodeId>(r.varint());
+    p.view = membership::MembershipView::deserialize(r);
     return p;
   }
 };

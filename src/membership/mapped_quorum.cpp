@@ -1,0 +1,83 @@
+#include "membership/mapped_quorum.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace marp::membership {
+
+MappedQuorum::MappedQuorum(const quorum::QuorumSpec& spec,
+                           std::vector<net::NodeId> replicas)
+    : quorum::QuorumSystem(replicas.size()), replicas_(std::move(replicas)) {
+  MARP_REQUIRE(!replicas_.empty());
+  inner_ = quorum::make_quorum_system(spec, replicas_.size());
+}
+
+net::NodeId MappedQuorum::position_of(net::NodeId node) const {
+  const auto it = std::find(replicas_.begin(), replicas_.end(), node);
+  if (it == replicas_.end()) return net::kInvalidNode;
+  return static_cast<net::NodeId>(it - replicas_.begin());
+}
+
+quorum::NodeSet MappedQuorum::to_positions(const quorum::NodeSet& nodes) const {
+  std::vector<net::NodeId> positions;
+  positions.reserve(nodes.size());
+  for (const net::NodeId node : nodes) {
+    const net::NodeId pos = position_of(node);
+    if (pos != net::kInvalidNode) positions.push_back(pos);
+  }
+  return quorum::make_node_set(std::move(positions));
+}
+
+quorum::NodeSet MappedQuorum::from_positions(
+    const quorum::NodeSet& positions) const {
+  std::vector<net::NodeId> nodes;
+  nodes.reserve(positions.size());
+  for (const net::NodeId pos : positions) {
+    MARP_REQUIRE(pos < replicas_.size());
+    nodes.push_back(replicas_[pos]);
+  }
+  return quorum::make_node_set(std::move(nodes));
+}
+
+bool MappedQuorum::write_covered(const quorum::NodeSet& nodes) const {
+  return inner_->write_covered(to_positions(nodes));
+}
+
+bool MappedQuorum::read_covered(const quorum::NodeSet& nodes) const {
+  return inner_->read_covered(to_positions(nodes));
+}
+
+std::optional<quorum::NodeSet> MappedQuorum::pick_write_quorum(
+    const quorum::NodeSet& excluded, net::NodeId prefer) const {
+  const auto picked =
+      inner_->pick_write_quorum(to_positions(excluded), position_of(prefer));
+  if (!picked) return std::nullopt;
+  return from_positions(*picked);
+}
+
+std::optional<quorum::NodeSet> MappedQuorum::pick_read_quorum(
+    const quorum::NodeSet& excluded, net::NodeId prefer) const {
+  const auto picked =
+      inner_->pick_read_quorum(to_positions(excluded), position_of(prefer));
+  if (!picked) return std::nullopt;
+  return from_positions(*picked);
+}
+
+std::vector<quorum::NodeSet> MappedQuorum::write_quorums() const {
+  std::vector<quorum::NodeSet> quorums;
+  for (const quorum::NodeSet& q : inner_->write_quorums()) {
+    quorums.push_back(from_positions(q));
+  }
+  return quorums;
+}
+
+std::vector<quorum::NodeSet> MappedQuorum::read_quorums() const {
+  std::vector<quorum::NodeSet> quorums;
+  for (const quorum::NodeSet& q : inner_->read_quorums()) {
+    quorums.push_back(from_positions(q));
+  }
+  return quorums;
+}
+
+}  // namespace marp::membership

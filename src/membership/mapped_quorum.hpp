@@ -1,0 +1,60 @@
+// MappedQuorum — a quorum geometry instantiated inside one lock group's
+// replica list.
+//
+// The structural geometries (src/quorum/) are defined over abstract
+// positions 0..R−1. Under partial replication a group's replicas are R
+// arbitrary node ids in the placement policy's position order; this adapter
+// translates node ids ↔ positions in both directions so decide(), the
+// agents' tour planning, and the Theorem-2 intersection monitor all keep
+// working on real node ids, unchanged. Intersection within the group is
+// inherited from the inner geometry: any two position-space write quorums
+// intersect, and the position→node map is a bijection.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "quorum/quorum.hpp"
+
+namespace marp::membership {
+
+class MappedQuorum final : public quorum::QuorumSystem {
+ public:
+  /// `replicas` is the group's position-ordered replica list (position i =
+  /// replicas[i]); `spec` names the inner geometry built over |replicas|
+  /// positions. Weighted votes have no analogue here — partial replication
+  /// composes with the structural geometries only.
+  MappedQuorum(const quorum::QuorumSpec& spec,
+               std::vector<net::NodeId> replicas);
+
+  quorum::Geometry geometry() const noexcept override {
+    return inner_->geometry();
+  }
+  bool write_covered(const quorum::NodeSet& nodes) const override;
+  bool read_covered(const quorum::NodeSet& nodes) const override;
+  std::optional<quorum::NodeSet> pick_write_quorum(
+      const quorum::NodeSet& excluded, net::NodeId prefer) const override;
+  std::optional<quorum::NodeSet> pick_read_quorum(
+      const quorum::NodeSet& excluded, net::NodeId prefer) const override;
+  std::vector<quorum::NodeSet> write_quorums() const override;
+  std::vector<quorum::NodeSet> read_quorums() const override;
+  std::size_t min_write_size() const override {
+    return inner_->min_write_size();
+  }
+
+  const std::vector<net::NodeId>& replicas() const noexcept {
+    return replicas_;
+  }
+  const quorum::QuorumSystem& inner() const noexcept { return *inner_; }
+
+ private:
+  /// Position of `node`, or kInvalidNode when it is not a replica.
+  net::NodeId position_of(net::NodeId node) const;
+  quorum::NodeSet to_positions(const quorum::NodeSet& nodes) const;
+  quorum::NodeSet from_positions(const quorum::NodeSet& positions) const;
+
+  std::vector<net::NodeId> replicas_;  ///< position → node id
+  std::unique_ptr<quorum::QuorumSystem> inner_;
+};
+
+}  // namespace marp::membership

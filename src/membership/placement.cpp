@@ -1,0 +1,75 @@
+#include "membership/placement.hpp"
+
+#include <algorithm>
+
+#include "net/topology.hpp"
+#include "util/assert.hpp"
+
+namespace marp::membership {
+
+namespace {
+
+/// splitmix64 finalizer — a cheap, well-mixed 64-bit permutation.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t placement_score(shard::GroupId group, net::NodeId node) {
+  return mix64((static_cast<std::uint64_t>(group) << 32) ^
+               static_cast<std::uint64_t>(node) ^ 0x6d617270766965ULL);
+}
+
+MembershipView make_view(std::uint64_t epoch, std::vector<net::NodeId> active,
+                         std::uint32_t replication_factor,
+                         std::size_t num_groups,
+                         const net::Topology* topology) {
+  MARP_REQUIRE(epoch != 0);
+  MARP_REQUIRE(!active.empty());
+  MARP_REQUIRE(num_groups >= 1);
+  std::sort(active.begin(), active.end());
+  active.erase(std::unique(active.begin(), active.end()), active.end());
+
+  MembershipView view;
+  view.epoch = epoch;
+  view.replication_factor = replication_factor;
+  const std::size_t copies =
+      replication_factor == 0
+          ? active.size()
+          : std::min<std::size_t>(replication_factor, active.size());
+
+  view.group_replicas.reserve(num_groups);
+  for (shard::GroupId g = 0; g < num_groups; ++g) {
+    // Rendezvous: rank the active set by descending score for this group.
+    std::vector<net::NodeId> ranked = active;
+    std::sort(ranked.begin(), ranked.end(),
+              [g](net::NodeId a, net::NodeId b) {
+                const std::uint64_t sa = placement_score(g, a);
+                const std::uint64_t sb = placement_score(g, b);
+                return sa != sb ? sa > sb : a < b;
+              });
+    ranked.resize(copies);
+
+    if (topology != nullptr && copies > 2) {
+      // Keep the rendezvous winner as position 0 and order the rest by
+      // ascending routing cost from it (ties by node id): the geometry's
+      // low positions land on the primary's best-connected peers.
+      const net::NodeId primary = ranked.front();
+      std::sort(ranked.begin() + 1, ranked.end(),
+                [topology, primary](net::NodeId a, net::NodeId b) {
+                  const std::int64_t ca = topology->cost(primary, a);
+                  const std::int64_t cb = topology->cost(primary, b);
+                  return ca != cb ? ca < cb : a < b;
+                });
+    }
+    view.group_replicas.push_back(std::move(ranked));
+  }
+  view.active = std::move(active);
+  return view;
+}
+
+}  // namespace marp::membership

@@ -1,0 +1,41 @@
+// Replica placement: which active servers replicate which lock group, and
+// in what position order.
+//
+// Member selection is rendezvous (highest-random-weight) hashing over the
+// active set: each (group, node) pair gets a deterministic score and the
+// `replication_factor` best-scoring nodes host the group. Rendezvous gives
+// the stability dynamic membership needs — a join or leave only moves the
+// groups whose score ranking the changed node actually enters or exits,
+// instead of reshuffling the whole keyspace.
+//
+// Position ordering maps the quorum geometry onto the latency topology:
+// position 0 (the primary — a tree geometry's root, a grid's first cell)
+// is the rendezvous winner, and the remaining positions are filled in
+// ascending routing cost from it, so the geometry's most-load-bearing
+// positions sit on the best-connected replicas. Without a topology the
+// rendezvous score order is kept (still deterministic on every node).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "membership/view.hpp"
+
+namespace marp::net {
+struct Topology;
+}
+
+namespace marp::membership {
+
+/// Deterministic score of hosting `group` on `node` (exposed for tests).
+std::uint64_t placement_score(shard::GroupId group, net::NodeId node);
+
+/// Build the view of `epoch` over `active` (sorted internally): one
+/// position-ordered replica list per lock group. `replication_factor` is
+/// clamped to |active|; 0 means full replication over `active`.
+MembershipView make_view(std::uint64_t epoch, std::vector<net::NodeId> active,
+                         std::uint32_t replication_factor,
+                         std::size_t num_groups,
+                         const net::Topology* topology = nullptr);
+
+}  // namespace marp::membership

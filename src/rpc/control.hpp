@@ -28,6 +28,9 @@ enum class Proc : std::uint32_t {
   SyncPull = 6,  ///< trigger one anti-entropy pull from every live peer
                  ///  (the harness's convergence barrier before final dumps)
   TraceDump = 7, ///< → serialized NodeTrace (span ring + link clock samples)
+  ViewChange = 8, ///< args {join: bool, node: varint} → {accepted: bool,
+                  ///  epoch: varint}; the target node asks its local
+                  ///  protocol stack to coordinate a membership epoch bump
 };
 
 /// Reply status codes.
@@ -83,6 +86,10 @@ struct NodeStatus {
   /// True while a reincarnated node is still catching up via anti-entropy
   /// (it answers protocol traffic but has not resumed its workload yet).
   bool catching_up = false;
+  /// Installed membership epoch (0 = dynamic membership disabled).
+  std::uint64_t epoch = 0;
+  /// True once the node has left the view and drained (dynamic membership).
+  bool retired = false;
 
   void serialize(serial::Writer& w) const {
     w.varint(sessions_target);
@@ -93,6 +100,8 @@ struct NodeStatus {
     w.boolean(quiesced);
     w.varint(incarnation);
     w.boolean(catching_up);
+    w.varint(epoch);
+    w.boolean(retired);
   }
   static NodeStatus deserialize(serial::Reader& r) {
     NodeStatus s;
@@ -104,6 +113,8 @@ struct NodeStatus {
     s.quiesced = r.boolean();
     s.incarnation = r.varint();
     s.catching_up = r.boolean();
+    s.epoch = r.varint();
+    s.retired = r.boolean();
     return s;
   }
 };

@@ -54,6 +54,56 @@ ConsistencyReport check_convergence(
   return report;
 }
 
+ConsistencyReport check_scoped_convergence(
+    const std::vector<const replica::VersionedStore*>& stores,
+    const std::vector<bool>& eligible, const shard::ShardRouter& router,
+    const std::function<bool(std::size_t, shard::GroupId)>& hosts) {
+  MARP_REQUIRE(stores.size() == eligible.size());
+  ConsistencyReport report;
+
+  // Union of keys across every store — a key held only by the writer that
+  // committed it must still reach all of its group's hosting replicas.
+  std::map<std::string, bool> keys;
+  for (const replica::VersionedStore* store : stores) {
+    for (const auto& key : store->keys()) keys[key] = true;
+  }
+
+  for (const auto& [key, unused] : keys) {
+    (void)unused;
+    const shard::GroupId group = router.group_of(key);
+    bool have_reference = false;
+    replica::VersionedValue reference;
+    std::size_t reference_index = 0;
+    for (std::size_t i = 0; i < stores.size(); ++i) {
+      if (!eligible[i] || !hosts(i, group)) continue;
+      const auto value = stores[i]->read(key);
+      if (!value) {
+        std::ostringstream os;
+        os << "replica " << i << " hosts group " << group
+           << " but is missing its key '" << key << '\'';
+        report.fail(os.str());
+        continue;
+      }
+      if (!have_reference) {
+        reference = *value;
+        reference_index = i;
+        have_reference = true;
+        continue;
+      }
+      if (value->version != reference.version || value->value != reference.value) {
+        std::ostringstream os;
+        os << "key '" << key << "' (group " << group << ") diverged: replica "
+           << reference_index << " has version (" << reference.version.time_us
+           << ',' << reference.version.writer << ") but replica " << i
+           << " has version (" << value->version.time_us << ','
+           << value->version.writer << ')';
+        report.fail(os.str());
+      }
+    }
+  }
+  return report;
+}
+
 ConsistencyReport check_commit_order(const std::vector<core::CommitRecord>& log,
                                      std::size_t num_lock_groups) {
   ConsistencyReport report;

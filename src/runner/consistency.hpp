@@ -12,6 +12,7 @@
 //   version-monotone (the Thomas write rule actually held).
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,17 @@ struct ConsistencyReport {
 ConsistencyReport check_convergence(
     const std::vector<const replica::VersionedStore*>& stores,
     const std::vector<bool>& eligible);
+
+/// Partial-replication form of check_convergence: only replicas *hosting* a
+/// key's lock group participate in that key's comparison. `hosts(i, g)`
+/// answers whether replica i is expected to hold group g under the final
+/// membership view; a hosting replica missing the key (a joiner that never
+/// finished catch-up) or disagreeing with its peers fails the audit, while
+/// non-hosting replicas (leavers with frozen stores, spares) are exempt.
+ConsistencyReport check_scoped_convergence(
+    const std::vector<const replica::VersionedStore*>& stores,
+    const std::vector<bool>& eligible, const shard::ShardRouter& router,
+    const std::function<bool(std::size_t, shard::GroupId)>& hosts);
 
 /// Strict version order over the commit log, per lock group. With
 /// `num_lock_groups` == 1 every entry lands in group 0, so this degrades to

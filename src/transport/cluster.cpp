@@ -199,7 +199,8 @@ namespace {
 std::atomic<std::uint64_t> g_xid{1};
 }  // namespace
 
-std::optional<serial::Bytes> ControlClient::call(rpc::Proc proc) {
+std::optional<serial::Bytes> ControlClient::call(rpc::Proc proc,
+                                                 const serial::Bytes& args) {
   const int attempts = policy_.attempts > 0 ? policy_.attempts : 1;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
@@ -216,6 +217,7 @@ std::optional<serial::Bytes> ControlClient::call(rpc::Proc proc) {
     req.client = rpc::kControlNode;
     serial::Writer w;
     req.serialize(w);
+    for (const std::uint8_t byte : args) w.u8(byte);
     const serial::Bytes request =
         rpc::encode_frame(rpc::FrameType::ControlRequest, rpc::kControlNode, node_,
                           req.xid, w.take());
@@ -295,6 +297,25 @@ std::optional<rpc::HeartbeatReply> ControlClient::heartbeat() {
 bool ControlClient::sync_pull() { return call(rpc::Proc::SyncPull).has_value(); }
 
 bool ControlClient::shutdown() { return call(rpc::Proc::Shutdown).has_value(); }
+
+std::optional<std::uint64_t> ControlClient::view_change(bool join,
+                                                        net::NodeId target) {
+  serial::Writer args;
+  args.boolean(join);
+  args.varint(target);
+  const auto body = call(rpc::Proc::ViewChange, args.bytes());
+  if (!body) return std::nullopt;
+  try {
+    serial::Reader r(*body);
+    const bool accepted = r.boolean();
+    const std::uint64_t epoch = r.varint();
+    if (!accepted) return std::nullopt;
+    return epoch;
+  } catch (const serial::DecodeError&) {
+    last_status_ = SocketTransport::RpcStatus::BadReply;
+    return std::nullopt;
+  }
+}
 
 bool wait_quiesced(std::vector<ControlClient>& clients, long timeout_ms) {
   const auto deadline = std::chrono::steady_clock::now() +

@@ -34,6 +34,12 @@ struct ClusterSpec {
   std::uint64_t seed = 1;
   double send_loss = 0.0;  ///< socket-level AppMessage loss (real only)
 
+  // ---- dynamic membership (0 = off: the fixed fully-replicated cluster) ----
+  std::uint32_t membership_rf = 0;  ///< copies per lock group
+  /// Servers in the epoch-1 view; node ids >= this start as spares (idle
+  /// listeners outside the view, joinable via the ViewChange RPC).
+  std::size_t initial_members = 0;
+
   /// Protocol config both substrates run. reliable_commit is on: it is what
   /// makes commits immune to injected socket loss, and its acked fan-out
   /// doubles as the quiescence barrier (no lingering agent ⇒ all acks in).
@@ -120,6 +126,12 @@ class ControlClient {
   /// barrier before final dumps).
   bool sync_pull();
   bool shutdown();
+  /// Nominate the node as coordinator of a membership epoch bump admitting
+  /// (`join`) or retiring `target`. Returns the coordinator's newest epoch
+  /// on acceptance; nullopt when the RPC failed or the change was rejected
+  /// (membership off, target already in the requested state, or another
+  /// view change still in flight — retry later for the last case).
+  std::optional<std::uint64_t> view_change(bool join, net::NodeId target);
 
   /// Typed outcome of the most recent attempt of the most recent call —
   /// lets the supervisor tell "nothing listening" (restarting, normal) from
@@ -127,7 +139,8 @@ class ControlClient {
   SocketTransport::RpcStatus last_status() const noexcept { return last_status_; }
 
  private:
-  std::optional<serial::Bytes> call(rpc::Proc proc);
+  std::optional<serial::Bytes> call(rpc::Proc proc,
+                                    const serial::Bytes& args = {});
 
   Endpoint endpoint_;
   net::NodeId node_;

@@ -505,6 +505,44 @@ void RealNode::handle_control(const rpc::Frame& frame,
     case rpc::Proc::Shutdown:
       shutdown = true;
       break;
+    case rpc::Proc::ViewChange: {
+      // The harness nominates this node as coordinator of a membership
+      // epoch bump. Safe to drive the protocol directly: control frames are
+      // handled on the driver thread that owns the whole stack. The propose
+      // → ack → activate rounds then ride the real transport like any other
+      // protocol traffic.
+      bool join = false;
+      net::NodeId target = net::kInvalidNode;
+      bool parsed = true;
+      try {
+        serial::Reader args(frame.body);
+        rpc::ReqHeader::deserialize(args);
+        join = args.boolean();
+        target = static_cast<net::NodeId>(args.varint());
+      } catch (const serial::DecodeError&) {
+        parsed = false;
+      }
+      bool accepted = false;
+      if (parsed) {
+        accepted = join ? protocol_.request_join(target)
+                        : protocol_.request_leave(target);
+      } else {
+        reply_header.status = rpc::kError;
+      }
+      reply_header.serialize(w);
+      w.boolean(accepted);
+      // Installed epoch at accept time; the activation lands one higher once
+      // the propose gathers its acks.
+      w.varint(protocol_.membership_enabled()
+                   ? protocol_.server(config_.node).view().epoch
+                   : 0);
+      if (reply) {
+        reply(rpc::encode_frame(rpc::FrameType::ControlReply, config_.node,
+                                frame.header.src, req.xid, w.take(),
+                                config_.checksum));
+      }
+      return;
+    }
     default:
       reply_header.status = rpc::kBadProc;
       break;
@@ -539,6 +577,14 @@ rpc::NodeStatus RealNode::status_locked() {
                !catching_up_;
   s.incarnation = config_.incarnation;
   s.catching_up = catching_up_;
+  if (protocol_.membership_enabled()) {
+    const core::MarpServer& local = protocol_.server(config_.node);
+    s.epoch = local.view().epoch;
+    s.retired = local.retired();
+    // A joiner mid-anti-entropy is not settled even with no local workload.
+    s.catching_up = s.catching_up || local.catching_up();
+    s.quiesced = s.quiesced && !local.catching_up();
+  }
   return s;
 }
 

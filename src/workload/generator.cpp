@@ -83,6 +83,9 @@ void RequestGenerator::emit(std::uint32_t server) {
   // > 1 it expands into a multi-key write-set submitted at the same instant
   // (keys drawn independently, so they may repeat).
   const std::size_t fan_out = is_write ? config_.writes_per_update : 1;
+  // max_requests_per_server caps logical arrivals, not expanded writes:
+  // one increment per emit, whatever the fan-out.
+  ++per_server_count_[server];
   for (std::size_t i = 0; i < fan_out; ++i) {
     replica::Request request;
     request.id = next_id_++;
@@ -100,7 +103,6 @@ void RequestGenerator::emit(std::uint32_t server) {
       request.kind = replica::RequestKind::Read;
     }
     ++generated_;
-    ++per_server_count_[server];
     submit_(request);
   }
   schedule_next(server);

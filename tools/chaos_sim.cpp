@@ -40,6 +40,8 @@ using namespace marp;
      << "  --quorum GEOM    majority|tree|grid|read-lease geometry (default majority)\n"
      << "  --expect-reselection  fail unless the sweep exercised at least one\n"
      << "                   quorum fallback re-selection (geometry sweeps)\n"
+     << "  --membership     partial replication (rf=3) with one spare server;\n"
+     << "                   the fault plan becomes seeded join/leave churn\n"
      << "  --matrix         run the drop x duplicate x reorder fault matrix\n"
      << "  --replay SEED    re-run one sweep scenario and print its plan\n"
      << "  --out FILE       write the JSON report to FILE (default stdout)\n";
@@ -51,7 +53,8 @@ using namespace marp;
 /// all end by 0.8 x duration. Pure in (seed, servers).
 runner::ExperimentConfig make_chaos_config(std::uint64_t seed,
                                            std::size_t servers,
-                                           quorum::QuorumSpec quorum = {}) {
+                                           quorum::QuorumSpec quorum = {},
+                                           bool membership = false) {
   runner::ExperimentConfig config;
   config.servers = servers;
   config.protocol = runner::ProtocolKind::Marp;
@@ -83,8 +86,23 @@ runner::ExperimentConfig make_chaos_config(std::uint64_t seed,
   // and anti-entropy get the remainder plus the drain to close every gap
   // (and the contention backlog a partition leaves behind gets to drain).
   config.drain = sim::SimTime::seconds(20);
-  config.fault_plan =
-      fault::make_random_plan(seed, servers, config.workload.duration);
+  if (membership) {
+    // Join/leave churn sweep: rf=3 partial replication over all but one
+    // server (the spare is the join candidate), and the fault plan becomes
+    // seeded two-phase view changes racing the workload. Crash/partition
+    // plans are deliberately not mixed in: a change stalled on a dead
+    // acker would wedge the epoch fence, and that failure mode has its own
+    // (future) timeout story — here the oracle is Theorems 1–3 plus scoped
+    // convergence under churn alone.
+    const std::size_t members = servers - 1;
+    config.marp.membership.replication_factor = 3;
+    config.marp.membership.initial_members = members;
+    config.fault_plan =
+        fault::make_churn_plan(seed, servers, members, config.workload.duration);
+  } else {
+    config.fault_plan =
+        fault::make_random_plan(seed, servers, config.workload.duration);
+  }
   return config;
 }
 
@@ -138,6 +156,10 @@ void emit_anomalies(std::ostream& os, const core::ProtocolAnomalies& a) {
      << ",\"commit_retransmits\":" << a.commit_retransmits
      << ",\"report_retransmits\":" << a.report_retransmits
      << ",\"release_retransmits\":" << a.release_retransmits
+     << ",\"failed_read_quorums\":" << a.failed_read_quorums
+     << ",\"epoch_stale_updates\":" << a.epoch_stale_updates
+     << ",\"epoch_stale_acks\":" << a.epoch_stale_acks
+     << ",\"joiner_refusals\":" << a.joiner_refusals
      << ",\"total\":" << a.total() << "}";
 }
 
@@ -151,15 +173,20 @@ void accumulate(core::ProtocolAnomalies& into, const core::ProtocolAnomalies& a)
   into.commit_retransmits += a.commit_retransmits;
   into.report_retransmits += a.report_retransmits;
   into.release_retransmits += a.release_retransmits;
+  into.failed_read_quorums += a.failed_read_quorums;
+  into.epoch_stale_updates += a.epoch_stale_updates;
+  into.epoch_stale_acks += a.epoch_stale_acks;
+  into.joiner_refusals += a.joiner_refusals;
 }
 
 int run_sweep(std::uint64_t start_seed, std::uint64_t seeds,
               std::size_t servers, quorum::QuorumSpec quorum,
-              bool expect_reselection, std::ostream& out) {
+              bool expect_reselection, bool membership, std::ostream& out) {
   std::uint64_t violations = 0;
   std::int64_t first_failing = -1;
   std::uint64_t lossy_plans = 0;
   std::uint64_t reselections = 0;
+  std::uint64_t view_changes = 0, epoch_retours = 0;
   std::uint64_t generated = 0, completed = 0, ok_writes = 0, failed_writes = 0;
   fault::InjectorStats fault_totals;
   core::ProtocolAnomalies anomaly_totals;
@@ -169,12 +196,14 @@ int run_sweep(std::uint64_t start_seed, std::uint64_t seeds,
 
   for (std::uint64_t seed = start_seed; seed < start_seed + seeds; ++seed) {
     const runner::ExperimentConfig config =
-        make_chaos_config(seed, servers, quorum);
+        make_chaos_config(seed, servers, quorum, membership);
     const runner::RunResult result = runner::run_experiment(config);
     const RunVerdict verdict = judge(config, result);
 
     if (config.fault_plan.lossy()) ++lossy_plans;
     reselections += result.marp_stats.quorum_reselections;
+    view_changes += result.marp_stats.view_changes;
+    epoch_retours += result.marp_stats.epoch_retours;
     generated += result.generated;
     completed += result.completed;
     ok_writes += result.successful_writes;
@@ -186,6 +215,8 @@ int run_sweep(std::uint64_t start_seed, std::uint64_t seeds,
     fault_totals.link_fault_changes += result.fault_stats.link_fault_changes;
     fault_totals.agents_killed += result.fault_stats.agents_killed;
     fault_totals.phase_triggers_fired += result.fault_stats.phase_triggers_fired;
+    fault_totals.joins_requested += result.fault_stats.joins_requested;
+    fault_totals.leaves_requested += result.fault_stats.leaves_requested;
     accumulate(anomaly_totals, result.marp_stats.anomalies);
     net_totals.fault_drops += result.net_stats.fault_drops;
     net_totals.fault_duplicates += result.net_stats.fault_duplicates;
@@ -215,6 +246,11 @@ int run_sweep(std::uint64_t start_seed, std::uint64_t seeds,
   out << "{\"mode\":\"sweep\",\"start_seed\":" << start_seed
       << ",\"seeds\":" << seeds << ",\"servers\":" << servers
       << ",\"quorum\":\"" << quorum::geometry_name(quorum.geometry) << "\""
+      << ",\"membership\":" << (membership ? "true" : "false")
+      << ",\"view_changes\":" << view_changes
+      << ",\"epoch_retours\":" << epoch_retours
+      << ",\"joins_requested\":" << fault_totals.joins_requested
+      << ",\"leaves_requested\":" << fault_totals.leaves_requested
       << ",\"violations\":" << violations
       << ",\"first_failing_seed\":" << first_failing
       << ",\"lossy_plans\":" << lossy_plans
@@ -320,9 +356,9 @@ int run_matrix(std::uint64_t start_seed, std::uint64_t runs_per_cell,
 }
 
 int run_replay(std::uint64_t seed, std::size_t servers,
-               quorum::QuorumSpec quorum, std::ostream& out) {
+               quorum::QuorumSpec quorum, bool membership, std::ostream& out) {
   const runner::ExperimentConfig config =
-      make_chaos_config(seed, servers, quorum);
+      make_chaos_config(seed, servers, quorum, membership);
   std::cerr << "seed " << seed << ": duration "
             << config.workload.duration.as_millis() << " ms, plan: "
             << (config.fault_plan.empty() ? "(none)"
@@ -333,6 +369,9 @@ int run_replay(std::uint64_t seed, std::size_t servers,
 
   out << "{\"mode\":\"replay\",\"seed\":" << seed << ",\"servers\":" << servers
       << ",\"quorum\":\"" << quorum::geometry_name(quorum.geometry) << "\""
+      << ",\"membership\":" << (membership ? "true" : "false")
+      << ",\"view_changes\":" << result.marp_stats.view_changes
+      << ",\"epoch_retours\":" << result.marp_stats.epoch_retours
       << ",\"quorum_reselections\":" << result.marp_stats.quorum_reselections
       << ",\"plan\":\"" << json_escape(config.fault_plan.describe())
       << "\",\"lossy_plan\":" << (config.fault_plan.lossy() ? "true" : "false")
@@ -365,6 +404,7 @@ int main(int argc, char** argv) {
   std::size_t servers = 5;
   quorum::QuorumSpec quorum;
   bool expect_reselection = false;
+  bool membership = false;
   bool matrix = false;
   std::int64_t replay_seed = -1;
   std::string out_path;
@@ -391,6 +431,7 @@ int main(int argc, char** argv) {
       }
     }
     else if (flag == "--expect-reselection") expect_reselection = true;
+    else if (flag == "--membership") membership = true;
     else if (flag == "--matrix") matrix = true;
     else if (flag == "--replay") replay_seed = std::stoll(need_value(i));
     else if (flag == "--out") out_path = need_value(i);
@@ -412,8 +453,9 @@ int main(int argc, char** argv) {
 
   if (replay_seed >= 0) {
     return run_replay(static_cast<std::uint64_t>(replay_seed), servers, quorum,
-                      out);
+                      membership, out);
   }
   if (matrix) return run_matrix(start_seed, seeds, servers, out);
-  return run_sweep(start_seed, seeds, servers, quorum, expect_reselection, out);
+  return run_sweep(start_seed, seeds, servers, quorum, expect_reselection,
+                   membership, out);
 }

@@ -46,7 +46,14 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+#include <map>
+#include <optional>
+
 #include "fault/process_chaos.hpp"
+#include "marp/config.hpp"
+#include "membership/placement.hpp"
+#include "shard/router.hpp"
 #include "trace/merge.hpp"
 #include "transport/cluster.hpp"
 
@@ -104,10 +111,22 @@ pid_t spawn_node(const std::string& binary, const ClusterSpec& spec,
       "--node", std::to_string(node),
       "--nodes", std::to_string(spec.nodes),
       "--dir", dir,
-      "--sessions", std::to_string(spec.sessions_per_node),
+      // Spares start outside the view and originate nothing until joined;
+      // their workload share would otherwise stall behind the epoch fence.
+      "--sessions",
+      std::to_string(spec.membership_rf > 0 && spec.initial_members > 0 &&
+                             node >= spec.initial_members
+                         ? 0
+                         : spec.sessions_per_node),
       "--keys", std::to_string(spec.keys_per_origin),
       "--seed", std::to_string(spec.seed + node),
   };
+  if (spec.membership_rf > 0) {
+    args.push_back("--membership-rf");
+    args.push_back(std::to_string(spec.membership_rf));
+    args.push_back("--initial-members");
+    args.push_back(std::to_string(spec.initial_members));
+  }
   if (spec.shared_keys) args.push_back("--shared");
   if (spec.send_loss > 0.0) {
     args.push_back("--loss");
@@ -154,6 +173,30 @@ void dump_log(const std::string& log_path) {
   std::fclose(f);
 }
 
+/// One scripted membership change, fired over the ViewChange RPC.
+struct ChurnEvent {
+  long at_ms = 0;  ///< wall-clock offset from cluster launch
+  std::uint32_t node = 0;
+  bool join = false;
+  bool fired = false;
+};
+
+/// Parse "MS:NODE" (e.g. --join-at 2000:4).
+ChurnEvent parse_churn(const char* text, bool join) {
+  const std::string s(text);
+  const std::size_t colon = s.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= s.size()) {
+    std::fprintf(stderr, "marp_cluster: expected MS:NODE, got '%s'\n", text);
+    std::exit(2);
+  }
+  ChurnEvent event;
+  event.at_ms = std::strtol(s.substr(0, colon).c_str(), nullptr, 10);
+  event.node = static_cast<std::uint32_t>(
+      std::strtoul(s.substr(colon + 1).c_str(), nullptr, 10));
+  event.join = join;
+  return event;
+}
+
 /// One supervised marp_node process across its lives.
 struct Child {
   pid_t pid = -1;
@@ -180,6 +223,9 @@ int main(int argc, char** argv) {
   long heartbeat_ms = 300;         ///< probe cadence per node
   long hung_ms = 3000;             ///< no Heartbeat reply within this = dead
   bool durable = false;            ///< state dirs even without kills
+
+  // Dynamic membership churn script.
+  std::vector<ChurnEvent> churn;
 
   // Distributed tracing.
   std::string trace_out;        ///< merged Perfetto trace file
@@ -209,6 +255,10 @@ int main(int argc, char** argv) {
     else if (arg == "--heartbeat-ms") heartbeat_ms = std::strtol(next(i), nullptr, 10);
     else if (arg == "--hung-ms") hung_ms = std::strtol(next(i), nullptr, 10);
     else if (arg == "--durable") durable = true;
+    else if (arg == "--membership-rf") spec.membership_rf = static_cast<std::uint32_t>(std::strtoul(next(i), nullptr, 10));
+    else if (arg == "--initial-members") spec.initial_members = std::strtoul(next(i), nullptr, 10);
+    else if (arg == "--join-at") churn.push_back(parse_churn(next(i), true));
+    else if (arg == "--leave-at") churn.push_back(parse_churn(next(i), false));
     else if (arg == "--trace-out") trace_out = next(i);
     else if (arg == "--calibration-out") calibration_out = next(i);
     else if (arg == "--trace-capacity") trace_capacity = std::strtoull(next(i), nullptr, 10);
@@ -220,6 +270,8 @@ int main(int argc, char** argv) {
                    "[--check-sim] [--expect-retransmits] [--durable]\n"
                    "       [--chaos-kills K] [--chaos-window-ms W] "
                    "[--max-restarts R] [--heartbeat-ms H] [--hung-ms M]\n"
+                   "       [--membership-rf R] [--initial-members N] "
+                   "[--join-at MS:NODE] [--leave-at MS:NODE]\n"
                    "       [--trace-out F] [--calibration-out F] "
                    "[--trace-capacity N] [--trace-skew-us STEP]\n");
       return 2;
@@ -240,6 +292,43 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "marp_cluster: --chaos-kills excludes --check-sim/--shared\n");
     return 2;
+  }
+  const bool membership = spec.membership_rf > 0;
+  if (!membership && !churn.empty()) {
+    std::fprintf(stderr, "marp_cluster: --join-at/--leave-at need --membership-rf\n");
+    return 2;
+  }
+  if (membership && (chaos || check_sim)) {
+    // The reference sim runs full replication, and the reincarnation
+    // supervisor's store oracle assumes every node holds every key — both
+    // compare whole stores, which partial replication legitimately breaks.
+    // Membership verification is view-scoped instead (below).
+    std::fprintf(stderr,
+                 "marp_cluster: --membership-rf excludes --chaos-kills/--check-sim\n");
+    return 2;
+  }
+  if (membership) {
+    if (spec.initial_members == 0 || spec.initial_members > spec.nodes) {
+      spec.initial_members = spec.nodes;
+    }
+    for (const ChurnEvent& event : churn) {
+      if (event.node >= spec.nodes) {
+        std::fprintf(stderr, "marp_cluster: churn node %u out of range\n", event.node);
+        return 2;
+      }
+      if (event.join && event.node < spec.initial_members) {
+        std::fprintf(stderr,
+                     "marp_cluster: --join-at node %u is already an initial member\n",
+                     event.node);
+        return 2;
+      }
+      if (!event.join && event.node >= spec.initial_members) {
+        std::fprintf(stderr,
+                     "marp_cluster: --leave-at node %u is not an initial member\n",
+                     event.node);
+        return 2;
+      }
+    }
   }
 
   if (dir.empty()) {
@@ -307,10 +396,67 @@ int main(int argc, char** argv) {
   std::vector<marp::fault::ProcessKill> schedule;
   std::uint32_t kills_fired = 0;
 
-  if (!chaos) {
+  if (!chaos && churn.empty()) {
     if (!marp::transport::wait_quiesced(clients, timeout_s * 1000)) {
       problems.push_back("cluster did not quiesce within " + std::to_string(timeout_s) + "s");
       failed = true;
+    }
+  } else if (!chaos) {
+    // ---- scripted membership churn ----
+    // Fire each event through node 0 (the coordinator) at its wall-clock
+    // offset, in script order; a leave additionally waits for the leaver to
+    // finish originating, so its unfinished sessions cannot wedge behind
+    // its own retirement. Done when every event fired, every node is
+    // quiesced, and the final epoch reached every node still in the view.
+    const std::uint64_t final_epoch = 1 + churn.size();
+    const auto t0 = Clock::now();
+    const auto deadline = t0 + std::chrono::seconds(timeout_s);
+    while (true) {
+      if (Clock::now() >= deadline) {
+        problems.push_back("membership cluster did not settle within " +
+                           std::to_string(timeout_s) + "s");
+        failed = true;
+        break;
+      }
+      std::vector<std::optional<marp::rpc::NodeStatus>> statuses(spec.nodes);
+      for (std::size_t node = 0; node < spec.nodes; ++node) {
+        statuses[node] = clients[node].status();
+      }
+
+      bool all_fired = true;
+      for (ChurnEvent& event : churn) {
+        if (event.fired) continue;
+        all_fired = false;
+        const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                 Clock::now() - t0)
+                                 .count();
+        if (elapsed < event.at_ms) break;
+        if (!event.join) {
+          const auto& leaver = statuses[event.node];
+          if (!leaver || leaver->sessions_completed < leaver->sessions_target) break;
+        }
+        // The coordinator rejects overlapping view changes; a nullopt here
+        // just means "retry next tick".
+        if (const auto epoch = clients[0].view_change(event.join, event.node)) {
+          event.fired = true;
+          std::fprintf(stderr, "marp_cluster: %s node %u -> epoch %llu proposed\n",
+                       event.join ? "join" : "leave", event.node,
+                       static_cast<unsigned long long>(*epoch));
+        }
+        break;  // at most one view change in flight
+      }
+
+      if (all_fired) {
+        bool settled = true;
+        for (std::size_t node = 0; node < spec.nodes && settled; ++node) {
+          const auto& s = statuses[node];
+          if (!s || !s->quiesced) settled = false;
+          else if (s->retired) continue;  // leaver: frozen, possibly pre-final epoch
+          else if (s->epoch != final_epoch) settled = false;
+        }
+        if (settled) break;
+      }
+      ::usleep(100 * 1000);
     }
   } else {
     // ---- reincarnation supervisor ----
@@ -506,8 +652,10 @@ int main(int argc, char** argv) {
 
   if (!failed) {
     const auto real = marp::transport::aggregate_cluster(dumps);
+    // Under membership only the initial members originate (spares idle).
     const std::uint64_t expected_commits =
-        static_cast<std::uint64_t>(spec.nodes) * spec.sessions_per_node;
+        static_cast<std::uint64_t>(membership ? spec.initial_members : spec.nodes) *
+        spec.sessions_per_node;
 
     std::uint64_t retransmits = 0;
     for (const auto& d : dumps) {
@@ -523,7 +671,96 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(real.loss_injected),
                  static_cast<unsigned long long>(retransmits));
 
-    if (!chaos) {
+    if (membership) {
+      // ---- view-scoped verdict: partial replication breaks whole-store
+      // equality by design, so convergence is checked against the final
+      // view, recomputed here (make_view is a pure function of epoch,
+      // active set, rf, and group count — no protocol state needed).
+      std::vector<marp::net::NodeId> active;
+      for (std::size_t node = 0; node < spec.initial_members; ++node) {
+        active.push_back(static_cast<marp::net::NodeId>(node));
+      }
+      for (const ChurnEvent& event : churn) {
+        if (event.join) {
+          active.push_back(static_cast<marp::net::NodeId>(event.node));
+        } else {
+          active.erase(std::remove(active.begin(), active.end(),
+                                   static_cast<marp::net::NodeId>(event.node)),
+                       active.end());
+        }
+      }
+      const std::uint64_t final_epoch = 1 + churn.size();
+      const marp::core::MarpConfig node_defaults;  // what marp_node ran with
+      const auto view = marp::membership::make_view(
+          final_epoch, active, spec.membership_rf, node_defaults.num_lock_groups);
+      const marp::shard::ShardRouter router(node_defaults.num_lock_groups);
+
+      if (real.commits != expected_commits) {
+        problems.push_back("commit count mismatch: " + std::to_string(real.commits) +
+                           " vs " + std::to_string(expected_commits) + " expected");
+      }
+      if (real.mutex_violations != 0) {
+        problems.push_back("Theorem 2 violated: " +
+                           std::to_string(real.mutex_violations) + " mutex violations");
+      }
+
+      for (const ChurnEvent& event : churn) {
+        const auto& status = dumps[event.node].status;
+        if (event.join) {
+          if (status.retired || status.epoch != final_epoch) {
+            problems.push_back("joiner " + std::to_string(event.node) +
+                               " did not end up active in epoch " +
+                               std::to_string(final_epoch));
+          }
+        } else if (!status.retired) {
+          problems.push_back("leaver " + std::to_string(event.node) +
+                             " never retired");
+        }
+      }
+
+      // Per-key convergence across the key's replica set: every final-view
+      // host of the key's group holds the same value. Non-hosts are allowed
+      // stale copies (a leaver's frozen store, a pre-reshuffle replica) —
+      // the view says they are no longer authoritative. Apply-order
+      // equality is not checked: a joiner absorbs history via anti-entropy
+      // merge, which legitimately reorders against live-commit order.
+      std::vector<std::map<std::string, std::string>> stores(dumps.size());
+      for (std::size_t node = 0; node < dumps.size(); ++node) {
+        for (const auto& item : dumps[node].items) {
+          stores[node][item.key] = item.value;
+        }
+      }
+      std::map<std::string, bool> all_keys;
+      for (const auto& store : stores) {
+        for (const auto& [key, value] : store) all_keys[key] = true;
+      }
+      for (const auto& [key, seen] : all_keys) {
+        const auto& replicas = view.replicas_of(router.group_of(key));
+        const auto primary = stores[replicas.front()].find(key);
+        if (primary == stores[replicas.front()].end()) {
+          problems.push_back("key " + key + " missing from its primary host " +
+                             std::to_string(replicas.front()) + " (group " +
+                             std::to_string(router.group_of(key)) + ")");
+          continue;
+        }
+        for (const marp::net::NodeId host : replicas) {
+          const auto it = stores[host].find(key);
+          if (it == stores[host].end()) {
+            problems.push_back("host " + std::to_string(host) + " missing key " +
+                               key + " (group " +
+                               std::to_string(router.group_of(key)) + ")");
+          } else if (it->second != primary->second) {
+            problems.push_back("host " + std::to_string(host) +
+                               " diverges on key " + key);
+          }
+        }
+      }
+      std::fprintf(stderr,
+                   "marp_cluster: membership: epoch %llu, %zu active, rf %u, "
+                   "%zu keys view-converged\n",
+                   static_cast<unsigned long long>(final_epoch), active.size(),
+                   spec.membership_rf, all_keys.size());
+    } else if (!chaos) {
       if (real.commits != expected_commits) {
         problems.push_back("commit count mismatch");
       }

@@ -38,6 +38,11 @@ void usage() {
                "  --no-checksum       disable frame checksums\n"
                "  --unreliable        fire-and-forget COMMIT (paper budget)\n"
                "  --start-delay-ms M  delay before the first session (default 300)\n"
+               "dynamic membership (driven by marp_cluster --join-at/--leave-at):\n"
+               "  --membership-rf R   copies per lock group (0 = full replication,\n"
+               "                      membership machinery off)\n"
+               "  --initial-members N servers in the epoch-1 view; later ids start\n"
+               "                      as spares that can join (0 = every node)\n"
                "crash recovery (driven by the marp_cluster supervisor):\n"
                "  --state-dir DIR     durable checkpoint+journal directory\n"
                "                      (default: volatile node, no recovery)\n"
@@ -94,6 +99,11 @@ int main(int argc, char** argv) {
     else if (arg == "--unreliable") config.marp.reliable_commit = false;
     else if (arg == "--start-delay-ms")
       config.start_delay = marp::sim::SimTime::millis(std::strtol(next(i), nullptr, 10));
+    else if (arg == "--membership-rf")
+      config.marp.membership.replication_factor =
+          static_cast<std::uint32_t>(std::strtoul(next(i), nullptr, 10));
+    else if (arg == "--initial-members")
+      config.marp.membership.initial_members = std::strtoul(next(i), nullptr, 10);
     else if (arg == "--state-dir") config.data_dir = next(i);
     else if (arg == "--incarnation")
       config.incarnation = static_cast<std::uint16_t>(std::strtoul(next(i), nullptr, 10));

@@ -40,6 +40,8 @@ using namespace marp;
      << "  --seed N                       run seed (default 1)\n"
      << "  --batch N                      MARP batch size (default 1)\n"
      << "  --lock-groups N                MARP lock groups (default 1)\n"
+     << "  --replication-factor R         copies per lock group (default 0 =\n"
+        "                                 static full replication)\n"
      << "  --votes a,b,c,...              MARP weighted votes (default uniform)\n"
      << "  --quorum GEOM                  majority|tree|grid|read-lease quorum\n"
      << "                                 geometry (default majority)\n"
@@ -147,6 +149,9 @@ int main(int argc, char** argv) {
     else if (flag == "--seed") config.seed = std::stoull(need_value(i));
     else if (flag == "--batch") config.marp.batch_size = std::stoul(need_value(i));
     else if (flag == "--lock-groups") config.marp.num_lock_groups = std::stoul(need_value(i));
+    else if (flag == "--replication-factor")
+      config.marp.membership.replication_factor =
+          static_cast<std::uint32_t>(std::stoul(need_value(i)));
     else if (flag == "--votes") config.marp.votes = parse_votes(need_value(i));
     else if (flag == "--quorum")
       config.marp.quorum.geometry = parse_geometry(need_value(i), argv[0]);

@@ -37,11 +37,18 @@ using namespace marp;
      << "  --servers N          replicas (default 3)\n"
      << "  --agents N           concurrent single-write agents (default 2)\n"
      << "  --groups N           lock groups (default 1)\n"
-     << "  --mutant KIND        none|majority|tiebreak|split (default none)\n"
+     << "  --mutant KIND        none|majority|tiebreak|split|mixedepoch (default none)\n"
      << "  --quorum GEOM        majority|tree|grid|read-lease (default majority)\n"
      << "  --tree-degree D      tree geometry branching (default 2)\n"
      << "  --grid-cols C        grid geometry columns (default: ~sqrt N)\n"
      << "  --fault KIND         none|crash|drop (default none)\n"
+     << "  --membership-rf R    dynamic membership: R copies per lock group\n"
+     << "  --initial-members N  first N servers form epoch 1 (default: all)\n"
+     << "  --join-at MS:NODE    propose adding NODE at MS ms (membership only)\n"
+     << "  --leave-at MS:NODE   propose removing NODE at MS ms (membership only)\n"
+     << "  --agent-stagger MS   space agent submissions MS ms apart (0 = tied\n"
+     << "                       t=0 start; non-zero lets later agents be born\n"
+     << "                       under a newer epoch)\n"
      << "  --max-schedules N    schedule budget (default 200000)\n"
      << "  --max-branch-points N  depth allowed to branch (default 256)\n"
      << "  --horizon-ms N       per-run virtual-time bound (default: auto)\n"
@@ -94,8 +101,20 @@ const char* mutant_name(core::ProtocolMutant mutant) {
     case core::ProtocolMutant::MajorityOffByOne: return "majority";
     case core::ProtocolMutant::TieBreakLargestId: return "tiebreak";
     case core::ProtocolMutant::SplitQuorum: return "split";
+    case core::ProtocolMutant::MixedEpoch: return "mixedepoch";
   }
   return "?";
+}
+
+// "MS:NODE" → (time, node) for the scripted churn flags.
+std::pair<sim::SimTime, net::NodeId> parse_churn(const std::string& text) {
+  const std::size_t colon = text.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= text.size()) {
+    std::cerr << "expected MS:NODE, got: " << text << "\n";
+    std::exit(2);
+  }
+  return {sim::SimTime::millis(std::stoll(text.substr(0, colon))),
+          static_cast<net::NodeId>(std::stoul(text.substr(colon + 1)))};
 }
 
 const char* fault_name(check::FaultKind fault) {
@@ -117,6 +136,8 @@ void emit_report(std::ostream& os, const check::ScenarioConfig& scenario,
      << ",\"mutant\":\"" << mutant_name(scenario.mutant) << "\""
      << ",\"quorum\":\"" << quorum::geometry_name(scenario.quorum.geometry) << "\""
      << ",\"fault\":\"" << fault_name(scenario.fault) << "\""
+     << ",\"membership_rf\":" << scenario.membership_rf
+     << ",\"initial_members\":" << scenario.initial_members
      << ",\"horizon_us\":" << scenario.effective_horizon().as_micros()
      << ",\"sleep_sets\":" << (limits.sleep_sets ? "true" : "false") << "}"
      << ",\"schedules_explored\":" << report.schedules_explored
@@ -180,6 +201,8 @@ int main(int argc, char** argv) {
         scenario.mutant = core::ProtocolMutant::TieBreakLargestId;
       else if (kind == "split")
         scenario.mutant = core::ProtocolMutant::SplitQuorum;
+      else if (kind == "mixedepoch")
+        scenario.mutant = core::ProtocolMutant::MixedEpoch;
       else usage(argv[0], 2);
     } else if (flag == "--quorum") {
       const std::string name = value(i);
@@ -194,6 +217,16 @@ int main(int argc, char** argv) {
           static_cast<std::uint32_t>(std::stoul(value(i)));
     } else if (flag == "--grid-cols") {
       scenario.quorum.grid_cols = std::stoull(value(i));
+    } else if (flag == "--membership-rf") {
+      scenario.membership_rf = std::stoull(value(i));
+    } else if (flag == "--initial-members") {
+      scenario.initial_members = std::stoull(value(i));
+    } else if (flag == "--join-at") {
+      std::tie(scenario.join_at, scenario.join_node) = parse_churn(value(i));
+    } else if (flag == "--leave-at") {
+      std::tie(scenario.leave_at, scenario.leave_node) = parse_churn(value(i));
+    } else if (flag == "--agent-stagger") {
+      scenario.agent_stagger = sim::SimTime::millis(std::stoll(value(i)));
     } else if (flag == "--fault") {
       const std::string kind = value(i);
       if (kind == "none") scenario.fault = check::FaultKind::None;
